@@ -1,0 +1,108 @@
+//! Kernel-variant dispatch shared by every application.
+
+use gpu_sim::{Device, KernelRun};
+use tbs_core::analytic::profiles::InputPath;
+use tbs_core::distance::DistanceKernel;
+use tbs_core::kernels::{
+    pair_launch, IntraMode, NaiveKernel, PairScope, RegisterRocKernel, RegisterShmKernel,
+    ShmShmKernel, ShuffleKernel,
+};
+use tbs_core::output::PairAction;
+use tbs_core::point::DeviceSoa;
+
+/// How to run the pairwise stage: which input path, intra scheme and
+/// block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwisePlan {
+    /// Input-staging variant.
+    pub input: InputPath,
+    /// Intra-block iteration scheme (ignored by Naive and Shuffle).
+    pub intra: IntraMode,
+    /// Threads per block B.
+    pub block_size: u32,
+}
+
+impl PairwisePlan {
+    /// The paper's headline configuration: Register-SHM, B = 1024.
+    pub fn register_shm(block_size: u32) -> Self {
+        PairwisePlan { input: InputPath::RegisterShm, intra: IntraMode::Regular, block_size }
+    }
+
+    pub fn with_intra(mut self, intra: IntraMode) -> Self {
+        self.intra = intra;
+        self
+    }
+}
+
+/// Launch the pairwise kernel selected by `plan` with an arbitrary
+/// distance function and output action.
+pub fn launch_pairwise<const D: usize, F, A>(
+    dev: &mut Device,
+    input: DeviceSoa<D>,
+    dist: F,
+    action: A,
+    plan: PairwisePlan,
+    scope: PairScope,
+) -> KernelRun
+where
+    F: DistanceKernel<D>,
+    A: PairAction,
+{
+    let lc = pair_launch(input.n, plan.block_size);
+    match plan.input {
+        InputPath::Naive => dev.launch(&NaiveKernel::new(input, dist, action, scope), lc),
+        InputPath::ShmShm => dev.launch(
+            &ShmShmKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
+            lc,
+        ),
+        InputPath::RegisterShm => dev.launch(
+            &RegisterShmKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
+            lc,
+        ),
+        InputPath::RegisterRoc => dev.launch(
+            &RegisterRocKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
+            lc,
+        ),
+        InputPath::Shuffle => {
+            dev.launch(&ShuffleKernel::new(input, dist, action, plan.block_size, scope), lc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use tbs_core::distance::Euclidean;
+    use tbs_core::output::CountWithinRadius;
+
+    #[test]
+    fn all_variants_dispatch_and_agree() {
+        let pts = tbs_datagen::uniform_points::<3>(256, 100.0, 17);
+        let mut counts = Vec::new();
+        for input in [
+            InputPath::Naive,
+            InputPath::ShmShm,
+            InputPath::RegisterShm,
+            InputPath::RegisterRoc,
+            InputPath::Shuffle,
+        ] {
+            let mut dev = Device::new(DeviceConfig::titan_x());
+            let d_input = pts.upload(&mut dev);
+            let lc = pair_launch(d_input.n, 64);
+            let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+            let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
+            launch_pairwise(
+                &mut dev,
+                d_input,
+                Euclidean,
+                CountWithinRadius { radius: 30.0, out },
+                plan,
+                PairScope::HalfPairs,
+            );
+            counts.push(dev.u64_slice(out).iter().sum::<u64>());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "variants disagree: {counts:?}");
+        assert!(counts[0] > 0);
+    }
+}

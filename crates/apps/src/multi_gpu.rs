@@ -1,0 +1,299 @@
+//! Multi-GPU 2-BS decomposition — the paper's §V future work: "Our work
+//! can also be extended to a multi-GPU environment or even cluster-level
+//! optimization to handle very large input/output data."
+//!
+//! Decomposition: split the input into `G` contiguous chunks. The pair
+//! triangle then factors into *self* tasks (the triangle within chunk
+//! `g`, computed by the paper's Register-SHM kernel) and *cross* tasks
+//! (the full `c_g × c_h` rectangle between chunks `g < h`, computed by
+//! the bipartite [`CrossShmKernel`]). Tasks are scheduled onto devices
+//! by longest-processing-time-first (LPT) over their exact pair counts;
+//! each device reduces its private histogram copies locally and the host
+//! merges per-task results — inter-device traffic is `O(G · H)`, not
+//! `O(N²)`.
+
+use crate::driver::PairwisePlan;
+use gpu_sim::{Device, DeviceConfig};
+use tbs_core::distance::Euclidean;
+use tbs_core::histogram::{Histogram, HistogramSpec};
+use tbs_core::kernels::{
+    pair_launch, CrossShmKernel, HistogramReduceKernel, PairScope, RegisterShmKernel,
+};
+use tbs_core::output::SharedHistogramAction;
+use tbs_core::point::SoaPoints;
+
+/// A unit of work in the decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdhTask {
+    /// The triangle within one chunk.
+    SelfJoin { chunk: usize },
+    /// The rectangle between two chunks.
+    CrossJoin { left: usize, right: usize },
+}
+
+impl SdhTask {
+    /// Exact pair count of this task given the chunk sizes.
+    pub fn pairs(&self, sizes: &[usize]) -> u64 {
+        match *self {
+            SdhTask::SelfJoin { chunk } => {
+                let c = sizes[chunk] as u64;
+                c * (c - 1) / 2
+            }
+            SdhTask::CrossJoin { left, right } => sizes[left] as u64 * sizes[right] as u64,
+        }
+    }
+}
+
+/// Result of a multi-GPU SDH run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuSdh {
+    /// The merged final histogram (equal to a single-device run).
+    pub histogram: Histogram,
+    /// Simulated busy seconds per device.
+    pub device_seconds: Vec<f64>,
+    /// The schedule: `(device, task, simulated seconds)`.
+    pub schedule: Vec<(usize, SdhTask, f64)>,
+}
+
+impl MultiGpuSdh {
+    /// Simulated wall-clock: the busiest device.
+    pub fn makespan(&self) -> f64 {
+        self.device_seconds.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Scaling efficiency vs. a perfect split of the total work.
+    pub fn efficiency(&self) -> f64 {
+        let total: f64 = self.device_seconds.iter().sum();
+        let g = self.device_seconds.len() as f64;
+        total / (g * self.makespan().max(1e-30))
+    }
+}
+
+/// Split `n` into `g` near-equal contiguous chunk ranges.
+pub fn chunk_ranges(n: usize, g: usize) -> Vec<std::ops::Range<usize>> {
+    let g = g.max(1);
+    let base = n / g;
+    let extra = n % g;
+    let mut out = Vec::with_capacity(g);
+    let mut start = 0;
+    for i in 0..g {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// LPT-schedule tasks over `devices` by pair count; returns per-device
+/// task lists.
+pub fn lpt_schedule(tasks: &[SdhTask], sizes: &[usize], devices: usize) -> Vec<Vec<SdhTask>> {
+    let mut order: Vec<&SdhTask> = tasks.iter().collect();
+    order.sort_by_key(|t| std::cmp::Reverse(t.pairs(sizes)));
+    let mut load = vec![0u64; devices.max(1)];
+    let mut assign: Vec<Vec<SdhTask>> = vec![Vec::new(); devices.max(1)];
+    for t in order {
+        let dev = (0..load.len()).min_by_key(|&d| load[d]).expect("at least one device");
+        load[dev] += t.pairs(sizes);
+        assign[dev].push(t.clone());
+    }
+    assign
+}
+
+/// Compute an SDH across `num_devices` simulated GPUs.
+pub fn sdh_multi_gpu<const D: usize>(
+    pts: &SoaPoints<D>,
+    spec: HistogramSpec,
+    plan: PairwisePlan,
+    num_devices: usize,
+    cfg: &DeviceConfig,
+) -> MultiGpuSdh {
+    let g = num_devices.max(1);
+    let ranges = chunk_ranges(pts.len(), g);
+    let chunks: Vec<SoaPoints<D>> = ranges.iter().map(|r| pts.slice(r.clone())).collect();
+    let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+
+    // Build the task list: G self-joins + G(G−1)/2 cross-joins.
+    let mut tasks = Vec::new();
+    for i in 0..g {
+        if sizes[i] >= 2 {
+            tasks.push(SdhTask::SelfJoin { chunk: i });
+        }
+        for j in (i + 1)..g {
+            if sizes[i] > 0 && sizes[j] > 0 {
+                tasks.push(SdhTask::CrossJoin { left: i, right: j });
+            }
+        }
+    }
+    let assignment = lpt_schedule(&tasks, &sizes, g);
+
+    let mut histogram = Histogram::zeroed(spec.buckets);
+    let mut device_seconds = vec![0.0f64; g];
+    let mut schedule = Vec::new();
+
+    for (dev_id, dev_tasks) in assignment.iter().enumerate() {
+        // One simulated device per id; it holds copies of the chunks it
+        // needs (the host broadcasts chunks once — O(N) traffic).
+        let mut dev = Device::new(cfg.clone());
+        let uploaded: Vec<_> = chunks.iter().map(|c| c.upload(&mut dev)).collect();
+        for task in dev_tasks {
+            let (lc, run_secs, partial) = match *task {
+                SdhTask::SelfJoin { chunk } => {
+                    let input = uploaded[chunk];
+                    let lc = pair_launch(input.n, plan.block_size.min(input.n.max(32)));
+                    let private =
+                        dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+                    let k = RegisterShmKernel::new(
+                        input,
+                        Euclidean,
+                        SharedHistogramAction { spec, private },
+                        lc.block_dim,
+                        PairScope::HalfPairs,
+                        plan.intra,
+                    );
+                    let run = dev.launch(&k, lc);
+                    (lc, run.timing.seconds, private)
+                }
+                SdhTask::CrossJoin { left, right } => {
+                    let (a, b) = (uploaded[left], uploaded[right]);
+                    let lc = pair_launch(a.n, plan.block_size.min(a.n.max(32)));
+                    let private =
+                        dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+                    let k = CrossShmKernel::new(
+                        a,
+                        b,
+                        Euclidean,
+                        SharedHistogramAction { spec, private },
+                        lc.block_dim,
+                    );
+                    let run = dev.launch(&k, lc);
+                    (lc, run.timing.seconds, private)
+                }
+            };
+            // Local reduction of this task's private copies.
+            let out = dev.alloc_u64_zeroed(spec.buckets as usize);
+            let reduce = HistogramReduceKernel {
+                private: partial,
+                out,
+                buckets: spec.buckets,
+                copies: lc.grid_dim,
+            };
+            let rrun = dev.launch(&reduce, reduce.launch_config(256));
+            let secs = run_secs + rrun.timing.seconds;
+            device_seconds[dev_id] += secs;
+            schedule.push((dev_id, task.clone(), secs));
+            histogram.merge(&Histogram::from_counts(dev.u64_slice(out).to_vec()));
+        }
+    }
+
+    MultiGpuSdh { histogram, device_seconds, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbs_datagen::{box_diagonal, uniform_points, DEFAULT_BOX};
+
+    fn spec() -> HistogramSpec {
+        HistogramSpec::new(96, box_diagonal(DEFAULT_BOX, 3))
+    }
+
+    #[test]
+    fn chunking_partitions_exactly() {
+        let r = chunk_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunk_ranges(2, 4).iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(chunk_ranges(0, 2).iter().map(|r| r.len()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        let sizes = vec![100usize, 100, 100, 100];
+        let tasks: Vec<SdhTask> = (0..4)
+            .flat_map(|i| {
+                let mut v = vec![SdhTask::SelfJoin { chunk: i }];
+                v.extend(((i + 1)..4).map(move |j| SdhTask::CrossJoin { left: i, right: j }));
+                v
+            })
+            .collect();
+        let assign = lpt_schedule(&tasks, &sizes, 2);
+        let load = |ts: &Vec<SdhTask>| ts.iter().map(|t| t.pairs(&sizes)).sum::<u64>();
+        let (a, b) = (load(&assign[0]), load(&assign[1]));
+        let imbalance = a.abs_diff(b) as f64 / (a + b) as f64;
+        assert!(imbalance < 0.2, "imbalance {imbalance}");
+    }
+
+    #[test]
+    fn multi_gpu_histogram_equals_single_device() {
+        let pts = uniform_points::<3>(700, DEFAULT_BOX, 61);
+        let single = tbs_cpu::sdh_reference(&pts, spec());
+        for devices in [1usize, 2, 3, 4] {
+            let got = sdh_multi_gpu(
+                &pts,
+                spec(),
+                PairwisePlan::register_shm(64),
+                devices,
+                &DeviceConfig::titan_x(),
+            );
+            assert_eq!(got.histogram, single, "devices = {devices}");
+            assert_eq!(got.histogram.total(), 700 * 699 / 2);
+        }
+    }
+
+    /// A deliberately small device (4 SMs, 4 block slots) that the tiny
+    /// functional workloads of this test suite can *saturate* — on a full
+    /// Titan X, sub-task grids at test sizes are grid-limited and the
+    /// timing model (correctly!) shows chunking not paying off until N is
+    /// far beyond what a functional test should execute.
+    fn small_device() -> DeviceConfig {
+        DeviceConfig { num_sms: 4, max_blocks_per_sm: 4, ..DeviceConfig::titan_x() }
+    }
+
+    #[test]
+    fn two_devices_reduce_the_makespan_when_chunks_fill_the_device() {
+        let pts = uniform_points::<3>(3072, DEFAULT_BOX, 67);
+        let cfg = small_device();
+        let plan = PairwisePlan::register_shm(64);
+        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg);
+        let two = sdh_multi_gpu(&pts, spec(), plan, 2, &cfg);
+        assert_eq!(one.histogram, two.histogram);
+        assert!(
+            two.makespan() < one.makespan() * 0.7,
+            "2-device makespan {} vs 1-device {}",
+            two.makespan(),
+            one.makespan()
+        );
+        assert!(two.efficiency() > 0.6, "efficiency {}", two.efficiency());
+    }
+
+    #[test]
+    fn grid_limited_chunking_does_not_pay_on_a_big_device() {
+        // The counterpart claim: on the full 24-SM Titan X, this same
+        // workload is too small to split — the model shows no speedup.
+        let pts = uniform_points::<3>(2048, DEFAULT_BOX, 69);
+        let cfg = DeviceConfig::titan_x();
+        let plan = PairwisePlan::register_shm(64);
+        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg);
+        let four = sdh_multi_gpu(&pts, spec(), plan, 4, &cfg);
+        assert_eq!(one.histogram, four.histogram);
+        assert!(
+            four.makespan() > one.makespan() * 0.8,
+            "splitting a grid-limited workload should not help: {} vs {}",
+            four.makespan(),
+            one.makespan()
+        );
+    }
+
+    #[test]
+    fn task_pair_counts_cover_the_whole_triangle() {
+        let sizes = vec![50usize, 60, 70];
+        let mut total = 0u64;
+        for i in 0..3 {
+            total += SdhTask::SelfJoin { chunk: i }.pairs(&sizes);
+            for j in (i + 1)..3 {
+                total += SdhTask::CrossJoin { left: i, right: j }.pairs(&sizes);
+            }
+        }
+        let n = 180u64;
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+}

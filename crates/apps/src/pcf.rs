@@ -1,0 +1,80 @@
+//! The 2-point correlation function (2-PCF) — the paper's Type-I example
+//! application (§IV-B): "the output is of very small size: one scalar
+//! describing the number of points within a radius".
+
+use crate::driver::{launch_pairwise, PairwisePlan};
+use gpu_sim::{Device, KernelRun};
+use tbs_core::distance::Euclidean;
+use tbs_core::kernels::{pair_launch, PairScope};
+use tbs_core::output::CountWithinRadius;
+use tbs_core::point::SoaPoints;
+
+/// Result of a GPU 2-PCF computation.
+#[derive(Debug, Clone)]
+pub struct PcfResult {
+    /// Number of pairs with distance strictly below the radius.
+    pub count: u64,
+    /// Profile of the pairwise kernel.
+    pub run: KernelRun,
+}
+
+/// Compute the 2-PCF of `pts` at `radius` on a simulated device.
+pub fn pcf_gpu<const D: usize>(
+    dev: &mut Device,
+    pts: &SoaPoints<D>,
+    radius: f32,
+    plan: PairwisePlan,
+) -> PcfResult {
+    let input = pts.upload(dev);
+    let lc = pair_launch(input.n, plan.block_size);
+    let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+    let run = launch_pairwise(
+        dev,
+        input,
+        Euclidean,
+        CountWithinRadius { radius, out },
+        plan,
+        PairScope::HalfPairs,
+    );
+    // Type-I: per-thread register outputs are transmitted back to the
+    // host and summed there (§IV-C "transmit such data back to host when
+    // kernel exits").
+    let count = dev.u64_slice(out).iter().sum();
+    PcfResult { count, run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use tbs_core::analytic::profiles::InputPath;
+    use tbs_core::kernels::IntraMode;
+
+    #[test]
+    fn gpu_pcf_matches_cpu_reference() {
+        let pts = tbs_datagen::uniform_points::<3>(512, 100.0, 23);
+        let expect = tbs_cpu::pcf_reference(&pts, 25.0);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let got = pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(128));
+        assert_eq!(got.count, expect);
+        assert!(got.run.timing.seconds > 0.0);
+    }
+
+    #[test]
+    fn all_input_paths_agree_with_cpu() {
+        let pts = tbs_datagen::uniform_points::<3>(384, 100.0, 29);
+        let expect = tbs_cpu::pcf_reference(&pts, 40.0);
+        for input in [
+            InputPath::Naive,
+            InputPath::ShmShm,
+            InputPath::RegisterShm,
+            InputPath::RegisterRoc,
+            InputPath::Shuffle,
+        ] {
+            let mut dev = Device::new(DeviceConfig::titan_x());
+            let plan = PairwisePlan { input, intra: IntraMode::LoadBalanced, block_size: 128 };
+            let got = pcf_gpu(&mut dev, &pts, 40.0, plan);
+            assert_eq!(got.count, expect, "{input:?}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The radial distribution function g(r) — "a normalized form of SDH"
+//! (paper §III-B, citing Levine et al.'s GPU RDF work).
+//!
+//! For a homogeneous system of `N` points at density ρ in volume `V`,
+//! `g(r) = h(r) / (N/2 · 4π r² Δr · ρ)` where `h(r)` is the SDH bucket
+//! count at radius `r`. g(r) → 1 for uncorrelated (uniform) data at
+//! radii far from the box scale.
+
+use crate::driver::PairwisePlan;
+use crate::sdh::{sdh_gpu, SdhOutputMode, SdhResult};
+use gpu_sim::Device;
+use tbs_core::histogram::{Histogram, HistogramSpec};
+use tbs_core::point::SoaPoints;
+
+/// An RDF curve: bucket mid-radii and g(r) values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rdf {
+    /// Mid-point radius of each bucket.
+    pub r: Vec<f64>,
+    /// g(r) per bucket.
+    pub g: Vec<f64>,
+    /// The SDH it was derived from.
+    pub histogram: Histogram,
+}
+
+/// Normalize an SDH into g(r) for `n` points in a box of volume `volume`.
+pub fn normalize_sdh(hist: &Histogram, spec: HistogramSpec, n: u64, volume: f64) -> Rdf {
+    let rho = n as f64 / volume;
+    let dr = spec.bucket_width() as f64;
+    let mut r = Vec::with_capacity(hist.counts().len());
+    let mut g = Vec::with_capacity(hist.counts().len());
+    for (i, &c) in hist.counts().iter().enumerate() {
+        let rmid = (i as f64 + 0.5) * dr;
+        // Ideal-gas pair count in the shell [r, r+dr): N/2 · ρ · 4πr²dr.
+        let ideal = n as f64 / 2.0 * rho * 4.0 * std::f64::consts::PI * rmid * rmid * dr;
+        r.push(rmid);
+        g.push(if ideal > 0.0 { c as f64 / ideal } else { 0.0 });
+    }
+    Rdf { r, g, histogram: hist.clone() }
+}
+
+/// Compute the RDF under periodic boundary conditions (minimum-image
+/// convention): the standard molecular-dynamics analysis. The histogram
+/// range should not exceed `box_edge / 2` — beyond the half-box the
+/// minimum-image shell volume is no longer `4πr²Δr`.
+pub fn rdf_gpu_periodic(
+    dev: &mut Device,
+    pts: &SoaPoints<3>,
+    spec: HistogramSpec,
+    box_edge: f32,
+    plan: PairwisePlan,
+) -> (Rdf, SdhResult) {
+    assert!(
+        spec.max_distance <= box_edge / 2.0 + 1e-4,
+        "periodic RDF histograms must stop at half the box edge"
+    );
+    let dist = tbs_core::distance::PeriodicEuclidean::new(box_edge);
+    let sdh = crate::sdh::sdh_gpu_with(dev, pts, dist, spec, plan, SdhOutputMode::Privatized);
+    let volume = (box_edge as f64).powi(3);
+    let mut rdf = normalize_sdh(&sdh.histogram, spec, pts.len() as u64, volume);
+    // Minimum-image distances in 3-D reach up to (√3/2)·L along box
+    // diagonals; everything past the histogram range clamps into the
+    // final bucket. That bucket is not a physical shell — drop it from
+    // the curve, as MD analysis codes conventionally do.
+    rdf.r.pop();
+    rdf.g.pop();
+    (rdf, sdh)
+}
+
+/// Compute the RDF of a 3-D point set on the simulated GPU (SDH with the
+/// paper's best Type-II configuration, then host-side normalization).
+pub fn rdf_gpu(
+    dev: &mut Device,
+    pts: &SoaPoints<3>,
+    spec: HistogramSpec,
+    box_edge: f32,
+    plan: PairwisePlan,
+) -> (Rdf, SdhResult) {
+    let sdh = sdh_gpu(dev, pts, spec, plan, SdhOutputMode::Privatized);
+    let volume = (box_edge as f64).powi(3);
+    let rdf = normalize_sdh(&sdh.histogram, spec, pts.len() as u64, volume);
+    (rdf, sdh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    #[test]
+    fn uniform_gas_has_unit_g_at_small_radii() {
+        // For uniform data, g(r) ≈ 1 at radii well below the box edge
+        // (no boundary truncation yet).
+        let edge = 100.0f32;
+        let pts = tbs_datagen::uniform_points::<3>(4096, edge, 47);
+        let spec = HistogramSpec::new(200, tbs_datagen::box_diagonal(edge, 3));
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128));
+        // Buckets covering r in [2, 8): above the r→0 shot noise, and
+        // small enough that the finite-box shell truncation (≈ 3r/2L
+        // relative loss without periodic boundaries) stays below ~10 %.
+        let w = spec.bucket_width();
+        let lo = (2.0 / w) as usize;
+        let hi = (8.0 / w) as usize;
+        let mean: f64 = rdf.g[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        assert!((0.85..1.1).contains(&mean), "mean g(r) in [2,8) = {mean}");
+    }
+
+    #[test]
+    fn g_rolls_off_beyond_the_box_scale() {
+        let edge = 50.0f32;
+        let pts = tbs_datagen::uniform_points::<3>(2048, edge, 53);
+        let spec = HistogramSpec::new(100, tbs_datagen::box_diagonal(edge, 3));
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64));
+        // Near the diagonal there are almost no pairs: g ≈ 0.
+        let tail: f64 = rdf.g.iter().rev().take(5).sum::<f64>() / 5.0;
+        assert!(tail < 0.2, "tail g = {tail}");
+    }
+
+    #[test]
+    fn clustered_data_shows_short_range_structure() {
+        let edge = 100.0f32;
+        let pts = tbs_datagen::clustered_points::<3>(2048, edge, 8, 2.0, 59);
+        let spec = HistogramSpec::new(200, tbs_datagen::box_diagonal(edge, 3));
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64));
+        // Short-range g(r) must be strongly enhanced vs. uniform.
+        let w = spec.bucket_width();
+        let near = rdf.g[(1.0 / w) as usize..(4.0 / w) as usize]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(near > 5.0, "clustered short-range g = {near}");
+    }
+
+    #[test]
+    fn periodic_rdf_is_flat_for_uniform_gas() {
+        // With minimum-image distances there is no boundary truncation:
+        // g(r) ≈ 1 all the way to L/2 for an ideal gas.
+        let edge = 60.0f32;
+        let pts = tbs_datagen::uniform_points::<3>(4096, edge, 71);
+        let spec = HistogramSpec::new(60, edge / 2.0);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let (rdf, _) =
+            rdf_gpu_periodic(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128));
+        // Skip the first few shot-noise buckets; everything else ≈ 1.
+        for (i, &g) in rdf.g.iter().enumerate().skip(8) {
+            assert!((0.8..1.2).contains(&g), "bucket {i}: g = {g}");
+        }
+        let mean: f64 = rdf.g[8..].iter().sum::<f64>() / (rdf.g.len() - 8) as f64;
+        assert!((0.95..1.05).contains(&mean), "mean g = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "half the box edge")]
+    fn periodic_rdf_rejects_over_long_histograms() {
+        let pts = tbs_datagen::uniform_points::<3>(64, 10.0, 1);
+        let spec = HistogramSpec::new(10, 9.0);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let _ = rdf_gpu_periodic(&mut dev, &pts, spec, 10.0, PairwisePlan::register_shm(32));
+    }
+
+    #[test]
+    fn normalization_math() {
+        // One count in a known shell must produce exactly 1/ideal.
+        let spec = HistogramSpec::new(10, 10.0);
+        let mut h = Histogram::zeroed(10);
+        h.add(3);
+        let rdf = normalize_sdh(&h, spec, 100, 1000.0);
+        let rmid = 3.5;
+        let ideal = 50.0 * (100.0 / 1000.0) * 4.0 * std::f64::consts::PI * rmid * rmid * 1.0;
+        assert!((rdf.g[3] - 1.0 / ideal).abs() < 1e-12);
+        assert_eq!(rdf.r[3], 3.5);
+    }
+}

@@ -1,0 +1,193 @@
+//! The spatial distance histogram (SDH) — the paper's Type-II example
+//! application (§IV-D): all pairwise Euclidean distances binned into a
+//! histogram small enough for shared memory.
+
+use crate::driver::{launch_pairwise, PairwisePlan};
+use gpu_sim::{Device, KernelRun};
+use tbs_core::distance::Euclidean;
+use tbs_core::histogram::{Histogram, HistogramSpec};
+use tbs_core::kernels::{pair_launch, HistogramReduceKernel, PairScope};
+use tbs_core::output::{GlobalHistogramAction, SharedHistogramAction};
+use tbs_core::point::SoaPoints;
+
+/// Output-stage strategy for the SDH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdhOutputMode {
+    /// The paper's privatization technique (Algorithm 3 + Figure 3): a
+    /// private shared-memory copy per block, then a reduction kernel.
+    Privatized,
+    /// Straight atomics on the final histogram in global memory (the
+    /// un-optimized output stage the `*-Out` kernels improve on).
+    GlobalAtomics,
+}
+
+/// Result of a GPU SDH computation.
+#[derive(Debug, Clone)]
+pub struct SdhResult {
+    /// The final histogram.
+    pub histogram: Histogram,
+    /// Profile of the pairwise kernel.
+    pub pair_run: KernelRun,
+    /// Profile of the reduction kernel (privatized mode only).
+    pub reduce_run: Option<KernelRun>,
+}
+
+impl SdhResult {
+    /// Total simulated GPU time (pair stage + reduction).
+    pub fn total_seconds(&self) -> f64 {
+        self.pair_run.timing.seconds
+            + self.reduce_run.as_ref().map_or(0.0, |r| r.timing.seconds)
+    }
+}
+
+/// Compute the SDH of `pts` with the standard Euclidean distance.
+pub fn sdh_gpu<const D: usize>(
+    dev: &mut Device,
+    pts: &SoaPoints<D>,
+    spec: HistogramSpec,
+    plan: PairwisePlan,
+    output: SdhOutputMode,
+) -> SdhResult {
+    sdh_gpu_with(dev, pts, Euclidean, spec, plan, output)
+}
+
+/// Compute a distance histogram under an arbitrary distance function
+/// (e.g. [`tbs_core::distance::PeriodicEuclidean`] for minimum-image
+/// molecular-dynamics analysis).
+pub fn sdh_gpu_with<const D: usize, F>(
+    dev: &mut Device,
+    pts: &SoaPoints<D>,
+    dist: F,
+    spec: HistogramSpec,
+    plan: PairwisePlan,
+    output: SdhOutputMode,
+) -> SdhResult
+where
+    F: tbs_core::distance::DistanceKernel<D> + Copy,
+{
+    let input = pts.upload(dev);
+    let lc = pair_launch(input.n, plan.block_size);
+    match output {
+        SdhOutputMode::Privatized => {
+            let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+            let pair_run = launch_pairwise(
+                dev,
+                input,
+                dist,
+                SharedHistogramAction { spec, private },
+                plan,
+                PairScope::HalfPairs,
+            );
+            let out = dev.alloc_u64_zeroed(spec.buckets as usize);
+            let reduce = HistogramReduceKernel {
+                private,
+                out,
+                buckets: spec.buckets,
+                copies: lc.grid_dim,
+            };
+            let reduce_run = dev.launch(&reduce, reduce.launch_config(256));
+            SdhResult {
+                histogram: Histogram::from_counts(dev.u64_slice(out).to_vec()),
+                pair_run,
+                reduce_run: Some(reduce_run),
+            }
+        }
+        SdhOutputMode::GlobalAtomics => {
+            let out = dev.alloc_u64_zeroed(spec.buckets as usize);
+            let pair_run = launch_pairwise(
+                dev,
+                input,
+                dist,
+                GlobalHistogramAction { spec, out },
+                plan,
+                PairScope::HalfPairs,
+            );
+            SdhResult {
+                histogram: Histogram::from_counts(dev.u64_slice(out).to_vec()),
+                pair_run,
+                reduce_run: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use tbs_core::analytic::profiles::InputPath;
+    use tbs_core::kernels::IntraMode;
+
+    fn spec() -> HistogramSpec {
+        HistogramSpec::new(128, tbs_datagen::box_diagonal(100.0, 3))
+    }
+
+    #[test]
+    fn privatized_sdh_matches_cpu_reference() {
+        let pts = tbs_datagen::uniform_points::<3>(512, 100.0, 31);
+        let expect = tbs_cpu::sdh_reference(&pts, spec());
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let got = sdh_gpu(
+            &mut dev,
+            &pts,
+            spec(),
+            PairwisePlan::register_shm(64),
+            SdhOutputMode::Privatized,
+        );
+        assert_eq!(got.histogram, expect);
+        assert!(got.reduce_run.is_some());
+        assert!(got.total_seconds() > got.pair_run.timing.seconds);
+    }
+
+    #[test]
+    fn global_atomics_sdh_matches_too() {
+        let pts = tbs_datagen::uniform_points::<3>(384, 100.0, 37);
+        let expect = tbs_cpu::sdh_reference(&pts, spec());
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let got = sdh_gpu(
+            &mut dev,
+            &pts,
+            spec(),
+            PairwisePlan::register_shm(128),
+            SdhOutputMode::GlobalAtomics,
+        );
+        assert_eq!(got.histogram, expect);
+        assert!(got.reduce_run.is_none());
+    }
+
+    #[test]
+    fn every_variant_and_output_mode_agrees() {
+        let pts = tbs_datagen::uniform_points::<3>(256, 100.0, 41);
+        let expect = tbs_cpu::sdh_reference(&pts, spec());
+        for input in [InputPath::Naive, InputPath::RegisterRoc, InputPath::Shuffle] {
+            for output in [SdhOutputMode::Privatized, SdhOutputMode::GlobalAtomics] {
+                let mut dev = Device::new(DeviceConfig::titan_x());
+                let plan =
+                    PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
+                let got = sdh_gpu(&mut dev, &pts, spec(), plan, output);
+                assert_eq!(got.histogram, expect, "{input:?}/{output:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn privatization_beats_global_atomics_in_simulated_time() {
+        // The §IV-D headline: the privatized output stage is ~an order of
+        // magnitude faster.
+        let pts = tbs_datagen::uniform_points::<3>(2048, 100.0, 43);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let plan = PairwisePlan::register_shm(128);
+        let privatized =
+            sdh_gpu(&mut dev, &pts, spec(), plan, SdhOutputMode::Privatized).total_seconds();
+        let mut dev2 = Device::new(DeviceConfig::titan_x());
+        let global =
+            sdh_gpu(&mut dev2, &pts, spec(), plan, SdhOutputMode::GlobalAtomics).total_seconds();
+        // At this test size (n = 2048, 16 blocks) the grid cannot even
+        // fill the 24 SMs, which compresses the gap; the paper-scale
+        // ~10× ratio is reproduced by the fig4 bench at full occupancy.
+        assert!(
+            global > 3.0 * privatized,
+            "global atomics {global:.6}s vs privatized {privatized:.6}s"
+        );
+    }
+}

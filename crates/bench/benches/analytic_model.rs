@@ -1,0 +1,48 @@
+//! Speed of the closed-form prediction path: a full paper-scale
+//! (N = 2×10⁶) kernel prediction should cost microseconds-to-milliseconds
+//! of host time — that is what makes the figure sweeps instant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceConfig;
+use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath, Workload};
+use tbs_core::plan::{choose_plan, ProblemOutput, ProblemSpec};
+
+fn bench_prediction(c: &mut Criterion) {
+    let cfg = DeviceConfig::titan_x();
+    let mut g = c.benchmark_group("analytic_predict");
+    g.sample_size(20);
+    for n in [128 * 1024u32, 2_000_896] {
+        let wl = Workload { n, b: 1024, dims: 3, dist_cost: 7 };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &wl, |b, wl| {
+            b.iter(|| {
+                predicted_run(
+                    wl,
+                    &KernelSpec::new(
+                        InputPath::RegisterShm,
+                        OutputPath::SharedHistogram { buckets: 4096 },
+                    ),
+                    &cfg,
+                )
+                .seconds()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let cfg = DeviceConfig::titan_x();
+    let p = ProblemSpec {
+        n: 512 * 1024,
+        dims: 3,
+        dist_cost: 7,
+        output: ProblemOutput::Histogram { buckets: 4096 },
+    };
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.bench_function("choose_plan_sdh_512k", |b| b.iter(|| choose_plan(&p, &cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_planner);
+criterion_main!(benches);

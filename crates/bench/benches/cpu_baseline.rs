@@ -1,0 +1,89 @@
+//! Wall-clock benchmarks of the real multi-core CPU baseline: the
+//! scheduling-mode study of the paper's §IV-D on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbs_core::HistogramSpec;
+use tbs_cpu::{pcf_parallel, sdh_blocked, sdh_parallel, BlockedSdhConfig, CpuSdhConfig, Schedule};
+use tbs_datagen::{box_diagonal, uniform_points};
+
+fn bench_sdh_schedules(c: &mut Criterion) {
+    let n = 4096usize;
+    let pts = uniform_points::<3>(n, 100.0, 1);
+    let spec = HistogramSpec::new(1024, box_diagonal(100.0, 3));
+    let pairs = (n * (n - 1) / 2) as u64;
+    let mut g = c.benchmark_group("cpu_sdh_schedule");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    for (name, schedule) in [
+        ("static", Schedule::static_default()),
+        ("dynamic", Schedule::dynamic_default()),
+        ("guided", Schedule::Guided),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &schedule, |b, &s| {
+            b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: 4, schedule: s }))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sdh_thread_scaling(c: &mut Criterion) {
+    let n = 4096usize;
+    let pts = uniform_points::<3>(n, 100.0, 2);
+    let spec = HistogramSpec::new(1024, box_diagonal(100.0, 3));
+    let mut g = c.benchmark_group("cpu_sdh_threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: t, schedule: Schedule::Guided }))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pcf(c: &mut Criterion) {
+    let n = 8192usize;
+    let pts = uniform_points::<3>(n, 100.0, 3);
+    let pairs = (n * (n - 1) / 2) as u64;
+    let mut g = c.benchmark_group("cpu_pcf");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    g.bench_function("guided_4t", |b| {
+        b.iter(|| pcf_parallel(&pts, 25.0, 4, Schedule::Guided))
+    });
+    g.finish();
+}
+
+fn bench_sdh_blocked_vs_rowwise(c: &mut Criterion) {
+    // The paper's tiling insight applied to CPU caches: tile × tile
+    // panels vs a plain row-wise triangle.
+    let n = 8192usize;
+    let pts = uniform_points::<3>(n, 100.0, 4);
+    let spec = HistogramSpec::new(1024, box_diagonal(100.0, 3));
+    let mut g = c.benchmark_group("cpu_sdh_traversal");
+    g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+    g.sample_size(10);
+    g.bench_function("rowwise", |b| {
+        b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: 1, schedule: Schedule::Guided }))
+    });
+    for tile in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("blocked", tile), &tile, |b, &t| {
+            b.iter(|| {
+                sdh_blocked(
+                    &pts,
+                    spec,
+                    BlockedSdhConfig { threads: 1, tile: t, schedule: Schedule::Guided },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sdh_schedules,
+    bench_sdh_thread_scaling,
+    bench_pcf,
+    bench_sdh_blocked_vs_rowwise
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the workspace's primitives: distance functions,
+//! histogram reduction, data generation, contention estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tbs_core::analytic::expected_max_multiplicity;
+use tbs_core::distance::{DistanceKernel, Euclidean, GaussianRbf};
+use tbs_core::Histogram;
+use tbs_datagen::{clustered_points, uniform_points};
+
+fn bench_distance_host(c: &mut Criterion) {
+    let pts = uniform_points::<3>(1024, 100.0, 9);
+    let mut g = c.benchmark_group("distance_host");
+    g.throughput(Throughput::Elements(1024 * 1024));
+    g.sample_size(20);
+    g.bench_function("euclidean_1m", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1024 {
+                let a = pts.point(i);
+                for j in 0..1024 {
+                    let p = pts.point(j);
+                    acc += <Euclidean as DistanceKernel<3>>::eval_host(&Euclidean, &a, &p);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("rbf_1m", |b| {
+        let k = GaussianRbf::new(5.0);
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1024 {
+                let a = pts.point(i);
+                for j in 0..1024 {
+                    let p = pts.point(j);
+                    acc += <GaussianRbf as DistanceKernel<3>>::eval_host(&k, &a, &p);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram_merge(c: &mut Criterion) {
+    let copies: Vec<Histogram> =
+        (0..64).map(|s| Histogram::from_counts(vec![s as u64; 4096])).collect();
+    let mut g = c.benchmark_group("histogram");
+    g.sample_size(20);
+    g.bench_function("merge_64x4096", |b| {
+        b.iter(|| {
+            let mut out = Histogram::zeroed(4096);
+            for h in &copies {
+                out.merge(h);
+            }
+            out.total()
+        })
+    });
+    g.finish();
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    g.bench_function("uniform_100k", |b| b.iter(|| uniform_points::<3>(100_000, 100.0, 1)));
+    g.bench_function("clustered_100k", |b| {
+        b.iter(|| clustered_points::<3>(100_000, 100.0, 16, 2.0, 1))
+    });
+    g.finish();
+}
+
+fn bench_contention_estimator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(20);
+    g.bench_function("expected_max_multiplicity_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 1..=5000u32 {
+                acc += expected_max_multiplicity(h);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_host,
+    bench_histogram_merge,
+    bench_datagen,
+    bench_contention_estimator
+);
+criterion_main!(benches);

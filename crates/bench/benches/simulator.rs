@@ -1,0 +1,59 @@
+//! Host throughput of the functional SIMT simulator: lane-operations per
+//! second executing the paper's kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{pcf_gpu, sdh_gpu, PairwisePlan, SdhOutputMode};
+use tbs_core::analytic::InputPath;
+use tbs_core::kernels::IntraMode;
+use tbs_core::HistogramSpec;
+use tbs_datagen::{box_diagonal, uniform_points};
+
+fn bench_pcf_kernels(c: &mut Criterion) {
+    let n = 1024usize;
+    let pts = uniform_points::<3>(n, 100.0, 5);
+    let pairs = (n * (n - 1) / 2) as u64;
+    let mut g = c.benchmark_group("sim_pcf_kernel");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    for input in [
+        InputPath::Naive,
+        InputPath::ShmShm,
+        InputPath::RegisterShm,
+        InputPath::RegisterRoc,
+        InputPath::Shuffle,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(input.name()), &input, |b, &i| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceConfig::titan_x());
+                let plan = PairwisePlan { input: i, intra: IntraMode::Regular, block_size: 128 };
+                pcf_gpu(&mut dev, &pts, 25.0, plan).count
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sdh_functional(c: &mut Criterion) {
+    let n = 1024usize;
+    let pts = uniform_points::<3>(n, 100.0, 6);
+    let spec = HistogramSpec::new(512, box_diagonal(100.0, 3));
+    let mut g = c.benchmark_group("sim_sdh");
+    g.sample_size(10);
+    for (name, mode) in
+        [("privatized", SdhOutputMode::Privatized), ("global", SdhOutputMode::GlobalAtomics)]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceConfig::titan_x());
+                sdh_gpu(&mut dev, &pts, spec, PairwisePlan::register_shm(128), m)
+                    .histogram
+                    .total()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pcf_kernels, bench_sdh_functional);
+criterion_main!(benches);

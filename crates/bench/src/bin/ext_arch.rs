@@ -1,0 +1,6 @@
+//! Extension study: the kernel family across GPU generations.
+use tbs_bench::experiments::ext_arch;
+
+fn main() {
+    print!("{}", ext_arch::report(512 * 1024));
+}

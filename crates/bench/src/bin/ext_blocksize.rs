@@ -1,0 +1,7 @@
+//! Extension study: block-size optimization (the paper's B = 1024).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::ext_blocksize;
+
+fn main() {
+    print!("{}", ext_blocksize::report(1024 * 1024, &DeviceConfig::titan_x()));
+}

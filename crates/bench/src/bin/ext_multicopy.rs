@@ -1,0 +1,6 @@
+//! Extension study: multiple private histogram copies per block.
+use tbs_bench::experiments::ext_multicopy;
+
+fn main() {
+    print!("{}", ext_multicopy::report(4096, 256));
+}

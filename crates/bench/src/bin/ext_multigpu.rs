@@ -1,0 +1,11 @@
+//! Extension study: multi-GPU SDH decomposition (functional).
+use tbs_bench::experiments::ext_multigpu;
+
+fn main() {
+    print!("{}", ext_multigpu::report(8192, 64));
+    println!();
+    print!(
+        "{}",
+        ext_multigpu::report_predicted(2_000_896, &gpu_sim::DeviceConfig::titan_x())
+    );
+}

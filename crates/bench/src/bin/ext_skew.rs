@@ -1,0 +1,6 @@
+//! Extension study: SDH atomic contention under data skew (functional).
+use tbs_bench::experiments::ext_skew;
+
+fn main() {
+    print!("{}", ext_skew::report(4096, 1024, 128));
+}

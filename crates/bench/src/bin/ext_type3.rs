@@ -1,0 +1,6 @@
+//! Extension study: Type-III join output allocation (functional).
+use tbs_bench::experiments::ext_type3;
+
+fn main() {
+    print!("{}", ext_type3::report(2048, 64));
+}

@@ -1,0 +1,9 @@
+//! Regenerate the paper's Figure 2 (2-PCF kernel comparison).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::fig2;
+use tbs_datagen::paper_sweep;
+
+fn main() {
+    let cfg = DeviceConfig::titan_x();
+    print!("{}", fig2::report(&paper_sweep(10, 1024), &cfg));
+}

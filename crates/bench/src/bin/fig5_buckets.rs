@@ -1,0 +1,7 @@
+//! Regenerate the paper's Figure 5 (Reg-ROC-Out vs histogram size).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::fig5;
+
+fn main() {
+    print!("{}", fig5::report(fig5::FIG5_N, &DeviceConfig::titan_x()));
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Figure 7 (intra-block load balancing).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::fig7;
+
+fn main() {
+    print!("{}", fig7::report(&DeviceConfig::titan_x()));
+}

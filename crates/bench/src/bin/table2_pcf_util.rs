@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table II (2-PCF resource utilization).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::table2_report(512 * 1024, &DeviceConfig::titan_x()));
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table III (SDH achieved memory bandwidth).
+use gpu_sim::DeviceConfig;
+use tbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::table3_report(512 * 1024, &DeviceConfig::titan_x()));
+}

@@ -1,0 +1,136 @@
+//! **Extension: data-skew study** — atomic contention under clustered
+//! inputs.
+//!
+//! The paper evaluates on uniform data only; its Figure-5 discussion
+//! observes that contention appears when many threads compete for few
+//! output elements. Clustered (Gaussian-mixture) inputs produce exactly
+//! that: most pairwise distances collapse into a few histogram buckets.
+//! This *functional* study measures real same-address serialization on
+//! the simulator for uniform vs clustered data.
+
+use crate::table::{fmt_secs, Table};
+use gpu_sim::{Device, DeviceConfig};
+use tbs_core::histogram::HistogramSpec;
+use tbs_core::kernels::{pair_launch, IntraMode, PairScope, RegisterShmKernel};
+use tbs_core::output::SharedHistogramAction;
+use tbs_core::{Euclidean, SoaPoints};
+
+/// Measured contention for one dataset.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    /// Average same-address serialization degree per shared atomic.
+    pub contention: f64,
+    /// Simulated kernel seconds.
+    pub seconds: f64,
+    /// Fraction of all counts landing in the busiest bucket.
+    pub peak_bucket_share: f64,
+}
+
+/// Run the functional SDH kernel on one dataset and measure contention.
+pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Row {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let input = pts.upload(&mut dev);
+    let lc = pair_launch(input.n, block);
+    let spec = HistogramSpec::new(buckets, tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3));
+    let private = dev.alloc_u32_zeroed((lc.grid_dim * buckets) as usize);
+    let k = RegisterShmKernel::new(
+        input,
+        Euclidean,
+        SharedHistogramAction { spec, private },
+        block,
+        PairScope::HalfPairs,
+        IntraMode::Regular,
+    );
+    let run = dev.launch(&k, lc);
+    let counts = dev.u32_slice(private);
+    let mut per_bucket = vec![0u64; buckets as usize];
+    for (i, &c) in counts.iter().enumerate() {
+        per_bucket[i % buckets as usize] += c as u64;
+    }
+    let total: u64 = per_bucket.iter().sum();
+    let peak = per_bucket.iter().copied().max().unwrap_or(0);
+    Row {
+        label: label.to_string(),
+        contention: run.tally.shared_atomic_contention(),
+        seconds: run.timing.seconds,
+        peak_bucket_share: peak as f64 / total.max(1) as f64,
+    }
+}
+
+/// Compare uniform vs increasingly-tight clustered data.
+pub fn series(n: usize, buckets: u32, block: u32) -> Vec<Row> {
+    let mut rows = vec![measure(
+        &tbs_datagen::uniform_points::<3>(n, tbs_datagen::DEFAULT_BOX, 7),
+        "uniform",
+        buckets,
+        block,
+    )];
+    for (clusters, spread) in [(8usize, 5.0f32), (4, 2.0), (1, 1.0)] {
+        let pts = tbs_datagen::clustered_points::<3>(
+            n,
+            tbs_datagen::DEFAULT_BOX,
+            clusters,
+            spread,
+            7,
+        );
+        rows.push(measure(
+            &pts,
+            &format!("clustered k={clusters} sigma={spread}"),
+            buckets,
+            block,
+        ));
+    }
+    rows
+}
+
+/// Render the skew-study report.
+pub fn report(n: usize, buckets: u32, block: u32) -> String {
+    let rows = series(n, buckets, block);
+    let mut out = format!(
+        "Extension — SDH atomic contention under data skew\n\
+         (functional simulation, N = {n}, {buckets} buckets, B = {block})\n\n"
+    );
+    let mut t = Table::new(&["dataset", "contention", "peak-bucket share", "sim time"]);
+    for r in &rows {
+        t.row(&[
+            r.label.clone(),
+            format!("{:.2}x", r.contention),
+            format!("{:.0}%", r.peak_bucket_share * 100.0),
+            fmt_secs(r.seconds),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nskewed inputs concentrate distances into few buckets, raising the\n\
+         same-address serialization of the privatized output's shared atomics —\n\
+         the contention regime the paper only reaches via tiny histograms.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_raises_contention_and_time() {
+        let rows = series(1024, 256, 64);
+        let uniform = &rows[0];
+        let tightest = rows.last().unwrap();
+        assert!(
+            tightest.contention > uniform.contention * 1.5,
+            "contention {:.2} vs uniform {:.2}",
+            tightest.contention,
+            uniform.contention
+        );
+        assert!(tightest.peak_bucket_share > uniform.peak_bucket_share);
+        assert!(tightest.seconds > uniform.seconds);
+    }
+
+    #[test]
+    fn uniform_contention_is_mild() {
+        let rows = series(512, 256, 64);
+        assert!(rows[0].contention < 2.5, "{}", rows[0].contention);
+    }
+}

@@ -1,0 +1,134 @@
+//! **Figure 2** — "Performance of different GPU-based algorithms for
+//! computing 2-PCF: total running time and speedup over naive algorithm."
+//!
+//! Workload: 2-point correlation function, 3-D uniform points, N from
+//! 512 to 2 M, 1024 threads per block (§IV-B). Series: Naive, SHM-SHM,
+//! Register-SHM, Register-ROC.
+//!
+//! Paper's reported shape: quadratic growth; Register-SHM best (avg
+//! speedup 5.5×, max 6×); SHM-SHM close behind (5.3×); Register-ROC
+//! least improved (4.7×, max 5×).
+
+use crate::table::{fmt_secs, fmt_x, Table};
+use crate::{geomean, paper_workload};
+use gpu_sim::DeviceConfig;
+use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
+
+/// The four kernels of Figure 2, in plot order.
+pub const KERNELS: [InputPath; 4] =
+    [InputPath::Naive, InputPath::ShmShm, InputPath::RegisterShm, InputPath::RegisterRoc];
+
+/// One N point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub n: u32,
+    /// Seconds per kernel, indexed like [`KERNELS`].
+    pub seconds: [f64; 4],
+}
+
+impl Row {
+    /// Speedup of kernel `k` over Naive.
+    pub fn speedup(&self, k: usize) -> f64 {
+        self.seconds[0] / self.seconds[k]
+    }
+}
+
+/// Predict the Figure-2 series over the given sizes.
+pub fn series(sizes: &[u32], cfg: &DeviceConfig) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let wl = paper_workload(n);
+            let seconds = std::array::from_fn(|k| {
+                predicted_run(&wl, &KernelSpec::new(KERNELS[k], OutputPath::RegisterCount), cfg)
+                    .seconds()
+            });
+            Row { n, seconds }
+        })
+        .collect()
+}
+
+/// Render the full Figure-2 report.
+pub fn report(sizes: &[u32], cfg: &DeviceConfig) -> String {
+    let rows = series(sizes, cfg);
+    let mut out = String::from(
+        "Figure 2 — 2-PCF: total running time and speedup over the naive kernel\n\
+         (uniform 3-D points, B = 1024, Euclidean distance)\n\n",
+    );
+    let mut t = Table::new(&["N", "Naive", "SHM-SHM", "Register-SHM", "Register-ROC"]);
+    for r in &rows {
+        t.row(&[
+            r.n.to_string(),
+            fmt_secs(r.seconds[0]),
+            fmt_secs(r.seconds[1]),
+            fmt_secs(r.seconds[2]),
+            fmt_secs(r.seconds[3]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut s = Table::new(&["N", "SHM-SHM", "Register-SHM", "Register-ROC"]);
+    for r in &rows {
+        s.row(&[
+            r.n.to_string(),
+            fmt_x(r.speedup(1)),
+            fmt_x(r.speedup(2)),
+            fmt_x(r.speedup(3)),
+        ]);
+    }
+    out.push_str(&s.render());
+    // Average over the saturated regime the paper plots (N ≥ 400 K).
+    let avg = |k: usize| {
+        geomean(
+            &rows.iter().filter(|r| r.n >= 100_000).map(|r| r.speedup(k)).collect::<Vec<_>>(),
+        )
+    };
+    out.push_str(&format!(
+        "\naverage speedup over naive:  SHM-SHM {}  Register-SHM {}  Register-ROC {}\n\
+         paper:                       SHM-SHM 5.3x Register-SHM 5.5x Register-ROC 4.7x\n",
+        fmt_x(avg(1)),
+        fmt_x(avg(2)),
+        fmt_x(avg(3)),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbs_datagen::paper_sweep;
+
+    #[test]
+    fn shape_matches_paper_claims() {
+        let cfg = DeviceConfig::titan_x();
+        let sizes = paper_sweep(6, 1024);
+        let rows = series(&sizes, &cfg);
+        // Quadratic growth once the device is saturated (small N cannot
+        // even fill the grid — the paper's log-log plot flattens there
+        // too).
+        let big: Vec<&Row> = rows.iter().filter(|r| r.n >= 100_000).collect();
+        let (first, last) = (big[0], big[big.len() - 1]);
+        let growth = last.seconds[2] / first.seconds[2];
+        let expected = (last.n as f64 / first.n as f64).powi(2);
+        assert!(
+            growth > expected * 0.3 && growth < expected * 3.0,
+            "growth {growth} vs quadratic {expected}"
+        );
+        // At paper scale (≥ 400 K), ordering + factors.
+        for r in rows.iter().filter(|r| r.n >= 400_000) {
+            let (shm, reg, roc) = (r.speedup(1), r.speedup(2), r.speedup(3));
+            assert!(reg >= shm * 0.99, "Register-SHM must win: {reg} vs {shm} at {}", r.n);
+            assert!(roc < reg, "Register-ROC least improved at {}", r.n);
+            assert!((3.0..9.0).contains(&reg), "Register-SHM speedup {reg} at N={}", r.n);
+            assert!((2.5..8.0).contains(&roc), "Register-ROC speedup {roc} at N={}", r.n);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let cfg = DeviceConfig::titan_x();
+        let rep = report(&[102_400, 409_600], &cfg);
+        assert!(rep.contains("Register-SHM"));
+        assert!(rep.contains("average speedup"));
+    }
+}

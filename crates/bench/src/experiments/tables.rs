@@ -1,0 +1,193 @@
+//! **Tables II, III, IV** — profiler-style reports.
+//!
+//! * Table II: utilization of GPU resources for the 2-PCF kernels
+//!   (arithmetic / control-flow / bottleneck memory unit).
+//! * Table III: achieved bandwidth of memory units for the SDH kernels
+//!   (shared / L2 / data cache / global load).
+//! * Table IV: utilization of GPU resources for the SDH kernels.
+
+use crate::experiments::fig4::SDH_BUCKETS;
+use crate::paper_workload;
+use gpu_sim::{DeviceConfig, KernelProfile};
+use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
+
+/// Profile the four 2-PCF kernels of Table II at size `n`.
+pub fn table2_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile)> {
+    let wl = paper_workload(n);
+    [
+        ("Naive", InputPath::Naive),
+        ("SHM-SHM", InputPath::ShmShm),
+        ("Reg-SHM", InputPath::RegisterShm),
+        ("Reg-ROC", InputPath::RegisterRoc),
+    ]
+    .into_iter()
+    .map(|(label, input)| {
+        let run = predicted_run(&wl, &KernelSpec::new(input, OutputPath::RegisterCount), cfg);
+        (label.to_string(), run.profile)
+    })
+    .collect()
+}
+
+/// Profile the four SDH kernels of Tables III/IV at size `n`.
+pub fn sdh_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile)> {
+    let wl = paper_workload(n);
+    let priv_out = OutputPath::SharedHistogram { buckets: SDH_BUCKETS };
+    let glob_out = OutputPath::GlobalHistogram { buckets: SDH_BUCKETS };
+    [
+        ("Naive", InputPath::Naive, glob_out),
+        ("Naive-Out", InputPath::Naive, priv_out),
+        ("Reg-SHM-Out", InputPath::RegisterShm, priv_out),
+        ("Reg-ROC-Out", InputPath::RegisterRoc, priv_out),
+    ]
+    .into_iter()
+    .map(|(label, input, output)| {
+        let run = predicted_run(&wl, &KernelSpec::new(input, output), cfg);
+        (label.to_string(), run.profile)
+    })
+    .collect()
+}
+
+fn utilization_table(title: &str, paper_note: &str, profiles: &[(String, KernelProfile)]) -> String {
+    let mut out = format!("{title}\n\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>12}   {}\n",
+        "Kernel", "Arithmetic", "Control-flow", "Memory (bottleneck unit)"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for (label, p) in profiles {
+        out.push_str(&format!(
+            "{:<14} {:>9.0}% {:>11.0}%   {:>5.1}% ({})\n",
+            label,
+            p.arithmetic_utilization * 100.0,
+            p.control_flow_utilization * 100.0,
+            p.memory_utilization * 100.0,
+            p.memory_bottleneck.name()
+        ));
+    }
+    out.push('\n');
+    out.push_str(paper_note);
+    out.push('\n');
+    out
+}
+
+/// Render Table II.
+pub fn table2_report(n: u32, cfg: &DeviceConfig) -> String {
+    utilization_table(
+        &format!(
+            "Table II — utilization of GPU resources, 2-PCF kernels (N = {n})"
+        ),
+        "paper: Naive 15%/3%/76%(L2)  SHM-SHM 50%/7%/35%(shared)\n\
+         \u{20}      Reg-SHM 52%/11%/35%(shared)  Reg-ROC 24%/10%/65%(data cache)",
+        &table2_profiles(n, cfg),
+    )
+}
+
+/// Render Table III.
+pub fn table3_report(n: u32, cfg: &DeviceConfig) -> String {
+    let profiles = sdh_profiles(n, cfg);
+    let mut out = format!(
+        "Table III — achieved bandwidth of memory units, SDH kernels (N = {n})\n\n"
+    );
+    out.push_str(&format!(
+        "{:<14} {:>11} {:>11} {:>11} {:>11}\n",
+        "Kernel", "Shared", "L2", "Data cache", "Global load"
+    ));
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for (label, p) in &profiles {
+        out.push_str(&format!(
+            "{:<14} {:>11} {:>11} {:>11} {:>11}\n",
+            label,
+            crate::table::fmt_bw(p.bandwidth.shared_gbps),
+            crate::table::fmt_bw(p.bandwidth.l2_gbps),
+            crate::table::fmt_bw(p.bandwidth.roc_gbps),
+            crate::table::fmt_bw(p.bandwidth.global_load_gbps),
+        ));
+    }
+    out.push_str(
+        "\npaper: Naive 0/270GB/32GB/104GB  Naive-Out 1.66TB/437GB/138GB/563GB\n\
+         \u{20}      Reg-SHM-Out 2.86TB/10GB/3GB/10GB  Reg-ROC-Out 2.59TB/55GB/267GB/68GB\n",
+    );
+    out
+}
+
+/// Render Table IV.
+pub fn table4_report(n: u32, cfg: &DeviceConfig) -> String {
+    utilization_table(
+        &format!("Table IV — utilization of GPU resources, SDH kernels (N = {n})"),
+        "paper: Naive 5%/–/Max(L2)  Naive-Out 23%/5%/Max(L2)\n\
+         \u{20}      Reg-SHM-Out 25%/5%/95.3%(shared)  Reg-ROC-Out 20%/5%/86.3%(shared)+26.7%(ROC)",
+        &sdh_profiles(n, cfg),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Resource;
+
+    const N: u32 = 512 * 1024;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let cfg = DeviceConfig::titan_x();
+        let p = table2_profiles(N, &cfg);
+        let by_name = |n: &str| &p.iter().find(|(l, _)| l == n).unwrap().1;
+        let naive = by_name("Naive");
+        let shm = by_name("SHM-SHM");
+        let reg = by_name("Reg-SHM");
+        let roc = by_name("Reg-ROC");
+        // Naive: low arithmetic utilization, L2-bound memory.
+        assert!(naive.arithmetic_utilization < 0.35, "{}", naive.arithmetic_utilization);
+        assert_eq!(naive.memory_bottleneck, Resource::L2);
+        // Tiled SHM kernels: high arithmetic utilization (paper ≥ 50 %).
+        assert!(reg.arithmetic_utilization > 0.4, "{}", reg.arithmetic_utilization);
+        assert!(shm.arithmetic_utilization > 0.4, "{}", shm.arithmetic_utilization);
+        // Reg-ROC: lower arithmetic than the SHM kernels (paper 24 %).
+        assert!(roc.arithmetic_utilization < reg.arithmetic_utilization);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let cfg = DeviceConfig::titan_x();
+        let p = sdh_profiles(N, &cfg);
+        let by_name = |n: &str| &p.iter().find(|(l, _)| l == n).unwrap().1;
+        // Reg-SHM-Out: multi-TB/s shared traffic, negligible L2/ROC.
+        let rs = by_name("Reg-SHM-Out");
+        assert!(rs.bandwidth.shared_gbps > 1500.0, "{}", rs.bandwidth.shared_gbps);
+        assert!(rs.bandwidth.l2_gbps < 100.0);
+        // Reg-ROC-Out: high shared AND high data-cache traffic.
+        let rr = by_name("Reg-ROC-Out");
+        assert!(rr.bandwidth.shared_gbps > 500.0);
+        assert!(rr.bandwidth.roc_gbps > 100.0, "{}", rr.bandwidth.roc_gbps);
+        // Naive (global atomics): zero shared traffic.
+        let nv = by_name("Naive");
+        assert_eq!(nv.bandwidth.shared_gbps, 0.0);
+    }
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let cfg = DeviceConfig::titan_x();
+        let p = sdh_profiles(N, &cfg);
+        let by_name = |n: &str| &p.iter().find(|(l, _)| l == n).unwrap().1;
+        // Reg-SHM-Out is shared-memory-bound at very high utilization
+        // (paper 95.3 %).
+        let rs = by_name("Reg-SHM-Out");
+        assert_eq!(rs.memory_bottleneck, Resource::SharedMem);
+        assert!(rs.shared_utilization > 0.7, "{}", rs.shared_utilization);
+        // Reg-ROC-Out uses both cache systems.
+        let rr = by_name("Reg-ROC-Out");
+        assert!(rr.shared_utilization > 0.3);
+        assert!(rr.roc_utilization > 0.2, "{}", rr.roc_utilization);
+    }
+
+    #[test]
+    fn reports_render() {
+        let cfg = DeviceConfig::titan_x();
+        for rep in [table2_report(N, &cfg), table3_report(N, &cfg), table4_report(N, &cfg)] {
+            assert!(rep.contains("paper:"));
+            assert!(rep.lines().count() > 6);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple fixed-width table builder for harness output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with right-aligned numeric-looking columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{:<w$}", cells[c], w = widths[c]));
+                } else {
+                    line.push_str(&format!("{:>w$}", cells[c], w = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds compactly (µs → s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Format a ratio as `12.3x`.
+pub fn fmt_x(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.0}%", f * 100.0)
+}
+
+/// Format a bandwidth in GB/s or TB/s.
+pub fn fmt_bw(gbps: f64) -> String {
+    if gbps >= 1000.0 {
+        format!("{:.2}TB/s", gbps / 1000.0)
+    } else {
+        format!("{gbps:.0}GB/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["kernel", "time"]);
+        t.row(&["naive".into(), "1.00s".into()]);
+        t.row(&["register-shm".into(), "0.18s".into()]);
+        let s = t.render();
+        assert!(s.contains("kernel"));
+        assert!(s.lines().count() == 4);
+        // All lines equal width for the first column block.
+        assert!(s.contains("register-shm"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_rows() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5µs");
+        assert_eq!(fmt_x(5.512), "5.5x");
+        assert_eq!(fmt_pct(0.52), "52%");
+        assert_eq!(fmt_bw(2860.0), "2.86TB/s");
+        assert_eq!(fmt_bw(437.0), "437GB/s");
+    }
+}

@@ -1,0 +1,141 @@
+//! Atomic-contention estimation.
+//!
+//! The serialization cost of a warp-wide atomic update is the maximum
+//! number of lanes hitting the same address (the hardware replays the
+//! instruction once per colliding group). For histogram updates over
+//! uniformly-distributed distances this is a balls-into-bins maximum:
+//! 32 balls into `h` bins. The paper observes both regimes in its
+//! Figure 5: large `h` → no contention; tiny `h` → "the many threads in
+//! the block always compete for accessing an output element".
+
+/// Expected maximum multiplicity when 32 i.i.d. uniform lanes update a
+/// histogram with `h` buckets — `E[max_k B_k]` for multinomial(32, h).
+///
+/// Computed deterministically from the Poisson approximation
+/// `B_k ~ Poisson(32/h)`: `E[max] ≈ Σ_{t≥1} P(max ≥ t)` with
+/// `P(max ≥ t) ≈ min(1, h·P(X ≥ t))`. Exact at the extremes
+/// (`h = 1 → 32`, `h → ∞ → 1`) and within a few percent elsewhere,
+/// which is all the timing model needs.
+pub fn expected_max_multiplicity(h: u32) -> f64 {
+    let h = h.max(1);
+    if h == 1 {
+        return 32.0;
+    }
+    let lambda = 32.0 / h as f64;
+    // Poisson tail probabilities P(X >= t).
+    let mut p_le = (-lambda).exp(); // P(X <= t-1) running, start P(X=0)
+    let mut pmf = p_le;
+    let mut e_max = 0.0f64;
+    for t in 1..=32u32 {
+        // P(X >= t) = 1 - P(X <= t-1)
+        let tail = (1.0 - p_le).max(0.0);
+        let p_any = (h as f64 * tail).min(1.0);
+        e_max += p_any;
+        // advance: pmf(t) = pmf(t-1) * lambda / t
+        pmf *= lambda / t as f64;
+        p_le += pmf;
+    }
+    e_max.max(1.0)
+}
+
+/// Expected number of *distinct* buckets hit by a 32-lane uniform update
+/// — `h·(1 − (1 − 1/h)^32)` — used to estimate the bank-conflict
+/// component of shared atomics.
+pub fn expected_distinct_addresses(h: u32) -> f64 {
+    let h = h.max(1) as f64;
+    h * (1.0 - (1.0 - 1.0 / h).powi(32))
+}
+
+/// Expected serialized shared-memory transactions for one warp-wide
+/// histogram atomic: same-address replays (max multiplicity) plus bank
+/// conflicts among the distinct addresses spread over 32 banks.
+pub fn expected_shared_atomic_transactions(h: u32) -> f64 {
+    let mult = expected_max_multiplicity(h);
+    let distinct = expected_distinct_addresses(h);
+    // Distinct addresses uniform over 32 banks: conflict degree is the
+    // balls-in-bins maximum of `distinct` balls in 32 bins; reuse the
+    // Poisson machinery by scaling (32 lanes -> `distinct` effective).
+    let bank_degree = if distinct <= 1.0 {
+        1.0
+    } else {
+        // max-of-bins for `distinct` balls in 32 bins ≈ scaled formula.
+        let lambda = distinct / 32.0;
+        let mut p_le = (-lambda).exp();
+        let mut pmf = p_le;
+        let mut e = 0.0f64;
+        for t in 1..=32u32 {
+            let tail = (1.0 - p_le).max(0.0);
+            e += (32.0 * tail).min(1.0);
+            pmf *= lambda / t as f64;
+            p_le += pmf;
+        }
+        e.max(1.0)
+    };
+    bank_degree + mult - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        assert_eq!(expected_max_multiplicity(1), 32.0);
+        assert!(expected_max_multiplicity(1_000_000) < 1.1);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_buckets() {
+        let mut prev = f64::INFINITY;
+        for h in [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096] {
+            let e = expected_max_multiplicity(h);
+            assert!(e <= prev + 1e-9, "h={h}: {e} > {prev}");
+            assert!(e >= 1.0);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_within_tolerance() {
+        // Deterministic LCG Monte-Carlo reference.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for &h in &[8u32, 32, 128, 1024] {
+            let trials = 4000;
+            let mut sum = 0u64;
+            for _ in 0..trials {
+                let mut bins = vec![0u32; h as usize];
+                let mut mx = 0;
+                for _ in 0..32 {
+                    let b = (rand() % h) as usize;
+                    bins[b] += 1;
+                    mx = mx.max(bins[b]);
+                }
+                sum += mx as u64;
+            }
+            let mc = sum as f64 / trials as f64;
+            let est = expected_max_multiplicity(h);
+            assert!(
+                (est - mc).abs() / mc < 0.15,
+                "h={h}: poisson {est} vs monte-carlo {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_addresses_bounds() {
+        assert!((expected_distinct_addresses(1) - 1.0).abs() < 1e-9);
+        let d = expected_distinct_addresses(1_000_000);
+        assert!(d > 31.9 && d <= 32.0);
+    }
+
+    #[test]
+    fn transactions_at_least_one() {
+        for h in [1u32, 7, 100, 10_000] {
+            assert!(expected_shared_atomic_transactions(h) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Analytical performance models.
+//!
+//! Two layers:
+//!
+//! * [`paper`] — the paper's own equations (2)–(7), in their published
+//!   per-thread-access form, used to check its qualitative claims;
+//! * [`profiles`] — warp-transaction-precise closed forms that mirror the
+//!   simulator's accounting rule-for-rule, so `predicted_tally` equals a
+//!   functional run's measured tally on every data-independent counter.
+//!   Feeding these into the timing model gives paper-scale (N = 2×10⁶)
+//!   performance predictions in microseconds of host time.
+//!
+//! [`contention`] estimates the data-dependent counters (atomic
+//! serialization) from balls-into-bins statistics.
+
+pub mod contention;
+pub mod paper;
+pub mod profiles;
+
+pub use contention::{expected_distinct_addresses, expected_max_multiplicity};
+pub use profiles::{
+    predicted_cross_run, predicted_cross_tally, predicted_intra_only_run,
+    predicted_intra_only_tally, predicted_reduction_run, predicted_run, predicted_tally,
+    InputPath, KernelSpec, OutputPath, Workload,
+};

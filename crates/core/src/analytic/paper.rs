@@ -1,0 +1,132 @@
+//! The paper's analytical model, verbatim: equations (2)–(7) of §IV-B
+//! and §IV-D, expressed over the symbols of its Table I.
+//!
+//! These are *per-thread-perspective access counts* (each datum touched
+//! by a thread counts once), coarser than the warp-transaction accounting
+//! of [`super::profiles`]; they are kept in their published form so tests
+//! can check the paper's own claims — e.g. that Register-SHM halves the
+//! shared-memory accesses of SHM-SHM.
+
+/// Equation (2): global-memory accesses of the Naive kernel —
+/// `N + Σ_{i=1..N} (N − i)`: one load of the own datum per thread plus
+/// one load per distance evaluation.
+pub fn eq2_naive_global(n: u64) -> u64 {
+    n + n * (n - 1) / 2
+}
+
+/// Equation (3): global accesses of all three tiled kernels —
+/// `N + Σ_{i=1..M} (M − i)·B`: the own datum plus each tile loaded once
+/// per higher-indexed block.
+pub fn eq3_tiled_global(n: u64, b: u64) -> u64 {
+    let m = n / b;
+    n + m * (m - 1) / 2 * b
+}
+
+/// Equation (4): shared-memory accesses of SHM-SHM —
+/// `2·[Σ_{i=1..M} (M − i)·B² + Σ_{j=1..B} (B − j)·M]`: both operands of
+/// every inter-block and intra-block distance call come from shared
+/// memory.
+pub fn eq4_shm_shm_shared(n: u64, b: u64) -> u64 {
+    let m = n / b;
+    2 * (m * (m - 1) / 2 * b * b + b * (b - 1) / 2 * m)
+}
+
+/// Equation (5): shared-memory accesses of Register-SHM —
+/// `Σ_{i=1..M} (M − i)·B² + Σ_{j=1..B} (B − j)·M`: only the R-side (or
+/// partner-side) operand is read from shared memory; the own datum sits
+/// in a register.
+pub fn eq5_register_shm_shared(n: u64, b: u64) -> u64 {
+    let m = n / b;
+    m * (m - 1) / 2 * b * b + b * (b - 1) / 2 * m
+}
+
+/// Register-ROC's read-only-cache access count equals equation (5) with
+/// the ROC in place of shared memory (§IV-B: "the number of accesses to
+/// this memory is the same as the number of accesses of Register-SHM to
+/// shared memory").
+pub fn roc_accesses(n: u64, b: u64) -> u64 {
+    eq5_register_shm_shared(n, b)
+}
+
+/// Equation (6): shared-memory atomic cost of the privatized output
+/// stage's update phase, in cycles — `Σ_{i=1..N} (N + B − i) · C_shmAtomic`
+/// (every distance result is one shared atomic).
+pub fn eq6_update_cost(n: u64, b: u64, c_shm_atomic: f64) -> f64 {
+    // Σ_{i=1..N} (N + B − i) = N·(N + B) − N(N+1)/2
+    let accesses = n * (n + b) - n * (n + 1) / 2;
+    accesses as f64 * c_shm_atomic
+}
+
+/// Equation (7): reduction-stage cost —
+/// `H·[M·(C_GR + C_shmR + C_GR) + C_GW]` in the paper's symbols (reading
+/// each private copy, combining, and one final write per bucket).
+pub fn eq7_reduction_cost(h: u64, m: u64, c_gw: f64, c_shm_r: f64, c_gr: f64) -> f64 {
+    h as f64 * (m as f64 * (c_gw + c_shm_r + c_gr) + c_gw)
+}
+
+/// §IV-D's headline claim: privatization cuts global-memory accesses for
+/// output from `N²` to `H·(2M + 1)`.
+pub fn privatized_global_output_accesses(h: u64, m: u64) -> u64 {
+    h * (2 * m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_small_case() {
+        // N = 4: 4 own loads + 3+2+1 = 6 pair loads.
+        assert_eq!(eq2_naive_global(4), 10);
+    }
+
+    #[test]
+    fn eq3_reduces_global_traffic_by_factor_b() {
+        let (n, b) = (1 << 20, 1024);
+        let naive = eq2_naive_global(n);
+        let tiled = eq3_tiled_global(n, b);
+        let ratio = naive as f64 / tiled as f64;
+        // Pair term: (N²/2) / (M²/2·B) = B; own-datum terms dilute it
+        // slightly.
+        assert!(ratio > 0.9 * b as f64 && ratio <= b as f64 + 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn register_shm_halves_shm_shm_accesses() {
+        // §IV-B: "Register-SHM cuts the number of accesses quite
+        // considerably, dropping by half."
+        let (n, b) = (1 << 18, 256);
+        assert_eq!(eq4_shm_shm_shared(n, b), 2 * eq5_register_shm_shared(n, b));
+    }
+
+    #[test]
+    fn shared_access_totals_count_every_pair() {
+        // Register-SHM reads one shared operand per distance call:
+        // inter-block calls (each thread × each R datum) plus intra-block
+        // calls. For N=M·B the call count is N(N−1)/2 … but eq (5)'s
+        // inter term counts B² per block pair (thread × datum), i.e.
+        // exactly the pair count between two blocks, and the intra term
+        // B(B−1)/2 per block.
+        let (n, b) = (1024u64, 128u64);
+        let m = n / b;
+        let pairs = n * (n - 1) / 2;
+        let inter_intra = m * (m - 1) / 2 * b * b + m * b * (b - 1) / 2;
+        assert_eq!(inter_intra, pairs);
+        assert_eq!(eq5_register_shm_shared(n, b), pairs);
+    }
+
+    #[test]
+    fn privatization_reduces_output_traffic() {
+        // §IV-D: N² drops to H(2M+1).
+        let (n, b, h) = (512_000u64, 1024u64, 10_000u64);
+        let m = n / b;
+        assert!(privatized_global_output_accesses(h, m) < n * n / 10_000);
+    }
+
+    #[test]
+    fn cost_equations_are_monotone() {
+        assert!(eq6_update_cost(2048, 256, 28.0) > eq6_update_cost(1024, 256, 28.0));
+        assert!(eq7_reduction_cost(4096, 100, 350.0, 28.0, 350.0)
+            > eq7_reduction_cost(1024, 100, 350.0, 28.0, 350.0));
+    }
+}

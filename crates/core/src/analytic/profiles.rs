@@ -1,0 +1,910 @@
+//! Closed-form access profiles: the paper's analytical-model idea carried
+//! to warp-transaction precision.
+//!
+//! [`predicted_tally`] produces the same [`AccessTally`] the simulator
+//! measures, but from arithmetic instead of execution, by walking the
+//! kernels' loop structures symbolically. Property tests
+//! (`tests/it_analytic.rs`) assert field-by-field equality with functional
+//! runs for every data-independent counter; data-dependent counters
+//! (atomic contention, cache hit splits) use the estimators in
+//! [`super::contention`] and are validated within tolerance.
+//!
+//! Exactness contract: formulas are exact for **full launches** —
+//! `n % b == 0` and `b % 32 == 0` (the paper's experiments always satisfy
+//! this; its equation 1 assumes `M = N/B`). Ragged launches still get
+//! predictions, rounded from the same formulas, but only the full case is
+//! bit-exact.
+
+use crate::analytic::contention::{
+    expected_distinct_addresses, expected_max_multiplicity, expected_shared_atomic_transactions,
+};
+use crate::kernels::IntraMode;
+use gpu_sim::{AccessTally, DeviceConfig, KernelRun, LaunchConfig, WARP_SIZE};
+
+/// Workload parameters shared by every 2-BS kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Number of input points.
+    pub n: u32,
+    /// Block size B (= threads per block).
+    pub b: u32,
+    /// Point dimensionality D.
+    pub dims: u32,
+    /// ALU instructions per distance evaluation
+    /// ([`crate::distance::DistanceKernel::cost`]).
+    pub dist_cost: u64,
+}
+
+impl Workload {
+    /// Number of blocks M (equation 1).
+    pub fn m(&self) -> u64 {
+        (self.n as u64).div_ceil(self.b as u64).max(1)
+    }
+
+    /// Warps per block.
+    pub fn w(&self) -> u64 {
+        (self.b as u64).div_ceil(WARP_SIZE as u64)
+    }
+
+    /// Total warps in the launch.
+    pub fn total_warps(&self) -> u64 {
+        self.m() * self.w()
+    }
+
+    /// Inter-block tile pairs Σ (M − i) = M(M−1)/2.
+    pub fn block_pairs(&self) -> u64 {
+        let m = self.m();
+        m * (m - 1) / 2
+    }
+
+    /// All point pairs N(N−1)/2.
+    pub fn pairs(&self) -> u64 {
+        let n = self.n as u64;
+        n * (n - 1) / 2
+    }
+
+    /// Whether the exactness contract holds.
+    pub fn is_full(&self) -> bool {
+        self.n.is_multiple_of(self.b) && self.b.is_multiple_of(WARP_SIZE as u32)
+    }
+
+    /// The launch the pair kernels use.
+    pub fn launch(&self) -> LaunchConfig {
+        crate::kernels::pair_launch(self.n, self.b)
+    }
+}
+
+/// Which input path a kernel uses (the §IV-A/§IV-E variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputPath {
+    /// Algorithm 1: every partner read from global memory.
+    Naive,
+    /// Algorithm 2: both tiles in shared memory.
+    ShmShm,
+    /// Algorithm 3: register + shared-memory tile.
+    RegisterShm,
+    /// Register + read-only cache.
+    RegisterRoc,
+    /// Algorithm 4: register tiling via warp shuffle.
+    Shuffle,
+}
+
+impl InputPath {
+    /// Display name matching the kernel structs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InputPath::Naive => "naive",
+            InputPath::ShmShm => "shm-shm",
+            InputPath::RegisterShm => "register-shm",
+            InputPath::RegisterRoc => "register-roc",
+            InputPath::Shuffle => "shuffle",
+        }
+    }
+
+    /// Base registers per thread, mirroring each kernel's `resources()`.
+    pub fn base_regs(&self, dims: u32) -> u32 {
+        let two_d = 2 * dims;
+        match self {
+            InputPath::Naive => crate::kernels::naive::NAIVE_BASE_REGS + two_d,
+            InputPath::ShmShm => crate::kernels::shm_shm::SHM_SHM_BASE_REGS + two_d,
+            InputPath::RegisterShm => crate::kernels::register_shm::REG_SHM_BASE_REGS + two_d,
+            InputPath::RegisterRoc => crate::kernels::register_roc::REG_ROC_BASE_REGS + two_d,
+            InputPath::Shuffle => crate::kernels::shuffle::SHUFFLE_BASE_REGS + 2 + two_d,
+        }
+    }
+
+    /// Input-tile shared memory per block, mirroring `resources()`.
+    pub fn tile_shared_bytes(&self, b: u32, dims: u32) -> u32 {
+        match self {
+            InputPath::ShmShm => 2 * b * 4 * dims,
+            InputPath::RegisterShm => b * 4 * dims,
+            _ => 0,
+        }
+    }
+}
+
+/// Which output path (the §III-B output classes as concretely realized by
+/// `crate::output`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputPath {
+    /// [`crate::output::CountWithinRadius`]: Type-I register accumulator.
+    RegisterCount,
+    /// [`crate::output::SharedHistogramAction`]: Type-II privatized.
+    SharedHistogram { buckets: u32 },
+    /// [`crate::output::GlobalHistogramAction`]: Type-II via global
+    /// atomics.
+    GlobalHistogram { buckets: u32 },
+}
+
+impl OutputPath {
+    pub fn name(&self) -> &'static str {
+        match self {
+            OutputPath::RegisterCount => "count-within-radius",
+            OutputPath::SharedHistogram { .. } => "shared-histogram",
+            OutputPath::GlobalHistogram { .. } => "global-histogram",
+        }
+    }
+
+    fn regs(&self) -> u32 {
+        2
+    }
+
+    fn shared_bytes(&self) -> u32 {
+        match self {
+            OutputPath::SharedHistogram { buckets } => buckets * 4,
+            _ => 0,
+        }
+    }
+
+    /// ALU instructions per `process` call.
+    fn alu_per_pair(&self) -> u64 {
+        2
+    }
+}
+
+/// A complete kernel configuration to predict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSpec {
+    pub input: InputPath,
+    pub output: OutputPath,
+    pub intra: IntraMode,
+}
+
+impl KernelSpec {
+    pub fn new(input: InputPath, output: OutputPath) -> Self {
+        KernelSpec { input, output, intra: IntraMode::Regular }
+    }
+
+    pub fn with_intra(mut self, intra: IntraMode) -> Self {
+        self.intra = intra;
+        self
+    }
+
+    /// Registers/shared-memory mirroring the kernel's `resources()`.
+    pub fn resources(&self, wl: &Workload) -> (u32, u32) {
+        (
+            self.input.base_regs(wl.dims) + self.output.regs(),
+            self.input.tile_shared_bytes(wl.b, wl.dims) + self.output.shared_bytes(),
+        )
+    }
+}
+
+// ====================================================================
+// the accumulator
+// ====================================================================
+
+/// Mirrors the engine's charging rules (see `gpu_sim::exec::warp` docs)
+/// while building a tally arithmetically.
+struct Acc {
+    t: AccessTally,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc { t: AccessTally::new() }
+    }
+
+    /// `count` generic warp instructions, `useful` active lane-slots in
+    /// total (approximated as full warps unless stated).
+    fn instr(&mut self, count: u64, useful: u64) {
+        self.t.warp_instructions += count;
+        self.t.useful_lane_ops += useful;
+        self.t.predicated_lane_slots += count * WARP_SIZE as u64 - useful.min(count * 32);
+    }
+
+    fn alu(&mut self, count: u64) {
+        self.instr(count, count * 32);
+        self.t.alu_instructions += count;
+    }
+
+    fn alu_partial(&mut self, count: u64, useful: u64) {
+        self.instr(count, useful);
+        self.t.alu_instructions += count;
+    }
+
+    fn control(&mut self, count: u64) {
+        self.instr(count, count * 32);
+        self.t.control_instructions += count;
+    }
+
+    fn control_partial(&mut self, count: u64, useful: u64) {
+        self.instr(count, useful);
+        self.t.control_instructions += count;
+    }
+
+    fn sync(&mut self, warps: u64) {
+        self.t.sync_instructions += warps;
+        self.t.warp_instructions += warps;
+        self.t.useful_lane_ops += warps * 32;
+    }
+
+    fn shuffle(&mut self, count: u64) {
+        self.instr(count, count * 32);
+        self.t.shuffle_instructions += count;
+    }
+
+    fn gload(&mut self, count: u64, bytes: u64) {
+        self.instr(count, bytes / 4);
+        self.t.global_load_instructions += count;
+        self.t.global_load_bytes += bytes;
+    }
+
+    fn gstore(&mut self, count: u64, bytes: u64) {
+        self.instr(count, (bytes / 4).min(count * 32));
+        self.t.global_store_instructions += count;
+        self.t.global_store_bytes += bytes;
+    }
+
+    fn roc_load(&mut self, count: u64, bytes: u64) {
+        self.instr(count, bytes / 4);
+        self.t.roc_load_instructions += count;
+        self.t.roc_bytes += bytes;
+    }
+
+    fn sload(&mut self, count: u64, txns: u64, bytes: u64) {
+        self.instr(count, bytes / 4);
+        self.t.shared_load_instructions += count;
+        self.t.shared_transactions += txns;
+        self.t.shared_bank_replays += txns - count.min(txns);
+        self.t.shared_bytes += bytes;
+    }
+
+    fn sstore(&mut self, count: u64, txns: u64, bytes: u64) {
+        self.instr(count, bytes / 4);
+        self.t.shared_store_instructions += count;
+        self.t.shared_transactions += txns;
+        self.t.shared_bank_replays += txns - count.min(txns);
+        self.t.shared_bytes += bytes;
+    }
+
+    fn shared_atomic(&mut self, count: u64, serial: u64, txns: u64, bytes: u64) {
+        self.instr(count, bytes / 4);
+        self.t.shared_atomics += count;
+        self.t.shared_atomic_serial += serial;
+        self.t.shared_transactions += txns;
+        self.t.shared_bank_replays += txns.saturating_sub(serial);
+        self.t.shared_bytes += bytes;
+    }
+
+    fn global_atomic(&mut self, count: u64, serial: u64) {
+        self.instr(count, count * 32);
+        self.t.global_atomics += count;
+        self.t.global_atomic_serial += serial;
+    }
+
+    fn divergent(&mut self, count: u64) {
+        self.t.divergent_iterations += count;
+    }
+}
+
+// ====================================================================
+// prediction
+// ====================================================================
+
+/// Predict the full access tally of `spec` on `wl`.
+pub fn predicted_tally(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> AccessTally {
+    let mut acc = Acc::new();
+    let d = wl.dims as u64;
+    let dc = wl.dist_cost;
+    let (m, w, b) = (wl.m(), wl.w(), wl.b as u64);
+    let ap = spec.output.alu_per_pair();
+
+    acc.t.blocks_executed = m;
+    acc.t.warps_executed = wl.total_warps();
+
+    // ---- per-pair-call cost of the output stage ----
+    // alu per call + the memory op per call, expressed as closures over
+    // call counts so every phase can reuse them.
+    // `calls` = warp-level process invocations; `lane_pairs` = total
+    // active lanes across them (the pair count they cover).
+    let out_mem = |acc: &mut Acc, calls: u64, lane_pairs: u64| match spec.output {
+        OutputPath::RegisterCount => {}
+        OutputPath::SharedHistogram { buckets } => {
+            let serial = (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+            let txns =
+                (calls as f64 * expected_shared_atomic_transactions(buckets)).round() as u64;
+            acc.shared_atomic(calls, serial.max(calls), txns.max(calls), 4 * lane_pairs);
+        }
+        OutputPath::GlobalHistogram { buckets } => {
+            let serial = (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+            acc.global_atomic(calls, serial.max(calls));
+        }
+    };
+
+    // ---- action begin/end per block ----
+    let action_begin = |acc: &mut Acc| {
+        if let OutputPath::SharedHistogram { buckets } = spec.output {
+            let chunks = (buckets as u64).div_ceil(32);
+            acc.sstore(chunks, chunks, 4 * buckets as u64);
+            acc.sync(w);
+        }
+    };
+    let action_end = |acc: &mut Acc| match spec.output {
+        OutputPath::RegisterCount => {
+            acc.gstore(w, w * 32 * 8);
+        }
+        OutputPath::SharedHistogram { buckets } => {
+            acc.sync(w);
+            let chunks = (buckets as u64).div_ceil(32);
+            acc.sload(chunks, chunks, 4 * buckets as u64);
+            acc.alu(chunks);
+            acc.gstore(chunks, 4 * buckets as u64);
+        }
+        OutputPath::GlobalHistogram { .. } => {}
+    };
+
+    // ---- load_own_registers: once per block ----
+    let own_loads = |acc: &mut Acc| {
+        acc.gload(w * d, w * d * 128);
+    };
+
+    // ---- one cooperative tile load + the syncthreads after it ----
+    let tile_load = |acc: &mut Acc| {
+        acc.alu(w);
+        acc.gload(w * d, w * d * 128);
+        acc.sstore(w * d, w * d, w * d * 128);
+        acc.sync(w);
+    };
+
+    // ---- intra-phase iteration counts (per block) ----
+    // Regular: warp w runs I_w = b−1−32w iterations, 31 of them divergent.
+    // Load-balanced: uniform b/2 (lower half) / b/2−1 (upper half), none
+    // divergent.
+    let intra_iters: u64 = match spec.intra {
+        IntraMode::Regular => (0..w).map(|wi| b - 1 - 32 * wi).sum(),
+        IntraMode::LoadBalanced => w / 2 * (b / 2) + (w - w / 2) * (b / 2 - 1),
+    };
+    let intra_divergent: u64 = match spec.intra {
+        IntraMode::Regular => 31 * w,
+        IntraMode::LoadBalanced => 0,
+    };
+    // Useful lane-slots across intra iterations = intra pair count.
+    let intra_pairs = b * (b - 1) / 2;
+
+    match spec.input {
+        InputPath::Naive => {
+            for blk in 0..m {
+                action_begin(&mut acc);
+                own_loads(&mut acc);
+                for wi in 0..w {
+                    let g0 = blk * b + 32 * wi;
+                    let iters = (wl.n as u64 - 1).saturating_sub(g0); // max trips in warp
+                    let lanes: u64 = (0..32u64)
+                        .map(|l| (wl.n as u64 - 1).saturating_sub(g0 + l))
+                        .sum();
+                    acc.control_partial(iters + u64::from(iters > 0), lanes.min(iters * 32));
+                    acc.alu_partial(iters, lanes); // idx computation
+                    acc.gload(iters * d, 4 * d * lanes);
+                    acc.alu_partial(iters * dc, lanes * dc);
+                    acc.alu_partial(iters * ap, lanes * ap);
+                    out_mem(&mut acc, iters, lanes);
+                    acc.divergent(iters.min(31));
+                }
+                action_end(&mut acc);
+            }
+        }
+        InputPath::RegisterShm | InputPath::ShmShm => {
+            // Both kernels read one shared operand (the partner) per
+            // inner-loop iteration; SHM-SHM additionally re-reads its own
+            // datum L[t] from shared memory once per tile / intra phase
+            // (hoisted out of the j loop by the compiler — the reason the
+            // paper measures only a narrow gap despite equation (4)
+            // counting 2× equation (5)).
+            let loads_per_iter = d;
+            for blk in 0..m {
+                action_begin(&mut acc);
+                // SHM-SHM never touches registers for the own datum — it
+                // reads L[t] from shared memory (that's its defect).
+                if spec.input == InputPath::RegisterShm {
+                    own_loads(&mut acc);
+                }
+                let tiles = m - 1 - blk;
+                // SHM-SHM loads L up front; Register-SHM reloads it for
+                // the intra phase: either way tiles+1 cooperative loads.
+                for _ in 0..tiles + 1 {
+                    tile_load(&mut acc);
+                }
+                // Inter-block compute: per tile, per warp: control(b+1) +
+                // b × (loads + dist + action), then a trailing sync.
+                let calls = tiles * w * b;
+                if spec.input == InputPath::ShmShm {
+                    // Hoisted L[t] read, once per tile per warp.
+                    acc.sload(tiles * w * d, tiles * w * d, tiles * w * d * 128);
+                }
+                acc.control(tiles * w * (b + 1));
+                acc.sload(calls * loads_per_iter, calls * loads_per_iter, calls * loads_per_iter * 128);
+                acc.alu(calls * dc);
+                acc.alu(calls * ap);
+                out_mem(&mut acc, calls, calls * 32);
+                acc.sync(tiles * w);
+                // Intra phase.
+                let it = intra_iters;
+                let extra_alu = match spec.intra {
+                    IntraMode::Regular => 1,
+                    IntraMode::LoadBalanced => 2,
+                };
+                if spec.input == InputPath::ShmShm {
+                    // Hoisted L[t] read before the intra loop.
+                    acc.sload(w * d, w * d, w * d * 128);
+                }
+                acc.control_partial(it + w, intra_pairs.min(it * 32) + w * 32);
+                acc.alu_partial(it * extra_alu, intra_pairs * extra_alu);
+                acc.sload(
+                    it * loads_per_iter,
+                    it * loads_per_iter,
+                    4 * intra_pairs * loads_per_iter,
+                );
+                acc.alu_partial(it * dc, intra_pairs * dc);
+                acc.alu_partial(it * ap, intra_pairs * ap);
+                out_mem(&mut acc, it, intra_pairs);
+                acc.divergent(intra_divergent);
+                action_end(&mut acc);
+            }
+        }
+        InputPath::RegisterRoc => {
+            for blk in 0..m {
+                action_begin(&mut acc);
+                own_loads(&mut acc);
+                let tiles = m - 1 - blk;
+                let calls = tiles * w * b;
+                acc.control(tiles * w * (b + 1));
+                acc.roc_load(calls * d, calls * d * 128);
+                acc.alu(calls * dc);
+                acc.alu(calls * ap);
+                out_mem(&mut acc, calls, calls * 32);
+                // ROC hit/miss split: per tile, the first touch of each
+                // sector misses (b/8 sectors per dimension), everything
+                // else hits — provided the tile fits the per-SM ROC.
+                let tile_sectors = d * b / 8;
+                let accesses_per_tile = w * b * d; // broadcast: 1 sector each
+                if tile_sectors <= cfg.roc_sectors() as u64 {
+                    acc.t.roc_miss_sectors += tiles * tile_sectors;
+                    acc.t.roc_hit_sectors += tiles * (accesses_per_tile - tile_sectors);
+                } else {
+                    acc.t.roc_miss_sectors += tiles * accesses_per_tile;
+                }
+                // Intra phase through the ROC.
+                let it = intra_iters;
+                let extra_alu = match spec.intra {
+                    IntraMode::Regular => 1,
+                    IntraMode::LoadBalanced => 2,
+                };
+                acc.control_partial(it + w, intra_pairs.min(it * 32) + w * 32);
+                acc.alu_partial(it * extra_alu, intra_pairs * extra_alu);
+                acc.roc_load(it * d, 4 * intra_pairs * d);
+                // Gathers touch ~ one sector per 8 active lanes (+ one
+                // alignment straddle): compulsory misses = own tile.
+                let gather_sectors = (4 * intra_pairs * d) / 32 + it * d / 2;
+                acc.t.roc_miss_sectors += d * b / 8;
+                acc.t.roc_hit_sectors += gather_sectors.saturating_sub(d * b / 8);
+                acc.alu_partial(it * dc, intra_pairs * dc);
+                acc.alu_partial(it * ap, intra_pairs * ap);
+                out_mem(&mut acc, it, intra_pairs);
+                acc.divergent(intra_divergent);
+                action_end(&mut acc);
+            }
+        }
+        InputPath::Shuffle => {
+            let frags = b / 32;
+            for blk in 0..m {
+                action_begin(&mut acc);
+                own_loads(&mut acc);
+                let tiles = m - 1 - blk;
+                // Inter: per tile per warp per fragment: 1 alu + D loads
+                // + control(33) + 32 × (D shfl + 1 alu) + 32 calls.
+                let frag_count = tiles * w * frags;
+                acc.alu(frag_count);
+                acc.gload(frag_count * d, frag_count * d * 128);
+                acc.control(frag_count * 33);
+                acc.shuffle(frag_count * 32 * d);
+                acc.alu(frag_count * 32); // pair filter
+                let calls = frag_count * 32;
+                acc.alu(calls * dc);
+                acc.alu(calls * ap);
+                out_mem(&mut acc, calls, calls * 32);
+                // Intra: same fragment structure over the own tile, but
+                // distance/action only fire for partner > lane-minimum:
+                // warp w evaluates b−1−32w of the b broadcasts.
+                let intra_frag = w * frags;
+                acc.alu(intra_frag);
+                acc.gload(intra_frag * d, intra_frag * d * 128);
+                acc.control(intra_frag * 33);
+                acc.shuffle(intra_frag * 32 * d);
+                acc.alu(intra_frag * 32);
+                let intra_calls: u64 = (0..w).map(|wi| b - 1 - 32 * wi).sum();
+                acc.alu_partial(intra_calls * dc, intra_pairs * dc);
+                acc.alu_partial(intra_calls * ap, intra_pairs * ap);
+                out_mem(&mut acc, intra_calls, intra_pairs);
+                action_end(&mut acc);
+            }
+        }
+    }
+
+    // ---- L2 / DRAM split ----
+    finish_global_sectors(&mut acc, wl, spec, cfg);
+    acc.t
+}
+
+/// Distribute the global-path traffic between L2 hits and DRAM.
+///
+/// Unique (compulsory) sectors go to DRAM once per *wave* of concurrent
+/// blocks; all remaining traffic hits L2. When the whole working set fits
+/// L2, that reduces to "first touch misses, the rest hit", which exactly
+/// matches the sequential functional engine.
+fn finish_global_sectors(acc: &mut Acc, wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) {
+    let d = wl.dims as u64;
+    let n = wl.n as u64;
+    let (m, w, b) = (wl.m(), wl.w(), wl.b as u64);
+
+    // Total sector-touches on the global path (loads + stores + ROC
+    // misses + atomics), mirroring engine coalescing.
+    let mut touches: u64 = acc.t.roc_miss_sectors;
+    let input_sectors = d * n.div_ceil(8);
+    let mut unique = input_sectors;
+
+    match spec.input {
+        InputPath::Naive => {
+            // Own loads: 4 sectors per warp per dim. Inner loads: active
+            // lanes span bytes/32 sectors plus an alignment straddle ~7/8
+            // per load.
+            touches += wl.total_warps() * d * 4;
+            let inner_loads = acc.t.global_load_instructions - wl.total_warps() * d;
+            touches += acc.t.global_load_bytes.saturating_sub(wl.total_warps() * d * 128) / 32
+                + inner_loads * 7 / 8;
+        }
+        InputPath::RegisterShm | InputPath::ShmShm => {
+            // Own loads + cooperative tile loads, all fully coalesced.
+            touches += (acc.t.global_load_instructions) * 4;
+        }
+        InputPath::RegisterRoc => {
+            touches += acc.t.global_load_instructions * 4; // own loads only
+        }
+        InputPath::Shuffle => {
+            touches += acc.t.global_load_instructions * 4;
+        }
+    }
+
+    match spec.output {
+        OutputPath::RegisterCount => {
+            touches += m * w * 8; // u64 stores, 8 sectors per warp
+            unique += n.div_ceil(4);
+        }
+        OutputPath::SharedHistogram { buckets } => {
+            let chunks = (buckets as u64).div_ceil(32);
+            touches += m * chunks * 4;
+            unique += (m * buckets as u64).div_ceil(8);
+        }
+        OutputPath::GlobalHistogram { buckets } => {
+            let per_call = expected_distinct_addresses(buckets.div_ceil(4)).min(32.0);
+            touches += (acc.t.global_atomics as f64 * per_call) as u64;
+            unique += (buckets as u64).div_ceil(4);
+        }
+    }
+
+    // Waves of concurrent blocks: data is re-fetched from DRAM once per
+    // wave when the working set exceeds L2.
+    let (_regs, shm) = spec.resources(wl);
+    let occ = gpu_sim::occupancy::occupancy(cfg, m as u32, b as u32, _regs, shm);
+    let concurrent = (cfg.num_sms as u64 * occ.blocks_per_sm as u64).max(1);
+    let fits = unique <= cfg.l2_sectors() as u64;
+    let dram = if fits {
+        unique.min(touches)
+    } else {
+        (unique * m.div_ceil(concurrent)).min(touches)
+    };
+    acc.t.dram_sectors = dram;
+    acc.t.l2_hit_sectors = touches.saturating_sub(dram);
+}
+
+/// Predict a complete [`KernelRun`] (tally + occupancy + timing +
+/// profile) without executing anything — the paper-scale path.
+pub fn predicted_run(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> KernelRun {
+    let tally = predicted_tally(wl, spec, cfg);
+    let (regs, shm) = spec.resources(wl);
+    let dev = gpu_sim::Device::new(cfg.clone());
+    dev.estimate(spec.input.name(), &tally, wl.launch(), regs, shm)
+}
+
+/// Predict the access tally of the bipartite
+/// [`crate::kernels::CrossShmKernel`] over an `n_left × n_right`
+/// rectangle (exact for full launches, mirroring the self-join rules).
+pub fn predicted_cross_tally(
+    n_left: u32,
+    n_right: u32,
+    b: u32,
+    dims: u32,
+    dist_cost: u64,
+    output: OutputPath,
+    _cfg: &DeviceConfig,
+) -> AccessTally {
+    let mut acc = Acc::new();
+    let d = dims as u64;
+    let dc = dist_cost;
+    let b64 = b as u64;
+    let m_left = (n_left as u64).div_ceil(b64).max(1);
+    let w = b64.div_ceil(WARP_SIZE as u64);
+    let tiles = (n_right as u64).div_ceil(b64);
+    let ap = output.alu_per_pair();
+    acc.t.blocks_executed = m_left;
+    acc.t.warps_executed = m_left * w;
+
+    // Action begin/end, mirroring predicted_tally's shared-histogram
+    // bookkeeping.
+    for _ in 0..m_left {
+        if let OutputPath::SharedHistogram { buckets } = output {
+            let chunks = (buckets as u64).div_ceil(32);
+            acc.sstore(chunks, chunks, 4 * buckets as u64);
+            acc.sync(w);
+        }
+        // Own A loads.
+        acc.gload(w * d, w * d * 128);
+        // All tiles of B, each: cooperative load + 2 syncs + compute.
+        for _ in 0..tiles {
+            acc.alu(w);
+            acc.gload(w * d, w * d * 128);
+            acc.sstore(w * d, w * d, w * d * 128);
+            acc.sync(w);
+            let calls = w * b64;
+            acc.control(w * (b64 + 1));
+            acc.sload(calls * d, calls * d, calls * d * 128);
+            acc.alu(calls * dc);
+            acc.alu(calls * ap);
+            match output {
+                OutputPath::RegisterCount => {}
+                OutputPath::SharedHistogram { buckets } => {
+                    let serial =
+                        (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+                    let txns = (calls as f64 * expected_shared_atomic_transactions(buckets))
+                        .round() as u64;
+                    acc.shared_atomic(calls, serial.max(calls), txns.max(calls), calls * 128);
+                }
+                OutputPath::GlobalHistogram { buckets } => {
+                    let serial =
+                        (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+                    acc.global_atomic(calls, serial.max(calls));
+                }
+            }
+            acc.sync(w);
+        }
+        match output {
+            OutputPath::RegisterCount => acc.gstore(w, w * 32 * 8),
+            OutputPath::SharedHistogram { buckets } => {
+                acc.sync(w);
+                let chunks = (buckets as u64).div_ceil(32);
+                acc.sload(chunks, chunks, 4 * buckets as u64);
+                acc.alu(chunks);
+                acc.gstore(chunks, 4 * buckets as u64);
+            }
+            OutputPath::GlobalHistogram { .. } => {}
+        }
+    }
+
+    // Global-sector split: first touch of inputs/outputs misses.
+    let touches = acc.t.global_load_instructions * 4
+        + acc.t.global_store_instructions * 4
+        + acc.t.global_atomics;
+    let unique = d * (n_left as u64 + n_right as u64).div_ceil(8)
+        + match output {
+            OutputPath::RegisterCount => (n_left as u64).div_ceil(4),
+            OutputPath::SharedHistogram { buckets } => {
+                (m_left * buckets as u64).div_ceil(8)
+            }
+            OutputPath::GlobalHistogram { buckets } => (buckets as u64).div_ceil(4),
+        };
+    acc.t.dram_sectors = unique.min(touches);
+    acc.t.l2_hit_sectors = touches.saturating_sub(acc.t.dram_sectors);
+    acc.t
+}
+
+/// Predict a [`KernelRun`] for the bipartite cross kernel.
+pub fn predicted_cross_run(
+    n_left: u32,
+    n_right: u32,
+    b: u32,
+    dims: u32,
+    dist_cost: u64,
+    output: OutputPath,
+    cfg: &DeviceConfig,
+) -> KernelRun {
+    let tally = predicted_cross_tally(n_left, n_right, b, dims, dist_cost, output, cfg);
+    let regs = crate::kernels::cross::CROSS_BASE_REGS + 2 * dims + 2;
+    let shm = b * 4 * dims
+        + match output {
+            OutputPath::SharedHistogram { buckets } => buckets * 4,
+            _ => 0,
+        };
+    let lc = LaunchConfig::for_n_threads(n_left, b);
+    let dev = gpu_sim::Device::new(cfg.clone());
+    dev.estimate("cross-shm", &tally, lc, regs, shm)
+}
+
+/// Predict the tally of the *intra-block phase only* of a Register-SHM
+/// kernel — the quantity the paper's Figure 7 isolates ("we only record
+/// the time for processing intra-block distance function computations").
+pub fn predicted_intra_only_tally(wl: &Workload, intra: IntraMode) -> AccessTally {
+    let mut acc = Acc::new();
+    let d = wl.dims as u64;
+    let dc = wl.dist_cost;
+    let (m, w, b) = (wl.m(), wl.w(), wl.b as u64);
+    let ap = 2u64; // CountWithinRadius-style register output
+    acc.t.blocks_executed = m;
+    acc.t.warps_executed = wl.total_warps();
+    let intra_pairs = b * (b - 1) / 2;
+    let (iters, divergent, extra_alu): (u64, u64, u64) = match intra {
+        IntraMode::Regular => ((0..w).map(|wi| b - 1 - 32 * wi).sum(), 31 * w, 1),
+        IntraMode::LoadBalanced => (w / 2 * (b / 2) + (w - w / 2) * (b / 2 - 1), 0, 2),
+    };
+    for _ in 0..m {
+        acc.control_partial(iters + w, intra_pairs.min(iters * 32) + w * 32);
+        acc.alu_partial(iters * extra_alu, intra_pairs * extra_alu);
+        acc.sload(iters * d, iters * d, 4 * intra_pairs * d);
+        acc.alu_partial(iters * dc, intra_pairs * dc);
+        acc.alu_partial(iters * ap, intra_pairs * ap);
+        acc.divergent(divergent);
+    }
+    acc.t
+}
+
+/// Predict a [`KernelRun`] for the intra-only phase (Figure 7's series).
+pub fn predicted_intra_only_run(
+    wl: &Workload,
+    intra: IntraMode,
+    cfg: &DeviceConfig,
+) -> KernelRun {
+    let tally = predicted_intra_only_tally(wl, intra);
+    let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount)
+        .with_intra(intra);
+    let (regs, shm) = spec.resources(wl);
+    let dev = gpu_sim::Device::new(cfg.clone());
+    dev.estimate(
+        match intra {
+            IntraMode::Regular => "register-shm",
+            IntraMode::LoadBalanced => "register-shm-lb",
+        },
+        &tally,
+        wl.launch(),
+        regs,
+        shm,
+    )
+}
+
+/// Predict the Figure-3 reduction kernel's tally (for end-to-end SDH
+/// predictions): one thread per bucket, summing `copies` private copies.
+pub fn predicted_reduction_run(buckets: u32, copies: u32, cfg: &DeviceConfig) -> KernelRun {
+    let mut acc = Acc::new();
+    let lc = LaunchConfig::for_n_threads(buckets, 256);
+    let warps = (buckets as u64).div_ceil(32);
+    let m = copies as u64;
+    acc.control(warps * (m + 1));
+    acc.gload(warps * m, 4 * buckets as u64 * m);
+    acc.alu(warps * m * 2);
+    acc.gstore(warps, 8 * buckets as u64);
+    acc.t.blocks_executed = lc.grid_dim as u64;
+    acc.t.warps_executed = lc.grid_dim as u64 * lc.warps_per_block() as u64;
+    let touches = warps * m * 4 + warps * 8;
+    let unique = (buckets as u64 * m).div_ceil(8) + (buckets as u64).div_ceil(4);
+    acc.t.dram_sectors = unique.min(touches);
+    acc.t.l2_hit_sectors = touches - acc.t.dram_sectors;
+    let dev = gpu_sim::Device::new(cfg.clone());
+    dev.estimate("histogram-reduce", &acc.t, lc, 16, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> Workload {
+        Workload { n: 1024, b: 128, dims: 3, dist_cost: 7 }
+    }
+
+    #[test]
+    fn workload_arithmetic() {
+        let w = wl();
+        assert_eq!(w.m(), 8);
+        assert_eq!(w.w(), 4);
+        assert_eq!(w.block_pairs(), 28);
+        assert_eq!(w.pairs(), 1024 * 1023 / 2);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn every_variant_produces_a_positive_prediction() {
+        let cfg = DeviceConfig::titan_x();
+        for input in [
+            InputPath::Naive,
+            InputPath::ShmShm,
+            InputPath::RegisterShm,
+            InputPath::RegisterRoc,
+            InputPath::Shuffle,
+        ] {
+            for output in [
+                OutputPath::RegisterCount,
+                OutputPath::SharedHistogram { buckets: 256 },
+                OutputPath::GlobalHistogram { buckets: 256 },
+            ] {
+                let run = predicted_run(&wl(), &KernelSpec::new(input, output), &cfg);
+                assert!(
+                    run.timing.seconds > 0.0,
+                    "{}/{} must cost time",
+                    input.name(),
+                    output.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_scale_quadratically() {
+        let cfg = DeviceConfig::titan_x();
+        let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount);
+        let t1 = predicted_run(&Workload { n: 64 * 1024, ..wl() }, &spec, &cfg).seconds();
+        let t2 = predicted_run(&Workload { n: 128 * 1024, ..wl() }, &spec, &cfg).seconds();
+        let ratio = t2 / t1;
+        assert!((3.0..5.0).contains(&ratio), "quadratic scaling, got {ratio}");
+    }
+
+    #[test]
+    fn shm_shm_predicts_slightly_more_shared_traffic() {
+        let cfg = DeviceConfig::titan_x();
+        let a = predicted_tally(
+            &wl(),
+            &KernelSpec::new(InputPath::ShmShm, OutputPath::RegisterCount),
+            &cfg,
+        );
+        let b = predicted_tally(
+            &wl(),
+            &KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount),
+            &cfg,
+        );
+        // Hoisted L[t]: one extra gather per (tile, warp) + per intra
+        // phase, not 2× (see the kernel's comment on equation 4 vs 5).
+        assert!(a.shared_load_instructions > b.shared_load_instructions);
+        let ratio = a.shared_load_instructions as f64 / b.shared_load_instructions as f64;
+        assert!((1.0..1.2).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn load_balancing_removes_predicted_divergence() {
+        let cfg = DeviceConfig::titan_x();
+        let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount);
+        let reg = predicted_tally(&wl(), &spec, &cfg);
+        let lb = predicted_tally(&wl(), &spec.with_intra(IntraMode::LoadBalanced), &cfg);
+        assert!(reg.divergent_iterations > 0);
+        assert_eq!(lb.divergent_iterations, 0);
+    }
+
+    #[test]
+    fn reduction_prediction_is_small_relative_to_pair_stage() {
+        let cfg = DeviceConfig::titan_x();
+        let pair = predicted_run(
+            &Workload { n: 128 * 1024, b: 1024, dims: 3, dist_cost: 7 },
+            &KernelSpec::new(
+                InputPath::RegisterShm,
+                OutputPath::SharedHistogram { buckets: 1024 },
+            ),
+            &cfg,
+        );
+        let red = predicted_reduction_run(1024, 128, &cfg);
+        assert!(red.seconds() < pair.seconds() / 10.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Histogram specification and host-side histogram type (the SDH/RDF
+//! output structure — the paper's Type-II output).
+
+use gpu_sim::{F32x32, Mask, U32x32, WarpCtx};
+
+/// Specification of a distance histogram: `buckets` equal-width buckets
+/// covering `[0, max_distance)`; distances beyond the range clamp into
+/// the last bucket (matching the usual SDH convention where
+/// `max_distance` is the domain diagonal, so nothing actually clamps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    /// Number of buckets (the paper's histogram size `Hs`).
+    pub buckets: u32,
+    /// Upper edge of the histogram range.
+    pub max_distance: f32,
+}
+
+impl HistogramSpec {
+    pub fn new(buckets: u32, max_distance: f32) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(max_distance > 0.0, "histogram range must be positive");
+        HistogramSpec { buckets, max_distance }
+    }
+
+    /// Bucket width `w = max_distance / buckets`.
+    pub fn bucket_width(&self) -> f32 {
+        self.max_distance / self.buckets as f32
+    }
+
+    /// Reciprocal width, the constant the kernels multiply by.
+    pub fn inv_width(&self) -> f32 {
+        self.buckets as f32 / self.max_distance
+    }
+
+    /// Host-side bucket index for a distance.
+    pub fn bucket_of(&self, d: f32) -> u32 {
+        ((d * self.inv_width()) as u32).min(self.buckets - 1)
+    }
+
+    /// Device-side bucket computation: multiply by the reciprocal width,
+    /// truncate, clamp. Charges exactly 2 ALU warp instructions
+    /// (`FMUL` + `F2I`-with-clamp), the cost the analytic model mirrors.
+    pub fn bucket_lanes(&self, w: &mut WarpCtx<'_, '_>, d: &F32x32, mask: Mask) -> U32x32 {
+        w.charge_alu(2, mask);
+        let inv = self.inv_width();
+        let hmax = self.buckets - 1;
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                ((d[i] * inv) as u32).min(hmax)
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Bytes one private `u32` copy of this histogram occupies in shared
+    /// memory.
+    pub fn shared_bytes(&self) -> u32 {
+        self.buckets * 4
+    }
+}
+
+/// A host-side distance histogram with `u64` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A zeroed histogram with `buckets` buckets.
+    pub fn zeroed(buckets: u32) -> Self {
+        Histogram { counts: vec![0; buckets as usize] }
+    }
+
+    /// Wrap existing counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Histogram { counts }
+    }
+
+    /// The bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Add one observation to bucket `b`.
+    pub fn add(&mut self, b: u32) {
+        self.counts[b as usize] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, o: &Histogram) {
+        assert_eq!(self.counts.len(), o.counts.len(), "histogram sizes differ");
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_edges() {
+        let spec = HistogramSpec::new(10, 10.0);
+        assert_eq!(spec.bucket_of(0.0), 0);
+        assert_eq!(spec.bucket_of(0.999), 0);
+        assert_eq!(spec.bucket_of(1.0), 1);
+        assert_eq!(spec.bucket_of(9.99), 9);
+        // Clamping at and beyond the range.
+        assert_eq!(spec.bucket_of(10.0), 9);
+        assert_eq!(spec.bucket_of(1e9), 9);
+    }
+
+    #[test]
+    fn widths_are_consistent() {
+        let spec = HistogramSpec::new(250, 173.2);
+        assert!((spec.bucket_width() * spec.buckets as f32 - spec.max_distance).abs() < 1e-3);
+        assert!((spec.inv_width() - 1.0 / spec.bucket_width()).abs() < 1e-6);
+        assert_eq!(spec.shared_bytes(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        HistogramSpec::new(0, 1.0);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_merges() {
+        let mut h = Histogram::zeroed(4);
+        h.add(0);
+        h.add(3);
+        h.add(3);
+        assert_eq!(h.total(), 3);
+        let mut g = Histogram::zeroed(4);
+        g.add(1);
+        g.merge(&h);
+        assert_eq!(g.counts(), &[1, 1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn merge_rejects_mismatched_sizes() {
+        Histogram::zeroed(3).merge(&Histogram::zeroed(4));
+    }
+}

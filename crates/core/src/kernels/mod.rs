@@ -1,0 +1,246 @@
+//! The paper's GPU kernel variants for the pairwise-computation stage.
+//!
+//! | module | paper reference | input data path |
+//! |---|---|---|
+//! | [`naive`] | Algorithm 1 | global memory only |
+//! | [`shm_shm`] | Algorithm 2, "SHM-SHM" | both tiles in shared memory |
+//! | [`register_shm`] | Algorithm 3, "Register-SHM" | own datum in a register, R tile in shared memory |
+//! | [`register_roc`] | §IV-A, "Register-ROC" | own datum in a register, tiles through the read-only cache |
+//! | [`shuffle`] | Algorithm 4 | own datum + tile fragments in registers, exchanged with warp shuffle |
+//! | [`reduction`] | Figure 3 | combines privatized output copies |
+//!
+//! Every variant is generic over the distance function and the
+//! [`crate::output::PairAction`], so e.g. the paper's `Reg-ROC-Out` SDH
+//! kernel is `RegisterRocKernel` × `SharedHistogramAction`.
+
+pub mod cross;
+pub mod naive;
+pub mod reduction;
+pub mod register_roc;
+pub mod register_shm;
+pub mod shm_shm;
+pub mod shuffle;
+
+pub use cross::CrossShmKernel;
+pub use naive::NaiveKernel;
+pub use reduction::{HistogramReduceKernel, SumReduceKernel};
+pub use register_roc::RegisterRocKernel;
+pub use register_shm::RegisterShmKernel;
+pub use shm_shm::ShmShmKernel;
+pub use shuffle::ShuffleKernel;
+
+use crate::distance::DistanceKernel;
+use crate::output::PairAction;
+use crate::point::DeviceSoa;
+use gpu_sim::{BlockCtx, F32x32, LaunchConfig, Mask, ShmF32, U32x32, WarpCtx, WARP_SIZE};
+
+/// Which pairs a kernel evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairScope {
+    /// Each unordered pair `{i, j}` exactly once (`i < j`) — the paper's
+    /// Algorithms 1–4 (2-PCF, SDH, joins, Gram matrices).
+    HalfPairs,
+    /// Each ordered pair `(i, j)`, `i ≠ j` — required when every point
+    /// must observe every other point (kNN, KDE).
+    AllPairs,
+}
+
+/// How the intra-block triangle is iterated (paper §IV-E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraMode {
+    /// Thread `t` pairs with `t+1 … B−1`: divergent trip counts.
+    #[default]
+    Regular,
+    /// The paper's load-balanced `(t + j) mod B` pairing: every thread
+    /// does `B/2` iterations (upper half one fewer), divergence-free for
+    /// full blocks.
+    LoadBalanced,
+}
+
+/// Number of data blocks for `n` points in blocks of `b` — the paper's
+/// equation (1), `M = N / B`, generalized to ragged `n`.
+pub fn num_blocks(n: u32, b: u32) -> u32 {
+    n.div_ceil(b).max(1)
+}
+
+/// Standard launch for a 2-BS kernel: one thread block per data block.
+pub fn pair_launch(n: u32, block_size: u32) -> LaunchConfig {
+    LaunchConfig::new(num_blocks(n, block_size), block_size)
+}
+
+// ====================================================================
+// shared kernel-building blocks
+// ====================================================================
+
+/// Load each thread's own datum into "registers": one coalesced global
+/// load per warp per dimension. Returns per-warp lane coordinates.
+pub(crate) fn load_own_registers<const D: usize>(
+    blk: &mut BlockCtx<'_>,
+    input: &DeviceSoa<D>,
+) -> Vec<[F32x32; D]> {
+    let n = input.n;
+    let coords = input.coords;
+    let mut regs: Vec<[F32x32; D]> = vec![[[0.0; WARP_SIZE]; D]; blk.num_warps() as usize];
+    blk.for_each_warp(|w| {
+        let gid = w.global_thread_ids();
+        let m = w.mask_lt(&gid, n).and(w.active_threads());
+        for d in 0..D {
+            regs[w.warp_id as usize][d] = w.global_load_f32(coords[d], &gid, m);
+        }
+    });
+    regs
+}
+
+/// Allocate a shared-memory tile of `len` points × `D` coordinates.
+pub(crate) fn alloc_tile<const D: usize>(blk: &mut BlockCtx<'_>, len: u32) -> [ShmF32; D] {
+    std::array::from_fn(|_| blk.shared_alloc_f32(len as usize))
+}
+
+/// Cooperatively load points `[start, start + count)` into a shared tile:
+/// thread `t` loads element `t` (coalesced global load + conflict-free
+/// shared store per dimension). Caller must `syncthreads()` afterwards.
+pub(crate) fn load_tile_to_shared<const D: usize>(
+    blk: &mut BlockCtx<'_>,
+    input: &DeviceSoa<D>,
+    tile: &[ShmF32; D],
+    start: u32,
+    count: u32,
+) {
+    let coords = input.coords;
+    blk.for_each_warp(|w| {
+        let tid = w.thread_ids();
+        let m = w.mask_lt(&tid, count).and(w.active_threads());
+        if !m.any() {
+            return;
+        }
+        let src: U32x32 = std::array::from_fn(|i| start + tid[i]);
+        w.charge_alu(1, m);
+        for d in 0..D {
+            let v = w.global_load_f32(coords[d], &src, m);
+            w.shared_store_f32(tile[d], &tid, &v, m);
+        }
+    });
+}
+
+/// Read tile element `j` as a warp broadcast from shared memory (one
+/// transaction per dimension).
+pub(crate) fn broadcast_from_shared<const D: usize>(
+    w: &mut WarpCtx<'_, '_>,
+    tile: &[ShmF32; D],
+    j: u32,
+    mask: Mask,
+) -> [F32x32; D] {
+    std::array::from_fn(|d| w.shared_load_f32(tile[d], &[j; WARP_SIZE], mask))
+}
+
+/// Gather per-lane tile elements (staggered, conflict-free for
+/// consecutive indices) from shared memory.
+pub(crate) fn gather_from_shared<const D: usize>(
+    w: &mut WarpCtx<'_, '_>,
+    tile: &[ShmF32; D],
+    idx: &U32x32,
+    mask: Mask,
+) -> [F32x32; D] {
+    std::array::from_fn(|d| w.shared_load_f32(tile[d], idx, mask))
+}
+
+/// The intra-block pair phase over a tile resident in shared memory
+/// (paper Algorithm 2 lines 9–12 / Algorithm 3 lines 11–14), in either
+/// [`IntraMode`]. `block_n` is the number of valid points in this block.
+///
+/// Reads partners from shared memory; `own` holds each thread's datum in
+/// registers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn intra_block_shared<const D: usize, F: DistanceKernel<D>, A: PairAction>(
+    blk: &mut BlockCtx<'_>,
+    tile: &[ShmF32; D],
+    own: &[[F32x32; D]],
+    dist: &F,
+    action: &A,
+    st: &mut A::Block,
+    block_start: u32,
+    block_n: u32,
+    mode: IntraMode,
+) {
+    let bd = blk.block_dim;
+    blk.for_each_warp(|w| {
+        let tid = w.thread_ids();
+        let gid = w.global_thread_ids();
+        let valid = w.mask_lt(&tid, block_n).and(w.active_threads());
+        let reg = &own[w.warp_id as usize];
+        match mode {
+            IntraMode::Regular => {
+                // Thread t pairs with t+1 .. block_n-1: divergent trips.
+                let trips: U32x32 =
+                    std::array::from_fn(|i| {
+                        if valid.lane(i) {
+                            block_n.saturating_sub(1).saturating_sub(tid[i])
+                        } else {
+                            0
+                        }
+                    });
+                w.divergent_loop(&trips, valid, |w2, k, active| {
+                    let pidx: U32x32 = std::array::from_fn(|i| tid[i] + 1 + k);
+                    w2.charge_alu(1, active);
+                    let partner = gather_from_shared(w2, tile, &pidx, active);
+                    let d = dist.eval(w2, reg, &partner, active);
+                    let right: U32x32 = std::array::from_fn(|i| block_start + pidx[i]);
+                    action.process(w2, st, &gid, &right, &d, active);
+                });
+            }
+            IntraMode::LoadBalanced => {
+                // Thread t pairs with (t + j) mod B for j = 1 .. B/2;
+                // only the lower half runs the final iteration (paper
+                // Figure 6). Trip counts are uniform within each warp, so
+                // full blocks incur zero divergence.
+                debug_assert!(bd.is_multiple_of(2), "load balancing requires an even block size");
+                let half = bd / 2;
+                let trips: U32x32 = std::array::from_fn(|i| {
+                    if valid.lane(i) {
+                        if tid[i] < half {
+                            half
+                        } else {
+                            half - 1
+                        }
+                    } else {
+                        0
+                    }
+                });
+                w.divergent_loop(&trips, valid, |w2, k, active| {
+                    let j = k + 1;
+                    let pidx: U32x32 = std::array::from_fn(|i| (tid[i] + j) % bd);
+                    // Address computation + partner-validity test.
+                    w2.charge_alu(2, active);
+                    let pvalid = Mask::from_fn(|i| active.lane(i) && pidx[i] < block_n);
+                    if !pvalid.any() {
+                        return;
+                    }
+                    let partner = gather_from_shared(w2, tile, &pidx, pvalid);
+                    let d = dist.eval(w2, reg, &partner, pvalid);
+                    let right: U32x32 = std::array::from_fn(|i| block_start + pidx[i]);
+                    action.process(w2, st, &gid, &right, &d, pvalid);
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_blocks_matches_equation_one() {
+        assert_eq!(num_blocks(1024, 256), 4); // M = N / B
+        assert_eq!(num_blocks(1000, 256), 4); // ragged
+        assert_eq!(num_blocks(1, 256), 1);
+        assert_eq!(num_blocks(0, 256), 1);
+    }
+
+    #[test]
+    fn pair_launch_geometry() {
+        let lc = pair_launch(2048, 128);
+        assert_eq!(lc.grid_dim, 16);
+        assert_eq!(lc.block_dim, 128);
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-core 2-point correlation function (Type-I comparator).
+
+use crate::schedule::{RowQueue, Schedule};
+use tbs_core::point::SoaPoints;
+
+/// Count pairs with Euclidean distance `< radius`, in parallel with
+/// per-thread register accumulators (no shared state on the hot path).
+pub fn pcf_parallel<const D: usize>(
+    pts: &SoaPoints<D>,
+    radius: f32,
+    threads: usize,
+    schedule: Schedule,
+) -> u64 {
+    let n = pts.len();
+    if n < 2 {
+        return 0;
+    }
+    let threads = threads.clamp(1, n);
+    let queue = RowQueue::new(n - 1, threads, schedule);
+    let r2 = radius * radius;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut count = 0u64;
+                    let mut sstate = 0usize;
+                    while let Some(rows) = queue.next(worker, &mut sstate) {
+                        for i in rows {
+                            let a = pts.point(i);
+                            for j in (i + 1)..n {
+                                let b = pts.point(j);
+                                let mut s = 0.0f32;
+                                for d in 0..D {
+                                    let diff = a[d] - b[d];
+                                    s = diff.mul_add(diff, s);
+                                }
+                                // Squared-radius comparison: no sqrt on
+                                // the hot path (the paper's "algebraic
+                                // elimination of costly instructions").
+                                count += u64::from(s < r2);
+                            }
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pcf worker panicked")).sum()
+    })
+}
+
+/// Single-threaded reference.
+pub fn pcf_reference<const D: usize>(pts: &SoaPoints<D>, radius: f32) -> u64 {
+    let n = pts.len();
+    let r2 = radius * radius;
+    let mut count = 0u64;
+    for i in 0..n {
+        let a = pts.point(i);
+        for j in (i + 1)..n {
+            let b = pts.point(j);
+            let mut s = 0.0f32;
+            for d in 0..D {
+                let diff = a[d] - b[d];
+                s = diff.mul_add(diff, s);
+            }
+            count += u64::from(s < r2);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbs_datagen::uniform_points;
+
+    #[test]
+    fn parallel_matches_reference() {
+        let pts = uniform_points::<3>(800, 100.0, 13);
+        let expect = pcf_reference(&pts, 20.0);
+        for schedule in [Schedule::static_default(), Schedule::dynamic_default(), Schedule::Guided]
+        {
+            assert_eq!(pcf_parallel(&pts, 20.0, 4, schedule), expect, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn radius_extremes() {
+        let pts = uniform_points::<2>(200, 100.0, 1);
+        assert_eq!(pcf_parallel(&pts, 0.0, 4, Schedule::Guided), 0);
+        let all = pcf_parallel(&pts, 1e9, 4, Schedule::Guided);
+        assert_eq!(all, 200 * 199 / 2);
+    }
+}

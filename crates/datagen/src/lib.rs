@@ -1,0 +1,169 @@
+//! # tbs-datagen — synthetic workload generators
+//!
+//! The paper evaluates on synthetic data: *"Particle coordinates are
+//! generated following a uniform distribution in a region"* (§IV-B), with
+//! sizes from 512 to 2 million points. This crate provides that
+//! generator plus a clustered (Gaussian-mixture) generator used by the
+//! skew-sensitivity extension study, both fully deterministic under a
+//! seed.
+
+//! ```
+//! let pts = tbs_datagen::uniform_points::<3>(1000, 100.0, 7);
+//! assert_eq!(pts.len(), 1000);
+//! // Deterministic under the seed:
+//! assert_eq!(pts, tbs_datagen::uniform_points::<3>(1000, 100.0, 7));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tbs_core::point::SoaPoints;
+
+/// The default simulation-box edge length used across the experiments.
+pub const DEFAULT_BOX: f32 = 100.0;
+
+/// Uniformly-distributed points in `[0, edge)^D` — the paper's workload.
+pub fn uniform_points<const D: usize>(n: usize, edge: f32, seed: u64) -> SoaPoints<D> {
+    assert!(edge > 0.0, "box edge must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = SoaPoints::with_capacity(n);
+    for _ in 0..n {
+        pts.push(std::array::from_fn(|_| rng.random_range(0.0..edge)));
+    }
+    pts
+}
+
+/// Points drawn from a mixture of `clusters` isotropic Gaussians whose
+/// centers are uniform in the box. `spread` is the per-cluster standard
+/// deviation; coordinates are clamped into the box.
+///
+/// Skewed inputs concentrate pairwise distances into few histogram
+/// buckets, stressing the atomic-contention behaviour the paper observes
+/// at small output sizes (its Figure 5 discussion).
+pub fn clustered_points<const D: usize>(
+    n: usize,
+    edge: f32,
+    clusters: usize,
+    spread: f32,
+    seed: u64,
+) -> SoaPoints<D> {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(spread >= 0.0, "spread must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<[f32; D]> = (0..clusters)
+        .map(|_| std::array::from_fn(|_| rng.random_range(0.0..edge)))
+        .collect();
+    let mut pts = SoaPoints::with_capacity(n);
+    for i in 0..n {
+        let c = centers[i % clusters];
+        pts.push(std::array::from_fn(|d| {
+            // Clamp strictly inside the box: `edge - f32::EPSILON` would
+            // round back to `edge` for edges ≥ 2, so scale the margin.
+            (c[d] + gaussian(&mut rng) * spread).clamp(0.0, edge * (1.0 - 1e-6))
+        }));
+    }
+    pts
+}
+
+/// A standard normal sample via Box–Muller (the offline crate set has no
+/// `rand_distr`).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// The maximum possible pairwise distance in a `[0, edge)^D` box (the
+/// diagonal) — the natural SDH histogram range.
+pub fn box_diagonal(edge: f32, dims: u32) -> f32 {
+    edge * (dims as f32).sqrt()
+}
+
+/// The paper's data-size sweep: 512 → 2 M points (§IV-B), thinned to
+/// `steps` geometrically-spaced sizes, each rounded to a multiple of
+/// `block` so launches are full (equation 1's `M = N/B`).
+pub fn paper_sweep(steps: usize, block: u32) -> Vec<u32> {
+    assert!(steps >= 2);
+    let (lo, hi) = (512f64.max(block as f64), 2_000_000f64);
+    (0..steps)
+        .map(|i| {
+            let x = lo * (hi / lo).powf(i as f64 / (steps - 1) as f64);
+            ((x / block as f64).round().max(1.0) as u32) * block
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_bounds() {
+        let a = uniform_points::<3>(1000, 100.0, 7);
+        let b = uniform_points::<3>(1000, 100.0, 7);
+        let c = uniform_points::<3>(1000, 100.0, 8);
+        assert_eq!(a, b, "same seed, same data");
+        assert_ne!(a, c, "different seed, different data");
+        for p in a.iter() {
+            for &x in &p {
+                assert!((0.0..100.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_box() {
+        let pts = uniform_points::<2>(10_000, 100.0, 1);
+        let mean: f32 = pts.coord(0).iter().sum::<f32>() / 10_000.0;
+        assert!((45.0..55.0).contains(&mean), "mean {mean}");
+        let lo = pts.coord(0).iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = pts.coord(0).iter().cloned().fold(0.0f32, f32::max);
+        assert!(lo < 5.0 && hi > 95.0);
+    }
+
+    #[test]
+    fn clustered_concentrates_points() {
+        let pts = clustered_points::<3>(4000, 100.0, 4, 1.0, 3);
+        assert_eq!(pts.len(), 4000);
+        // Average nearest-center distance must be ~spread, far below the
+        // uniform expectation (~tens).
+        let centers: Vec<[f32; 3]> = (0..4).map(|c| pts.point(c)).collect();
+        let mut total = 0.0f64;
+        for p in pts.iter().take(500) {
+            let d = centers
+                .iter()
+                .map(|c| {
+                    ((p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2)).sqrt()
+                })
+                .fold(f32::INFINITY, f32::min);
+            total += d as f64;
+        }
+        assert!(total / 500.0 < 10.0, "avg nearest-center {}", total / 500.0);
+    }
+
+    #[test]
+    fn clustered_stays_in_bounds() {
+        let pts = clustered_points::<2>(2000, 50.0, 3, 20.0, 11);
+        for p in pts.iter() {
+            assert!((0.0..50.0).contains(&p[0]) && (0.0..50.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn box_diagonal_matches_geometry() {
+        assert!((box_diagonal(100.0, 3) - 173.205).abs() < 0.01);
+        assert!((box_diagonal(1.0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_sweep_is_full_block_and_monotone() {
+        let sweep = paper_sweep(8, 1024);
+        assert_eq!(sweep.len(), 8);
+        for w in sweep.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &n in &sweep {
+            assert_eq!(n % 1024, 0);
+        }
+        assert!(*sweep.last().unwrap() >= 1_900_000);
+    }
+}

@@ -1,0 +1,318 @@
+//! The simulated device: owns global memory and runs kernels.
+
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::exec::{BlockCtx, Kernel, KernelRun, LaunchConfig};
+use crate::mem::{BufF32, BufU32, BufU64, GlobalMem, L2Cache};
+use crate::occupancy::occupancy;
+use crate::profile::KernelProfile;
+use crate::tally::AccessTally;
+use crate::timing::TimingModel;
+
+/// A simulated GPU.
+///
+/// Allocate buffers, launch kernels, read results back — the same
+/// lifecycle as a CUDA context. Kernel launches are *functional*: they
+/// really compute, and the returned [`KernelRun`] carries the measured
+/// access tally, occupancy, simulated timing and a profiler-style report.
+pub struct Device {
+    cfg: DeviceConfig,
+    global: GlobalMem,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Device { cfg, global: GlobalMem::new() }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocate and upload an `f32` buffer (`cudaMalloc` + `cudaMemcpy`).
+    pub fn alloc_f32(&mut self, data: Vec<f32>) -> BufF32 {
+        self.global.alloc_f32(data)
+    }
+
+    /// Allocate a zeroed `f32` buffer.
+    pub fn alloc_f32_zeroed(&mut self, len: usize) -> BufF32 {
+        self.global.alloc_f32(vec![0.0; len])
+    }
+
+    /// Allocate and upload a `u32` buffer.
+    pub fn alloc_u32(&mut self, data: Vec<u32>) -> BufU32 {
+        self.global.alloc_u32(data)
+    }
+
+    /// Allocate a zeroed `u32` buffer.
+    pub fn alloc_u32_zeroed(&mut self, len: usize) -> BufU32 {
+        self.global.alloc_u32(vec![0; len])
+    }
+
+    /// Allocate and upload a `u64` buffer.
+    pub fn alloc_u64(&mut self, data: Vec<u64>) -> BufU64 {
+        self.global.alloc_u64(data)
+    }
+
+    /// Allocate a zeroed `u64` buffer.
+    pub fn alloc_u64_zeroed(&mut self, len: usize) -> BufU64 {
+        self.global.alloc_u64(vec![0; len])
+    }
+
+    /// Read an `f32` buffer back (`cudaMemcpy` device→host).
+    pub fn f32_slice(&self, b: BufF32) -> &[f32] {
+        self.global.f32_slice(b)
+    }
+
+    /// Read a `u32` buffer back.
+    pub fn u32_slice(&self, b: BufU32) -> &[u32] {
+        self.global.u32_slice(b)
+    }
+
+    /// Read a `u64` buffer back.
+    pub fn u64_slice(&self, b: BufU64) -> &[u64] {
+        self.global.u64_slice(b)
+    }
+
+    /// Overwrite a `u64` buffer from the host (e.g. to zero an output
+    /// between runs).
+    pub fn write_u64(&mut self, b: BufU64, data: &[u64]) {
+        self.global.u64_slice_mut(b).copy_from_slice(data);
+    }
+
+    /// Overwrite a `u32` buffer from the host.
+    pub fn write_u32(&mut self, b: BufU32, data: &[u32]) {
+        self.global.u32_slice_mut(b).copy_from_slice(data);
+    }
+
+    /// Total bytes currently allocated in global memory.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.global.allocated_bytes()
+    }
+
+    /// Launch a kernel, propagating simulated faults as errors.
+    ///
+    /// The engine executes blocks sequentially (their results are
+    /// order-independent for the atomics-based kernels the paper studies)
+    /// with a cold, device-wide L2 per launch, and each block gets fresh
+    /// shared memory and read-only-cache state.
+    pub fn try_launch<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        lc: LaunchConfig,
+    ) -> Result<KernelRun, SimError> {
+        lc.validate(&self.cfg)?;
+        let res = kernel.resources();
+        if res.regs_per_thread > self.cfg.max_registers_per_thread {
+            return Err(SimError::TooManyRegisters {
+                requested: res.regs_per_thread,
+                limit: self.cfg.max_registers_per_thread,
+            });
+        }
+        if res.shared_mem_bytes > self.cfg.shared_mem_per_block {
+            return Err(SimError::SharedMemOverflow {
+                requested: res.shared_mem_bytes as u64,
+                limit: self.cfg.shared_mem_per_block as u64,
+            });
+        }
+
+        let occ = occupancy(
+            &self.cfg,
+            lc.grid_dim,
+            lc.block_dim,
+            res.regs_per_thread,
+            res.shared_mem_bytes,
+        );
+
+        let mut l2 = L2Cache::new(self.cfg.l2_sectors());
+        let mut total = AccessTally::new();
+        for b in 0..lc.grid_dim {
+            let mut blk =
+                BlockCtx::new(&mut self.global, &mut l2, &self.cfg, b, lc.grid_dim, lc.block_dim);
+            kernel.run_block(&mut blk);
+            if let Some(fault) = blk.fault {
+                return Err(fault);
+            }
+            let allocated = blk.shared.allocated_bytes();
+            if allocated > res.shared_mem_bytes as u64 {
+                return Err(SimError::InvalidLaunch {
+                    reason: format!(
+                        "kernel '{}' allocated {} B of shared memory but declared {} B \
+                         (occupancy would be wrong)",
+                        kernel.name(),
+                        allocated,
+                        res.shared_mem_bytes
+                    ),
+                });
+            }
+            blk.tally.blocks_executed = 1;
+            blk.tally.warps_executed = lc.warps_per_block() as u64;
+            total.merge(&blk.tally);
+        }
+
+        let timing = TimingModel::new(&self.cfg).estimate(&total, &occ, lc.grid_dim);
+        let profile = KernelProfile::build(kernel.name(), &self.cfg, &total, &occ, &timing);
+        Ok(KernelRun {
+            kernel: kernel.name().to_string(),
+            launch: lc,
+            tally: total,
+            occupancy: occ,
+            timing,
+            profile,
+        })
+    }
+
+    /// Launch a kernel, panicking on simulated faults (out-of-bounds
+    /// accesses, invalid launches). Use [`Device::try_launch`] to handle
+    /// faults as values.
+    pub fn launch<K: Kernel + ?Sized>(&mut self, kernel: &K, lc: LaunchConfig) -> KernelRun {
+        match self.try_launch(kernel, lc) {
+            Ok(run) => run,
+            Err(e) => panic!("kernel '{}' faulted: {e}", kernel.name()),
+        }
+    }
+
+    /// Run only the timing model against an externally-produced tally
+    /// (e.g. the closed-form access profiles of `tbs-core::analytic`),
+    /// using this device's configuration. This is how paper-scale sweeps
+    /// (N up to 2×10⁶) are timed without executing O(N²) lane operations.
+    pub fn estimate(
+        &self,
+        kernel_name: &str,
+        tally: &AccessTally,
+        lc: LaunchConfig,
+        regs_per_thread: u32,
+        shared_mem_bytes: u32,
+    ) -> KernelRun {
+        let occ =
+            occupancy(&self.cfg, lc.grid_dim, lc.block_dim, regs_per_thread, shared_mem_bytes);
+        let timing = TimingModel::new(&self.cfg).estimate(tally, &occ, lc.grid_dim);
+        let profile = KernelProfile::build(kernel_name, &self.cfg, tally, &occ, &timing);
+        KernelRun {
+            kernel: kernel_name.to_string(),
+            launch: lc,
+            tally: tally.clone(),
+            occupancy: occ,
+            timing,
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{KernelResources, Mask};
+
+    struct FillKernel {
+        out: BufF32,
+        n: u32,
+        value: f32,
+    }
+    impl Kernel for FillKernel {
+        fn name(&self) -> &'static str {
+            "fill"
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources::new(8, 0)
+        }
+        fn run_block(&self, blk: &mut BlockCtx<'_>) {
+            let (value, out, n) = (self.value, self.out, self.n);
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let m = w.mask_lt(&gid, n);
+                w.global_store_f32(out, &gid, &[value; 32], m);
+            });
+        }
+    }
+
+    #[test]
+    fn launch_runs_all_blocks_and_reports() {
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let out = dev.alloc_f32_zeroed(1000);
+        let k = FillKernel { out, n: 1000, value: 3.5 };
+        let run = dev.launch(&k, LaunchConfig::for_n_threads(1000, 128));
+        assert!(dev.f32_slice(out).iter().all(|&x| x == 3.5));
+        assert_eq!(run.tally.blocks_executed, 8);
+        assert_eq!(run.tally.warps_executed, 32);
+        assert!(run.timing.seconds > 0.0);
+        assert!(run.occupancy.occupancy > 0.0);
+    }
+
+    #[test]
+    fn undeclared_shared_allocation_is_rejected() {
+        struct Greedy;
+        impl Kernel for Greedy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources::new(8, 16) // declares 16 B
+            }
+            fn run_block(&self, blk: &mut BlockCtx<'_>) {
+                blk.shared_alloc_f32(1024); // allocates 4 KB
+            }
+        }
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let err = dev.try_launch(&Greedy, LaunchConfig::new(1, 32)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+    }
+
+    #[test]
+    fn register_over_declaration_is_rejected() {
+        struct Hungry;
+        impl Kernel for Hungry {
+            fn name(&self) -> &'static str {
+                "hungry"
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources::new(10_000, 0)
+            }
+            fn run_block(&self, _blk: &mut BlockCtx<'_>) {}
+        }
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let err = dev.try_launch(&Hungry, LaunchConfig::new(1, 32)).unwrap_err();
+        assert!(matches!(err, SimError::TooManyRegisters { .. }));
+    }
+
+    #[test]
+    fn estimate_times_external_tallies() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let t = AccessTally {
+            warp_instructions: 1_000_000,
+            alu_instructions: 800_000,
+            ..Default::default()
+        };
+        let run = dev.estimate("analytic", &t, LaunchConfig::new(1000, 1024), 32, 0);
+        assert!(run.timing.seconds > 0.0);
+        assert_eq!(run.kernel, "analytic");
+    }
+
+    #[test]
+    fn atomic_add_is_deterministic_across_blocks() {
+        struct CountKernel {
+            out: BufU64,
+        }
+        impl Kernel for CountKernel {
+            fn name(&self) -> &'static str {
+                "count"
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources::new(8, 0)
+            }
+            fn run_block(&self, blk: &mut BlockCtx<'_>) {
+                let out = self.out;
+                blk.for_each_warp(|w| {
+                    w.global_atomic_add_u64(out, &[0; 32], &[1; 32], Mask::FULL);
+                });
+            }
+        }
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let out = dev.alloc_u64_zeroed(1);
+        let k = CountKernel { out };
+        dev.launch(&k, LaunchConfig::new(10, 256));
+        assert_eq!(dev.u64_slice(out)[0], 10 * 256);
+    }
+}

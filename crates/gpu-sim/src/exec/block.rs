@@ -1,0 +1,149 @@
+//! Per-block execution context.
+
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::exec::warp::WarpCtx;
+use crate::mem::{GlobalMem, L2Cache, RocCache, SharedSpace, ShmF32, ShmU32, ShmU64};
+use crate::tally::AccessTally;
+
+/// Execution context of one thread block.
+///
+/// Created by the engine for every block in the grid; gives the kernel
+/// access to global memory, the block's shared memory, and its warps.
+pub struct BlockCtx<'a> {
+    pub(crate) global: &'a mut GlobalMem,
+    pub(crate) l2: &'a mut L2Cache,
+    pub(crate) roc: RocCache,
+    pub(crate) shared: SharedSpace,
+    pub(crate) tally: AccessTally,
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) fault: Option<SimError>,
+    /// This block's id within the grid (`blockIdx.x`).
+    pub block_id: u32,
+    /// Number of blocks in the grid (`gridDim.x`).
+    pub grid_dim: u32,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: u32,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        global: &'a mut GlobalMem,
+        l2: &'a mut L2Cache,
+        cfg: &'a DeviceConfig,
+        block_id: u32,
+        grid_dim: u32,
+        block_dim: u32,
+    ) -> Self {
+        BlockCtx {
+            global,
+            l2,
+            roc: RocCache::new(cfg.roc_sectors()),
+            shared: SharedSpace::new(cfg.shared_banks),
+            tally: AccessTally::new(),
+            cfg,
+            fault: None,
+            block_id,
+            grid_dim,
+            block_dim,
+        }
+    }
+
+    /// Device configuration being simulated.
+    pub fn config(&self) -> &DeviceConfig {
+        self.cfg
+    }
+
+    /// Number of warps in this block.
+    pub fn num_warps(&self) -> u32 {
+        self.block_dim.div_ceil(crate::WARP_SIZE as u32)
+    }
+
+    /// Run `f` once per warp — one SIMT phase of the block. Stops early if
+    /// a fault was recorded.
+    pub fn for_each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_, 'a>)) {
+        for w in 0..self.num_warps() {
+            if self.fault.is_some() {
+                return;
+            }
+            let mut wc = WarpCtx::new(self, w);
+            f(&mut wc);
+        }
+    }
+
+    /// Block-wide barrier (`__syncthreads()`): charges one sync
+    /// instruction per warp. Phase ordering is provided by the engine
+    /// running `for_each_warp` sweeps to completion, so this is purely a
+    /// cost-accounting call — but kernels must place it exactly where the
+    /// CUDA code would, because the tally (and the analytic model that
+    /// mirrors it) depends on it.
+    pub fn syncthreads(&mut self) {
+        let w = self.num_warps() as u64;
+        self.tally.sync_instructions += w;
+        self.tally.warp_instructions += w;
+        self.tally.useful_lane_ops += w * crate::WARP_SIZE as u64;
+    }
+
+    /// Allocate a zeroed `f32` shared-memory array.
+    pub fn shared_alloc_f32(&mut self, len: usize) -> ShmF32 {
+        let h = self.shared.alloc_f32(len);
+        self.check_shared_limit();
+        h
+    }
+
+    /// Allocate a zeroed `u32` shared-memory array.
+    pub fn shared_alloc_u32(&mut self, len: usize) -> ShmU32 {
+        let h = self.shared.alloc_u32(len);
+        self.check_shared_limit();
+        h
+    }
+
+    /// Allocate a zeroed `u64` shared-memory array.
+    pub fn shared_alloc_u64(&mut self, len: usize) -> ShmU64 {
+        let h = self.shared.alloc_u64(len);
+        self.check_shared_limit();
+        h
+    }
+
+    fn check_shared_limit(&mut self) {
+        let used = self.shared.allocated_bytes();
+        if used > self.cfg.shared_mem_per_block as u64 && self.fault.is_none() {
+            self.fault = Some(SimError::SharedMemOverflow {
+                requested: used,
+                limit: self.cfg.shared_mem_per_block as u64,
+            });
+        }
+    }
+
+    /// Read a shared `f32` array directly (host-style debugging access —
+    /// carries no simulated cost).
+    pub fn shared_f32s(&self, h: ShmF32) -> &[f32] {
+        self.shared.f32s(h)
+    }
+
+    /// Read a shared `u32` array directly (no simulated cost).
+    pub fn shared_u32s(&self, h: ShmU32) -> &[u32] {
+        self.shared.u32s(h)
+    }
+
+    /// Read a shared `u64` array directly (no simulated cost).
+    pub fn shared_u64s(&self, h: ShmU64) -> &[u64] {
+        self.shared.u64s(h)
+    }
+
+    /// Bytes of shared memory allocated so far by this block.
+    pub fn shared_allocated(&self) -> u64 {
+        self.shared.allocated_bytes()
+    }
+
+    pub(crate) fn record_fault(&mut self, e: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Whether a fault has been recorded (subsequent ops are no-ops).
+    pub fn faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+}

@@ -1,0 +1,88 @@
+//! Kernel launch geometry.
+
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+
+/// A 1-D launch configuration (`<<<grid_dim, block_dim>>>` in CUDA).
+///
+/// All 2-BS kernels in the paper use 1-D grids: the number of thread
+/// blocks equals the number of data blocks (its equation 1, M = N / B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: u32,
+    /// Threads per block (the paper's B; it uses 1024 for the 2-PCF
+    /// experiments and 256 for the histogram-size study).
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig { grid_dim, block_dim }
+    }
+
+    /// Grid covering `n` threads with blocks of `block_dim`.
+    pub fn for_n_threads(n: u32, block_dim: u32) -> Self {
+        LaunchConfig {
+            grid_dim: n.div_ceil(block_dim.max(1)).max(1),
+            block_dim: block_dim.max(1),
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.block_dim.div_ceil(crate::WARP_SIZE as u32)
+    }
+
+    /// Validate against device limits.
+    pub fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimError> {
+        if self.grid_dim == 0 || self.block_dim == 0 {
+            return Err(SimError::InvalidLaunch {
+                reason: "grid_dim and block_dim must be non-zero".to_string(),
+            });
+        }
+        if self.block_dim > cfg.max_threads_per_block {
+            return Err(SimError::InvalidLaunch {
+                reason: format!(
+                    "block_dim {} exceeds device limit {}",
+                    self.block_dim, cfg.max_threads_per_block
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_n_threads_rounds_up() {
+        let lc = LaunchConfig::for_n_threads(1000, 256);
+        assert_eq!(lc.grid_dim, 4);
+        assert_eq!(lc.total_threads(), 1024);
+        assert_eq!(LaunchConfig::for_n_threads(1024, 256).grid_dim, 4);
+        assert_eq!(LaunchConfig::for_n_threads(1, 256).grid_dim, 1);
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        assert_eq!(LaunchConfig::new(1, 1024).warps_per_block(), 32);
+        assert_eq!(LaunchConfig::new(1, 33).warps_per_block(), 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let cfg = DeviceConfig::titan_x();
+        assert!(LaunchConfig::new(0, 128).validate(&cfg).is_err());
+        assert!(LaunchConfig::new(1, 0).validate(&cfg).is_err());
+        assert!(LaunchConfig::new(1, 2048).validate(&cfg).is_err());
+        assert!(LaunchConfig::new(1, 1024).validate(&cfg).is_ok());
+    }
+}

@@ -1,0 +1,118 @@
+//! Warp active masks.
+
+use crate::WARP_SIZE;
+
+/// A 32-bit active-lane mask, bit `i` = lane `i` participates.
+///
+/// Every [`super::WarpCtx`] operation takes a `Mask`; divergence is
+/// modeled by operations executing under partial masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mask(pub u32);
+
+impl Mask {
+    /// All 32 lanes active.
+    pub const FULL: Mask = Mask(u32::MAX);
+    /// No lanes active.
+    pub const NONE: Mask = Mask(0);
+
+    /// Mask with the first `n` lanes active (clamped to 32).
+    pub fn first_n(n: u32) -> Mask {
+        if n >= WARP_SIZE as u32 {
+            Mask::FULL
+        } else {
+            Mask((1u32 << n) - 1)
+        }
+    }
+
+    /// Mask from a per-lane predicate.
+    pub fn from_fn(mut pred: impl FnMut(usize) -> bool) -> Mask {
+        let mut bits = 0u32;
+        for lane in 0..WARP_SIZE {
+            if pred(lane) {
+                bits |= 1 << lane;
+            }
+        }
+        Mask(bits)
+    }
+
+    /// Is lane `i` active?
+    #[inline]
+    pub fn lane(&self, i: usize) -> bool {
+        debug_assert!(i < WARP_SIZE);
+        self.0 & (1 << i) != 0
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Any lane active?
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.0 != 0
+    }
+
+    /// All 32 lanes active?
+    #[inline]
+    pub fn all(&self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Intersection of two masks.
+    #[inline]
+    pub fn and(&self, o: Mask) -> Mask {
+        Mask(self.0 & o.0)
+    }
+
+    /// Union of two masks.
+    #[inline]
+    pub fn or(&self, o: Mask) -> Mask {
+        Mask(self.0 | o.0)
+    }
+
+    /// Lanes in `self` but not in `o`.
+    #[inline]
+    pub fn and_not(&self, o: Mask) -> Mask {
+        Mask(self.0 & !o.0)
+    }
+
+    /// Iterate indices of active lanes.
+    pub fn lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..WARP_SIZE).filter(move |&i| self.lane(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_basics() {
+        assert_eq!(Mask::first_n(0), Mask::NONE);
+        assert_eq!(Mask::first_n(32), Mask::FULL);
+        assert_eq!(Mask::first_n(33), Mask::FULL);
+        let m = Mask::first_n(5);
+        assert_eq!(m.count(), 5);
+        assert!(m.lane(4) && !m.lane(5));
+    }
+
+    #[test]
+    fn from_fn_and_lanes_roundtrip() {
+        let m = Mask::from_fn(|i| i % 3 == 0);
+        let lanes: Vec<usize> = m.lanes().collect();
+        assert_eq!(lanes, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30]);
+        assert_eq!(m.count() as usize, lanes.len());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask::first_n(8);
+        let b = Mask::from_fn(|i| i >= 4);
+        assert_eq!(a.and(b).count(), 4);
+        assert_eq!(a.or(b), Mask::FULL);
+        assert_eq!(a.and_not(b), Mask::first_n(4));
+        assert!(Mask::FULL.all() && !a.all() && a.any() && !Mask::NONE.any());
+    }
+}

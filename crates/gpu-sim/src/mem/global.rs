@@ -1,0 +1,199 @@
+//! Device global memory: typed buffers addressed by opaque handles.
+//!
+//! Buffers live for the lifetime of a [`crate::Device`]; kernels refer to
+//! them through the `Copy` handles [`BufF32`], [`BufU32`] and [`BufU64`],
+//! mirroring how CUDA kernels capture device pointers by value.
+
+use crate::error::SimError;
+
+/// Handle to an `f32` buffer in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufF32(pub(crate) u32);
+
+/// Handle to a `u32` buffer in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufU32(pub(crate) u32);
+
+/// Handle to a `u64` buffer in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufU64(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+pub(crate) enum Storage {
+    F32(Vec<f32>),
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl Storage {
+    fn elem_bytes(&self) -> u64 {
+        match self {
+            Storage::F32(_) | Storage::U32(_) => 4,
+            Storage::U64(_) => 8,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Storage::F32(v) => v.len(),
+            Storage::U32(v) => v.len(),
+            Storage::U64(v) => v.len(),
+        }
+    }
+}
+
+/// The global-memory address space of a simulated device.
+///
+/// Each buffer is placed at a distinct 256-byte-aligned base address so
+/// sector ids never collide between buffers (matching `cudaMalloc`'s
+/// alignment guarantee).
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    buffers: Vec<Storage>,
+    bases: Vec<u64>,
+    next_base: u64,
+}
+
+/// Alignment of every allocation (CUDA guarantees ≥ 256 bytes).
+const ALLOC_ALIGN: u64 = 256;
+
+impl GlobalMem {
+    pub fn new() -> Self {
+        GlobalMem {
+            buffers: Vec::new(),
+            bases: Vec::new(),
+            // Leave address 0 unused so a base address is never 0.
+            next_base: ALLOC_ALIGN,
+        }
+    }
+
+    fn push(&mut self, s: Storage) -> u32 {
+        let bytes = s.elem_bytes() * s.len() as u64;
+        let id = self.buffers.len() as u32;
+        self.bases.push(self.next_base);
+        self.next_base += bytes.div_ceil(ALLOC_ALIGN).max(1) * ALLOC_ALIGN;
+        self.buffers.push(s);
+        id
+    }
+
+    pub fn alloc_f32(&mut self, data: Vec<f32>) -> BufF32 {
+        BufF32(self.push(Storage::F32(data)))
+    }
+
+    pub fn alloc_u32(&mut self, data: Vec<u32>) -> BufU32 {
+        BufU32(self.push(Storage::U32(data)))
+    }
+
+    pub fn alloc_u64(&mut self, data: Vec<u64>) -> BufU64 {
+        BufU64(self.push(Storage::U64(data)))
+    }
+
+    /// Base byte address of buffer `id` in the flat device address space.
+    pub(crate) fn base_addr(&self, id: u32) -> u64 {
+        self.bases[id as usize]
+    }
+
+    pub fn f32_slice(&self, b: BufF32) -> &[f32] {
+        match &self.buffers[b.0 as usize] {
+            Storage::F32(v) => v,
+            _ => unreachable!("handle type guarantees f32 storage"),
+        }
+    }
+
+    pub fn f32_slice_mut(&mut self, b: BufF32) -> &mut [f32] {
+        match &mut self.buffers[b.0 as usize] {
+            Storage::F32(v) => v,
+            _ => unreachable!("handle type guarantees f32 storage"),
+        }
+    }
+
+    pub fn u32_slice(&self, b: BufU32) -> &[u32] {
+        match &self.buffers[b.0 as usize] {
+            Storage::U32(v) => v,
+            _ => unreachable!("handle type guarantees u32 storage"),
+        }
+    }
+
+    pub fn u32_slice_mut(&mut self, b: BufU32) -> &mut [u32] {
+        match &mut self.buffers[b.0 as usize] {
+            Storage::U32(v) => v,
+            _ => unreachable!("handle type guarantees u32 storage"),
+        }
+    }
+
+    pub fn u64_slice(&self, b: BufU64) -> &[u64] {
+        match &self.buffers[b.0 as usize] {
+            Storage::U64(v) => v,
+            _ => unreachable!("handle type guarantees u64 storage"),
+        }
+    }
+
+    pub fn u64_slice_mut(&mut self, b: BufU64) -> &mut [u64] {
+        match &mut self.buffers[b.0 as usize] {
+            Storage::U64(v) => v,
+            _ => unreachable!("handle type guarantees u64 storage"),
+        }
+    }
+
+    /// Bounds-check an element access, reporting a kernel-style fault.
+    pub(crate) fn check_bounds(&self, id: u32, idx: u32, what: &str) -> Result<(), SimError> {
+        let len = self.buffers[id as usize].len();
+        if (idx as usize) < len {
+            Ok(())
+        } else {
+            Err(SimError::OutOfBounds {
+                what: what.to_string(),
+                index: idx as usize,
+                len,
+            })
+        }
+    }
+
+    /// Total bytes allocated on the device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.buffers.iter().map(|s| s.elem_bytes() * s.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_readback() {
+        let mut g = GlobalMem::new();
+        let b = g.alloc_f32(vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.f32_slice(b), &[1.0, 2.0, 3.0]);
+        g.f32_slice_mut(b)[1] = 9.0;
+        assert_eq!(g.f32_slice(b)[1], 9.0);
+    }
+
+    #[test]
+    fn buffers_get_disjoint_aligned_bases() {
+        let mut g = GlobalMem::new();
+        let a = g.alloc_f32(vec![0.0; 3]); // 12 bytes -> one 256B slot
+        let b = g.alloc_u64(vec![0; 100]); // 800 bytes -> four slots
+        let c = g.alloc_u32(vec![0; 1]);
+        let (a, b, c) = (g.base_addr(a.0), g.base_addr(b.0), g.base_addr(c.0));
+        assert!(a % ALLOC_ALIGN == 0 && b % ALLOC_ALIGN == 0 && c % ALLOC_ALIGN == 0);
+        assert!(a < b && b < c);
+        assert!(b - a >= 256);
+        assert!(c - b >= 800);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut g = GlobalMem::new();
+        let b = g.alloc_u32(vec![0; 4]);
+        assert!(g.check_bounds(b.0, 3, "t").is_ok());
+        assert!(g.check_bounds(b.0, 4, "t").is_err());
+    }
+
+    #[test]
+    fn allocated_bytes_sums_buffers() {
+        let mut g = GlobalMem::new();
+        g.alloc_f32(vec![0.0; 10]);
+        g.alloc_u64(vec![0; 2]);
+        assert_eq!(g.allocated_bytes(), 40 + 16);
+    }
+}

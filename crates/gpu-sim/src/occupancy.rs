@@ -1,0 +1,188 @@
+//! The occupancy calculator.
+//!
+//! Occupancy — resident warps per SM over the hardware maximum — controls
+//! how much memory latency the SM can hide. The paper's Figure 5 shows it
+//! falling in *steps* as the SDH histogram (allocated in shared memory per
+//! block) grows, dragging performance down with it. This module computes
+//! those steps exactly the way the CUDA occupancy calculator does:
+//! blocks-per-SM is the minimum over four independent limits.
+
+use crate::config::DeviceConfig;
+use crate::WARP_SIZE;
+
+/// Which resource limited the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// Thread capacity of the SM (`max_threads_per_sm`).
+    Threads,
+    /// Shared memory per SM divided by per-block usage.
+    SharedMem,
+    /// Register file divided by per-block register usage.
+    Registers,
+    /// Hardware block-slot limit (`max_blocks_per_sm`).
+    BlockSlots,
+    /// The grid is too small to fill every SM.
+    GridSize,
+}
+
+/// Result of an occupancy computation for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM at steady state.
+    pub blocks_per_sm: u32,
+    /// Active warps per SM (`blocks_per_sm × warps_per_block`, capped by
+    /// the grid).
+    pub active_warps_per_sm: u32,
+    /// `active_warps_per_sm / max_warps_per_sm` in `[0, 1]`.
+    pub occupancy: f64,
+    /// The binding constraint.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Register allocation granularity: the register file is allocated in
+/// warp-level chunks of 256 registers (Maxwell allocation unit).
+const REG_ALLOC_UNIT: u32 = 256;
+
+/// Shared-memory allocation granularity in bytes.
+const SHM_ALLOC_UNIT: u32 = 256;
+
+/// Compute occupancy for a launch of blocks of `block_dim` threads, each
+/// thread using `regs_per_thread` registers and each block
+/// `shm_per_block` bytes of shared memory, on a grid of `grid_dim`
+/// blocks.
+pub fn occupancy(
+    cfg: &DeviceConfig,
+    grid_dim: u32,
+    block_dim: u32,
+    regs_per_thread: u32,
+    shm_per_block: u32,
+) -> Occupancy {
+    let warps_per_block = block_dim.div_ceil(WARP_SIZE as u32).max(1);
+
+    // Limit 1: thread capacity.
+    let by_threads = cfg.max_threads_per_sm / (warps_per_block * WARP_SIZE as u32);
+
+    // Limit 2: shared memory (rounded up to the allocation unit).
+    let shm_rounded = shm_per_block.div_ceil(SHM_ALLOC_UNIT) * SHM_ALLOC_UNIT;
+    let by_shm = cfg.shared_mem_per_sm.checked_div(shm_rounded).unwrap_or(u32::MAX);
+
+    // Limit 3: registers (allocated per warp in REG_ALLOC_UNIT chunks).
+    let regs_per_warp =
+        (regs_per_thread.max(1) * WARP_SIZE as u32).div_ceil(REG_ALLOC_UNIT) * REG_ALLOC_UNIT;
+    let warps_by_regs = cfg.registers_per_sm / regs_per_warp;
+    let by_regs = warps_by_regs / warps_per_block;
+
+    // Limit 4: block slots.
+    let by_slots = cfg.max_blocks_per_sm;
+
+    let mut blocks = by_threads.min(by_shm).min(by_regs).min(by_slots);
+    let mut limiter = if blocks == by_threads {
+        OccupancyLimiter::Threads
+    } else if blocks == by_shm {
+        OccupancyLimiter::SharedMem
+    } else if blocks == by_regs {
+        OccupancyLimiter::Registers
+    } else {
+        OccupancyLimiter::BlockSlots
+    };
+    // Prefer reporting the *scarce* resource when ties happen with the
+    // generous defaults: pick in priority order shm > regs > threads.
+    if blocks == by_shm && by_shm < by_threads {
+        limiter = OccupancyLimiter::SharedMem;
+    } else if blocks == by_regs && by_regs < by_threads {
+        limiter = OccupancyLimiter::Registers;
+    }
+
+    // A small grid cannot fill the SMs regardless of per-SM limits.
+    let avg_blocks_per_sm_from_grid = grid_dim.div_ceil(cfg.num_sms.max(1));
+    if avg_blocks_per_sm_from_grid < blocks {
+        blocks = avg_blocks_per_sm_from_grid;
+        limiter = OccupancyLimiter::GridSize;
+    }
+
+    let blocks = blocks.max(1);
+    let active_warps = (blocks * warps_per_block).min(cfg.max_warps_per_sm());
+    Occupancy {
+        blocks_per_sm: blocks,
+        active_warps_per_sm: active_warps,
+        occupancy: active_warps as f64 / cfg.max_warps_per_sm() as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    #[test]
+    fn full_occupancy_with_light_kernel() {
+        // 1024-thread blocks, few registers, no shared memory: 2 blocks
+        // fit the 2048-thread SM -> 100 % occupancy.
+        let o = occupancy(&cfg(), 1000, 1024, 24, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.active_warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_step_function() {
+        // The Figure-5 mechanism: 256-thread blocks, histogram in shared
+        // memory. Blocks/SM = min(8, 96KB/shm). Occupancy steps down as
+        // the histogram grows.
+        let c = cfg();
+        let occ = |hist_bytes: u32| occupancy(&c, 10_000, 256, 32, hist_bytes).occupancy;
+        let o1k = occ(1000 * 4); // 4 KB  -> 8 blocks -> 100 %
+        let o4k = occ(4000 * 4); // 16 KB -> 6 blocks -> 75 %
+        let o5k = occ(5000 * 4); // 20 KB -> 4 blocks -> 50 %
+        assert!((o1k - 1.0).abs() < 1e-12, "{o1k}");
+        assert!((o4k - 0.75).abs() < 1e-12, "{o4k}");
+        assert!((o5k - 0.5).abs() < 1e-12, "{o5k}");
+        assert_eq!(
+            occupancy(&c, 10_000, 256, 32, 5000 * 4).limiter,
+            OccupancyLimiter::SharedMem
+        );
+    }
+
+    #[test]
+    fn register_pressure_limits_blocks() {
+        // 1024 threads × 64 regs = 64K regs per block: only 1 block fits
+        // the 64K register file.
+        let o = occupancy(&cfg(), 1000, 1024, 64, 0);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+        assert!((o.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_grid_cannot_fill_device() {
+        let o = occupancy(&cfg(), 8, 256, 24, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::GridSize);
+        assert_eq!(o.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn block_slot_limit_binds_for_tiny_blocks() {
+        // 32-thread blocks: thread limit alone would allow 64 blocks but
+        // the hardware slot limit is 32.
+        let o = occupancy(&cfg(), 100_000, 32, 16, 0);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limiter, OccupancyLimiter::BlockSlots);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        for shm in [0u32, 100, 10_000, 40_000] {
+            for regs in [8u32, 32, 128] {
+                for bd in [32u32, 128, 256, 1024] {
+                    let o = occupancy(&cfg(), 1_000_000, bd, regs, shm);
+                    assert!(o.occupancy <= 1.0 + 1e-12);
+                    assert!(o.blocks_per_sm >= 1);
+                }
+            }
+        }
+    }
+}

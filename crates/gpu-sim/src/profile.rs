@@ -1,0 +1,210 @@
+//! Profiler-style kernel reports.
+//!
+//! [`KernelProfile`] packages exactly the metrics the paper reads off the
+//! NVidia Visual Profiler: per-unit utilization percentages (Tables II
+//! and IV) and achieved bandwidth per memory system (Table III).
+
+use crate::config::DeviceConfig;
+use crate::occupancy::Occupancy;
+use crate::tally::AccessTally;
+use crate::timing::{Resource, TimingBreakdown};
+
+/// Achieved-bandwidth figures in GB/s, one per memory system, as in the
+/// paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AchievedBandwidth {
+    /// Shared-memory bytes moved per second.
+    pub shared_gbps: f64,
+    /// L2 traffic (all global-path sectors) per second.
+    pub l2_gbps: f64,
+    /// Read-only ("data") cache traffic per second.
+    pub roc_gbps: f64,
+    /// Useful global load traffic per second ("Global Load" column).
+    pub global_load_gbps: f64,
+    /// DRAM traffic per second.
+    pub dram_gbps: f64,
+}
+
+/// A complete per-kernel profiling report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name as reported by [`crate::exec::Kernel::name`].
+    pub kernel: String,
+    /// Utilization of the arithmetic pipes in `[0, 1]` (Tables II/IV
+    /// "Arithmetic Operation").
+    pub arithmetic_utilization: f64,
+    /// Utilization of instruction issue by control flow (Tables II/IV
+    /// "Control-flow Operation").
+    pub control_flow_utilization: f64,
+    /// The memory unit with the highest utilization and its value —
+    /// the "Memory" column of Tables II/IV.
+    pub memory_bottleneck: Resource,
+    pub memory_utilization: f64,
+    /// Utilization per memory unit (shared, ROC, L2, DRAM).
+    pub shared_utilization: f64,
+    pub roc_utilization: f64,
+    pub l2_utilization: f64,
+    pub dram_utilization: f64,
+    /// Achieved bandwidths (Table III).
+    pub bandwidth: AchievedBandwidth,
+    /// SIMD efficiency (1.0 = divergence-free).
+    pub simd_efficiency: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+}
+
+impl KernelProfile {
+    /// Build a profile from a run's tally, occupancy and timing.
+    pub fn build(
+        kernel: &str,
+        cfg: &DeviceConfig,
+        tally: &AccessTally,
+        occ: &Occupancy,
+        timing: &TimingBreakdown,
+    ) -> Self {
+        let secs = timing.seconds.max(1e-30);
+        let sector = cfg.sector_bytes as f64;
+        let gb = 1e9;
+        let bandwidth = AchievedBandwidth {
+            shared_gbps: tally.shared_bytes as f64 / secs / gb,
+            l2_gbps: tally.global_sectors() as f64 * sector / secs / gb,
+            roc_gbps: tally.roc_hit_sectors as f64 * sector / secs / gb,
+            global_load_gbps: tally.global_load_bytes as f64 / secs / gb,
+            dram_gbps: tally.dram_sectors as f64 * sector / secs / gb,
+        };
+
+        // Control-flow utilization: issue slots spent on control
+        // instructions relative to kernel time.
+        let eff_issue = cfg.thr.issue_per_cycle_per_sm;
+        let control_cycles = tally.control_instructions as f64 / eff_issue
+            / (cfg.num_sms as f64)
+            + tally.divergent_iterations as f64 * cfg.divergence_penalty_cycles
+                / cfg.num_sms as f64;
+        let control_flow_utilization = (control_cycles / timing.cycles.max(1e-30)).min(1.0);
+
+        let shared_utilization = timing.utilization(Resource::SharedMem);
+        let roc_utilization = timing.utilization(Resource::Roc);
+        let l2_utilization = timing.utilization(Resource::L2);
+        let dram_utilization = timing.utilization(Resource::Dram);
+        let mem = [
+            (shared_utilization, Resource::SharedMem),
+            (roc_utilization, Resource::Roc),
+            (l2_utilization, Resource::L2),
+            (dram_utilization, Resource::Dram),
+            (timing.utilization(Resource::GlobalAtomic), Resource::GlobalAtomic),
+        ];
+        let (memory_utilization, memory_bottleneck) =
+            mem.iter().fold((0.0, Resource::L2), |(bu, br), &(u, r)| {
+                if u > bu {
+                    (u, r)
+                } else {
+                    (bu, br)
+                }
+            });
+
+        KernelProfile {
+            kernel: kernel.to_string(),
+            arithmetic_utilization: timing.utilization(Resource::Alu),
+            control_flow_utilization,
+            memory_bottleneck,
+            memory_utilization,
+            shared_utilization,
+            roc_utilization,
+            l2_utilization,
+            dram_utilization,
+            bandwidth,
+            simd_efficiency: tally.simd_efficiency(),
+            occupancy: occ.occupancy,
+        }
+    }
+
+    /// Render one row in the style of the paper's Table II/IV:
+    /// `kernel | arithmetic % | control-flow % | memory (unit)`.
+    pub fn utilization_row(&self) -> String {
+        format!(
+            "{:<14} {:>6.1}% {:>6.1}%   {:>5.1}% ({})",
+            self.kernel,
+            self.arithmetic_utilization * 100.0,
+            self.control_flow_utilization * 100.0,
+            self.memory_utilization * 100.0,
+            self.memory_bottleneck.name()
+        )
+    }
+
+    /// Render one row in the style of the paper's Table III:
+    /// `kernel | shared | L2 | data cache | global load`.
+    pub fn bandwidth_row(&self) -> String {
+        fn fmt(gbps: f64) -> String {
+            if gbps >= 1000.0 {
+                format!("{:.2} TB/s", gbps / 1000.0)
+            } else {
+                format!("{:.0} GB/s", gbps)
+            }
+        }
+        format!(
+            "{:<14} {:>11} {:>11} {:>11} {:>11}",
+            self.kernel,
+            fmt(self.bandwidth.shared_gbps),
+            fmt(self.bandwidth.l2_gbps),
+            fmt(self.bandwidth.roc_gbps),
+            fmt(self.bandwidth.global_load_gbps),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+    use crate::timing::TimingModel;
+
+    #[test]
+    fn profile_reports_shared_memory_bottleneck() {
+        let cfg = DeviceConfig::titan_x();
+        let t = AccessTally {
+            warp_instructions: 10_000,
+            shared_load_instructions: 9_000,
+            shared_transactions: 9_000,
+            shared_bytes: 9_000 * 128,
+            ..Default::default()
+        };
+        let occ = occupancy(&cfg, 1000, 1024, 32, 4096);
+        let timing = TimingModel::new(&cfg).estimate(&t, &occ, 1000);
+        let p = KernelProfile::build("reg-shm", &cfg, &t, &occ, &timing);
+        assert_eq!(p.memory_bottleneck, Resource::SharedMem);
+        assert!(p.memory_utilization > 0.9);
+        assert!(p.bandwidth.shared_gbps > 0.0);
+    }
+
+    #[test]
+    fn rows_render_without_panicking() {
+        let cfg = DeviceConfig::titan_x();
+        let t = AccessTally { warp_instructions: 10, alu_instructions: 5, ..Default::default() };
+        let occ = occupancy(&cfg, 10, 256, 16, 0);
+        let timing = TimingModel::new(&cfg).estimate(&t, &occ, 10);
+        let p = KernelProfile::build("naive", &cfg, &t, &occ, &timing);
+        assert!(p.utilization_row().contains("naive"));
+        assert!(p.bandwidth_row().contains("naive"));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_bytes() {
+        let cfg = DeviceConfig::titan_x();
+        let mk = |bytes: u64| {
+            let t = AccessTally {
+                warp_instructions: 1000,
+                shared_load_instructions: 1000,
+                shared_transactions: 1000,
+                shared_bytes: bytes,
+                alu_instructions: 100_000, // fixes the runtime
+                ..Default::default()
+            };
+            let occ = occupancy(&cfg, 1000, 1024, 32, 0);
+            let timing = TimingModel::new(&cfg).estimate(&t, &occ, 1000);
+            KernelProfile::build("k", &cfg, &t, &occ, &timing).bandwidth.shared_gbps
+        };
+        let b1 = mk(1 << 20);
+        let b2 = mk(1 << 21);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the simulator's invariants.
+
+use gpu_sim::mem::{count_sectors, L2Cache, RocCache, SharedSpace};
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::{DeviceConfig, Mask, WARP_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sector_count_is_bounded_by_lanes_and_span(
+        addrs in prop::collection::vec(0u64..1_000_000, 0..32)
+    ) {
+        let n = count_sectors(&addrs, 32);
+        prop_assert!(n as usize <= addrs.len().max(0));
+        if !addrs.is_empty() {
+            let lo = *addrs.iter().min().unwrap() / 32;
+            let hi = *addrs.iter().max().unwrap() / 32;
+            prop_assert!(n >= 1);
+            prop_assert!(n <= hi - lo + 1);
+        } else {
+            prop_assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn sector_count_is_permutation_invariant(
+        mut addrs in prop::collection::vec(0u64..100_000, 1..32),
+        seed in 0u64..1000
+    ) {
+        let before = count_sectors(&addrs, 32);
+        // Deterministic shuffle.
+        let mut s = seed;
+        for i in (1..addrs.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            addrs.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        prop_assert_eq!(count_sectors(&addrs, 32), before);
+    }
+
+    #[test]
+    fn mask_algebra_laws(a in any::<u32>(), b in any::<u32>()) {
+        let (ma, mb) = (Mask(a), Mask(b));
+        prop_assert_eq!(ma.and(mb), mb.and(ma));
+        prop_assert_eq!(ma.or(mb), mb.or(ma));
+        prop_assert_eq!(ma.and(mb).count() + ma.and_not(mb).count(), ma.count());
+        prop_assert_eq!(ma.lanes().count() as u32, ma.count());
+        prop_assert_eq!(ma.and(Mask::FULL), ma);
+        prop_assert_eq!(ma.and(Mask::NONE), Mask::NONE);
+    }
+
+    #[test]
+    fn bank_conflict_degree_is_within_hardware_bounds(
+        idxs in prop::collection::vec(0u32..4096, 1..32)
+    ) {
+        let mut shm = SharedSpace::new(32);
+        let arr = shm.alloc_f32(4096);
+        let txns = shm.transactions_for(0, &idxs);
+        let _ = arr;
+        prop_assert!(txns >= 1);
+        prop_assert!(txns <= WARP_SIZE as u64, "at most one replay per lane");
+        // Distinct words bound the degree too.
+        let mut uniq = idxs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert!(txns <= uniq.len() as u64);
+    }
+
+    #[test]
+    fn cache_accounting_balances(sectors in prop::collection::vec(0u64..512, 1..500)) {
+        let mut l2 = L2Cache::new(64);
+        let mut roc = RocCache::new(16);
+        for &s in &sectors {
+            l2.access(s);
+            roc.access(s);
+        }
+        prop_assert_eq!(l2.hits() + l2.misses(), sectors.len() as u64);
+        prop_assert_eq!(roc.hits() + roc.misses(), sectors.len() as u64);
+        // (No hit-count comparison between cache sizes: FIFO replacement
+        // is subject to Belady's anomaly.)
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_shared_usage(
+        block_dim in prop::sample::select(vec![64u32, 128, 256, 512, 1024]),
+        regs in 8u32..64,
+        shm1 in 0u32..40_000,
+        extra in 0u32..8_000,
+    ) {
+        let cfg = DeviceConfig::titan_x();
+        let lo = occupancy(&cfg, 10_000, block_dim, regs, shm1);
+        let hi = occupancy(&cfg, 10_000, block_dim, regs, shm1 + extra);
+        prop_assert!(hi.blocks_per_sm <= lo.blocks_per_sm);
+        prop_assert!(hi.occupancy <= lo.occupancy + 1e-12);
+        prop_assert!(lo.occupancy <= 1.0 && hi.occupancy <= 1.0);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_register_usage(
+        block_dim in prop::sample::select(vec![64u32, 128, 256]),
+        regs in 8u32..120,
+        extra in 0u32..64,
+    ) {
+        let cfg = DeviceConfig::titan_x();
+        let lo = occupancy(&cfg, 10_000, block_dim, regs, 0);
+        let hi = occupancy(&cfg, 10_000, block_dim, regs + extra, 0);
+        prop_assert!(hi.blocks_per_sm <= lo.blocks_per_sm);
+    }
+}

@@ -1,0 +1,49 @@
+//! Molecular-dynamics scenario: the radial distribution function g(r) of
+//! a simulated liquid — the RDF application the paper cites (Levine et
+//! al.) as a flagship Type-II 2-BS.
+//!
+//! A toy "liquid" is modeled as clustered molecules; g(r) then shows the
+//! short-range structure peak that distinguishes it from an ideal gas.
+//!
+//! Run with: `cargo run --release -p tbs-examples --bin molecular_rdf`
+
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::driver::PairwisePlan;
+use tbs_apps::rdf::rdf_gpu;
+use tbs_core::analytic::InputPath;
+use tbs_core::kernels::IntraMode;
+use tbs_core::HistogramSpec;
+
+fn main() {
+    let edge = 60.0f32;
+    let n = 12 * 1024;
+    // "Molecules" in loose clusters, like a droplet-forming fluid.
+    let pts = tbs_datagen::clustered_points::<3>(n, edge, 96, 1.8, 7);
+    let spec = HistogramSpec::new(256, tbs_datagen::box_diagonal(edge, 3));
+
+    // The paper's best Type-II configuration: Reg-ROC-Out.
+    let plan = PairwisePlan {
+        input: InputPath::RegisterRoc,
+        intra: IntraMode::LoadBalanced,
+        block_size: 256,
+    };
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let (rdf, sdh) = rdf_gpu(&mut dev, &pts, spec, edge, plan);
+
+    println!("g(r) for a {n}-molecule toy liquid (box {edge}³):\n");
+    let max_g = rdf.g.iter().take(96).cloned().fold(0.0f64, f64::max);
+    for i in (0..96).step_by(4) {
+        let bar = "#".repeat((rdf.g[i] / max_g * 50.0) as usize);
+        println!("r = {:5.1}  g = {:6.2}  {}", rdf.r[i], rdf.g[i], bar);
+    }
+    println!(
+        "\nfirst-shell peak g(r) = {:.1} (ideal gas would be 1.0)",
+        max_g
+    );
+    println!(
+        "simulated GPU time: {:.2} ms on {} (kernel: {} + privatized output)",
+        sdh.total_seconds() * 1e3,
+        dev.config().name,
+        sdh.pair_run.kernel,
+    );
+}

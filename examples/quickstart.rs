@@ -1,0 +1,73 @@
+//! Quickstart: compute a spatial distance histogram on the simulated
+//! GPU, letting the planner pick the kernel — the paper's envisioned
+//! "automatic framework" in action.
+//!
+//! Run with: `cargo run --release -p tbs-examples --bin quickstart`
+
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::driver::PairwisePlan;
+use tbs_apps::sdh::{sdh_gpu, SdhOutputMode};
+use tbs_core::analytic::OutputPath;
+use tbs_core::plan::{choose_plan, ProblemOutput, ProblemSpec};
+use tbs_core::HistogramSpec;
+
+fn main() {
+    // 1. A synthetic dataset: 16,384 uniform points in a 100³ box (the
+    //    paper's workload, scaled to what a functional simulation chews
+    //    through in seconds).
+    let n = 16 * 1024;
+    let pts = tbs_datagen::uniform_points::<3>(n, 100.0, 42);
+    let spec = HistogramSpec::new(512, tbs_datagen::box_diagonal(100.0, 3));
+
+    // 2. Ask the planner (the paper's §V vision) for the best kernel.
+    let cfg = DeviceConfig::titan_x();
+    let problem = ProblemSpec {
+        n: n as u32,
+        dims: 3,
+        dist_cost: 7,
+        output: ProblemOutput::Histogram { buckets: spec.buckets },
+    };
+    let plan = choose_plan(&problem, &cfg);
+    println!(
+        "planner chose: {} + {} (B = {}), predicted {:.3} ms",
+        plan.spec.input.name(),
+        plan.spec.output.name(),
+        plan.block_size,
+        plan.predicted_seconds * 1e3,
+    );
+
+    // 3. Run it functionally on the simulated Titan X.
+    let mut dev = Device::new(cfg);
+    let output = if matches!(plan.spec.output, OutputPath::SharedHistogram { .. }) {
+        SdhOutputMode::Privatized
+    } else {
+        SdhOutputMode::GlobalAtomics
+    };
+    let pairwise = PairwisePlan {
+        input: plan.spec.input,
+        intra: plan.spec.intra,
+        block_size: plan.block_size,
+    };
+    let result = sdh_gpu(&mut dev, &pts, spec, pairwise, output);
+
+    // 4. Inspect the results.
+    let expected_pairs = n as u64 * (n as u64 - 1) / 2;
+    println!(
+        "histogram total = {} pairs (expected {expected_pairs})",
+        result.histogram.total()
+    );
+    assert_eq!(result.histogram.total(), expected_pairs);
+    println!(
+        "simulated GPU time: {:.3} ms  (occupancy {:.0}%, bottleneck: {})",
+        result.total_seconds() * 1e3,
+        result.pair_run.occupancy.occupancy * 100.0,
+        result.pair_run.timing.bottleneck.name(),
+    );
+    let peak = result.histogram.counts().iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+    println!(
+        "busiest bucket: #{} (r ≈ {:.1}) with {} pairs",
+        peak.0,
+        (peak.0 as f32 + 0.5) * spec.bucket_width(),
+        peak.1
+    );
+}

@@ -1,0 +1,144 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use gpu_sim::{AccessTally, Device, DeviceConfig, KernelRun};
+use tbs_core::analytic::profiles::{InputPath, KernelSpec, OutputPath, Workload};
+use tbs_core::distance::Euclidean;
+use tbs_core::histogram::HistogramSpec;
+use tbs_core::kernels::{
+    pair_launch, NaiveKernel, PairScope, RegisterRocKernel, RegisterShmKernel, ShmShmKernel,
+    ShuffleKernel,
+};
+use tbs_core::output::{
+    CountWithinRadius, GlobalHistogramAction, PairAction, SharedHistogramAction,
+};
+use tbs_core::point::SoaPoints;
+
+/// Deterministic pseudo-random points in [0, 100)^3 (LCG; no rand dep
+/// needed for reproducibility across crates).
+pub fn lcg_points(n: usize, seed: u64) -> SoaPoints<3> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as u32 as f32) / (u32::MAX >> 1) as f32 * 100.0
+    };
+    SoaPoints::from_points(&(0..n).map(|_| [next(), next(), next()]).collect::<Vec<_>>())
+}
+
+/// Run the functional kernel corresponding to `spec` on `wl`-shaped data.
+pub fn run_functional(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> KernelRun {
+    assert_eq!(wl.dims, 3, "helper fixed at D=3");
+    assert_eq!(wl.dist_cost, 7, "helper fixed at Euclidean cost");
+    let pts = lcg_points(wl.n as usize, 42);
+    let mut dev = Device::new(cfg.clone());
+    let input = pts.upload(&mut dev);
+    let lc = pair_launch(wl.n, wl.b);
+
+    match spec.output {
+        OutputPath::RegisterCount => {
+            let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+            let action = CountWithinRadius { radius: 25.0, out };
+            launch_input(&mut dev, wl, spec, input, action)
+        }
+        OutputPath::SharedHistogram { buckets } => {
+            let spec_h = HistogramSpec::new(buckets, 100.0 * 1.7320508f32);
+            let private = dev.alloc_u32_zeroed((lc.grid_dim * buckets) as usize);
+            let action = SharedHistogramAction { spec: spec_h, private };
+            launch_input(&mut dev, wl, spec, input, action)
+        }
+        OutputPath::GlobalHistogram { buckets } => {
+            let spec_h = HistogramSpec::new(buckets, 100.0 * 1.7320508f32);
+            let out = dev.alloc_u64_zeroed(buckets as usize);
+            let action = GlobalHistogramAction { spec: spec_h, out };
+            launch_input(&mut dev, wl, spec, input, action)
+        }
+    }
+}
+
+fn launch_input<A: PairAction>(
+    dev: &mut Device,
+    wl: &Workload,
+    spec: &KernelSpec,
+    input: tbs_core::point::DeviceSoa<3>,
+    action: A,
+) -> KernelRun {
+    let lc = pair_launch(wl.n, wl.b);
+    let scope = PairScope::HalfPairs;
+    match spec.input {
+        InputPath::Naive => dev.launch(&NaiveKernel::new(input, Euclidean, action, scope), lc),
+        InputPath::ShmShm => dev.launch(
+            &ShmShmKernel::new(input, Euclidean, action, wl.b, scope, spec.intra),
+            lc,
+        ),
+        InputPath::RegisterShm => dev.launch(
+            &RegisterShmKernel::new(input, Euclidean, action, wl.b, scope, spec.intra),
+            lc,
+        ),
+        InputPath::RegisterRoc => dev.launch(
+            &RegisterRocKernel::new(input, Euclidean, action, wl.b, scope, spec.intra),
+            lc,
+        ),
+        InputPath::Shuffle => {
+            dev.launch(&ShuffleKernel::new(input, Euclidean, action, wl.b, scope), lc)
+        }
+    }
+}
+
+/// Compare two tallies on every data-independent field, panicking with a
+/// field-by-field report on mismatch.
+pub fn assert_exact_fields(name: &str, measured: &AccessTally, predicted: &AccessTally) {
+    let fields: &[(&str, u64, u64)] = &[
+        ("warp_instructions", measured.warp_instructions, predicted.warp_instructions),
+        ("alu_instructions", measured.alu_instructions, predicted.alu_instructions),
+        ("control_instructions", measured.control_instructions, predicted.control_instructions),
+        ("shuffle_instructions", measured.shuffle_instructions, predicted.shuffle_instructions),
+        ("sync_instructions", measured.sync_instructions, predicted.sync_instructions),
+        (
+            "global_load_instructions",
+            measured.global_load_instructions,
+            predicted.global_load_instructions,
+        ),
+        (
+            "global_store_instructions",
+            measured.global_store_instructions,
+            predicted.global_store_instructions,
+        ),
+        ("global_load_bytes", measured.global_load_bytes, predicted.global_load_bytes),
+        ("global_store_bytes", measured.global_store_bytes, predicted.global_store_bytes),
+        ("global_atomics", measured.global_atomics, predicted.global_atomics),
+        ("roc_load_instructions", measured.roc_load_instructions, predicted.roc_load_instructions),
+        ("roc_bytes", measured.roc_bytes, predicted.roc_bytes),
+        (
+            "shared_load_instructions",
+            measured.shared_load_instructions,
+            predicted.shared_load_instructions,
+        ),
+        (
+            "shared_store_instructions",
+            measured.shared_store_instructions,
+            predicted.shared_store_instructions,
+        ),
+        ("shared_bytes", measured.shared_bytes, predicted.shared_bytes),
+        ("shared_atomics", measured.shared_atomics, predicted.shared_atomics),
+        ("divergent_iterations", measured.divergent_iterations, predicted.divergent_iterations),
+        ("blocks_executed", measured.blocks_executed, predicted.blocks_executed),
+        ("warps_executed", measured.warps_executed, predicted.warps_executed),
+    ];
+    let mut bad = Vec::new();
+    for (f, m, p) in fields {
+        if m != p {
+            bad.push(format!("  {f}: measured {m} vs predicted {p}"));
+        }
+    }
+    assert!(bad.is_empty(), "{name}: analytic mismatch:\n{}", bad.join("\n"));
+}
+
+/// Assert `predicted` is within `tol` relative error of `measured`.
+pub fn assert_close(name: &str, field: &str, measured: u64, predicted: u64, tol: f64) {
+    if measured == 0 && predicted == 0 {
+        return;
+    }
+    let m = measured as f64;
+    let p = predicted as f64;
+    let rel = (m - p).abs() / m.max(p).max(1.0);
+    assert!(rel <= tol, "{name}.{field}: measured {measured} vs predicted {predicted} (rel {rel:.3})");
+}

@@ -1,0 +1,94 @@
+//! Cross-implementation validation: simulated-GPU results must equal the
+//! CPU reference bit-for-bit (histograms are integer counts).
+
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{pcf_gpu, sdh_gpu, PairwisePlan, SdhOutputMode};
+use tbs_core::analytic::InputPath;
+use tbs_core::kernels::IntraMode;
+use tbs_core::HistogramSpec;
+use tbs_cpu::{pcf_reference, sdh_parallel, sdh_reference, CpuSdhConfig, Schedule};
+use tbs_datagen::{box_diagonal, clustered_points, uniform_points, DEFAULT_BOX};
+
+const ALL_INPUTS: [InputPath; 5] = [
+    InputPath::Naive,
+    InputPath::ShmShm,
+    InputPath::RegisterShm,
+    InputPath::RegisterRoc,
+    InputPath::Shuffle,
+];
+
+#[test]
+fn sdh_all_variants_match_cpu_on_uniform_data() {
+    let pts = uniform_points::<3>(500, DEFAULT_BOX, 3);
+    let spec = HistogramSpec::new(200, box_diagonal(DEFAULT_BOX, 3));
+    let reference = sdh_reference(&pts, spec);
+    for input in ALL_INPUTS {
+        for output in [SdhOutputMode::Privatized, SdhOutputMode::GlobalAtomics] {
+            let mut dev = Device::new(DeviceConfig::titan_x());
+            let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
+            let got = sdh_gpu(&mut dev, &pts, spec, plan, output);
+            assert_eq!(got.histogram, reference, "{input:?}/{output:?}");
+        }
+    }
+}
+
+#[test]
+fn sdh_matches_cpu_on_clustered_data() {
+    // Skewed data stresses atomic contention paths; results must be
+    // identical regardless.
+    let pts = clustered_points::<3>(600, DEFAULT_BOX, 3, 1.5, 17);
+    let spec = HistogramSpec::new(128, box_diagonal(DEFAULT_BOX, 3));
+    let reference = sdh_reference(&pts, spec);
+    for input in [InputPath::RegisterShm, InputPath::RegisterRoc, InputPath::Shuffle] {
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let plan = PairwisePlan { input, intra: IntraMode::LoadBalanced, block_size: 128 };
+        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized);
+        assert_eq!(got.histogram, reference, "{input:?}");
+    }
+}
+
+#[test]
+fn cpu_parallel_and_gpu_agree_through_both_stacks() {
+    let pts = uniform_points::<3>(700, DEFAULT_BOX, 21);
+    let spec = HistogramSpec::new(64, box_diagonal(DEFAULT_BOX, 3));
+    let cpu = sdh_parallel(&pts, spec, CpuSdhConfig { threads: 3, schedule: Schedule::Guided });
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let gpu = sdh_gpu(
+        &mut dev,
+        &pts,
+        spec,
+        PairwisePlan::register_shm(64),
+        SdhOutputMode::Privatized,
+    );
+    assert_eq!(cpu, gpu.histogram);
+}
+
+#[test]
+fn pcf_matches_across_devices() {
+    // Functional results are architecture-independent — only timing
+    // changes between Fermi/Kepler/Maxwell.
+    let pts = uniform_points::<3>(400, DEFAULT_BOX, 23);
+    let expect = pcf_reference(&pts, 30.0);
+    for cfg in [DeviceConfig::fermi_gtx580(), DeviceConfig::kepler_k40(), DeviceConfig::titan_x()]
+    {
+        let mut dev = Device::new(cfg);
+        let got = pcf_gpu(&mut dev, &pts, 30.0, PairwisePlan::register_shm(64));
+        assert_eq!(got.count, expect);
+    }
+}
+
+#[test]
+fn fermi_runs_are_slower_than_maxwell() {
+    let pts = uniform_points::<3>(2048, DEFAULT_BOX, 29);
+    let mut fermi = Device::new(DeviceConfig::fermi_gtx580());
+    let mut maxwell = Device::new(DeviceConfig::titan_x());
+    let tf = pcf_gpu(&mut fermi, &pts, 20.0, PairwisePlan::register_shm(128));
+    let tm = pcf_gpu(&mut maxwell, &pts, 20.0, PairwisePlan::register_shm(128));
+    assert_eq!(tf.count, tm.count);
+    assert!(
+        tf.run.timing.seconds > tm.run.timing.seconds,
+        "Fermi {} vs Maxwell {}",
+        tf.run.timing.seconds,
+        tm.run.timing.seconds
+    );
+}

@@ -1,0 +1,118 @@
+//! Metric-space properties of the distance functions, checked on random
+//! data, plus GPU-vs-host evaluation consistency.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use tbs_apps::{sdh_gpu_with, PairwisePlan, SdhOutputMode};
+use tbs_core::distance::{
+    CosineDissimilarity, DistanceKernel, Euclidean, Manhattan, PeriodicEuclidean,
+};
+use tbs_core::HistogramSpec;
+use tbs_integration::lcg_points;
+
+fn coord() -> impl Strategy<Value = f32> {
+    (-1000i32..1000).prop_map(|x| x as f32 / 10.0)
+}
+
+fn point3() -> impl Strategy<Value = [f32; 3]> {
+    [coord(), coord(), coord()]
+}
+
+proptest! {
+    #[test]
+    fn euclidean_is_a_metric(a in point3(), b in point3(), c in point3()) {
+        let e = Euclidean;
+        let d = |x: &[f32; 3], y: &[f32; 3]| <Euclidean as DistanceKernel<3>>::eval_host(&e, x, y);
+        prop_assert!(d(&a, &b) >= 0.0);
+        prop_assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-4);
+        prop_assert!((d(&a, &a)).abs() < 1e-4);
+        // Triangle inequality with float slack.
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-3);
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(a in point3(), b in point3(), c in point3()) {
+        let m = Manhattan;
+        let d = |x: &[f32; 3], y: &[f32; 3]| <Manhattan as DistanceKernel<3>>::eval_host(&m, x, y);
+        prop_assert!(d(&a, &b) >= 0.0);
+        prop_assert!((d(&a, &b) - d(&b, &a)).abs() < 1e-3);
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-2);
+        // L1 dominates L2.
+        let e = <Euclidean as DistanceKernel<3>>::eval_host(&Euclidean, &a, &b);
+        prop_assert!(d(&a, &b) >= e - 1e-3);
+    }
+
+    #[test]
+    fn periodic_euclidean_is_symmetric_and_bounded(
+        ax in 0.0f32..100.0, ay in 0.0f32..100.0, az in 0.0f32..100.0,
+        bx in 0.0f32..100.0, by in 0.0f32..100.0, bz in 0.0f32..100.0,
+    ) {
+        let pe = PeriodicEuclidean::new(100.0);
+        let (a, b) = ([ax, ay, az], [bx, by, bz]);
+        let dab = <PeriodicEuclidean as DistanceKernel<3>>::eval_host(&pe, &a, &b);
+        let dba = <PeriodicEuclidean as DistanceKernel<3>>::eval_host(&pe, &b, &a);
+        prop_assert!((dab - dba).abs() < 1e-3);
+        // Bounded by the half-box diagonal, and by the plain distance.
+        prop_assert!(dab <= 50.0 * 3f32.sqrt() + 1e-3);
+        let plain = <Euclidean as DistanceKernel<3>>::eval_host(&Euclidean, &a, &b);
+        prop_assert!(dab <= plain + 1e-3);
+    }
+
+    #[test]
+    fn cosine_is_bounded(a in point3(), b in point3()) {
+        let d = <CosineDissimilarity as DistanceKernel<3>>::eval_host(&CosineDissimilarity, &a, &b);
+        prop_assert!((-1e-4..=2.0001).contains(&d));
+    }
+}
+
+#[test]
+fn gpu_histograms_agree_across_distance_functions() {
+    // The SDH pipeline is distance-agnostic: run it under three distance
+    // functions and check each against a host-side recomputation.
+    let pts = lcg_points(300, 77);
+    let n = pts.len();
+    let check = |dist_name: &str,
+                 host: &dyn Fn(&[f32; 3], &[f32; 3]) -> f32,
+                 run: &dyn Fn(&mut Device) -> tbs_apps::SdhResult,
+                 max: f32| {
+        let spec = HistogramSpec::new(50, max);
+        let mut expect = tbs_core::Histogram::zeroed(50);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                expect.add(spec.bucket_of(host(&pts.point(i), &pts.point(j))));
+            }
+        }
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let got = run(&mut dev);
+        assert_eq!(got.histogram, expect, "{dist_name}");
+    };
+
+    let spec_e = HistogramSpec::new(50, 100.0 * 1.7320508);
+    check(
+        "euclidean",
+        &|a, b| <Euclidean as DistanceKernel<3>>::eval_host(&Euclidean, a, b),
+        &|dev| {
+            sdh_gpu_with(dev, &pts, Euclidean, spec_e, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+        },
+        100.0 * 1.7320508,
+    );
+    let pe = PeriodicEuclidean::new(100.0);
+    let spec_p = HistogramSpec::new(50, 100.0);
+    check(
+        "periodic",
+        &|a, b| <PeriodicEuclidean as DistanceKernel<3>>::eval_host(&pe, a, b),
+        &|dev| {
+            sdh_gpu_with(dev, &pts, pe, spec_p, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+        },
+        100.0,
+    );
+    let spec_m = HistogramSpec::new(50, 300.0);
+    check(
+        "manhattan",
+        &|a, b| <Manhattan as DistanceKernel<3>>::eval_host(&Manhattan, a, b),
+        &|dev| {
+            sdh_gpu_with(dev, &pts, Manhattan, spec_m, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+        },
+        300.0,
+    );
+}

@@ -1,0 +1,79 @@
+//! End-to-end planner validation: the plan chosen analytically must
+//! execute correctly, and its predicted ranking must be consistent with
+//! functional simulation.
+
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{sdh_gpu, PairwisePlan, SdhOutputMode};
+use tbs_core::analytic::OutputPath;
+use tbs_core::plan::{choose_plan, ProblemOutput, ProblemSpec};
+use tbs_core::HistogramSpec;
+use tbs_cpu::sdh_reference;
+use tbs_datagen::{box_diagonal, uniform_points, DEFAULT_BOX};
+
+#[test]
+fn chosen_plan_executes_and_matches_reference() {
+    let n = 512u32;
+    let buckets = 128u32;
+    let cfg = DeviceConfig::titan_x();
+    let problem = ProblemSpec {
+        n,
+        dims: 3,
+        dist_cost: 7,
+        output: ProblemOutput::Histogram { buckets },
+    };
+    let plan = choose_plan(&problem, &cfg);
+
+    let pts = uniform_points::<3>(n as usize, DEFAULT_BOX, 41);
+    let spec = HistogramSpec::new(buckets, box_diagonal(DEFAULT_BOX, 3));
+    let output = if matches!(plan.spec.output, OutputPath::SharedHistogram { .. }) {
+        SdhOutputMode::Privatized
+    } else {
+        SdhOutputMode::GlobalAtomics
+    };
+    let mut dev = Device::new(cfg);
+    let pairwise = PairwisePlan {
+        input: plan.spec.input,
+        intra: plan.spec.intra,
+        block_size: plan.block_size.min(n),
+    };
+    let got = sdh_gpu(&mut dev, &pts, spec, pairwise, output);
+    assert_eq!(got.histogram, sdh_reference(&pts, spec));
+}
+
+#[test]
+fn predicted_ranking_matches_functional_ranking_for_output_modes() {
+    // The planner's core claim at paper scale: privatized output beats
+    // global atomics. Verify the *functional* simulator agrees at a size
+    // it can execute.
+    let n = 2048usize;
+    let buckets = 256u32;
+    let pts = uniform_points::<3>(n, DEFAULT_BOX, 43);
+    let spec = HistogramSpec::new(buckets, box_diagonal(DEFAULT_BOX, 3));
+    let plan = PairwisePlan::register_shm(128);
+    let mut d1 = Device::new(DeviceConfig::titan_x());
+    let privatized = sdh_gpu(&mut d1, &pts, spec, plan, SdhOutputMode::Privatized);
+    let mut d2 = Device::new(DeviceConfig::titan_x());
+    let global = sdh_gpu(&mut d2, &pts, spec, plan, SdhOutputMode::GlobalAtomics);
+    assert_eq!(privatized.histogram, global.histogram);
+    assert!(
+        global.total_seconds() > privatized.total_seconds(),
+        "functional sim must agree with the planner: global {} vs privatized {}",
+        global.total_seconds(),
+        privatized.total_seconds()
+    );
+}
+
+#[test]
+fn planner_prefers_load_balanced_intra() {
+    // LB strictly dominates regular intra in the model (same work, no
+    // divergence), so the best plan should use it.
+    let cfg = DeviceConfig::titan_x();
+    let problem = ProblemSpec {
+        n: 256 * 1024,
+        dims: 3,
+        dist_cost: 7,
+        output: ProblemOutput::Scalar,
+    };
+    let plan = choose_plan(&problem, &cfg);
+    assert_eq!(plan.spec.intra, tbs_core::kernels::IntraMode::LoadBalanced);
+}

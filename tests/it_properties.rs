@@ -1,0 +1,105 @@
+//! Property-based cross-crate invariants.
+
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use tbs_apps::{sdh_gpu, PairwisePlan, SdhOutputMode};
+use tbs_core::analytic::profiles::{predicted_run, predicted_tally, KernelSpec, Workload};
+use tbs_core::analytic::{InputPath, OutputPath};
+use tbs_core::kernels::IntraMode;
+use tbs_core::HistogramSpec;
+use tbs_integration::{assert_exact_fields, lcg_points, run_functional};
+
+fn input_strategy() -> impl Strategy<Value = InputPath> {
+    prop::sample::select(vec![
+        InputPath::Naive,
+        InputPath::ShmShm,
+        InputPath::RegisterShm,
+        InputPath::RegisterRoc,
+        InputPath::Shuffle,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every (kernel, size, buckets, intra) combination bins exactly
+    /// N(N−1)/2 observations.
+    #[test]
+    fn histogram_total_is_always_the_pair_count(
+        input in input_strategy(),
+        n in 40usize..400,
+        buckets in 2u32..300,
+        lb in any::<bool>(),
+    ) {
+        let pts = lcg_points(n, 31);
+        let spec = HistogramSpec::new(buckets, 100.0 * 1.7320508);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let intra = if lb { IntraMode::LoadBalanced } else { IntraMode::Regular };
+        let plan = PairwisePlan { input, intra, block_size: 64 };
+        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized);
+        prop_assert_eq!(got.histogram.total(), (n * (n - 1) / 2) as u64);
+    }
+
+    /// The analytic model's exactness contract holds for arbitrary
+    /// full-block workloads.
+    #[test]
+    fn analytic_equals_functional_for_random_full_workloads(
+        blocks in 2u32..8,
+        b in prop::sample::select(vec![32u32, 64]),
+        input in input_strategy(),
+        buckets in prop::sample::select(vec![64u32, 200]),
+        shared_out in any::<bool>(),
+    ) {
+        let wl = Workload { n: blocks * b, b, dims: 3, dist_cost: 7 };
+        let output = if shared_out {
+            OutputPath::SharedHistogram { buckets }
+        } else {
+            OutputPath::RegisterCount
+        };
+        let spec = KernelSpec::new(input, output);
+        let cfg = DeviceConfig::titan_x();
+        let measured = run_functional(&wl, &spec, &cfg);
+        let predicted = predicted_tally(&wl, &spec, &cfg);
+        assert_exact_fields(
+            &format!("{}/{} n={} b={}", spec.input.name(), spec.output.name(), wl.n, wl.b),
+            &measured.tally,
+            &predicted,
+        );
+    }
+
+    /// Predicted time is monotone in N for a fixed kernel.
+    #[test]
+    fn predicted_time_is_monotone_in_n(
+        base in 32u32..256,
+        factor in 2u32..6,
+        input in input_strategy(),
+    ) {
+        let cfg = DeviceConfig::titan_x();
+        let b = 1024;
+        let spec = KernelSpec::new(input, OutputPath::RegisterCount);
+        let small = Workload { n: base * b, b, dims: 3, dist_cost: 7 };
+        let large = Workload { n: base * factor * b, b, dims: 3, dist_cost: 7 };
+        let ts = predicted_run(&small, &spec, &cfg).seconds();
+        let tl = predicted_run(&large, &spec, &cfg).seconds();
+        prop_assert!(tl > ts, "{} -> {}", ts, tl);
+    }
+
+    /// Simulated time is positive and finite for every configuration.
+    #[test]
+    fn predictions_are_finite_and_positive(
+        blocks in 1u32..2000,
+        input in input_strategy(),
+        buckets in 16u32..10_000,
+    ) {
+        let cfg = DeviceConfig::titan_x();
+        let wl = Workload { n: blocks * 1024, b: 1024, dims: 3, dist_cost: 7 };
+        let run = predicted_run(
+            &wl,
+            &KernelSpec::new(input, OutputPath::SharedHistogram { buckets }),
+            &cfg,
+        );
+        prop_assert!(run.timing.seconds.is_finite());
+        prop_assert!(run.timing.seconds > 0.0);
+        prop_assert!(run.occupancy.occupancy > 0.0 && run.occupancy.occupancy <= 1.0);
+    }
+}
