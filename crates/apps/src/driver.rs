@@ -1,6 +1,6 @@
 //! Kernel-variant dispatch shared by every application.
 
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::analytic::profiles::InputPath;
 use tbs_core::distance::DistanceKernel;
 use tbs_core::kernels::{
@@ -25,7 +25,11 @@ pub struct PairwisePlan {
 impl PairwisePlan {
     /// The paper's headline configuration: Register-SHM, B = 1024.
     pub fn register_shm(block_size: u32) -> Self {
-        PairwisePlan { input: InputPath::RegisterShm, intra: IntraMode::Regular, block_size }
+        PairwisePlan {
+            input: InputPath::RegisterShm,
+            intra: IntraMode::Regular,
+            block_size,
+        }
     }
 
     pub fn with_intra(mut self, intra: IntraMode) -> Self {
@@ -36,6 +40,10 @@ impl PairwisePlan {
 
 /// Launch the pairwise kernel selected by `plan` with an arbitrary
 /// distance function and output action.
+///
+/// Simulated faults (out-of-bounds accesses, invalid launches, …) come
+/// back as `Err` so one bad kernel configuration fails its experiment,
+/// not the whole sweep.
 pub fn launch_pairwise<const D: usize, F, A>(
     dev: &mut Device,
     input: DeviceSoa<D>,
@@ -43,29 +51,30 @@ pub fn launch_pairwise<const D: usize, F, A>(
     action: A,
     plan: PairwisePlan,
     scope: PairScope,
-) -> KernelRun
+) -> Result<KernelRun, SimError>
 where
     F: DistanceKernel<D>,
     A: PairAction,
 {
     let lc = pair_launch(input.n, plan.block_size);
     match plan.input {
-        InputPath::Naive => dev.launch(&NaiveKernel::new(input, dist, action, scope), lc),
-        InputPath::ShmShm => dev.launch(
+        InputPath::Naive => dev.try_launch(&NaiveKernel::new(input, dist, action, scope), lc),
+        InputPath::ShmShm => dev.try_launch(
             &ShmShmKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
             lc,
         ),
-        InputPath::RegisterShm => dev.launch(
+        InputPath::RegisterShm => dev.try_launch(
             &RegisterShmKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
             lc,
         ),
-        InputPath::RegisterRoc => dev.launch(
+        InputPath::RegisterRoc => dev.try_launch(
             &RegisterRocKernel::new(input, dist, action, plan.block_size, scope, plan.intra),
             lc,
         ),
-        InputPath::Shuffle => {
-            dev.launch(&ShuffleKernel::new(input, dist, action, plan.block_size, scope), lc)
-        }
+        InputPath::Shuffle => dev.try_launch(
+            &ShuffleKernel::new(input, dist, action, plan.block_size, scope),
+            lc,
+        ),
     }
 }
 
@@ -91,7 +100,11 @@ mod tests {
             let d_input = pts.upload(&mut dev);
             let lc = pair_launch(d_input.n, 64);
             let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
-            let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
+            let plan = PairwisePlan {
+                input,
+                intra: IntraMode::Regular,
+                block_size: 64,
+            };
             launch_pairwise(
                 &mut dev,
                 d_input,
@@ -99,10 +112,14 @@ mod tests {
                 CountWithinRadius { radius: 30.0, out },
                 plan,
                 PairScope::HalfPairs,
-            );
+            )
+            .expect("launch");
             counts.push(dev.u64_slice(out).iter().sum::<u64>());
         }
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "variants disagree: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "variants disagree: {counts:?}"
+        );
         assert!(counts[0] > 0);
     }
 }

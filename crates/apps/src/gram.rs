@@ -8,7 +8,7 @@
 //! price of symmetric Type-III output, measured by the benches).
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::DistanceKernel;
 use tbs_core::kernels::PairScope;
 use tbs_core::output::MatrixWriteAction;
@@ -40,18 +40,26 @@ pub fn gram_gpu<const D: usize, K: DistanceKernel<D> + Copy>(
     pts: &SoaPoints<D>,
     k: K,
     plan: PairwisePlan,
-) -> GramResult {
+) -> Result<GramResult, SimError> {
     let input = pts.upload(dev);
     let n = input.n;
     let out = dev.alloc_f32_zeroed((n as usize) * (n as usize));
-    let action = MatrixWriteAction { out, n, symmetric: true };
-    let run = launch_pairwise(dev, input, k, action, plan, PairScope::HalfPairs);
+    let action = MatrixWriteAction {
+        out,
+        n,
+        symmetric: true,
+    };
+    let run = launch_pairwise(dev, input, k, action, plan, PairScope::HalfPairs)?;
     let mut matrix = dev.f32_slice(out).to_vec();
     for i in 0..n as usize {
         let p = pts.point(i);
         matrix[i * n as usize + i] = k.eval_host(&p, &p);
     }
-    GramResult { matrix, n: n as usize, run }
+    Ok(GramResult {
+        matrix,
+        n: n as usize,
+        run,
+    })
 }
 
 #[cfg(test)]
@@ -64,7 +72,8 @@ mod tests {
     fn gram_matrix_matches_host_evaluation() {
         let pts = tbs_datagen::uniform_points::<3>(128, 10.0, 107);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let g = gram_gpu(&mut dev, &pts, DotProduct, PairwisePlan::register_shm(32));
+        let g =
+            gram_gpu(&mut dev, &pts, DotProduct, PairwisePlan::register_shm(32)).expect("launch");
         for i in (0..128).step_by(17) {
             for j in (0..128).step_by(13) {
                 let expect = <DotProduct as DistanceKernel<3>>::eval_host(
@@ -85,7 +94,13 @@ mod tests {
     fn gram_matrix_is_symmetric_with_unit_rbf_diagonal() {
         let pts = tbs_datagen::uniform_points::<2>(96, 10.0, 109);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let g = gram_gpu(&mut dev, &pts, GaussianRbf::new(2.0), PairwisePlan::register_shm(32));
+        let g = gram_gpu(
+            &mut dev,
+            &pts,
+            GaussianRbf::new(2.0),
+            PairwisePlan::register_shm(32),
+        )
+        .expect("launch");
         for i in 0..96 {
             assert!((g.at(i, i) - 1.0).abs() < 1e-6, "diagonal {i}");
             for j in 0..96 {
@@ -98,7 +113,8 @@ mod tests {
     fn type_iii_output_traffic_is_quadratic() {
         let pts = tbs_datagen::uniform_points::<2>(256, 10.0, 113);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let g = gram_gpu(&mut dev, &pts, DotProduct, PairwisePlan::register_shm(64));
+        let g =
+            gram_gpu(&mut dev, &pts, DotProduct, PairwisePlan::register_shm(64)).expect("launch");
         // Two stores per pair (symmetric): bytes ≈ 2 × pairs × 4.
         let pairs = 256u64 * 255 / 2;
         assert_eq!(g.run.tally.global_store_bytes % 4, 0);

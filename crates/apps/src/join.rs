@@ -8,7 +8,7 @@
 //! atomic per warp) as the extension studied in `ext_type3` benches.
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::Euclidean;
 use tbs_core::kernels::PairScope;
 use tbs_core::output::PairListAction;
@@ -36,22 +36,33 @@ pub fn distance_join_gpu<const D: usize>(
     capacity: u32,
     aggregated: bool,
     plan: PairwisePlan,
-) -> JoinResult {
+) -> Result<JoinResult, SimError> {
     let input = pts.upload(dev);
     let cursor = dev.alloc_u32_zeroed(1);
     let out_left = dev.alloc_u32(vec![u32::MAX; capacity as usize]);
     let out_right = dev.alloc_u32(vec![u32::MAX; capacity as usize]);
-    let action =
-        PairListAction { radius, cursor, out_left, out_right, capacity, aggregated };
-    let run = launch_pairwise(dev, input, Euclidean, action, plan, PairScope::HalfPairs);
+    let action = PairListAction {
+        radius,
+        cursor,
+        out_left,
+        out_right,
+        capacity,
+        aggregated,
+    };
+    let run = launch_pairwise(dev, input, Euclidean, action, plan, PairScope::HalfPairs)?;
     let total_matches = dev.u32_slice(cursor)[0] as u64;
     let stored = (total_matches as usize).min(capacity as usize);
     let l = dev.u32_slice(out_left);
     let r = dev.u32_slice(out_right);
-    let mut pairs: Vec<(u32, u32)> =
-        (0..stored).map(|k| (l[k].min(r[k]), l[k].max(r[k]))).collect();
+    let mut pairs: Vec<(u32, u32)> = (0..stored)
+        .map(|k| (l[k].min(r[k]), l[k].max(r[k])))
+        .collect();
     pairs.sort_unstable();
-    JoinResult { pairs, total_matches, run }
+    Ok(JoinResult {
+        pairs,
+        total_matches,
+        run,
+    })
 }
 
 /// Bipartite distance join `R ⋈_{dist<r} S` between two tables — the
@@ -66,16 +77,23 @@ pub fn distance_join_two_gpu<const D: usize>(
     capacity: u32,
     aggregated: bool,
     block_size: u32,
-) -> JoinResult {
+) -> Result<JoinResult, SimError> {
     use tbs_core::kernels::{pair_launch, CrossShmKernel};
     let dl = left.upload(dev);
     let dr = right.upload(dev);
     let cursor = dev.alloc_u32_zeroed(1);
     let out_left = dev.alloc_u32(vec![u32::MAX; capacity as usize]);
     let out_right = dev.alloc_u32(vec![u32::MAX; capacity as usize]);
-    let action = PairListAction { radius, cursor, out_left, out_right, capacity, aggregated };
+    let action = PairListAction {
+        radius,
+        cursor,
+        out_left,
+        out_right,
+        capacity,
+        aggregated,
+    };
     let k = CrossShmKernel::new(dl, dr, Euclidean, action, block_size);
-    let run = dev.launch(&k, pair_launch(dl.n, block_size));
+    let run = dev.try_launch(&k, pair_launch(dl.n, block_size))?;
     let total_matches = dev.u32_slice(cursor)[0] as u64;
     let stored = (total_matches as usize).min(capacity as usize);
     let l = dev.u32_slice(out_left);
@@ -84,7 +102,11 @@ pub fn distance_join_two_gpu<const D: usize>(
     // canonicalization.
     let mut pairs: Vec<(u32, u32)> = (0..stored).map(|i| (l[i], r[i])).collect();
     pairs.sort_unstable();
-    JoinResult { pairs, total_matches, run }
+    Ok(JoinResult {
+        pairs,
+        total_matches,
+        run,
+    })
 }
 
 /// Host reference for the bipartite join.
@@ -113,10 +135,7 @@ pub fn distance_join_two_reference<const D: usize>(
 }
 
 /// Host reference join.
-pub fn distance_join_reference<const D: usize>(
-    pts: &SoaPoints<D>,
-    radius: f32,
-) -> Vec<(u32, u32)> {
+pub fn distance_join_reference<const D: usize>(pts: &SoaPoints<D>, radius: f32) -> Vec<(u32, u32)> {
     let n = pts.len();
     let mut out = Vec::new();
     for i in 0..n {
@@ -155,7 +174,8 @@ mod tests {
                 100_000,
                 aggregated,
                 PairwisePlan::register_shm(64),
-            );
+            )
+            .expect("launch");
             assert_eq!(got.pairs, expect, "aggregated={aggregated}");
             assert_eq!(got.total_matches as usize, expect.len());
         }
@@ -175,7 +195,8 @@ mod tests {
             1 << 20,
             false,
             PairwisePlan::register_shm(64),
-        );
+        )
+        .expect("launch");
         let mut dev2 = Device::new(DeviceConfig::titan_x());
         let agg = distance_join_gpu(
             &mut dev2,
@@ -184,7 +205,8 @@ mod tests {
             1 << 20,
             true,
             PairwisePlan::register_shm(64),
-        );
+        )
+        .expect("launch");
         assert_eq!(naive.pairs.len(), agg.pairs.len());
         // Same number of atomic instructions, but the serialized cost
         // collapses: one lane per warp instead of every hit lane.
@@ -202,9 +224,20 @@ mod tests {
         let expect = distance_join_reference(&pts, 5.0);
         assert!(expect.len() > 64);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got =
-            distance_join_gpu(&mut dev, &pts, 5.0, 64, false, PairwisePlan::register_shm(64));
-        assert_eq!(got.total_matches as usize, expect.len(), "cursor counts all matches");
+        let got = distance_join_gpu(
+            &mut dev,
+            &pts,
+            5.0,
+            64,
+            false,
+            PairwisePlan::register_shm(64),
+        )
+        .expect("launch");
+        assert_eq!(
+            got.total_matches as usize,
+            expect.len(),
+            "cursor counts all matches"
+        );
         assert_eq!(got.pairs.len(), 64, "list truncated at capacity");
         for p in &got.pairs {
             assert!(expect.binary_search(p).is_ok(), "{p:?} not a real match");
@@ -219,15 +252,8 @@ mod tests {
         assert!(!expect.is_empty());
         for aggregated in [false, true] {
             let mut dev = Device::new(DeviceConfig::titan_x());
-            let got = distance_join_two_gpu(
-                &mut dev,
-                &users,
-                &items,
-                8.0,
-                1 << 18,
-                aggregated,
-                64,
-            );
+            let got = distance_join_two_gpu(&mut dev, &users, &items, 8.0, 1 << 18, aggregated, 64)
+                .expect("launch");
             assert_eq!(got.pairs, expect, "aggregated={aggregated}");
         }
     }
@@ -238,7 +264,8 @@ mod tests {
         let pts = tbs_datagen::uniform_points::<2>(120, 100.0, 113);
         let half = distance_join_reference(&pts, 9.0);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let both = distance_join_two_gpu(&mut dev, &pts, &pts, 9.0, 1 << 18, true, 32);
+        let both =
+            distance_join_two_gpu(&mut dev, &pts, &pts, 9.0, 1 << 18, true, 32).expect("launch");
         assert_eq!(both.total_matches as usize, 2 * half.len() + 120);
     }
 
@@ -246,8 +273,15 @@ mod tests {
     fn empty_result_when_radius_is_zero() {
         let pts = tbs_datagen::uniform_points::<2>(128, 100.0, 103);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got =
-            distance_join_gpu(&mut dev, &pts, 0.0, 1024, true, PairwisePlan::register_shm(32));
+        let got = distance_join_gpu(
+            &mut dev,
+            &pts,
+            0.0,
+            1024,
+            true,
+            PairwisePlan::register_shm(32),
+        )
+        .expect("launch");
         assert!(got.pairs.is_empty());
         assert_eq!(got.total_matches, 0);
     }

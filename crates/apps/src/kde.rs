@@ -3,7 +3,7 @@
 //! kernel weights over all other points in a register.
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::GaussianRbf;
 use tbs_core::kernels::{pair_launch, PairScope};
 use tbs_core::output::KdeAction;
@@ -26,7 +26,7 @@ pub fn kde_gpu<const D: usize>(
     pts: &SoaPoints<D>,
     sigma: f32,
     plan: PairwisePlan,
-) -> KdeResult {
+) -> Result<KdeResult, SimError> {
     let input = pts.upload(dev);
     let n = input.n;
     let lc = pair_launch(n, plan.block_size);
@@ -38,12 +38,16 @@ pub fn kde_gpu<const D: usize>(
         KdeAction { out, n },
         plan,
         PairScope::AllPairs,
-    );
+    )?;
     let weight_sums: Vec<f32> = dev.f32_slice(out)[..n as usize].to_vec();
     let norm = ((n as f64) - 1.0)
         * (2.0 * std::f64::consts::PI * (sigma as f64) * (sigma as f64)).powf(D as f64 / 2.0);
     let densities = weight_sums.iter().map(|&w| w as f64 / norm).collect();
-    KdeResult { weight_sums, densities, run }
+    Ok(KdeResult {
+        weight_sums,
+        densities,
+        run,
+    })
 }
 
 /// Host reference for the weight sums.
@@ -77,14 +81,20 @@ mod tests {
     use gpu_sim::DeviceConfig;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn gpu_kde_matches_reference() {
         let pts = tbs_datagen::uniform_points::<2>(300, 100.0, 73);
         let expect = kde_reference(&pts, 5.0);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = kde_gpu(&mut dev, &pts, 5.0, PairwisePlan::register_shm(64));
+        let got = kde_gpu(&mut dev, &pts, 5.0, PairwisePlan::register_shm(64)).expect("launch");
         for i in 0..pts.len() {
             let rel = (got.weight_sums[i] - expect[i]).abs() / expect[i].max(1e-6);
-            assert!(rel < 1e-3, "point {i}: {} vs {}", got.weight_sums[i], expect[i]);
+            assert!(
+                rel < 1e-3,
+                "point {i}: {} vs {}",
+                got.weight_sums[i],
+                expect[i]
+            );
         }
     }
 
@@ -97,7 +107,7 @@ mod tests {
             pts.push([(k % 4) as f32 * 3.0, 90.0 + (k / 4) as f32 * 2.0]);
         }
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = kde_gpu(&mut dev, &pts, 2.0, PairwisePlan::register_shm(64));
+        let got = kde_gpu(&mut dev, &pts, 2.0, PairwisePlan::register_shm(64)).expect("launch");
         let member_mean: f32 = got.weight_sums[..480].iter().sum::<f32>() / 480.0;
         let outlier_mean: f32 = got.weight_sums[480..].iter().sum::<f32>() / 16.0;
         assert!(
@@ -112,7 +122,7 @@ mod tests {
         // 1/area = 1e-4 for a 100×100 box.
         let pts = tbs_datagen::uniform_points::<2>(1000, 100.0, 83);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = kde_gpu(&mut dev, &pts, 8.0, PairwisePlan::register_shm(128));
+        let got = kde_gpu(&mut dev, &pts, 8.0, PairwisePlan::register_shm(128)).expect("launch");
         let mean: f64 = got.densities.iter().sum::<f64>() / 1000.0;
         assert!((5e-5..2e-4).contains(&mean), "mean density {mean}");
     }

@@ -5,7 +5,7 @@
 //! must observe every other point, so each ordered pair is evaluated.
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::Euclidean;
 use tbs_core::kernels::{pair_launch, PairScope};
 use tbs_core::output::KnnAction;
@@ -28,7 +28,7 @@ pub fn knn_gpu<const D: usize, const K: usize>(
     dev: &mut Device,
     pts: &SoaPoints<D>,
     plan: PairwisePlan,
-) -> KnnResult<K> {
+) -> Result<KnnResult<K>, SimError> {
     let input = pts.upload(dev);
     let n = input.n;
     let lc = pair_launch(n, plan.block_size);
@@ -39,10 +39,14 @@ pub fn knn_gpu<const D: usize, const K: usize>(
         dev,
         input,
         Euclidean,
-        KnnAction::<K> { out_dist, out_idx, n },
+        KnnAction::<K> {
+            out_dist,
+            out_idx,
+            n,
+        },
         plan,
         PairScope::AllPairs,
-    );
+    )?;
     // Device layout is out[k*n + i]; transpose back per point.
     let d = dev.f32_slice(out_dist);
     let ix = dev.u32_slice(out_idx);
@@ -52,7 +56,11 @@ pub fn knn_gpu<const D: usize, const K: usize>(
         neighbors.push(std::array::from_fn(|k| ix[k * n as usize + i]));
         distances.push(std::array::from_fn(|k| d[k * n as usize + i]));
     }
-    KnnResult { neighbors, distances, run }
+    Ok(KnnResult {
+        neighbors,
+        distances,
+        run,
+    })
 }
 
 /// Host-side exact reference.
@@ -91,11 +99,12 @@ mod tests {
     use tbs_core::kernels::IntraMode;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn gpu_knn_distances_match_reference() {
         let pts = tbs_datagen::uniform_points::<3>(256, 100.0, 61);
         let (_, ref_d) = knn_reference::<3, 4>(&pts);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = knn_gpu::<3, 4>(&mut dev, &pts, PairwisePlan::register_shm(64));
+        let got = knn_gpu::<3, 4>(&mut dev, &pts, PairwisePlan::register_shm(64)).expect("launch");
         for i in 0..pts.len() {
             for k in 0..4 {
                 assert!(
@@ -116,23 +125,31 @@ mod tests {
     fn neighbor_indices_are_valid_and_not_self() {
         let pts = tbs_datagen::uniform_points::<2>(200, 100.0, 67);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = knn_gpu::<2, 3>(&mut dev, &pts, PairwisePlan::register_shm(64));
+        let got = knn_gpu::<2, 3>(&mut dev, &pts, PairwisePlan::register_shm(64)).expect("launch");
         for (i, nb) in got.neighbors.iter().enumerate() {
             for &j in nb {
-                assert!(j != i as u32 && (j as usize) < pts.len(), "point {i}: neighbor {j}");
+                assert!(
+                    j != i as u32 && (j as usize) < pts.len(),
+                    "point {i}: neighbor {j}"
+                );
             }
             assert!(nb[0] != nb[1] && nb[1] != nb[2] && nb[0] != nb[2]);
         }
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn knn_agrees_across_input_paths() {
         let pts = tbs_datagen::uniform_points::<3>(160, 100.0, 71);
         let mut reference: Option<Vec<[f32; 2]>> = None;
         for input in [InputPath::Naive, InputPath::RegisterShm, InputPath::Shuffle] {
             let mut dev = Device::new(DeviceConfig::titan_x());
-            let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 32 };
-            let got = knn_gpu::<3, 2>(&mut dev, &pts, plan);
+            let plan = PairwisePlan {
+                input,
+                intra: IntraMode::Regular,
+                block_size: 32,
+            };
+            let got = knn_gpu::<3, 2>(&mut dev, &pts, plan).expect("launch");
             match &reference {
                 None => reference = Some(got.distances),
                 Some(r) => {

@@ -17,7 +17,11 @@
 //! Every app takes a [`driver::PairwisePlan`] selecting the input-staging
 //! variant (Naive / SHM-SHM / Register-SHM / Register-ROC / Shuffle),
 //! block size, and intra-block scheme, and returns its numeric result
-//! together with the simulated [`gpu_sim::KernelRun`] profile.
+//! together with the simulated [`gpu_sim::KernelRun`] profile. All entry
+//! points go through [`gpu_sim::Device::try_launch`]: a simulated fault
+//! (out-of-bounds access, invalid launch, …) surfaces as a
+//! [`gpu_sim::SimError`] for the caller to handle — one bad configuration
+//! fails its own run, never a whole experiment sweep.
 
 //! ```
 //! use gpu_sim::{Device, DeviceConfig};
@@ -25,7 +29,7 @@
 //!
 //! let pts = tbs_datagen::uniform_points::<3>(600, 100.0, 9);
 //! let mut dev = Device::new(DeviceConfig::titan_x());
-//! let res = pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(64));
+//! let res = pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(64)).expect("launch");
 //! assert_eq!(res.count, tbs_cpu::pcf_reference(&pts, 25.0));
 //! ```
 
@@ -42,8 +46,8 @@ pub mod sdh;
 pub use driver::{launch_pairwise, PairwisePlan};
 pub use gram::{gram_gpu, GramResult};
 pub use join::{
-    distance_join_gpu, distance_join_reference, distance_join_two_gpu,
-    distance_join_two_reference, JoinResult,
+    distance_join_gpu, distance_join_reference, distance_join_two_gpu, distance_join_two_reference,
+    JoinResult,
 };
 pub use kde::{kde_gpu, kde_reference, KdeResult};
 pub use knn::{knn_gpu, knn_reference, KnnResult};

@@ -13,7 +13,7 @@
 //! `O(N²)`.
 
 use crate::driver::PairwisePlan;
-use gpu_sim::{Device, DeviceConfig};
+use gpu_sim::{Device, DeviceConfig, SimError};
 use tbs_core::distance::Euclidean;
 use tbs_core::histogram::{Histogram, HistogramSpec};
 use tbs_core::kernels::{
@@ -92,7 +92,9 @@ pub fn lpt_schedule(tasks: &[SdhTask], sizes: &[usize], devices: usize) -> Vec<V
     let mut load = vec![0u64; devices.max(1)];
     let mut assign: Vec<Vec<SdhTask>> = vec![Vec::new(); devices.max(1)];
     for t in order {
-        let dev = (0..load.len()).min_by_key(|&d| load[d]).expect("at least one device");
+        let dev = (0..load.len())
+            .min_by_key(|&d| load[d])
+            .expect("at least one device");
         load[dev] += t.pairs(sizes);
         assign[dev].push(t.clone());
     }
@@ -100,13 +102,17 @@ pub fn lpt_schedule(tasks: &[SdhTask], sizes: &[usize], devices: usize) -> Vec<V
 }
 
 /// Compute an SDH across `num_devices` simulated GPUs.
+///
+/// A simulated fault in any task's kernel aborts only this computation
+/// and surfaces as `Err`, so sweeps over device counts / plans can skip
+/// the bad configuration and continue.
 pub fn sdh_multi_gpu<const D: usize>(
     pts: &SoaPoints<D>,
     spec: HistogramSpec,
     plan: PairwisePlan,
     num_devices: usize,
     cfg: &DeviceConfig,
-) -> MultiGpuSdh {
+) -> Result<MultiGpuSdh, SimError> {
     let g = num_devices.max(1);
     let ranges = chunk_ranges(pts.len(), g);
     let chunks: Vec<SoaPoints<D>> = ranges.iter().map(|r| pts.slice(r.clone())).collect();
@@ -140,8 +146,7 @@ pub fn sdh_multi_gpu<const D: usize>(
                 SdhTask::SelfJoin { chunk } => {
                     let input = uploaded[chunk];
                     let lc = pair_launch(input.n, plan.block_size.min(input.n.max(32)));
-                    let private =
-                        dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+                    let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
                     let k = RegisterShmKernel::new(
                         input,
                         Euclidean,
@@ -150,14 +155,13 @@ pub fn sdh_multi_gpu<const D: usize>(
                         PairScope::HalfPairs,
                         plan.intra,
                     );
-                    let run = dev.launch(&k, lc);
+                    let run = dev.try_launch(&k, lc)?;
                     (lc, run.timing.seconds, private)
                 }
                 SdhTask::CrossJoin { left, right } => {
                     let (a, b) = (uploaded[left], uploaded[right]);
                     let lc = pair_launch(a.n, plan.block_size.min(a.n.max(32)));
-                    let private =
-                        dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+                    let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
                     let k = CrossShmKernel::new(
                         a,
                         b,
@@ -165,7 +169,7 @@ pub fn sdh_multi_gpu<const D: usize>(
                         SharedHistogramAction { spec, private },
                         lc.block_dim,
                     );
-                    let run = dev.launch(&k, lc);
+                    let run = dev.try_launch(&k, lc)?;
                     (lc, run.timing.seconds, private)
                 }
             };
@@ -177,7 +181,7 @@ pub fn sdh_multi_gpu<const D: usize>(
                 buckets: spec.buckets,
                 copies: lc.grid_dim,
             };
-            let rrun = dev.launch(&reduce, reduce.launch_config(256));
+            let rrun = dev.try_launch(&reduce, reduce.launch_config(256))?;
             let secs = run_secs + rrun.timing.seconds;
             device_seconds[dev_id] += secs;
             schedule.push((dev_id, task.clone(), secs));
@@ -185,7 +189,11 @@ pub fn sdh_multi_gpu<const D: usize>(
         }
     }
 
-    MultiGpuSdh { histogram, device_seconds, schedule }
+    Ok(MultiGpuSdh {
+        histogram,
+        device_seconds,
+        schedule,
+    })
 }
 
 #[cfg(test)]
@@ -233,7 +241,8 @@ mod tests {
                 PairwisePlan::register_shm(64),
                 devices,
                 &DeviceConfig::titan_x(),
-            );
+            )
+            .expect("launch");
             assert_eq!(got.histogram, single, "devices = {devices}");
             assert_eq!(got.histogram.total(), 700 * 699 / 2);
         }
@@ -245,7 +254,11 @@ mod tests {
     /// timing model (correctly!) shows chunking not paying off until N is
     /// far beyond what a functional test should execute.
     fn small_device() -> DeviceConfig {
-        DeviceConfig { num_sms: 4, max_blocks_per_sm: 4, ..DeviceConfig::titan_x() }
+        DeviceConfig {
+            num_sms: 4,
+            max_blocks_per_sm: 4,
+            ..DeviceConfig::titan_x()
+        }
     }
 
     #[test]
@@ -253,8 +266,8 @@ mod tests {
         let pts = uniform_points::<3>(3072, DEFAULT_BOX, 67);
         let cfg = small_device();
         let plan = PairwisePlan::register_shm(64);
-        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg);
-        let two = sdh_multi_gpu(&pts, spec(), plan, 2, &cfg);
+        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg).expect("launch");
+        let two = sdh_multi_gpu(&pts, spec(), plan, 2, &cfg).expect("launch");
         assert_eq!(one.histogram, two.histogram);
         assert!(
             two.makespan() < one.makespan() * 0.7,
@@ -272,8 +285,8 @@ mod tests {
         let pts = uniform_points::<3>(2048, DEFAULT_BOX, 69);
         let cfg = DeviceConfig::titan_x();
         let plan = PairwisePlan::register_shm(64);
-        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg);
-        let four = sdh_multi_gpu(&pts, spec(), plan, 4, &cfg);
+        let one = sdh_multi_gpu(&pts, spec(), plan, 1, &cfg).expect("launch");
+        let four = sdh_multi_gpu(&pts, spec(), plan, 4, &cfg).expect("launch");
         assert_eq!(one.histogram, four.histogram);
         assert!(
             four.makespan() > one.makespan() * 0.8,

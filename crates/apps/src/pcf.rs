@@ -3,7 +3,7 @@
 //! describing the number of points within a radius".
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::Euclidean;
 use tbs_core::kernels::{pair_launch, PairScope};
 use tbs_core::output::CountWithinRadius;
@@ -24,7 +24,7 @@ pub fn pcf_gpu<const D: usize>(
     pts: &SoaPoints<D>,
     radius: f32,
     plan: PairwisePlan,
-) -> PcfResult {
+) -> Result<PcfResult, SimError> {
     let input = pts.upload(dev);
     let lc = pair_launch(input.n, plan.block_size);
     let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
@@ -35,12 +35,12 @@ pub fn pcf_gpu<const D: usize>(
         CountWithinRadius { radius, out },
         plan,
         PairScope::HalfPairs,
-    );
+    )?;
     // Type-I: per-thread register outputs are transmitted back to the
     // host and summed there (§IV-C "transmit such data back to host when
     // kernel exits").
     let count = dev.u64_slice(out).iter().sum();
-    PcfResult { count, run }
+    Ok(PcfResult { count, run })
 }
 
 #[cfg(test)]
@@ -55,7 +55,7 @@ mod tests {
         let pts = tbs_datagen::uniform_points::<3>(512, 100.0, 23);
         let expect = tbs_cpu::pcf_reference(&pts, 25.0);
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let got = pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(128));
+        let got = pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(128)).expect("launch");
         assert_eq!(got.count, expect);
         assert!(got.run.timing.seconds > 0.0);
     }
@@ -72,8 +72,12 @@ mod tests {
             InputPath::Shuffle,
         ] {
             let mut dev = Device::new(DeviceConfig::titan_x());
-            let plan = PairwisePlan { input, intra: IntraMode::LoadBalanced, block_size: 128 };
-            let got = pcf_gpu(&mut dev, &pts, 40.0, plan);
+            let plan = PairwisePlan {
+                input,
+                intra: IntraMode::LoadBalanced,
+                block_size: 128,
+            };
+            let got = pcf_gpu(&mut dev, &pts, 40.0, plan).expect("launch");
             assert_eq!(got.count, expect, "{input:?}");
         }
     }

@@ -8,7 +8,7 @@
 
 use crate::driver::PairwisePlan;
 use crate::sdh::{sdh_gpu, SdhOutputMode, SdhResult};
-use gpu_sim::Device;
+use gpu_sim::{Device, SimError};
 use tbs_core::histogram::{Histogram, HistogramSpec};
 use tbs_core::point::SoaPoints;
 
@@ -36,7 +36,11 @@ pub fn normalize_sdh(hist: &Histogram, spec: HistogramSpec, n: u64, volume: f64)
         r.push(rmid);
         g.push(if ideal > 0.0 { c as f64 / ideal } else { 0.0 });
     }
-    Rdf { r, g, histogram: hist.clone() }
+    Rdf {
+        r,
+        g,
+        histogram: hist.clone(),
+    }
 }
 
 /// Compute the RDF under periodic boundary conditions (minimum-image
@@ -49,13 +53,13 @@ pub fn rdf_gpu_periodic(
     spec: HistogramSpec,
     box_edge: f32,
     plan: PairwisePlan,
-) -> (Rdf, SdhResult) {
+) -> Result<(Rdf, SdhResult), SimError> {
     assert!(
         spec.max_distance <= box_edge / 2.0 + 1e-4,
         "periodic RDF histograms must stop at half the box edge"
     );
     let dist = tbs_core::distance::PeriodicEuclidean::new(box_edge);
-    let sdh = crate::sdh::sdh_gpu_with(dev, pts, dist, spec, plan, SdhOutputMode::Privatized);
+    let sdh = crate::sdh::sdh_gpu_with(dev, pts, dist, spec, plan, SdhOutputMode::Privatized)?;
     let volume = (box_edge as f64).powi(3);
     let mut rdf = normalize_sdh(&sdh.histogram, spec, pts.len() as u64, volume);
     // Minimum-image distances in 3-D reach up to (√3/2)·L along box
@@ -64,7 +68,7 @@ pub fn rdf_gpu_periodic(
     // the curve, as MD analysis codes conventionally do.
     rdf.r.pop();
     rdf.g.pop();
-    (rdf, sdh)
+    Ok((rdf, sdh))
 }
 
 /// Compute the RDF of a 3-D point set on the simulated GPU (SDH with the
@@ -75,11 +79,11 @@ pub fn rdf_gpu(
     spec: HistogramSpec,
     box_edge: f32,
     plan: PairwisePlan,
-) -> (Rdf, SdhResult) {
-    let sdh = sdh_gpu(dev, pts, spec, plan, SdhOutputMode::Privatized);
+) -> Result<(Rdf, SdhResult), SimError> {
+    let sdh = sdh_gpu(dev, pts, spec, plan, SdhOutputMode::Privatized)?;
     let volume = (box_edge as f64).powi(3);
     let rdf = normalize_sdh(&sdh.histogram, spec, pts.len() as u64, volume);
-    (rdf, sdh)
+    Ok((rdf, sdh))
 }
 
 #[cfg(test)]
@@ -95,7 +99,8 @@ mod tests {
         let pts = tbs_datagen::uniform_points::<3>(4096, edge, 47);
         let spec = HistogramSpec::new(200, tbs_datagen::box_diagonal(edge, 3));
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128));
+        let (rdf, _) =
+            rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128)).expect("launch");
         // Buckets covering r in [2, 8): above the r→0 shot noise, and
         // small enough that the finite-box shell truncation (≈ 3r/2L
         // relative loss without periodic boundaries) stays below ~10 %.
@@ -112,7 +117,8 @@ mod tests {
         let pts = tbs_datagen::uniform_points::<3>(2048, edge, 53);
         let spec = HistogramSpec::new(100, tbs_datagen::box_diagonal(edge, 3));
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64));
+        let (rdf, _) =
+            rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64)).expect("launch");
         // Near the diagonal there are almost no pairs: g ≈ 0.
         let tail: f64 = rdf.g.iter().rev().take(5).sum::<f64>() / 5.0;
         assert!(tail < 0.2, "tail g = {tail}");
@@ -124,7 +130,8 @@ mod tests {
         let pts = tbs_datagen::clustered_points::<3>(2048, edge, 8, 2.0, 59);
         let spec = HistogramSpec::new(200, tbs_datagen::box_diagonal(edge, 3));
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let (rdf, _) = rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64));
+        let (rdf, _) =
+            rdf_gpu(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(64)).expect("launch");
         // Short-range g(r) must be strongly enhanced vs. uniform.
         let w = spec.bucket_width();
         let near = rdf.g[(1.0 / w) as usize..(4.0 / w) as usize]
@@ -143,7 +150,8 @@ mod tests {
         let spec = HistogramSpec::new(60, edge / 2.0);
         let mut dev = Device::new(DeviceConfig::titan_x());
         let (rdf, _) =
-            rdf_gpu_periodic(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128));
+            rdf_gpu_periodic(&mut dev, &pts, spec, edge, PairwisePlan::register_shm(128))
+                .expect("launch");
         // Skip the first few shot-noise buckets; everything else ≈ 1.
         for (i, &g) in rdf.g.iter().enumerate().skip(8) {
             assert!((0.8..1.2).contains(&g), "bucket {i}: g = {g}");

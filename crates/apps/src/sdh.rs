@@ -3,7 +3,7 @@
 //! histogram small enough for shared memory.
 
 use crate::driver::{launch_pairwise, PairwisePlan};
-use gpu_sim::{Device, KernelRun};
+use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::Euclidean;
 use tbs_core::histogram::{Histogram, HistogramSpec};
 use tbs_core::kernels::{pair_launch, HistogramReduceKernel, PairScope};
@@ -35,8 +35,7 @@ pub struct SdhResult {
 impl SdhResult {
     /// Total simulated GPU time (pair stage + reduction).
     pub fn total_seconds(&self) -> f64 {
-        self.pair_run.timing.seconds
-            + self.reduce_run.as_ref().map_or(0.0, |r| r.timing.seconds)
+        self.pair_run.timing.seconds + self.reduce_run.as_ref().map_or(0.0, |r| r.timing.seconds)
     }
 }
 
@@ -47,7 +46,7 @@ pub fn sdh_gpu<const D: usize>(
     spec: HistogramSpec,
     plan: PairwisePlan,
     output: SdhOutputMode,
-) -> SdhResult {
+) -> Result<SdhResult, SimError> {
     sdh_gpu_with(dev, pts, Euclidean, spec, plan, output)
 }
 
@@ -61,7 +60,7 @@ pub fn sdh_gpu_with<const D: usize, F>(
     spec: HistogramSpec,
     plan: PairwisePlan,
     output: SdhOutputMode,
-) -> SdhResult
+) -> Result<SdhResult, SimError>
 where
     F: tbs_core::distance::DistanceKernel<D> + Copy,
 {
@@ -77,7 +76,7 @@ where
                 SharedHistogramAction { spec, private },
                 plan,
                 PairScope::HalfPairs,
-            );
+            )?;
             let out = dev.alloc_u64_zeroed(spec.buckets as usize);
             let reduce = HistogramReduceKernel {
                 private,
@@ -85,12 +84,12 @@ where
                 buckets: spec.buckets,
                 copies: lc.grid_dim,
             };
-            let reduce_run = dev.launch(&reduce, reduce.launch_config(256));
-            SdhResult {
+            let reduce_run = dev.try_launch(&reduce, reduce.launch_config(256))?;
+            Ok(SdhResult {
                 histogram: Histogram::from_counts(dev.u64_slice(out).to_vec()),
                 pair_run,
                 reduce_run: Some(reduce_run),
-            }
+            })
         }
         SdhOutputMode::GlobalAtomics => {
             let out = dev.alloc_u64_zeroed(spec.buckets as usize);
@@ -101,12 +100,12 @@ where
                 GlobalHistogramAction { spec, out },
                 plan,
                 PairScope::HalfPairs,
-            );
-            SdhResult {
+            )?;
+            Ok(SdhResult {
                 histogram: Histogram::from_counts(dev.u64_slice(out).to_vec()),
                 pair_run,
                 reduce_run: None,
-            }
+            })
         }
     }
 }
@@ -133,7 +132,8 @@ mod tests {
             spec(),
             PairwisePlan::register_shm(64),
             SdhOutputMode::Privatized,
-        );
+        )
+        .expect("launch");
         assert_eq!(got.histogram, expect);
         assert!(got.reduce_run.is_some());
         assert!(got.total_seconds() > got.pair_run.timing.seconds);
@@ -150,7 +150,8 @@ mod tests {
             spec(),
             PairwisePlan::register_shm(128),
             SdhOutputMode::GlobalAtomics,
-        );
+        )
+        .expect("launch");
         assert_eq!(got.histogram, expect);
         assert!(got.reduce_run.is_none());
     }
@@ -162,9 +163,12 @@ mod tests {
         for input in [InputPath::Naive, InputPath::RegisterRoc, InputPath::Shuffle] {
             for output in [SdhOutputMode::Privatized, SdhOutputMode::GlobalAtomics] {
                 let mut dev = Device::new(DeviceConfig::titan_x());
-                let plan =
-                    PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
-                let got = sdh_gpu(&mut dev, &pts, spec(), plan, output);
+                let plan = PairwisePlan {
+                    input,
+                    intra: IntraMode::Regular,
+                    block_size: 64,
+                };
+                let got = sdh_gpu(&mut dev, &pts, spec(), plan, output).expect("launch");
                 assert_eq!(got.histogram, expect, "{input:?}/{output:?}");
             }
         }
@@ -177,11 +181,13 @@ mod tests {
         let pts = tbs_datagen::uniform_points::<3>(2048, 100.0, 43);
         let mut dev = Device::new(DeviceConfig::titan_x());
         let plan = PairwisePlan::register_shm(128);
-        let privatized =
-            sdh_gpu(&mut dev, &pts, spec(), plan, SdhOutputMode::Privatized).total_seconds();
+        let privatized = sdh_gpu(&mut dev, &pts, spec(), plan, SdhOutputMode::Privatized)
+            .expect("launch")
+            .total_seconds();
         let mut dev2 = Device::new(DeviceConfig::titan_x());
-        let global =
-            sdh_gpu(&mut dev2, &pts, spec(), plan, SdhOutputMode::GlobalAtomics).total_seconds();
+        let global = sdh_gpu(&mut dev2, &pts, spec(), plan, SdhOutputMode::GlobalAtomics)
+            .expect("launch")
+            .total_seconds();
         // At this test size (n = 2048, 16 blocks) the grid cannot even
         // fill the 24 SMs, which compresses the gap; the paper-scale
         // ~10× ratio is reproduced by the fig4 bench at full occupancy.

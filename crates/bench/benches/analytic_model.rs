@@ -12,7 +12,12 @@ fn bench_prediction(c: &mut Criterion) {
     let mut g = c.benchmark_group("analytic_predict");
     g.sample_size(20);
     for n in [128 * 1024u32, 2_000_896] {
-        let wl = Workload { n, b: 1024, dims: 3, dist_cost: 7 };
+        let wl = Workload {
+            n,
+            b: 1024,
+            dims: 3,
+            dist_cost: 7,
+        };
         g.bench_with_input(BenchmarkId::from_parameter(n), &wl, |b, wl| {
             b.iter(|| {
                 predicted_run(

@@ -20,7 +20,16 @@ fn bench_sdh_schedules(c: &mut Criterion) {
         ("guided", Schedule::Guided),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &schedule, |b, &s| {
-            b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: 4, schedule: s }))
+            b.iter(|| {
+                sdh_parallel(
+                    &pts,
+                    spec,
+                    CpuSdhConfig {
+                        threads: 4,
+                        schedule: s,
+                    },
+                )
+            })
         });
     }
     g.finish();
@@ -34,7 +43,16 @@ fn bench_sdh_thread_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: t, schedule: Schedule::Guided }))
+            b.iter(|| {
+                sdh_parallel(
+                    &pts,
+                    spec,
+                    CpuSdhConfig {
+                        threads: t,
+                        schedule: Schedule::Guided,
+                    },
+                )
+            })
         });
     }
     g.finish();
@@ -63,7 +81,16 @@ fn bench_sdh_blocked_vs_rowwise(c: &mut Criterion) {
     g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
     g.sample_size(10);
     g.bench_function("rowwise", |b| {
-        b.iter(|| sdh_parallel(&pts, spec, CpuSdhConfig { threads: 1, schedule: Schedule::Guided }))
+        b.iter(|| {
+            sdh_parallel(
+                &pts,
+                spec,
+                CpuSdhConfig {
+                    threads: 1,
+                    schedule: Schedule::Guided,
+                },
+            )
+        })
     });
     for tile in [256usize, 1024, 4096] {
         g.bench_with_input(BenchmarkId::new("blocked", tile), &tile, |b, &t| {
@@ -71,7 +98,11 @@ fn bench_sdh_blocked_vs_rowwise(c: &mut Criterion) {
                 sdh_blocked(
                     &pts,
                     spec,
-                    BlockedSdhConfig { threads: 1, tile: t, schedule: Schedule::Guided },
+                    BlockedSdhConfig {
+                        threads: 1,
+                        tile: t,
+                        schedule: Schedule::Guided,
+                    },
                 )
             })
         });

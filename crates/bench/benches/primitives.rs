@@ -43,8 +43,9 @@ fn bench_distance_host(c: &mut Criterion) {
 }
 
 fn bench_histogram_merge(c: &mut Criterion) {
-    let copies: Vec<Histogram> =
-        (0..64).map(|s| Histogram::from_counts(vec![s as u64; 4096])).collect();
+    let copies: Vec<Histogram> = (0..64)
+        .map(|s| Histogram::from_counts(vec![s as u64; 4096]))
+        .collect();
     let mut g = c.benchmark_group("histogram");
     g.sample_size(20);
     g.bench_function("merge_64x4096", |b| {
@@ -62,7 +63,9 @@ fn bench_histogram_merge(c: &mut Criterion) {
 fn bench_datagen(c: &mut Criterion) {
     let mut g = c.benchmark_group("datagen");
     g.sample_size(10);
-    g.bench_function("uniform_100k", |b| b.iter(|| uniform_points::<3>(100_000, 100.0, 1)));
+    g.bench_function("uniform_100k", |b| {
+        b.iter(|| uniform_points::<3>(100_000, 100.0, 1))
+    });
     g.bench_function("clustered_100k", |b| {
         b.iter(|| clustered_points::<3>(100_000, 100.0, 16, 2.0, 1))
     });

@@ -2,6 +2,7 @@
 //! second executing the paper's kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::config::ExecMode;
 use gpu_sim::{Device, DeviceConfig};
 use tbs_apps::{pcf_gpu, sdh_gpu, PairwisePlan, SdhOutputMode};
 use tbs_core::analytic::InputPath;
@@ -23,13 +24,21 @@ fn bench_pcf_kernels(c: &mut Criterion) {
         InputPath::RegisterRoc,
         InputPath::Shuffle,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(input.name()), &input, |b, &i| {
-            b.iter(|| {
-                let mut dev = Device::new(DeviceConfig::titan_x());
-                let plan = PairwisePlan { input: i, intra: IntraMode::Regular, block_size: 128 };
-                pcf_gpu(&mut dev, &pts, 25.0, plan).count
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(input.name()),
+            &input,
+            |b, &i| {
+                b.iter(|| {
+                    let mut dev = Device::new(DeviceConfig::titan_x());
+                    let plan = PairwisePlan {
+                        input: i,
+                        intra: IntraMode::Regular,
+                        block_size: 128,
+                    };
+                    pcf_gpu(&mut dev, &pts, 25.0, plan).expect("launch").count
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -40,13 +49,15 @@ fn bench_sdh_functional(c: &mut Criterion) {
     let spec = HistogramSpec::new(512, box_diagonal(100.0, 3));
     let mut g = c.benchmark_group("sim_sdh");
     g.sample_size(10);
-    for (name, mode) in
-        [("privatized", SdhOutputMode::Privatized), ("global", SdhOutputMode::GlobalAtomics)]
-    {
+    for (name, mode) in [
+        ("privatized", SdhOutputMode::Privatized),
+        ("global", SdhOutputMode::GlobalAtomics),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
             b.iter(|| {
                 let mut dev = Device::new(DeviceConfig::titan_x());
                 sdh_gpu(&mut dev, &pts, spec, PairwisePlan::register_shm(128), m)
+                    .expect("launch")
                     .histogram
                     .total()
             })
@@ -55,5 +66,47 @@ fn bench_sdh_functional(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pcf_kernels, bench_sdh_functional);
+/// Host-side speedup of the parallel block-execution engine over the
+/// sequential reference on the same workload. With `threads: 0` the
+/// engine uses every available core; on a ≥4-core host the parallel row
+/// should show a ≥2× improvement at this problem size.
+fn bench_exec_modes(c: &mut Criterion) {
+    let n = 4096usize;
+    let pts = uniform_points::<3>(n, 100.0, 7);
+    let spec = HistogramSpec::new(512, box_diagonal(100.0, 3));
+    let mut g = c.benchmark_group("sim_exec_mode");
+    g.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+    g.sample_size(10);
+    let modes = [
+        ("sequential", ExecMode::Sequential),
+        ("parallel_auto", ExecMode::Parallel { threads: 0 }),
+        ("parallel_2", ExecMode::Parallel { threads: 2 }),
+        ("parallel_4", ExecMode::Parallel { threads: 4 }),
+    ];
+    for (name, mode) in modes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceConfig::titan_x().with_exec_mode(m));
+                sdh_gpu(
+                    &mut dev,
+                    &pts,
+                    spec,
+                    PairwisePlan::register_shm(128),
+                    SdhOutputMode::Privatized,
+                )
+                .expect("launch")
+                .histogram
+                .total()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pcf_kernels,
+    bench_sdh_functional,
+    bench_exec_modes
+);
 criterion_main!(benches);

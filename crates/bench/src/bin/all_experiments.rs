@@ -22,8 +22,14 @@ fn main() {
         ("Extension: data skew", ext_skew::report(4096, 1024, 128)),
         ("Extension: Type-III output", ext_type3::report(2048, 64)),
         ("Extension: multi-GPU", ext_multigpu::report(4096, 64)),
-        ("Extension: multi-copy privatization", ext_multicopy::report(4096, 256)),
-        ("Extension: block size", ext_blocksize::report(512 * 1024, &cfg)),
+        (
+            "Extension: multi-copy privatization",
+            ext_multicopy::report(4096, 256),
+        ),
+        (
+            "Extension: block size",
+            ext_blocksize::report(512 * 1024, &cfg),
+        ),
     ];
     for (name, body) in sections {
         println!("================================================================");

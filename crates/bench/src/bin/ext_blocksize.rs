@@ -3,5 +3,8 @@ use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::ext_blocksize;
 
 fn main() {
-    print!("{}", ext_blocksize::report(1024 * 1024, &DeviceConfig::titan_x()));
+    print!(
+        "{}",
+        ext_blocksize::report(1024 * 1024, &DeviceConfig::titan_x())
+    );
 }

@@ -3,5 +3,8 @@ use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::tables;
 
 fn main() {
-    print!("{}", tables::table2_report(512 * 1024, &DeviceConfig::titan_x()));
+    print!(
+        "{}",
+        tables::table2_report(512 * 1024, &DeviceConfig::titan_x())
+    );
 }

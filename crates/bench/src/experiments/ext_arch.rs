@@ -26,27 +26,37 @@ pub struct DeviceRow {
 /// Evaluate the 2-PCF kernel family on every device preset.
 pub fn series(n: u32) -> Vec<DeviceRow> {
     let wl = paper_workload(n);
-    [DeviceConfig::fermi_gtx580(), DeviceConfig::kepler_k40(), DeviceConfig::titan_x()]
-        .into_iter()
-        .map(|cfg| {
-            let mut kernels = Vec::new();
-            for (name, input) in [
-                ("naive", InputPath::Naive),
-                ("shm-shm", InputPath::ShmShm),
-                ("register-shm", InputPath::RegisterShm),
-                ("register-roc", InputPath::RegisterRoc),
-                ("shuffle", InputPath::Shuffle),
-            ] {
-                if input == InputPath::Shuffle && !cfg.has_shuffle {
-                    continue;
-                }
-                let run =
-                    predicted_run(&wl, &KernelSpec::new(input, OutputPath::RegisterCount), &cfg);
-                kernels.push((name, run.seconds()));
+    [
+        DeviceConfig::fermi_gtx580(),
+        DeviceConfig::kepler_k40(),
+        DeviceConfig::titan_x(),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let mut kernels = Vec::new();
+        for (name, input) in [
+            ("naive", InputPath::Naive),
+            ("shm-shm", InputPath::ShmShm),
+            ("register-shm", InputPath::RegisterShm),
+            ("register-roc", InputPath::RegisterRoc),
+            ("shuffle", InputPath::Shuffle),
+        ] {
+            if input == InputPath::Shuffle && !cfg.has_shuffle {
+                continue;
             }
-            DeviceRow { device: cfg.name, kernels }
-        })
-        .collect()
+            let run = predicted_run(
+                &wl,
+                &KernelSpec::new(input, OutputPath::RegisterCount),
+                &cfg,
+            );
+            kernels.push((name, run.seconds()));
+        }
+        DeviceRow {
+            device: cfg.name,
+            kernels,
+        }
+    })
+    .collect()
 }
 
 /// Render the architecture-study report.
@@ -87,8 +97,18 @@ mod tests {
     fn tiling_wins_on_every_generation() {
         for r in series(256 * 1024) {
             let naive = r.kernels.iter().find(|(k, _)| *k == "naive").unwrap().1;
-            let reg = r.kernels.iter().find(|(k, _)| *k == "register-shm").unwrap().1;
-            assert!(naive / reg > 1.5, "{}: tiling must win ({})", r.device, naive / reg);
+            let reg = r
+                .kernels
+                .iter()
+                .find(|(k, _)| *k == "register-shm")
+                .unwrap()
+                .1;
+            assert!(
+                naive / reg > 1.5,
+                "{}: tiling must win ({})",
+                r.device,
+                naive / reg
+            );
         }
     }
 
@@ -96,7 +116,10 @@ mod tests {
     fn newer_devices_are_absolutely_faster() {
         let rows = series(512 * 1024);
         let best = |r: &DeviceRow| {
-            r.kernels.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min)
+            r.kernels
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f64::INFINITY, f64::min)
         };
         assert!(best(&rows[2]) < best(&rows[1]), "Maxwell beats Kepler");
         assert!(best(&rows[1]) < best(&rows[0]), "Kepler beats Fermi");

@@ -25,9 +25,18 @@ pub fn series(n: u32, input: InputPath, output: OutputPath, cfg: &DeviceConfig) 
     [32u32, 64, 128, 256, 512, 1024]
         .iter()
         .map(|&b| {
-            let wl = Workload { n: n / b * b, b, dims: 3, dist_cost: 7 };
+            let wl = Workload {
+                n: n / b * b,
+                b,
+                dims: 3,
+                dist_cost: 7,
+            };
             let run = predicted_run(&wl, &KernelSpec::new(input, output), cfg);
-            Row { block: b, seconds: run.seconds(), occupancy: run.occupancy.occupancy }
+            Row {
+                block: b,
+                seconds: run.seconds(),
+                occupancy: run.occupancy.occupancy,
+            }
         })
         .collect()
 }
@@ -39,7 +48,11 @@ pub fn report(n: u32, cfg: &DeviceConfig) -> String {
          (the paper fixes B = 1024 from its reference [23]'s model)\n\n"
     );
     for (label, input, output) in [
-        ("Register-SHM / 2-PCF", InputPath::RegisterShm, OutputPath::RegisterCount),
+        (
+            "Register-SHM / 2-PCF",
+            InputPath::RegisterShm,
+            OutputPath::RegisterCount,
+        ),
         (
             "Reg-ROC-Out / SDH (4096 buckets)",
             InputPath::RegisterRoc,
@@ -72,7 +85,12 @@ mod tests {
     #[test]
     fn the_papers_block_size_is_near_optimal() {
         let cfg = DeviceConfig::titan_x();
-        let rows = series(1024 * 1024, InputPath::RegisterShm, OutputPath::RegisterCount, &cfg);
+        let rows = series(
+            1024 * 1024,
+            InputPath::RegisterShm,
+            OutputPath::RegisterCount,
+            &cfg,
+        );
         let best = rows.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
         let b1024 = rows.iter().find(|r| r.block == 1024).unwrap();
         assert!(
@@ -85,7 +103,11 @@ mod tests {
         // model only counts instruction/sync costs, so the margin is
         // smaller than on real hardware where launch/barrier costs grow).
         let b32 = rows.iter().find(|r| r.block == 32).unwrap();
-        assert!(b32.seconds > best * 1.03, "B=32 should pay overhead: {}", b32.seconds / best);
+        assert!(
+            b32.seconds > best * 1.03,
+            "B=32 should pay overhead: {}",
+            b32.seconds / best
+        );
     }
 
     #[test]

@@ -24,15 +24,18 @@ pub struct Row {
     pub seconds: f64,
 }
 
-/// Sweep private-copy counts on a functional SDH.
+/// Sweep private-copy counts on a functional SDH. A copy count whose
+/// launch faults is reported and skipped; the rest of the sweep runs.
 pub fn series(n: usize, buckets: u32, block: u32, copy_counts: &[u32]) -> Vec<Row> {
     let pts = tbs_datagen::uniform_points::<3>(n, tbs_datagen::DEFAULT_BOX, 5);
-    let spec =
-        HistogramSpec::new(buckets, tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3));
+    let spec = HistogramSpec::new(
+        buckets,
+        tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3),
+    );
     let mut reference: Option<Histogram> = None;
     copy_counts
         .iter()
-        .map(|&copies| {
+        .filter_map(|&copies| {
             let mut dev = Device::new(DeviceConfig::titan_x());
             let input = pts.upload(&mut dev);
             let lc = pair_launch(input.n, block);
@@ -40,12 +43,22 @@ pub fn series(n: usize, buckets: u32, block: u32, copy_counts: &[u32]) -> Vec<Ro
             let k = RegisterShmKernel::new(
                 input,
                 Euclidean,
-                MultiCopyHistogramAction { spec, private, copies },
+                MultiCopyHistogramAction {
+                    spec,
+                    private,
+                    copies,
+                },
                 block,
                 PairScope::HalfPairs,
                 IntraMode::Regular,
             );
-            let run = dev.launch(&k, lc);
+            let run = match dev.try_launch(&k, lc) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("ext_multicopy: skipping copies = {copies}: {e}");
+                    return None;
+                }
+            };
             // Correctness: merge the per-block private copies and compare
             // against the single-copy result.
             let vals = dev.u32_slice(private);
@@ -58,12 +71,12 @@ pub fn series(n: usize, buckets: u32, block: u32, copy_counts: &[u32]) -> Vec<Ro
                 None => reference = Some(merged),
                 Some(r) => assert_eq!(&merged, r, "copies={copies} changed the histogram"),
             }
-            Row {
+            Some(Row {
                 copies,
                 contention: run.tally.shared_atomic_contention(),
                 occupancy: run.occupancy.occupancy,
                 seconds: run.timing.seconds,
-            }
+            })
         })
         .collect()
 }
@@ -125,20 +138,24 @@ mod tests {
         // and would mask the shared-memory ceiling).
         use tbs_core::output::PairAction;
         let cfg = DeviceConfig::titan_x();
-        let spec = HistogramSpec::new(
-            4096,
-            tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3),
-        );
+        let spec = HistogramSpec::new(4096, tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3));
         let occ = |copies: u32| {
             let mut dev = Device::new(cfg.clone());
             let private = dev.alloc_u32_zeroed(4096);
-            let action = MultiCopyHistogramAction { spec, private, copies };
+            let action = MultiCopyHistogramAction {
+                spec,
+                private,
+                copies,
+            };
             // Tile (3 KB at B=256, D=3) + copies × 16 KB.
             let shm = 256 * 4 * 3 + action.shared_bytes(256);
             gpu_sim::occupancy::occupancy(&cfg, 10_000, 256, 32, shm).occupancy
         };
         let (one, two) = (occ(1), occ(2));
-        assert!(two < one, "2×16 KB copies must reduce occupancy: {two} vs {one}");
+        assert!(
+            two < one,
+            "2×16 KB copies must reduce occupancy: {two} vs {one}"
+        );
     }
 
     #[test]
@@ -159,10 +176,7 @@ mod tests {
         // per-block limit — the hardware ceiling that motivates keeping
         // one copy per block.
         let pts = tbs_datagen::uniform_points::<3>(512, tbs_datagen::DEFAULT_BOX, 5);
-        let spec = HistogramSpec::new(
-            4096,
-            tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3),
-        );
+        let spec = HistogramSpec::new(4096, tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3));
         let mut dev = Device::new(DeviceConfig::titan_x());
         let input = pts.upload(&mut dev);
         let lc = pair_launch(input.n, 256);
@@ -170,7 +184,11 @@ mod tests {
         let k = RegisterShmKernel::new(
             input,
             Euclidean,
-            MultiCopyHistogramAction { spec, private, copies: 4 },
+            MultiCopyHistogramAction {
+                spec,
+                private,
+                copies: 4,
+            },
             256,
             PairScope::HalfPairs,
             IntraMode::Regular,

@@ -19,7 +19,11 @@ use tbs_datagen::{box_diagonal, uniform_points, DEFAULT_BOX};
 
 /// The scaled-down device used for the functional scaling study.
 pub fn study_device() -> DeviceConfig {
-    DeviceConfig { num_sms: 4, max_blocks_per_sm: 4, ..DeviceConfig::titan_x() }
+    DeviceConfig {
+        num_sms: 4,
+        max_blocks_per_sm: 4,
+        ..DeviceConfig::titan_x()
+    }
 }
 
 /// One device-count sample.
@@ -32,29 +36,42 @@ pub struct Row {
     pub tasks: usize,
 }
 
-/// Sweep device counts for an N-point SDH.
+/// Sweep device counts for an N-point SDH. A device count whose
+/// simulation faults is reported and skipped; the rest of the sweep runs.
 pub fn series(n: usize, block: u32, device_counts: &[usize]) -> Vec<Row> {
     let pts = uniform_points::<3>(n, DEFAULT_BOX, 3);
     let spec = HistogramSpec::new(256, box_diagonal(DEFAULT_BOX, 3));
     let cfg = study_device();
     let plan = PairwisePlan::register_shm(block);
-    let baseline = sdh_multi_gpu(&pts, spec, plan, 1, &cfg);
+    let baseline = match sdh_multi_gpu(&pts, spec, plan, 1, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ext_multigpu: single-device baseline faulted: {e}");
+            return Vec::new();
+        }
+    };
     let base = baseline.makespan();
     device_counts
         .iter()
-        .map(|&g| {
-            let r = sdh_multi_gpu(&pts, spec, plan, g, &cfg);
+        .filter_map(|&g| {
+            let r = match sdh_multi_gpu(&pts, spec, plan, g, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("ext_multigpu: skipping G = {g}: {e}");
+                    return None;
+                }
+            };
             assert_eq!(
                 r.histogram, baseline.histogram,
                 "decomposition must preserve the histogram"
             );
-            Row {
+            Some(Row {
                 devices: g,
                 makespan: r.makespan(),
                 speedup: base / r.makespan(),
                 efficiency: r.efficiency(),
                 tasks: r.schedule.len(),
-            }
+            })
         })
         .collect()
 }
@@ -105,7 +122,10 @@ pub fn predicted_makespan(
         OutputPath, Workload,
     };
     let g = devices.max(1);
-    let sizes: Vec<usize> = chunk_ranges(n as usize, g).iter().map(|r| r.len()).collect();
+    let sizes: Vec<usize> = chunk_ranges(n as usize, g)
+        .iter()
+        .map(|r| r.len())
+        .collect();
     let out = OutputPath::SharedHistogram { buckets };
     let mut tasks = Vec::new();
     for i in 0..g {
@@ -119,7 +139,12 @@ pub fn predicted_makespan(
         match *t {
             SdhTask::SelfJoin { chunk } => {
                 let c = sizes[chunk] as u32;
-                let wl = Workload { n: c, b, dims: 3, dist_cost: 7 };
+                let wl = Workload {
+                    n: c,
+                    b,
+                    dims: 3,
+                    dist_cost: 7,
+                };
                 predicted_run(&wl, &KernelSpec::new(InputPath::RegisterShm, out), cfg).seconds()
                     + predicted_reduction_run(buckets, wl.m() as u32, cfg).seconds()
             }
@@ -130,8 +155,10 @@ pub fn predicted_makespan(
             }
         }
     };
-    let loads: Vec<f64> =
-        assignment.iter().map(|ts| ts.iter().map(task_secs).sum()).collect();
+    let loads: Vec<f64> = assignment
+        .iter()
+        .map(|ts| ts.iter().map(task_secs).sum())
+        .collect();
     let makespan = loads.iter().cloned().fold(0.0, f64::max);
     let eff = loads.iter().sum::<f64>() / (g as f64 * makespan.max(1e-30));
     (makespan, eff)
@@ -168,7 +195,10 @@ mod tests {
         let (m1, _) = predicted_makespan(2_000_896, 1024, 4096, 1, &cfg);
         let (m4, e4) = predicted_makespan(2_000_896, 1024, 4096, 4, &cfg);
         let speedup = m1 / m4;
-        assert!((3.0..4.2).contains(&speedup), "4-device speedup {speedup:.2}");
+        assert!(
+            (3.0..4.2).contains(&speedup),
+            "4-device speedup {speedup:.2}"
+        );
         assert!(e4 > 0.8, "efficiency {e4:.2}");
     }
 
@@ -179,7 +209,12 @@ mod tests {
         assert!(rows[1].speedup > 1.4, "2 devices: {:.2}", rows[1].speedup);
         assert!(rows[2].speedup > rows[1].speedup, "4 devices must beat 2");
         for r in &rows {
-            assert!(r.efficiency > 0.4, "efficiency {:.2} at G={}", r.efficiency, r.devices);
+            assert!(
+                r.efficiency > 0.4,
+                "efficiency {:.2} at G={}",
+                r.efficiency,
+                r.devices
+            );
         }
     }
 }

@@ -28,11 +28,16 @@ pub struct Row {
 }
 
 /// Run the functional SDH kernel on one dataset and measure contention.
-pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Row {
+/// A faulting launch is reported and yields `None` so dataset sweeps can
+/// skip the bad configuration and continue.
+pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Option<Row> {
     let mut dev = Device::new(DeviceConfig::titan_x());
     let input = pts.upload(&mut dev);
     let lc = pair_launch(input.n, block);
-    let spec = HistogramSpec::new(buckets, tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3));
+    let spec = HistogramSpec::new(
+        buckets,
+        tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3),
+    );
     let private = dev.alloc_u32_zeroed((lc.grid_dim * buckets) as usize);
     let k = RegisterShmKernel::new(
         input,
@@ -42,7 +47,13 @@ pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Row
         PairScope::HalfPairs,
         IntraMode::Regular,
     );
-    let run = dev.launch(&k, lc);
+    let run = match dev.try_launch(&k, lc) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("ext_skew: skipping dataset '{label}': {e}");
+            return None;
+        }
+    };
     let counts = dev.u32_slice(private);
     let mut per_bucket = vec![0u64; buckets as usize];
     for (i, &c) in counts.iter().enumerate() {
@@ -50,31 +61,28 @@ pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Row
     }
     let total: u64 = per_bucket.iter().sum();
     let peak = per_bucket.iter().copied().max().unwrap_or(0);
-    Row {
+    Some(Row {
         label: label.to_string(),
         contention: run.tally.shared_atomic_contention(),
         seconds: run.timing.seconds,
         peak_bucket_share: peak as f64 / total.max(1) as f64,
-    }
+    })
 }
 
-/// Compare uniform vs increasingly-tight clustered data.
+/// Compare uniform vs increasingly-tight clustered data. Faulting
+/// datasets are skipped (see [`measure`]).
 pub fn series(n: usize, buckets: u32, block: u32) -> Vec<Row> {
-    let mut rows = vec![measure(
+    let mut rows = Vec::new();
+    rows.extend(measure(
         &tbs_datagen::uniform_points::<3>(n, tbs_datagen::DEFAULT_BOX, 7),
         "uniform",
         buckets,
         block,
-    )];
+    ));
     for (clusters, spread) in [(8usize, 5.0f32), (4, 2.0), (1, 1.0)] {
-        let pts = tbs_datagen::clustered_points::<3>(
-            n,
-            tbs_datagen::DEFAULT_BOX,
-            clusters,
-            spread,
-            7,
-        );
-        rows.push(measure(
+        let pts =
+            tbs_datagen::clustered_points::<3>(n, tbs_datagen::DEFAULT_BOX, clusters, spread, 7);
+        rows.extend(measure(
             &pts,
             &format!("clustered k={clusters} sigma={spread}"),
             buckets,

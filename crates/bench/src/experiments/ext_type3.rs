@@ -25,13 +25,14 @@ pub struct Row {
     pub aggregated_serial: u64,
 }
 
-/// Sweep join selectivity on a functional simulation.
+/// Sweep join selectivity on a functional simulation. A radius whose
+/// launch faults is reported and skipped; the rest of the sweep runs.
 pub fn series(pts: &SoaPoints<2>, radii: &[f32], block: u32) -> Vec<Row> {
     let n = pts.len() as u64;
     let pairs = n * (n - 1) / 2;
     radii
         .iter()
-        .map(|&radius| {
+        .filter_map(|&radius| {
             let cap = (pairs as u32).max(1);
             let mut dev = Device::new(DeviceConfig::titan_x());
             let naive = distance_join_gpu(
@@ -51,15 +52,23 @@ pub fn series(pts: &SoaPoints<2>, radii: &[f32], block: u32) -> Vec<Row> {
                 true,
                 PairwisePlan::register_shm(block),
             );
+            let (naive, agg) = match (naive, agg) {
+                (Ok(naive), Ok(agg)) => (naive, agg),
+                (naive, agg) => {
+                    let err = naive.err().or(agg.err()).expect("one side faulted");
+                    eprintln!("ext_type3: skipping radius {radius}: {err}");
+                    return None;
+                }
+            };
             assert_eq!(naive.pairs, agg.pairs, "strategies must agree");
-            Row {
+            Some(Row {
                 radius,
                 selectivity: naive.total_matches as f64 / pairs as f64,
                 naive_seconds: naive.run.timing.seconds,
                 aggregated_seconds: agg.run.timing.seconds,
                 naive_serial: naive.run.tally.global_atomic_serial,
                 aggregated_serial: agg.run.tally.global_atomic_serial,
-            }
+            })
         })
         .collect()
 }

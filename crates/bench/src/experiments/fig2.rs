@@ -15,8 +15,12 @@ use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
 
 /// The four kernels of Figure 2, in plot order.
-pub const KERNELS: [InputPath; 4] =
-    [InputPath::Naive, InputPath::ShmShm, InputPath::RegisterShm, InputPath::RegisterRoc];
+pub const KERNELS: [InputPath; 4] = [
+    InputPath::Naive,
+    InputPath::ShmShm,
+    InputPath::RegisterShm,
+    InputPath::RegisterRoc,
+];
 
 /// One N point of the sweep.
 #[derive(Debug, Clone)]
@@ -40,8 +44,12 @@ pub fn series(sizes: &[u32], cfg: &DeviceConfig) -> Vec<Row> {
         .map(|&n| {
             let wl = paper_workload(n);
             let seconds = std::array::from_fn(|k| {
-                predicted_run(&wl, &KernelSpec::new(KERNELS[k], OutputPath::RegisterCount), cfg)
-                    .seconds()
+                predicted_run(
+                    &wl,
+                    &KernelSpec::new(KERNELS[k], OutputPath::RegisterCount),
+                    cfg,
+                )
+                .seconds()
             });
             Row { n, seconds }
         })
@@ -80,7 +88,11 @@ pub fn report(sizes: &[u32], cfg: &DeviceConfig) -> String {
     // Average over the saturated regime the paper plots (N ≥ 400 K).
     let avg = |k: usize| {
         geomean(
-            &rows.iter().filter(|r| r.n >= 100_000).map(|r| r.speedup(k)).collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .filter(|r| r.n >= 100_000)
+                .map(|r| r.speedup(k))
+                .collect::<Vec<_>>(),
         )
     };
     out.push_str(&format!(
@@ -117,10 +129,22 @@ mod tests {
         // At paper scale (≥ 400 K), ordering + factors.
         for r in rows.iter().filter(|r| r.n >= 400_000) {
             let (shm, reg, roc) = (r.speedup(1), r.speedup(2), r.speedup(3));
-            assert!(reg >= shm * 0.99, "Register-SHM must win: {reg} vs {shm} at {}", r.n);
+            assert!(
+                reg >= shm * 0.99,
+                "Register-SHM must win: {reg} vs {shm} at {}",
+                r.n
+            );
             assert!(roc < reg, "Register-ROC least improved at {}", r.n);
-            assert!((3.0..9.0).contains(&reg), "Register-SHM speedup {reg} at N={}", r.n);
-            assert!((2.5..8.0).contains(&roc), "Register-ROC speedup {roc} at N={}", r.n);
+            assert!(
+                (3.0..9.0).contains(&reg),
+                "Register-SHM speedup {reg} at N={}",
+                r.n
+            );
+            assert!(
+                (2.5..8.0).contains(&roc),
+                "Register-ROC speedup {roc} at N={}",
+                r.n
+            );
         }
     }
 

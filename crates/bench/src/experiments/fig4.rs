@@ -12,8 +12,8 @@
 //! (Reg-ROC-Out ≈ 11× Register-SHM); Reg-ROC-Out best overall at ≈ 50×
 //! the CPU; even the least-optimized GPU kernel beats the CPU (≈ 3.5×).
 
-use crate::table::{fmt_secs, fmt_x, Table};
 use crate::paper_workload;
+use crate::table::{fmt_secs, fmt_x, Table};
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{
     predicted_reduction_run, predicted_run, InputPath, KernelSpec, OutputPath,
@@ -39,8 +39,12 @@ pub struct Row {
 
 /// Predict the Figure-4 series.
 pub fn series(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> Vec<Row> {
-    let priv_out = OutputPath::SharedHistogram { buckets: SDH_BUCKETS };
-    let glob_out = OutputPath::GlobalHistogram { buckets: SDH_BUCKETS };
+    let priv_out = OutputPath::SharedHistogram {
+        buckets: SDH_BUCKETS,
+    };
+    let glob_out = OutputPath::GlobalHistogram {
+        buckets: SDH_BUCKETS,
+    };
     sizes
         .iter()
         .map(|&n| {
@@ -74,7 +78,14 @@ pub fn report(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> String {
          (uniform 3-D points, B = 1024, 4096-bucket histogram; privatized\n\
          kernels include the Figure-3 reduction stage)\n\n",
     );
-    let mut t = Table::new(&["N", "CPU", "Register-SHM", "Naive-Out", "Reg-SHM-Out", "Reg-ROC-Out"]);
+    let mut t = Table::new(&[
+        "N",
+        "CPU",
+        "Register-SHM",
+        "Naive-Out",
+        "Reg-SHM-Out",
+        "Reg-ROC-Out",
+    ]);
     for r in &rows {
         t.row(&[
             r.n.to_string(),
@@ -87,7 +98,13 @@ pub fn report(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> String {
     }
     out.push_str(&t.render());
     out.push('\n');
-    let mut s = Table::new(&["N", "Register-SHM", "Naive-Out", "Reg-SHM-Out", "Reg-ROC-Out"]);
+    let mut s = Table::new(&[
+        "N",
+        "Register-SHM",
+        "Naive-Out",
+        "Reg-SHM-Out",
+        "Reg-ROC-Out",
+    ]);
     for r in &rows {
         s.row(&[
             r.n.to_string(),
@@ -125,15 +142,34 @@ mod tests {
         for r in rows.iter().filter(|r| r.n >= 400_000) {
             // Privatization ~order of magnitude (paper 11×; accept 5–20×).
             let priv_gain = r.register_shm / r.reg_roc_out;
-            assert!((5.0..20.0).contains(&priv_gain), "priv gain {priv_gain} at N={}", r.n);
+            assert!(
+                (5.0..20.0).contains(&priv_gain),
+                "priv gain {priv_gain} at N={}",
+                r.n
+            );
             // Reg-ROC-Out is the best kernel.
-            assert!(r.reg_roc_out <= r.reg_shm_out * 1.001, "ROC-out best at N={}", r.n);
-            assert!(r.reg_roc_out < r.naive_out, "ROC-out beats naive-out at N={}", r.n);
+            assert!(
+                r.reg_roc_out <= r.reg_shm_out * 1.001,
+                "ROC-out best at N={}",
+                r.n
+            );
+            assert!(
+                r.reg_roc_out < r.naive_out,
+                "ROC-out beats naive-out at N={}",
+                r.n
+            );
             // Best GPU ≈ 50× CPU (accept 25–100×).
             let best = r.cpu / r.reg_roc_out;
-            assert!((25.0..100.0).contains(&best), "best-vs-CPU {best} at N={}", r.n);
+            assert!(
+                (25.0..100.0).contains(&best),
+                "best-vs-CPU {best} at N={}",
+                r.n
+            );
             // Every GPU kernel beats the CPU.
-            assert!(r.cpu / r.register_shm > 1.5, "even global-atomic SDH beats CPU");
+            assert!(
+                r.cpu / r.register_shm > 1.5,
+                "even global-atomic SDH beats CPU"
+            );
         }
     }
 

@@ -37,7 +37,12 @@ pub fn series(buckets: &[u32], n: u32, cfg: &DeviceConfig) -> Vec<Row> {
     buckets
         .iter()
         .map(|&h| {
-            let wl = Workload { n, b: FIG5_BLOCK, dims: 3, dist_cost: 7 };
+            let wl = Workload {
+                n,
+                b: FIG5_BLOCK,
+                dims: 3,
+                dist_cost: 7,
+            };
             let spec = KernelSpec::new(
                 InputPath::RegisterRoc,
                 OutputPath::SharedHistogram { buckets: h },
@@ -56,18 +61,23 @@ pub fn series(buckets: &[u32], n: u32, cfg: &DeviceConfig) -> Vec<Row> {
 /// The default bucket sweep (matching the paper's 0–5000 axis, plus the
 /// tiny sizes that expose contention).
 pub fn default_buckets() -> Vec<u32> {
-    vec![16, 32, 64, 128, 256, 512, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000]
+    vec![
+        16, 32, 64, 128, 256, 512, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000,
+    ]
 }
 
 /// Render the Figure-5 report.
 pub fn report(n: u32, cfg: &DeviceConfig) -> String {
     let rows = series(&default_buckets(), n, cfg);
-    let mut out = format!(
-        "Figure 5 — Reg-ROC-Out SDH vs histogram size (N = {n}, B = {FIG5_BLOCK})\n\n"
-    );
+    let mut out =
+        format!("Figure 5 — Reg-ROC-Out SDH vs histogram size (N = {n}, B = {FIG5_BLOCK})\n\n");
     let mut t = Table::new(&["buckets", "time", "occupancy"]);
     for r in &rows {
-        t.row(&[r.buckets.to_string(), fmt_secs(r.seconds), fmt_pct(r.occupancy)]);
+        t.row(&[
+            r.buckets.to_string(),
+            fmt_secs(r.seconds),
+            fmt_pct(r.occupancy),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(
@@ -97,7 +107,12 @@ mod tests {
         // Large histograms run slower than the mid-range sweet spot.
         let mid = rows.iter().find(|r| r.buckets == 1000).unwrap();
         let big = rows.iter().find(|r| r.buckets == 5000).unwrap();
-        assert!(big.seconds > mid.seconds, "{} vs {}", big.seconds, mid.seconds);
+        assert!(
+            big.seconds > mid.seconds,
+            "{} vs {}",
+            big.seconds,
+            mid.seconds
+        );
         assert!(big.occupancy < mid.occupancy);
     }
 

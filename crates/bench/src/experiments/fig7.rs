@@ -31,7 +31,12 @@ pub fn series(sizes: &[u32], cfg: &DeviceConfig) -> Vec<Row> {
     sizes
         .iter()
         .map(|&n| {
-            let wl = Workload { n, b: 1024, dims: 3, dist_cost: 7 };
+            let wl = Workload {
+                n,
+                b: 1024,
+                dims: 3,
+                dist_cost: 7,
+            };
             Row {
                 n,
                 regular: predicted_intra_only_run(&wl, IntraMode::Regular, cfg).seconds(),

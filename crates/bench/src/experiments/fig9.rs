@@ -30,15 +30,16 @@ pub struct Row {
 
 /// Predict the Figure-9 series.
 pub fn series(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> Vec<Row> {
-    let out = OutputPath::SharedHistogram { buckets: SDH_BUCKETS };
+    let out = OutputPath::SharedHistogram {
+        buckets: SDH_BUCKETS,
+    };
     sizes
         .iter()
         .map(|&n| {
             let wl = paper_workload(n);
             let reduction = predicted_reduction_run(SDH_BUCKETS, wl.m() as u32, cfg).seconds();
-            let t = |input| {
-                predicted_run(&wl, &KernelSpec::new(input, out), cfg).seconds() + reduction
-            };
+            let t =
+                |input| predicted_run(&wl, &KernelSpec::new(input, out), cfg).seconds() + reduction;
             Row {
                 n,
                 cpu: cpu.seconds(n as u64),
@@ -104,13 +105,20 @@ mod tests {
                 "shuffle must be within ~±50% of cache tiling, got {ratio} at N={}",
                 r.n
             );
-            assert!(r.cpu / r.shuffle_out > 15.0, "shuffle still crushes the CPU");
+            assert!(
+                r.cpu / r.shuffle_out > 15.0,
+                "shuffle still crushes the CPU"
+            );
         }
     }
 
     #[test]
     fn report_renders() {
-        let rep = report(&[409_600], &DeviceConfig::titan_x(), &CpuModel::xeon_e5_2640_v2());
+        let rep = report(
+            &[409_600],
+            &DeviceConfig::titan_x(),
+            &CpuModel::xeon_e5_2640_v2(),
+        );
         assert!(rep.contains("Shuffle"));
     }
 }

@@ -31,8 +31,12 @@ pub fn table2_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile
 /// Profile the four SDH kernels of Tables III/IV at size `n`.
 pub fn sdh_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile)> {
     let wl = paper_workload(n);
-    let priv_out = OutputPath::SharedHistogram { buckets: SDH_BUCKETS };
-    let glob_out = OutputPath::GlobalHistogram { buckets: SDH_BUCKETS };
+    let priv_out = OutputPath::SharedHistogram {
+        buckets: SDH_BUCKETS,
+    };
+    let glob_out = OutputPath::GlobalHistogram {
+        buckets: SDH_BUCKETS,
+    };
     [
         ("Naive", InputPath::Naive, glob_out),
         ("Naive-Out", InputPath::Naive, priv_out),
@@ -47,7 +51,11 @@ pub fn sdh_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile)> 
     .collect()
 }
 
-fn utilization_table(title: &str, paper_note: &str, profiles: &[(String, KernelProfile)]) -> String {
+fn utilization_table(
+    title: &str,
+    paper_note: &str,
+    profiles: &[(String, KernelProfile)],
+) -> String {
     let mut out = format!("{title}\n\n");
     out.push_str(&format!(
         "{:<14} {:>10} {:>12}   {}\n",
@@ -74,9 +82,7 @@ fn utilization_table(title: &str, paper_note: &str, profiles: &[(String, KernelP
 /// Render Table II.
 pub fn table2_report(n: u32, cfg: &DeviceConfig) -> String {
     utilization_table(
-        &format!(
-            "Table II — utilization of GPU resources, 2-PCF kernels (N = {n})"
-        ),
+        &format!("Table II — utilization of GPU resources, 2-PCF kernels (N = {n})"),
         "paper: Naive 15%/3%/76%(L2)  SHM-SHM 50%/7%/35%(shared)\n\
          \u{20}      Reg-SHM 52%/11%/35%(shared)  Reg-ROC 24%/10%/65%(data cache)",
         &table2_profiles(n, cfg),
@@ -86,9 +92,8 @@ pub fn table2_report(n: u32, cfg: &DeviceConfig) -> String {
 /// Render Table III.
 pub fn table3_report(n: u32, cfg: &DeviceConfig) -> String {
     let profiles = sdh_profiles(n, cfg);
-    let mut out = format!(
-        "Table III — achieved bandwidth of memory units, SDH kernels (N = {n})\n\n"
-    );
+    let mut out =
+        format!("Table III — achieved bandwidth of memory units, SDH kernels (N = {n})\n\n");
     out.push_str(&format!(
         "{:<14} {:>11} {:>11} {:>11} {:>11}\n",
         "Kernel", "Shared", "L2", "Data cache", "Global load"
@@ -139,11 +144,23 @@ mod tests {
         let reg = by_name("Reg-SHM");
         let roc = by_name("Reg-ROC");
         // Naive: low arithmetic utilization, L2-bound memory.
-        assert!(naive.arithmetic_utilization < 0.35, "{}", naive.arithmetic_utilization);
+        assert!(
+            naive.arithmetic_utilization < 0.35,
+            "{}",
+            naive.arithmetic_utilization
+        );
         assert_eq!(naive.memory_bottleneck, Resource::L2);
         // Tiled SHM kernels: high arithmetic utilization (paper ≥ 50 %).
-        assert!(reg.arithmetic_utilization > 0.4, "{}", reg.arithmetic_utilization);
-        assert!(shm.arithmetic_utilization > 0.4, "{}", shm.arithmetic_utilization);
+        assert!(
+            reg.arithmetic_utilization > 0.4,
+            "{}",
+            reg.arithmetic_utilization
+        );
+        assert!(
+            shm.arithmetic_utilization > 0.4,
+            "{}",
+            shm.arithmetic_utilization
+        );
         // Reg-ROC: lower arithmetic than the SHM kernels (paper 24 %).
         assert!(roc.arithmetic_utilization < reg.arithmetic_utilization);
     }
@@ -155,7 +172,11 @@ mod tests {
         let by_name = |n: &str| &p.iter().find(|(l, _)| l == n).unwrap().1;
         // Reg-SHM-Out: multi-TB/s shared traffic, negligible L2/ROC.
         let rs = by_name("Reg-SHM-Out");
-        assert!(rs.bandwidth.shared_gbps > 1500.0, "{}", rs.bandwidth.shared_gbps);
+        assert!(
+            rs.bandwidth.shared_gbps > 1500.0,
+            "{}",
+            rs.bandwidth.shared_gbps
+        );
         assert!(rs.bandwidth.l2_gbps < 100.0);
         // Reg-ROC-Out: high shared AND high data-cache traffic.
         let rr = by_name("Reg-ROC-Out");
@@ -185,7 +206,11 @@ mod tests {
     #[test]
     fn reports_render() {
         let cfg = DeviceConfig::titan_x();
-        for rep in [table2_report(N, &cfg), table3_report(N, &cfg), table4_report(N, &cfg)] {
+        for rep in [
+            table2_report(N, &cfg),
+            table3_report(N, &cfg),
+            table4_report(N, &cfg),
+        ] {
             assert!(rep.contains("paper:"));
             assert!(rep.lines().count() > 6);
         }

@@ -24,7 +24,12 @@ use tbs_core::analytic::Workload;
 /// The paper's default pairwise workload shape: 3-D points, Euclidean
 /// distance (cost 2·D+1 = 7), B = 1024 threads per block (§IV-B).
 pub fn paper_workload(n: u32) -> Workload {
-    Workload { n, b: 1024, dims: 3, dist_cost: 7 }
+    Workload {
+        n,
+        b: 1024,
+        dims: 3,
+        dist_cost: 7,
+    }
 }
 
 /// Geometric mean of a slice (speedup summaries).

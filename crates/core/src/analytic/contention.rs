@@ -100,7 +100,9 @@ mod tests {
         // Deterministic LCG Monte-Carlo reference.
         let mut state = 0x12345678u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for &h in &[8u32, 32, 128, 1024] {

@@ -20,6 +20,6 @@ pub mod profiles;
 pub use contention::{expected_distinct_addresses, expected_max_multiplicity};
 pub use profiles::{
     predicted_cross_run, predicted_cross_tally, predicted_intra_only_run,
-    predicted_intra_only_tally, predicted_reduction_run, predicted_run, predicted_tally,
-    InputPath, KernelSpec, OutputPath, Workload,
+    predicted_intra_only_tally, predicted_reduction_run, predicted_run, predicted_tally, InputPath,
+    KernelSpec, OutputPath, Workload,
 };

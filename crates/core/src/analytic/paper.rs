@@ -88,7 +88,10 @@ mod tests {
         let ratio = naive as f64 / tiled as f64;
         // Pair term: (N²/2) / (M²/2·B) = B; own-datum terms dilute it
         // slightly.
-        assert!(ratio > 0.9 * b as f64 && ratio <= b as f64 + 1.0, "ratio {ratio}");
+        assert!(
+            ratio > 0.9 * b as f64 && ratio <= b as f64 + 1.0,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -126,7 +129,9 @@ mod tests {
     #[test]
     fn cost_equations_are_monotone() {
         assert!(eq6_update_cost(2048, 256, 28.0) > eq6_update_cost(1024, 256, 28.0));
-        assert!(eq7_reduction_cost(4096, 100, 350.0, 28.0, 350.0)
-            > eq7_reduction_cost(1024, 100, 350.0, 28.0, 350.0));
+        assert!(
+            eq7_reduction_cost(4096, 100, 350.0, 28.0, 350.0)
+                > eq7_reduction_cost(1024, 100, 350.0, 28.0, 350.0)
+        );
     }
 }

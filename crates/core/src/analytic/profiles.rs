@@ -172,7 +172,11 @@ pub struct KernelSpec {
 
 impl KernelSpec {
     pub fn new(input: InputPath, output: OutputPath) -> Self {
-        KernelSpec { input, output, intra: IntraMode::Regular }
+        KernelSpec {
+            input,
+            output,
+            intra: IntraMode::Regular,
+        }
     }
 
     pub fn with_intra(mut self, intra: IntraMode) -> Self {
@@ -201,7 +205,9 @@ struct Acc {
 
 impl Acc {
     fn new() -> Self {
-        Acc { t: AccessTally::new() }
+        Acc {
+            t: AccessTally::new(),
+        }
     }
 
     /// `count` generic warp instructions, `useful` active lane-slots in
@@ -321,8 +327,7 @@ pub fn predicted_tally(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> 
         OutputPath::RegisterCount => {}
         OutputPath::SharedHistogram { buckets } => {
             let serial = (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
-            let txns =
-                (calls as f64 * expected_shared_atomic_transactions(buckets)).round() as u64;
+            let txns = (calls as f64 * expected_shared_atomic_transactions(buckets)).round() as u64;
             acc.shared_atomic(calls, serial.max(calls), txns.max(calls), 4 * lane_pairs);
         }
         OutputPath::GlobalHistogram { buckets } => {
@@ -432,7 +437,11 @@ pub fn predicted_tally(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> 
                     acc.sload(tiles * w * d, tiles * w * d, tiles * w * d * 128);
                 }
                 acc.control(tiles * w * (b + 1));
-                acc.sload(calls * loads_per_iter, calls * loads_per_iter, calls * loads_per_iter * 128);
+                acc.sload(
+                    calls * loads_per_iter,
+                    calls * loads_per_iter,
+                    calls * loads_per_iter * 128,
+                );
                 acc.alu(calls * dc);
                 acc.alu(calls * ap);
                 out_mem(&mut acc, calls, calls * 32);
@@ -569,7 +578,11 @@ fn finish_global_sectors(acc: &mut Acc, wl: &Workload, spec: &KernelSpec, cfg: &
             // per load.
             touches += wl.total_warps() * d * 4;
             let inner_loads = acc.t.global_load_instructions - wl.total_warps() * d;
-            touches += acc.t.global_load_bytes.saturating_sub(wl.total_warps() * d * 128) / 32
+            touches += acc
+                .t
+                .global_load_bytes
+                .saturating_sub(wl.total_warps() * d * 128)
+                / 32
                 + inner_loads * 7 / 8;
         }
         InputPath::RegisterShm | InputPath::ShmShm => {
@@ -672,15 +685,13 @@ pub fn predicted_cross_tally(
             match output {
                 OutputPath::RegisterCount => {}
                 OutputPath::SharedHistogram { buckets } => {
-                    let serial =
-                        (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
-                    let txns = (calls as f64 * expected_shared_atomic_transactions(buckets))
-                        .round() as u64;
+                    let serial = (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+                    let txns = (calls as f64 * expected_shared_atomic_transactions(buckets)).round()
+                        as u64;
                     acc.shared_atomic(calls, serial.max(calls), txns.max(calls), calls * 128);
                 }
                 OutputPath::GlobalHistogram { buckets } => {
-                    let serial =
-                        (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
+                    let serial = (calls as f64 * expected_max_multiplicity(buckets)).round() as u64;
                     acc.global_atomic(calls, serial.max(calls));
                 }
             }
@@ -706,9 +717,7 @@ pub fn predicted_cross_tally(
     let unique = d * (n_left as u64 + n_right as u64).div_ceil(8)
         + match output {
             OutputPath::RegisterCount => (n_left as u64).div_ceil(4),
-            OutputPath::SharedHistogram { buckets } => {
-                (m_left * buckets as u64).div_ceil(8)
-            }
+            OutputPath::SharedHistogram { buckets } => (m_left * buckets as u64).div_ceil(8),
             OutputPath::GlobalHistogram { buckets } => (buckets as u64).div_ceil(4),
         };
     acc.t.dram_sectors = unique.min(touches);
@@ -766,14 +775,9 @@ pub fn predicted_intra_only_tally(wl: &Workload, intra: IntraMode) -> AccessTall
 }
 
 /// Predict a [`KernelRun`] for the intra-only phase (Figure 7's series).
-pub fn predicted_intra_only_run(
-    wl: &Workload,
-    intra: IntraMode,
-    cfg: &DeviceConfig,
-) -> KernelRun {
+pub fn predicted_intra_only_run(wl: &Workload, intra: IntraMode, cfg: &DeviceConfig) -> KernelRun {
     let tally = predicted_intra_only_tally(wl, intra);
-    let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount)
-        .with_intra(intra);
+    let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount).with_intra(intra);
     let (regs, shm) = spec.resources(wl);
     let dev = gpu_sim::Device::new(cfg.clone());
     dev.estimate(
@@ -814,7 +818,12 @@ mod tests {
     use super::*;
 
     fn wl() -> Workload {
-        Workload { n: 1024, b: 128, dims: 3, dist_cost: 7 }
+        Workload {
+            n: 1024,
+            b: 128,
+            dims: 3,
+            dist_cost: 7,
+        }
     }
 
     #[test]
@@ -857,10 +866,29 @@ mod tests {
     fn predictions_scale_quadratically() {
         let cfg = DeviceConfig::titan_x();
         let spec = KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount);
-        let t1 = predicted_run(&Workload { n: 64 * 1024, ..wl() }, &spec, &cfg).seconds();
-        let t2 = predicted_run(&Workload { n: 128 * 1024, ..wl() }, &spec, &cfg).seconds();
+        let t1 = predicted_run(
+            &Workload {
+                n: 64 * 1024,
+                ..wl()
+            },
+            &spec,
+            &cfg,
+        )
+        .seconds();
+        let t2 = predicted_run(
+            &Workload {
+                n: 128 * 1024,
+                ..wl()
+            },
+            &spec,
+            &cfg,
+        )
+        .seconds();
         let ratio = t2 / t1;
-        assert!((3.0..5.0).contains(&ratio), "quadratic scaling, got {ratio}");
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "quadratic scaling, got {ratio}"
+        );
     }
 
     #[test]
@@ -897,7 +925,12 @@ mod tests {
     fn reduction_prediction_is_small_relative_to_pair_stage() {
         let cfg = DeviceConfig::titan_x();
         let pair = predicted_run(
-            &Workload { n: 128 * 1024, b: 1024, dims: 3, dist_cost: 7 },
+            &Workload {
+                n: 128 * 1024,
+                b: 1024,
+                dims: 3,
+                dist_cost: 7,
+            },
             &KernelSpec::new(
                 InputPath::RegisterShm,
                 OutputPath::SharedHistogram { buckets: 1024 },

@@ -42,7 +42,10 @@ fn lanes<const D: usize>(
 ) -> F32x32 {
     std::array::from_fn(|i| {
         if mask.lane(i) {
-            f(std::array::from_fn(|d| a[d][i]), std::array::from_fn(|d| b[d][i]))
+            f(
+                std::array::from_fn(|d| a[d][i]),
+                std::array::from_fn(|d| b[d][i]),
+            )
         } else {
             0.0
         }
@@ -342,7 +345,13 @@ impl<const D: usize> DistanceKernel<D> for DotProduct {
 /// tests and host-side reference paths.
 pub fn lanes_from_host<const D: usize>(pts: &[[f32; D]]) -> [F32x32; D] {
     std::array::from_fn(|d| {
-        std::array::from_fn(|i| if i < pts.len() && i < WARP_SIZE { pts[i][d] } else { 0.0 })
+        std::array::from_fn(|i| {
+            if i < pts.len() && i < WARP_SIZE {
+                pts[i][d]
+            } else {
+                0.0
+            }
+        })
     })
 }
 
@@ -371,8 +380,14 @@ mod tests {
     fn manhattan_and_dot() {
         let a = [1.0, 2.0, 3.0];
         let b = [2.0, 0.0, 3.0];
-        assert_eq!(<Manhattan as DistanceKernel<3>>::eval_host(&Manhattan, &a, &b), 3.0);
-        assert_eq!(<DotProduct as DistanceKernel<3>>::eval_host(&DotProduct, &a, &b), 11.0);
+        assert_eq!(
+            <Manhattan as DistanceKernel<3>>::eval_host(&Manhattan, &a, &b),
+            3.0
+        );
+        assert_eq!(
+            <DotProduct as DistanceKernel<3>>::eval_host(&DotProduct, &a, &b),
+            11.0
+        );
     }
 
     #[test]
@@ -411,7 +426,8 @@ mod tests {
         let d = <PeriodicEuclidean as DistanceKernel<1>>::eval_host(&pe, &[1.0], &[99.0]);
         assert!((d - 2.0).abs() < 1e-4, "{d}");
         // Interior pairs match plain Euclidean.
-        let d = <PeriodicEuclidean as DistanceKernel<2>>::eval_host(&pe, &[10.0, 10.0], &[13.0, 14.0]);
+        let d =
+            <PeriodicEuclidean as DistanceKernel<2>>::eval_host(&pe, &[10.0, 10.0], &[13.0, 14.0]);
         assert!((d - 5.0).abs() < 1e-4);
     }
 

@@ -19,7 +19,10 @@ impl HistogramSpec {
     pub fn new(buckets: u32, max_distance: f32) -> Self {
         assert!(buckets > 0, "histogram needs at least one bucket");
         assert!(max_distance > 0.0, "histogram range must be positive");
-        HistogramSpec { buckets, max_distance }
+        HistogramSpec {
+            buckets,
+            max_distance,
+        }
     }
 
     /// Bucket width `w = max_distance / buckets`.
@@ -33,13 +36,33 @@ impl HistogramSpec {
     }
 
     /// Host-side bucket index for a distance.
+    ///
+    /// Requires a finite, non-negative distance: a NaN or negative input
+    /// is a bug in the caller's distance function, not a valid
+    /// observation, so debug builds reject it instead of silently binning
+    /// it into bucket 0 (Rust's saturating `as u32` cast sends NaN and
+    /// negatives to 0, which corrupts the histogram undetectably).
+    /// `+inf` is fine — it clamps into the last bucket like any
+    /// beyond-range distance.
     pub fn bucket_of(&self, d: f32) -> u32 {
+        debug_assert!(
+            !d.is_nan(),
+            "bucket_of(NaN): distance function produced NaN"
+        );
+        debug_assert!(d >= 0.0, "bucket_of({d}): distances must be non-negative");
         ((d * self.inv_width()) as u32).min(self.buckets - 1)
     }
 
     /// Device-side bucket computation: multiply by the reciprocal width,
     /// truncate, clamp. Charges exactly 2 ALU warp instructions
     /// (`FMUL` + `F2I`-with-clamp), the cost the analytic model mirrors.
+    ///
+    /// Matches CUDA `__float2uint_rz` semantics for exceptional inputs:
+    /// NaN and negative lanes convert to 0 (bucket 0). That is the
+    /// documented device-path convention — the host-side [`bucket_of`]
+    /// additionally debug-asserts finiteness because on the host such
+    /// inputs indicate a broken distance function rather than hardware
+    /// saturation behavior.
     pub fn bucket_lanes(&self, w: &mut WarpCtx<'_, '_>, d: &F32x32, mask: Mask) -> U32x32 {
         w.charge_alu(2, mask);
         let inv = self.inv_width();
@@ -69,7 +92,9 @@ pub struct Histogram {
 impl Histogram {
     /// A zeroed histogram with `buckets` buckets.
     pub fn zeroed(buckets: u32) -> Self {
-        Histogram { counts: vec![0; buckets as usize] }
+        Histogram {
+            counts: vec![0; buckets as usize],
+        }
     }
 
     /// Wrap existing counts.
@@ -115,6 +140,37 @@ mod tests {
         // Clamping at and beyond the range.
         assert_eq!(spec.bucket_of(10.0), 9);
         assert_eq!(spec.bucket_of(1e9), 9);
+        // +inf is just "beyond the range": last bucket, like CUDA's
+        // saturating float-to-uint conversion.
+        assert_eq!(spec.bucket_of(f32::INFINITY), 9);
+        // Denormals and true zero land in bucket 0.
+        assert_eq!(spec.bucket_of(f32::MIN_POSITIVE), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "produced NaN")]
+    fn bucket_of_rejects_nan_in_debug_builds() {
+        HistogramSpec::new(10, 10.0).bucket_of(f32::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn bucket_of_rejects_negative_in_debug_builds() {
+        HistogramSpec::new(10, 10.0).bucket_of(-1.0);
+    }
+
+    #[test]
+    fn device_lane_convention_sends_nan_to_bucket_zero() {
+        // The device path mirrors CUDA `__float2uint_rz`: NaN and
+        // negative lanes saturate to 0. Exercised through a real warp
+        // context by the `nan_lanes_follow_device_convention` test in
+        // the simulator-backed integration suite; here we pin the scalar
+        // rule the lanes implement.
+        let spec = HistogramSpec::new(10, 10.0);
+        assert_eq!((f32::NAN * spec.inv_width()) as u32, 0);
+        assert_eq!((-3.0f32 * spec.inv_width()) as u32, 0);
     }
 
     #[test]

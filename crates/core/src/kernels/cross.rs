@@ -40,7 +40,13 @@ impl<const D: usize, F, A> CrossShmKernel<D, F, A> {
         action: A,
         block_size: u32,
     ) -> Self {
-        CrossShmKernel { left, right, dist, action, block_size }
+        CrossShmKernel {
+            left,
+            right,
+            dist,
+            action,
+            block_size,
+        }
     }
 
     /// One thread per left point.
@@ -121,12 +127,9 @@ mod tests {
     use gpu_sim::{Device, DeviceConfig};
 
     fn sets() -> (SoaPoints<2>, SoaPoints<2>) {
-        let a = SoaPoints::from_points(
-            &(0..100).map(|i| [i as f32, 0.0]).collect::<Vec<_>>(),
-        );
-        let b = SoaPoints::from_points(
-            &(0..150).map(|i| [i as f32 * 0.5, 1.0]).collect::<Vec<_>>(),
-        );
+        let a = SoaPoints::from_points(&(0..100).map(|i| [i as f32, 0.0]).collect::<Vec<_>>());
+        let b =
+            SoaPoints::from_points(&(0..150).map(|i| [i as f32 * 0.5, 1.0]).collect::<Vec<_>>());
         (a, b)
     }
 
@@ -150,7 +153,13 @@ mod tests {
         let (da, db) = (a.upload(&mut dev), b.upload(&mut dev));
         let lc = crate::kernels::pair_launch(da.n, 64);
         let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
-        let k = CrossShmKernel::new(da, db, Euclidean, CountWithinRadius { radius: 3.0, out }, 64);
+        let k = CrossShmKernel::new(
+            da,
+            db,
+            Euclidean,
+            CountWithinRadius { radius: 3.0, out },
+            64,
+        );
         dev.launch(&k, lc);
         let total: u64 = dev.u64_slice(out).iter().sum();
         assert_eq!(total, host_count(&a, &b, 3.0));
@@ -164,8 +173,13 @@ mod tests {
         let spec = HistogramSpec::new(64, 200.0);
         let lc = crate::kernels::pair_launch(da.n, 32);
         let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
-        let k =
-            CrossShmKernel::new(da, db, Euclidean, SharedHistogramAction { spec, private }, 32);
+        let k = CrossShmKernel::new(
+            da,
+            db,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            32,
+        );
         dev.launch(&k, lc);
         let total: u64 = dev.u32_slice(private).iter().map(|&x| x as u64).sum();
         assert_eq!(total, a.len() as u64 * b.len() as u64);
@@ -178,7 +192,13 @@ mod tests {
         let mut dev = Device::new(DeviceConfig::titan_x());
         let (da, db) = (a.upload(&mut dev), b.upload(&mut dev));
         let out = dev.alloc_u64_zeroed(32);
-        let k = CrossShmKernel::new(da, db, Euclidean, CountWithinRadius { radius: 10.0, out }, 32);
+        let k = CrossShmKernel::new(
+            da,
+            db,
+            Euclidean,
+            CountWithinRadius { radius: 10.0, out },
+            32,
+        );
         dev.launch(&k, k.launch_config());
         assert_eq!(dev.u64_slice(out).iter().sum::<u64>(), 0);
     }

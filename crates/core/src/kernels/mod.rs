@@ -58,9 +58,11 @@ pub enum IntraMode {
 }
 
 /// Number of data blocks for `n` points in blocks of `b` — the paper's
-/// equation (1), `M = N / B`, generalized to ragged `n`.
+/// equation (1), `M = N / B`, generalized to ragged `n`. An empty input
+/// maps to an empty grid: `n = 0` launches zero blocks, which the
+/// simulator treats as a documented no-op (outputs stay zeroed).
 pub fn num_blocks(n: u32, b: u32) -> u32 {
-    n.div_ceil(b).max(1)
+    n.div_ceil(b)
 }
 
 /// Standard launch for a 2-BS kernel: one thread block per data block.
@@ -171,14 +173,13 @@ pub(crate) fn intra_block_shared<const D: usize, F: DistanceKernel<D>, A: PairAc
         match mode {
             IntraMode::Regular => {
                 // Thread t pairs with t+1 .. block_n-1: divergent trips.
-                let trips: U32x32 =
-                    std::array::from_fn(|i| {
-                        if valid.lane(i) {
-                            block_n.saturating_sub(1).saturating_sub(tid[i])
-                        } else {
-                            0
-                        }
-                    });
+                let trips: U32x32 = std::array::from_fn(|i| {
+                    if valid.lane(i) {
+                        block_n.saturating_sub(1).saturating_sub(tid[i])
+                    } else {
+                        0
+                    }
+                });
                 w.divergent_loop(&trips, valid, |w2, k, active| {
                     let pidx: U32x32 = std::array::from_fn(|i| tid[i] + 1 + k);
                     w2.charge_alu(1, active);
@@ -193,7 +194,10 @@ pub(crate) fn intra_block_shared<const D: usize, F: DistanceKernel<D>, A: PairAc
                 // only the lower half runs the final iteration (paper
                 // Figure 6). Trip counts are uniform within each warp, so
                 // full blocks incur zero divergence.
-                debug_assert!(bd.is_multiple_of(2), "load balancing requires an even block size");
+                debug_assert!(
+                    bd.is_multiple_of(2),
+                    "load balancing requires an even block size"
+                );
                 let half = bd / 2;
                 let trips: U32x32 = std::array::from_fn(|i| {
                     if valid.lane(i) {
@@ -234,7 +238,9 @@ mod tests {
         assert_eq!(num_blocks(1024, 256), 4); // M = N / B
         assert_eq!(num_blocks(1000, 256), 4); // ragged
         assert_eq!(num_blocks(1, 256), 1);
-        assert_eq!(num_blocks(0, 256), 1);
+        // N = 0 is an empty grid, not a stray single block: an empty
+        // input must be a no-op launch with zeroed outputs.
+        assert_eq!(num_blocks(0, 256), 0);
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct NaiveKernel<const D: usize, F, A> {
 
 impl<const D: usize, F, A> NaiveKernel<D, F, A> {
     pub fn new(input: DeviceSoa<D>, dist: F, action: A, scope: PairScope) -> Self {
-        NaiveKernel { input, dist, action, scope }
+        NaiveKernel {
+            input,
+            dist,
+            action,
+            scope,
+        }
     }
 }
 
@@ -70,13 +75,8 @@ where
                     // Line 2: for i = t+1 to N. Trip counts differ per
                     // lane (N−1−t) — the naive kernel is divergent at the
                     // tail of every warp's loop.
-                    let trips: U32x32 = std::array::from_fn(|i| {
-                        if valid.lane(i) {
-                            n - 1 - gid[i]
-                        } else {
-                            0
-                        }
-                    });
+                    let trips: U32x32 =
+                        std::array::from_fn(|i| if valid.lane(i) { n - 1 - gid[i] } else { 0 });
                     w.divergent_loop(&trips, valid, |w2, k, active| {
                         let idx: U32x32 = std::array::from_fn(|i| gid[i] + 1 + k);
                         w2.charge_alu(1, active);
@@ -89,8 +89,7 @@ where
                 PairScope::AllPairs => {
                     // Every ordered pair: uniform loop over the whole
                     // input with the self-pair predicated off.
-                    let trips: U32x32 =
-                        std::array::from_fn(|i| if valid.lane(i) { n } else { 0 });
+                    let trips: U32x32 = std::array::from_fn(|i| if valid.lane(i) { n } else { 0 });
                     w.divergent_loop(&trips, valid, |w2, k, active| {
                         let idx = [k; WARP_SIZE];
                         w2.charge_alu(1, active);

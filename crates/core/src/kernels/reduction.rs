@@ -138,7 +138,12 @@ mod tests {
             100, 200, 300, 400, 500, // copy 2
         ]);
         let out = dev.alloc_u64_zeroed(5);
-        let k = HistogramReduceKernel { private, out, buckets: 5, copies: 3 };
+        let k = HistogramReduceKernel {
+            private,
+            out,
+            buckets: 5,
+            copies: 3,
+        };
         dev.launch(&k, k.launch_config(32));
         assert_eq!(dev.u64_slice(out), &[111, 222, 333, 444, 555]);
     }
@@ -151,12 +156,16 @@ mod tests {
         let data: Vec<u32> = (0..h * copies).map(|i| i % 7).collect();
         let out = dev.alloc_u64_zeroed(h as usize);
         let private = dev.alloc_u32(data.clone());
-        let k = HistogramReduceKernel { private, out, buckets: h, copies };
+        let k = HistogramReduceKernel {
+            private,
+            out,
+            buckets: h,
+            copies,
+        };
         dev.launch(&k, k.launch_config(128));
         let result = dev.u64_slice(out);
         for b in 0..h {
-            let expect: u64 =
-                (0..copies).map(|c| data[(c * h + b) as usize] as u64).sum();
+            let expect: u64 = (0..copies).map(|c| data[(c * h + b) as usize] as u64).sum();
             assert_eq!(result[b as usize], expect, "bucket {b}");
         }
     }
@@ -168,7 +177,11 @@ mod tests {
         let expect: u64 = data.iter().sum();
         let input = dev.alloc_u64(data);
         let out = dev.alloc_u64_zeroed(1);
-        let k = SumReduceKernel { input, out, n: 1000 };
+        let k = SumReduceKernel {
+            input,
+            out,
+            n: 1000,
+        };
         dev.launch(&k, k.launch_config(128));
         assert_eq!(dev.u64_slice(out)[0], expect);
     }
@@ -203,10 +216,18 @@ mod tests {
         let copies = 8u32;
         let private = dev.alloc_u32(vec![1; (h * copies) as usize]);
         let out = dev.alloc_u64_zeroed(h as usize);
-        let k = HistogramReduceKernel { private, out, buckets: h, copies };
+        let k = HistogramReduceKernel {
+            private,
+            out,
+            buckets: h,
+            copies,
+        };
         let run = dev.launch(&k, k.launch_config(256));
         // 8 warps × 8 copies coalesced loads, 4 sectors each.
         assert_eq!(run.tally.global_load_instructions, 64);
-        assert_eq!(run.tally.global_sectors() - run.tally.global_sectors() % 4, run.tally.global_sectors());
+        assert_eq!(
+            run.tally.global_sectors() - run.tally.global_sectors() % 4,
+            run.tally.global_sectors()
+        );
     }
 }

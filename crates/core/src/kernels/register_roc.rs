@@ -38,15 +38,17 @@ impl<const D: usize, F, A> RegisterRocKernel<D, F, A> {
         scope: PairScope,
         intra: IntraMode,
     ) -> Self {
-        RegisterRocKernel { input, dist, action, block_size, scope, intra }
+        RegisterRocKernel {
+            input,
+            dist,
+            action,
+            block_size,
+            scope,
+            intra,
+        }
     }
 
-    fn roc_broadcast(
-        &self,
-        w: &mut WarpCtx<'_, '_>,
-        j: u32,
-        mask: Mask,
-    ) -> [gpu_sim::F32x32; D] {
+    fn roc_broadcast(&self, w: &mut WarpCtx<'_, '_>, j: u32, mask: Mask) -> [gpu_sim::F32x32; D] {
         std::array::from_fn(|d| w.roc_load_f32(self.input.coords[d], &[j; WARP_SIZE], mask))
     }
 
@@ -167,16 +169,14 @@ where
                             });
                             w.divergent_loop(&trips, valid, |w2, k, active| {
                                 let j = k + 1;
-                                let local: U32x32 =
-                                    std::array::from_fn(|i| (tid[i] + j) % bd);
+                                let local: U32x32 = std::array::from_fn(|i| (tid[i] + j) % bd);
                                 w2.charge_alu(2, active);
                                 let pvalid =
                                     Mask::from_fn(|i| active.lane(i) && local[i] < block_n);
                                 if !pvalid.any() {
                                     return;
                                 }
-                                let pidx: U32x32 =
-                                    std::array::from_fn(|i| block_start + local[i]);
+                                let pidx: U32x32 = std::array::from_fn(|i| block_start + local[i]);
                                 let partner = self.roc_gather(w2, &pidx, pvalid);
                                 let dval = self.dist.eval(w2, reg, &partner, pvalid);
                                 self.action.process(w2, &mut st, &gid, &pidx, &dval, pvalid);
@@ -241,7 +241,10 @@ mod tests {
         let total: u64 = dev.u64_slice(out).iter().sum();
         let expect: u64 = (0..192u64).map(|i| (192 - i - 1).min(3)).sum();
         assert_eq!(total, expect);
-        assert!(run.tally.roc_load_instructions > 0, "tiles must flow through the ROC");
+        assert!(
+            run.tally.roc_load_instructions > 0,
+            "tiles must flow through the ROC"
+        );
         assert!(
             run.tally.roc_hit_sectors > run.tally.roc_miss_sectors,
             "tile reuse must hit the read-only cache"
@@ -254,7 +257,9 @@ mod tests {
     #[test]
     fn roc_load_balanced_matches_regular() {
         let pts = SoaPoints::<2>::from_points(
-            &(0..128).map(|i| [(i % 13) as f32, (i / 13) as f32]).collect::<Vec<_>>(),
+            &(0..128)
+                .map(|i| [(i % 13) as f32, (i / 13) as f32])
+                .collect::<Vec<_>>(),
         );
         let mut dev = Device::new(DeviceConfig::titan_x());
         let input = pts.upload(&mut dev);

@@ -38,7 +38,14 @@ impl<const D: usize, F, A> RegisterShmKernel<D, F, A> {
         scope: PairScope,
         intra: IntraMode,
     ) -> Self {
-        RegisterShmKernel { input, dist, action, block_size, scope, intra }
+        RegisterShmKernel {
+            input,
+            dist,
+            action,
+            block_size,
+            scope,
+            intra,
+        }
     }
 }
 
@@ -142,8 +149,7 @@ where
                     w.charge_control(block_n as u64 + 1, valid);
                     for j in 0..block_n {
                         let rj = super::broadcast_from_shared(w, &tile, j, valid);
-                        let pm =
-                            Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
+                        let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
                         w.charge_alu(1, valid);
                         if pm.any() {
                             let dval = self.dist.eval(w, reg, &rj, pm);
@@ -169,9 +175,7 @@ mod tests {
     use gpu_sim::{Device, DeviceConfig};
 
     fn line_points(n: usize) -> SoaPoints<3> {
-        SoaPoints::from_points(
-            &(0..n).map(|i| [i as f32, 0.0, 0.0]).collect::<Vec<_>>(),
-        )
+        SoaPoints::from_points(&(0..n).map(|i| [i as f32, 0.0, 0.0]).collect::<Vec<_>>())
     }
 
     #[test]
@@ -223,18 +227,27 @@ mod tests {
         let t1: u64 = dev.u64_slice(out_reg).iter().sum();
         let t2: u64 = dev.u64_slice(out_lb).iter().sum();
         assert_eq!(t1, t2);
-        assert_eq!(t1, 256 * 255 / 2 /* all pairs within radius 100 on a 256-line */ - {
+        assert_eq!(
+            t1,
+            256 * 255 / 2 /* all pairs within radius 100 on a 256-line */ - {
             // pairs at distance >= 100: for i, partners i+100..255
             let mut far = 0u64;
             for i in 0..256u64 {
                 far += 256u64.saturating_sub(i + 100);
             }
             far
-        });
+        }
+        );
         // The paper's point: LB removes intra-block divergence entirely
         // for full blocks.
-        assert!(r1.tally.divergent_iterations > 0, "regular intra must diverge");
-        assert_eq!(r2.tally.divergent_iterations, 0, "LB intra must not diverge");
+        assert!(
+            r1.tally.divergent_iterations > 0,
+            "regular intra must diverge"
+        );
+        assert_eq!(
+            r2.tally.divergent_iterations, 0,
+            "LB intra must not diverge"
+        );
     }
 
     #[test]
@@ -255,6 +268,10 @@ mod tests {
         );
         dev.launch(&k, lc);
         let total: u64 = dev.u32_slice(private).iter().map(|&x| x as u64).sum();
-        assert_eq!(total, 160 * 159 / 2, "every pair lands in exactly one bucket");
+        assert_eq!(
+            total,
+            160 * 159 / 2,
+            "every pair lands in exactly one bucket"
+        );
     }
 }

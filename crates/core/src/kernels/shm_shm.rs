@@ -38,7 +38,14 @@ impl<const D: usize, F, A> ShmShmKernel<D, F, A> {
         scope: PairScope,
         intra: IntraMode,
     ) -> Self {
-        ShmShmKernel { input, dist, action, block_size, scope, intra }
+        ShmShmKernel {
+            input,
+            dist,
+            action,
+            block_size,
+            scope,
+            intra,
+        }
     }
 }
 
@@ -122,7 +129,9 @@ where
 
         // Lines 9–12: intra-block phase, both operands from L.
         match self.scope {
-            PairScope::HalfPairs => self.intra_shared_shared(blk, &l_tile, &mut st, block_start, block_n),
+            PairScope::HalfPairs => {
+                self.intra_shared_shared(blk, &l_tile, &mut st, block_start, block_n)
+            }
             PairScope::AllPairs => {
                 blk.for_each_warp(|w| {
                     let tid = w.thread_ids();
@@ -269,7 +278,10 @@ mod tests {
         let shm = ShmShmKernel::new(
             input,
             Euclidean,
-            CountWithinRadius { radius: 10.0, out: out1 },
+            CountWithinRadius {
+                radius: 10.0,
+                out: out1,
+            },
             32,
             PairScope::HalfPairs,
             IntraMode::Regular,
@@ -277,7 +289,10 @@ mod tests {
         let reg = RegisterShmKernel::new(
             input,
             Euclidean,
-            CountWithinRadius { radius: 10.0, out: out2 },
+            CountWithinRadius {
+                radius: 10.0,
+                out: out2,
+            },
             32,
             PairScope::HalfPairs,
             IntraMode::Regular,
@@ -293,8 +308,7 @@ mod tests {
         // percent, matching the paper's *measured* narrow margin (5.3×
         // vs 5.5× in its Figure 2) rather than the 2× of its per-access
         // equation (4).
-        let extra = r_shm.tally.shared_load_instructions
-            - r_reg.tally.shared_load_instructions;
+        let extra = r_shm.tally.shared_load_instructions - r_reg.tally.shared_load_instructions;
         assert!(extra > 0, "SHM-SHM must issue extra L[t] gathers");
         let ratio = r_shm.tally.shared_load_instructions as f64
             / r_reg.tally.shared_load_instructions.max(1) as f64;

@@ -28,14 +28,14 @@ pub struct ShuffleKernel<const D: usize, F, A> {
 }
 
 impl<const D: usize, F, A> ShuffleKernel<D, F, A> {
-    pub fn new(
-        input: DeviceSoa<D>,
-        dist: F,
-        action: A,
-        block_size: u32,
-        scope: PairScope,
-    ) -> Self {
-        ShuffleKernel { input, dist, action, block_size, scope }
+    pub fn new(input: DeviceSoa<D>, dist: F, action: A, block_size: u32, scope: PairScope) -> Self {
+        ShuffleKernel {
+            input,
+            dist,
+            action,
+            block_size,
+            scope,
+        }
     }
 }
 
@@ -76,8 +76,7 @@ where
         // Lines 5–9: walk the 32 lanes by shuffle broadcast.
         w.charge_control(frag_len as u64 + 1, valid);
         for k in 0..frag_len {
-            let regtmp: [F32x32; D] =
-                std::array::from_fn(|d| w.shfl_bcast_f32(&reg1[d], k, valid));
+            let regtmp: [F32x32; D] = std::array::from_fn(|d| w.shfl_bcast_f32(&reg1[d], k, valid));
             let partner = frag_start + k;
             let pm = Mask::from_fn(|i| valid.lane(i) && pair_filter(gid[i], partner));
             w.charge_alu(1, valid);
@@ -249,14 +248,20 @@ mod tests {
         let k1 = ShuffleKernel::new(
             input,
             Euclidean,
-            CountWithinRadius { radius: 4.0, out: o1 },
+            CountWithinRadius {
+                radius: 4.0,
+                out: o1,
+            },
             32,
             PairScope::HalfPairs,
         );
         let k2 = ShuffleKernel::new(
             input,
             Euclidean,
-            CountWithinRadius { radius: 4.0, out: o2 },
+            CountWithinRadius {
+                radius: 4.0,
+                out: o2,
+            },
             32,
             PairScope::AllPairs,
         );

@@ -71,8 +71,8 @@ pub use distance::{
 };
 pub use histogram::{Histogram, HistogramSpec};
 pub use kernels::{
-    CrossShmKernel, HistogramReduceKernel, IntraMode, NaiveKernel, PairScope,
-    RegisterRocKernel, RegisterShmKernel, ShmShmKernel, ShuffleKernel, SumReduceKernel,
+    CrossShmKernel, HistogramReduceKernel, IntraMode, NaiveKernel, PairScope, RegisterRocKernel,
+    RegisterShmKernel, ShmShmKernel, ShuffleKernel, SumReduceKernel,
 };
 pub use output::{
     CountWithinRadius, GlobalHistogramAction, KdeAction, KnnAction, MatrixWriteAction,

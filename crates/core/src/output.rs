@@ -463,8 +463,7 @@ impl PairAction for MultiCopyHistogramAction {
         let bucket = self.spec.bucket_lanes(w, value, mask);
         let copies = self.copies.max(1);
         let h = self.spec.buckets;
-        let idx: U32x32 =
-            std::array::from_fn(|i| (i as u32 % copies) * h + bucket[i]);
+        let idx: U32x32 = std::array::from_fn(|i| (i as u32 % copies) * h + bucket[i]);
         w.charge_alu(1, mask);
         w.shared_atomic_add_u32(*st, &idx, &[1; WARP_SIZE], mask);
     }
@@ -710,8 +709,7 @@ impl PairAction for MatrixWriteAction {
         w.charge_alu(1, mask);
         w.global_store_f32(self.out, &slot, value, mask);
         if self.symmetric {
-            let t: U32x32 =
-                std::array::from_fn(|i| left[i].wrapping_mul(n).wrapping_add(right[i]));
+            let t: U32x32 = std::array::from_fn(|i| left[i].wrapping_mul(n).wrapping_add(right[i]));
             w.charge_alu(1, mask);
             w.global_store_f32(self.out, &t, value, mask);
         }

@@ -130,7 +130,11 @@ pub fn feasible_specs(p: &ProblemSpec, cfg: &DeviceConfig, b: u32) -> Vec<Kernel
                 if input == InputPath::Shuffle && intra == IntraMode::LoadBalanced {
                     continue;
                 }
-                specs.push(KernelSpec { input, output, intra });
+                specs.push(KernelSpec {
+                    input,
+                    output,
+                    intra,
+                });
             }
         }
     }
@@ -145,13 +149,21 @@ pub fn choose_plan(p: &ProblemSpec, cfg: &DeviceConfig) -> ExecutionPlan {
         if b > cfg.max_threads_per_block || b > p.n {
             continue;
         }
-        let wl = Workload { n: p.n, b, dims: p.dims, dist_cost: p.dist_cost };
+        let wl = Workload {
+            n: p.n,
+            b,
+            dims: p.dims,
+            dist_cost: p.dist_cost,
+        };
         for spec in feasible_specs(p, cfg, b) {
             let run = predicted_run(&wl, &spec, cfg);
             candidates.push((spec, b, run.timing.seconds));
         }
     }
-    assert!(!candidates.is_empty(), "no feasible kernel for problem {p:?}");
+    assert!(
+        !candidates.is_empty(),
+        "no feasible kernel for problem {p:?}"
+    );
     candidates.sort_by(|a, b| a.2.total_cmp(&b.2));
     let best = candidates[0];
     ExecutionPlan {
@@ -226,9 +238,15 @@ mod tests {
             dist_cost: 7,
             output: ProblemOutput::Histogram { buckets: 100_000 },
         };
-        assert_eq!(p.output.class(&titan()), crate::output::OutputClass::TypeIII);
+        assert_eq!(
+            p.output.class(&titan()),
+            crate::output::OutputClass::TypeIII
+        );
         let plan = choose_plan(&p, &titan());
-        assert!(matches!(plan.spec.output, OutputPath::GlobalHistogram { .. }));
+        assert!(matches!(
+            plan.spec.output,
+            OutputPath::GlobalHistogram { .. }
+        ));
     }
 
     #[test]
@@ -240,7 +258,10 @@ mod tests {
             output: ProblemOutput::Scalar,
         };
         let plan = choose_plan(&p, &DeviceConfig::fermi_gtx580());
-        assert!(plan.candidates.iter().all(|(s, _, _)| s.input != InputPath::Shuffle));
+        assert!(plan
+            .candidates
+            .iter()
+            .all(|(s, _, _)| s.input != InputPath::Shuffle));
     }
 
     #[test]

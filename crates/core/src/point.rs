@@ -18,12 +18,16 @@ pub struct SoaPoints<const D: usize> {
 impl<const D: usize> SoaPoints<D> {
     /// Create an empty point set.
     pub fn new() -> Self {
-        SoaPoints { coords: std::array::from_fn(|_| Vec::new()) }
+        SoaPoints {
+            coords: std::array::from_fn(|_| Vec::new()),
+        }
     }
 
     /// Create with capacity for `n` points.
     pub fn with_capacity(n: usize) -> Self {
-        SoaPoints { coords: std::array::from_fn(|_| Vec::with_capacity(n)) }
+        SoaPoints {
+            coords: std::array::from_fn(|_| Vec::with_capacity(n)),
+        }
     }
 
     /// Build from a list of points.

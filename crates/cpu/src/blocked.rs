@@ -26,7 +26,11 @@ pub struct BlockedSdhConfig {
 
 impl Default for BlockedSdhConfig {
     fn default() -> Self {
-        BlockedSdhConfig { threads: 8, tile: 1024, schedule: Schedule::Guided }
+        BlockedSdhConfig {
+            threads: 8,
+            tile: 1024,
+            schedule: Schedule::Guided,
+        }
     }
 }
 
@@ -87,7 +91,10 @@ pub fn sdh_blocked<const D: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("blocked sdh worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("blocked sdh worker panicked"))
+            .collect()
     });
 
     let mut out = Histogram::zeroed(spec.buckets);
@@ -126,7 +133,11 @@ mod tests {
             let got = sdh_blocked(
                 &pts,
                 spec(),
-                BlockedSdhConfig { threads: 3, tile, schedule: Schedule::Guided },
+                BlockedSdhConfig {
+                    threads: 3,
+                    tile,
+                    schedule: Schedule::Guided,
+                },
             );
             assert_eq!(got, reference, "tile = {tile}");
         }
@@ -143,13 +154,19 @@ mod tests {
     fn all_schedules_agree() {
         let pts = uniform_points::<3>(500, 100.0, 11);
         let reference = sdh_reference(&pts, spec());
-        for schedule in
-            [Schedule::static_default(), Schedule::dynamic_default(), Schedule::Guided]
-        {
+        for schedule in [
+            Schedule::static_default(),
+            Schedule::dynamic_default(),
+            Schedule::Guided,
+        ] {
             let got = sdh_blocked(
                 &pts,
                 spec(),
-                BlockedSdhConfig { threads: 4, tile: 128, schedule },
+                BlockedSdhConfig {
+                    threads: 4,
+                    tile: 128,
+                    schedule,
+                },
             );
             assert_eq!(got, reference, "{schedule:?}");
         }
@@ -158,6 +175,9 @@ mod tests {
     #[test]
     fn tiny_inputs() {
         let pts = uniform_points::<3>(1, 100.0, 13);
-        assert_eq!(sdh_blocked(&pts, spec(), BlockedSdhConfig::default()).total(), 0);
+        assert_eq!(
+            sdh_blocked(&pts, spec(), BlockedSdhConfig::default()).total(),
+            0
+        );
     }
 }

@@ -10,8 +10,8 @@
 use tbs_core::histogram::HistogramSpec;
 use tbs_core::point::SoaPoints;
 
-use crate::sdh::{sdh_parallel, CpuSdhConfig};
 use crate::schedule::Schedule;
+use crate::sdh::{sdh_parallel, CpuSdhConfig};
 
 /// Throughput model of a multi-core CPU running the privatized
 /// triangular pair loop.
@@ -35,7 +35,11 @@ impl CpuModel {
     /// the best GPU kernel ≈ 50× ahead at the paper's sizes (its
     /// Figure 4).
     pub fn xeon_e5_2640_v2() -> Self {
-        CpuModel { cores: 8, ns_per_pair_per_core: 1.9, efficiency: 0.92 }
+        CpuModel {
+            cores: 8,
+            ns_per_pair_per_core: 1.9,
+            efficiency: 0.92,
+        }
     }
 
     /// Predicted seconds for an N-point 2-BS on this CPU.
@@ -56,7 +60,14 @@ impl CpuModel {
     ) -> Self {
         let n = pts.len() as f64;
         let start = std::time::Instant::now();
-        let _ = sdh_parallel(pts, spec, CpuSdhConfig { threads, schedule: Schedule::Guided });
+        let _ = sdh_parallel(
+            pts,
+            spec,
+            CpuSdhConfig {
+                threads,
+                schedule: Schedule::Guided,
+            },
+        );
         let secs = start.elapsed().as_secs_f64();
         let pairs = n * (n - 1.0) / 2.0;
         // Host per-core throughput; assume the modeled CPU's cores are

@@ -47,7 +47,10 @@ pub fn pcf_parallel<const D: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pcf worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pcf worker panicked"))
+            .sum()
     })
 }
 
@@ -80,9 +83,16 @@ mod tests {
     fn parallel_matches_reference() {
         let pts = uniform_points::<3>(800, 100.0, 13);
         let expect = pcf_reference(&pts, 20.0);
-        for schedule in [Schedule::static_default(), Schedule::dynamic_default(), Schedule::Guided]
-        {
-            assert_eq!(pcf_parallel(&pts, 20.0, 4, schedule), expect, "{schedule:?}");
+        for schedule in [
+            Schedule::static_default(),
+            Schedule::dynamic_default(),
+            Schedule::Guided,
+        ] {
+            assert_eq!(
+                pcf_parallel(&pts, 20.0, 4, schedule),
+                expect,
+                "{schedule:?}"
+            );
         }
     }
 

@@ -49,7 +49,12 @@ pub struct RowQueue {
 
 impl RowQueue {
     pub fn new(n: usize, workers: usize, schedule: Schedule) -> Self {
-        RowQueue { n, workers: workers.max(1), schedule, cursor: AtomicUsize::new(0) }
+        RowQueue {
+            n,
+            workers: workers.max(1),
+            schedule,
+            cursor: AtomicUsize::new(0),
+        }
     }
 
     /// Next row range for `worker`; `None` when the loop is exhausted.
@@ -148,7 +153,10 @@ mod tests {
         let ranges = drain_all(&q, 0);
         assert!(covered(ranges.clone(), 10_000));
         let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-        assert!(sizes[0] > *sizes.last().unwrap(), "guided chunks must shrink: {sizes:?}");
+        assert!(
+            sizes[0] > *sizes.last().unwrap(),
+            "guided chunks must shrink: {sizes:?}"
+        );
     }
 
     #[test]

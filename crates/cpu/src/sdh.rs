@@ -26,7 +26,10 @@ pub struct CpuSdhConfig {
 
 impl Default for CpuSdhConfig {
     fn default() -> Self {
-        CpuSdhConfig { threads: 8, schedule: Schedule::Guided }
+        CpuSdhConfig {
+            threads: 8,
+            schedule: Schedule::Guided,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub fn sdh_parallel<const D: usize>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sdh worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sdh worker panicked"))
+            .collect()
     });
 
     // Parallel-reduction stage (tree order is irrelevant for sums; a
@@ -124,7 +130,14 @@ mod tests {
             Schedule::dynamic_default(),
             Schedule::Guided,
         ] {
-            let got = sdh_parallel(&pts, spec(), CpuSdhConfig { threads: 4, schedule });
+            let got = sdh_parallel(
+                &pts,
+                spec(),
+                CpuSdhConfig {
+                    threads: 4,
+                    schedule,
+                },
+            );
             assert_eq!(got, reference, "{schedule:?}");
         }
     }
@@ -139,15 +152,28 @@ mod tests {
     #[test]
     fn tiny_inputs_are_handled() {
         let pts = uniform_points::<3>(1, 100.0, 2);
-        assert_eq!(sdh_parallel(&pts, spec(), CpuSdhConfig::default()).total(), 0);
+        assert_eq!(
+            sdh_parallel(&pts, spec(), CpuSdhConfig::default()).total(),
+            0
+        );
         let pts = uniform_points::<3>(2, 100.0, 2);
-        assert_eq!(sdh_parallel(&pts, spec(), CpuSdhConfig::default()).total(), 1);
+        assert_eq!(
+            sdh_parallel(&pts, spec(), CpuSdhConfig::default()).total(),
+            1
+        );
     }
 
     #[test]
     fn more_threads_than_rows_still_correct() {
         let pts = uniform_points::<3>(10, 100.0, 3);
-        let h = sdh_parallel(&pts, spec(), CpuSdhConfig { threads: 64, schedule: Schedule::Guided });
+        let h = sdh_parallel(
+            &pts,
+            spec(),
+            CpuSdhConfig {
+                threads: 64,
+                schedule: Schedule::Guided,
+            },
+        );
         assert_eq!(h.total(), 45);
     }
 }

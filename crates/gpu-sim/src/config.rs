@@ -8,6 +8,43 @@
 //! comes from the public GTX 980/Titan X whitepapers referenced by the
 //! paper.
 
+/// How the engine schedules thread blocks onto host threads.
+///
+/// Both modes produce **bit-identical** outputs, access tallies and
+/// first-fault reports: the parallel engine executes blocks speculatively
+/// against a memory snapshot, then commits write logs and L2 sector
+/// traces in block order (see `exec::engine`). The knob therefore only
+/// trades host wall-clock time, never simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One host thread runs every block in grid order (the reference
+    /// semantics).
+    Sequential,
+    /// Blocks are sharded across a scoped worker pool and committed
+    /// deterministically in block order. `threads == 0` means "use
+    /// [`std::thread::available_parallelism`]".
+    Parallel { threads: usize },
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Parallel { threads: 0 }
+    }
+}
+
+impl ExecMode {
+    /// Number of worker threads this mode resolves to on this host.
+    pub fn resolved_threads(&self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecMode::Parallel { threads } => *threads,
+        }
+    }
+}
+
 /// Access latencies in clock cycles for each step of the memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Latencies {
@@ -132,6 +169,10 @@ pub struct DeviceConfig {
     /// re-convergence stack; calibrated so removing intra-block
     /// divergence wins ≈ 12 % as in the paper's Figure 7).
     pub divergence_penalty_cycles: f64,
+    /// How the functional engine maps thread blocks onto host threads.
+    /// Purely a host-performance knob: results are bit-identical across
+    /// modes.
+    pub exec_mode: ExecMode,
 }
 
 impl DeviceConfig {
@@ -179,6 +220,7 @@ impl DeviceConfig {
             latency_ilp: 1.5,
             sync_cycles: 24.0,
             divergence_penalty_cycles: 10.0,
+            exec_mode: ExecMode::Parallel { threads: 0 },
         }
     }
 
@@ -226,6 +268,7 @@ impl DeviceConfig {
             latency_ilp: 1.3,
             sync_cycles: 30.0,
             divergence_penalty_cycles: 14.0,
+            exec_mode: ExecMode::Parallel { threads: 0 },
         }
     }
 
@@ -273,7 +316,14 @@ impl DeviceConfig {
             latency_ilp: 1.1,
             sync_cycles: 40.0,
             divergence_penalty_cycles: 16.0,
+            exec_mode: ExecMode::Parallel { threads: 0 },
         }
+    }
+
+    /// Builder-style override of the block-scheduling mode.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     /// Maximum resident warps per SM.
@@ -329,13 +379,14 @@ mod tests {
     fn aggregate_bandwidths_match_paper_claims() {
         let cfg = DeviceConfig::titan_x();
         // §IV-B: shared ≈ 3 TB/s vs ROC ≈ 1 TB/s.
-        let shared_tbps = cfg.thr.shared_bytes_per_cycle_per_sm
-            * cfg.num_sms as f64
-            * cfg.clock_ghz
-            / 1000.0;
+        let shared_tbps =
+            cfg.thr.shared_bytes_per_cycle_per_sm * cfg.num_sms as f64 * cfg.clock_ghz / 1000.0;
         let roc_tbps =
             cfg.thr.roc_bytes_per_cycle_per_sm * cfg.num_sms as f64 * cfg.clock_ghz / 1000.0;
-        assert!((2.5..3.5).contains(&shared_tbps), "shared {shared_tbps} TB/s");
+        assert!(
+            (2.5..3.5).contains(&shared_tbps),
+            "shared {shared_tbps} TB/s"
+        );
         assert!((0.8..1.2).contains(&roc_tbps), "roc {roc_tbps} TB/s");
     }
 

@@ -2,8 +2,8 @@
 
 use crate::config::DeviceConfig;
 use crate::error::SimError;
-use crate::exec::{BlockCtx, Kernel, KernelRun, LaunchConfig};
-use crate::mem::{BufF32, BufU32, BufU64, GlobalMem, L2Cache};
+use crate::exec::{engine, Kernel, KernelRun, LaunchConfig};
+use crate::mem::{BufF32, BufU32, BufU64, GlobalMem};
 use crate::occupancy::occupancy;
 use crate::profile::KernelProfile;
 use crate::tally::AccessTally;
@@ -23,7 +23,10 @@ pub struct Device {
 impl Device {
     /// Create a device with the given configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Device { cfg, global: GlobalMem::new() }
+        Device {
+            cfg,
+            global: GlobalMem::new(),
+        }
     }
 
     /// The device configuration.
@@ -94,10 +97,16 @@ impl Device {
 
     /// Launch a kernel, propagating simulated faults as errors.
     ///
-    /// The engine executes blocks sequentially (their results are
-    /// order-independent for the atomics-based kernels the paper studies)
-    /// with a cold, device-wide L2 per launch, and each block gets fresh
-    /// shared memory and read-only-cache state.
+    /// The engine runs blocks under the configured
+    /// [`crate::config::ExecMode`]: sequentially, or sharded across a
+    /// host-thread worker pool with a deterministic in-order commit
+    /// (see [`crate::exec::engine`](crate::exec) internals). Either way
+    /// there is one cold, device-wide L2 per launch, each block gets
+    /// fresh shared memory and read-only-cache state, and outputs,
+    /// tallies and first-fault reporting are identical across modes.
+    ///
+    /// A `grid_dim == 0` launch is a valid no-op: it executes nothing,
+    /// touches no memory, and reports an empty tally.
     pub fn try_launch<K: Kernel + ?Sized>(
         &mut self,
         kernel: &K,
@@ -126,31 +135,7 @@ impl Device {
             res.shared_mem_bytes,
         );
 
-        let mut l2 = L2Cache::new(self.cfg.l2_sectors());
-        let mut total = AccessTally::new();
-        for b in 0..lc.grid_dim {
-            let mut blk =
-                BlockCtx::new(&mut self.global, &mut l2, &self.cfg, b, lc.grid_dim, lc.block_dim);
-            kernel.run_block(&mut blk);
-            if let Some(fault) = blk.fault {
-                return Err(fault);
-            }
-            let allocated = blk.shared.allocated_bytes();
-            if allocated > res.shared_mem_bytes as u64 {
-                return Err(SimError::InvalidLaunch {
-                    reason: format!(
-                        "kernel '{}' allocated {} B of shared memory but declared {} B \
-                         (occupancy would be wrong)",
-                        kernel.name(),
-                        allocated,
-                        res.shared_mem_bytes
-                    ),
-                });
-            }
-            blk.tally.blocks_executed = 1;
-            blk.tally.warps_executed = lc.warps_per_block() as u64;
-            total.merge(&blk.tally);
-        }
+        let total = engine::run_grid(&mut self.global, &self.cfg, kernel, lc, res)?;
 
         let timing = TimingModel::new(&self.cfg).estimate(&total, &occ, lc.grid_dim);
         let profile = KernelProfile::build(kernel.name(), &self.cfg, &total, &occ, &timing);
@@ -186,8 +171,13 @@ impl Device {
         regs_per_thread: u32,
         shared_mem_bytes: u32,
     ) -> KernelRun {
-        let occ =
-            occupancy(&self.cfg, lc.grid_dim, lc.block_dim, regs_per_thread, shared_mem_bytes);
+        let occ = occupancy(
+            &self.cfg,
+            lc.grid_dim,
+            lc.block_dim,
+            regs_per_thread,
+            shared_mem_bytes,
+        );
         let timing = TimingModel::new(&self.cfg).estimate(tally, &occ, lc.grid_dim);
         let profile = KernelProfile::build(kernel_name, &self.cfg, tally, &occ, &timing);
         KernelRun {
@@ -204,7 +194,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{KernelResources, Mask};
+    use crate::exec::{BlockCtx, KernelResources, Mask};
 
     struct FillKernel {
         out: BufF32,
@@ -232,7 +222,11 @@ mod tests {
     fn launch_runs_all_blocks_and_reports() {
         let mut dev = Device::new(DeviceConfig::titan_x());
         let out = dev.alloc_f32_zeroed(1000);
-        let k = FillKernel { out, n: 1000, value: 3.5 };
+        let k = FillKernel {
+            out,
+            n: 1000,
+            value: 3.5,
+        };
         let run = dev.launch(&k, LaunchConfig::for_n_threads(1000, 128));
         assert!(dev.f32_slice(out).iter().all(|&x| x == 3.5));
         assert_eq!(run.tally.blocks_executed, 8);
@@ -256,7 +250,9 @@ mod tests {
             }
         }
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let err = dev.try_launch(&Greedy, LaunchConfig::new(1, 32)).unwrap_err();
+        let err = dev
+            .try_launch(&Greedy, LaunchConfig::new(1, 32))
+            .unwrap_err();
         assert!(matches!(err, SimError::InvalidLaunch { .. }));
     }
 
@@ -273,7 +269,9 @@ mod tests {
             fn run_block(&self, _blk: &mut BlockCtx<'_>) {}
         }
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let err = dev.try_launch(&Hungry, LaunchConfig::new(1, 32)).unwrap_err();
+        let err = dev
+            .try_launch(&Hungry, LaunchConfig::new(1, 32))
+            .unwrap_err();
         assert!(matches!(err, SimError::TooManyRegisters { .. }));
     }
 
@@ -288,6 +286,135 @@ mod tests {
         let run = dev.estimate("analytic", &t, LaunchConfig::new(1000, 1024), 32, 0);
         assert!(run.timing.seconds > 0.0);
         assert_eq!(run.kernel, "analytic");
+    }
+
+    /// A kernel exercising every replay path: L2-visible loads, stores,
+    /// u64 atomics, and a ROC load, with cross-block L2 reuse.
+    struct MixedKernel {
+        input: BufF32,
+        out: BufF32,
+        hist: BufU64,
+        n: u32,
+    }
+    impl Kernel for MixedKernel {
+        fn name(&self) -> &'static str {
+            "mixed"
+        }
+        fn resources(&self) -> KernelResources {
+            KernelResources::new(16, 0)
+        }
+        fn run_block(&self, blk: &mut BlockCtx<'_>) {
+            let (input, out, hist, n) = (self.input, self.out, self.hist, self.n);
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let m = w.mask_lt(&gid, n);
+                let x = w.global_load_f32(input, &gid, m);
+                // Every block also re-reads the head of the buffer: the
+                // resulting L2 hit pattern depends on cross-block order.
+                let r = w.roc_load_f32(input, &w.lane_ids(), m);
+                let y = w.add_f32x(&x, &r, m);
+                w.global_store_f32(out, &gid, &y, m);
+                let bucket = w.mod_u32(&gid, 7, m);
+                w.global_atomic_add_u64(hist, &bucket, &[1; 32], m);
+            });
+        }
+    }
+
+    fn run_mixed(mode: crate::config::ExecMode) -> (Vec<f32>, Vec<u64>, AccessTally) {
+        let n = 4096u32;
+        let mut dev = Device::new(DeviceConfig::titan_x().with_exec_mode(mode));
+        let input = dev.alloc_f32((0..n).map(|i| (i as f32).sin()).collect());
+        let out = dev.alloc_f32_zeroed(n as usize);
+        let hist = dev.alloc_u64_zeroed(7);
+        let k = MixedKernel {
+            input,
+            out,
+            hist,
+            n,
+        };
+        let run = dev.launch(&k, LaunchConfig::for_n_threads(n, 128));
+        (
+            dev.f32_slice(out).to_vec(),
+            dev.u64_slice(hist).to_vec(),
+            run.tally,
+        )
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential() {
+        use crate::config::ExecMode;
+        let (seq_out, seq_hist, seq_tally) = run_mixed(ExecMode::Sequential);
+        for threads in [2, 3, 5] {
+            let (out, hist, tally) = run_mixed(ExecMode::Parallel { threads });
+            let same_bits = out
+                .iter()
+                .zip(&seq_out)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "outputs differ with {threads} threads");
+            assert_eq!(hist, seq_hist, "histogram differs with {threads} threads");
+            assert_eq!(tally, seq_tally, "tally differs with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_reports_first_fault_in_block_order() {
+        use crate::config::ExecMode;
+        // Block 5 reads out of bounds; earlier blocks' stores must land,
+        // later blocks must not change the error.
+        struct FaultyKernel {
+            buf: BufF32,
+            out: BufF32,
+        }
+        impl Kernel for FaultyKernel {
+            fn name(&self) -> &'static str {
+                "faulty"
+            }
+            fn resources(&self) -> KernelResources {
+                KernelResources::new(8, 0)
+            }
+            fn run_block(&self, blk: &mut BlockCtx<'_>) {
+                let (buf, out) = (self.buf, self.out);
+                let b = blk.block_id;
+                blk.for_each_warp(|w| {
+                    let idx = if b == 5 { [1_000_000u32; 32] } else { [b; 32] };
+                    w.global_load_f32(buf, &idx, Mask::FULL);
+                    w.global_store_f32(out, &[b; 32], &[b as f32; 32], Mask::FULL);
+                });
+            }
+        }
+        for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 4 }] {
+            let mut dev = Device::new(DeviceConfig::titan_x().with_exec_mode(mode));
+            let buf = dev.alloc_f32(vec![0.0; 64]);
+            let out = dev.alloc_f32_zeroed(64);
+            let err = dev.try_launch(&FaultyKernel { buf, out }, LaunchConfig::new(12, 32));
+            assert!(matches!(err, Err(SimError::OutOfBounds { .. })), "{mode:?}");
+            let data = dev.f32_slice(out);
+            // Blocks 0..5 committed before the fault; block 5+ did not.
+            #[allow(clippy::needless_range_loop)]
+            for b in 0..5 {
+                assert_eq!(data[b], b as f32, "{mode:?}");
+            }
+            #[allow(clippy::needless_range_loop)]
+            for b in 5..12 {
+                assert_eq!(data[b], 0.0, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_launch_is_a_noop() {
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let out = dev.alloc_f32_zeroed(4);
+        let k = FillKernel {
+            out,
+            n: 0,
+            value: 9.0,
+        };
+        let run = dev.launch(&k, LaunchConfig::new(0, 128));
+        assert!(dev.f32_slice(out).iter().all(|&x| x == 0.0));
+        assert_eq!(run.tally.blocks_executed, 0);
+        assert_eq!(run.tally.warp_instructions, 0);
+        assert_eq!(run.timing.cycles, 0.0);
     }
 
     #[test]

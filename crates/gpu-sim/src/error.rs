@@ -30,7 +30,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OutOfBounds { what, index, len } => {
-                write!(f, "out-of-bounds access to {what}: index {index} >= len {len}")
+                write!(
+                    f,
+                    "out-of-bounds access to {what}: index {index} >= len {len}"
+                )
             }
             SimError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
             SimError::SharedMemOverflow { requested, limit } => write!(
@@ -41,7 +44,10 @@ impl fmt::Display for SimError {
                 write!(f, "warp shuffle is not supported on {device}")
             }
             SimError::TooManyRegisters { requested, limit } => {
-                write!(f, "kernel declares {requested} registers/thread > device limit {limit}")
+                write!(
+                    f,
+                    "kernel declares {requested} registers/thread > device limit {limit}"
+                )
             }
         }
     }
@@ -55,10 +61,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SimError::OutOfBounds { what: "input".into(), index: 10, len: 4 };
+        let e = SimError::OutOfBounds {
+            what: "input".into(),
+            index: 10,
+            len: 4,
+        };
         assert!(e.to_string().contains("input"));
         assert!(e.to_string().contains("10"));
-        let e = SimError::SharedMemOverflow { requested: 100_000, limit: 49_152 };
+        let e = SimError::SharedMemOverflow {
+            requested: 100_000,
+            limit: 49_152,
+        };
         assert!(e.to_string().contains("49152"));
     }
 }

@@ -18,13 +18,17 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
-    /// Grid covering `n` threads with blocks of `block_dim`.
+    /// Grid covering `n` threads with blocks of `block_dim`. `n = 0`
+    /// yields an empty grid (`grid_dim == 0`), which launches as a no-op.
     pub fn for_n_threads(n: u32, block_dim: u32) -> Self {
         LaunchConfig {
-            grid_dim: n.div_ceil(block_dim.max(1)).max(1),
+            grid_dim: n.div_ceil(block_dim.max(1)),
             block_dim: block_dim.max(1),
         }
     }
@@ -40,10 +44,14 @@ impl LaunchConfig {
     }
 
     /// Validate against device limits.
+    ///
+    /// `grid_dim == 0` is valid: it describes an *empty* launch that
+    /// executes no blocks and leaves memory untouched (the engine makes
+    /// it a no-op), which is what N = 0 problem sizes lower to.
     pub fn validate(&self, cfg: &DeviceConfig) -> Result<(), SimError> {
-        if self.grid_dim == 0 || self.block_dim == 0 {
+        if self.block_dim == 0 {
             return Err(SimError::InvalidLaunch {
-                reason: "grid_dim and block_dim must be non-zero".to_string(),
+                reason: "block_dim must be non-zero".to_string(),
             });
         }
         if self.block_dim > cfg.max_threads_per_block {
@@ -69,6 +77,7 @@ mod tests {
         assert_eq!(lc.total_threads(), 1024);
         assert_eq!(LaunchConfig::for_n_threads(1024, 256).grid_dim, 4);
         assert_eq!(LaunchConfig::for_n_threads(1, 256).grid_dim, 1);
+        assert_eq!(LaunchConfig::for_n_threads(0, 256).grid_dim, 0);
     }
 
     #[test]
@@ -80,7 +89,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         let cfg = DeviceConfig::titan_x();
-        assert!(LaunchConfig::new(0, 128).validate(&cfg).is_err());
+        // An empty grid is a valid no-op launch (N = 0 lowers to it)...
+        assert!(LaunchConfig::new(0, 128).validate(&cfg).is_ok());
+        // ...but zero-thread blocks are still rejected.
         assert!(LaunchConfig::new(1, 0).validate(&cfg).is_err());
         assert!(LaunchConfig::new(1, 2048).validate(&cfg).is_err());
         assert!(LaunchConfig::new(1, 1024).validate(&cfg).is_ok());

@@ -11,6 +11,7 @@
 //! paper's Algorithm 2/3 tiling kernels rely on.
 
 mod block;
+pub(crate) mod engine;
 mod launch;
 mod mask;
 mod warp;
@@ -39,15 +40,21 @@ pub struct KernelResources {
 
 impl KernelResources {
     pub fn new(regs_per_thread: u32, shared_mem_bytes: u32) -> Self {
-        KernelResources { regs_per_thread, shared_mem_bytes }
+        KernelResources {
+            regs_per_thread,
+            shared_mem_bytes,
+        }
     }
 }
 
 /// A device kernel.
 ///
 /// Implementations capture their buffer handles and launch parameters by
-/// value, like a CUDA kernel captures device pointers.
-pub trait Kernel {
+/// value, like a CUDA kernel captures device pointers. `Sync` is required
+/// so the parallel block engine can execute a kernel's blocks from
+/// multiple host threads — kernels hold only `Copy` handles and launch
+/// parameters, so this is automatic in practice.
+pub trait Kernel: Sync {
     /// Kernel name for profiles and reports.
     fn name(&self) -> &'static str;
 

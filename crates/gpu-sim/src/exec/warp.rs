@@ -136,7 +136,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Lane-wise fused multiply-add `a * b + c`.
     pub fn fma_f32x(&mut self, a: &F32x32, b: &F32x32, c: &F32x32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i].mul_add(b[i], c[i]) } else { 0.0 })
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                a[i].mul_add(b[i], c[i])
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Vector × scalar.
@@ -160,7 +166,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Lane-wise u32 add with scalar.
     pub fn add_u32(&mut self, a: &U32x32, s: u32, mask: Mask) -> U32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i].wrapping_add(s) } else { 0 })
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                a[i].wrapping_add(s)
+            } else {
+                0
+            }
+        })
     }
 
     /// Lane-wise `a mod m` (m > 0).
@@ -204,24 +216,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             n += 1;
         });
         for &s in &sectors[..n] {
-            if self.blk.l2.access(s) {
-                self.blk.tally.l2_hit_sectors += 1;
-            } else {
-                self.blk.tally.dram_sectors += 1;
-            }
+            self.blk.l2_access(s);
         }
     }
 
     /// Gather-load `f32` values from a global buffer.
     pub fn global_load_f32(&mut self, buf: BufF32, idx: &U32x32, mask: Mask) -> F32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0.0; WARP_SIZE];
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global f32 load"),
+            |b, i| b.check_global_bounds(buf.0, i, "global f32 load"),
             idx,
             mask,
         ) else {
@@ -230,21 +238,27 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 4 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.f32_slice(buf);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0.0 })
+        let data = self.blk.global_read_f32s(buf);
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Gather-load `f32` values through the read-only data cache
     /// (`const __restrict__` / `__ldg` path).
     pub fn roc_load_f32(&mut self, buf: BufF32, idx: &U32x32, mask: Mask) -> F32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0.0; WARP_SIZE];
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "roc f32 load"),
+            |b, i| b.check_global_bounds(buf.0, i, "roc f32 load"),
             idx,
             mask,
         ) else {
@@ -265,27 +279,29 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             } else {
                 self.blk.tally.roc_miss_sectors += 1;
                 // ROC misses continue down the global path.
-                if self.blk.l2.access(s) {
-                    self.blk.tally.l2_hit_sectors += 1;
-                } else {
-                    self.blk.tally.dram_sectors += 1;
-                }
+                self.blk.l2_access(s);
             }
         }
-        let data = self.blk.global.f32_slice(buf);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0.0 })
+        let data = self.blk.global_read_f32s(buf);
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Scatter-store `f32` values to a global buffer.
     pub fn global_store_f32(&mut self, buf: BufF32, idx: &U32x32, vals: &F32x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global f32 store"),
+            |b, i| b.check_global_bounds(buf.0, i, "global f32 store"),
             idx,
             mask,
         ) else {
@@ -294,22 +310,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 4 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.f32_slice_mut(buf);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
-        }
+        self.blk.global_write_f32(buf, idx, vals, mask);
     }
 
     /// Scatter-store `u64` values to a global buffer.
     pub fn global_store_u64(&mut self, buf: BufU64, idx: &U32x32, vals: &U64x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<8>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u64 store"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u64 store"),
             idx,
             mask,
         ) else {
@@ -318,22 +331,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 8 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u64_slice_mut(buf);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
-        }
+        self.blk.global_write_u64(buf, idx, vals, mask);
     }
 
     /// Scatter-store `u32` values to a global buffer.
     pub fn global_store_u32(&mut self, buf: BufU32, idx: &U32x32, vals: &U32x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u32 store"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u32 store"),
             idx,
             mask,
         ) else {
@@ -342,22 +352,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 4 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u32_slice_mut(buf);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
-        }
+        self.blk.global_write_u32(buf, idx, vals, mask);
     }
 
     /// Gather-load `u32` values from a global buffer.
     pub fn global_load_u32(&mut self, buf: BufU32, idx: &U32x32, mask: Mask) -> U32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u32 load"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u32 load"),
             idx,
             mask,
         ) else {
@@ -366,20 +373,26 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 4 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u32_slice(buf);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0 })
+        let data = self.blk.global_read_u32s(buf);
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0
+            }
+        })
     }
 
     /// Gather-load `u64` values from a global buffer.
     pub fn global_load_u64(&mut self, buf: BufU64, idx: &U32x32, mask: Mask) -> U64x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<8>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u64 load"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u64 load"),
             idx,
             mask,
         ) else {
@@ -388,8 +401,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 8 * mask.count() as u64;
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u64_slice(buf);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0 })
+        let data = self.blk.global_read_u64s(buf);
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0
+            }
+        })
     }
 
     fn atomic_max_multiplicity(idx: &U32x32, mask: Mask) -> u64 {
@@ -414,21 +433,15 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     /// Warp-wide `atomicAdd` on a global `u64` buffer. Serialization is
     /// charged from the actual same-address multiplicity in the warp.
-    pub fn global_atomic_add_u64(
-        &mut self,
-        buf: BufU64,
-        idx: &U32x32,
-        vals: &U64x32,
-        mask: Mask,
-    ) {
+    pub fn global_atomic_add_u64(&mut self, buf: BufU64, idx: &U32x32, vals: &U64x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<8>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u64 atomicAdd"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u64 atomicAdd"),
             idx,
             mask,
         ) else {
@@ -437,10 +450,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_atomics += 1;
         self.blk.tally.global_atomic_serial += Self::atomic_max_multiplicity(idx, mask);
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u64_slice_mut(buf);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = data[idx[lane] as usize].wrapping_add(vals[lane]);
-        }
+        self.blk.global_rmw_add_u64(buf, idx, vals, mask);
     }
 
     /// Warp-wide `atomicAdd` on a global `u32` buffer; returns the
@@ -454,13 +464,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         mask: Mask,
     ) -> U32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
-        let base = self.blk.global.base_addr(buf.0);
+        let base = self.blk.global_base_addr(buf.0);
         let Some((addrs, n)) = self.gather_addrs::<4>(
             base,
-            |b, i| b.global.check_bounds(buf.0, i, "global u32 atomicAdd"),
+            |b, i| b.check_global_bounds(buf.0, i, "global u32 atomicAdd"),
             idx,
             mask,
         ) else {
@@ -469,13 +479,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.global_atomics += 1;
         self.blk.tally.global_atomic_serial += Self::atomic_max_multiplicity(idx, mask);
         self.global_path_sectors(&addrs[..n]);
-        let data = self.blk.global.u32_slice_mut(buf);
-        let mut out = [0u32; WARP_SIZE];
-        for lane in mask.lanes() {
-            out[lane] = data[idx[lane] as usize];
-            data[idx[lane] as usize] = data[idx[lane] as usize].wrapping_add(vals[lane]);
-        }
-        out
+        self.blk.global_rmw_add_u32(buf, idx, vals, mask)
     }
 
     // ---------------------------------------------------------------
@@ -513,7 +517,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Store `f32` values to a shared array.
     pub fn shared_store_f32(&mut self, arr: ShmF32, idx: &U32x32, vals: &F32x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared f32 store") else {
@@ -530,7 +534,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Load `f32` values from a shared array.
     pub fn shared_load_f32(&mut self, arr: ShmF32, idx: &U32x32, mask: Mask) -> F32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0.0; WARP_SIZE];
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared f32 load") else {
@@ -539,13 +543,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.shared_load_instructions += 1;
         self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
         let data = self.blk.shared.f32s(arr);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0.0 })
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Load `u64` values from a shared array.
     pub fn shared_load_u64(&mut self, arr: ShmU64, idx: &U32x32, mask: Mask) -> U64x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u64 load") else {
@@ -554,13 +564,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.shared_load_instructions += 1;
         self.shm_charge_access(arr.0, &idxs[..n], 8, mask.count() as u64);
         let data = self.blk.shared.u64s(arr);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0 })
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0
+            }
+        })
     }
 
     /// Store `u64` values to a shared array.
     pub fn shared_store_u64(&mut self, arr: ShmU64, idx: &U32x32, vals: &U64x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u64 store") else {
@@ -578,19 +594,12 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// privatized-output update (Algorithm 3, line 7). Contention is
     /// charged from the actual same-address multiplicity; distinct
     /// addresses additionally pay the bank-conflict rule.
-    pub fn shared_atomic_add_u32(
-        &mut self,
-        arr: ShmU32,
-        idx: &U32x32,
-        vals: &U32x32,
-        mask: Mask,
-    ) {
+    pub fn shared_atomic_add_u32(&mut self, arr: ShmU32, idx: &U32x32, vals: &U32x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 atomicAdd")
-        else {
+        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 atomicAdd") else {
             return;
         };
         let mult = Self::atomic_max_multiplicity(idx, mask);
@@ -613,7 +622,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Store `u32` values to a shared array.
     pub fn shared_store_u32(&mut self, arr: ShmU32, idx: &U32x32, vals: &U32x32, mask: Mask) {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return;
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 store") else {
@@ -630,7 +639,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Load `u32` values from a shared array.
     pub fn shared_load_u32(&mut self, arr: ShmU32, idx: &U32x32, mask: Mask) -> U32x32 {
         self.charge(mask);
-        if self.blk.faulted() || !mask.any() {
+        if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
         let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 load") else {
@@ -639,7 +648,13 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         self.blk.tally.shared_load_instructions += 1;
         self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
         let data = self.blk.shared.u32s(arr);
-        std::array::from_fn(|i| if mask.lane(i) { data[idx[i] as usize] } else { 0 })
+        std::array::from_fn(|i| {
+            if mask.lane(i) {
+                data[idx[i] as usize]
+            } else {
+                0
+            }
+        })
     }
 
     // ---------------------------------------------------------------
@@ -649,7 +664,8 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     fn check_shuffle(&mut self) -> bool {
         if !self.blk.cfg.has_shuffle {
             let device = self.blk.cfg.name;
-            self.blk.record_fault(SimError::ShuffleUnsupported { device });
+            self.blk
+                .record_fault(SimError::ShuffleUnsupported { device });
             return false;
         }
         true
@@ -660,7 +676,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// register-tiling technique (Algorithm 4, line 6).
     pub fn shfl_bcast_f32(&mut self, vals: &F32x32, src_lane: u32, mask: Mask) -> F32x32 {
         self.charge(mask);
-        if !self.check_shuffle() || self.blk.faulted() {
+        if !self.check_shuffle() || self.blk.dead() {
             return [0.0; WARP_SIZE];
         }
         self.blk.tally.shuffle_instructions += 1;
@@ -673,7 +689,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// slot obtained by one lane's `atomicAdd`.
     pub fn shfl_bcast_u32(&mut self, vals: &U32x32, src_lane: u32, mask: Mask) -> U32x32 {
         self.charge(mask);
-        if !self.check_shuffle() || self.blk.faulted() {
+        if !self.check_shuffle() || self.blk.dead() {
             return [0; WARP_SIZE];
         }
         self.blk.tally.shuffle_instructions += 1;
@@ -685,7 +701,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Used by warp-level reductions (Type-I output stage).
     pub fn shfl_down_u64(&mut self, vals: &U64x32, delta: u32, mask: Mask) -> U64x32 {
         self.charge(mask);
-        if !self.check_shuffle() || self.blk.faulted() {
+        if !self.check_shuffle() || self.blk.dead() {
             return [0; WARP_SIZE];
         }
         self.blk.tally.shuffle_instructions += 1;
@@ -729,7 +745,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 self.blk.tally.divergent_iterations += 1;
             }
             body(self, j, active);
-            if self.blk.faulted() {
+            if self.blk.dead() {
                 return;
             }
         }
@@ -749,11 +765,11 @@ mod tests {
 
     /// Harness: run a single-block closure kernel and return the device +
     /// merged tally.
-    struct ClosureKernel<F: Fn(&mut BlockCtx<'_>)> {
+    struct ClosureKernel<F: Fn(&mut BlockCtx<'_>) + Sync> {
         f: F,
         res: KernelResources,
     }
-    impl<F: Fn(&mut BlockCtx<'_>)> Kernel for ClosureKernel<F> {
+    impl<F: Fn(&mut BlockCtx<'_>) + Sync> Kernel for ClosureKernel<F> {
         fn name(&self) -> &'static str {
             "closure"
         }
@@ -765,12 +781,15 @@ mod tests {
         }
     }
 
-    fn run_one_block<F: Fn(&mut BlockCtx<'_>)>(
+    fn run_one_block<F: Fn(&mut BlockCtx<'_>) + Sync>(
         dev: &mut Device,
         block_dim: u32,
         f: F,
     ) -> crate::exec::KernelRun {
-        let k = ClosureKernel { f, res: KernelResources::new(16, 48 * 1024) };
+        let k = ClosureKernel {
+            f,
+            res: KernelResources::new(16, 48 * 1024),
+        };
         dev.launch(&k, LaunchConfig::new(1, block_dim))
     }
 

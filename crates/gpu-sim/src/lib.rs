@@ -98,7 +98,7 @@ pub type U32x32 = [u32; WARP_SIZE];
 /// A 32-lane vector of `u64` values, one per warp lane.
 pub type U64x32 = [u64; WARP_SIZE];
 
-pub use config::{DeviceConfig, Latencies, Throughputs};
+pub use config::{DeviceConfig, ExecMode, Latencies, Throughputs};
 pub use device::Device;
 pub use error::SimError;
 pub use exec::{BlockCtx, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx};
@@ -110,7 +110,7 @@ pub use timing::{Resource, TimingBreakdown, TimingModel};
 
 /// One-stop imports for writing and launching kernels.
 pub mod prelude {
-    pub use crate::config::DeviceConfig;
+    pub use crate::config::{DeviceConfig, ExecMode};
     pub use crate::device::Device;
     pub use crate::exec::{
         BlockCtx, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,

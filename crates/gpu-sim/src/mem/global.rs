@@ -151,7 +151,33 @@ impl GlobalMem {
 
     /// Total bytes allocated on the device.
     pub fn allocated_bytes(&self) -> u64 {
-        self.buffers.iter().map(|s| s.elem_bytes() * s.len() as u64).sum()
+        self.buffers
+            .iter()
+            .map(|s| s.elem_bytes() * s.len() as u64)
+            .sum()
+    }
+
+    /// Apply a speculative block's write log in program order (parallel
+    /// engine commit path). Indices were bounds-checked when logged.
+    pub(crate) fn apply_log(&mut self, log: &[crate::mem::replay::WriteOp]) {
+        use crate::mem::replay::WriteOp;
+        for &op in log {
+            match op {
+                WriteOp::StoreF32 { buf, idx, val } => {
+                    self.f32_slice_mut(BufF32(buf))[idx as usize] = val;
+                }
+                WriteOp::StoreU32 { buf, idx, val } => {
+                    self.u32_slice_mut(BufU32(buf))[idx as usize] = val;
+                }
+                WriteOp::StoreU64 { buf, idx, val } => {
+                    self.u64_slice_mut(BufU64(buf))[idx as usize] = val;
+                }
+                WriteOp::AddU64 { buf, idx, val } => {
+                    let slot = &mut self.u64_slice_mut(BufU64(buf))[idx as usize];
+                    *slot = slot.wrapping_add(val);
+                }
+            }
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 
 pub mod global;
 pub mod l2;
+pub(crate) mod replay;
 pub mod roc;
 pub mod shared;
 

@@ -135,12 +135,7 @@ impl SharedSpace {
         }
     }
 
-    pub(crate) fn check_bounds(
-        &self,
-        array: usize,
-        idx: u32,
-        what: &str,
-    ) -> Result<(), SimError> {
+    pub(crate) fn check_bounds(&self, array: usize, idx: u32, what: &str) -> Result<(), SimError> {
         let len = self.arrays[array].len();
         if (idx as usize) < len {
             Ok(())

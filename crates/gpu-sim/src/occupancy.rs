@@ -64,7 +64,10 @@ pub fn occupancy(
 
     // Limit 2: shared memory (rounded up to the allocation unit).
     let shm_rounded = shm_per_block.div_ceil(SHM_ALLOC_UNIT) * SHM_ALLOC_UNIT;
-    let by_shm = cfg.shared_mem_per_sm.checked_div(shm_rounded).unwrap_or(u32::MAX);
+    let by_shm = cfg
+        .shared_mem_per_sm
+        .checked_div(shm_rounded)
+        .unwrap_or(u32::MAX);
 
     // Limit 3: registers (allocated per warp in REG_ALLOC_UNIT chunks).
     let regs_per_warp =

@@ -76,8 +76,7 @@ impl KernelProfile {
         // Control-flow utilization: issue slots spent on control
         // instructions relative to kernel time.
         let eff_issue = cfg.thr.issue_per_cycle_per_sm;
-        let control_cycles = tally.control_instructions as f64 / eff_issue
-            / (cfg.num_sms as f64)
+        let control_cycles = tally.control_instructions as f64 / eff_issue / (cfg.num_sms as f64)
             + tally.divergent_iterations as f64 * cfg.divergence_penalty_cycles
                 / cfg.num_sms as f64;
         let control_flow_utilization = (control_cycles / timing.cycles.max(1e-30)).min(1.0);
@@ -91,16 +90,21 @@ impl KernelProfile {
             (roc_utilization, Resource::Roc),
             (l2_utilization, Resource::L2),
             (dram_utilization, Resource::Dram),
-            (timing.utilization(Resource::GlobalAtomic), Resource::GlobalAtomic),
+            (
+                timing.utilization(Resource::GlobalAtomic),
+                Resource::GlobalAtomic,
+            ),
         ];
-        let (memory_utilization, memory_bottleneck) =
-            mem.iter().fold((0.0, Resource::L2), |(bu, br), &(u, r)| {
+        let (memory_utilization, memory_bottleneck) = mem.iter().fold(
+            (0.0, Resource::L2),
+            |(bu, br), &(u, r)| {
                 if u > bu {
                     (u, r)
                 } else {
                     (bu, br)
                 }
-            });
+            },
+        );
 
         KernelProfile {
             kernel: kernel.to_string(),
@@ -179,7 +183,11 @@ mod tests {
     #[test]
     fn rows_render_without_panicking() {
         let cfg = DeviceConfig::titan_x();
-        let t = AccessTally { warp_instructions: 10, alu_instructions: 5, ..Default::default() };
+        let t = AccessTally {
+            warp_instructions: 10,
+            alu_instructions: 5,
+            ..Default::default()
+        };
         let occ = occupancy(&cfg, 10, 256, 16, 0);
         let timing = TimingModel::new(&cfg).estimate(&t, &occ, 10);
         let p = KernelProfile::build("naive", &cfg, &t, &occ, &timing);
@@ -201,7 +209,9 @@ mod tests {
             };
             let occ = occupancy(&cfg, 1000, 1024, 32, 0);
             let timing = TimingModel::new(&cfg).estimate(&t, &occ, 1000);
-            KernelProfile::build("k", &cfg, &t, &occ, &timing).bandwidth.shared_gbps
+            KernelProfile::build("k", &cfg, &t, &occ, &timing)
+                .bandwidth
+                .shared_gbps
         };
         let b1 = mk(1 << 20);
         let b2 = mk(1 << 21);

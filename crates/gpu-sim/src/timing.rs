@@ -127,13 +127,10 @@ impl<'a> TimingModel<'a> {
         let alu = t.alu_instructions as f64 / cfg.thr.alu_warps_per_cycle_per_sm / eff_sms;
         // One warp-wide shared transaction per cycle per SM.
         let shared = t.shared_transactions as f64 / eff_sms;
-        let roc = t.roc_hit_sectors as f64 * sector
-            / cfg.thr.roc_bytes_per_cycle_per_sm
-            / eff_sms;
+        let roc = t.roc_hit_sectors as f64 * sector / cfg.thr.roc_bytes_per_cycle_per_sm / eff_sms;
         // Device-wide units: express their busy time in the same "cycles"
         // scale (the device clock), no SM normalization.
-        let l2 =
-            (t.l2_hit_sectors + t.dram_sectors) as f64 * sector / cfg.thr.l2_bytes_per_cycle;
+        let l2 = (t.l2_hit_sectors + t.dram_sectors) as f64 * sector / cfg.thr.l2_bytes_per_cycle;
         let dram = t.dram_sectors as f64 * sector / cfg.thr.dram_bytes_per_cycle;
         let gatomic = t.global_atomic_serial as f64 / cfg.thr.global_atomics_per_cycle;
 
@@ -145,8 +142,7 @@ impl<'a> TimingModel<'a> {
         let roc_hit_frac = t.roc_hit_sectors as f64 / roc_accesses;
         let roc_lat = roc_hit_frac * cfg.lat.roc + (1.0 - roc_hit_frac) * cfg.lat.global;
 
-        let chain = (t.alu_instructions + t.control_instructions + t.shuffle_instructions)
-            as f64
+        let chain = (t.alu_instructions + t.control_instructions + t.shuffle_instructions) as f64
             * cfg.lat.alu
             + t.global_load_instructions as f64 * gl_lat
             + t.global_store_instructions as f64 * cfg.lat.alu
@@ -154,18 +150,14 @@ impl<'a> TimingModel<'a> {
             + t.global_atomic_serial.saturating_sub(t.global_atomics) as f64
                 * cfg.lat.global_atomic_replay
             + t.roc_load_instructions as f64 * roc_lat
-            + (t.shared_load_instructions + t.shared_store_instructions + t.shared_atomics)
-                as f64
+            + (t.shared_load_instructions + t.shared_store_instructions + t.shared_atomics) as f64
                 * cfg.lat.shared
-            + (t.shared_bank_replays
-                + t.shared_atomic_serial.saturating_sub(t.shared_atomics))
+            + (t.shared_bank_replays + t.shared_atomic_serial.saturating_sub(t.shared_atomics))
                 as f64
                 * cfg.lat.shared_atomic_replay
             + t.sync_instructions as f64 * cfg.sync_cycles;
-        let latency = chain
-            / eff_sms
-            / (occ.active_warps_per_sm.max(1) as f64)
-            / cfg.latency_ilp.max(1.0);
+        let latency =
+            chain / eff_sms / (occ.active_warps_per_sm.max(1) as f64) / cfg.latency_ilp.max(1.0);
 
         let candidates = [
             (issue, Resource::Issue),
@@ -177,15 +169,16 @@ impl<'a> TimingModel<'a> {
             (gatomic, Resource::GlobalAtomic),
             (latency, Resource::Latency),
         ];
-        let (cycles, bottleneck) = candidates
-            .iter()
-            .fold((0.0f64, Resource::Issue), |(best, br), &(c, r)| {
-                if c > best {
-                    (c, r)
-                } else {
-                    (best, br)
-                }
-            });
+        let (cycles, bottleneck) =
+            candidates
+                .iter()
+                .fold((0.0f64, Resource::Issue), |(best, br), &(c, r)| {
+                    if c > best {
+                        (c, r)
+                    } else {
+                        (best, br)
+                    }
+                });
 
         TimingBreakdown {
             cycles,
@@ -232,8 +225,9 @@ mod tests {
         // ALU and issue tie at 1e6/4/24; issue wins ties only if strictly
         // greater, so ALU-bound requires alu throughput < issue.
         assert!(tb.cycles > 0.0);
-        assert!((tb.utilization(Resource::Alu) - 1.0).abs() < 1e-9
-            || tb.bottleneck == Resource::Issue);
+        assert!(
+            (tb.utilization(Resource::Alu) - 1.0).abs() < 1e-9 || tb.bottleneck == Resource::Issue
+        );
     }
 
     #[test]

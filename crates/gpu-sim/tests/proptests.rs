@@ -11,7 +11,7 @@ proptest! {
         addrs in prop::collection::vec(0u64..1_000_000, 0..32)
     ) {
         let n = count_sectors(&addrs, 32);
-        prop_assert!(n as usize <= addrs.len().max(0));
+        prop_assert!(n as usize <= addrs.len());
         if !addrs.is_empty() {
             let lo = *addrs.iter().min().unwrap() / 32;
             let hi = *addrs.iter().max().unwrap() / 32;

@@ -29,9 +29,13 @@ fn main() {
         InputPath::RegisterRoc,
         InputPath::Shuffle,
     ] {
-        let plan = PairwisePlan { input, intra: IntraMode::LoadBalanced, block_size: 256 };
+        let plan = PairwisePlan {
+            input,
+            intra: IntraMode::LoadBalanced,
+            block_size: 256,
+        };
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let res = pcf_gpu(&mut dev, &galaxies, radius, plan);
+        let res = pcf_gpu(&mut dev, &galaxies, radius, plan).expect("launch");
         println!(
             "  {:<13} -> {:>8} pairs, simulated {:>8.3} ms (bottleneck: {})",
             input.name(),

@@ -28,7 +28,7 @@ fn main() {
         block_size: 256,
     };
     let mut dev = Device::new(DeviceConfig::titan_x());
-    let (rdf, sdh) = rdf_gpu(&mut dev, &pts, spec, edge, plan);
+    let (rdf, sdh) = rdf_gpu(&mut dev, &pts, spec, edge, plan).expect("launch");
 
     println!("g(r) for a {n}-molecule toy liquid (box {edge}³):\n");
     let max_g = rdf.g.iter().take(96).cloned().fold(0.0f64, f64::max);

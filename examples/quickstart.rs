@@ -25,7 +25,9 @@ fn main() {
         n: n as u32,
         dims: 3,
         dist_cost: 7,
-        output: ProblemOutput::Histogram { buckets: spec.buckets },
+        output: ProblemOutput::Histogram {
+            buckets: spec.buckets,
+        },
     };
     let plan = choose_plan(&problem, &cfg);
     println!(
@@ -48,7 +50,7 @@ fn main() {
         intra: plan.spec.intra,
         block_size: plan.block_size,
     };
-    let result = sdh_gpu(&mut dev, &pts, spec, pairwise, output);
+    let result = sdh_gpu(&mut dev, &pts, spec, pairwise, output).expect("launch");
 
     // 4. Inspect the results.
     let expected_pairs = n as u64 * (n as u64 - 1) / 2;
@@ -63,7 +65,13 @@ fn main() {
         result.pair_run.occupancy.occupancy * 100.0,
         result.pair_run.timing.bottleneck.name(),
     );
-    let peak = result.histogram.counts().iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+    let peak = result
+        .histogram
+        .counts()
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .unwrap();
     println!(
         "busiest bucket: #{} (r ≈ {:.1}) with {} pairs",
         peak.0,

@@ -17,7 +17,7 @@ fn main() {
 
     let plan = PairwisePlan::register_shm(128);
     let mut dev = Device::new(DeviceConfig::titan_x());
-    let knn = knn_gpu::<3, 5>(&mut dev, &items, plan);
+    let knn = knn_gpu::<3, 5>(&mut dev, &items, plan).expect("launch");
 
     println!("item-to-item 5-NN on a {n}-item catalog (6 genres):\n");
     for item in [0usize, 1, 2] {
@@ -37,7 +37,7 @@ fn main() {
     // Neighborhood density — items in dense genre cores are "safe"
     // recommendations; sparse outliers are cold-start risks.
     let mut dev2 = Device::new(DeviceConfig::titan_x());
-    let kde = kde_gpu(&mut dev2, &items, 0.5, plan);
+    let kde = kde_gpu(&mut dev2, &items, 0.5, plan).expect("launch");
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| kde.weight_sums[a].total_cmp(&kde.weight_sums[b]));
     println!(

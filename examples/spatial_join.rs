@@ -23,8 +23,13 @@ fn main() {
     let mut naive_time = 0.0;
     for aggregated in [false, true] {
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let res = distance_join_gpu(&mut dev, &pts, radius, 1 << 21, aggregated, plan);
-        let label = if aggregated { "warp-aggregated" } else { "per-lane cursor" };
+        let res =
+            distance_join_gpu(&mut dev, &pts, radius, 1 << 21, aggregated, plan).expect("launch");
+        let label = if aggregated {
+            "warp-aggregated"
+        } else {
+            "per-lane cursor"
+        };
         println!(
             "  {label:<16} -> {:>6} matches, simulated {:>8.3} ms, cursor atomics serialized {:>6}x",
             res.total_matches,
@@ -43,8 +48,11 @@ fn main() {
 
     // Verify against the host reference.
     let mut dev = Device::new(DeviceConfig::titan_x());
-    let res = distance_join_gpu(&mut dev, &pts, radius, 1 << 21, true, plan);
+    let res = distance_join_gpu(&mut dev, &pts, radius, 1 << 21, true, plan).expect("launch");
     let reference = distance_join_reference(&pts, radius);
     assert_eq!(res.pairs, reference);
-    println!("verified against host reference: {} matching pairs", reference.len());
+    println!(
+        "verified against host reference: {} matching pairs",
+        reference.len()
+    );
 }

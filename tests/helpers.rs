@@ -18,7 +18,9 @@ use tbs_core::point::SoaPoints;
 pub fn lcg_points(n: usize, seed: u64) -> SoaPoints<3> {
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as u32 as f32) / (u32::MAX >> 1) as f32 * 100.0
     };
     SoaPoints::from_points(&(0..n).map(|_| [next(), next(), next()]).collect::<Vec<_>>())
@@ -42,7 +44,10 @@ pub fn run_functional(wl: &Workload, spec: &KernelSpec, cfg: &DeviceConfig) -> K
         OutputPath::SharedHistogram { buckets } => {
             let spec_h = HistogramSpec::new(buckets, 100.0 * 1.7320508f32);
             let private = dev.alloc_u32_zeroed((lc.grid_dim * buckets) as usize);
-            let action = SharedHistogramAction { spec: spec_h, private };
+            let action = SharedHistogramAction {
+                spec: spec_h,
+                private,
+            };
             launch_input(&mut dev, wl, spec, input, action)
         }
         OutputPath::GlobalHistogram { buckets } => {
@@ -77,9 +82,10 @@ fn launch_input<A: PairAction>(
             &RegisterRocKernel::new(input, Euclidean, action, wl.b, scope, spec.intra),
             lc,
         ),
-        InputPath::Shuffle => {
-            dev.launch(&ShuffleKernel::new(input, Euclidean, action, wl.b, scope), lc)
-        }
+        InputPath::Shuffle => dev.launch(
+            &ShuffleKernel::new(input, Euclidean, action, wl.b, scope),
+            lc,
+        ),
     }
 }
 
@@ -87,11 +93,31 @@ fn launch_input<A: PairAction>(
 /// field-by-field report on mismatch.
 pub fn assert_exact_fields(name: &str, measured: &AccessTally, predicted: &AccessTally) {
     let fields: &[(&str, u64, u64)] = &[
-        ("warp_instructions", measured.warp_instructions, predicted.warp_instructions),
-        ("alu_instructions", measured.alu_instructions, predicted.alu_instructions),
-        ("control_instructions", measured.control_instructions, predicted.control_instructions),
-        ("shuffle_instructions", measured.shuffle_instructions, predicted.shuffle_instructions),
-        ("sync_instructions", measured.sync_instructions, predicted.sync_instructions),
+        (
+            "warp_instructions",
+            measured.warp_instructions,
+            predicted.warp_instructions,
+        ),
+        (
+            "alu_instructions",
+            measured.alu_instructions,
+            predicted.alu_instructions,
+        ),
+        (
+            "control_instructions",
+            measured.control_instructions,
+            predicted.control_instructions,
+        ),
+        (
+            "shuffle_instructions",
+            measured.shuffle_instructions,
+            predicted.shuffle_instructions,
+        ),
+        (
+            "sync_instructions",
+            measured.sync_instructions,
+            predicted.sync_instructions,
+        ),
         (
             "global_load_instructions",
             measured.global_load_instructions,
@@ -102,10 +128,26 @@ pub fn assert_exact_fields(name: &str, measured: &AccessTally, predicted: &Acces
             measured.global_store_instructions,
             predicted.global_store_instructions,
         ),
-        ("global_load_bytes", measured.global_load_bytes, predicted.global_load_bytes),
-        ("global_store_bytes", measured.global_store_bytes, predicted.global_store_bytes),
-        ("global_atomics", measured.global_atomics, predicted.global_atomics),
-        ("roc_load_instructions", measured.roc_load_instructions, predicted.roc_load_instructions),
+        (
+            "global_load_bytes",
+            measured.global_load_bytes,
+            predicted.global_load_bytes,
+        ),
+        (
+            "global_store_bytes",
+            measured.global_store_bytes,
+            predicted.global_store_bytes,
+        ),
+        (
+            "global_atomics",
+            measured.global_atomics,
+            predicted.global_atomics,
+        ),
+        (
+            "roc_load_instructions",
+            measured.roc_load_instructions,
+            predicted.roc_load_instructions,
+        ),
         ("roc_bytes", measured.roc_bytes, predicted.roc_bytes),
         (
             "shared_load_instructions",
@@ -117,11 +159,31 @@ pub fn assert_exact_fields(name: &str, measured: &AccessTally, predicted: &Acces
             measured.shared_store_instructions,
             predicted.shared_store_instructions,
         ),
-        ("shared_bytes", measured.shared_bytes, predicted.shared_bytes),
-        ("shared_atomics", measured.shared_atomics, predicted.shared_atomics),
-        ("divergent_iterations", measured.divergent_iterations, predicted.divergent_iterations),
-        ("blocks_executed", measured.blocks_executed, predicted.blocks_executed),
-        ("warps_executed", measured.warps_executed, predicted.warps_executed),
+        (
+            "shared_bytes",
+            measured.shared_bytes,
+            predicted.shared_bytes,
+        ),
+        (
+            "shared_atomics",
+            measured.shared_atomics,
+            predicted.shared_atomics,
+        ),
+        (
+            "divergent_iterations",
+            measured.divergent_iterations,
+            predicted.divergent_iterations,
+        ),
+        (
+            "blocks_executed",
+            measured.blocks_executed,
+            predicted.blocks_executed,
+        ),
+        (
+            "warps_executed",
+            measured.warps_executed,
+            predicted.warps_executed,
+        ),
     ];
     let mut bad = Vec::new();
     for (f, m, p) in fields {
@@ -129,7 +191,11 @@ pub fn assert_exact_fields(name: &str, measured: &AccessTally, predicted: &Acces
             bad.push(format!("  {f}: measured {m} vs predicted {p}"));
         }
     }
-    assert!(bad.is_empty(), "{name}: analytic mismatch:\n{}", bad.join("\n"));
+    assert!(
+        bad.is_empty(),
+        "{name}: analytic mismatch:\n{}",
+        bad.join("\n")
+    );
 }
 
 /// Assert `predicted` is within `tol` relative error of `measured`.
@@ -140,5 +206,8 @@ pub fn assert_close(name: &str, field: &str, measured: u64, predicted: u64, tol:
     let m = measured as f64;
     let p = predicted as f64;
     let rel = (m - p).abs() / m.max(p).max(1.0);
-    assert!(rel <= tol, "{name}.{field}: measured {measured} vs predicted {predicted} (rel {rel:.3})");
+    assert!(
+        rel <= tol,
+        "{name}.{field}: measured {measured} vs predicted {predicted} (rel {rel:.3})"
+    );
 }

@@ -38,7 +38,13 @@ fn check(wl: Workload, spec: KernelSpec) {
         predicted.global_sectors(),
         sector_tol,
     );
-    assert_close(&name, "dram_sectors", measured.tally.dram_sectors, predicted.dram_sectors, 0.2);
+    assert_close(
+        &name,
+        "dram_sectors",
+        measured.tally.dram_sectors,
+        predicted.dram_sectors,
+        0.2,
+    );
     assert_close(
         &name,
         "roc_total_sectors",
@@ -70,39 +76,68 @@ fn check(wl: Workload, spec: KernelSpec) {
 }
 
 fn wl(n: u32, b: u32) -> Workload {
-    Workload { n, b, dims: 3, dist_cost: 7 }
+    Workload {
+        n,
+        b,
+        dims: 3,
+        dist_cost: 7,
+    }
 }
 
 #[test]
 fn naive_count() {
-    check(wl(512, 64), KernelSpec::new(InputPath::Naive, OutputPath::RegisterCount));
+    check(
+        wl(512, 64),
+        KernelSpec::new(InputPath::Naive, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn naive_global_hist() {
-    check(wl(512, 64), KernelSpec::new(InputPath::Naive, OutputPath::GlobalHistogram { buckets: 128 }));
+    check(
+        wl(512, 64),
+        KernelSpec::new(
+            InputPath::Naive,
+            OutputPath::GlobalHistogram { buckets: 128 },
+        ),
+    );
 }
 
 #[test]
 fn naive_shared_hist() {
-    check(wl(512, 64), KernelSpec::new(InputPath::Naive, OutputPath::SharedHistogram { buckets: 200 }));
+    check(
+        wl(512, 64),
+        KernelSpec::new(
+            InputPath::Naive,
+            OutputPath::SharedHistogram { buckets: 200 },
+        ),
+    );
 }
 
 #[test]
 fn register_shm_count() {
-    check(wl(512, 64), KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount));
+    check(
+        wl(512, 64),
+        KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn register_shm_count_bigger_blocks() {
-    check(wl(1024, 128), KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount));
+    check(
+        wl(1024, 128),
+        KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn register_shm_shared_hist() {
     check(
         wl(512, 64),
-        KernelSpec::new(InputPath::RegisterShm, OutputPath::SharedHistogram { buckets: 100 }),
+        KernelSpec::new(
+            InputPath::RegisterShm,
+            OutputPath::SharedHistogram { buckets: 100 },
+        ),
     );
 }
 
@@ -117,28 +152,40 @@ fn register_shm_load_balanced() {
 
 #[test]
 fn shm_shm_count() {
-    check(wl(512, 64), KernelSpec::new(InputPath::ShmShm, OutputPath::RegisterCount));
+    check(
+        wl(512, 64),
+        KernelSpec::new(InputPath::ShmShm, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn shm_shm_load_balanced_hist() {
     check(
         wl(512, 64),
-        KernelSpec::new(InputPath::ShmShm, OutputPath::SharedHistogram { buckets: 64 })
-            .with_intra(IntraMode::LoadBalanced),
+        KernelSpec::new(
+            InputPath::ShmShm,
+            OutputPath::SharedHistogram { buckets: 64 },
+        )
+        .with_intra(IntraMode::LoadBalanced),
     );
 }
 
 #[test]
 fn register_roc_count() {
-    check(wl(512, 64), KernelSpec::new(InputPath::RegisterRoc, OutputPath::RegisterCount));
+    check(
+        wl(512, 64),
+        KernelSpec::new(InputPath::RegisterRoc, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn register_roc_shared_hist() {
     check(
         wl(768, 128),
-        KernelSpec::new(InputPath::RegisterRoc, OutputPath::SharedHistogram { buckets: 256 }),
+        KernelSpec::new(
+            InputPath::RegisterRoc,
+            OutputPath::SharedHistogram { buckets: 256 },
+        ),
     );
 }
 
@@ -153,19 +200,31 @@ fn register_roc_load_balanced() {
 
 #[test]
 fn shuffle_count() {
-    check(wl(512, 64), KernelSpec::new(InputPath::Shuffle, OutputPath::RegisterCount));
+    check(
+        wl(512, 64),
+        KernelSpec::new(InputPath::Shuffle, OutputPath::RegisterCount),
+    );
 }
 
 #[test]
 fn shuffle_shared_hist() {
-    check(wl(512, 64), KernelSpec::new(InputPath::Shuffle, OutputPath::SharedHistogram { buckets: 96 }));
+    check(
+        wl(512, 64),
+        KernelSpec::new(
+            InputPath::Shuffle,
+            OutputPath::SharedHistogram { buckets: 96 },
+        ),
+    );
 }
 
 #[test]
 fn global_hist_on_tiled_kernels() {
     check(
         wl(512, 64),
-        KernelSpec::new(InputPath::RegisterShm, OutputPath::GlobalHistogram { buckets: 512 }),
+        KernelSpec::new(
+            InputPath::RegisterShm,
+            OutputPath::GlobalHistogram { buckets: 512 },
+        ),
     );
 }
 
@@ -174,7 +233,12 @@ fn global_hist_on_tiled_kernels() {
 // only cache behaviour and timing change) ----
 
 fn check_on(cfg: &DeviceConfig, spec: KernelSpec) {
-    let wl = Workload { n: 512, b: 64, dims: 3, dist_cost: 7 };
+    let wl = Workload {
+        n: 512,
+        b: 64,
+        dims: 3,
+        dist_cost: 7,
+    };
     let name = format!("{}@{}", spec.input.name(), cfg.name);
     let measured = run_functional(&wl, &spec, cfg);
     let predicted = predicted_tally(&wl, &spec, cfg);
@@ -184,15 +248,33 @@ fn check_on(cfg: &DeviceConfig, spec: KernelSpec) {
 #[test]
 fn analytic_holds_on_kepler() {
     let cfg = DeviceConfig::kepler_k40();
-    check_on(&cfg, KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount));
-    check_on(&cfg, KernelSpec::new(InputPath::Shuffle, OutputPath::SharedHistogram { buckets: 64 }));
+    check_on(
+        &cfg,
+        KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount),
+    );
+    check_on(
+        &cfg,
+        KernelSpec::new(
+            InputPath::Shuffle,
+            OutputPath::SharedHistogram { buckets: 64 },
+        ),
+    );
 }
 
 #[test]
 fn analytic_holds_on_fermi() {
     let cfg = DeviceConfig::fermi_gtx580();
-    check_on(&cfg, KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount));
-    check_on(&cfg, KernelSpec::new(InputPath::Naive, OutputPath::GlobalHistogram { buckets: 128 }));
+    check_on(
+        &cfg,
+        KernelSpec::new(InputPath::RegisterShm, OutputPath::RegisterCount),
+    );
+    check_on(
+        &cfg,
+        KernelSpec::new(
+            InputPath::Naive,
+            OutputPath::GlobalHistogram { buckets: 128 },
+        ),
+    );
 }
 
 // ---- bipartite cross-kernel closed form ----
@@ -216,10 +298,15 @@ fn cross_kernel_analytic_matches_functional() {
         let (dl, dr) = (left.upload(&mut dev), right.upload(&mut dev));
         let lc = pair_launch(dl.n, 64);
         let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
-        let k = CrossShmKernel::new(dl, dr, Euclidean, CountWithinRadius { radius: 30.0, out }, 64);
+        let k = CrossShmKernel::new(
+            dl,
+            dr,
+            Euclidean,
+            CountWithinRadius { radius: 30.0, out },
+            64,
+        );
         let run = dev.launch(&k, lc);
-        let predicted =
-            predicted_cross_tally(256, 320, 64, 3, 7, OutputPath::RegisterCount, &cfg);
+        let predicted = predicted_cross_tally(256, 320, 64, 3, 7, OutputPath::RegisterCount, &cfg);
         assert_exact_fields("cross/count", &run.tally, &predicted);
     }
     // Privatized-histogram output.
@@ -229,7 +316,13 @@ fn cross_kernel_analytic_matches_functional() {
         let lc = pair_launch(dl.n, 64);
         let spec = HistogramSpec::new(128, 100.0 * 1.7320508);
         let private = dev.alloc_u32_zeroed((lc.grid_dim * 128) as usize);
-        let k = CrossShmKernel::new(dl, dr, Euclidean, SharedHistogramAction { spec, private }, 64);
+        let k = CrossShmKernel::new(
+            dl,
+            dr,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            64,
+        );
         let run = dev.launch(&k, lc);
         let predicted = predicted_cross_tally(
             256,

@@ -25,8 +25,12 @@ fn sdh_all_variants_match_cpu_on_uniform_data() {
     for input in ALL_INPUTS {
         for output in [SdhOutputMode::Privatized, SdhOutputMode::GlobalAtomics] {
             let mut dev = Device::new(DeviceConfig::titan_x());
-            let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
-            let got = sdh_gpu(&mut dev, &pts, spec, plan, output);
+            let plan = PairwisePlan {
+                input,
+                intra: IntraMode::Regular,
+                block_size: 64,
+            };
+            let got = sdh_gpu(&mut dev, &pts, spec, plan, output).expect("launch");
             assert_eq!(got.histogram, reference, "{input:?}/{output:?}");
         }
     }
@@ -39,10 +43,18 @@ fn sdh_matches_cpu_on_clustered_data() {
     let pts = clustered_points::<3>(600, DEFAULT_BOX, 3, 1.5, 17);
     let spec = HistogramSpec::new(128, box_diagonal(DEFAULT_BOX, 3));
     let reference = sdh_reference(&pts, spec);
-    for input in [InputPath::RegisterShm, InputPath::RegisterRoc, InputPath::Shuffle] {
+    for input in [
+        InputPath::RegisterShm,
+        InputPath::RegisterRoc,
+        InputPath::Shuffle,
+    ] {
         let mut dev = Device::new(DeviceConfig::titan_x());
-        let plan = PairwisePlan { input, intra: IntraMode::LoadBalanced, block_size: 128 };
-        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized);
+        let plan = PairwisePlan {
+            input,
+            intra: IntraMode::LoadBalanced,
+            block_size: 128,
+        };
+        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized).expect("launch");
         assert_eq!(got.histogram, reference, "{input:?}");
     }
 }
@@ -51,7 +63,14 @@ fn sdh_matches_cpu_on_clustered_data() {
 fn cpu_parallel_and_gpu_agree_through_both_stacks() {
     let pts = uniform_points::<3>(700, DEFAULT_BOX, 21);
     let spec = HistogramSpec::new(64, box_diagonal(DEFAULT_BOX, 3));
-    let cpu = sdh_parallel(&pts, spec, CpuSdhConfig { threads: 3, schedule: Schedule::Guided });
+    let cpu = sdh_parallel(
+        &pts,
+        spec,
+        CpuSdhConfig {
+            threads: 3,
+            schedule: Schedule::Guided,
+        },
+    );
     let mut dev = Device::new(DeviceConfig::titan_x());
     let gpu = sdh_gpu(
         &mut dev,
@@ -59,7 +78,8 @@ fn cpu_parallel_and_gpu_agree_through_both_stacks() {
         spec,
         PairwisePlan::register_shm(64),
         SdhOutputMode::Privatized,
-    );
+    )
+    .expect("launch");
     assert_eq!(cpu, gpu.histogram);
 }
 
@@ -69,10 +89,13 @@ fn pcf_matches_across_devices() {
     // changes between Fermi/Kepler/Maxwell.
     let pts = uniform_points::<3>(400, DEFAULT_BOX, 23);
     let expect = pcf_reference(&pts, 30.0);
-    for cfg in [DeviceConfig::fermi_gtx580(), DeviceConfig::kepler_k40(), DeviceConfig::titan_x()]
-    {
+    for cfg in [
+        DeviceConfig::fermi_gtx580(),
+        DeviceConfig::kepler_k40(),
+        DeviceConfig::titan_x(),
+    ] {
         let mut dev = Device::new(cfg);
-        let got = pcf_gpu(&mut dev, &pts, 30.0, PairwisePlan::register_shm(64));
+        let got = pcf_gpu(&mut dev, &pts, 30.0, PairwisePlan::register_shm(64)).expect("launch");
         assert_eq!(got.count, expect);
     }
 }
@@ -82,8 +105,8 @@ fn fermi_runs_are_slower_than_maxwell() {
     let pts = uniform_points::<3>(2048, DEFAULT_BOX, 29);
     let mut fermi = Device::new(DeviceConfig::fermi_gtx580());
     let mut maxwell = Device::new(DeviceConfig::titan_x());
-    let tf = pcf_gpu(&mut fermi, &pts, 20.0, PairwisePlan::register_shm(128));
-    let tm = pcf_gpu(&mut maxwell, &pts, 20.0, PairwisePlan::register_shm(128));
+    let tf = pcf_gpu(&mut fermi, &pts, 20.0, PairwisePlan::register_shm(128)).expect("launch");
+    let tm = pcf_gpu(&mut maxwell, &pts, 20.0, PairwisePlan::register_shm(128)).expect("launch");
     assert_eq!(tf.count, tm.count);
     assert!(
         tf.run.timing.seconds > tm.run.timing.seconds,

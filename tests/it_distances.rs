@@ -92,7 +92,15 @@ fn gpu_histograms_agree_across_distance_functions() {
         "euclidean",
         &|a, b| <Euclidean as DistanceKernel<3>>::eval_host(&Euclidean, a, b),
         &|dev| {
-            sdh_gpu_with(dev, &pts, Euclidean, spec_e, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+            sdh_gpu_with(
+                dev,
+                &pts,
+                Euclidean,
+                spec_e,
+                PairwisePlan::register_shm(64),
+                SdhOutputMode::Privatized,
+            )
+            .expect("launch")
         },
         100.0 * 1.7320508,
     );
@@ -102,7 +110,15 @@ fn gpu_histograms_agree_across_distance_functions() {
         "periodic",
         &|a, b| <PeriodicEuclidean as DistanceKernel<3>>::eval_host(&pe, a, b),
         &|dev| {
-            sdh_gpu_with(dev, &pts, pe, spec_p, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+            sdh_gpu_with(
+                dev,
+                &pts,
+                pe,
+                spec_p,
+                PairwisePlan::register_shm(64),
+                SdhOutputMode::Privatized,
+            )
+            .expect("launch")
         },
         100.0,
     );
@@ -111,7 +127,15 @@ fn gpu_histograms_agree_across_distance_functions() {
         "manhattan",
         &|a, b| <Manhattan as DistanceKernel<3>>::eval_host(&Manhattan, a, b),
         &|dev| {
-            sdh_gpu_with(dev, &pts, Manhattan, spec_m, PairwisePlan::register_shm(64), SdhOutputMode::Privatized)
+            sdh_gpu_with(
+                dev,
+                &pts,
+                Manhattan,
+                spec_m,
+                PairwisePlan::register_shm(64),
+                SdhOutputMode::Privatized,
+            )
+            .expect("launch")
         },
         300.0,
     );

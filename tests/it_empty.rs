@@ -1,0 +1,176 @@
+//! N = 0 is a documented no-op for every application and kernel variant:
+//! `num_blocks(0, B) == 0` lowers to an empty (`grid_dim == 0`) launch
+//! that executes nothing, touches no memory, and leaves every output
+//! zeroed. These tests pin that contract across the whole app surface —
+//! before the fix, `num_blocks` rounded 0 points up to one block and the
+//! stray block faulted or produced garbage depending on the kernel.
+
+use gpu_sim::config::ExecMode;
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{
+    distance_join_gpu, distance_join_two_gpu, gram_gpu, kde_gpu, knn_gpu, pcf_gpu, rdf_gpu,
+    sdh_gpu, sdh_multi_gpu, PairwisePlan, SdhOutputMode,
+};
+use tbs_core::analytic::profiles::InputPath;
+use tbs_core::distance::Euclidean;
+use tbs_core::histogram::HistogramSpec;
+use tbs_core::kernels::IntraMode;
+use tbs_core::point::SoaPoints;
+use tbs_datagen::{box_diagonal, uniform_points, DEFAULT_BOX};
+
+const ALL_INPUTS: [InputPath; 5] = [
+    InputPath::Naive,
+    InputPath::ShmShm,
+    InputPath::RegisterShm,
+    InputPath::RegisterRoc,
+    InputPath::Shuffle,
+];
+
+fn empty() -> SoaPoints<3> {
+    uniform_points::<3>(0, DEFAULT_BOX, 1)
+}
+
+fn spec() -> HistogramSpec {
+    HistogramSpec::new(64, box_diagonal(DEFAULT_BOX, 3))
+}
+
+#[test]
+fn empty_sdh_is_a_noop_for_every_variant_and_output_mode() {
+    let pts = empty();
+    for input in ALL_INPUTS {
+        for intra in [IntraMode::Regular, IntraMode::LoadBalanced] {
+            for output in [SdhOutputMode::Privatized, SdhOutputMode::GlobalAtomics] {
+                let mut dev = Device::new(DeviceConfig::titan_x());
+                let plan = PairwisePlan {
+                    input,
+                    intra,
+                    block_size: 64,
+                };
+                let got = sdh_gpu(&mut dev, &pts, spec(), plan, output)
+                    .unwrap_or_else(|e| panic!("{input:?}/{intra:?}/{output:?}: {e}"));
+                assert!(
+                    got.histogram.counts().iter().all(|&c| c == 0),
+                    "{input:?}/{intra:?}/{output:?} histogram not zeroed"
+                );
+                assert_eq!(
+                    got.pair_run.tally.blocks_executed, 0,
+                    "{input:?}/{intra:?}/{output:?} executed blocks"
+                );
+                assert_eq!(got.pair_run.timing.seconds, 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_sdh_is_a_noop_in_parallel_mode_too() {
+    let pts = empty();
+    let cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Parallel { threads: 3 });
+    let mut dev = Device::new(cfg);
+    let got = sdh_gpu(
+        &mut dev,
+        &pts,
+        spec(),
+        PairwisePlan::register_shm(64),
+        SdhOutputMode::Privatized,
+    )
+    .expect("launch");
+    assert!(got.histogram.counts().iter().all(|&c| c == 0));
+    assert_eq!(got.pair_run.tally.blocks_executed, 0);
+}
+
+#[test]
+fn empty_pcf_counts_zero_pairs() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = pcf_gpu(&mut dev, &empty(), 25.0, PairwisePlan::register_shm(64)).expect("launch");
+    assert_eq!(got.count, 0);
+    assert_eq!(got.run.tally.blocks_executed, 0);
+}
+
+#[test]
+fn empty_knn_returns_no_rows() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = knn_gpu::<3, 4>(&mut dev, &empty(), PairwisePlan::register_shm(64)).expect("launch");
+    assert!(got.neighbors.is_empty());
+    assert!(got.distances.is_empty());
+}
+
+#[test]
+fn empty_kde_returns_no_densities() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = kde_gpu(&mut dev, &empty(), 0.5, PairwisePlan::register_shm(64)).expect("launch");
+    assert!(got.densities.is_empty());
+}
+
+#[test]
+fn empty_gram_is_an_empty_matrix() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = gram_gpu(
+        &mut dev,
+        &empty(),
+        Euclidean,
+        PairwisePlan::register_shm(64),
+    )
+    .expect("launch");
+    assert_eq!(got.n, 0);
+    assert!(got.matrix.is_empty());
+}
+
+#[test]
+fn empty_join_matches_nothing() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = distance_join_gpu(
+        &mut dev,
+        &empty(),
+        10.0,
+        8,
+        true,
+        PairwisePlan::register_shm(64),
+    )
+    .expect("launch");
+    assert_eq!(got.total_matches, 0);
+    assert!(got.pairs.is_empty());
+}
+
+#[test]
+fn join_with_one_empty_side_matches_nothing() {
+    let pts = uniform_points::<3>(100, DEFAULT_BOX, 5);
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let got = distance_join_two_gpu(&mut dev, &pts, &empty(), 50.0, 8, false, 64).expect("launch");
+    assert_eq!(got.total_matches, 0);
+    let mut dev2 = Device::new(DeviceConfig::titan_x());
+    let got2 =
+        distance_join_two_gpu(&mut dev2, &empty(), &pts, 50.0, 8, false, 64).expect("launch");
+    assert_eq!(got2.total_matches, 0);
+}
+
+#[test]
+fn empty_rdf_is_all_zero() {
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let (rdf, sdh) = rdf_gpu(
+        &mut dev,
+        &empty(),
+        spec(),
+        DEFAULT_BOX,
+        PairwisePlan::register_shm(64),
+    )
+    .expect("launch");
+    assert!(sdh.histogram.counts().iter().all(|&c| c == 0));
+    assert!(
+        rdf.g.iter().all(|&g| g == 0.0),
+        "g(r) must be identically zero"
+    );
+}
+
+#[test]
+fn empty_multi_gpu_sdh_merges_to_zero() {
+    let got = sdh_multi_gpu(
+        &empty(),
+        spec(),
+        PairwisePlan::register_shm(64),
+        3,
+        &DeviceConfig::titan_x(),
+    )
+    .expect("launch");
+    assert!(got.histogram.counts().iter().all(|&c| c == 0));
+}

@@ -27,7 +27,9 @@ impl Kernel for OobKernel {
 fn out_of_bounds_surfaces_as_error_with_context() {
     let mut dev = Device::new(DeviceConfig::titan_x());
     let buf = dev.alloc_f32(vec![0.0; 16]);
-    let err = dev.try_launch(&OobKernel { buf }, LaunchConfig::new(4, 64)).unwrap_err();
+    let err = dev
+        .try_launch(&OobKernel { buf }, LaunchConfig::new(4, 64))
+        .unwrap_err();
     match err {
         SimError::OutOfBounds { what, index, len } => {
             assert!(what.contains("global"));
@@ -65,7 +67,9 @@ impl Kernel for ShmOob {
 #[test]
 fn shared_out_of_bounds_is_caught() {
     let mut dev = Device::new(DeviceConfig::titan_x());
-    let err = dev.try_launch(&ShmOob, LaunchConfig::new(1, 32)).unwrap_err();
+    let err = dev
+        .try_launch(&ShmOob, LaunchConfig::new(1, 32))
+        .unwrap_err();
     assert!(matches!(err, SimError::OutOfBounds { .. }));
 }
 
@@ -86,7 +90,9 @@ impl Kernel for ShmHog {
 #[test]
 fn shared_overflow_is_caught_at_allocation() {
     let mut dev = Device::new(DeviceConfig::titan_x());
-    let err = dev.try_launch(&ShmHog, LaunchConfig::new(1, 32)).unwrap_err();
+    let err = dev
+        .try_launch(&ShmHog, LaunchConfig::new(1, 32))
+        .unwrap_err();
     assert!(matches!(err, SimError::SharedMemOverflow { .. }), "{err:?}");
 }
 
@@ -105,8 +111,14 @@ fn invalid_launches_are_rejected_before_execution() {
         }
     }
     let mut dev = Device::new(DeviceConfig::titan_x());
+    // An empty grid is a valid no-op launch — Noop panics if any block
+    // actually executes, so success here proves nothing ran.
+    let run = dev
+        .try_launch(&Noop, LaunchConfig::new(0, 32))
+        .expect("empty launch is a no-op");
+    assert_eq!(run.tally.blocks_executed, 0);
     assert!(matches!(
-        dev.try_launch(&Noop, LaunchConfig::new(0, 32)),
+        dev.try_launch(&Noop, LaunchConfig::new(1, 0)),
         Err(SimError::InvalidLaunch { .. })
     ));
     assert!(matches!(

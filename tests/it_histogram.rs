@@ -1,0 +1,55 @@
+//! Histogram edge-case behavior through a real warp context: the
+//! device-side bucket computation must follow the CUDA
+//! `__float2uint_rz` convention for exceptional lanes (NaN and negative
+//! values saturate to 0, +inf clamps into the last bucket), because
+//! that is what the hardware the simulator models would do.
+
+use gpu_sim::prelude::*;
+use tbs_core::histogram::HistogramSpec;
+
+/// Writes `bucket_lanes(d)` for one warp of probe distances.
+struct BucketProbe {
+    spec: HistogramSpec,
+    dist: BufF32,
+    out: BufU32,
+}
+
+impl Kernel for BucketProbe {
+    fn name(&self) -> &'static str {
+        "bucket-probe"
+    }
+    fn resources(&self) -> KernelResources {
+        KernelResources::new(8, 0)
+    }
+    fn run_block(&self, blk: &mut BlockCtx<'_>) {
+        let (spec, dist, out) = (self.spec, self.dist, self.out);
+        blk.for_each_warp(|w| {
+            let tid = w.thread_ids();
+            let d = w.global_load_f32(dist, &tid, Mask::FULL);
+            let b = spec.bucket_lanes(w, &d, Mask::FULL);
+            w.global_store_u32(out, &tid, &b, Mask::FULL);
+        });
+    }
+}
+
+#[test]
+fn nan_lanes_follow_device_convention() {
+    let spec = HistogramSpec::new(10, 10.0);
+    let mut probes = vec![0.5f32; 32];
+    probes[3] = f32::NAN;
+    probes[7] = -4.0;
+    probes[11] = f32::INFINITY;
+    probes[15] = 9.99;
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let dist = dev.alloc_f32(probes);
+    let out = dev.alloc_u32(vec![u32::MAX; 32]);
+    let k = BucketProbe { spec, dist, out };
+    dev.try_launch(&k, LaunchConfig::new(1, 32))
+        .expect("launch");
+    let got = dev.u32_slice(out);
+    assert_eq!(got[3], 0, "NaN lane must saturate to bucket 0");
+    assert_eq!(got[7], 0, "negative lane must saturate to bucket 0");
+    assert_eq!(got[11], 9, "+inf lane must clamp into the last bucket");
+    assert_eq!(got[15], 9, "near-edge lane bins normally");
+    assert_eq!(got[0], 0, "ordinary lane bins normally");
+}

@@ -6,7 +6,7 @@
 use gpu_sim::{Device, DeviceConfig};
 use tbs_apps::{launch_pairwise, PairwisePlan};
 use tbs_core::analytic::InputPath;
-use tbs_core::kernels::{pair_launch, IntraMode, PairScope};
+use tbs_core::kernels::{IntraMode, PairScope};
 use tbs_core::output::PairListAction;
 use tbs_core::{Euclidean, SoaPoints};
 use tbs_integration::lcg_points;
@@ -33,8 +33,12 @@ fn collect_pairs(
         capacity: cap,
         aggregated: false,
     };
-    let plan = PairwisePlan { input, intra, block_size: block };
-    launch_pairwise(&mut dev, d_input, Euclidean, action, plan, scope);
+    let plan = PairwisePlan {
+        input,
+        intra,
+        block_size: block,
+    };
+    launch_pairwise(&mut dev, d_input, Euclidean, action, plan, scope).expect("launch");
     let total = dev.u32_slice(cursor)[0] as usize;
     let lhs = dev.u32_slice(out_left);
     let rhs = dev.u32_slice(out_right);

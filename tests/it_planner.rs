@@ -36,7 +36,7 @@ fn chosen_plan_executes_and_matches_reference() {
         intra: plan.spec.intra,
         block_size: plan.block_size.min(n),
     };
-    let got = sdh_gpu(&mut dev, &pts, spec, pairwise, output);
+    let got = sdh_gpu(&mut dev, &pts, spec, pairwise, output).expect("launch");
     assert_eq!(got.histogram, sdh_reference(&pts, spec));
 }
 
@@ -51,9 +51,9 @@ fn predicted_ranking_matches_functional_ranking_for_output_modes() {
     let spec = HistogramSpec::new(buckets, box_diagonal(DEFAULT_BOX, 3));
     let plan = PairwisePlan::register_shm(128);
     let mut d1 = Device::new(DeviceConfig::titan_x());
-    let privatized = sdh_gpu(&mut d1, &pts, spec, plan, SdhOutputMode::Privatized);
+    let privatized = sdh_gpu(&mut d1, &pts, spec, plan, SdhOutputMode::Privatized).expect("launch");
     let mut d2 = Device::new(DeviceConfig::titan_x());
-    let global = sdh_gpu(&mut d2, &pts, spec, plan, SdhOutputMode::GlobalAtomics);
+    let global = sdh_gpu(&mut d2, &pts, spec, plan, SdhOutputMode::GlobalAtomics).expect("launch");
     assert_eq!(privatized.histogram, global.histogram);
     assert!(
         global.total_seconds() > privatized.total_seconds(),

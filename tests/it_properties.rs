@@ -1,5 +1,6 @@
 //! Property-based cross-crate invariants.
 
+use gpu_sim::config::ExecMode;
 use gpu_sim::{Device, DeviceConfig};
 use proptest::prelude::*;
 use tbs_apps::{sdh_gpu, PairwisePlan, SdhOutputMode};
@@ -36,7 +37,7 @@ proptest! {
         let mut dev = Device::new(DeviceConfig::titan_x());
         let intra = if lb { IntraMode::LoadBalanced } else { IntraMode::Regular };
         let plan = PairwisePlan { input, intra, block_size: 64 };
-        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized);
+        let got = sdh_gpu(&mut dev, &pts, spec, plan, SdhOutputMode::Privatized).expect("launch");
         prop_assert_eq!(got.histogram.total(), (n * (n - 1) / 2) as u64);
     }
 
@@ -65,6 +66,73 @@ proptest! {
             &measured.tally,
             &predicted,
         );
+    }
+
+    /// The parallel block-execution engine is bit-identical to the
+    /// sequential reference: same histogram, same count, and the same
+    /// instrumented tally (sector traffic, atomic serialization, replay
+    /// counts) for every kernel variant × output mode over random
+    /// problem and block sizes.
+    #[test]
+    fn parallel_engine_matches_sequential_bit_for_bit(
+        input in input_strategy(),
+        n in 0usize..500,
+        block in prop::sample::select(vec![32u32, 64, 96, 128]),
+        buckets in 2u32..300,
+        threads in 2usize..6,
+        privatized in any::<bool>(),
+        lb in any::<bool>(),
+    ) {
+        let pts = lcg_points(n, 47);
+        let spec = HistogramSpec::new(buckets, 100.0 * 1.7320508);
+        let intra = if lb { IntraMode::LoadBalanced } else { IntraMode::Regular };
+        let plan = PairwisePlan { input, intra, block_size: block };
+        let output = if privatized {
+            SdhOutputMode::Privatized
+        } else {
+            SdhOutputMode::GlobalAtomics
+        };
+
+        let mut seq_dev = Device::new(
+            DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential),
+        );
+        let seq = sdh_gpu(&mut seq_dev, &pts, spec, plan, output).expect("sequential");
+
+        let mut par_dev = Device::new(
+            DeviceConfig::titan_x().with_exec_mode(ExecMode::Parallel { threads }),
+        );
+        let par = sdh_gpu(&mut par_dev, &pts, spec, plan, output).expect("parallel");
+
+        prop_assert_eq!(&seq.histogram, &par.histogram);
+        prop_assert_eq!(&seq.pair_run.tally, &par.pair_run.tally);
+        prop_assert_eq!(seq.pair_run.timing.seconds, par.pair_run.timing.seconds);
+        prop_assert_eq!(
+            seq.reduce_run.as_ref().map(|r| &r.tally),
+            par.reduce_run.as_ref().map(|r| &r.tally)
+        );
+    }
+
+    /// Type-I (scalar count) outputs are likewise identical across
+    /// execution modes.
+    #[test]
+    fn parallel_pcf_matches_sequential(
+        input in input_strategy(),
+        n in 0usize..400,
+        radius in 5.0f32..120.0,
+        threads in 2usize..5,
+    ) {
+        let pts = lcg_points(n, 53);
+        let plan = PairwisePlan { input, intra: IntraMode::Regular, block_size: 64 };
+        let mut seq_dev = Device::new(
+            DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential),
+        );
+        let seq = tbs_apps::pcf_gpu(&mut seq_dev, &pts, radius, plan).expect("sequential");
+        let mut par_dev = Device::new(
+            DeviceConfig::titan_x().with_exec_mode(ExecMode::Parallel { threads }),
+        );
+        let par = tbs_apps::pcf_gpu(&mut par_dev, &pts, radius, plan).expect("parallel");
+        prop_assert_eq!(seq.count, par.count);
+        prop_assert_eq!(&seq.run.tally, &par.run.tally);
     }
 
     /// Predicted time is monotone in N for a fixed kernel.

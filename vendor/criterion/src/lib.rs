@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crates.io mirror, so this crate
+//! vendors the subset of criterion's API the workspace's benches use
+//! and backs it with a simple but honest wall-clock harness:
+//!
+//! * warm-up iterations, then `sample_size` timed samples per bench;
+//! * median / min / max per-iteration time, plus elements-per-second
+//!   when a [`Throughput`] was declared;
+//! * `--test` (as passed by `cargo test` to `harness = false` targets)
+//!   and `--quick` run every bench body exactly once and skip timing;
+//! * a positional substring filter, like `cargo bench -- <filter>`.
+//!
+//! There are no plots, no saved baselines and no statistical regression
+//! tests — results print to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark body repeatedly under timing.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called once per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed call (fills caches, faults pages).
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        *self.result = Some(Sample {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+        });
+    }
+}
+
+/// Entry point; create via `Criterion::default()`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => test_mode = true,
+                // Flags cargo's test/bench front-ends pass through that
+                // have no analogue here are ignored.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id, |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher<'_>)) {
+        let full_id = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        if self.criterion.test_mode {
+            let mut result = None;
+            let mut b = Bencher {
+                samples: 0,
+                test_mode: true,
+                result: &mut result,
+            };
+            f(&mut b);
+            println!("{full_id}: ok (test mode)");
+            return;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: false,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some(s) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!(
+                            "  {:>12.3} Melem/s",
+                            n as f64 / s.median.as_secs_f64() / 1e6
+                        )
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!(
+                            "  {:>12.3} MiB/s",
+                            n as f64 / s.median.as_secs_f64() / (1 << 20) as f64
+                        )
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{full_id:<48} median {:>12?}  (min {:>12?}, max {:>12?}){rate}",
+                    s.median, s.min, s.max
+                );
+            }
+            None => println!("{full_id}: no measurement (b.iter was not called)"),
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(5);
+        let mut ran = 0u32;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        g.finish();
+        // 5 samples + 1 warm-up.
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("demo");
+        let mut ran = false;
+        g.bench_function("spin", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0u32;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 42).id, "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to a crates.io mirror, so the
+//! workspace vendors the *subset* of the `rand 0.9` API it actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::random_range`] over half-open ranges.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+//! 64-bit state avalanched through two xor-shift-multiply rounds per
+//! output. It passes BigCrush when used as a stream and is more than
+//! adequate for seeded test-data generation. It is **not** a
+//! cryptographic RNG and does **not** reproduce upstream `StdRng`
+//! streams — callers in this workspace only rely on same-seed
+//! determinism, not on specific values.
+
+use std::ops::Range;
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        // High half: SplitMix64's upper bits are the best-avalanched.
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open, like upstream).
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(&range, self)
+    }
+
+    /// Sample a value of type `T` from its full domain.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore>(range: &Range<Self>, rng: &mut R) -> Self;
+}
+
+/// Types samplable from their "natural" full distribution.
+pub trait Standard: Sized {
+    fn standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(range: &Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Lemire-style widening multiply keeps modulo bias below
+                // 2^-64 for every span this workspace uses.
+                let x = rng.next_u64() as u128;
+                let off = ((x * span) >> 64) as i128;
+                (range.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(range: &Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 24 mantissa bits → uniform in [0, 1) without rounding to 1.0.
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = range.start + (range.end - range.start) * unit;
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(range: &Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + (range.end - range.start) * unit;
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0.0f32..1.0), b.random_range(0.0f32..1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..8).map(|_| a.random_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.random_range(0u32..1000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_is_half_open_and_covers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for _ in 0..10_000 {
+            let v = rng.random_range(0.0f32..100.0);
+            assert!((0.0..100.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 5.0, "low tail unexplored: {lo}");
+        assert!(hi > 95.0, "high tail unexplored: {hi}");
+    }
+
+    #[test]
+    fn int_range_hits_all_small_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
