@@ -1,0 +1,37 @@
+//! Interpreter hot-path throughput: the vectorized fast paths against
+//! the retained `scalar_reference` implementation on a small fig2-style
+//! 2-PCF workload. Guards the speedup measured by the
+//! `hotpath_baseline` bin against bitrot; run it with
+//! `cargo bench -p tbs-bench --bench hotpath`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::config::ExecMode;
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{pcf_gpu, PairwisePlan};
+use tbs_datagen::uniform_points;
+
+fn bench_hotpath(c: &mut Criterion) {
+    let n = 4096usize;
+    let pts = uniform_points::<3>(n, 100.0, 11);
+    let pairs = (n * (n - 1) / 2) as u64;
+    let mut g = c.benchmark_group("sim_hotpath");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    for (name, scalar) in [("vectorized", false), ("scalar_reference", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scalar, |b, &s| {
+            b.iter(|| {
+                let cfg = DeviceConfig::titan_x()
+                    .with_exec_mode(ExecMode::Sequential)
+                    .with_scalar_reference(s);
+                let mut dev = Device::new(cfg);
+                pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(1024))
+                    .expect("launch")
+                    .count
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -173,6 +173,13 @@ pub struct DeviceConfig {
     /// Purely a host-performance knob: results are bit-identical across
     /// modes.
     pub exec_mode: ExecMode,
+    /// Route the interpreter through the retained scalar reference
+    /// implementations (per-lane ALU loops, map+deque caches, nested-scan
+    /// bank-conflict counting) instead of the vectorized fast paths.
+    /// Results are bit-identical either way — this knob exists for
+    /// differential testing and before/after host-performance
+    /// measurement, never for accuracy.
+    pub scalar_reference: bool,
 }
 
 impl DeviceConfig {
@@ -221,6 +228,7 @@ impl DeviceConfig {
             sync_cycles: 24.0,
             divergence_penalty_cycles: 10.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
+            scalar_reference: false,
         }
     }
 
@@ -269,6 +277,7 @@ impl DeviceConfig {
             sync_cycles: 30.0,
             divergence_penalty_cycles: 14.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
+            scalar_reference: false,
         }
     }
 
@@ -317,12 +326,21 @@ impl DeviceConfig {
             sync_cycles: 40.0,
             divergence_penalty_cycles: 16.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
+            scalar_reference: false,
         }
     }
 
     /// Builder-style override of the block-scheduling mode.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// Builder-style toggle of the scalar reference interpreter (see the
+    /// [`DeviceConfig::scalar_reference`] field). Host-speed knob only;
+    /// simulation results never change.
+    pub fn with_scalar_reference(mut self, on: bool) -> Self {
+        self.scalar_reference = on;
         self
     }
 

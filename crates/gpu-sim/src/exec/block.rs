@@ -76,10 +76,17 @@ impl<'a> BlockCtx<'a> {
         grid_dim: u32,
         block_dim: u32,
     ) -> Self {
+        let roc = if cfg.scalar_reference {
+            RocCache::new_reference(cfg.roc_sectors())
+        } else {
+            RocCache::new(cfg.roc_sectors())
+        };
+        let mut shared = SharedSpace::new(cfg.shared_banks);
+        shared.set_scalar_reference(cfg.scalar_reference);
         BlockCtx {
             port,
-            roc: RocCache::new(cfg.roc_sectors()),
-            shared: SharedSpace::new(cfg.shared_banks),
+            roc,
+            shared,
             tally: AccessTally::new(),
             cfg,
             fault: None,
@@ -280,6 +287,24 @@ impl<'a> BlockCtx<'a> {
                 }
             }
             GlobalPort::Speculative { rec, .. } => rec.trace.push(sector),
+        }
+    }
+
+    /// Route `count` consecutive sectors starting at `base` — the
+    /// coalesced fast path's arithmetic sector set. Access order (and so
+    /// every hit/miss decision) is identical to calling [`Self::l2_access`]
+    /// on each sector in ascending order.
+    pub(crate) fn l2_access_run(&mut self, base: u64, count: u32) {
+        match &mut self.port {
+            GlobalPort::Direct { l2, .. } => {
+                let mut hits = 0u64;
+                for k in 0..count as u64 {
+                    hits += l2.access(base + k) as u64;
+                }
+                self.tally.l2_hit_sectors += hits;
+                self.tally.dram_sectors += count as u64 - hits;
+            }
+            GlobalPort::Speculative { rec, .. } => rec.trace.push_run(base, count),
         }
     }
 

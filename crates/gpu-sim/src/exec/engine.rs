@@ -91,7 +91,11 @@ fn run_sequential<K: Kernel + ?Sized>(
     lc: LaunchConfig,
     res: KernelResources,
 ) -> Result<AccessTally, SimError> {
-    let mut l2 = L2Cache::new(cfg.l2_sectors());
+    let mut l2 = if cfg.scalar_reference {
+        L2Cache::new_reference(cfg.l2_sectors())
+    } else {
+        L2Cache::new(cfg.l2_sectors())
+    };
     let mut total = AccessTally::new();
     for b in 0..lc.grid_dim {
         let outcome = run_block_direct(global, &mut l2, cfg, kernel, b, lc);
@@ -110,7 +114,11 @@ fn run_parallel<K: Kernel + ?Sized>(
     res: KernelResources,
     threads: usize,
 ) -> Result<AccessTally, SimError> {
-    let mut l2 = L2Cache::new(cfg.l2_sectors());
+    let mut l2 = if cfg.scalar_reference {
+        L2Cache::new_reference(cfg.l2_sectors())
+    } else {
+        L2Cache::new(cfg.l2_sectors())
+    };
     let mut total = AccessTally::new();
     let window = (threads * WINDOW_BLOCKS_PER_THREAD) as u32;
     let mut committed = 0u32;

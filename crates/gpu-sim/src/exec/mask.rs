@@ -16,6 +16,7 @@ impl Mask {
     pub const NONE: Mask = Mask(0);
 
     /// Mask with the first `n` lanes active (clamped to 32).
+    #[inline]
     pub fn first_n(n: u32) -> Mask {
         if n >= WARP_SIZE as u32 {
             Mask::FULL
@@ -25,12 +26,11 @@ impl Mask {
     }
 
     /// Mask from a per-lane predicate.
+    #[inline]
     pub fn from_fn(mut pred: impl FnMut(usize) -> bool) -> Mask {
         let mut bits = 0u32;
         for lane in 0..WARP_SIZE {
-            if pred(lane) {
-                bits |= 1 << lane;
-            }
+            bits |= (pred(lane) as u32) << lane;
         }
         Mask(bits)
     }
@@ -60,6 +60,14 @@ impl Mask {
         self.0 == u32::MAX
     }
 
+    /// Is this a contiguous prefix of lanes (`first_n(count())`)?
+    /// Trivially true for [`Mask::FULL`] and [`Mask::NONE`] — the shape
+    /// the memory fast paths exploit (unit-stride ragged-warp accesses).
+    #[inline]
+    pub fn is_prefix(&self) -> bool {
+        self.0 & self.0.wrapping_add(1) == 0
+    }
+
     /// Intersection of two masks.
     #[inline]
     pub fn and(&self, o: Mask) -> Mask {
@@ -78,11 +86,41 @@ impl Mask {
         Mask(self.0 & !o.0)
     }
 
-    /// Iterate indices of active lanes.
-    pub fn lanes(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..WARP_SIZE).filter(move |&i| self.lane(i))
+    /// Iterate indices of active lanes, ascending. Driven by
+    /// `trailing_zeros` so the cost is one bit-trick per *active* lane,
+    /// not one test per possible lane.
+    #[inline]
+    pub fn lanes(&self) -> Lanes {
+        Lanes(self.0)
     }
 }
+
+/// Iterator over the active lane indices of a [`Mask`], ascending.
+#[derive(Debug, Clone)]
+pub struct Lanes(u32);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lanes {}
+impl std::iter::FusedIterator for Lanes {}
 
 #[cfg(test)]
 mod tests {
@@ -104,6 +142,37 @@ mod tests {
         let lanes: Vec<usize> = m.lanes().collect();
         assert_eq!(lanes, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30]);
         assert_eq!(m.count() as usize, lanes.len());
+    }
+
+    #[test]
+    fn lanes_iterator_matches_bit_test_for_all_patterns() {
+        // Exhaustive-ish: every byte pattern in every byte position, plus
+        // edge masks.
+        let mut cases: Vec<u32> = vec![0, u32::MAX, 1, 1 << 31, 0xAAAA_AAAA, 0x5555_5555];
+        for b in 0..=255u32 {
+            for shift in [0, 8, 16, 24] {
+                cases.push(b << shift);
+            }
+        }
+        for bits in cases {
+            let m = Mask(bits);
+            let fast: Vec<usize> = m.lanes().collect();
+            let slow: Vec<usize> = (0..WARP_SIZE).filter(|&i| m.lane(i)).collect();
+            assert_eq!(fast, slow, "bits {bits:#x}");
+            assert_eq!(m.lanes().len(), m.count() as usize);
+        }
+    }
+
+    #[test]
+    fn prefix_detection() {
+        assert!(Mask::NONE.is_prefix());
+        assert!(Mask::FULL.is_prefix());
+        for n in 0..=32 {
+            assert!(Mask::first_n(n).is_prefix());
+        }
+        assert!(!Mask(0b10).is_prefix());
+        assert!(!Mask(0b101).is_prefix());
+        assert!(!Mask(1 << 31).is_prefix());
     }
 
     #[test]

@@ -27,7 +27,142 @@ use crate::error::SimError;
 use crate::exec::block::BlockCtx;
 use crate::exec::mask::Mask;
 use crate::mem::{self, BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
+use crate::tally::AccessTally;
 use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
+
+/// One batched tally charge: `n` warp instructions under `active` lanes.
+/// All three per-instruction counters update in a single pass so every
+/// `charge*` entry point shares one code path and counts lanes once.
+#[inline]
+fn charge_lanes(t: &mut AccessTally, n: u64, active: u64) {
+    t.warp_instructions += n;
+    t.useful_lane_ops += n * active;
+    t.predicated_lane_slots += n * (WARP_SIZE as u64 - active);
+}
+
+/// Zero the inactive lanes of a full-width `f32` result. Branch-free
+/// (bitwise and with an all-ones/all-zeros lane mask) so the surrounding
+/// full-width op loops stay auto-vectorizable.
+#[inline]
+fn blend_f32(v: &mut F32x32, mask: Mask) {
+    if mask.all() {
+        return;
+    }
+    for (i, x) in v.iter_mut().enumerate() {
+        let keep = 0u32.wrapping_sub(mask.lane(i) as u32);
+        *x = f32::from_bits(x.to_bits() & keep);
+    }
+}
+
+/// Zero the inactive lanes of a full-width `u32` result.
+#[inline]
+fn blend_u32(v: &mut U32x32, mask: Mask) {
+    if mask.all() {
+        return;
+    }
+    for (i, x) in v.iter_mut().enumerate() {
+        *x &= 0u32.wrapping_sub(mask.lane(i) as u32);
+    }
+}
+
+/// Shape of one warp's gather/scatter index pattern, detected once per
+/// memory instruction and reused for bounds checks, sector-set
+/// computation, and value movement. The fast shapes only arise under
+/// prefix masks (`Mask::is_prefix`), where the active lanes are exactly
+/// `0..n` and the active indices are exactly `idx[..n]`.
+/// (The variant size gap is deliberate: the enum lives on the stack for
+/// one instruction and is never stored.)
+#[allow(clippy::large_enum_variant)]
+enum GatherShape {
+    /// Active lanes access consecutive elements `idx[0] .. idx[0]+n`.
+    UnitStride { first: u32, n: u32 },
+    /// All active lanes access the same element `idx[0]`.
+    Broadcast { idx: u32 },
+    /// Arbitrary pattern: compacted per-lane byte addresses.
+    Gather { addrs: [u64; WARP_SIZE], n: usize },
+}
+
+/// Shape of one warp's shared-memory index pattern (same detection as
+/// [`GatherShape`], but indices stay element-granular because the bank
+/// rule works on words, handled by `SharedSpace::transactions_for`).
+enum ShmShape {
+    /// Prefix mask, all active lanes read element `idx[0]`.
+    Broadcast { n: usize },
+    /// Prefix mask, active lanes read `idx[0] .. idx[0]+n`.
+    UnitStride { n: usize },
+    /// Prefix mask, arbitrary indices — active indices are `idx[..n]`.
+    Prefix { n: usize },
+    /// Non-prefix mask (or scalar-reference mode): compacted indices.
+    Packed { idxs: [u32; WARP_SIZE], n: usize },
+}
+
+impl ShmShape {
+    /// The active index slice this shape describes.
+    #[inline]
+    fn idxs<'s>(&'s self, idx: &'s U32x32) -> &'s [u32] {
+        match self {
+            ShmShape::Broadcast { n } | ShmShape::UnitStride { n } | ShmShape::Prefix { n } => {
+                &idx[..*n]
+            }
+            ShmShape::Packed { idxs, n } => &idxs[..*n],
+        }
+    }
+}
+
+/// Move loaded values into lane positions according to the access shape.
+/// Identical to the per-lane `from_fn` gather for every shape.
+#[inline]
+fn gather_values<T: Copy + Default>(
+    data: &[T],
+    idx: &U32x32,
+    mask: Mask,
+    shape: &GatherShape,
+) -> [T; WARP_SIZE] {
+    let mut out = [T::default(); WARP_SIZE];
+    match *shape {
+        GatherShape::Broadcast { idx: e } => {
+            out[..mask.count() as usize].fill(data[e as usize]);
+        }
+        GatherShape::UnitStride { first, n } => {
+            let first = first as usize;
+            out[..n as usize].copy_from_slice(&data[first..first + n as usize]);
+        }
+        GatherShape::Gather { .. } => {
+            for (i, o) in out.iter_mut().enumerate() {
+                if mask.lane(i) {
+                    *o = data[idx[i] as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Move shared-memory loads into lane positions according to shape.
+#[inline]
+fn shm_gather_values<T: Copy + Default>(
+    data: &[T],
+    idx: &U32x32,
+    mask: Mask,
+    shape: &ShmShape,
+) -> [T; WARP_SIZE] {
+    let mut out = [T::default(); WARP_SIZE];
+    match *shape {
+        ShmShape::Broadcast { n } => out[..n].fill(data[idx[0] as usize]),
+        ShmShape::UnitStride { n } => {
+            let first = idx[0] as usize;
+            out[..n].copy_from_slice(&data[first..first + n]);
+        }
+        _ => {
+            for (i, o) in out.iter_mut().enumerate() {
+                if mask.lane(i) {
+                    *o = data[idx[i] as usize];
+                }
+            }
+        }
+    }
+    out
+}
 
 /// Execution context of one warp within a block phase.
 pub struct WarpCtx<'b, 'a> {
@@ -91,10 +226,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     #[inline]
     fn charge(&mut self, mask: Mask) {
-        let t = &mut self.blk.tally;
-        t.warp_instructions += 1;
-        t.useful_lane_ops += mask.count() as u64;
-        t.predicated_lane_slots += (WARP_SIZE as u32 - mask.count()) as u64;
+        charge_lanes(&mut self.blk.tally, 1, mask.count() as u64);
+    }
+
+    /// True when the device routes through the retained scalar reference
+    /// implementations instead of the vectorized fast paths.
+    #[inline]
+    fn scalar_ref(&self) -> bool {
+        self.blk.cfg.scalar_reference
     }
 
     /// Charge `n` arithmetic warp instructions executed under `mask`.
@@ -102,19 +241,15 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// function) so the simulated cost matches the work.
     pub fn charge_alu(&mut self, n: u64, mask: Mask) {
         let t = &mut self.blk.tally;
-        t.warp_instructions += n;
+        charge_lanes(t, n, mask.count() as u64);
         t.alu_instructions += n;
-        t.useful_lane_ops += n * mask.count() as u64;
-        t.predicated_lane_slots += n * (WARP_SIZE as u32 - mask.count()) as u64;
     }
 
     /// Charge `n` control-flow warp instructions (loop tests, branches).
     pub fn charge_control(&mut self, n: u64, mask: Mask) {
         let t = &mut self.blk.tally;
-        t.warp_instructions += n;
+        charge_lanes(t, n, mask.count() as u64);
         t.control_instructions += n;
-        t.useful_lane_ops += n * mask.count() as u64;
-        t.predicated_lane_slots += n * (WARP_SIZE as u32 - mask.count()) as u64;
     }
 
     // ---------------------------------------------------------------
@@ -124,74 +259,165 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Lane-wise `a - b`.
     pub fn sub_f32x(&mut self, a: &F32x32, b: &F32x32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i] - b[i] } else { 0.0 })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| if mask.lane(i) { a[i] - b[i] } else { 0.0 });
+        }
+        let mut out = [0.0f32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i] - b[i];
+        }
+        blend_f32(&mut out, mask);
+        out
     }
 
     /// Lane-wise `a + b`.
     pub fn add_f32x(&mut self, a: &F32x32, b: &F32x32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i] + b[i] } else { 0.0 })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| if mask.lane(i) { a[i] + b[i] } else { 0.0 });
+        }
+        let mut out = [0.0f32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i] + b[i];
+        }
+        blend_f32(&mut out, mask);
+        out
     }
 
     /// Lane-wise fused multiply-add `a * b + c`.
     pub fn fma_f32x(&mut self, a: &F32x32, b: &F32x32, c: &F32x32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                a[i].mul_add(b[i], c[i])
-            } else {
-                0.0
-            }
-        })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| {
+                if mask.lane(i) {
+                    a[i].mul_add(b[i], c[i])
+                } else {
+                    0.0
+                }
+            });
+        }
+        let mut out = [0.0f32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i].mul_add(b[i], c[i]);
+        }
+        blend_f32(&mut out, mask);
+        out
     }
 
     /// Vector × scalar.
     pub fn mul_f32(&mut self, a: &F32x32, s: f32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i] * s } else { 0.0 })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| if mask.lane(i) { a[i] * s } else { 0.0 });
+        }
+        let mut out = [0.0f32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i] * s;
+        }
+        blend_f32(&mut out, mask);
+        out
     }
 
     /// Lane-wise square root (one SFU instruction).
     pub fn sqrt_f32x(&mut self, a: &F32x32, mask: Mask) -> F32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i].sqrt() } else { 0.0 })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| if mask.lane(i) { a[i].sqrt() } else { 0.0 });
+        }
+        let mut out = [0.0f32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i].sqrt();
+        }
+        blend_f32(&mut out, mask);
+        out
     }
 
     /// Lane-wise `a < s` comparison producing a mask.
     pub fn lt_f32(&mut self, a: &F32x32, s: f32, mask: Mask) -> Mask {
         self.charge_alu(1, mask);
-        Mask::from_fn(|i| mask.lane(i) && a[i] < s)
+        if self.scalar_ref() {
+            return Mask::from_fn(|i| mask.lane(i) && a[i] < s);
+        }
+        let mut bits = 0u32;
+        for (i, &x) in a.iter().enumerate() {
+            bits |= ((x < s) as u32) << i;
+        }
+        Mask(bits & mask.0)
     }
 
     /// Lane-wise u32 add with scalar.
     pub fn add_u32(&mut self, a: &U32x32, s: u32, mask: Mask) -> U32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                a[i].wrapping_add(s)
-            } else {
-                0
-            }
-        })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| {
+                if mask.lane(i) {
+                    a[i].wrapping_add(s)
+                } else {
+                    0
+                }
+            });
+        }
+        let mut out = [0u32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i].wrapping_add(s);
+        }
+        blend_u32(&mut out, mask);
+        out
     }
 
     /// Lane-wise `a mod m` (m > 0).
     pub fn mod_u32(&mut self, a: &U32x32, m: u32, mask: Mask) -> U32x32 {
         self.charge_alu(1, mask);
-        std::array::from_fn(|i| if mask.lane(i) { a[i] % m } else { 0 })
+        if self.scalar_ref() {
+            return std::array::from_fn(|i| if mask.lane(i) { a[i] % m } else { 0 });
+        }
+        let mut out = [0u32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            out[i] = a[i] % m;
+        }
+        blend_u32(&mut out, mask);
+        out
     }
 
     // ---------------------------------------------------------------
     // global memory
     // ---------------------------------------------------------------
 
-    fn gather_addrs<const EL: u64>(
+    /// Bounds-check a warp gather and classify its index pattern.
+    ///
+    /// Fault behavior is exactly the scalar loop's: the first active lane
+    /// whose index fails the check is reported. The fast shapes make that
+    /// cheap — a broadcast's lanes share one index, and a unit-stride
+    /// pattern's indices ascend, so its *last* lane's check covers all of
+    /// them (on failure we fall back to the scalar loop, which blames the
+    /// first offending lane).
+    fn gather_shape<const EL: u64>(
         &mut self,
         base: u64,
         len_check: impl Fn(&BlockCtx<'_>, u32) -> Result<(), SimError>,
         idx: &U32x32,
         mask: Mask,
-    ) -> Option<([u64; WARP_SIZE], usize)> {
+    ) -> Option<GatherShape> {
+        if !self.scalar_ref() && mask.is_prefix() {
+            let n = mask.count() as usize;
+            let first = idx[0];
+            let lanes = &idx[..n];
+            if lanes.iter().all(|&v| v == first) {
+                if let Err(e) = len_check(self.blk, first) {
+                    self.blk.record_fault(e);
+                    return None;
+                }
+                return Some(GatherShape::Broadcast { idx: first });
+            }
+            if lanes
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+                && len_check(self.blk, idx[n - 1]).is_ok()
+            {
+                return Some(GatherShape::UnitStride { first, n: n as u32 });
+            }
+        }
         let mut addrs = [0u64; WARP_SIZE];
         let mut n = 0usize;
         for lane in mask.lanes() {
@@ -202,20 +428,79 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             addrs[n] = base + idx[lane] as u64 * EL;
             n += 1;
         }
-        Some((addrs, n))
+        Some(GatherShape::Gather { addrs, n })
     }
 
-    fn global_path_sectors(&mut self, addrs: &[u64]) {
-        let sector_bytes = self.blk.cfg.sector_bytes;
-        // Collect sectors first (cannot borrow l2 inside the closure that
-        // borrows cfg immutably via self).
-        let mut sectors = [0u64; WARP_SIZE];
-        let mut n = 0usize;
-        mem::for_each_sector(addrs, sector_bytes, |s| {
-            sectors[n] = s;
-            n += 1;
-        });
-        for &s in &sectors[..n] {
+    /// Route a gather's sector set through L2, in the exact first-touch
+    /// order the per-lane dedup scan would visit. Broadcast touches one
+    /// sector; a unit-stride access's ascending addresses touch one
+    /// ascending contiguous sector run (lane stride ≤ 8 bytes < the
+    /// 32-byte sector), both computed arithmetically.
+    fn global_path_shape<const EL: u64>(&mut self, base: u64, shape: &GatherShape) {
+        let sb = self.blk.cfg.sector_bytes as u64;
+        match *shape {
+            GatherShape::Broadcast { idx } => {
+                self.blk.l2_access((base + idx as u64 * EL) / sb);
+            }
+            GatherShape::UnitStride { first, n } => {
+                let s0 = (base + first as u64 * EL) / sb;
+                let s1 = (base + (first as u64 + n as u64 - 1) * EL) / sb;
+                self.blk.l2_access_run(s0, (s1 - s0 + 1) as u32);
+            }
+            GatherShape::Gather { ref addrs, n } => {
+                let sector_bytes = self.blk.cfg.sector_bytes;
+                // Collect sectors first (cannot borrow l2 inside the
+                // closure that borrows cfg immutably via self).
+                let mut sectors = [0u64; WARP_SIZE];
+                let mut ns = 0usize;
+                mem::for_each_sector(&addrs[..n], sector_bytes, |s| {
+                    sectors[ns] = s;
+                    ns += 1;
+                });
+                for &s in &sectors[..ns] {
+                    self.blk.l2_access(s);
+                }
+            }
+        }
+    }
+
+    /// Same as [`Self::global_path_shape`], but sectors go through the
+    /// per-block read-only cache first; misses continue into L2.
+    fn roc_path_shape<const EL: u64>(&mut self, base: u64, shape: &GatherShape) {
+        let sb = self.blk.cfg.sector_bytes as u64;
+        match *shape {
+            GatherShape::Broadcast { idx } => {
+                self.roc_one_sector((base + idx as u64 * EL) / sb);
+            }
+            GatherShape::UnitStride { first, n } => {
+                let s0 = (base + first as u64 * EL) / sb;
+                let s1 = (base + (first as u64 + n as u64 - 1) * EL) / sb;
+                for s in s0..=s1 {
+                    self.roc_one_sector(s);
+                }
+            }
+            GatherShape::Gather { ref addrs, n } => {
+                let sector_bytes = self.blk.cfg.sector_bytes;
+                let mut sectors = [0u64; WARP_SIZE];
+                let mut ns = 0usize;
+                mem::for_each_sector(&addrs[..n], sector_bytes, |s| {
+                    sectors[ns] = s;
+                    ns += 1;
+                });
+                for &s in &sectors[..ns] {
+                    self.roc_one_sector(s);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn roc_one_sector(&mut self, s: u64) {
+        if self.blk.roc.access(s) {
+            self.blk.tally.roc_hit_sectors += 1;
+        } else {
+            self.blk.tally.roc_miss_sectors += 1;
+            // ROC misses continue down the global path.
             self.blk.l2_access(s);
         }
     }
@@ -227,7 +512,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0.0; WARP_SIZE];
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global f32 load"),
             idx,
@@ -237,15 +522,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 4 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<4>(base, &shape);
         let data = self.blk.global_read_f32s(buf);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0.0
-            }
-        })
+        gather_values(data, idx, mask, &shape)
     }
 
     /// Gather-load `f32` values through the read-only data cache
@@ -256,7 +535,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0.0; WARP_SIZE];
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "roc f32 load"),
             idx,
@@ -266,30 +545,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.roc_load_instructions += 1;
         self.blk.tally.roc_bytes += 4 * mask.count() as u64;
-        let sector_bytes = self.blk.cfg.sector_bytes;
-        let mut sectors = [0u64; WARP_SIZE];
-        let mut ns = 0usize;
-        mem::for_each_sector(&addrs[..n], sector_bytes, |s| {
-            sectors[ns] = s;
-            ns += 1;
-        });
-        for &s in &sectors[..ns] {
-            if self.blk.roc.access(s) {
-                self.blk.tally.roc_hit_sectors += 1;
-            } else {
-                self.blk.tally.roc_miss_sectors += 1;
-                // ROC misses continue down the global path.
-                self.blk.l2_access(s);
-            }
-        }
+        self.roc_path_shape::<4>(base, &shape);
         let data = self.blk.global_read_f32s(buf);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0.0
-            }
-        })
+        gather_values(data, idx, mask, &shape)
     }
 
     /// Scatter-store `f32` values to a global buffer.
@@ -299,7 +557,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return;
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global f32 store"),
             idx,
@@ -309,7 +567,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 4 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<4>(base, &shape);
         self.blk.global_write_f32(buf, idx, vals, mask);
     }
 
@@ -320,7 +578,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return;
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<8>(
+        let Some(shape) = self.gather_shape::<8>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u64 store"),
             idx,
@@ -330,7 +588,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 8 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<8>(base, &shape);
         self.blk.global_write_u64(buf, idx, vals, mask);
     }
 
@@ -341,7 +599,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return;
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u32 store"),
             idx,
@@ -351,7 +609,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_store_instructions += 1;
         self.blk.tally.global_store_bytes += 4 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<4>(base, &shape);
         self.blk.global_write_u32(buf, idx, vals, mask);
     }
 
@@ -362,7 +620,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0; WARP_SIZE];
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u32 load"),
             idx,
@@ -372,15 +630,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 4 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<4>(base, &shape);
         let data = self.blk.global_read_u32s(buf);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0
-            }
-        })
+        gather_values(data, idx, mask, &shape)
     }
 
     /// Gather-load `u64` values from a global buffer.
@@ -390,7 +642,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0; WARP_SIZE];
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<8>(
+        let Some(shape) = self.gather_shape::<8>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u64 load"),
             idx,
@@ -400,15 +652,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         };
         self.blk.tally.global_load_instructions += 1;
         self.blk.tally.global_load_bytes += 8 * mask.count() as u64;
-        self.global_path_sectors(&addrs[..n]);
+        self.global_path_shape::<8>(base, &shape);
         let data = self.blk.global_read_u64s(buf);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0
-            }
-        })
+        gather_values(data, idx, mask, &shape)
     }
 
     fn atomic_max_multiplicity(idx: &U32x32, mask: Mask) -> u64 {
@@ -431,6 +677,38 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         max
     }
 
+    /// Same-address multiplicity with shape shortcuts: a broadcast's
+    /// multiplicity is the active-lane count, a unit-stride access has
+    /// no duplicates at all. Everything else takes the quadratic scan.
+    fn atomic_max_multiplicity_fast(idx: &U32x32, mask: Mask) -> u64 {
+        if mask.is_prefix() && mask.any() {
+            let n = mask.count() as usize;
+            let first = idx[0];
+            let lanes = &idx[..n];
+            if lanes.iter().all(|&v| v == first) {
+                return n as u64;
+            }
+            if lanes
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+            {
+                return 1;
+            }
+        }
+        Self::atomic_max_multiplicity(idx, mask)
+    }
+
+    /// Dispatch between the shape-shortcut and reference multiplicity
+    /// scans (identical results; see `DeviceConfig::scalar_reference`).
+    fn multiplicity(&self, idx: &U32x32, mask: Mask) -> u64 {
+        if self.scalar_ref() {
+            Self::atomic_max_multiplicity(idx, mask)
+        } else {
+            Self::atomic_max_multiplicity_fast(idx, mask)
+        }
+    }
+
     /// Warp-wide `atomicAdd` on a global `u64` buffer. Serialization is
     /// charged from the actual same-address multiplicity in the warp.
     pub fn global_atomic_add_u64(&mut self, buf: BufU64, idx: &U32x32, vals: &U64x32, mask: Mask) {
@@ -439,7 +717,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return;
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<8>(
+        let Some(shape) = self.gather_shape::<8>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u64 atomicAdd"),
             idx,
@@ -448,8 +726,8 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return;
         };
         self.blk.tally.global_atomics += 1;
-        self.blk.tally.global_atomic_serial += Self::atomic_max_multiplicity(idx, mask);
-        self.global_path_sectors(&addrs[..n]);
+        self.blk.tally.global_atomic_serial += self.multiplicity(idx, mask);
+        self.global_path_shape::<8>(base, &shape);
         self.blk.global_rmw_add_u64(buf, idx, vals, mask);
     }
 
@@ -468,7 +746,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0; WARP_SIZE];
         }
         let base = self.blk.global_base_addr(buf.0);
-        let Some((addrs, n)) = self.gather_addrs::<4>(
+        let Some(shape) = self.gather_shape::<4>(
             base,
             |b, i| b.check_global_bounds(buf.0, i, "global u32 atomicAdd"),
             idx,
@@ -477,8 +755,8 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             return [0; WARP_SIZE];
         };
         self.blk.tally.global_atomics += 1;
-        self.blk.tally.global_atomic_serial += Self::atomic_max_multiplicity(idx, mask);
-        self.global_path_sectors(&addrs[..n]);
+        self.blk.tally.global_atomic_serial += self.multiplicity(idx, mask);
+        self.global_path_shape::<4>(base, &shape);
         self.blk.global_rmw_add_u32(buf, idx, vals, mask)
     }
 
@@ -486,13 +764,55 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     // shared memory
     // ---------------------------------------------------------------
 
-    fn shm_gather_idx(
+    /// Bounds-check a shared-memory warp access and classify its index
+    /// pattern. Fault behavior matches the scalar loop exactly (see
+    /// [`Self::gather_shape`] — same argument): a broadcast needs one
+    /// check, a unit-stride pattern only its last (largest) lane's, and
+    /// prefix-mask accesses skip compaction entirely because the active
+    /// indices are already the `idx[..n]` slice.
+    fn shm_shape(
         &mut self,
         array: usize,
         idx: &U32x32,
         mask: Mask,
         what: &str,
-    ) -> Option<([u32; WARP_SIZE], usize)> {
+    ) -> Option<ShmShape> {
+        if !self.scalar_ref() && mask.is_prefix() {
+            let n = mask.count() as usize;
+            let first = idx[0];
+            let lanes = &idx[..n];
+            if lanes.iter().all(|&v| v == first) {
+                if let Err(e) = self.blk.shared.check_bounds(array, first, what) {
+                    self.blk.record_fault(e);
+                    return None;
+                }
+                return Some(ShmShape::Broadcast { n });
+            }
+            if lanes
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+            {
+                if self
+                    .blk
+                    .shared
+                    .check_bounds(array, idx[n - 1], what)
+                    .is_ok()
+                {
+                    return Some(ShmShape::UnitStride { n });
+                }
+                // Out of bounds somewhere: fall through to the scalar
+                // loop so the fault blames the first offending lane.
+            } else {
+                for &v in lanes {
+                    if let Err(e) = self.blk.shared.check_bounds(array, v, what) {
+                        self.blk.record_fault(e);
+                        return None;
+                    }
+                }
+                return Some(ShmShape::Prefix { n });
+            }
+        }
         let mut idxs = [0u32; WARP_SIZE];
         let mut n = 0usize;
         for lane in mask.lanes() {
@@ -503,7 +823,18 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             idxs[n] = idx[lane];
             n += 1;
         }
-        Some((idxs, n))
+        Some(ShmShape::Packed { idxs, n })
+    }
+
+    /// The index slice to feed the bank-conflict counter. A broadcast's
+    /// lanes all carry one index, so a single element suffices — the
+    /// conflict degree depends only on the distinct-word set.
+    #[inline]
+    fn shm_charge_idxs<'s>(idx: &'s U32x32, shape: &'s ShmShape) -> &'s [u32] {
+        match shape {
+            ShmShape::Broadcast { .. } => &idx[..1],
+            _ => shape.idxs(idx),
+        }
     }
 
     fn shm_charge_access(&mut self, array: usize, idxs: &[u32], bytes_per_lane: u64, lanes: u64) {
@@ -520,14 +851,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return;
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared f32 store") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared f32 store") else {
             return;
         };
         self.blk.tally.shared_store_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 4, mask.count() as u64);
         let data = self.blk.shared.f32s_mut(arr);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
+        if let ShmShape::UnitStride { n } = shape {
+            let first = idx[0] as usize;
+            data[first..first + n].copy_from_slice(&vals[..n]);
+        } else {
+            for lane in mask.lanes() {
+                data[idx[lane] as usize] = vals[lane];
+            }
         }
     }
 
@@ -537,19 +874,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return [0.0; WARP_SIZE];
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared f32 load") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared f32 load") else {
             return [0.0; WARP_SIZE];
         };
         self.blk.tally.shared_load_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 4, mask.count() as u64);
         let data = self.blk.shared.f32s(arr);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0.0
-            }
-        })
+        shm_gather_values(data, idx, mask, &shape)
     }
 
     /// Load `u64` values from a shared array.
@@ -558,19 +890,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u64 load") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared u64 load") else {
             return [0; WARP_SIZE];
         };
         self.blk.tally.shared_load_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 8, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 8, mask.count() as u64);
         let data = self.blk.shared.u64s(arr);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0
-            }
-        })
+        shm_gather_values(data, idx, mask, &shape)
     }
 
     /// Store `u64` values to a shared array.
@@ -579,14 +906,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return;
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u64 store") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared u64 store") else {
             return;
         };
         self.blk.tally.shared_store_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 8, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 8, mask.count() as u64);
         let data = self.blk.shared.u64s_mut(arr);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
+        if let ShmShape::UnitStride { n } = shape {
+            let first = idx[0] as usize;
+            data[first..first + n].copy_from_slice(&vals[..n]);
+        } else {
+            for lane in mask.lanes() {
+                data[idx[lane] as usize] = vals[lane];
+            }
         }
     }
 
@@ -599,11 +932,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return;
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 atomicAdd") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared u32 atomicAdd") else {
             return;
         };
-        let mult = Self::atomic_max_multiplicity(idx, mask);
-        let bank_txns = self.blk.shared.transactions_for(arr.0, &idxs[..n]);
+        let mult = self.multiplicity(idx, mask);
+        let bank_txns = self
+            .blk
+            .shared
+            .transactions_for(arr.0, Self::shm_charge_idxs(idx, &shape));
         let t = &mut self.blk.tally;
         t.shared_atomics += 1;
         t.shared_atomic_serial += mult;
@@ -625,14 +961,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return;
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 store") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared u32 store") else {
             return;
         };
         self.blk.tally.shared_store_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 4, mask.count() as u64);
         let data = self.blk.shared.u32s_mut(arr);
-        for lane in mask.lanes() {
-            data[idx[lane] as usize] = vals[lane];
+        if let ShmShape::UnitStride { n } = shape {
+            let first = idx[0] as usize;
+            data[first..first + n].copy_from_slice(&vals[..n]);
+        } else {
+            for lane in mask.lanes() {
+                data[idx[lane] as usize] = vals[lane];
+            }
         }
     }
 
@@ -642,19 +984,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         if self.blk.dead() || !mask.any() {
             return [0; WARP_SIZE];
         }
-        let Some((idxs, n)) = self.shm_gather_idx(arr.0, idx, mask, "shared u32 load") else {
+        let Some(shape) = self.shm_shape(arr.0, idx, mask, "shared u32 load") else {
             return [0; WARP_SIZE];
         };
         self.blk.tally.shared_load_instructions += 1;
-        self.shm_charge_access(arr.0, &idxs[..n], 4, mask.count() as u64);
+        let charge_idxs = Self::shm_charge_idxs(idx, &shape);
+        self.shm_charge_access(arr.0, charge_idxs, 4, mask.count() as u64);
         let data = self.blk.shared.u32s(arr);
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                data[idx[i] as usize]
-            } else {
-                0
-            }
-        })
+        shm_gather_values(data, idx, mask, &shape)
     }
 
     // ---------------------------------------------------------------
@@ -734,9 +1071,29 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         mask: Mask,
         mut body: impl FnMut(&mut Self, u32, Mask),
     ) {
-        let max_trips = mask.lanes().map(|l| trips[l]).max().unwrap_or(0);
+        let scalar_ref = self.scalar_ref();
+        let max_trips = if scalar_ref {
+            mask.lanes().map(|l| trips[l]).max().unwrap_or(0)
+        } else {
+            // Full-width max; inactive lanes contribute 0, matching the
+            // reference's `unwrap_or(0)`.
+            let mut mx = 0u32;
+            for (i, &t) in trips.iter().enumerate() {
+                let v = if mask.lane(i) { t } else { 0 };
+                mx = mx.max(v);
+            }
+            mx
+        };
         for j in 0..max_trips {
-            let active = Mask::from_fn(|i| mask.lane(i) && trips[i] > j);
+            let active = if scalar_ref {
+                Mask::from_fn(|i| mask.lane(i) && trips[i] > j)
+            } else {
+                let mut bits = 0u32;
+                for (i, &t) in trips.iter().enumerate() {
+                    bits |= ((t > j) as u32) << i;
+                }
+                Mask(bits & mask.0)
+            };
             if !active.any() {
                 break;
             }

@@ -5,16 +5,34 @@
 //! capture the two regimes that matter for 2-BS kernels: the working set
 //! fits (the naive kernel becomes L2-bound, paper Table II) or it streams
 //! (DRAM-bound).
+//!
+//! Two interchangeable bodies make identical hit/miss decisions: the
+//! default [`FifoSet`]-backed one (flat arrays, no steady-state
+//! allocation) and the original `HashMap + VecDeque` kept as the scalar
+//! reference for differential tests and before/after measurement
+//! (`DeviceConfig::with_scalar_reference`).
 
 use std::collections::{HashMap, VecDeque};
+
+use super::fifo::FifoSet;
+
+#[derive(Debug)]
+enum Body {
+    /// Open-addressed table + intrusive FIFO ring.
+    Fast(FifoSet),
+    /// The pre-optimization implementation, byte-for-byte.
+    Reference {
+        /// sector id -> generation marker (presence implies residency).
+        resident: HashMap<u64, u64>,
+        fifo: VecDeque<u64>,
+        capacity_sectors: usize,
+    },
+}
 
 /// FIFO sector cache keyed by flat device byte address / sector size.
 #[derive(Debug)]
 pub struct L2Cache {
-    /// sector id -> generation marker (presence implies residency).
-    resident: HashMap<u64, u64>,
-    fifo: VecDeque<u64>,
-    capacity_sectors: usize,
+    body: Body,
     hits: u64,
     misses: u64,
 }
@@ -23,9 +41,23 @@ impl L2Cache {
     /// Create an empty cache holding `capacity_sectors` sectors.
     pub fn new(capacity_sectors: usize) -> Self {
         L2Cache {
-            resident: HashMap::with_capacity(capacity_sectors.min(1 << 20)),
-            fifo: VecDeque::with_capacity(capacity_sectors.min(1 << 20)),
-            capacity_sectors: capacity_sectors.max(1),
+            body: Body::Fast(FifoSet::new(capacity_sectors)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Create the cache with the legacy map+deque body. Hit/miss
+    /// decisions are identical to [`L2Cache::new`]; this exists so the
+    /// hotpath baseline and differential tests can run the seed
+    /// algorithm in the same binary.
+    pub fn new_reference(capacity_sectors: usize) -> Self {
+        L2Cache {
+            body: Body::Reference {
+                resident: HashMap::with_capacity(capacity_sectors.min(1 << 20)),
+                fifo: VecDeque::with_capacity(capacity_sectors.min(1 << 20)),
+                capacity_sectors: capacity_sectors.max(1),
+            },
             hits: 0,
             misses: 0,
         }
@@ -33,24 +65,45 @@ impl L2Cache {
 
     /// Access one sector; returns `true` on hit. A miss inserts the sector,
     /// evicting FIFO-oldest if full.
+    #[inline]
     pub fn access(&mut self, sector: u64) -> bool {
-        if self.resident.contains_key(&sector) {
-            self.hits += 1;
-            return true;
-        }
-        self.misses += 1;
-        if self.resident.len() >= self.capacity_sectors {
-            // Evict until a slot frees up. Entries may be stale if the
-            // sector was re-inserted; the generation check skips those.
-            while let Some(old) = self.fifo.pop_front() {
-                if self.resident.remove(&old).is_some() {
-                    break;
+        match &mut self.body {
+            Body::Fast(set) => {
+                if set.contains(sector) {
+                    self.hits += 1;
+                    return true;
                 }
+                self.misses += 1;
+                if set.is_full() {
+                    set.pop_oldest();
+                }
+                set.insert_new(sector);
+                false
+            }
+            Body::Reference {
+                resident,
+                fifo,
+                capacity_sectors,
+            } => {
+                if resident.contains_key(&sector) {
+                    self.hits += 1;
+                    return true;
+                }
+                self.misses += 1;
+                if resident.len() >= *capacity_sectors {
+                    // Evict until a slot frees up. Entries may be stale if the
+                    // sector was re-inserted; the generation check skips those.
+                    while let Some(old) = fifo.pop_front() {
+                        if resident.remove(&old).is_some() {
+                            break;
+                        }
+                    }
+                }
+                resident.insert(sector, 0);
+                fifo.push_back(sector);
+                false
             }
         }
-        self.resident.insert(sector, 0);
-        self.fifo.push_back(sector);
-        false
     }
 
     pub fn hits(&self) -> u64 {
@@ -115,6 +168,26 @@ mod tests {
         }
         for s in 0..32u64 {
             assert!(l2.access(s));
+        }
+    }
+
+    #[test]
+    fn fast_and_reference_bodies_agree() {
+        // A sawtooth with re-touches exercises hit, cold miss, and
+        // capacity-eviction paths in both bodies.
+        for cap in [1usize, 2, 7, 64] {
+            let mut fast = L2Cache::new(cap);
+            let mut refr = L2Cache::new_reference(cap);
+            let mut x = 0x9e37u64;
+            for _ in 0..5_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let sector = x % 96;
+                assert_eq!(fast.access(sector), refr.access(sector), "cap {cap}");
+            }
+            assert_eq!(fast.hits(), refr.hits());
+            assert_eq!(fast.misses(), refr.misses());
         }
     }
 }

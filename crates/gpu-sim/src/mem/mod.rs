@@ -8,6 +8,7 @@
 //! * [`shared`] — per-block programmable shared memory with 32-bank
 //!   conflict modeling.
 
+pub mod fifo;
 pub mod global;
 pub mod l2;
 pub(crate) mod replay;

@@ -71,6 +71,16 @@ impl SectorTrace {
         self.runs.push((sector, 1, 0));
     }
 
+    /// Append `count` consecutive sectors starting at `base` — the shape
+    /// the coalesced fast path produces. Identical to pushing each sector
+    /// (a warp access spans at most 8 sectors, so the loop is tiny; the
+    /// saving is upstream, in not materializing per-lane addresses).
+    pub(crate) fn push_run(&mut self, base: u64, count: u32) {
+        for k in 0..count as u64 {
+            self.push(base + k);
+        }
+    }
+
     /// Replay the trace through the device-wide L2, crediting hit/miss
     /// sectors to `tally` exactly as the sequential engine would.
     pub(crate) fn replay(&self, l2: &mut L2Cache, tally: &mut AccessTally) {

@@ -10,15 +10,28 @@
 //! same SM would share it, so our miss counts are an upper bound — the
 //! differences are compulsory misses only, which both the analytic model
 //! and the functional engine count identically.
+//!
+//! Like [`super::l2::L2Cache`], the default body is the open-addressed
+//! [`FifoSet`]; the legacy map+deque is retained as the scalar reference.
 
 use std::collections::{HashMap, VecDeque};
+
+use super::fifo::FifoSet;
+
+#[derive(Debug)]
+enum Body {
+    Fast(FifoSet),
+    Reference {
+        resident: HashMap<u64, ()>,
+        fifo: VecDeque<u64>,
+        capacity_sectors: usize,
+    },
+}
 
 /// FIFO sector cache modeling one SM's read-only data cache.
 #[derive(Debug)]
 pub struct RocCache {
-    resident: HashMap<u64, ()>,
-    fifo: VecDeque<u64>,
-    capacity_sectors: usize,
+    body: Body,
     hits: u64,
     misses: u64,
 }
@@ -26,31 +39,64 @@ pub struct RocCache {
 impl RocCache {
     pub fn new(capacity_sectors: usize) -> Self {
         RocCache {
-            resident: HashMap::new(),
-            fifo: VecDeque::new(),
-            capacity_sectors: capacity_sectors.max(1),
+            body: Body::Fast(FifoSet::new(capacity_sectors)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Legacy map+deque body with identical hit/miss decisions; see
+    /// `DeviceConfig::with_scalar_reference`.
+    pub fn new_reference(capacity_sectors: usize) -> Self {
+        RocCache {
+            body: Body::Reference {
+                resident: HashMap::new(),
+                fifo: VecDeque::new(),
+                capacity_sectors: capacity_sectors.max(1),
+            },
             hits: 0,
             misses: 0,
         }
     }
 
     /// Access one sector; `true` on hit, inserting on miss.
+    #[inline]
     pub fn access(&mut self, sector: u64) -> bool {
-        if self.resident.contains_key(&sector) {
-            self.hits += 1;
-            return true;
-        }
-        self.misses += 1;
-        if self.resident.len() >= self.capacity_sectors {
-            while let Some(old) = self.fifo.pop_front() {
-                if self.resident.remove(&old).is_some() {
-                    break;
+        match &mut self.body {
+            Body::Fast(set) => {
+                if set.contains(sector) {
+                    self.hits += 1;
+                    return true;
                 }
+                self.misses += 1;
+                if set.is_full() {
+                    set.pop_oldest();
+                }
+                set.insert_new(sector);
+                false
+            }
+            Body::Reference {
+                resident,
+                fifo,
+                capacity_sectors,
+            } => {
+                if resident.contains_key(&sector) {
+                    self.hits += 1;
+                    return true;
+                }
+                self.misses += 1;
+                if resident.len() >= *capacity_sectors {
+                    while let Some(old) = fifo.pop_front() {
+                        if resident.remove(&old).is_some() {
+                            break;
+                        }
+                    }
+                }
+                resident.insert(sector, ());
+                fifo.push_back(sector);
+                false
             }
         }
-        self.resident.insert(sector, ());
-        self.fifo.push_back(sector);
-        false
     }
 
     pub fn hits(&self) -> u64 {
@@ -92,5 +138,21 @@ mod tests {
             roc.access(s);
         }
         assert!(!roc.access(0), "oldest sector evicted");
+    }
+
+    #[test]
+    fn fast_and_reference_bodies_agree() {
+        let mut fast = RocCache::new(8);
+        let mut refr = RocCache::new_reference(8);
+        let mut x = 0xdeadu64;
+        for _ in 0..3_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let sector = x % 24;
+            assert_eq!(fast.access(sector), refr.access(sector));
+        }
+        assert_eq!(fast.hits(), refr.hits());
+        assert_eq!(fast.misses(), refr.misses());
     }
 }

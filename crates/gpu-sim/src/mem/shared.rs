@@ -53,6 +53,9 @@ pub struct SharedSpace {
     base_words: Vec<u64>,
     next_word: u64,
     banks: u32,
+    /// Route conflict counting through the legacy nested-scan
+    /// implementation (differential testing / before-after measurement).
+    scalar_reference: bool,
 }
 
 impl SharedSpace {
@@ -62,7 +65,14 @@ impl SharedSpace {
             base_words: Vec::new(),
             next_word: 0,
             banks: banks.max(1),
+            scalar_reference: false,
         }
+    }
+
+    /// Toggle the legacy conflict-counting path; the counts are
+    /// identical either way (see `DeviceConfig::with_scalar_reference`).
+    pub fn set_scalar_reference(&mut self, on: bool) {
+        self.scalar_reference = on;
     }
 
     fn push(&mut self, s: ShmStorage) -> usize {
@@ -155,6 +165,79 @@ impl SharedSpace {
     /// distinct word mapped to the same bank; same-word lanes broadcast.
     /// Returns at least 1 when any lane is active.
     pub fn transactions_for(&self, array: usize, idxs: &[u32]) -> u64 {
+        if self.scalar_reference {
+            return self.transactions_for_reference(array, idxs);
+        }
+        if idxs.is_empty() {
+            return 0;
+        }
+        let base = self.base_words[array];
+        let wpe = self.arrays[array].words_per_elem();
+        let banks = self.banks as u64;
+
+        // Shape fast paths for the two warp access patterns the kernels
+        // actually emit — broadcast (tile reuse) and unit stride (tile
+        // loads / privatized outputs) — where the conflict degree follows
+        // arithmetically from the shape.
+        let first = idxs[0] as u64;
+        if idxs.iter().all(|&i| i as u64 == first) {
+            // Broadcast: one element, `wpe` adjacent words. One word is
+            // always a single transaction; two adjacent words land in two
+            // distinct banks whenever 2 <= banks <= 32.
+            if wpe == 1 || (2..=32).contains(&banks) {
+                return 1;
+            }
+        } else if banks == 32
+            && idxs
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| v as u64 == first + k as u64)
+        {
+            // Unit stride: `len * wpe` contiguous words spread round-robin
+            // over the 32 banks, so the fullest bank holds the ceiling.
+            return (idxs.len() as u64 * wpe).div_ceil(32).max(1);
+        }
+
+        // General path: dedup words only against words already placed in
+        // the same bank. `bank_entries[b]` is a bitmask over the slots of
+        // `words` that hold bank-`b` words, so membership scans walk just
+        // the (usually tiny) per-bank population and the per-bank counts
+        // fall out as popcounts.
+        let mut words = [0u64; 2 * WARP_SIZE];
+        let mut n_words = 0usize;
+        let mut bank_entries = [0u64; WARP_SIZE];
+        for &idx in idxs {
+            for w in 0..wpe {
+                let word = base + idx as u64 * wpe + w;
+                let bank = (word % banks) as usize % WARP_SIZE;
+                let mut m = bank_entries[bank];
+                let mut dup = false;
+                while m != 0 {
+                    let e = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if words[e] == word {
+                        dup = true;
+                        break;
+                    }
+                }
+                if !dup {
+                    words[n_words] = word;
+                    bank_entries[bank] |= 1 << n_words;
+                    n_words += 1;
+                }
+            }
+        }
+        let max_count = bank_entries
+            .iter()
+            .map(|m| m.count_ones() as u64)
+            .max()
+            .unwrap_or(0);
+        max_count.max(1)
+    }
+
+    /// The pre-optimization conflict counter, kept verbatim as the
+    /// scalar reference for the differential tests.
+    pub fn transactions_for_reference(&self, array: usize, idxs: &[u32]) -> u64 {
         if idxs.is_empty() {
             return 0;
         }
@@ -253,6 +336,42 @@ mod tests {
         let mut idxs = vec![32u32; 30];
         idxs.push(0);
         assert_eq!(s.transactions_for(a.0, &idxs), 2);
+    }
+
+    #[test]
+    fn fast_and_reference_counters_agree() {
+        for banks in [1u32, 2, 16, 32, 33, 48] {
+            let mut s = SharedSpace::new(banks);
+            let _pad = s.alloc_f32(3);
+            let f = s.alloc_f32(4096);
+            let u = s.alloc_u64(4096);
+            let mut x = 0xace1u64;
+            for trial in 0..400 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let len = (x % 33) as usize;
+                let mut idxs = Vec::with_capacity(len);
+                for k in 0..len {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    idxs.push(match trial % 4 {
+                        0 => (x % 4096) as u32,              // random gather
+                        1 => ((x % 64) + k as u64) as u32,   // unit stride
+                        2 => (x % 64) as u32 * (trial % 33), // strided
+                        _ => 7,                              // broadcast
+                    });
+                }
+                for arr in [f.0, u.0] {
+                    assert_eq!(
+                        s.transactions_for(arr, &idxs),
+                        s.transactions_for_reference(arr, &idxs),
+                        "banks {banks} trial {trial} arr {arr} idxs {idxs:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Differential tests: the vectorized fast paths against the retained
+//! scalar reference implementations.
+//!
+//! `DeviceConfig::with_scalar_reference(true)` routes the interpreter to
+//! the original per-lane code (HashMap+VecDeque caches, nested-scan bank
+//! conflicts, `from_fn` ALU ops, no access-shape detection). These tests
+//! drive randomized kernels and access streams through both routes and
+//! assert **bit-identical** outputs, [`AccessTally`] counters, simulated
+//! timing and fault reports — the contract that makes the fast paths an
+//! optimization rather than a behaviour change.
+
+use gpu_sim::mem::{L2Cache, RocCache, SharedSpace};
+use gpu_sim::prelude::*;
+use gpu_sim::SimError;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Unit-level differentials: cache bodies and bank-conflict counting
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Open-addressed FIFO L2 vs the HashMap+VecDeque reference: every
+    /// single access must make the same hit/miss decision, under thrash
+    /// (capacity 1) and comfortable capacities alike.
+    #[test]
+    fn l2_fast_and_reference_agree_per_access(
+        cap in 1usize..64,
+        sectors in prop::collection::vec(0u64..256, 0..600),
+    ) {
+        let mut fast = L2Cache::new(cap);
+        let mut refc = L2Cache::new_reference(cap);
+        for &s in &sectors {
+            prop_assert_eq!(fast.access(s), refc.access(s), "sector {}", s);
+        }
+        prop_assert_eq!(fast.hits(), refc.hits());
+        prop_assert_eq!(fast.misses(), refc.misses());
+    }
+
+    /// Same contract for the read-only data cache.
+    #[test]
+    fn roc_fast_and_reference_agree_per_access(
+        cap in 1usize..48,
+        sectors in prop::collection::vec(0u64..192, 0..600),
+    ) {
+        let mut fast = RocCache::new(cap);
+        let mut refc = RocCache::new_reference(cap);
+        for &s in &sectors {
+            prop_assert_eq!(fast.access(s), refc.access(s), "sector {}", s);
+        }
+        prop_assert_eq!(fast.hits(), refc.hits());
+        prop_assert_eq!(fast.misses(), refc.misses());
+    }
+
+    /// Bank-conflict degree: bitset dedup + broadcast/unit-stride fast
+    /// paths vs the original nested scan, across bank counts (including
+    /// the degenerate 1-bank and >32-bank configurations) and element
+    /// widths (f32 → 1 word/elem, u64 → 2 words/elem).
+    #[test]
+    fn bank_conflict_degree_matches_reference(
+        banks in prop::sample::select(vec![1u32, 2, 16, 32, 33, 48]),
+        idxs in prop::collection::vec(0u32..512, 0..32),
+        stride in 0u32..40,
+        pattern in 0u8..4,
+    ) {
+        let build = |scalar: bool| {
+            let mut shm = SharedSpace::new(banks);
+            shm.set_scalar_reference(scalar);
+            shm.alloc_f32(2048); // array 0: 1 word/element
+            shm.alloc_u64(2048); // array 1: 2 words/element
+            shm
+        };
+        let fast = build(false);
+        let refc = build(true);
+
+        let idxs: Vec<u32> = match pattern {
+            0 => idxs,                                          // random gather
+            1 => (0..idxs.len() as u32).collect(),              // unit stride
+            2 => idxs.iter().map(|_| stride % 2048).collect(),  // broadcast
+            _ => (0..idxs.len() as u32)
+                .map(|k| (k * stride) % 2048)
+                .collect(),                                     // strided
+        };
+        for arr in [0usize, 1] {
+            prop_assert_eq!(
+                fast.transactions_for(arr, &idxs),
+                refc.transactions_for(arr, &idxs),
+                "banks={} pattern={} arr={}", banks, pattern, arr
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-op differential: every vectorized ALU op, arbitrary masks
+// ---------------------------------------------------------------------------
+
+/// Applies every vectorized ALU op under an *arbitrary* (not necessarily
+/// prefix) mask and stores the full-width results, so inactive-lane
+/// values produced by the branch-free blend are directly visible in the
+/// output buffers.
+struct AluKernel {
+    a: BufF32,
+    b: BufF32,
+    c: BufF32,
+    outs: [BufF32; 5],
+    lt_out: BufU32,
+    u_outs: [BufU32; 2],
+    mask_bits: u32,
+    scale: f32,
+    thresh: f32,
+    addend: u32,
+    modulus: u32,
+}
+
+impl Kernel for AluKernel {
+    fn name(&self) -> &'static str {
+        "alu_differential"
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources::new(16, 0)
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_>) {
+        blk.for_each_warp(|w| {
+            let tid = w.thread_ids();
+            let full = Mask::FULL;
+            let m = Mask(self.mask_bits);
+            let a = w.global_load_f32(self.a, &tid, full);
+            let b = w.global_load_f32(self.b, &tid, full);
+            let c = w.global_load_f32(self.c, &tid, full);
+
+            let sub = w.sub_f32x(&a, &b, m);
+            let add = w.add_f32x(&a, &b, m);
+            let fma = w.fma_f32x(&a, &b, &c, m);
+            let mul = w.mul_f32(&a, self.scale, m);
+            let sq = w.sqrt_f32x(&fma, m);
+            for (out, vals) in self.outs.iter().zip([&sub, &add, &fma, &mul, &sq]) {
+                w.global_store_f32(*out, &tid, vals, full);
+            }
+
+            // Visualize the lt mask by storing ones under it.
+            let ltm = w.lt_f32(&sq, self.thresh, m);
+            let ones = [1u32; WARP_SIZE];
+            w.global_store_u32(self.lt_out, &tid, &ones, ltm);
+
+            let au = w.add_u32(&tid, self.addend, m);
+            let mu = w.mod_u32(&tid, self.modulus, m);
+            for (out, vals) in self.u_outs.iter().zip([&au, &mu]) {
+                w.global_store_u32(*out, &tid, vals, full);
+            }
+        });
+    }
+}
+
+fn run_alu(
+    dev: &mut Device,
+    k_in: (&[f32], &[f32], &[f32]),
+    params: (u32, f32, f32, u32, u32),
+) -> (Vec<u32>, KernelRun) {
+    let (a, b, c) = k_in;
+    let kernel = AluKernel {
+        a: dev.alloc_f32(a.to_vec()),
+        b: dev.alloc_f32(b.to_vec()),
+        c: dev.alloc_f32(c.to_vec()),
+        outs: [(); 5].map(|_| dev.alloc_f32_zeroed(WARP_SIZE)),
+        lt_out: dev.alloc_u32_zeroed(WARP_SIZE),
+        u_outs: [(); 2].map(|_| dev.alloc_u32_zeroed(WARP_SIZE)),
+        mask_bits: params.0,
+        scale: params.1,
+        thresh: params.2,
+        addend: params.3,
+        modulus: params.4,
+    };
+    let run = dev.launch(&kernel, LaunchConfig::for_n_threads(WARP_SIZE as u32, 32));
+    let mut bits = Vec::new();
+    for o in kernel.outs {
+        bits.extend(dev.f32_slice(o).iter().map(|v| v.to_bits()));
+    }
+    bits.extend_from_slice(dev.u32_slice(kernel.lt_out));
+    for o in kernel.u_outs {
+        bits.extend_from_slice(dev.u32_slice(o));
+    }
+    (bits, run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every ALU lane op, fast vs reference, including inactive-lane bit
+    /// patterns (blend must produce exactly the reference's zeros) and
+    /// the empty mask.
+    #[test]
+    fn alu_ops_bit_identical_under_any_mask(
+        a in prop::collection::vec(-1e4f32..1e4, 32..33),
+        b in prop::collection::vec(-1e4f32..1e4, 32..33),
+        c in prop::collection::vec(-1e4f32..1e4, 32..33),
+        mask_sel in 0u8..3,
+        mask_raw in any::<u32>(),
+        scale in -8f32..8.0,
+        thresh in 0f32..2e8,
+        addend in any::<u32>(),
+        modulus in 1u32..100,
+    ) {
+        let mask_bits = match mask_sel {
+            0 => Mask::NONE.0,
+            1 => Mask::FULL.0,
+            _ => mask_raw,
+        };
+        let params = (mask_bits, scale, thresh, addend, modulus);
+        let mut fast = Device::new(DeviceConfig::titan_x());
+        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let (fo, fr) = run_alu(&mut fast, (&a, &b, &c), params);
+        let (ro, rr) = run_alu(&mut refd, (&a, &b, &c), params);
+        prop_assert_eq!(fo, ro);
+        prop_assert_eq!(&fr.tally, &rr.tally);
+        prop_assert_eq!(fr.timing.seconds.to_bits(), rr.timing.seconds.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-kernel differential: memory shapes, divergence, atomics, faults
+// ---------------------------------------------------------------------------
+
+/// A torture kernel crossing every access-shape fast path: unit-stride
+/// and gathered global loads, ROC loads, shared tiles, shared and global
+/// atomics under non-prefix masks, and a data-dependent divergent loop.
+/// The launch is padded past `n`, so the tail has a ragged warp and the
+/// padding produces fully-empty masks.
+struct TortureKernel {
+    input: BufF32,
+    gidx: BufU32,
+    seeds: BufU64,
+    out: BufF32,
+    out64: BufU64,
+    hist: BufU32,
+    acc: BufU64,
+    n: u32,
+    thresh: f32,
+}
+
+impl Kernel for TortureKernel {
+    fn name(&self) -> &'static str {
+        "torture_differential"
+    }
+
+    fn resources(&self) -> KernelResources {
+        // 192 threads max per block → 192*4 + 64*4 + 32*8 bytes shared.
+        KernelResources::new(24, 192 * 4 + 64 * 4 + 32 * 8)
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_>) {
+        let tile = blk.shared_alloc_f32(blk.block_dim as usize);
+        let shist = blk.shared_alloc_u32(64);
+        let stash = blk.shared_alloc_u64(32);
+        blk.for_each_warp(|w| {
+            let lid = w.lane_ids();
+            let tid = w.thread_ids();
+            let gtid = w.global_thread_ids();
+            let mask = w.mask_lt(&gtid, self.n); // ragged tail + empty pads
+
+            // Unit-stride load, gathered load, ROC load.
+            let idx = w.global_load_u32(self.gidx, &gtid, mask);
+            let x = w.global_load_f32(self.input, &gtid, mask);
+            let y = w.global_load_f32(self.input, &idx, mask);
+            let z = w.roc_load_f32(self.input, &idx, mask);
+
+            // ALU chain feeding a non-prefix inner mask.
+            let d = w.sub_f32x(&x, &y, mask);
+            let zero = [0.0f32; WARP_SIZE];
+            let d2 = w.fma_f32x(&d, &d, &zero, mask);
+            let s = w.sqrt_f32x(&d2, mask);
+            let inner = w.lt_f32(&s, self.thresh, mask); // arbitrary subset
+
+            // Shared tile: unit-stride store/load, gathered atomic.
+            w.shared_store_f32(tile, &tid, &x, mask);
+            let t = w.shared_load_f32(tile, &tid, mask);
+            let bin = w.mod_u32(&idx, 64, mask);
+            let ones = [1u32; WARP_SIZE];
+            w.shared_atomic_add_u32(shist, &bin, &ones, inner);
+
+            // Shared u64 round-trip on lane ids (broadcast-free stride).
+            let sv = w.global_load_u64(self.seeds, &lid, mask);
+            w.shared_store_u64(stash, &lid, &sv, mask);
+            let sv2 = w.shared_load_u64(stash, &lid, mask);
+
+            // Data-dependent divergent loop with global atomics inside.
+            let trips = w.mod_u32(&idx, 5, mask);
+            w.divergent_loop(&trips, mask, |w, _j, active| {
+                let gbin = w.mod_u32(&idx, 61, active);
+                w.global_atomic_add_u32(self.hist, &gbin, &ones, active);
+            });
+
+            // Global atomics under the non-prefix inner mask.
+            w.global_atomic_add_u64(self.acc, &bin, &sv2, inner);
+
+            // Results out: unit-stride f32 store, gathered u64 store.
+            let r = w.add_f32x(&t, &z, mask);
+            w.global_store_f32(self.out, &gtid, &r, mask);
+            w.global_store_u64(self.out64, &gtid, &sv2, mask);
+        });
+    }
+}
+
+struct TortureSetup {
+    input: Vec<f32>,
+    gidx: Vec<u32>,
+    seeds: Vec<u64>,
+    n: u32,
+    padded: u32,
+    block_dim: u32,
+    thresh: f32,
+}
+
+fn run_torture(dev: &mut Device, s: &TortureSetup) -> Result<(Vec<u64>, KernelRun), SimError> {
+    let kernel = TortureKernel {
+        input: dev.alloc_f32(s.input.clone()),
+        gidx: dev.alloc_u32(s.gidx.clone()),
+        seeds: dev.alloc_u64(s.seeds.clone()),
+        out: dev.alloc_f32_zeroed(s.padded as usize),
+        out64: dev.alloc_u64_zeroed(s.padded as usize),
+        hist: dev.alloc_u32_zeroed(61),
+        acc: dev.alloc_u64_zeroed(64),
+        n: s.n,
+        thresh: s.thresh,
+    };
+    let run = dev.try_launch(&kernel, LaunchConfig::for_n_threads(s.padded, s.block_dim))?;
+    let mut out = Vec::new();
+    out.extend(dev.f32_slice(kernel.out).iter().map(|v| v.to_bits() as u64));
+    out.extend_from_slice(dev.u64_slice(kernel.out64));
+    out.extend(dev.u32_slice(kernel.hist).iter().map(|&v| v as u64));
+    out.extend_from_slice(dev.u64_slice(kernel.acc));
+    Ok((out, run))
+}
+
+/// Assemble a [`TortureSetup`] from independently-generated raw material
+/// (the vendored proptest shim has no `prop_flat_map`, so length-coupled
+/// vectors are generated at max size and sliced down here).
+#[allow(clippy::too_many_arguments)]
+fn make_setup(
+    n: u32,
+    pad: u32,
+    block_dim: u32,
+    input_raw: &[f32],
+    gidx_raw: &[u32],
+    seeds: Vec<u64>,
+    pattern: u8,
+    stride: u32,
+    thresh: f32,
+) -> TortureSetup {
+    let len = n + 4;
+    let mut gidx: Vec<u32> = gidx_raw[..(n + pad) as usize].to_vec();
+    match pattern {
+        0 => {
+            for g in &mut gidx {
+                *g %= len; // random gather
+            }
+        }
+        1 => {
+            for (k, g) in gidx.iter_mut().enumerate() {
+                *g = k as u32 % len; // unit stride (mod wrap)
+            }
+        }
+        2 => gidx.fill(stride % len), // broadcast
+        _ => {
+            for (k, g) in gidx.iter_mut().enumerate() {
+                *g = (k as u32 * stride) % len; // strided
+            }
+        }
+    }
+    TortureSetup {
+        input: input_raw[..len as usize].to_vec(),
+        gidx,
+        seeds,
+        n,
+        padded: n + pad,
+        block_dim,
+        thresh,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full interpreter, fast vs reference: outputs, tallies and
+    /// simulated timing must agree bit-for-bit across gather shapes,
+    /// ragged tails, empty warps and divergent control flow — in both
+    /// execution modes on the fast side.
+    #[test]
+    fn torture_kernel_bit_identical(
+        n in 1u32..260,
+        pad in 0u32..70,
+        block_dim in prop::sample::select(vec![32u32, 64, 96, 128, 160]),
+        input_raw in prop::collection::vec(-100f32..100.0, 264..265),
+        gidx_raw in prop::collection::vec(0u32..1 << 30, 330..331),
+        seeds in prop::collection::vec(0u64..u64::MAX, 32..33),
+        pattern in 0u8..4,
+        stride in 1u32..80,
+        thresh in 0f32..120.0,
+        parallel in any::<bool>(),
+    ) {
+        let setup = make_setup(
+            n, pad, block_dim, &input_raw, &gidx_raw, seeds, pattern, stride, thresh,
+        );
+        // threads: 2 forces the real speculate/commit path even on a
+        // single-core host (threads: 0 would fall back to sequential).
+        let mode = if parallel {
+            ExecMode::Parallel { threads: 2 }
+        } else {
+            ExecMode::Sequential
+        };
+        let mut fast = Device::new(DeviceConfig::titan_x().with_exec_mode(mode));
+        let mut refd = Device::new(
+            DeviceConfig::titan_x()
+                .with_exec_mode(ExecMode::Sequential)
+                .with_scalar_reference(true),
+        );
+        let (fo, fr) = run_torture(&mut fast, &setup).expect("fast run faulted");
+        let (ro, rr) = run_torture(&mut refd, &setup).expect("reference run faulted");
+        prop_assert_eq!(fo, ro);
+        prop_assert_eq!(&fr.tally, &rr.tally);
+        prop_assert_eq!(fr.timing.seconds.to_bits(), rr.timing.seconds.to_bits());
+    }
+
+    /// Fault parity: a single out-of-bounds gather index must produce the
+    /// *same* `SimError` (same blamed index, same buffer) from both
+    /// routes, no matter where in the warp it lands — the fast paths'
+    /// speculative bounds checks must not change first-fault blame.
+    #[test]
+    fn out_of_bounds_blame_is_identical(
+        n in 1u32..260,
+        pad in 0u32..70,
+        block_dim in prop::sample::select(vec![32u32, 64, 96, 128, 160]),
+        input_raw in prop::collection::vec(-100f32..100.0, 264..265),
+        gidx_raw in prop::collection::vec(0u32..1 << 30, 330..331),
+        seeds in prop::collection::vec(0u64..u64::MAX, 32..33),
+        pattern in 0u8..4,
+        stride in 1u32..80,
+        oob_pos_seed in any::<u32>(),
+        oob_excess in 0u32..10,
+    ) {
+        let mut setup = make_setup(
+            n, pad, block_dim, &input_raw, &gidx_raw, seeds, pattern, stride, 60.0,
+        );
+        let pos = (oob_pos_seed as usize) % setup.gidx.len();
+        setup.gidx[pos] = setup.input.len() as u32 + oob_excess;
+        let mut fast = Device::new(DeviceConfig::titan_x());
+        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let fe = run_torture(&mut fast, &setup).err();
+        let re = run_torture(&mut refd, &setup).err();
+        prop_assert_eq!(&fe, &re);
+        if (pos as u32) < setup.n {
+            prop_assert!(fe.is_some(), "OOB index at live position {} not reported", pos);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases
+// ---------------------------------------------------------------------------
+
+fn fixed_setup(n: u32, pad: u32, block_dim: u32) -> TortureSetup {
+    let len = n as usize + 4;
+    TortureSetup {
+        input: (0..len).map(|i| (i as f32) * 0.75 - 40.0).collect(),
+        gidx: (0..(n + pad)).map(|k| (k * 7) % len as u32).collect(),
+        seeds: (0..32)
+            .map(|k| 0x9E37_79B9u64.wrapping_mul(k + 1))
+            .collect(),
+        n,
+        padded: n + pad,
+        block_dim,
+        thresh: 25.0,
+    }
+}
+
+#[test]
+fn ragged_last_warp_and_empty_pad_warps_match() {
+    // n = 33: one full warp + a 1-lane ragged warp; pad adds two blocks
+    // of entirely-empty masks past n.
+    for (n, pad, bd) in [(33, 0, 64), (33, 128, 64), (1, 31, 32), (95, 65, 96)] {
+        let setup = fixed_setup(n, pad, bd);
+        let mut fast = Device::new(DeviceConfig::titan_x());
+        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let (fo, fr) = run_torture(&mut fast, &setup).unwrap();
+        let (ro, rr) = run_torture(&mut refd, &setup).unwrap();
+        assert_eq!(fo, ro, "outputs diverge at n={n} pad={pad} bd={bd}");
+        assert_eq!(
+            fr.tally, rr.tally,
+            "tallies diverge at n={n} pad={pad} bd={bd}"
+        );
+    }
+}
+
+#[test]
+fn zero_thread_launch_is_identical_noop() {
+    let setup = fixed_setup(1, 0, 32);
+    let run = |scalar: bool| {
+        let mut dev = Device::new(DeviceConfig::titan_x().with_scalar_reference(scalar));
+        let kernel = TortureKernel {
+            input: dev.alloc_f32(setup.input.clone()),
+            gidx: dev.alloc_u32(setup.gidx.clone()),
+            seeds: dev.alloc_u64(setup.seeds.clone()),
+            out: dev.alloc_f32_zeroed(4),
+            out64: dev.alloc_u64_zeroed(4),
+            hist: dev.alloc_u32_zeroed(61),
+            acc: dev.alloc_u64_zeroed(64),
+            n: 0,
+            thresh: 1.0,
+        };
+        dev.try_launch(&kernel, LaunchConfig::for_n_threads(0, 64))
+            .unwrap()
+    };
+    let (f, r) = (run(false), run(true));
+    assert_eq!(f.tally, r.tally);
+    assert_eq!(f.tally, AccessTally::new());
+}
