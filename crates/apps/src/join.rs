@@ -68,7 +68,7 @@ pub fn distance_join_gpu<const D: usize>(
 /// Bipartite distance join `R ⋈_{dist<r} S` between two tables — the
 /// relational-join shape of the paper's Type-III example (He et al. join
 /// *two* tables; the self-join above is the special case R = S). Runs on
-/// the bipartite [`CrossShmKernel`].
+/// the bipartite [`CrossShmKernel`](tbs_core::kernels::CrossShmKernel).
 pub fn distance_join_two_gpu<const D: usize>(
     dev: &mut Device,
     left: &SoaPoints<D>,

@@ -1,7 +1,10 @@
 //! Run every table/figure reproduction in sequence (the EXPERIMENTS.md
 //! generator). `cargo run --release -p tbs-bench --bin all_experiments`.
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also mirror every
+//! section as a schema-versioned `<name>.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::*;
+use tbs_bench::report::{self, Report, ReportError};
 use tbs_cpu::CpuModel;
 use tbs_datagen::paper_sweep;
 
@@ -9,32 +12,42 @@ fn main() {
     let cfg = DeviceConfig::titan_x();
     let cpu = CpuModel::xeon_e5_2640_v2();
     let sweep = paper_sweep(10, 1024);
-    let sections: Vec<(&str, String)> = vec![
-        ("Figure 2", fig2::report(&sweep, &cfg)),
-        ("Table II", tables::table2_report(512 * 1024, &cfg)),
-        ("Figure 4", fig4::report(&sweep, &cfg, &cpu)),
-        ("Table III", tables::table3_report(512 * 1024, &cfg)),
-        ("Table IV", tables::table4_report(512 * 1024, &cfg)),
-        ("Figure 5", fig5::report(fig5::FIG5_N, &cfg)),
-        ("Figure 7", fig7::report(&cfg)),
-        ("Figure 9", fig9::report(&sweep, &cfg, &cpu)),
-        ("Extension: architectures", ext_arch::report(512 * 1024)),
-        ("Extension: data skew", ext_skew::report(4096, 1024, 128)),
-        ("Extension: Type-III output", ext_type3::report(2048, 64)),
-        ("Extension: multi-GPU", ext_multigpu::report(4096, 64)),
+    let sections: Vec<(&str, Result<Report, ReportError>)> = vec![
+        ("Figure 2", fig2::build_report(&sweep, &cfg)),
+        ("Table II", tables::build_table2_report(512 * 1024, &cfg)),
+        ("Figure 4", fig4::build_report(&sweep, &cfg, &cpu)),
+        ("Table III", tables::build_table3_report(512 * 1024, &cfg)),
+        ("Table IV", tables::build_table4_report(512 * 1024, &cfg)),
+        ("Figure 5", fig5::build_report(fig5::FIG5_N, &cfg)),
+        ("Figure 7", fig7::build_report(&cfg)),
+        ("Figure 9", fig9::build_report(&sweep, &cfg, &cpu)),
+        (
+            "Extension: architectures",
+            ext_arch::build_report(512 * 1024),
+        ),
+        (
+            "Extension: data skew",
+            ext_skew::build_report(4096, 1024, 128),
+        ),
+        (
+            "Extension: Type-III output",
+            ext_type3::build_report(2048, 64),
+        ),
+        ("Extension: multi-GPU", ext_multigpu::build_report(4096, 64)),
         (
             "Extension: multi-copy privatization",
-            ext_multicopy::report(4096, 256),
+            ext_multicopy::build_report(4096, 256),
         ),
         (
             "Extension: block size",
-            ext_blocksize::report(512 * 1024, &cfg),
+            ext_blocksize::build_report(512 * 1024, &cfg),
         ),
     ];
-    for (name, body) in sections {
+    for (name, result) in sections {
         println!("================================================================");
         println!("{name}");
         println!("================================================================");
-        println!("{body}");
+        report::emit_result(result);
+        println!();
     }
 }

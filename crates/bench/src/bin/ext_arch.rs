@@ -1,6 +1,8 @@
 //! Extension study: the kernel family across GPU generations.
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `ext_arch.json`.
 use tbs_bench::experiments::ext_arch;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", ext_arch::report(512 * 1024));
+    report::emit_result(ext_arch::build_report(512 * 1024));
 }

@@ -1,10 +1,13 @@
 //! Extension study: block-size optimization (the paper's B = 1024).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write
+//! `ext_blocksize.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::ext_blocksize;
+use tbs_bench::report;
 
 fn main() {
-    print!(
-        "{}",
-        ext_blocksize::report(1024 * 1024, &DeviceConfig::titan_x())
-    );
+    report::emit_result(ext_blocksize::build_report(
+        1024 * 1024,
+        &DeviceConfig::titan_x(),
+    ));
 }

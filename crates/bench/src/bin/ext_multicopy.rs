@@ -1,6 +1,9 @@
 //! Extension study: multiple private histogram copies per block.
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write
+//! `ext_multicopy.json`.
 use tbs_bench::experiments::ext_multicopy;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", ext_multicopy::report(4096, 256));
+    report::emit_result(ext_multicopy::build_report(4096, 256));
 }

@@ -1,11 +1,15 @@
-//! Extension study: multi-GPU SDH decomposition (functional).
+//! Extension study: multi-GPU SDH decomposition (functional scaling plus
+//! the paper-scale closed-form prediction).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write
+//! `ext_multigpu.json` and `ext_multigpu_predicted.json`.
 use tbs_bench::experiments::ext_multigpu;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", ext_multigpu::report(8192, 64));
+    report::emit_result(ext_multigpu::build_report(8192, 64));
     println!();
-    print!(
-        "{}",
-        ext_multigpu::report_predicted(2_000_896, &gpu_sim::DeviceConfig::titan_x())
-    );
+    report::emit_result(ext_multigpu::build_predicted_report(
+        2_000_896,
+        &gpu_sim::DeviceConfig::titan_x(),
+    ));
 }

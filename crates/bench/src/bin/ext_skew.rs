@@ -1,6 +1,8 @@
 //! Extension study: SDH atomic contention under data skew (functional).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `ext_skew.json`.
 use tbs_bench::experiments::ext_skew;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", ext_skew::report(4096, 1024, 128));
+    report::emit_result(ext_skew::build_report(4096, 1024, 128));
 }

@@ -1,6 +1,8 @@
 //! Extension study: Type-III join output allocation (functional).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `ext_type3.json`.
 use tbs_bench::experiments::ext_type3;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", ext_type3::report(2048, 64));
+    report::emit_result(ext_type3::build_report(2048, 64));
 }

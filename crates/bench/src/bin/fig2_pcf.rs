@@ -1,9 +1,11 @@
 //! Regenerate the paper's Figure 2 (2-PCF kernel comparison).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `fig2.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::fig2;
+use tbs_bench::report;
 use tbs_datagen::paper_sweep;
 
 fn main() {
     let cfg = DeviceConfig::titan_x();
-    print!("{}", fig2::report(&paper_sweep(10, 1024), &cfg));
+    report::emit_result(fig2::build_report(&paper_sweep(10, 1024), &cfg));
 }

@@ -1,11 +1,13 @@
 //! Regenerate the paper's Figure 4 (SDH kernels vs the CPU baseline).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `fig4.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::fig4;
+use tbs_bench::report;
 use tbs_cpu::CpuModel;
 use tbs_datagen::paper_sweep;
 
 fn main() {
     let cfg = DeviceConfig::titan_x();
     let cpu = CpuModel::xeon_e5_2640_v2();
-    print!("{}", fig4::report(&paper_sweep(10, 1024), &cfg, &cpu));
+    report::emit_result(fig4::build_report(&paper_sweep(10, 1024), &cfg, &cpu));
 }

@@ -1,7 +1,9 @@
 //! Regenerate the paper's Figure 5 (Reg-ROC-Out vs histogram size).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `fig5.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::fig5;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", fig5::report(fig5::FIG5_N, &DeviceConfig::titan_x()));
+    report::emit_result(fig5::build_report(fig5::FIG5_N, &DeviceConfig::titan_x()));
 }

@@ -1,7 +1,9 @@
 //! Regenerate the paper's Figure 7 (intra-block load balancing).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `fig7.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::fig7;
+use tbs_bench::report;
 
 fn main() {
-    print!("{}", fig7::report(&DeviceConfig::titan_x()));
+    report::emit_result(fig7::build_report(&DeviceConfig::titan_x()));
 }

@@ -1,11 +1,13 @@
 //! Regenerate the paper's Figure 9 (shuffle-instruction tiling).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `fig9.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::fig9;
+use tbs_bench::report;
 use tbs_cpu::CpuModel;
 use tbs_datagen::paper_sweep;
 
 fn main() {
     let cfg = DeviceConfig::titan_x();
     let cpu = CpuModel::xeon_e5_2640_v2();
-    print!("{}", fig9::report(&paper_sweep(10, 1024), &cfg, &cpu));
+    report::emit_result(fig9::build_report(&paper_sweep(10, 1024), &cfg, &cpu));
 }

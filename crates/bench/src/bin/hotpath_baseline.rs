@@ -1,11 +1,9 @@
 //! Host-throughput baseline for the interpreter fast paths.
 //!
-//! Runs the fig2-style 2-PCF workload through the simulator twice per
-//! problem size — once with `scalar_reference` (the retained per-lane
-//! implementation) and once with the vectorized fast paths — asserts the
-//! two runs are bit-identical (pair count, full `AccessTally`, simulated
-//! timing), and records wall-clock times and throughput to
-//! `BENCH_sim_hotpath.json` at the repository root.
+//! Measures scalar-reference vs vectorized interpreter wall-clock via
+//! `experiments::hotpath` (which asserts the two are bit-identical),
+//! prints the structured report, and records `BENCH_sim_hotpath.json`
+//! at the repository root.
 //!
 //! Usage:
 //!
@@ -15,67 +13,13 @@
 //! ```
 //!
 //! The acceptance gate for the vectorized interpreter is a ≥2× speedup
-//! at N = 65536 in `Sequential` mode.
+//! at N = 65536 in `Sequential` mode. Pass `--json DIR` (or set
+//! `TBS_REPORT_DIR`) to also mirror the schema-versioned
+//! `sim_hotpath.json` report.
 
-use std::time::Instant;
-
-use gpu_sim::config::ExecMode;
-use gpu_sim::{Device, DeviceConfig};
-use tbs_apps::{pcf_gpu, PairwisePlan, PcfResult};
-use tbs_datagen::uniform_points;
-
-const RADIUS: f32 = 25.0;
-const BOX: f32 = 100.0;
-const SEED: u64 = 11;
-const BLOCK: u32 = 1024;
-
-struct SizeReport {
-    n: usize,
-    count: u64,
-    scalar_s: f64,
-    fast_s: f64,
-    lane_ops: u64,
-    sim_cycles: f64,
-}
-
-fn run_once(n: usize, scalar_reference: bool) -> (f64, PcfResult) {
-    let pts = uniform_points::<3>(n, BOX, SEED);
-    let cfg = DeviceConfig::titan_x()
-        .with_exec_mode(ExecMode::Sequential)
-        .with_scalar_reference(scalar_reference);
-    let mut dev = Device::new(cfg);
-    let t = Instant::now();
-    let r = pcf_gpu(&mut dev, &pts, RADIUS, PairwisePlan::register_shm(BLOCK)).expect("launch");
-    (t.elapsed().as_secs_f64(), r)
-}
-
-fn measure(n: usize) -> SizeReport {
-    eprintln!("N={n}: scalar-reference pass...");
-    let (scalar_s, scalar) = run_once(n, true);
-    eprintln!("N={n}: scalar {scalar_s:.3}s; vectorized pass...");
-    let (fast_s, fast) = run_once(n, false);
-    eprintln!("N={n}: fast {fast_s:.3}s ({:.2}x)", scalar_s / fast_s);
-
-    // The whole point of the fast paths is that they change nothing but
-    // host time: same pair count, same tally, same simulated timing.
-    assert_eq!(fast.count, scalar.count, "pair count diverged at N={n}");
-    assert_eq!(fast.run.tally, scalar.run.tally, "tally diverged at N={n}");
-    assert_eq!(
-        fast.run.timing.seconds.to_bits(),
-        scalar.run.timing.seconds.to_bits(),
-        "simulated time diverged at N={n}"
-    );
-
-    let t = &fast.run.tally;
-    SizeReport {
-        n,
-        count: fast.count,
-        scalar_s,
-        fast_s,
-        lane_ops: t.useful_lane_ops + t.predicated_lane_slots,
-        sim_cycles: fast.run.timing.cycles,
-    }
-}
+use tbs_bench::experiments::hotpath::{self, Sample};
+use tbs_bench::report;
+use tbs_json::Json;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -84,67 +28,44 @@ fn main() {
         sizes.push(131_072);
     }
 
-    let reports: Vec<SizeReport> = sizes.iter().map(|&n| measure(n)).collect();
+    let samples: Vec<Sample> = sizes.iter().map(|&n| hotpath::measure(n)).collect();
+    report::emit_result(hotpath::build_report_from(&samples));
 
-    println!(
-        "{:>8} {:>12} {:>10} {:>10} {:>8} {:>14} {:>14}",
-        "N", "count", "scalar_s", "fast_s", "speedup", "Mlane-ops/s", "Msim-cyc/s"
-    );
-    let mut entries = Vec::new();
-    for r in &reports {
-        let speedup = r.scalar_s / r.fast_s;
-        let lane_rate = r.lane_ops as f64 / r.fast_s / 1e6;
-        let cycle_rate = r.sim_cycles / r.fast_s / 1e6;
-        println!(
-            "{:>8} {:>12} {:>10.3} {:>10.3} {:>7.2}x {:>14.1} {:>14.1}",
-            r.n, r.count, r.scalar_s, r.fast_s, speedup, lane_rate, cycle_rate
-        );
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"n\": {},\n",
-                "      \"pair_count\": {},\n",
-                "      \"scalar_reference_s\": {:.6},\n",
-                "      \"vectorized_s\": {:.6},\n",
-                "      \"speedup\": {:.3},\n",
-                "      \"lane_ops\": {},\n",
-                "      \"lane_ops_per_s\": {:.0},\n",
-                "      \"sim_cycles\": {:.0},\n",
-                "      \"sim_cycles_per_s\": {:.0}\n",
-                "    }}"
-            ),
-            r.n,
-            r.count,
-            r.scalar_s,
-            r.fast_s,
-            speedup,
-            r.lane_ops,
-            r.lane_ops as f64 / r.fast_s,
-            r.sim_cycles,
-            r.sim_cycles / r.fast_s,
-        ));
-    }
-
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"sim_hotpath\",\n",
-            "  \"workload\": \"fig2 2-PCF, register_shm plan, block=1024, r=25, 100^3 box\",\n",
-            "  \"exec_mode\": \"sequential\",\n",
-            "  \"bit_identical\": true,\n",
-            "  \"sizes\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        entries.join(",\n")
-    );
+    // The legacy flat benchmark record at the repository root, now
+    // emitted through tbs-json (same fields as before).
+    let entries: Vec<Json> = samples
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .with("n", s.n)
+                .with("pair_count", s.pair_count)
+                .with("scalar_reference_s", s.scalar_s)
+                .with("vectorized_s", s.fast_s)
+                .with("speedup", s.speedup())
+                .with("lane_ops", s.lane_ops)
+                .with("lane_ops_per_s", s.lane_ops_per_s())
+                .with("sim_cycles", s.sim_cycles)
+                .with("sim_cycles_per_s", s.sim_cycles_per_s())
+        })
+        .collect();
+    let doc = Json::obj()
+        .with("benchmark", "sim_hotpath")
+        .with(
+            "workload",
+            "fig2 2-PCF, register_shm plan, block=1024, r=25, 100^3 box",
+        )
+        .with("exec_mode", "sequential")
+        .with("bit_identical", true)
+        .with("sizes", Json::Arr(entries));
 
     // crates/bench/ -> repository root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_hotpath.json");
-    std::fs::write(path, &json).expect("write BENCH_sim_hotpath.json");
+    std::fs::write(path, doc.render().expect("render hotpath JSON"))
+        .expect("write BENCH_sim_hotpath.json");
     eprintln!("wrote {path}");
 
-    let gate = reports.iter().find(|r| r.n == 65_536).expect("N=65536 run");
-    let speedup = gate.scalar_s / gate.fast_s;
+    let gate = samples.iter().find(|s| s.n == 65_536).expect("N=65536 run");
+    let speedup = gate.speedup();
     assert!(
         speedup >= 2.0,
         "acceptance gate failed: {speedup:.2}x < 2x at N=65536"

@@ -1,10 +1,12 @@
 //! Regenerate the paper's Table III (SDH achieved memory bandwidth).
+//! Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also write `table3.json`.
 use gpu_sim::DeviceConfig;
 use tbs_bench::experiments::tables;
+use tbs_bench::report;
 
 fn main() {
-    print!(
-        "{}",
-        tables::table3_report(512 * 1024, &DeviceConfig::titan_x())
-    );
+    report::emit_result(tables::build_table3_report(
+        512 * 1024,
+        &DeviceConfig::titan_x(),
+    ));
 }

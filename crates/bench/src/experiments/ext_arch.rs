@@ -11,7 +11,7 @@
 //! privatization payoff.
 
 use crate::paper_workload;
-use crate::table::{fmt_secs, fmt_x, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
 
@@ -59,25 +59,71 @@ pub fn series(n: u32) -> Vec<DeviceRow> {
     .collect()
 }
 
+/// Build the structured architecture-study report.
+pub fn build_report(n: u32) -> Result<Report, ReportError> {
+    let rows = series(n);
+    let mut rep = Report::new("ext_arch", "Extension — 2-PCF across GPU generations")
+        .with_context(&format!("N = {n}"));
+
+    let mut t = SeriesTable::new("devices", &["device", "kernel", "time", "speedup vs naive"]);
+    let mut tiling_gain_min = f64::INFINITY;
+    let mut best_times = Vec::new();
+    for r in &rows {
+        let find = |k: &str| -> Result<f64, ReportError> {
+            r.kernels
+                .iter()
+                .find(|(name, _)| *name == k)
+                .map(|&(_, s)| s)
+                .ok_or_else(|| ReportError::EmptySeries {
+                    what: format!("ext_arch kernel `{k}` on {}", r.device),
+                })
+        };
+        let naive = find("naive")?;
+        for (k, secs) in &r.kernels {
+            t.row(vec![
+                Cell::text(r.device),
+                Cell::text(*k),
+                Cell::secs(*secs),
+                Cell::x(naive / secs),
+            ]);
+        }
+        tiling_gain_min = tiling_gain_min.min(naive / find("register-shm")?);
+        best_times.push(
+            r.kernels
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f64::INFINITY, f64::min),
+        );
+    }
+    rep.push_table(t);
+
+    rep.metric("tiling_gain.min_across_devices", tiling_gain_min, "x")?;
+    if best_times.len() == 3 {
+        // Index order follows `series`: Fermi, Kepler, Maxwell.
+        rep.metric(
+            "best_time_ratio.fermi_over_kepler",
+            best_times[0] / best_times[1],
+            "ratio",
+        )?;
+        rep.metric(
+            "best_time_ratio.kepler_over_maxwell",
+            best_times[1] / best_times[2],
+            "ratio",
+        )?;
+    }
+    rep.push_note(
+        "notes: shuffle tiling requires Kepler+; newer generations widen the\n\
+         tiled-vs-naive gap as arithmetic throughput outgrows memory latency.",
+    );
+    Ok(rep)
+}
+
 /// Render the architecture-study report.
 pub fn report(n: u32) -> String {
-    let rows = series(n);
-    let mut out = format!("Extension — 2-PCF across GPU generations (N = {n})\n\n");
-    for r in &rows {
-        out.push_str(&format!("{}\n", r.device));
-        let naive = r.kernels.iter().find(|(k, _)| *k == "naive").unwrap().1;
-        let mut t = Table::new(&["kernel", "time", "speedup vs naive"]);
-        for (k, secs) in &r.kernels {
-            t.row(&[k.to_string(), fmt_secs(*secs), fmt_x(naive / secs)]);
-        }
-        out.push_str(&t.render());
-        out.push('\n');
+    match build_report(n) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_arch report failed: {e}"),
     }
-    out.push_str(
-        "notes: shuffle tiling requires Kepler+; newer generations widen the\n\
-         tiled-vs-naive gap as arithmetic throughput outgrows memory latency.\n",
-    );
-    out
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! **Extension: block-size study** — the paper sets "the value of
 //! threads per block to 1024, which is derived from an optimization
-//! model developed in our previous work [23] — that model guarantees
+//! model developed in our previous work \[23\] — that model guarantees
 //! best kernel performance among all possible parameters" (§IV-B).
 //!
 //! Our analytical model reproduces that choice from first principles:
@@ -8,7 +8,7 @@
 //! tiles (less tile-staging and loop overhead per pair) until occupancy
 //! or shared memory pushes back.
 
-use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath, Workload};
 
@@ -41,12 +41,13 @@ pub fn series(n: u32, input: InputPath, output: OutputPath, cfg: &DeviceConfig) 
         .collect()
 }
 
-/// Render the block-size report.
-pub fn report(n: u32, cfg: &DeviceConfig) -> String {
-    let mut out = format!(
-        "Extension — block-size optimization (2-PCF and SDH, N ≈ {n})\n\
-         (the paper fixes B = 1024 from its reference [23]'s model)\n\n"
-    );
+/// Build the structured block-size report.
+pub fn build_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let mut rep =
+        Report::new("ext_blocksize", "Extension — block-size optimization").with_context(&format!(
+            "2-PCF and SDH, N ≈ {n}; the paper fixes B = 1024 from its reference [23]'s model"
+        ));
+    let mut t = SeriesTable::new("sweep", &["kernel", "B", "time", "occupancy", "vs best"]);
     for (label, input, output) in [
         (
             "Register-SHM / 2-PCF",
@@ -59,23 +60,38 @@ pub fn report(n: u32, cfg: &DeviceConfig) -> String {
             OutputPath::SharedHistogram { buckets: 4096 },
         ),
     ] {
-        out.push_str(&format!("{label}\n"));
         let rows = series(n, input, output, cfg);
         let best = rows.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
-        let mut t = Table::new(&["B", "time", "occupancy", "vs best"]);
         for r in &rows {
-            t.row(&[
-                r.block.to_string(),
-                fmt_secs(r.seconds),
-                fmt_pct(r.occupancy),
-                format!("{:.2}x", r.seconds / best),
+            t.row(vec![
+                Cell::text(label),
+                Cell::int(r.block as u64),
+                Cell::secs(r.seconds),
+                Cell::pct(r.occupancy),
+                Cell::num(r.seconds / best, format!("{:.2}x", r.seconds / best)),
             ]);
         }
-        out.push_str(&t.render());
-        out.push('\n');
+        if input == InputPath::RegisterShm {
+            let b1024 =
+                rows.iter()
+                    .find(|r| r.block == 1024)
+                    .ok_or_else(|| ReportError::EmptySeries {
+                        what: "ext_blocksize B = 1024 row".to_string(),
+                    })?;
+            rep.metric("b1024_over_best", b1024.seconds / best, "ratio")?;
+        }
     }
-    out.push_str("large blocks amortize tile staging; B = 1024 is at or near the optimum.\n");
-    out
+    rep.push_table(t);
+    rep.push_note("large blocks amortize tile staging; B = 1024 is at or near the optimum.");
+    Ok(rep)
+}
+
+/// Render the block-size report.
+pub fn report(n: u32, cfg: &DeviceConfig) -> String {
+    match build_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_blocksize report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

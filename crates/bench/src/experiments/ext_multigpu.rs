@@ -10,7 +10,7 @@
 //! grid-limited and splitting would not help, which the negative-control
 //! unit test documents.
 
-use crate::table::{fmt_secs, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::DeviceConfig;
 use tbs_apps::multi_gpu::sdh_multi_gpu;
 use tbs_apps::PairwisePlan;
@@ -76,29 +76,55 @@ pub fn series(n: usize, block: u32, device_counts: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Render the multi-GPU report.
-pub fn report(n: usize, block: u32) -> String {
+/// Build the structured functional multi-GPU report.
+pub fn build_report(n: usize, block: u32) -> Result<Report, ReportError> {
     let rows = series(n, block, &[1, 2, 3, 4]);
-    let mut out = format!(
-        "Extension — multi-GPU SDH decomposition (functional, N = {n}, B = {block},\n\
-         scaled 4-SM device so the workload saturates each GPU)\n\n"
+    let mut rep = Report::new("ext_multigpu", "Extension — multi-GPU SDH decomposition")
+        .with_context(&format!(
+            "functional, N = {n}, B = {block}, scaled 4-SM device so the workload \
+             saturates each GPU"
+        ));
+    let mut t = SeriesTable::new(
+        "scaling",
+        &["devices", "tasks", "makespan", "speedup", "efficiency"],
     );
-    let mut t = Table::new(&["devices", "tasks", "makespan", "speedup", "efficiency"]);
     for r in &rows {
-        t.row(&[
-            r.devices.to_string(),
-            r.tasks.to_string(),
-            fmt_secs(r.makespan),
-            format!("{:.2}x", r.speedup),
-            format!("{:.0}%", r.efficiency * 100.0),
+        t.row(vec![
+            Cell::int(r.devices as u64),
+            Cell::int(r.tasks as u64),
+            Cell::secs(r.makespan),
+            Cell::num(r.speedup, format!("{:.2}x", r.speedup)),
+            Cell::pct(r.efficiency),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nthe chunked self/cross task graph scales to multiple devices with\n\
-         O(G·H) inter-device traffic; LPT scheduling keeps the devices balanced.\n",
+    rep.push_table(t);
+
+    let at = |g: usize| -> Result<&Row, ReportError> {
+        rows.iter()
+            .find(|r| r.devices == g)
+            .ok_or_else(|| ReportError::EmptySeries {
+                what: format!("ext_multigpu G = {g} row"),
+            })
+    };
+    rep.metric("speedup.2dev", at(2)?.speedup, "x")?;
+    rep.metric(
+        "speedup.4dev_over_2dev",
+        at(4)?.speedup / at(2)?.speedup,
+        "ratio",
+    )?;
+    rep.push_note(
+        "the chunked self/cross task graph scales to multiple devices with\n\
+         O(G·H) inter-device traffic; LPT scheduling keeps the devices balanced.",
     );
-    out
+    Ok(rep)
+}
+
+/// Render the multi-GPU report.
+pub fn report(n: usize, block: u32) -> String {
+    match build_report(n, block) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_multigpu report failed: {e}"),
+    }
 }
 
 // ====================================================================
@@ -164,25 +190,47 @@ pub fn predicted_makespan(
     (makespan, eff)
 }
 
-/// Render the paper-scale predicted-scaling section.
-pub fn report_predicted(n: u32, cfg: &DeviceConfig) -> String {
-    let mut out = format!(
-        "Predicted multi-GPU scaling at paper scale (N = {n}, B = 1024,\n\
-         4096-bucket SDH on full Titan X devices; closed-form profiles)\n\n"
-    );
+/// Build the paper-scale predicted-scaling report.
+pub fn build_predicted_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let mut rep = Report::new(
+        "ext_multigpu_predicted",
+        "Predicted multi-GPU scaling at paper scale",
+    )
+    .with_context(&format!(
+        "N = {n}, B = 1024, 4096-bucket SDH on full Titan X devices; closed-form profiles"
+    ));
     let (base, _) = predicted_makespan(n, 1024, 4096, 1, cfg);
-    let mut t = Table::new(&["devices", "makespan", "speedup", "efficiency"]);
+    let mut t = SeriesTable::new("scaling", &["devices", "makespan", "speedup", "efficiency"]);
+    let mut speedup4 = None;
     for g in [1usize, 2, 4, 8] {
         let (m, e) = predicted_makespan(n, 1024, 4096, g, cfg);
-        t.row(&[
-            g.to_string(),
-            fmt_secs(m),
-            format!("{:.2}x", base / m),
-            format!("{:.0}%", e * 100.0),
+        t.row(vec![
+            Cell::int(g as u64),
+            Cell::secs(m),
+            Cell::num(base / m, format!("{:.2}x", base / m)),
+            Cell::pct(e),
         ]);
+        if g == 4 {
+            speedup4 = Some(base / m);
+        }
     }
-    out.push_str(&t.render());
-    out
+    rep.push_table(t);
+    rep.metric(
+        "speedup.4dev",
+        speedup4.ok_or_else(|| ReportError::EmptySeries {
+            what: "ext_multigpu_predicted G = 4 row".to_string(),
+        })?,
+        "x",
+    )?;
+    Ok(rep)
+}
+
+/// Render the paper-scale predicted-scaling section.
+pub fn report_predicted(n: u32, cfg: &DeviceConfig) -> String {
+    match build_predicted_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_multigpu predicted report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! This *functional* study measures real same-address serialization on
 //! the simulator for uniform vs clustered data.
 
-use crate::table::{fmt_secs, Table};
-use gpu_sim::{Device, DeviceConfig};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use gpu_sim::{AccessTally, Device, DeviceConfig};
 use tbs_core::histogram::HistogramSpec;
 use tbs_core::kernels::{pair_launch, IntraMode, PairScope, RegisterShmKernel};
 use tbs_core::output::SharedHistogramAction;
@@ -25,6 +25,9 @@ pub struct Row {
     pub seconds: f64,
     /// Fraction of all counts landing in the busiest bucket.
     pub peak_bucket_share: f64,
+    /// Full instrumentation snapshot of the run (embedded in the JSON
+    /// report so contention regressions can be diffed at counter level).
+    pub tally: AccessTally,
 }
 
 /// Run the functional SDH kernel on one dataset and measure contention.
@@ -66,6 +69,7 @@ pub fn measure(pts: &SoaPoints<3>, label: &str, buckets: u32, block: u32) -> Opt
         contention: run.tally.shared_atomic_contention(),
         seconds: run.timing.seconds,
         peak_bucket_share: peak as f64 / total.max(1) as f64,
+        tally: run.tally,
     })
 }
 
@@ -92,29 +96,65 @@ pub fn series(n: usize, buckets: u32, block: u32) -> Vec<Row> {
     rows
 }
 
-/// Render the skew-study report.
-pub fn report(n: usize, buckets: u32, block: u32) -> String {
+/// Build the structured skew-study report.
+pub fn build_report(n: usize, buckets: u32, block: u32) -> Result<Report, ReportError> {
     let rows = series(n, buckets, block);
-    let mut out = format!(
-        "Extension — SDH atomic contention under data skew\n\
-         (functional simulation, N = {n}, {buckets} buckets, B = {block})\n\n"
+    let mut rep = Report::new(
+        "ext_skew",
+        "Extension — SDH atomic contention under data skew",
+    )
+    .with_context(&format!(
+        "functional simulation, N = {n}, {buckets} buckets, B = {block}"
+    ));
+    let mut t = SeriesTable::new(
+        "datasets",
+        &["dataset", "contention", "peak-bucket share", "sim time"],
     );
-    let mut t = Table::new(&["dataset", "contention", "peak-bucket share", "sim time"]);
     for r in &rows {
-        t.row(&[
-            r.label.clone(),
-            format!("{:.2}x", r.contention),
-            format!("{:.0}%", r.peak_bucket_share * 100.0),
-            fmt_secs(r.seconds),
+        t.row(vec![
+            Cell::text(r.label.as_str()),
+            Cell::num(r.contention, format!("{:.2}x", r.contention)),
+            Cell::num(
+                r.peak_bucket_share,
+                format!("{:.0}%", r.peak_bucket_share * 100.0),
+            ),
+            Cell::secs(r.seconds),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nskewed inputs concentrate distances into few buckets, raising the\n\
+    rep.push_table(t);
+
+    let uniform =
+        rows.iter()
+            .find(|r| r.label == "uniform")
+            .ok_or_else(|| ReportError::EmptySeries {
+                what: "ext_skew uniform dataset".to_string(),
+            })?;
+    let tightest = rows.last().ok_or_else(|| ReportError::EmptySeries {
+        what: "ext_skew clustered datasets".to_string(),
+    })?;
+    rep.metric("uniform_contention", uniform.contention, "x")?;
+    rep.metric(
+        "contention_ratio.tightest_over_uniform",
+        tightest.contention / uniform.contention,
+        "ratio",
+    )?;
+    // The tightest cluster is the interesting instrumentation snapshot:
+    // it is the run whose serialization the gate pins.
+    rep.tally = Some(tightest.tally.clone());
+    rep.push_note(
+        "skewed inputs concentrate distances into few buckets, raising the\n\
          same-address serialization of the privatized output's shared atomics —\n\
-         the contention regime the paper only reaches via tiny histograms.\n",
+         the contention regime the paper only reaches via tiny histograms.",
     );
-    out
+    Ok(rep)
+}
+
+/// Render the skew-study report.
+pub fn report(n: usize, buckets: u32, block: u32) -> String {
+    match build_report(n, buckets, block) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_skew report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! per-lane `atomicAdd` on the output cursor vs one aggregated
 //! `atomicAdd` per warp (ballot + prefix + shuffle broadcast).
 
-use crate::table::{fmt_secs, fmt_x, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::{Device, DeviceConfig};
 use tbs_apps::{distance_join_gpu, PairwisePlan};
 use tbs_core::SoaPoints;
@@ -73,38 +73,65 @@ pub fn series(pts: &SoaPoints<2>, radii: &[f32], block: u32) -> Vec<Row> {
         .collect()
 }
 
-/// Render the Type-III study report.
-pub fn report(n: usize, block: u32) -> String {
+/// Build the structured Type-III study report.
+pub fn build_report(n: usize, block: u32) -> Result<Report, ReportError> {
     let pts = tbs_datagen::uniform_points::<2>(n, 100.0, 11);
     let rows = series(&pts, &[2.0, 5.0, 10.0, 20.0, 40.0, 80.0], block);
-    let mut out = format!(
-        "Extension — Type-III join output: per-lane vs warp-aggregated\n\
-         slot allocation (functional simulation, N = {n}, B = {block})\n\n"
+    let mut rep = Report::new(
+        "ext_type3",
+        "Extension — Type-III join output: per-lane vs warp-aggregated slot allocation",
+    )
+    .with_context(&format!("functional simulation, N = {n}, B = {block}"));
+    let mut t = SeriesTable::new(
+        "selectivity_sweep",
+        &[
+            "radius",
+            "selectivity",
+            "per-lane",
+            "aggregated",
+            "speedup",
+            "serial ops (lane/agg)",
+        ],
     );
-    let mut t = Table::new(&[
-        "radius",
-        "selectivity",
-        "per-lane",
-        "aggregated",
-        "speedup",
-        "serial ops (lane/agg)",
-    ]);
     for r in &rows {
-        t.row(&[
-            format!("{:.0}", r.radius),
-            format!("{:.3}%", r.selectivity * 100.0),
-            fmt_secs(r.naive_seconds),
-            fmt_secs(r.aggregated_seconds),
-            fmt_x(r.naive_seconds / r.aggregated_seconds),
-            format!("{}/{}", r.naive_serial, r.aggregated_serial),
+        t.row(vec![
+            Cell::num(r.radius as f64, format!("{:.0}", r.radius)),
+            Cell::num(r.selectivity, format!("{:.3}%", r.selectivity * 100.0)),
+            Cell::secs(r.naive_seconds),
+            Cell::secs(r.aggregated_seconds),
+            Cell::x(r.naive_seconds / r.aggregated_seconds),
+            Cell::text(format!("{}/{}", r.naive_serial, r.aggregated_serial)),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\nwarp aggregation pays off as selectivity grows: the per-lane cursor\n\
-         serializes once per matching lane, aggregation once per warp.\n",
+    rep.push_table(t);
+
+    // The densest (largest-radius) row is where aggregation must win.
+    let dense = rows.last().ok_or_else(|| ReportError::EmptySeries {
+        what: "ext_type3 selectivity sweep".to_string(),
+    })?;
+    rep.metric(
+        "serial_ratio.dense",
+        dense.naive_serial as f64 / dense.aggregated_serial.max(1) as f64,
+        "ratio",
+    )?;
+    rep.metric(
+        "agg_speedup.dense",
+        dense.naive_seconds / dense.aggregated_seconds,
+        "x",
+    )?;
+    rep.push_note(
+        "warp aggregation pays off as selectivity grows: the per-lane cursor\n\
+         serializes once per matching lane, aggregation once per warp.",
     );
-    out
+    Ok(rep)
+}
+
+/// Render the Type-III study report.
+pub fn report(n: usize, block: u32) -> String {
+    match build_report(n, block) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("ext_type3 report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //! speedup 5.5×, max 6×); SHM-SHM close behind (5.3×); Register-ROC
 //! least improved (4.7×, max 5×).
 
-use crate::table::{fmt_secs, fmt_x, Table};
-use crate::{geomean, paper_workload};
+use crate::paper_workload;
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use crate::table::fmt_x;
+use crate::try_geomean;
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
 
@@ -56,53 +58,91 @@ pub fn series(sizes: &[u32], cfg: &DeviceConfig) -> Vec<Row> {
         .collect()
 }
 
+/// Build the structured Figure-2 report (tables + gate metrics).
+pub fn build_report(sizes: &[u32], cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let rows = series(sizes, cfg);
+    let mut rep = Report::new(
+        "fig2",
+        "Figure 2 — 2-PCF: total running time and speedup over the naive kernel",
+    )
+    .with_context("uniform 3-D points, B = 1024, Euclidean distance");
+
+    let mut t = SeriesTable::new(
+        "times",
+        &["N", "Naive", "SHM-SHM", "Register-SHM", "Register-ROC"],
+    );
+    for r in &rows {
+        t.row(vec![
+            Cell::int(r.n as u64),
+            Cell::secs(r.seconds[0]),
+            Cell::secs(r.seconds[1]),
+            Cell::secs(r.seconds[2]),
+            Cell::secs(r.seconds[3]),
+        ]);
+    }
+    rep.push_table(t);
+
+    let mut s = SeriesTable::new(
+        "speedups",
+        &["N", "SHM-SHM", "Register-SHM", "Register-ROC"],
+    );
+    for r in &rows {
+        s.row(vec![
+            Cell::int(r.n as u64),
+            Cell::x(r.speedup(1)),
+            Cell::x(r.speedup(2)),
+            Cell::x(r.speedup(3)),
+        ]);
+    }
+    rep.push_table(s);
+
+    // Average over the saturated regime the paper plots (N ≥ 100 K).
+    let saturated: Vec<&Row> = rows.iter().filter(|r| r.n >= 100_000).collect();
+    let speedups = |k: usize| -> Vec<f64> { saturated.iter().map(|r| r.speedup(k)).collect() };
+    let avg = [
+        try_geomean("fig2 SHM-SHM saturated speedups", &speedups(1))?,
+        try_geomean("fig2 Register-SHM saturated speedups", &speedups(2))?,
+        try_geomean("fig2 Register-ROC saturated speedups", &speedups(3))?,
+    ];
+    rep.metric("speedup.shm_shm.geomean_saturated", avg[0], "x")?;
+    rep.metric("speedup.register_shm.geomean_saturated", avg[1], "x")?;
+    rep.metric("speedup.register_roc.geomean_saturated", avg[2], "x")?;
+
+    // Paper-shape invariants the perf gate pins: Register-SHM ≥ 4× at
+    // every fully saturated size, and SHM-SHM never beats Register-SHM.
+    let deep: Vec<&&Row> = saturated.iter().filter(|r| r.n >= 400_000).collect();
+    if deep.is_empty() {
+        return Err(ReportError::EmptySeries {
+            what: "fig2 N >= 400K rows".to_string(),
+        });
+    }
+    let reg_min = deep
+        .iter()
+        .map(|r| r.speedup(2))
+        .fold(f64::INFINITY, f64::min);
+    let shm_over_reg = deep
+        .iter()
+        .map(|r| r.speedup(1) / r.speedup(2))
+        .fold(f64::NEG_INFINITY, f64::max);
+    rep.metric("invariant.register_shm_min_saturated", reg_min, "x")?;
+    rep.metric("invariant.shm_over_register_shm_max", shm_over_reg, "ratio")?;
+
+    rep.push_note(&format!(
+        "average speedup over naive:  SHM-SHM {}  Register-SHM {}  Register-ROC {}\n\
+         paper:                       SHM-SHM 5.3x Register-SHM 5.5x Register-ROC 4.7x",
+        fmt_x(avg[0]),
+        fmt_x(avg[1]),
+        fmt_x(avg[2]),
+    ));
+    Ok(rep)
+}
+
 /// Render the full Figure-2 report.
 pub fn report(sizes: &[u32], cfg: &DeviceConfig) -> String {
-    let rows = series(sizes, cfg);
-    let mut out = String::from(
-        "Figure 2 — 2-PCF: total running time and speedup over the naive kernel\n\
-         (uniform 3-D points, B = 1024, Euclidean distance)\n\n",
-    );
-    let mut t = Table::new(&["N", "Naive", "SHM-SHM", "Register-SHM", "Register-ROC"]);
-    for r in &rows {
-        t.row(&[
-            r.n.to_string(),
-            fmt_secs(r.seconds[0]),
-            fmt_secs(r.seconds[1]),
-            fmt_secs(r.seconds[2]),
-            fmt_secs(r.seconds[3]),
-        ]);
+    match build_report(sizes, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("fig2 report failed: {e}"),
     }
-    out.push_str(&t.render());
-    out.push('\n');
-    let mut s = Table::new(&["N", "SHM-SHM", "Register-SHM", "Register-ROC"]);
-    for r in &rows {
-        s.row(&[
-            r.n.to_string(),
-            fmt_x(r.speedup(1)),
-            fmt_x(r.speedup(2)),
-            fmt_x(r.speedup(3)),
-        ]);
-    }
-    out.push_str(&s.render());
-    // Average over the saturated regime the paper plots (N ≥ 400 K).
-    let avg = |k: usize| {
-        geomean(
-            &rows
-                .iter()
-                .filter(|r| r.n >= 100_000)
-                .map(|r| r.speedup(k))
-                .collect::<Vec<_>>(),
-        )
-    };
-    out.push_str(&format!(
-        "\naverage speedup over naive:  SHM-SHM {}  Register-SHM {}  Register-ROC {}\n\
-         paper:                       SHM-SHM 5.3x Register-SHM 5.5x Register-ROC 4.7x\n",
-        fmt_x(avg(1)),
-        fmt_x(avg(2)),
-        fmt_x(avg(3)),
-    ));
-    out
 }
 
 #[cfg(test)]
@@ -154,5 +194,32 @@ mod tests {
         let rep = report(&[102_400, 409_600], &cfg);
         assert!(rep.contains("Register-SHM"));
         assert!(rep.contains("average speedup"));
+    }
+
+    #[test]
+    fn build_report_rejects_unsaturated_sweeps() {
+        // A sweep with no saturated sizes cannot support the paper's
+        // speedup claims — the reporting path must say so, not emit NaN.
+        let cfg = DeviceConfig::titan_x();
+        let err = build_report(&[1024, 2048], &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::report::ReportError::EmptySeries { .. }
+        ));
+    }
+
+    #[test]
+    fn build_report_exposes_gate_metrics() {
+        let cfg = DeviceConfig::titan_x();
+        let rep = build_report(&paper_sweep(6, 1024), &cfg).unwrap();
+        let reg = rep
+            .metric_value("speedup.register_shm.geomean_saturated")
+            .unwrap();
+        assert!(reg > 4.0, "Register-SHM geomean {reg}");
+        assert!(
+            rep.metric_value("invariant.shm_over_register_shm_max")
+                .unwrap()
+                <= 1.01
+        );
     }
 }

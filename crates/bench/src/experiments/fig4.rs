@@ -13,7 +13,8 @@
 //! the CPU; even the least-optimized GPU kernel beats the CPU (≈ 3.5×).
 
 use crate::paper_workload;
-use crate::table::{fmt_secs, fmt_x, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use crate::table::fmt_x;
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{
     predicted_reduction_run, predicted_run, InputPath, KernelSpec, OutputPath,
@@ -70,62 +71,101 @@ pub fn series(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> Vec<Row> {
         .collect()
 }
 
+/// Build the structured Figure-4 report (tables + gate metrics).
+pub fn build_report(
+    sizes: &[u32],
+    cfg: &DeviceConfig,
+    cpu: &CpuModel,
+) -> Result<Report, ReportError> {
+    let rows = series(sizes, cfg, cpu);
+    let mut rep = Report::new(
+        "fig4",
+        "Figure 4 — SDH: total running time and speedup over the CPU algorithm",
+    )
+    .with_context(
+        "uniform 3-D points, B = 1024, 4096-bucket histogram; privatized \
+         kernels include the Figure-3 reduction stage",
+    );
+
+    let mut t = SeriesTable::new(
+        "times",
+        &[
+            "N",
+            "CPU",
+            "Register-SHM",
+            "Naive-Out",
+            "Reg-SHM-Out",
+            "Reg-ROC-Out",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            Cell::int(r.n as u64),
+            Cell::secs(r.cpu),
+            Cell::secs(r.register_shm),
+            Cell::secs(r.naive_out),
+            Cell::secs(r.reg_shm_out),
+            Cell::secs(r.reg_roc_out),
+        ]);
+    }
+    rep.push_table(t);
+
+    let mut s = SeriesTable::new(
+        "speedups_over_cpu",
+        &[
+            "N",
+            "Register-SHM",
+            "Naive-Out",
+            "Reg-SHM-Out",
+            "Reg-ROC-Out",
+        ],
+    );
+    for r in &rows {
+        s.row(vec![
+            Cell::int(r.n as u64),
+            Cell::x(r.cpu / r.register_shm),
+            Cell::x(r.cpu / r.naive_out),
+            Cell::x(r.cpu / r.reg_shm_out),
+            Cell::x(r.cpu / r.reg_roc_out),
+        ]);
+    }
+    rep.push_table(s);
+
+    let last = rows.last().ok_or_else(|| ReportError::EmptySeries {
+        what: "fig4 sweep".to_string(),
+    })?;
+    rep.metric(
+        "privatization_gain.at_max_n",
+        last.register_shm / last.reg_roc_out,
+        "x",
+    )?;
+    rep.metric(
+        "best_gpu_over_cpu.at_max_n",
+        last.cpu / last.reg_roc_out,
+        "x",
+    )?;
+    rep.metric(
+        "register_shm_over_cpu.at_max_n",
+        last.cpu / last.register_shm,
+        "x",
+    )?;
+    rep.push_note(&format!(
+        "at N = {}: Reg-ROC-Out is {} as fast as Register-SHM (paper: ~11x)\n\
+         best-GPU over CPU: {} (paper: ~50x); Register-SHM over CPU: {} (paper: ~3.5x)",
+        last.n,
+        fmt_x(last.register_shm / last.reg_roc_out),
+        fmt_x(last.cpu / last.reg_roc_out),
+        fmt_x(last.cpu / last.register_shm),
+    ));
+    Ok(rep)
+}
+
 /// Render the full Figure-4 report.
 pub fn report(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> String {
-    let rows = series(sizes, cfg, cpu);
-    let mut out = String::from(
-        "Figure 4 — SDH: total running time and speedup over the CPU algorithm\n\
-         (uniform 3-D points, B = 1024, 4096-bucket histogram; privatized\n\
-         kernels include the Figure-3 reduction stage)\n\n",
-    );
-    let mut t = Table::new(&[
-        "N",
-        "CPU",
-        "Register-SHM",
-        "Naive-Out",
-        "Reg-SHM-Out",
-        "Reg-ROC-Out",
-    ]);
-    for r in &rows {
-        t.row(&[
-            r.n.to_string(),
-            fmt_secs(r.cpu),
-            fmt_secs(r.register_shm),
-            fmt_secs(r.naive_out),
-            fmt_secs(r.reg_shm_out),
-            fmt_secs(r.reg_roc_out),
-        ]);
+    match build_report(sizes, cfg, cpu) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("fig4 report failed: {e}"),
     }
-    out.push_str(&t.render());
-    out.push('\n');
-    let mut s = Table::new(&[
-        "N",
-        "Register-SHM",
-        "Naive-Out",
-        "Reg-SHM-Out",
-        "Reg-ROC-Out",
-    ]);
-    for r in &rows {
-        s.row(&[
-            r.n.to_string(),
-            fmt_x(r.cpu / r.register_shm),
-            fmt_x(r.cpu / r.naive_out),
-            fmt_x(r.cpu / r.reg_shm_out),
-            fmt_x(r.cpu / r.reg_roc_out),
-        ]);
-    }
-    out.push_str(&s.render());
-    if let Some(last) = rows.last() {
-        out.push_str(&format!(
-            "\nat N = {}: Reg-ROC-Out is {} as fast as Register-SHM (paper: ~11x)\n\
-             best-GPU over CPU: {} (paper: ~50x); Register-SHM over CPU: {} (paper: ~3.5x)\n",
-            last.n,
-            fmt_x(last.register_shm / last.reg_roc_out),
-            fmt_x(last.cpu / last.reg_roc_out),
-            fmt_x(last.cpu / last.register_shm),
-        ));
-    }
-    out
 }
 
 #[cfg(test)]

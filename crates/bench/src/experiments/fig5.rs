@@ -12,7 +12,7 @@
 //! several fit one SM — with B = 1024 the shared-memory limit cannot
 //! bind before the 48 KB per-block cap).
 
-use crate::table::{fmt_pct, fmt_secs, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{
     predicted_reduction_run, predicted_run, InputPath, KernelSpec, OutputPath, Workload,
@@ -66,26 +66,64 @@ pub fn default_buckets() -> Vec<u32> {
     ]
 }
 
-/// Render the Figure-5 report.
-pub fn report(n: u32, cfg: &DeviceConfig) -> String {
+/// Build the structured Figure-5 report (table + gate metrics).
+pub fn build_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
     let rows = series(&default_buckets(), n, cfg);
-    let mut out =
-        format!("Figure 5 — Reg-ROC-Out SDH vs histogram size (N = {n}, B = {FIG5_BLOCK})\n\n");
-    let mut t = Table::new(&["buckets", "time", "occupancy"]);
+    let mut rep = Report::new(
+        "fig5",
+        "Figure 5 — Reg-ROC-Out SDH vs histogram size: running time and occupancy",
+    )
+    .with_context(&format!("N = {n}, B = {FIG5_BLOCK}"));
+
+    let mut t = SeriesTable::new("sweep", &["buckets", "time", "occupancy"]);
     for r in &rows {
-        t.row(&[
-            r.buckets.to_string(),
-            fmt_secs(r.seconds),
-            fmt_pct(r.occupancy),
+        t.row(vec![
+            Cell::int(r.buckets as u64),
+            Cell::secs(r.seconds),
+            Cell::pct(r.occupancy),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str(
-        "\npaper: time rises as a step function of output size; occupancy falls in\n\
+    rep.push_table(t);
+
+    // Gate metrics: the step-function shape (≥ 3 occupancy plateaus)
+    // and both ends of the U — big histograms lose occupancy, tiny
+    // ones pay atomic contention.
+    let plateaus: std::collections::BTreeSet<u64> =
+        rows.iter().map(|r| (r.occupancy * 1000.0) as u64).collect();
+    rep.metric("occupancy_plateaus", plateaus.len() as f64, "count")?;
+    let at = |buckets: u32| -> Result<f64, ReportError> {
+        rows.iter()
+            .find(|r| r.buckets == buckets)
+            .map(|r| r.seconds)
+            .ok_or_else(|| ReportError::EmptySeries {
+                what: format!("fig5 bucket count {buckets}"),
+            })
+    };
+    rep.metric(
+        "time_ratio.buckets5000_over_1000",
+        at(5000)? / at(1000)?,
+        "ratio",
+    )?;
+    rep.metric(
+        "time_ratio.buckets16_over_1000",
+        at(16)? / at(1000)?,
+        "ratio",
+    )?;
+
+    rep.push_note(
+        "paper: time rises as a step function of output size; occupancy falls in\n\
          steps as the shared-memory private histogram grows; very small outputs\n\
-         suffer from atomic contention instead.\n",
+         suffer from atomic contention instead.",
     );
-    out
+    Ok(rep)
+}
+
+/// Render the Figure-5 report.
+pub fn report(n: u32, cfg: &DeviceConfig) -> String {
+    match build_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("fig5 report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! and compares the regular triangular loop against the `(t + j) mod B`
 //! load-balanced pairing, reporting a 12–13 % improvement.
 
-use crate::table::{fmt_secs, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use crate::try_geomean;
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{predicted_intra_only_run, Workload};
 use tbs_core::kernels::IntraMode;
@@ -51,25 +52,45 @@ pub fn default_sizes() -> Vec<u32> {
     (1..=5).map(|i| i * 600 * 1024).collect()
 }
 
-/// Render the Figure-7 report.
-pub fn report(cfg: &DeviceConfig) -> String {
+/// Build the structured Figure-7 report (table + gate metric).
+pub fn build_report(cfg: &DeviceConfig) -> Result<Report, ReportError> {
     let rows = series(&default_sizes(), cfg);
-    let mut out = String::from(
-        "Figure 7 — intra-block phase: regular vs load-balanced iteration\n\
-         (Register-SHM kernel, intra-block distance computations only)\n\n",
+    let mut rep = Report::new(
+        "fig7",
+        "Figure 7 — intra-block phase: regular vs load-balanced iteration",
+    )
+    .with_context("Register-SHM kernel, intra-block distance computations only");
+
+    let mut t = SeriesTable::new(
+        "times",
+        &["N", "Register-SHM", "Register-SHM-LB", "speedup"],
     );
-    let mut t = Table::new(&["N", "Register-SHM", "Register-SHM-LB", "speedup"]);
     for r in &rows {
-        t.row(&[
-            r.n.to_string(),
-            fmt_secs(r.regular),
-            fmt_secs(r.balanced),
-            format!("{:.3}x", r.speedup()),
+        t.row(vec![
+            Cell::int(r.n as u64),
+            Cell::secs(r.regular),
+            Cell::secs(r.balanced),
+            Cell::x3(r.speedup()),
         ]);
     }
-    out.push_str(&t.render());
-    out.push_str("\npaper: a 12%-13% improvement (speedup 1.04–1.14 across the sweep)\n");
-    out
+    rep.push_table(t);
+
+    let speedups: Vec<f64> = rows.iter().map(Row::speedup).collect();
+    rep.metric(
+        "lb_speedup.geomean",
+        try_geomean("fig7 LB speedups", &speedups)?,
+        "x",
+    )?;
+    rep.push_note("paper: a 12%-13% improvement (speedup 1.04–1.14 across the sweep)");
+    Ok(rep)
+}
+
+/// Render the Figure-7 report.
+pub fn report(cfg: &DeviceConfig) -> String {
+    match build_report(cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("fig7 report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use crate::experiments::fig4::SDH_BUCKETS;
 use crate::paper_workload;
-use crate::table::{fmt_secs, fmt_x, Table};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::DeviceConfig;
 use tbs_core::analytic::{
     predicted_reduction_run, predicted_run, InputPath, KernelSpec, OutputPath,
@@ -51,40 +51,81 @@ pub fn series(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> Vec<Row> {
         .collect()
 }
 
+/// Build the structured Figure-9 report (tables + gate metrics).
+pub fn build_report(
+    sizes: &[u32],
+    cfg: &DeviceConfig,
+    cpu: &CpuModel,
+) -> Result<Report, ReportError> {
+    let rows = series(sizes, cfg, cpu);
+    let mut rep = Report::new(
+        "fig9",
+        "Figure 9 — SDH with shuffle-instruction tiling vs cache tiling",
+    )
+    .with_context("privatized output; times include the reduction stage");
+
+    let mut t = SeriesTable::new(
+        "times",
+        &["N", "CPU", "Reg-SHM-Out", "Reg-ROC-Out", "Shuffle"],
+    );
+    for r in &rows {
+        t.row(vec![
+            Cell::int(r.n as u64),
+            Cell::secs(r.cpu),
+            Cell::secs(r.reg_shm_out),
+            Cell::secs(r.reg_roc_out),
+            Cell::secs(r.shuffle_out),
+        ]);
+    }
+    rep.push_table(t);
+
+    let mut s = SeriesTable::new(
+        "speedups_over_cpu",
+        &["N", "Reg-SHM-Out", "Reg-ROC-Out", "Shuffle"],
+    );
+    for r in &rows {
+        s.row(vec![
+            Cell::int(r.n as u64),
+            Cell::x(r.cpu / r.reg_shm_out),
+            Cell::x(r.cpu / r.reg_roc_out),
+            Cell::x(r.cpu / r.shuffle_out),
+        ]);
+    }
+    rep.push_table(s);
+
+    // Gate metrics over the saturated regime: shuffle stays within the
+    // paper's "almost the same" band of the best cache-tiled kernel, and
+    // still crushes the CPU.
+    let saturated: Vec<&Row> = rows.iter().filter(|r| r.n >= 400_000).collect();
+    if saturated.is_empty() {
+        return Err(ReportError::EmptySeries {
+            what: "fig9 N >= 400K rows".to_string(),
+        });
+    }
+    let worst_ratio = saturated
+        .iter()
+        .map(|r| r.shuffle_out / r.reg_shm_out.min(r.reg_roc_out))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_cpu_speedup = saturated
+        .iter()
+        .map(|r| r.cpu / r.shuffle_out)
+        .fold(f64::INFINITY, f64::min);
+    rep.metric("shuffle_over_best_cache.max", worst_ratio, "ratio")?;
+    rep.metric("speedup_over_cpu.min", min_cpu_speedup, "x")?;
+
+    rep.push_note(
+        "paper: the shuffle kernel has almost the same performance as the\n\
+         shared-memory and read-only-cache tiled kernels (speedups ~45-55x).",
+    );
+    Ok(rep)
+}
+
 /// Render the Figure-9 report.
 pub fn report(sizes: &[u32], cfg: &DeviceConfig, cpu: &CpuModel) -> String {
-    let rows = series(sizes, cfg, cpu);
-    let mut out = String::from(
-        "Figure 9 — SDH with shuffle-instruction tiling vs cache tiling\n\
-         (privatized output; times include the reduction stage)\n\n",
-    );
-    let mut t = Table::new(&["N", "CPU", "Reg-SHM-Out", "Reg-ROC-Out", "Shuffle"]);
-    for r in &rows {
-        t.row(&[
-            r.n.to_string(),
-            fmt_secs(r.cpu),
-            fmt_secs(r.reg_shm_out),
-            fmt_secs(r.reg_roc_out),
-            fmt_secs(r.shuffle_out),
-        ]);
+    match build_report(sizes, cfg, cpu) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("fig9 report failed: {e}"),
     }
-    out.push_str(&t.render());
-    out.push('\n');
-    let mut s = Table::new(&["N", "Reg-SHM-Out", "Reg-ROC-Out", "Shuffle"]);
-    for r in &rows {
-        s.row(&[
-            r.n.to_string(),
-            fmt_x(r.cpu / r.reg_shm_out),
-            fmt_x(r.cpu / r.reg_roc_out),
-            fmt_x(r.cpu / r.shuffle_out),
-        ]);
-    }
-    out.push_str(&s.render());
-    out.push_str(
-        "\npaper: the shuffle kernel has almost the same performance as the\n\
-         shared-memory and read-only-cache tiled kernels (speedups ~45-55x).\n",
-    );
-    out
 }
 
 #[cfg(test)]

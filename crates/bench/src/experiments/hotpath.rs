@@ -1,0 +1,161 @@
+//! **Host throughput** — wall-clock cost of the simulator interpreter
+//! itself (the vectorized warp fast paths vs the retained scalar
+//! reference).
+//!
+//! Unlike every other experiment, this one measures *this machine*, not
+//! the modeled GPU: it runs the fig2-style 2-PCF workload through the
+//! functional simulator twice per problem size — once with
+//! `scalar_reference` and once with the vectorized fast paths — asserts
+//! the two runs are bit-identical (pair count, full `AccessTally`,
+//! simulated timing), and reports wall-clock times and throughput.
+//!
+//! The `hotpath_baseline` bin prints it and records
+//! `BENCH_sim_hotpath.json`; the perf gate pins generous floors on a
+//! reduced size (see `report::gate`, group `host`).
+
+use std::time::Instant;
+
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use gpu_sim::config::ExecMode;
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{pcf_gpu, PairwisePlan, PcfResult};
+use tbs_datagen::uniform_points;
+
+/// Workload constants, fixed so every measurement is comparable.
+pub const RADIUS: f32 = 25.0;
+pub const BOX: f32 = 100.0;
+pub const SEED: u64 = 11;
+pub const BLOCK: u32 = 1024;
+
+/// One problem size's paired measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub n: usize,
+    pub pair_count: u64,
+    /// Wall-clock seconds with the scalar-reference interpreter.
+    pub scalar_s: f64,
+    /// Wall-clock seconds with the vectorized fast paths.
+    pub fast_s: f64,
+    /// Executed lane slots (useful + predicated) — the work measure
+    /// behind the throughput numbers.
+    pub lane_ops: u64,
+    pub sim_cycles: f64,
+}
+
+impl Sample {
+    pub fn speedup(&self) -> f64 {
+        self.scalar_s / self.fast_s
+    }
+
+    pub fn lane_ops_per_s(&self) -> f64 {
+        self.lane_ops as f64 / self.fast_s
+    }
+
+    pub fn sim_cycles_per_s(&self) -> f64 {
+        self.sim_cycles / self.fast_s
+    }
+}
+
+fn run_once(n: usize, scalar_reference: bool) -> (f64, PcfResult) {
+    let pts = uniform_points::<3>(n, BOX, SEED);
+    let cfg = DeviceConfig::titan_x()
+        .with_exec_mode(ExecMode::Sequential)
+        .with_scalar_reference(scalar_reference);
+    let mut dev = Device::new(cfg);
+    let t = Instant::now();
+    let r = pcf_gpu(&mut dev, &pts, RADIUS, PairwisePlan::register_shm(BLOCK)).expect("launch");
+    (t.elapsed().as_secs_f64(), r)
+}
+
+/// Measure one size, asserting the fast paths are bit-identical to the
+/// scalar reference (same pair count, tally and simulated timing).
+pub fn measure(n: usize) -> Sample {
+    eprintln!("N={n}: scalar-reference pass...");
+    let (scalar_s, scalar) = run_once(n, true);
+    eprintln!("N={n}: scalar {scalar_s:.3}s; vectorized pass...");
+    let (fast_s, fast) = run_once(n, false);
+    eprintln!("N={n}: fast {fast_s:.3}s ({:.2}x)", scalar_s / fast_s);
+
+    // The whole point of the fast paths is that they change nothing but
+    // host time: same pair count, same tally, same simulated timing.
+    assert_eq!(fast.count, scalar.count, "pair count diverged at N={n}");
+    assert_eq!(fast.run.tally, scalar.run.tally, "tally diverged at N={n}");
+    assert_eq!(
+        fast.run.timing.seconds.to_bits(),
+        scalar.run.timing.seconds.to_bits(),
+        "simulated time diverged at N={n}"
+    );
+
+    let t = &fast.run.tally;
+    Sample {
+        n,
+        pair_count: fast.count,
+        scalar_s,
+        fast_s,
+        lane_ops: t.useful_lane_ops + t.predicated_lane_slots,
+        sim_cycles: fast.run.timing.cycles,
+    }
+}
+
+/// Build the host-throughput report over the given sizes. Wall-clock
+/// numbers are machine-dependent; the gate only pins floors on them.
+pub fn build_report(sizes: &[usize]) -> Result<Report, ReportError> {
+    if sizes.is_empty() {
+        return Err(ReportError::EmptySeries {
+            what: "hotpath size list".to_string(),
+        });
+    }
+    let samples: Vec<Sample> = sizes.iter().map(|&n| measure(n)).collect();
+    build_report_from(&samples)
+}
+
+/// Assemble the report from already-taken measurements (split out so the
+/// bin can measure once and both print and serialize).
+pub fn build_report_from(samples: &[Sample]) -> Result<Report, ReportError> {
+    let mut rep = Report::new("sim_hotpath", "Host throughput — interpreter fast paths")
+        .with_context(&format!(
+            "fig2 2-PCF, register_shm plan, block={BLOCK}, r={RADIUS}, {BOX}^3 box, \
+             sequential exec, bit-identical to scalar reference"
+        ));
+    let mut t = SeriesTable::new(
+        "sizes",
+        &[
+            "N",
+            "count",
+            "scalar_s",
+            "fast_s",
+            "speedup",
+            "Mlane-ops/s",
+            "Msim-cyc/s",
+        ],
+    );
+    for s in samples {
+        t.row(vec![
+            Cell::int(s.n as u64),
+            Cell::int(s.pair_count),
+            Cell::num(s.scalar_s, format!("{:.3}", s.scalar_s)),
+            Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
+            Cell::num(s.speedup(), format!("{:.2}x", s.speedup())),
+            Cell::num(
+                s.lane_ops_per_s(),
+                format!("{:.1}", s.lane_ops_per_s() / 1e6),
+            ),
+            Cell::num(
+                s.sim_cycles_per_s(),
+                format!("{:.1}", s.sim_cycles_per_s() / 1e6),
+            ),
+        ]);
+        rep.metric(&format!("speedup.n{}", s.n), s.speedup(), "x")?;
+        rep.metric(
+            &format!("lane_ops_per_s.n{}", s.n),
+            s.lane_ops_per_s(),
+            "ops/s",
+        )?;
+    }
+    rep.push_table(t);
+    rep.push_note(
+        "host wall-clock throughput of the simulator interpreter; the vectorized\n\
+         fast paths must be bit-identical to the scalar reference and faster.",
+    );
+    Ok(rep)
+}

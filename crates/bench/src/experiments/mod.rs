@@ -13,4 +13,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod hotpath;
 pub mod tables;

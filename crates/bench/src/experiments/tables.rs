@@ -8,7 +8,8 @@
 
 use crate::experiments::fig4::SDH_BUCKETS;
 use crate::paper_workload;
-use gpu_sim::{DeviceConfig, KernelProfile};
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use gpu_sim::{DeviceConfig, KernelProfile, Resource};
 use tbs_core::analytic::{predicted_run, InputPath, KernelSpec, OutputPath};
 
 /// Profile the four 2-PCF kernels of Table II at size `n`.
@@ -51,80 +52,160 @@ pub fn sdh_profiles(n: u32, cfg: &DeviceConfig) -> Vec<(String, KernelProfile)> 
     .collect()
 }
 
-fn utilization_table(
-    title: &str,
-    paper_note: &str,
-    profiles: &[(String, KernelProfile)],
-) -> String {
-    let mut out = format!("{title}\n\n");
-    out.push_str(&format!(
-        "{:<14} {:>10} {:>12}   {}\n",
-        "Kernel", "Arithmetic", "Control-flow", "Memory (bottleneck unit)"
-    ));
-    out.push_str(&"-".repeat(70));
-    out.push('\n');
+/// Shared layout of the two utilization tables (II and IV).
+fn utilization_series(profiles: &[(String, KernelProfile)]) -> SeriesTable {
+    let mut t = SeriesTable::new(
+        "utilization",
+        &[
+            "Kernel",
+            "Arithmetic",
+            "Control-flow",
+            "Memory",
+            "Bottleneck",
+        ],
+    );
     for (label, p) in profiles {
-        out.push_str(&format!(
-            "{:<14} {:>9.0}% {:>11.0}%   {:>5.1}% ({})\n",
-            label,
-            p.arithmetic_utilization * 100.0,
-            p.control_flow_utilization * 100.0,
-            p.memory_utilization * 100.0,
-            p.memory_bottleneck.name()
-        ));
+        t.row(vec![
+            Cell::text(label.as_str()),
+            Cell::pct(p.arithmetic_utilization),
+            Cell::pct(p.control_flow_utilization),
+            Cell::pct(p.memory_utilization),
+            Cell::text(p.memory_bottleneck.name()),
+        ]);
     }
-    out.push('\n');
-    out.push_str(paper_note);
-    out.push('\n');
-    out
+    t
+}
+
+fn profile_of<'a>(
+    profiles: &'a [(String, KernelProfile)],
+    label: &str,
+) -> Result<&'a KernelProfile, ReportError> {
+    profiles
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, p)| p)
+        .ok_or_else(|| ReportError::EmptySeries {
+            what: format!("profile for kernel `{label}`"),
+        })
+}
+
+/// Build the structured Table-II report (utilization + gate metrics).
+pub fn build_table2_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let profiles = table2_profiles(n, cfg);
+    let mut rep = Report::new(
+        "table2",
+        "Table II — utilization of GPU resources, 2-PCF kernels",
+    )
+    .with_context(&format!("N = {n}"));
+    rep.push_table(utilization_series(&profiles));
+
+    let naive = profile_of(&profiles, "Naive")?;
+    let reg = profile_of(&profiles, "Reg-SHM")?;
+    rep.metric(
+        "naive.arithmetic_utilization",
+        naive.arithmetic_utilization,
+        "frac",
+    )?;
+    rep.metric(
+        "reg_shm.arithmetic_utilization",
+        reg.arithmetic_utilization,
+        "frac",
+    )?;
+    // Bottleneck identity encoded as 0/1 so the gate can pin it.
+    rep.metric(
+        "naive.memory_is_l2",
+        (naive.memory_bottleneck == Resource::L2) as u32 as f64,
+        "bool",
+    )?;
+    rep.push_note(
+        "paper: Naive 15%/3%/76%(L2)  SHM-SHM 50%/7%/35%(shared)\n\
+         \u{20}      Reg-SHM 52%/11%/35%(shared)  Reg-ROC 24%/10%/65%(data cache)",
+    );
+    rep.profiles = profiles;
+    Ok(rep)
+}
+
+/// Build the structured Table-III report (bandwidths + gate metric).
+pub fn build_table3_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let profiles = sdh_profiles(n, cfg);
+    let mut rep = Report::new(
+        "table3",
+        "Table III — achieved bandwidth of memory units, SDH kernels",
+    )
+    .with_context(&format!("N = {n}"));
+    let mut t = SeriesTable::new(
+        "bandwidth",
+        &["Kernel", "Shared", "L2", "Data cache", "Global load"],
+    );
+    for (label, p) in &profiles {
+        t.row(vec![
+            Cell::text(label.as_str()),
+            Cell::bw(p.bandwidth.shared_gbps),
+            Cell::bw(p.bandwidth.l2_gbps),
+            Cell::bw(p.bandwidth.roc_gbps),
+            Cell::bw(p.bandwidth.global_load_gbps),
+        ]);
+    }
+    rep.push_table(t);
+
+    let rs = profile_of(&profiles, "Reg-SHM-Out")?;
+    rep.metric("reg_shm_out.shared_gbps", rs.bandwidth.shared_gbps, "GB/s")?;
+    rep.push_note(
+        "paper: Naive 0/270GB/32GB/104GB  Naive-Out 1.66TB/437GB/138GB/563GB\n\
+         \u{20}      Reg-SHM-Out 2.86TB/10GB/3GB/10GB  Reg-ROC-Out 2.59TB/55GB/267GB/68GB",
+    );
+    rep.profiles = profiles;
+    Ok(rep)
+}
+
+/// Build the structured Table-IV report (utilization + gate metrics).
+pub fn build_table4_report(n: u32, cfg: &DeviceConfig) -> Result<Report, ReportError> {
+    let profiles = sdh_profiles(n, cfg);
+    let mut rep = Report::new(
+        "table4",
+        "Table IV — utilization of GPU resources, SDH kernels",
+    )
+    .with_context(&format!("N = {n}"));
+    rep.push_table(utilization_series(&profiles));
+
+    let rs = profile_of(&profiles, "Reg-SHM-Out")?;
+    let rr = profile_of(&profiles, "Reg-ROC-Out")?;
+    rep.metric(
+        "reg_shm_out.shared_is_bottleneck",
+        (rs.memory_bottleneck == Resource::SharedMem) as u32 as f64,
+        "bool",
+    )?;
+    rep.metric("reg_roc_out.roc_utilization", rr.roc_utilization, "frac")?;
+    rep.push_note(
+        "paper: Naive 5%/–/Max(L2)  Naive-Out 23%/5%/Max(L2)\n\
+         \u{20}      Reg-SHM-Out 25%/5%/95.3%(shared)  Reg-ROC-Out 20%/5%/86.3%(shared)+26.7%(ROC)",
+    );
+    rep.profiles = profiles;
+    Ok(rep)
 }
 
 /// Render Table II.
 pub fn table2_report(n: u32, cfg: &DeviceConfig) -> String {
-    utilization_table(
-        &format!("Table II — utilization of GPU resources, 2-PCF kernels (N = {n})"),
-        "paper: Naive 15%/3%/76%(L2)  SHM-SHM 50%/7%/35%(shared)\n\
-         \u{20}      Reg-SHM 52%/11%/35%(shared)  Reg-ROC 24%/10%/65%(data cache)",
-        &table2_profiles(n, cfg),
-    )
+    match build_table2_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("table2 report failed: {e}"),
+    }
 }
 
 /// Render Table III.
 pub fn table3_report(n: u32, cfg: &DeviceConfig) -> String {
-    let profiles = sdh_profiles(n, cfg);
-    let mut out =
-        format!("Table III — achieved bandwidth of memory units, SDH kernels (N = {n})\n\n");
-    out.push_str(&format!(
-        "{:<14} {:>11} {:>11} {:>11} {:>11}\n",
-        "Kernel", "Shared", "L2", "Data cache", "Global load"
-    ));
-    out.push_str(&"-".repeat(64));
-    out.push('\n');
-    for (label, p) in &profiles {
-        out.push_str(&format!(
-            "{:<14} {:>11} {:>11} {:>11} {:>11}\n",
-            label,
-            crate::table::fmt_bw(p.bandwidth.shared_gbps),
-            crate::table::fmt_bw(p.bandwidth.l2_gbps),
-            crate::table::fmt_bw(p.bandwidth.roc_gbps),
-            crate::table::fmt_bw(p.bandwidth.global_load_gbps),
-        ));
+    match build_table3_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("table3 report failed: {e}"),
     }
-    out.push_str(
-        "\npaper: Naive 0/270GB/32GB/104GB  Naive-Out 1.66TB/437GB/138GB/563GB\n\
-         \u{20}      Reg-SHM-Out 2.86TB/10GB/3GB/10GB  Reg-ROC-Out 2.59TB/55GB/267GB/68GB\n",
-    );
-    out
 }
 
 /// Render Table IV.
 pub fn table4_report(n: u32, cfg: &DeviceConfig) -> String {
-    utilization_table(
-        &format!("Table IV — utilization of GPU resources, SDH kernels (N = {n})"),
-        "paper: Naive 5%/–/Max(L2)  Naive-Out 23%/5%/Max(L2)\n\
-         \u{20}      Reg-SHM-Out 25%/5%/95.3%(shared)  Reg-ROC-Out 20%/5%/86.3%(shared)+26.7%(ROC)",
-        &sdh_profiles(n, cfg),
-    )
+    match build_table4_report(n, cfg) {
+        Ok(rep) => rep.render(),
+        Err(e) => panic!("table4 report failed: {e}"),
+    }
 }
 
 #[cfg(test)]

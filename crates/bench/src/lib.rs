@@ -15,6 +15,7 @@
 //! this host can execute.
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 pub use table::Table;
@@ -33,11 +34,26 @@ pub fn paper_workload(n: u32) -> Workload {
 }
 
 /// Geometric mean of a slice (speedup summaries).
+///
+/// Returns NaN on an empty slice — callers that feed reports/JSON must
+/// use [`try_geomean`], which surfaces the empty case as an error
+/// instead of letting NaN leak into serialized metrics.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// [`geomean`] with the empty-series case made explicit. `what` names
+/// the series in the error so a misconfigured sweep is diagnosable.
+pub fn try_geomean(what: &str, xs: &[f64]) -> Result<f64, report::ReportError> {
+    if xs.is_empty() {
+        return Err(report::ReportError::EmptySeries {
+            what: what.to_string(),
+        });
+    }
+    Ok(geomean(xs))
 }
 
 #[cfg(test)]
@@ -49,6 +65,15 @@ mod tests {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
         assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn try_geomean_makes_empty_loud() {
+        assert!((try_geomean("s", &[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(matches!(
+            try_geomean("speedups", &[]),
+            Err(report::ReportError::EmptySeries { .. })
+        ));
     }
 
     #[test]

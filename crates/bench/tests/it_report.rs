@@ -1,0 +1,275 @@
+//! Integration tests for the structured-report schema and the perf gate.
+//!
+//! Three layers:
+//!
+//! 1. property tests that arbitrary `Report` and `Baseline` documents
+//!    survive a full JSON round trip (`to_json` → `render` → `parse` →
+//!    `from_json`) bit-identically,
+//! 2. the committed `results/baseline/*.json` files load under the
+//!    current schema and the (fast, closed-form) model group passes the
+//!    gate against them,
+//! 3. a synthetically degraded baseline makes the gate report
+//!    violations with a delta table — including when the metric has
+//!    been deleted outright.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tbs_bench::report::gate::{
+    self, baseline_dir, delta_table, evaluate, metric_map, violations, Baseline, Check,
+};
+use tbs_bench::report::{Cell, Metric, Report, ReportError, SeriesTable};
+use tbs_json::Json;
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+const WORDS: &[&str] = &[
+    "fig2",
+    "speedup",
+    "naive",
+    "reg-shm",
+    "ops/s",
+    "x",
+    "ratio",
+    "",
+    "a b c",
+    "quote\"brace{",
+    "tab\tnewline\n",
+    "unicode µs ≥4×",
+];
+
+fn word() -> impl Strategy<Value = String> {
+    (0usize..WORDS.len()).prop_map(|i| WORDS[i].to_string())
+}
+
+fn report_round_trip(rep: &Report) -> Report {
+    let text = rep.to_json().expect("encode").render().expect("render");
+    Report::from_json(&Json::parse(&text).expect("parse")).expect("decode")
+}
+
+// ---------------------------------------------------------------------
+// 1. schema round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn report_json_round_trips(
+        name in word(),
+        title in word(),
+        context in word(),
+        notes in word(),
+        metrics in prop::collection::vec((word(), -1e12f64..1e12, word()), 0..6),
+        rows in prop::collection::vec((0u64..1_000_000, -1e6f64..1e6, word()), 0..8),
+    ) {
+        let mut rep = Report::new(&name, &title).with_context(&context);
+        if !notes.is_empty() {
+            rep.push_note(&notes);
+        }
+        for (i, (id, value, unit)) in metrics.iter().enumerate() {
+            // ids must be unique within a report for metric_map; the
+            // schema itself does not care, but keep them distinct so
+            // the test reflects real documents.
+            rep.metric(&format!("{id}.{i}"), *value, unit).unwrap();
+        }
+        if !rows.is_empty() {
+            let mut t = SeriesTable::new("sweep", &["N", "value", "label"]);
+            for (n, v, label) in &rows {
+                t.row(vec![Cell::int(*n), Cell::num(*v, format!("{v:.4}")), Cell::text(label.clone())]);
+            }
+            rep.push_table(t);
+        }
+        prop_assert_eq!(report_round_trip(&rep), rep);
+    }
+
+    #[test]
+    fn baseline_json_round_trips(
+        name in word(),
+        checks in prop::collection::vec(
+            (word(), -1e9f64..1e9, word(), -1e9f64..0.0, 0.0f64..1e9, 0u32..4),
+            0..8,
+        ),
+    ) {
+        let baseline = Baseline {
+            name,
+            checks: checks
+                .iter()
+                .enumerate()
+                .map(|(i, (metric, value, unit, lo, hi, which))| Check {
+                    metric: format!("{metric}.{i}"),
+                    value: *value,
+                    unit: unit.clone(),
+                    // exercise every limit combination, including
+                    // fully unbounded checks
+                    min: (*which & 1 != 0).then_some(*lo),
+                    max: (*which & 2 != 0).then_some(*hi),
+                })
+                .collect(),
+        };
+        let text = baseline.to_json().expect("encode").render().expect("render");
+        let back = Baseline::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+        prop_assert_eq!(back, baseline);
+    }
+}
+
+#[test]
+fn report_with_profile_and_tally_round_trips() {
+    // Snapshot-bearing reports (Tables II–IV shape) must round-trip too.
+    let cfg = gpu_sim::DeviceConfig::titan_x();
+    let rep = tbs_bench::experiments::tables::build_table2_report(64 * 1024, &cfg)
+        .expect("table2 report");
+    assert!(!rep.profiles.is_empty(), "table2 embeds kernel profiles");
+    assert_eq!(report_round_trip(&rep), rep);
+
+    let rep = tbs_bench::experiments::ext_skew::build_report(512, 64, 64).expect("skew report");
+    assert!(rep.tally.is_some(), "skew report embeds an access tally");
+    assert_eq!(report_round_trip(&rep), rep);
+}
+
+#[test]
+fn report_schema_rejects_foreign_documents() {
+    let wrong_kind = Json::obj()
+        .with("schema", 1u64)
+        .with("kind", "something/else")
+        .with("name", "x");
+    assert!(matches!(
+        Report::from_json(&wrong_kind),
+        Err(ReportError::Schema(_))
+    ));
+    let wrong_version = Json::obj()
+        .with("schema", 999u64)
+        .with("kind", tbs_bench::report::REPORT_KIND);
+    assert!(matches!(
+        Report::from_json(&wrong_version),
+        Err(ReportError::Schema(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// 2. the committed baselines
+// ---------------------------------------------------------------------
+
+#[test]
+fn committed_baselines_load_and_cover_every_gated_metric() {
+    for group in gate::gate_groups() {
+        let baseline = Baseline::load(&baseline_dir(), group.name)
+            .unwrap_or_else(|e| panic!("committed baseline `{}` unreadable: {e}", group.name));
+        assert_eq!(baseline.name, group.name);
+        for spec in group.specs {
+            assert!(
+                baseline.checks.iter().any(|c| c.metric == spec.metric),
+                "baseline `{}` lost gated metric `{}` — re-bless",
+                group.name,
+                spec.metric
+            );
+        }
+    }
+}
+
+#[test]
+fn perf_gate_passes_model_group_on_committed_baseline() {
+    // The model group is pure closed-form arithmetic (no wall-clock),
+    // so a fresh run must sit inside the committed bands on any host.
+    let reports = gate::model_reports().expect("model sweep");
+    let metrics = metric_map(&reports);
+    let baseline = Baseline::load(&baseline_dir(), "model").expect("committed model baseline");
+    let verdicts = evaluate(&baseline, &metrics);
+    assert_eq!(
+        violations(&verdicts),
+        0,
+        "model gate should be green on the committed baseline:\n{}",
+        delta_table(&verdicts)
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. synthetic degradation must turn the gate red
+// ---------------------------------------------------------------------
+
+#[test]
+fn perf_gate_fails_on_synthetically_degraded_baseline() {
+    let reports = gate::model_reports().expect("model sweep");
+    let metrics = metric_map(&reports);
+    let fresh = Baseline::load(&baseline_dir(), "model").expect("committed model baseline");
+
+    // Degrade: demand 10x the measured value on every floor-banded
+    // metric (as if the code had slowed down 10x since blessing).
+    let mut degraded = fresh.clone();
+    let mut tightened = 0;
+    for c in &mut degraded.checks {
+        if let Some(min) = c.min {
+            let measured = metrics[&c.metric].value;
+            c.min = Some(min.max(measured.abs() * 10.0 + 1.0));
+            tightened += 1;
+        }
+    }
+    assert!(tightened > 0, "model baseline has floor bands to tighten");
+
+    let verdicts = evaluate(&degraded, &metrics);
+    let bad = violations(&verdicts);
+    assert!(
+        bad >= tightened,
+        "expected >= {tightened} violations, got {bad}"
+    );
+    let table = delta_table(&verdicts);
+    assert!(
+        table.contains("VIOLATION"),
+        "delta table flags violations:\n{table}"
+    );
+    // Violations sort to the top of the table (line 0 is the header,
+    // line 1 the dash separator).
+    let first_row = table.lines().nth(2).unwrap_or("");
+    assert!(
+        first_row.contains("VIOLATION"),
+        "violations lead the delta table:\n{table}"
+    );
+}
+
+#[test]
+fn perf_gate_treats_deleted_metric_as_violation() {
+    let reports = gate::model_reports().expect("model sweep");
+    let mut metrics: BTreeMap<String, Metric> = metric_map(&reports);
+    let baseline = Baseline::load(&baseline_dir(), "model").expect("committed model baseline");
+
+    let victim = baseline.checks[0].metric.clone();
+    metrics.remove(&victim).expect("victim metric exists");
+    let verdicts = evaluate(&baseline, &metrics);
+    assert_eq!(violations(&verdicts), 1);
+    let table = delta_table(&verdicts);
+    assert!(
+        table.contains("MISSING"),
+        "deleted metric shows as MISSING:\n{table}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// empty-series regression (the geomean-NaN bug)
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_series_is_a_loud_error_not_nan_json() {
+    // An empty sweep must surface as EmptySeries before any JSON is
+    // produced — previously `geomean(&[])` yielded NaN, which a JSON
+    // writer would have happily embedded as `null`-ish garbage.
+    let err = tbs_bench::experiments::hotpath::build_report(&[]).unwrap_err();
+    assert!(matches!(err, ReportError::EmptySeries { .. }), "{err}");
+
+    // Even a non-empty sweep with no saturated sizes (fig2's gate
+    // metrics average over N >= 100K only) must refuse, not emit NaN.
+    let cfg = gpu_sim::DeviceConfig::titan_x();
+    let sweep = tbs_datagen::paper_sweep(2, 1024);
+    let small: Vec<u32> = sweep.into_iter().filter(|&n| n < 100_000).collect();
+    if !small.is_empty() {
+        let err = tbs_bench::experiments::fig2::build_report(&small, &cfg).unwrap_err();
+        assert!(matches!(err, ReportError::EmptySeries { .. }), "{err}");
+    }
+
+    // And the report layer itself refuses non-finite metric values.
+    let mut rep = Report::new("x", "x");
+    assert!(matches!(
+        rep.metric("bad", f64::NAN, "x"),
+        Err(ReportError::NonFinite { .. })
+    ));
+}

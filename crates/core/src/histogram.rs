@@ -59,7 +59,8 @@ impl HistogramSpec {
     ///
     /// Matches CUDA `__float2uint_rz` semantics for exceptional inputs:
     /// NaN and negative lanes convert to 0 (bucket 0). That is the
-    /// documented device-path convention — the host-side [`bucket_of`]
+    /// documented device-path convention — the host-side
+    /// [`bucket_of`](HistogramSpec::bucket_of)
     /// additionally debug-asserts finiteness because on the host such
     /// inputs indicate a broken distance function rather than hardware
     /// saturation behavior.

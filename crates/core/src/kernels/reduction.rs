@@ -62,7 +62,7 @@ impl Kernel for HistogramReduceKernel {
 
 /// Device-side sum reduction of a `u64` array to a single value —
 /// warp-level `shfl_down` tree (the technique of the paper's reduction
-/// reference [24]) plus one global atomic per warp. Used to finish
+/// reference \[24\]) plus one global atomic per warp. Used to finish
 /// Type-I outputs on-device instead of summing on the host.
 #[derive(Debug, Clone, Copy)]
 pub struct SumReduceKernel {

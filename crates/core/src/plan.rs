@@ -88,7 +88,7 @@ pub struct ExecutionPlan {
 }
 
 /// Block sizes considered by the planner. The paper uses 1024 (from the
-/// optimization model of its reference [23]) for the main experiments and
+/// optimization model of its reference \[23\]) for the main experiments and
 /// 256 for the histogram-size study.
 pub const CANDIDATE_BLOCK_SIZES: &[u32] = &[128, 256, 512, 1024];
 

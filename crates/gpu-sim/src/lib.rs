@@ -84,6 +84,7 @@ pub mod exec;
 pub mod mem;
 pub mod occupancy;
 pub mod profile;
+pub mod serialize;
 pub mod tally;
 pub mod timing;
 

@@ -1,0 +1,347 @@
+//! JSON snapshots of the simulator's instrumentation types.
+//!
+//! The bench harness (`tbs-bench::report`) embeds [`AccessTally`],
+//! [`TimingBreakdown`] and [`KernelProfile`] values in its
+//! schema-versioned experiment reports, and the CI perf gate diffs those
+//! files against committed baselines — so the encodings here are strict
+//! in both directions: every field is written, and decoding fails on a
+//! missing, extra or mistyped field instead of defaulting. A silent
+//! default would let a renamed counter slip through the gate as zero.
+//!
+//! Counters are `u64` in memory but JSON numbers are doubles; values
+//! stay exact up to 2^53, far beyond any tally this workspace produces
+//! (decoding rejects non-exact integers outright).
+
+use crate::profile::{AchievedBandwidth, KernelProfile};
+use crate::tally::AccessTally;
+use crate::timing::{Resource, TimingBreakdown};
+use tbs_json::{Json, JsonError};
+
+fn schema_err<T>(what: &str) -> Result<T, JsonError> {
+    Err(JsonError {
+        msg: what.to_string(),
+        offset: 0,
+    })
+}
+
+fn req<'a>(obj: &'a Json, ty: &str, key: &str) -> Result<&'a Json, JsonError> {
+    match obj.get(key) {
+        Some(v) => Ok(v),
+        None => schema_err(&format!("{ty}: missing field `{key}`")),
+    }
+}
+
+fn req_u64(obj: &Json, ty: &str, key: &str) -> Result<u64, JsonError> {
+    match req(obj, ty, key)?.as_u64() {
+        Some(v) => Ok(v),
+        None => schema_err(&format!("{ty}: field `{key}` is not an exact u64")),
+    }
+}
+
+fn req_f64(obj: &Json, ty: &str, key: &str) -> Result<f64, JsonError> {
+    match req(obj, ty, key)?.as_f64() {
+        Some(v) => Ok(v),
+        None => schema_err(&format!("{ty}: field `{key}` is not a number")),
+    }
+}
+
+fn req_str<'a>(obj: &'a Json, ty: &str, key: &str) -> Result<&'a str, JsonError> {
+    match req(obj, ty, key)?.as_str() {
+        Some(v) => Ok(v),
+        None => schema_err(&format!("{ty}: field `{key}` is not a string")),
+    }
+}
+
+/// Require that `obj` has exactly `expected` fields — combined with the
+/// per-field lookups this rejects unknown/renamed keys.
+fn req_len(obj: &Json, ty: &str, expected: usize) -> Result<(), JsonError> {
+    match obj.as_obj() {
+        Some(pairs) if pairs.len() == expected => Ok(()),
+        Some(pairs) => schema_err(&format!(
+            "{ty}: expected {expected} fields, got {}",
+            pairs.len()
+        )),
+        None => schema_err(&format!("{ty}: not an object")),
+    }
+}
+
+/// Every counter field of [`AccessTally`], in declaration order. Adding
+/// a field to the struct without updating this list fails the
+/// `tally_json_covers_every_field` test below (via `..Default` being
+/// unused) and the strict decoder at runtime.
+macro_rules! for_each_tally_field {
+    ($m:ident) => {
+        $m!(
+            warp_instructions,
+            alu_instructions,
+            control_instructions,
+            shuffle_instructions,
+            sync_instructions,
+            useful_lane_ops,
+            predicated_lane_slots,
+            divergent_iterations,
+            l2_hit_sectors,
+            dram_sectors,
+            global_load_instructions,
+            global_store_instructions,
+            global_load_bytes,
+            global_store_bytes,
+            global_atomics,
+            global_atomic_serial,
+            roc_load_instructions,
+            roc_hit_sectors,
+            roc_miss_sectors,
+            roc_bytes,
+            shared_load_instructions,
+            shared_store_instructions,
+            shared_transactions,
+            shared_bytes,
+            shared_bank_replays,
+            shared_atomics,
+            shared_atomic_serial,
+            blocks_executed,
+            warps_executed
+        )
+    };
+}
+
+impl AccessTally {
+    /// Encode every counter as a JSON object (field names = Rust names).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        macro_rules! put {
+            ($($f:ident),*) => { $( o.push(stringify!($f), self.$f); )* };
+        }
+        for_each_tally_field!(put);
+        o
+    }
+
+    /// Strict inverse of [`AccessTally::to_json`].
+    pub fn from_json(j: &Json) -> Result<AccessTally, JsonError> {
+        let mut t = AccessTally::default();
+        let mut count = 0usize;
+        macro_rules! take {
+            ($($f:ident),*) => { $(
+                t.$f = req_u64(j, "AccessTally", stringify!($f))?;
+                count += 1;
+            )* };
+        }
+        for_each_tally_field!(take);
+        req_len(j, "AccessTally", count)?;
+        Ok(t)
+    }
+}
+
+impl Resource {
+    /// Inverse of [`Resource::name`].
+    pub fn parse_name(name: &str) -> Option<Resource> {
+        const ALL: [Resource; 8] = [
+            Resource::Issue,
+            Resource::Alu,
+            Resource::SharedMem,
+            Resource::Roc,
+            Resource::L2,
+            Resource::Dram,
+            Resource::GlobalAtomic,
+            Resource::Latency,
+        ];
+        ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+fn req_resource(obj: &Json, ty: &str, key: &str) -> Result<Resource, JsonError> {
+    let name = req_str(obj, ty, key)?;
+    match Resource::parse_name(name) {
+        Some(r) => Ok(r),
+        None => schema_err(&format!("{ty}: unknown resource `{name}` in `{key}`")),
+    }
+}
+
+impl TimingBreakdown {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("cycles", self.cycles)
+            .with("seconds", self.seconds)
+            .with("issue_cycles", self.issue_cycles)
+            .with("alu_cycles", self.alu_cycles)
+            .with("shared_cycles", self.shared_cycles)
+            .with("roc_cycles", self.roc_cycles)
+            .with("l2_cycles", self.l2_cycles)
+            .with("dram_cycles", self.dram_cycles)
+            .with("global_atomic_cycles", self.global_atomic_cycles)
+            .with("latency_cycles", self.latency_cycles)
+            .with("bottleneck", self.bottleneck.name())
+    }
+
+    pub fn from_json(j: &Json) -> Result<TimingBreakdown, JsonError> {
+        req_len(j, "TimingBreakdown", 11)?;
+        let t = "TimingBreakdown";
+        Ok(TimingBreakdown {
+            cycles: req_f64(j, t, "cycles")?,
+            seconds: req_f64(j, t, "seconds")?,
+            issue_cycles: req_f64(j, t, "issue_cycles")?,
+            alu_cycles: req_f64(j, t, "alu_cycles")?,
+            shared_cycles: req_f64(j, t, "shared_cycles")?,
+            roc_cycles: req_f64(j, t, "roc_cycles")?,
+            l2_cycles: req_f64(j, t, "l2_cycles")?,
+            dram_cycles: req_f64(j, t, "dram_cycles")?,
+            global_atomic_cycles: req_f64(j, t, "global_atomic_cycles")?,
+            latency_cycles: req_f64(j, t, "latency_cycles")?,
+            bottleneck: req_resource(j, t, "bottleneck")?,
+        })
+    }
+}
+
+impl AchievedBandwidth {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("shared_gbps", self.shared_gbps)
+            .with("l2_gbps", self.l2_gbps)
+            .with("roc_gbps", self.roc_gbps)
+            .with("global_load_gbps", self.global_load_gbps)
+            .with("dram_gbps", self.dram_gbps)
+    }
+
+    pub fn from_json(j: &Json) -> Result<AchievedBandwidth, JsonError> {
+        req_len(j, "AchievedBandwidth", 5)?;
+        let t = "AchievedBandwidth";
+        Ok(AchievedBandwidth {
+            shared_gbps: req_f64(j, t, "shared_gbps")?,
+            l2_gbps: req_f64(j, t, "l2_gbps")?,
+            roc_gbps: req_f64(j, t, "roc_gbps")?,
+            global_load_gbps: req_f64(j, t, "global_load_gbps")?,
+            dram_gbps: req_f64(j, t, "dram_gbps")?,
+        })
+    }
+}
+
+impl KernelProfile {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kernel", self.kernel.as_str())
+            .with("arithmetic_utilization", self.arithmetic_utilization)
+            .with("control_flow_utilization", self.control_flow_utilization)
+            .with("memory_bottleneck", self.memory_bottleneck.name())
+            .with("memory_utilization", self.memory_utilization)
+            .with("shared_utilization", self.shared_utilization)
+            .with("roc_utilization", self.roc_utilization)
+            .with("l2_utilization", self.l2_utilization)
+            .with("dram_utilization", self.dram_utilization)
+            .with("bandwidth", self.bandwidth.to_json())
+            .with("simd_efficiency", self.simd_efficiency)
+            .with("occupancy", self.occupancy)
+    }
+
+    pub fn from_json(j: &Json) -> Result<KernelProfile, JsonError> {
+        req_len(j, "KernelProfile", 12)?;
+        let t = "KernelProfile";
+        Ok(KernelProfile {
+            kernel: req_str(j, t, "kernel")?.to_string(),
+            arithmetic_utilization: req_f64(j, t, "arithmetic_utilization")?,
+            control_flow_utilization: req_f64(j, t, "control_flow_utilization")?,
+            memory_bottleneck: req_resource(j, t, "memory_bottleneck")?,
+            memory_utilization: req_f64(j, t, "memory_utilization")?,
+            shared_utilization: req_f64(j, t, "shared_utilization")?,
+            roc_utilization: req_f64(j, t, "roc_utilization")?,
+            l2_utilization: req_f64(j, t, "l2_utilization")?,
+            dram_utilization: req_f64(j, t, "dram_utilization")?,
+            bandwidth: AchievedBandwidth::from_json(req(j, t, "bandwidth")?)?,
+            simd_efficiency: req_f64(j, t, "simd_efficiency")?,
+            occupancy: req_f64(j, t, "occupancy")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::occupancy::occupancy;
+    use crate::timing::TimingModel;
+
+    fn sample_tally() -> AccessTally {
+        let mut t = AccessTally::default();
+        // Give every field a distinct non-zero value so a swapped pair
+        // of keys cannot cancel out in the round-trip comparison.
+        let mut v = 1u64;
+        macro_rules! fill {
+            ($($f:ident),*) => { $( t.$f = v; v += 7; )* };
+        }
+        for_each_tally_field!(fill);
+        t
+    }
+
+    #[test]
+    fn tally_json_covers_every_field() {
+        let t = sample_tally();
+        let j = t.to_json();
+        let back = AccessTally::from_json(&j).unwrap();
+        assert_eq!(back, t);
+        // Text round-trip too (through the writer and parser).
+        let text = j.render().unwrap();
+        let re = AccessTally::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(re, t);
+    }
+
+    #[test]
+    fn tally_decoding_is_strict() {
+        let t = sample_tally();
+        // Missing field.
+        let mut j = t.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "dram_sectors");
+        }
+        assert!(AccessTally::from_json(&j).is_err());
+        // Extra field.
+        let j = t.to_json().with("not_a_counter", 1u32);
+        assert!(AccessTally::from_json(&j).is_err());
+        // Fractional counter.
+        let mut j = t.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::Num(1.5);
+        }
+        assert!(AccessTally::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn resource_names_round_trip() {
+        for r in [
+            Resource::Issue,
+            Resource::Alu,
+            Resource::SharedMem,
+            Resource::Roc,
+            Resource::L2,
+            Resource::Dram,
+            Resource::GlobalAtomic,
+            Resource::Latency,
+        ] {
+            assert_eq!(Resource::parse_name(r.name()), Some(r));
+        }
+        assert_eq!(Resource::parse_name("warp drive"), None);
+    }
+
+    #[test]
+    fn timing_and_profile_round_trip() {
+        let cfg = DeviceConfig::titan_x();
+        let t = AccessTally {
+            warp_instructions: 10_000,
+            alu_instructions: 4_000,
+            shared_load_instructions: 3_000,
+            shared_transactions: 3_500,
+            shared_bytes: 3_000 * 128,
+            l2_hit_sectors: 700,
+            dram_sectors: 300,
+            useful_lane_ops: 250_000,
+            predicated_lane_slots: 70_000,
+            ..Default::default()
+        };
+        let occ = occupancy(&cfg, 1000, 1024, 32, 4096);
+        let timing = TimingModel::new(&cfg).estimate(&t, &occ, 1000);
+        let back = TimingBreakdown::from_json(&timing.to_json()).unwrap();
+        assert_eq!(back, timing);
+
+        let p = KernelProfile::build("reg-shm", &cfg, &t, &occ, &timing);
+        let back = KernelProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -141,6 +141,8 @@ pub mod strategy {
     tuple_strategy!(S0 / 0, S1 / 1);
     tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
     tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 }
 
 pub mod arbitrary {
