@@ -1,14 +1,35 @@
-//! Interpreter hot-path throughput: the vectorized fast paths against
-//! the retained `scalar_reference` implementation on a small fig2-style
-//! 2-PCF workload. Guards the speedup measured by the
-//! `hotpath_baseline` bin against bitrot; run it with
-//! `cargo bench -p tbs-bench --bench hotpath`.
+//! Interpreter hot-path throughput: the three interpreter routes —
+//! fused tile passes (default), vectorized op-by-op
+//! (`with_fused_tile(false)`), and the retained `scalar_reference`
+//! implementation — on a small fig2-style 2-PCF workload. Guards the
+//! speedups measured by the `hotpath_baseline` bin against bitrot; run
+//! it with `cargo bench -p tbs-bench --bench hotpath`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::config::ExecMode;
 use gpu_sim::{Device, DeviceConfig};
 use tbs_apps::{pcf_gpu, PairwisePlan};
 use tbs_datagen::uniform_points;
+
+#[derive(Clone, Copy)]
+enum Route {
+    Fused,
+    Vectorized,
+    Scalar,
+}
+
+fn run(pts: &tbs_core::SoaPoints<3>, route: Route) -> u64 {
+    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
+    cfg = match route {
+        Route::Fused => cfg,
+        Route::Vectorized => cfg.with_fused_tile(false),
+        Route::Scalar => cfg.with_scalar_reference(true),
+    };
+    let mut dev = Device::new(cfg);
+    pcf_gpu(&mut dev, pts, 25.0, PairwisePlan::register_shm(1024))
+        .expect("launch")
+        .count
+}
 
 fn bench_hotpath(c: &mut Criterion) {
     let n = 4096usize;
@@ -17,19 +38,22 @@ fn bench_hotpath(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_hotpath");
     g.throughput(Throughput::Elements(pairs));
     g.sample_size(10);
-    for (name, scalar) in [("vectorized", false), ("scalar_reference", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &scalar, |b, &s| {
-            b.iter(|| {
-                let cfg = DeviceConfig::titan_x()
-                    .with_exec_mode(ExecMode::Sequential)
-                    .with_scalar_reference(s);
-                let mut dev = Device::new(cfg);
-                pcf_gpu(&mut dev, &pts, 25.0, PairwisePlan::register_shm(1024))
-                    .expect("launch")
-                    .count
-            })
+    for (name, route) in [
+        ("vectorized", Route::Vectorized),
+        ("scalar_reference", Route::Scalar),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &route, |b, &r| {
+            b.iter(|| run(&pts, r))
         });
     }
+    g.finish();
+
+    // The shipping route, in its own group so A/B tooling can compare
+    // `sim_fused/default` against `sim_hotpath/vectorized` directly.
+    let mut g = c.benchmark_group("sim_fused");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    g.bench_function("default", |b| b.iter(|| run(&pts, Route::Fused)));
     g.finish();
 }
 

@@ -1,19 +1,20 @@
 //! Host-throughput baseline for the interpreter fast paths.
 //!
-//! Measures scalar-reference vs vectorized interpreter wall-clock via
-//! `experiments::hotpath` (which asserts the two are bit-identical),
-//! prints the structured report, and records `BENCH_sim_hotpath.json`
-//! at the repository root.
+//! Measures the three interpreter routes — scalar reference, vectorized
+//! op-by-op, and fused tile passes — via `experiments::hotpath` (which
+//! asserts all routes are bit-identical), prints the structured report,
+//! and records `BENCH_sim_hotpath.json` at the repository root.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p tbs-bench --bin hotpath_baseline            # N = 16384, 65536
-//! cargo run --release -p tbs-bench --bin hotpath_baseline -- --full  # adds N = 131072
+//! cargo run --release -p tbs-bench --bin hotpath_baseline -- --full  # adds N = 131072, 262144
 //! ```
 //!
-//! The acceptance gate for the vectorized interpreter is a ≥2× speedup
-//! at N = 65536 in `Sequential` mode. Pass `--json DIR` (or set
+//! Acceptance gates, both at N = 65536 in `Sequential` mode: the
+//! vectorized route must be ≥2× the scalar reference, and the fused
+//! route must be ≥2× the vectorized route. Pass `--json DIR` (or set
 //! `TBS_REPORT_DIR`) to also mirror the schema-versioned
 //! `sim_hotpath.json` report.
 
@@ -25,23 +26,35 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let mut sizes = vec![16_384usize, 65_536];
     if full {
-        sizes.push(131_072);
+        // 262144 exceeds SCALAR_CEILING: vectorized + fused only.
+        sizes.extend([131_072, 262_144]);
     }
 
     let samples: Vec<Sample> = sizes.iter().map(|&n| hotpath::measure(n)).collect();
     report::emit_result(hotpath::build_report_from(&samples));
 
     // The legacy flat benchmark record at the repository root, now
-    // emitted through tbs-json (same fields as before).
+    // emitted through tbs-json (same fields as before, plus the fused
+    // route and its interpreter statistics).
     let entries: Vec<Json> = samples
         .iter()
         .map(|s| {
-            Json::obj()
-                .with("n", s.n)
-                .with("pair_count", s.pair_count)
-                .with("scalar_reference_s", s.scalar_s)
-                .with("vectorized_s", s.fast_s)
-                .with("speedup", s.speedup())
+            let mut e = Json::obj().with("n", s.n).with("pair_count", s.pair_count);
+            if let Some(v) = s.scalar_s {
+                e = e.with("scalar_reference_s", v);
+            }
+            e = e.with("vectorized_s", s.fast_s).with("fused_s", s.fused_s);
+            if let Some(v) = s.speedup() {
+                e = e.with("speedup", v);
+            }
+            if let Some(v) = s.fused_speedup() {
+                e = e.with("fused_speedup", v);
+            }
+            e.with("fused_vs_vectorized", s.fused_vs_vectorized())
+                .with("dispatches", s.dispatches)
+                .with("fused_ops", s.fused_ops)
+                .with("fused_coverage", s.fused_coverage)
+                .with("memo_hit_rate", s.memo_hit_rate)
                 .with("lane_ops", s.lane_ops)
                 .with("lane_ops_per_s", s.lane_ops_per_s())
                 .with("sim_cycles", s.sim_cycles)
@@ -65,10 +78,18 @@ fn main() {
     eprintln!("wrote {path}");
 
     let gate = samples.iter().find(|s| s.n == 65_536).expect("N=65536 run");
-    let speedup = gate.speedup();
+    let speedup = gate.speedup().expect("scalar route runs at N=65536");
     assert!(
         speedup >= 2.0,
-        "acceptance gate failed: {speedup:.2}x < 2x at N=65536"
+        "acceptance gate failed: vectorized {speedup:.2}x < 2x over scalar at N=65536"
     );
-    eprintln!("acceptance gate passed: {speedup:.2}x >= 2x at N=65536");
+    let fusion = gate.fused_vs_vectorized();
+    assert!(
+        fusion >= 2.0,
+        "acceptance gate failed: fused {fusion:.2}x < 2x over vectorized at N=65536"
+    );
+    eprintln!(
+        "acceptance gates passed at N=65536: vectorized {speedup:.2}x >= 2x over scalar, \
+         fused {fusion:.2}x >= 2x over vectorized"
+    );
 }

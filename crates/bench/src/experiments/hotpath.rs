@@ -1,13 +1,18 @@
 //! **Host throughput** — wall-clock cost of the simulator interpreter
-//! itself (the vectorized warp fast paths vs the retained scalar
-//! reference).
+//! itself, across its three routes: the retained scalar reference, the
+//! vectorized op-by-op fast paths (`with_fused_tile(false)`), and the
+//! shipping default with fused tile passes.
 //!
 //! Unlike every other experiment, this one measures *this machine*, not
 //! the modeled GPU: it runs the fig2-style 2-PCF workload through the
-//! functional simulator twice per problem size — once with
-//! `scalar_reference` and once with the vectorized fast paths — asserts
-//! the two runs are bit-identical (pair count, full `AccessTally`,
-//! simulated timing), and reports wall-clock times and throughput.
+//! functional simulator once per route, asserts all routes are
+//! bit-identical (pair count, full `AccessTally`, simulated timing), and
+//! reports wall-clock times plus the fused run's interpreter statistics
+//! (dispatch count, fused-op lane coverage, cache-memo hit rate).
+//!
+//! The scalar reference is quadratic in wall-clock pain; above
+//! [`SCALAR_CEILING`] only the vectorized and fused routes run (identity
+//! against the scalar route is established at the sizes below it).
 //!
 //! The `hotpath_baseline` bin prints it and records
 //! `BENCH_sim_hotpath.json`; the perf gate pins generous floors on a
@@ -27,73 +32,140 @@ pub const BOX: f32 = 100.0;
 pub const SEED: u64 = 11;
 pub const BLOCK: u32 = 1024;
 
-/// One problem size's paired measurement.
+/// Largest N the scalar-reference route is run at (it is ~10× slower
+/// than the fused route and exists only as the correctness anchor).
+pub const SCALAR_CEILING: usize = 131_072;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Route {
+    Scalar,
+    Vectorized,
+    Fused,
+}
+
+/// One problem size's per-route measurement.
 #[derive(Debug, Clone)]
 pub struct Sample {
     pub n: usize,
     pub pair_count: u64,
-    /// Wall-clock seconds with the scalar-reference interpreter.
-    pub scalar_s: f64,
-    /// Wall-clock seconds with the vectorized fast paths.
+    /// Wall-clock seconds with the scalar-reference interpreter
+    /// (`None` above [`SCALAR_CEILING`]).
+    pub scalar_s: Option<f64>,
+    /// Wall-clock seconds with the vectorized fast paths, fusion off.
     pub fast_s: f64,
+    /// Wall-clock seconds with fused tile passes (the default route).
+    pub fused_s: f64,
     /// Executed lane slots (useful + predicated) — the work measure
     /// behind the throughput numbers.
     pub lane_ops: u64,
     pub sim_cycles: f64,
+    /// Interpreter dispatches on the fused route (each fused tile pass
+    /// is one dispatch where the op-by-op route takes thousands).
+    pub dispatches: u64,
+    /// Fused tile passes taken.
+    pub fused_ops: u64,
+    /// Fraction of useful lane work executed inside fused passes.
+    pub fused_coverage: f64,
+    /// Generation-stamped cache-memo hit rate (replayed / probed runs).
+    pub memo_hit_rate: f64,
 }
 
 impl Sample {
-    pub fn speedup(&self) -> f64 {
-        self.scalar_s / self.fast_s
+    /// Scalar-reference over vectorized — PR 2's original claim.
+    pub fn speedup(&self) -> Option<f64> {
+        self.scalar_s.map(|s| s / self.fast_s)
     }
 
+    /// Scalar-reference over fused — the full interpreter stack.
+    pub fn fused_speedup(&self) -> Option<f64> {
+        self.scalar_s.map(|s| s / self.fused_s)
+    }
+
+    /// Vectorized over fused — what fusion alone buys.
+    pub fn fused_vs_vectorized(&self) -> f64 {
+        self.fast_s / self.fused_s
+    }
+
+    /// Lane throughput of the shipping (fused) route.
     pub fn lane_ops_per_s(&self) -> f64 {
-        self.lane_ops as f64 / self.fast_s
+        self.lane_ops as f64 / self.fused_s
     }
 
     pub fn sim_cycles_per_s(&self) -> f64 {
-        self.sim_cycles / self.fast_s
+        self.sim_cycles / self.fused_s
     }
 }
 
-fn run_once(n: usize, scalar_reference: bool) -> (f64, PcfResult) {
+fn run_once(n: usize, route: Route) -> (f64, PcfResult) {
     let pts = uniform_points::<3>(n, BOX, SEED);
-    let cfg = DeviceConfig::titan_x()
-        .with_exec_mode(ExecMode::Sequential)
-        .with_scalar_reference(scalar_reference);
+    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
+    cfg = match route {
+        Route::Scalar => cfg.with_scalar_reference(true),
+        Route::Vectorized => cfg.with_fused_tile(false),
+        Route::Fused => cfg,
+    };
     let mut dev = Device::new(cfg);
     let t = Instant::now();
     let r = pcf_gpu(&mut dev, &pts, RADIUS, PairwisePlan::register_shm(BLOCK)).expect("launch");
     (t.elapsed().as_secs_f64(), r)
 }
 
-/// Measure one size, asserting the fast paths are bit-identical to the
-/// scalar reference (same pair count, tally and simulated timing).
-pub fn measure(n: usize) -> Sample {
-    eprintln!("N={n}: scalar-reference pass...");
-    let (scalar_s, scalar) = run_once(n, true);
-    eprintln!("N={n}: scalar {scalar_s:.3}s; vectorized pass...");
-    let (fast_s, fast) = run_once(n, false);
-    eprintln!("N={n}: fast {fast_s:.3}s ({:.2}x)", scalar_s / fast_s);
-
-    // The whole point of the fast paths is that they change nothing but
-    // host time: same pair count, same tally, same simulated timing.
-    assert_eq!(fast.count, scalar.count, "pair count diverged at N={n}");
-    assert_eq!(fast.run.tally, scalar.run.tally, "tally diverged at N={n}");
+fn assert_routes_identical(n: usize, a: &PcfResult, b: &PcfResult, what: &str) {
+    assert_eq!(a.count, b.count, "pair count diverged ({what}) at N={n}");
+    assert_eq!(a.run.tally, b.run.tally, "tally diverged ({what}) at N={n}");
     assert_eq!(
-        fast.run.timing.seconds.to_bits(),
-        scalar.run.timing.seconds.to_bits(),
-        "simulated time diverged at N={n}"
+        a.run.timing.seconds.to_bits(),
+        b.run.timing.seconds.to_bits(),
+        "simulated time diverged ({what}) at N={n}"
+    );
+}
+
+/// Measure one size, asserting every interpreter route is bit-identical
+/// (same pair count, tally and simulated timing).
+pub fn measure(n: usize) -> Sample {
+    eprintln!("N={n}: fused pass...");
+    let (fused_s, fused) = run_once(n, Route::Fused);
+    eprintln!("N={n}: fused {fused_s:.3}s; vectorized (unfused) pass...");
+    let (fast_s, fast) = run_once(n, Route::Vectorized);
+    eprintln!(
+        "N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
+        fast_s / fused_s
+    );
+    assert_routes_identical(n, &fused, &fast, "fused vs vectorized");
+    assert!(
+        fused.run.interp.fused_ops > 0,
+        "default route took no fused tile passes at N={n}"
+    );
+    assert_eq!(
+        fast.run.interp.fused_ops, 0,
+        "with_fused_tile(false) still fused at N={n}"
     );
 
-    let t = &fast.run.tally;
+    let scalar_s = if n <= SCALAR_CEILING {
+        eprintln!("N={n}: scalar-reference pass...");
+        let (scalar_s, scalar) = run_once(n, Route::Scalar);
+        eprintln!("N={n}: scalar {scalar_s:.3}s ({:.2}x)", scalar_s / fused_s);
+        assert_routes_identical(n, &fused, &scalar, "fused vs scalar");
+        Some(scalar_s)
+    } else {
+        eprintln!("N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
+        None
+    };
+
+    let t = &fused.run.tally;
+    let interp = &fused.run.interp;
     Sample {
         n,
-        pair_count: fast.count,
+        pair_count: fused.count,
         scalar_s,
         fast_s,
+        fused_s,
         lane_ops: t.useful_lane_ops + t.predicated_lane_slots,
-        sim_cycles: fast.run.timing.cycles,
+        sim_cycles: fused.run.timing.cycles,
+        dispatches: interp.dispatches,
+        fused_ops: interp.fused_ops,
+        fused_coverage: interp.fused_coverage(t),
+        memo_hit_rate: interp.memo_hit_rate(),
     }
 }
 
@@ -115,7 +187,7 @@ pub fn build_report_from(samples: &[Sample]) -> Result<Report, ReportError> {
     let mut rep = Report::new("sim_hotpath", "Host throughput — interpreter fast paths")
         .with_context(&format!(
             "fig2 2-PCF, register_shm plan, block={BLOCK}, r={RADIUS}, {BOX}^3 box, \
-             sequential exec, bit-identical to scalar reference"
+             sequential exec; scalar / vectorized / fused routes bit-identical"
         ));
     let mut t = SeriesTable::new(
         "sizes",
@@ -123,29 +195,55 @@ pub fn build_report_from(samples: &[Sample]) -> Result<Report, ReportError> {
             "N",
             "count",
             "scalar_s",
-            "fast_s",
-            "speedup",
+            "vec_s",
+            "fused_s",
+            "fused/vec",
+            "coverage",
+            "memo",
             "Mlane-ops/s",
-            "Msim-cyc/s",
         ],
     );
     for s in samples {
         t.row(vec![
             Cell::int(s.n as u64),
             Cell::int(s.pair_count),
-            Cell::num(s.scalar_s, format!("{:.3}", s.scalar_s)),
+            match s.scalar_s {
+                Some(v) => Cell::num(v, format!("{v:.3}")),
+                None => Cell::text("-"),
+            },
             Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
-            Cell::num(s.speedup(), format!("{:.2}x", s.speedup())),
+            Cell::num(s.fused_s, format!("{:.3}", s.fused_s)),
+            Cell::num(
+                s.fused_vs_vectorized(),
+                format!("{:.2}x", s.fused_vs_vectorized()),
+            ),
+            Cell::num(
+                s.fused_coverage,
+                format!("{:.1}%", s.fused_coverage * 100.0),
+            ),
+            Cell::num(s.memo_hit_rate, format!("{:.1}%", s.memo_hit_rate * 100.0)),
             Cell::num(
                 s.lane_ops_per_s(),
                 format!("{:.1}", s.lane_ops_per_s() / 1e6),
             ),
-            Cell::num(
-                s.sim_cycles_per_s(),
-                format!("{:.1}", s.sim_cycles_per_s() / 1e6),
-            ),
         ]);
-        rep.metric(&format!("speedup.n{}", s.n), s.speedup(), "x")?;
+        if let Some(sp) = s.speedup() {
+            rep.metric(&format!("speedup.n{}", s.n), sp, "x")?;
+        }
+        if let Some(sp) = s.fused_speedup() {
+            rep.metric(&format!("fused_speedup.n{}", s.n), sp, "x")?;
+        }
+        rep.metric(
+            &format!("fused_vs_vectorized.n{}", s.n),
+            s.fused_vs_vectorized(),
+            "x",
+        )?;
+        rep.metric(
+            &format!("fused_coverage.n{}", s.n),
+            s.fused_coverage,
+            "frac",
+        )?;
+        rep.metric(&format!("memo_hit_rate.n{}", s.n), s.memo_hit_rate, "frac")?;
         rep.metric(
             &format!("lane_ops_per_s.n{}", s.n),
             s.lane_ops_per_s(),
@@ -155,7 +253,9 @@ pub fn build_report_from(samples: &[Sample]) -> Result<Report, ReportError> {
     rep.push_table(t);
     rep.push_note(
         "host wall-clock throughput of the simulator interpreter; the vectorized\n\
-         fast paths must be bit-identical to the scalar reference and faster.",
+         and fused routes must be bit-identical to the scalar reference. The\n\
+         fused route batches whole inner tile passes into one dispatch;\n\
+         coverage is the fraction of useful lane work it absorbed.",
     );
     Ok(rep)
 }

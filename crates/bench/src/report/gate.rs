@@ -243,6 +243,14 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // regression of PR 2's fast paths, not on scheduler noise.
         spec("sim_hotpath.speedup.n16384", Band::min(1.3)),
         spec("sim_hotpath.lane_ops_per_s.n16384", Band::min(5e6)),
+        // Fused tile passes must stay a genuine multiplier over the
+        // op-by-op vectorized route (the PR's ≥2× claim, floored well
+        // below the ~3–4× observed so only a real regression trips it).
+        spec("sim_hotpath.fused_vs_vectorized.n16384", Band::min(2.0)),
+        // Deterministic interpreter statistics (not wall-clock): most
+        // useful lane work must flow through fused passes on the fig2
+        // workload, and the ROC/L2 memo must actually replay.
+        spec("sim_hotpath.fused_coverage.n16384", Band::min(0.5)),
     ];
     const GROUPS: &[GateGroup] = &[
         GateGroup {

@@ -31,6 +31,27 @@ pub trait DistanceKernel<const D: usize>: Sync {
     /// Host-side scalar evaluation (reference semantics for the GPU
     /// path; used by the CPU baseline).
     fn eval_host(&self, a: &[f32; D], b: &[f32; D]) -> f32;
+
+    /// Whether [`DistanceKernel::eval`] is exactly *charge
+    /// [`DistanceKernel::cost`] ALU under the mask, then
+    /// [`DistanceKernel::eval_host`] per active lane* — the contract the
+    /// fused tile executor (`WarpCtx::fused_tile_pass`) relies on to
+    /// batch the charges in closed form. All built-ins qualify; the
+    /// default is conservative for implementations that charge
+    /// data-dependent costs or keep lane state.
+    fn fusible(&self) -> bool {
+        false
+    }
+
+    /// Whether [`DistanceKernel::eval_host`] is exactly the closed-form
+    /// Euclidean chain — per-dimension `sub` + `mul_add`, then `sqrt` —
+    /// *and* [`DistanceKernel::cost`] is `2·D + 1`. The fused dispatcher
+    /// then routes through `WarpCtx::fused_euclidean_tile`, whose
+    /// lane-vectorized evaluation is bit-identical to calling `eval_host`
+    /// per lane but substantially faster. Only [`Euclidean`] qualifies.
+    fn euclidean_form(&self) -> bool {
+        false
+    }
 }
 
 #[inline]
@@ -66,6 +87,14 @@ impl<const D: usize> DistanceKernel<D> for Euclidean {
 
     fn cost(&self) -> u64 {
         2 * D as u64 + 1
+    }
+
+    fn fusible(&self) -> bool {
+        true
+    }
+
+    fn euclidean_form(&self) -> bool {
+        true
     }
 
     fn eval(
@@ -105,6 +134,10 @@ impl<const D: usize> DistanceKernel<D> for SquaredEuclidean {
         2 * D as u64
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
     fn eval(
         &self,
         w: &mut WarpCtx<'_, '_>,
@@ -139,6 +172,10 @@ impl<const D: usize> DistanceKernel<D> for Manhattan {
 
     fn cost(&self) -> u64 {
         3 * D as u64
+    }
+
+    fn fusible(&self) -> bool {
+        true
     }
 
     fn eval(
@@ -190,6 +227,10 @@ impl<const D: usize> DistanceKernel<D> for PeriodicEuclidean {
         5 * D as u64 + 1
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
     fn eval(
         &self,
         w: &mut WarpCtx<'_, '_>,
@@ -229,6 +270,10 @@ impl<const D: usize> DistanceKernel<D> for CosineDissimilarity {
 
     fn cost(&self) -> u64 {
         3 * D as u64 + 4
+    }
+
+    fn fusible(&self) -> bool {
+        true
     }
 
     fn eval(
@@ -285,6 +330,10 @@ impl<const D: usize> DistanceKernel<D> for GaussianRbf {
         2 * D as u64 + 2
     }
 
+    fn fusible(&self) -> bool {
+        true
+    }
+
     fn eval(
         &self,
         w: &mut WarpCtx<'_, '_>,
@@ -319,6 +368,10 @@ impl<const D: usize> DistanceKernel<D> for DotProduct {
 
     fn cost(&self) -> u64 {
         D as u64
+    }
+
+    fn fusible(&self) -> bool {
+        true
     }
 
     fn eval(

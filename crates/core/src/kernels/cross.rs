@@ -103,11 +103,23 @@ where
                 }
                 let reg = &own[w.warp_id as usize];
                 w.charge_control(len as u64 + 1, valid);
-                for j in 0..len {
-                    let rj = super::broadcast_from_shared(w, &tile, j, valid);
-                    let dval = self.dist.eval(w, reg, &rj, valid);
-                    let right = [start + j; WARP_SIZE];
-                    self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                if !super::try_fused_pass(
+                    w,
+                    &self.dist,
+                    &self.action,
+                    &mut st,
+                    gpu_sim::FusedSrc::SharedBroadcast(&tile),
+                    len,
+                    gpu_sim::FusedPred::All,
+                    reg,
+                    valid,
+                ) {
+                    for j in 0..len {
+                        let rj = super::broadcast_from_shared(w, &tile, j, valid);
+                        let dval = self.dist.eval(w, reg, &rj, valid);
+                        let right = [start + j; WARP_SIZE];
+                        self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                    }
                 }
             });
             blk.syncthreads();

@@ -32,7 +32,9 @@ pub use shuffle::ShuffleKernel;
 use crate::distance::DistanceKernel;
 use crate::output::PairAction;
 use crate::point::DeviceSoa;
-use gpu_sim::{BlockCtx, F32x32, LaunchConfig, Mask, ShmF32, U32x32, WarpCtx, WARP_SIZE};
+use gpu_sim::{
+    BlockCtx, F32x32, FusedPred, FusedSrc, LaunchConfig, Mask, ShmF32, U32x32, WarpCtx, WARP_SIZE,
+};
 
 /// Which pairs a kernel evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +124,49 @@ pub(crate) fn load_tile_to_shared<const D: usize>(
             w.shared_store_f32(tile[d], &tid, &v, m);
         }
     });
+}
+
+/// Try to execute one inner tile pass through the fused fast path
+/// (`WarpCtx::fused_tile_pass`): the distance must opt in via
+/// [`DistanceKernel::fusible`] and the action must expose a
+/// [`gpu_sim::FusedConsumer`] view of its per-warp state. Returns `false`
+/// when the caller must interpret the loop op by op — either because the
+/// pair is not fusible or because a `fused_tile_pass` precondition failed
+/// (scalar reference, `fused_tile` off, non-prefix mask, potential
+/// mid-pass fault, …). Both routes are bit-identical in outputs, tally
+/// and cache state; only host-side speed differs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_fused_pass<const D: usize, F: DistanceKernel<D>, A: PairAction>(
+    w: &mut WarpCtx<'_, '_>,
+    dist: &F,
+    action: &A,
+    st: &mut A::Block,
+    src: FusedSrc<'_, D>,
+    len: u32,
+    pred: FusedPred,
+    own: &[F32x32; D],
+    valid: Mask,
+) -> bool {
+    if !dist.fusible() {
+        return false;
+    }
+    match action.fused_consumer(st, w.warp_id) {
+        // The plain Euclidean chain gets the lane-vectorized
+        // specialization; anything else runs the generic per-lane
+        // `eval_host` body. Same bits either way.
+        Some(c) if dist.euclidean_form() => w.fused_euclidean_tile(src, len, pred, own, c, valid),
+        Some(c) => w.fused_tile_pass(
+            src,
+            len,
+            pred,
+            dist.cost(),
+            |a, b| dist.eval_host(a, b),
+            own,
+            c,
+            valid,
+        ),
+        None => false,
+    }
 }
 
 /// Read tile element `j` as a warp broadcast from shared memory (one

@@ -116,11 +116,26 @@ where
                 }
                 let reg = &own[w.warp_id as usize];
                 w.charge_control(len as u64 + 1, valid);
-                for j in 0..len {
-                    let rj = self.roc_broadcast(w, start + j, valid);
-                    let dval = self.dist.eval(w, reg, &rj, valid);
-                    let right = [start + j; WARP_SIZE];
-                    self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                if !super::try_fused_pass(
+                    w,
+                    &self.dist,
+                    &self.action,
+                    &mut st,
+                    gpu_sim::FusedSrc::RocBroadcast {
+                        bufs: &self.input.coords,
+                        start,
+                    },
+                    len,
+                    gpu_sim::FusedPred::All,
+                    reg,
+                    valid,
+                ) {
+                    for j in 0..len {
+                        let rj = self.roc_broadcast(w, start + j, valid);
+                        let dval = self.dist.eval(w, reg, &rj, valid);
+                        let right = [start + j; WARP_SIZE];
+                        self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                    }
                 }
             });
         }
@@ -194,14 +209,32 @@ where
                     }
                     let reg = &own[w.warp_id as usize];
                     w.charge_control(block_n as u64 + 1, valid);
-                    for j in 0..block_n {
-                        let rj = self.roc_broadcast(w, block_start + j, valid);
-                        let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
-                        w.charge_alu(1, valid);
-                        if pm.any() {
-                            let dval = self.dist.eval(w, reg, &rj, pm);
-                            let right = [block_start + j; WARP_SIZE];
-                            self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                    if !super::try_fused_pass(
+                        w,
+                        &self.dist,
+                        &self.action,
+                        &mut st,
+                        gpu_sim::FusedSrc::RocBroadcast {
+                            bufs: &self.input.coords,
+                            start: block_start,
+                        },
+                        block_n,
+                        gpu_sim::FusedPred::NotEqual {
+                            gid0: gid[0],
+                            base: block_start,
+                        },
+                        reg,
+                        valid,
+                    ) {
+                        for j in 0..block_n {
+                            let rj = self.roc_broadcast(w, block_start + j, valid);
+                            let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
+                            w.charge_alu(1, valid);
+                            if pm.any() {
+                                let dval = self.dist.eval(w, reg, &rj, pm);
+                                let right = [block_start + j; WARP_SIZE];
+                                self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                            }
                         }
                     }
                 });

@@ -105,13 +105,26 @@ where
                     return;
                 }
                 let reg = &own[w.warp_id as usize];
-                // Line 5: for j = 0 to B — a uniform loop.
+                // Line 5: for j = 0 to B — a uniform loop, fused into one
+                // interpreter call when the distance/action pair allows.
                 w.charge_control(len as u64 + 1, valid);
-                for j in 0..len {
-                    let rj = super::broadcast_from_shared(w, &tile, j, valid);
-                    let dval = self.dist.eval(w, reg, &rj, valid);
-                    let right = [start + j; WARP_SIZE];
-                    self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                if !super::try_fused_pass(
+                    w,
+                    &self.dist,
+                    &self.action,
+                    &mut st,
+                    gpu_sim::FusedSrc::SharedBroadcast(&tile),
+                    len,
+                    gpu_sim::FusedPred::All,
+                    reg,
+                    valid,
+                ) {
+                    for j in 0..len {
+                        let rj = super::broadcast_from_shared(w, &tile, j, valid);
+                        let dval = self.dist.eval(w, reg, &rj, valid);
+                        let right = [start + j; WARP_SIZE];
+                        self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                    }
                 }
             });
             blk.syncthreads();
@@ -147,14 +160,29 @@ where
                     }
                     let reg = &own[w.warp_id as usize];
                     w.charge_control(block_n as u64 + 1, valid);
-                    for j in 0..block_n {
-                        let rj = super::broadcast_from_shared(w, &tile, j, valid);
-                        let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
-                        w.charge_alu(1, valid);
-                        if pm.any() {
-                            let dval = self.dist.eval(w, reg, &rj, pm);
-                            let right = [block_start + j; WARP_SIZE];
-                            self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                    if !super::try_fused_pass(
+                        w,
+                        &self.dist,
+                        &self.action,
+                        &mut st,
+                        gpu_sim::FusedSrc::SharedBroadcast(&tile),
+                        block_n,
+                        gpu_sim::FusedPred::NotEqual {
+                            gid0: gid[0],
+                            base: block_start,
+                        },
+                        reg,
+                        valid,
+                    ) {
+                        for j in 0..block_n {
+                            let rj = super::broadcast_from_shared(w, &tile, j, valid);
+                            let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
+                            w.charge_alu(1, valid);
+                            if pm.any() {
+                                let dval = self.dist.eval(w, reg, &rj, pm);
+                                let right = [block_start + j; WARP_SIZE];
+                                self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                            }
                         }
                     }
                 });

@@ -117,11 +117,23 @@ where
                 // counts 2× the shared reads of equation (5).
                 let lt = super::gather_from_shared(w, &l_tile, &tid, valid);
                 w.charge_control(len as u64 + 1, valid);
-                for j in 0..len {
-                    let rj = super::broadcast_from_shared(w, &r_tile, j, valid);
-                    let dval = self.dist.eval(w, &lt, &rj, valid);
-                    let right = [start + j; WARP_SIZE];
-                    self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                if !super::try_fused_pass(
+                    w,
+                    &self.dist,
+                    &self.action,
+                    &mut st,
+                    gpu_sim::FusedSrc::SharedBroadcast(&r_tile),
+                    len,
+                    gpu_sim::FusedPred::All,
+                    &lt,
+                    valid,
+                ) {
+                    for j in 0..len {
+                        let rj = super::broadcast_from_shared(w, &r_tile, j, valid);
+                        let dval = self.dist.eval(w, &lt, &rj, valid);
+                        let right = [start + j; WARP_SIZE];
+                        self.action.process(w, &mut st, &gid, &right, &dval, valid);
+                    }
                 }
             });
             blk.syncthreads();
@@ -142,14 +154,29 @@ where
                     }
                     let lt = super::gather_from_shared(w, &l_tile, &tid, valid);
                     w.charge_control(block_n as u64 + 1, valid);
-                    for j in 0..block_n {
-                        let rj = super::broadcast_from_shared(w, &l_tile, j, valid);
-                        let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
-                        w.charge_alu(1, valid);
-                        if pm.any() {
-                            let dval = self.dist.eval(w, &lt, &rj, pm);
-                            let right = [block_start + j; WARP_SIZE];
-                            self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                    if !super::try_fused_pass(
+                        w,
+                        &self.dist,
+                        &self.action,
+                        &mut st,
+                        gpu_sim::FusedSrc::SharedBroadcast(&l_tile),
+                        block_n,
+                        gpu_sim::FusedPred::NotEqual {
+                            gid0: gid[0],
+                            base: block_start,
+                        },
+                        &lt,
+                        valid,
+                    ) {
+                        for j in 0..block_n {
+                            let rj = super::broadcast_from_shared(w, &l_tile, j, valid);
+                            let pm = Mask::from_fn(|i| valid.lane(i) && gid[i] != block_start + j);
+                            w.charge_alu(1, valid);
+                            if pm.any() {
+                                let dval = self.dist.eval(w, &lt, &rj, pm);
+                                let right = [block_start + j; WARP_SIZE];
+                                self.action.process(w, &mut st, &gid, &right, &dval, pm);
+                            }
                         }
                     }
                 });

@@ -52,7 +52,9 @@ where
     ///
     /// `pair_filter(lane_gid, partner_gid) -> bool` predicates which
     /// pairs this fragment may produce (used to skip self-pairs and to
-    /// enforce ordering in the intra phase).
+    /// enforce ordering in the intra phase); `pred` is the same predicate
+    /// in the closed form the fused executor needs — the two must agree
+    /// on every `(lane, k)`, which keeps both routes bit-identical.
     #[allow(clippy::too_many_arguments)]
     fn fragment(
         &self,
@@ -63,6 +65,7 @@ where
         frag_start: u32,
         frag_len: u32,
         reg0: &[F32x32; D],
+        pred: gpu_sim::FusedPred,
         pair_filter: impl Fn(u32, u32) -> bool,
     ) {
         // Line 4: regl <- the j-th datum, one element per lane.
@@ -75,6 +78,19 @@ where
 
         // Lines 5–9: walk the 32 lanes by shuffle broadcast.
         w.charge_control(frag_len as u64 + 1, valid);
+        if super::try_fused_pass(
+            w,
+            &self.dist,
+            &self.action,
+            st,
+            gpu_sim::FusedSrc::LaneBroadcast(&reg1),
+            frag_len,
+            pred,
+            reg0,
+            valid,
+        ) {
+            return;
+        }
         for k in 0..frag_len {
             let regtmp: [F32x32; D] = std::array::from_fn(|d| w.shfl_bcast_f32(&reg1[d], k, valid));
             let partner = frag_start + k;
@@ -145,9 +161,21 @@ where
                 let mut frag = 0u32;
                 while frag < len {
                     let fl = (len - frag).min(WARP_SIZE as u32);
-                    self.fragment(w, &mut st, &gid, valid, start + frag, fl, reg0, |a, p| {
-                        a != p
-                    });
+                    let pred = gpu_sim::FusedPred::NotEqual {
+                        gid0: gid[0],
+                        base: start + frag,
+                    };
+                    self.fragment(
+                        w,
+                        &mut st,
+                        &gid,
+                        valid,
+                        start + frag,
+                        fl,
+                        reg0,
+                        pred,
+                        |a, p| a != p,
+                    );
                     frag += WARP_SIZE as u32;
                 }
             });
@@ -166,6 +194,17 @@ where
             let mut frag = 0u32;
             while frag < block_n {
                 let fl = (block_n - frag).min(WARP_SIZE as u32);
+                let pred = if half {
+                    gpu_sim::FusedPred::LessThan {
+                        gid0: gid[0],
+                        base: block_start + frag,
+                    }
+                } else {
+                    gpu_sim::FusedPred::NotEqual {
+                        gid0: gid[0],
+                        base: block_start + frag,
+                    }
+                };
                 self.fragment(
                     w,
                     &mut st,
@@ -174,6 +213,7 @@ where
                     block_start + frag,
                     fl,
                     reg0,
+                    pred,
                     |a, p| if half { a < p } else { a != p },
                 );
                 frag += WARP_SIZE as u32;

@@ -21,7 +21,8 @@
 
 use crate::histogram::HistogramSpec;
 use gpu_sim::{
-    BlockCtx, BufF32, BufU32, BufU64, F32x32, Mask, ShmU32, U32x32, U64x32, WarpCtx, WARP_SIZE,
+    BlockCtx, BufF32, BufU32, BufU64, F32x32, FusedConsumer, Mask, ShmU32, U32x32, U64x32, WarpCtx,
+    WARP_SIZE,
 };
 
 /// The paper's output classification (§III-B).
@@ -81,6 +82,19 @@ pub trait PairAction: Sync {
     /// Fixed ALU instructions charged per `process` call (mirrored by the
     /// analytic model).
     fn alu_per_pair(&self) -> u64;
+
+    /// A borrowed [`FusedConsumer`] view of warp `warp_id`'s accumulator
+    /// state, when [`PairAction::process`] is one of the shapes
+    /// `WarpCtx::fused_tile_pass` can execute (its per-step charges must
+    /// equal [`PairAction::alu_per_pair`]). `None` — the default — keeps
+    /// the kernel on the op-by-op interpretation route.
+    fn fused_consumer<'s>(
+        &self,
+        _st: &'s mut Self::Block,
+        _warp_id: u32,
+    ) -> Option<FusedConsumer<'s>> {
+        None
+    }
 }
 
 // ====================================================================
@@ -143,6 +157,17 @@ impl PairAction for CountWithinRadius {
 
     fn alu_per_pair(&self) -> u64 {
         2
+    }
+
+    fn fused_consumer<'s>(
+        &self,
+        st: &'s mut Self::Block,
+        warp_id: u32,
+    ) -> Option<FusedConsumer<'s>> {
+        Some(FusedConsumer::CountLt {
+            radius: self.radius,
+            acc: &mut st[warp_id as usize],
+        })
     }
 }
 
@@ -299,6 +324,16 @@ impl PairAction for KdeAction {
     fn alu_per_pair(&self) -> u64 {
         1
     }
+
+    fn fused_consumer<'s>(
+        &self,
+        st: &'s mut Self::Block,
+        warp_id: u32,
+    ) -> Option<FusedConsumer<'s>> {
+        Some(FusedConsumer::Sum {
+            acc: &mut st[warp_id as usize],
+        })
+    }
 }
 
 // ====================================================================
@@ -397,6 +432,18 @@ impl PairAction for SharedHistogramAction {
 
     fn alu_per_pair(&self) -> u64 {
         2 // bucket computation; the atomic itself is a memory op
+    }
+
+    fn fused_consumer<'s>(
+        &self,
+        st: &'s mut Self::Block,
+        _warp_id: u32,
+    ) -> Option<FusedConsumer<'s>> {
+        Some(FusedConsumer::Histogram {
+            inv_width: self.spec.inv_width(),
+            hmax: self.spec.buckets.saturating_sub(1),
+            shm: *st,
+        })
     }
 }
 

@@ -180,6 +180,14 @@ pub struct DeviceConfig {
     /// differential testing and before/after host-performance
     /// measurement, never for accuracy.
     pub scalar_reference: bool,
+    /// Execute whole inner tile passes through the fused interpreter ops
+    /// (`WarpCtx::fused_tile_pass` and friends) and enable the
+    /// generation-stamped L2/ROC hit memoization. Like
+    /// [`DeviceConfig::scalar_reference`], purely a host-speed knob:
+    /// outputs, tallies, timing and fault blame are bit-identical with it
+    /// on or off. `false` reproduces the PR-2 vectorized op-by-op route.
+    /// Ignored (treated as off) when `scalar_reference` is set.
+    pub fused_tile: bool,
 }
 
 impl DeviceConfig {
@@ -229,6 +237,7 @@ impl DeviceConfig {
             divergence_penalty_cycles: 10.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
+            fused_tile: true,
         }
     }
 
@@ -278,6 +287,7 @@ impl DeviceConfig {
             divergence_penalty_cycles: 14.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
+            fused_tile: true,
         }
     }
 
@@ -327,6 +337,7 @@ impl DeviceConfig {
             divergence_penalty_cycles: 16.0,
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
+            fused_tile: true,
         }
     }
 
@@ -341,6 +352,15 @@ impl DeviceConfig {
     /// simulation results never change.
     pub fn with_scalar_reference(mut self, on: bool) -> Self {
         self.scalar_reference = on;
+        self
+    }
+
+    /// Builder-style toggle of the fused tile-execution layer (see the
+    /// [`DeviceConfig::fused_tile`] field). Host-speed knob only;
+    /// simulation results never change. `false` selects the PR-2
+    /// vectorized op-by-op route.
+    pub fn with_fused_tile(mut self, on: bool) -> Self {
+        self.fused_tile = on;
         self
     }
 

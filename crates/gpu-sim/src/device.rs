@@ -6,7 +6,7 @@ use crate::exec::{engine, Kernel, KernelRun, LaunchConfig};
 use crate::mem::{BufF32, BufU32, BufU64, GlobalMem};
 use crate::occupancy::occupancy;
 use crate::profile::KernelProfile;
-use crate::tally::AccessTally;
+use crate::tally::{AccessTally, InterpStats};
 use crate::timing::TimingModel;
 
 /// A simulated GPU.
@@ -135,7 +135,7 @@ impl Device {
             res.shared_mem_bytes,
         );
 
-        let total = engine::run_grid(&mut self.global, &self.cfg, kernel, lc, res)?;
+        let (total, interp) = engine::run_grid(&mut self.global, &self.cfg, kernel, lc, res)?;
 
         let timing = TimingModel::new(&self.cfg).estimate(&total, &occ, lc.grid_dim);
         let profile = KernelProfile::build(kernel.name(), &self.cfg, &total, &occ, &timing);
@@ -146,6 +146,7 @@ impl Device {
             occupancy: occ,
             timing,
             profile,
+            interp,
         })
     }
 
@@ -187,6 +188,7 @@ impl Device {
             occupancy: occ,
             timing,
             profile,
+            interp: InterpStats::default(),
         }
     }
 }

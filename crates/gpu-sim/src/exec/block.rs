@@ -8,7 +8,7 @@ use crate::mem::replay::{BufSet, SectorTrace, WriteOp};
 use crate::mem::{
     BufF32, BufU32, BufU64, GlobalMem, L2Cache, RocCache, SharedSpace, ShmF32, ShmU32, ShmU64,
 };
-use crate::tally::AccessTally;
+use crate::tally::{AccessTally, InterpStats};
 use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
 
 /// What a speculatively-executed block recorded for the commit phase.
@@ -48,6 +48,9 @@ pub struct BlockCtx<'a> {
     pub(crate) roc: RocCache,
     pub(crate) shared: SharedSpace,
     pub(crate) tally: AccessTally,
+    /// Host-side interpreter statistics (dispatch counts, fused-op
+    /// coverage). Not part of the simulated device state.
+    pub(crate) interp: InterpStats,
     pub(crate) cfg: &'a DeviceConfig,
     pub(crate) fault: Option<SimError>,
     /// Buffers this block loaded from (conflict detection).
@@ -78,6 +81,8 @@ impl<'a> BlockCtx<'a> {
     ) -> Self {
         let roc = if cfg.scalar_reference {
             RocCache::new_reference(cfg.roc_sectors())
+        } else if cfg.fused_tile {
+            RocCache::new_memoized(cfg.roc_sectors())
         } else {
             RocCache::new(cfg.roc_sectors())
         };
@@ -88,6 +93,7 @@ impl<'a> BlockCtx<'a> {
             roc,
             shared,
             tally: AccessTally::new(),
+            interp: InterpStats::default(),
             cfg,
             fault: None,
             reads: BufSet::default(),
@@ -297,15 +303,19 @@ impl<'a> BlockCtx<'a> {
     pub(crate) fn l2_access_run(&mut self, base: u64, count: u32) {
         match &mut self.port {
             GlobalPort::Direct { l2, .. } => {
-                let mut hits = 0u64;
-                for k in 0..count as u64 {
-                    hits += l2.access(base + k) as u64;
-                }
+                let hits = l2.access_run(base, count);
                 self.tally.l2_hit_sectors += hits;
                 self.tally.dram_sectors += count as u64 - hits;
             }
             GlobalPort::Speculative { rec, .. } => rec.trace.push_run(base, count),
         }
+    }
+
+    /// Would [`Self::note_read`] of this buffer abandon speculation?
+    /// The fused tile pass pre-checks this so it never has to unwind
+    /// mid-pass.
+    pub(crate) fn read_would_abandon(&self, id: u32) -> bool {
+        matches!(self.port, GlobalPort::Speculative { .. }) && self.writes.contains(id)
     }
 
     fn note_read(&mut self, id: u32) {

@@ -44,7 +44,7 @@ use crate::exec::block::{BlockCtx, GlobalPort, SpecRecord};
 use crate::exec::{Kernel, KernelResources, LaunchConfig};
 use crate::mem::replay::BufSet;
 use crate::mem::{GlobalMem, L2Cache};
-use crate::tally::AccessTally;
+use crate::tally::{AccessTally, InterpStats};
 
 /// Blocks speculated per worker thread before a commit barrier.
 const WINDOW_BLOCKS_PER_THREAD: usize = 8;
@@ -52,6 +52,9 @@ const WINDOW_BLOCKS_PER_THREAD: usize = 8;
 /// Everything one executed block hands to the commit phase.
 struct BlockOutcome {
     tally: AccessTally,
+    /// Host interpreter statistics (block-local dispatch/fusion counts
+    /// plus the block's ROC memoization counters).
+    interp: InterpStats,
     fault: Option<SimError>,
     shared_allocated: u64,
     reads: BufSet,
@@ -62,16 +65,38 @@ struct BlockOutcome {
     needs_reexec: bool,
 }
 
+/// The device-wide L2 for one launch: the legacy body in scalar-reference
+/// mode, the fast body with generation-stamped run memoization when the
+/// fused fast paths are on, the plain fast body otherwise. All three make
+/// identical hit/miss decisions.
+fn new_l2(cfg: &DeviceConfig) -> L2Cache {
+    if cfg.scalar_reference {
+        L2Cache::new_reference(cfg.l2_sectors())
+    } else if cfg.fused_tile {
+        L2Cache::new_memoized(cfg.l2_sectors())
+    } else {
+        L2Cache::new(cfg.l2_sectors())
+    }
+}
+
+/// Fold the launch-wide L2's memoization counters into the stats (the
+/// per-block ROC counters travel inside each [`BlockOutcome`]).
+fn collect_l2_memo(l2: &L2Cache, stats: &mut InterpStats) {
+    stats.memo_replayed_sectors += l2.memo_replayed();
+    stats.memo_probed_sectors += l2.memo_probed();
+}
+
 /// Run the whole grid under the configured [`ExecMode`], returning the
-/// merged tally. Mutations land in `global`; the first fault (in block
-/// order) aborts the launch exactly as the sequential engine would.
+/// merged tally and host interpreter statistics. Mutations land in
+/// `global`; the first fault (in block order) aborts the launch exactly
+/// as the sequential engine would.
 pub(crate) fn run_grid<K: Kernel + ?Sized>(
     global: &mut GlobalMem,
     cfg: &DeviceConfig,
     kernel: &K,
     lc: LaunchConfig,
     res: KernelResources,
-) -> Result<AccessTally, SimError> {
+) -> Result<(AccessTally, InterpStats), SimError> {
     let threads = match cfg.exec_mode {
         ExecMode::Sequential => 1,
         m => m.resolved_threads(),
@@ -90,18 +115,16 @@ fn run_sequential<K: Kernel + ?Sized>(
     kernel: &K,
     lc: LaunchConfig,
     res: KernelResources,
-) -> Result<AccessTally, SimError> {
-    let mut l2 = if cfg.scalar_reference {
-        L2Cache::new_reference(cfg.l2_sectors())
-    } else {
-        L2Cache::new(cfg.l2_sectors())
-    };
+) -> Result<(AccessTally, InterpStats), SimError> {
+    let mut l2 = new_l2(cfg);
     let mut total = AccessTally::new();
+    let mut stats = InterpStats::default();
     for b in 0..lc.grid_dim {
         let outcome = run_block_direct(global, &mut l2, cfg, kernel, b, lc);
-        commit_checks(outcome, kernel, res, lc, &mut total)?;
+        commit_checks(outcome, kernel, res, lc, &mut total, &mut stats)?;
     }
-    Ok(total)
+    collect_l2_memo(&l2, &mut stats);
+    Ok((total, stats))
 }
 
 /// The deterministic parallel engine: speculate in windows, commit in
@@ -113,17 +136,18 @@ fn run_parallel<K: Kernel + ?Sized>(
     lc: LaunchConfig,
     res: KernelResources,
     threads: usize,
-) -> Result<AccessTally, SimError> {
-    let mut l2 = if cfg.scalar_reference {
-        L2Cache::new_reference(cfg.l2_sectors())
-    } else {
-        L2Cache::new(cfg.l2_sectors())
-    };
+) -> Result<(AccessTally, InterpStats), SimError> {
+    let mut l2 = new_l2(cfg);
     let mut total = AccessTally::new();
+    let mut stats = InterpStats::default();
     let window = (threads * WINDOW_BLOCKS_PER_THREAD) as u32;
     let mut committed = 0u32;
     let mut reexecuted = 0u32;
     let mut start = 0u32;
+    // Per-worker result buffers, reused across windows (`drain` keeps
+    // their capacity) so the steady-state speculate phase allocates
+    // nothing per window.
+    let mut worker_bufs: Vec<Vec<(u32, BlockOutcome)>> = (0..threads).map(|_| Vec::new()).collect();
     while start < lc.grid_dim {
         // A launch where every block abandons speculation (e.g. pair-list
         // kernels allocating output slots from a global cursor) gains
@@ -131,9 +155,10 @@ fn run_parallel<K: Kernel + ?Sized>(
         if committed >= window && reexecuted == committed {
             for b in start..lc.grid_dim {
                 let outcome = run_block_direct(global, &mut l2, cfg, kernel, b, lc);
-                commit_checks(outcome, kernel, res, lc, &mut total)?;
+                commit_checks(outcome, kernel, res, lc, &mut total, &mut stats)?;
             }
-            return Ok(total);
+            collect_l2_memo(&l2, &mut stats);
+            return Ok((total, stats));
         }
 
         let end = (start + window).min(lc.grid_dim);
@@ -147,36 +172,32 @@ fn run_parallel<K: Kernel + ?Sized>(
             let snapshot: &GlobalMem = global;
             let next = AtomicU32::new(0);
             std::thread::scope(|s| {
-                let workers: Vec<_> = (0..threads.min(count as usize))
-                    .map(|_| {
+                let workers: Vec<_> = worker_bufs
+                    .iter_mut()
+                    .take(threads.min(count as usize))
+                    .map(|done| {
                         let next = &next;
-                        s.spawn(move || {
-                            let mut done = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= count {
-                                    return done;
-                                }
-                                done.push((
-                                    i,
-                                    run_block_spec(snapshot, cfg, kernel, start + i, lc),
-                                ));
+                        s.spawn(move || loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                return;
                             }
+                            done.push((i, run_block_spec(snapshot, cfg, kernel, start + i, lc)));
                         })
                     })
                     .collect();
                 for w in workers {
-                    match w.join() {
-                        Ok(done) => {
-                            for (i, outcome) in done {
-                                slots[i as usize] = Some(outcome);
-                            }
-                        }
-                        // Preserve kernel host-code panics (test asserts).
-                        Err(payload) => std::panic::resume_unwind(payload),
+                    // Preserve kernel host-code panics (test asserts).
+                    if let Err(payload) = w.join() {
+                        std::panic::resume_unwind(payload);
                     }
                 }
             });
+            for done in worker_bufs.iter_mut() {
+                for (i, outcome) in done.drain(..) {
+                    slots[i as usize] = Some(outcome);
+                }
+            }
         }
 
         // ---- phase 2: commit in block order ----
@@ -196,11 +217,12 @@ fn run_parallel<K: Kernel + ?Sized>(
             }
             window_writes.union_with(&outcome.writes);
             committed += 1;
-            commit_checks(outcome, kernel, res, lc, &mut total)?;
+            commit_checks(outcome, kernel, res, lc, &mut total, &mut stats)?;
         }
         start = end;
     }
-    Ok(total)
+    collect_l2_memo(&l2, &mut stats);
+    Ok((total, stats))
 }
 
 /// Run one block directly against global memory and the shared L2.
@@ -232,8 +254,14 @@ fn run_block_spec<K: Kernel + ?Sized>(
 
 fn into_outcome(blk: BlockCtx<'_>) -> BlockOutcome {
     let shared_allocated = blk.shared.allocated_bytes();
+    // The per-block ROC's memoization counters ride along with the
+    // block's interpreter stats.
+    let mut interp = blk.interp;
+    interp.memo_replayed_sectors += blk.roc.memo_replayed();
+    interp.memo_probed_sectors += blk.roc.memo_probed();
     BlockOutcome {
         tally: blk.tally,
+        interp,
         fault: blk.fault,
         shared_allocated,
         reads: blk.reads,
@@ -255,6 +283,7 @@ fn commit_checks<K: Kernel + ?Sized>(
     res: KernelResources,
     lc: LaunchConfig,
     total: &mut AccessTally,
+    stats: &mut InterpStats,
 ) -> Result<(), SimError> {
     if let Some(fault) = outcome.fault {
         return Err(fault);
@@ -273,5 +302,6 @@ fn commit_checks<K: Kernel + ?Sized>(
     outcome.tally.blocks_executed = 1;
     outcome.tally.warps_executed = lc.warps_per_block() as u64;
     total.merge(&outcome.tally);
+    stats.merge(&outcome.interp);
     Ok(())
 }

@@ -1,0 +1,110 @@
+//! Operand sources, predicates and consumers for fused tile execution.
+//!
+//! The paper's tiling kernels spend almost all of their time in one inner
+//! loop shape: *for each element `j` of a resident tile, broadcast the
+//! element to the warp, evaluate a distance against per-lane registers
+//! under a predicate, and fold the value into a per-lane accumulator.*
+//! Interpreting that loop op-by-op costs several interpreter dispatches
+//! per element. [`WarpCtx::fused_tile_pass`](super::WarpCtx::fused_tile_pass)
+//! executes the whole loop in one call: flat per-lane loops compute the
+//! values, and all instruction/byte/lane accounting is charged in closed
+//! form — bit-identical to the op-by-op route (the differential tests in
+//! `tests/differential.rs` prove it).
+//!
+//! The three enums here describe the loop to the fused executor:
+//! where the broadcast operand comes from ([`FusedSrc`]), which lanes
+//! participate at each step ([`FusedPred`]), and what happens to the
+//! distance value ([`FusedConsumer`]).
+
+use crate::mem::{BufF32, ShmF32, ShmU32};
+use crate::{F32x32, U64x32};
+
+/// Where the per-step broadcast operand of a fused tile pass comes from.
+///
+/// At step `j` (0-based) the executor materializes one `D`-dimensional
+/// point that every active lane compares against its own registers.
+#[derive(Debug, Clone, Copy)]
+pub enum FusedSrc<'t, const D: usize> {
+    /// Element `j` of each of `D` shared-memory tile arrays
+    /// (`broadcast_from_shared` per step). Charged as one shared load
+    /// instruction / one broadcast transaction per dimension per step.
+    SharedBroadcast(&'t [ShmF32; D]),
+    /// Element `start + j` of each of `D` global coordinate buffers read
+    /// through the read-only data cache (`roc_broadcast` per step). The
+    /// per-sector hit/miss stream is still driven element by element, so
+    /// ROC/L2 state and counters match the unfused route exactly.
+    RocBroadcast {
+        /// One coordinate buffer per dimension.
+        bufs: &'t [BufF32; D],
+        /// Global element index of tile step 0.
+        start: u32,
+    },
+    /// Lane `j % 32` of a register fragment held by the warp itself
+    /// (`shfl_bcast_f32` per step, the paper's §IV-E2 shuffle kernel).
+    /// Charged as one shuffle instruction per dimension per step.
+    LaneBroadcast(&'t [F32x32; D]),
+}
+
+/// Which lanes evaluate the distance at step `j` of a fused tile pass.
+///
+/// The predicates mirror the three guard expressions the tiling kernels
+/// emit. `gid0` is the global thread id of lane 0 and `base` the global
+/// element index of step 0; lane `l` holds element `gid0 + l` and step
+/// `j` broadcasts element `base + j` — contiguity is what makes the
+/// masks computable in closed form.
+#[derive(Debug, Clone, Copy)]
+pub enum FusedPred {
+    /// Every valid lane participates at every step (inter-block tiles:
+    /// the sets are disjoint). No predicate ALU charge.
+    All,
+    /// Skip the self-pair `gid0 + l == base + j` (intra-block
+    /// `AllPairs`). Charged one ALU op per step, as `ne_u32` would be.
+    NotEqual {
+        /// Global thread id of lane 0.
+        gid0: u32,
+        /// Global element index of tile step 0.
+        base: u32,
+    },
+    /// Only lanes with `gid0 + l < base + j` participate (intra-block
+    /// `HalfPairs` in the shuffle kernel). Charged one ALU op per step.
+    LessThan {
+        /// Global thread id of lane 0.
+        gid0: u32,
+        /// Global element index of tile step 0.
+        base: u32,
+    },
+}
+
+/// What a fused tile pass does with each per-lane distance value.
+///
+/// These mirror the `PairAction::process` bodies of the three fusible
+/// actions; the ALU charges per step are identical to the unfused calls.
+#[derive(Debug)]
+pub enum FusedConsumer<'c> {
+    /// `CountWithinRadius`: `acc[l] += 1` where the value is strictly
+    /// below `radius` (two ALU ops per step: compare + add).
+    CountLt {
+        /// Exclusive distance threshold.
+        radius: f32,
+        /// Per-lane hit counters for this warp.
+        acc: &'c mut U64x32,
+    },
+    /// `KdeAction`: `acc[l] += value` on every predicated lane (one ALU
+    /// op per step).
+    Sum {
+        /// Per-lane partial sums for this warp.
+        acc: &'c mut F32x32,
+    },
+    /// `SharedHistogramAction`: bucket the value and do a real
+    /// `shared_atomic_add_u32` per step (bucketing is two ALU ops; the
+    /// atomic's serialization is data-dependent, so it stays a genuine
+    /// per-step shared-memory operation inside the fused pass).
+    Histogram {
+        /// `buckets / max_distance` (see `HistogramSpec::inv_width`).
+        inv_width: f32,
+        /// Highest valid bucket index (`buckets - 1`).
+        hmax: u32,
+        /// The privatized per-block histogram.
+        shm: ShmU32,
+    },
+}

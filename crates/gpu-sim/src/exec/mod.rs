@@ -12,18 +12,20 @@
 
 mod block;
 pub(crate) mod engine;
+mod fused;
 mod launch;
 mod mask;
 mod warp;
 
 pub use block::BlockCtx;
+pub use fused::{FusedConsumer, FusedPred, FusedSrc};
 pub use launch::LaunchConfig;
 pub use mask::Mask;
 pub use warp::WarpCtx;
 
 use crate::occupancy::Occupancy;
 use crate::profile::KernelProfile;
-use crate::tally::AccessTally;
+use crate::tally::{AccessTally, InterpStats};
 use crate::timing::TimingBreakdown;
 
 /// Static resource usage a kernel declares up front, the way `nvcc`
@@ -81,6 +83,9 @@ pub struct KernelRun {
     pub timing: TimingBreakdown,
     /// Profiler-style report (utilizations, bandwidths).
     pub profile: KernelProfile,
+    /// Host-side interpreter statistics (dispatches, fused-op coverage,
+    /// memoization hits). Not part of the simulated device state.
+    pub interp: InterpStats,
 }
 
 impl KernelRun {

@@ -25,6 +25,7 @@
 
 use crate::error::SimError;
 use crate::exec::block::BlockCtx;
+use crate::exec::fused::{FusedConsumer, FusedPred, FusedSrc};
 use crate::exec::mask::Mask;
 use crate::mem::{self, BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
 use crate::tally::AccessTally;
@@ -226,6 +227,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     #[inline]
     fn charge(&mut self, mask: Mask) {
+        self.blk.interp.dispatches += 1;
         charge_lanes(&mut self.blk.tally, 1, mask.count() as u64);
     }
 
@@ -240,6 +242,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// Use this when computing lane values in plain Rust (e.g. a distance
     /// function) so the simulated cost matches the work.
     pub fn charge_alu(&mut self, n: u64, mask: Mask) {
+        self.blk.interp.dispatches += 1;
         let t = &mut self.blk.tally;
         charge_lanes(t, n, mask.count() as u64);
         t.alu_instructions += n;
@@ -247,6 +250,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     /// Charge `n` control-flow warp instructions (loop tests, branches).
     pub fn charge_control(&mut self, n: u64, mask: Mask) {
+        self.blk.interp.dispatches += 1;
         let t = &mut self.blk.tally;
         charge_lanes(t, n, mask.count() as u64);
         t.control_instructions += n;
@@ -496,6 +500,10 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
 
     #[inline]
     fn roc_one_sector(&mut self, s: u64) {
+        if self.blk.roc.try_replay_hit(s) {
+            self.blk.tally.roc_hit_sectors += 1;
+            return;
+        }
         if self.blk.roc.access(s) {
             self.blk.tally.roc_hit_sectors += 1;
         } else {
@@ -1109,6 +1117,447 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         // Final (failing) loop test.
         if max_trips > 0 {
             self.charge_control(1, mask);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // fused tile execution (hot-path interpreter fast path)
+    // ---------------------------------------------------------------
+
+    /// The per-step active mask of a fused tile pass, in closed form.
+    /// Exactly the mask the op-by-op loops build with `Mask::from_fn`
+    /// over `gid[i] != partner` / `gid[i] < partner`, relying on the
+    /// lane→element contiguity documented on [`FusedPred`].
+    #[inline]
+    fn fused_pred_mask(pred: FusedPred, j: u32, valid: Mask) -> Mask {
+        match pred {
+            FusedPred::All => valid,
+            FusedPred::NotEqual { gid0, base } => {
+                let l = (base + j).wrapping_sub(gid0);
+                if l < WARP_SIZE as u32 {
+                    Mask(valid.0 & !(1u32 << l))
+                } else {
+                    valid
+                }
+            }
+            FusedPred::LessThan { gid0, base } => {
+                valid.and(Mask::first_n((base + j).saturating_sub(gid0)))
+            }
+        }
+    }
+
+    /// Execute one whole inner tile pass — `len` steps of *broadcast an
+    /// element, evaluate the distance against each lane's own point,
+    /// fold the value into the consumer* — in a single fused call.
+    ///
+    /// Semantically identical to the op-by-op loop the tiling kernels
+    /// otherwise interpret (`broadcast → dist.eval → action.process` per
+    /// step): outputs, [`AccessTally`], ROC/L2 cache state and
+    /// first-fault behavior are bit-for-bit the same, which
+    /// `tests/differential.rs` proves. The speedup comes from charging
+    /// the per-step instruction accounting in closed form and running
+    /// flat lane loops with no interpreter dispatch per step.
+    ///
+    /// Returns `true` when the fused fast path ran. Returns `false` —
+    /// with **no** side effects — whenever a precondition fails, and the
+    /// caller must fall back to the op-by-op loop: scalar-reference
+    /// mode, `fused_tile` disabled, a dead block, an empty/non-prefix
+    /// `valid` mask, a zero-length tile, a source or consumer that could
+    /// fault mid-pass (the fallback loop then reproduces the exact
+    /// op-by-op fault point), or a ROC source whose `note_read` would
+    /// abandon speculation.
+    ///
+    /// `eval` receives `(own_point, broadcast_point)` — the same
+    /// argument order as `DistanceKernel::eval_host(a, b)` under
+    /// `dist.eval(w, own_regs, &broadcast, mask)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_tile_pass<const D: usize>(
+        &mut self,
+        src: FusedSrc<'_, D>,
+        len: u32,
+        pred: FusedPred,
+        dist_cost: u64,
+        eval: impl Fn(&[f32; D], &[f32; D]) -> f32,
+        own: &[F32x32; D],
+        consumer: FusedConsumer<'_>,
+        valid: Mask,
+    ) -> bool {
+        self.fused_tile_impl::<D, false>(src, len, pred, dist_cost, eval, own, consumer, valid)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fused_tile_impl<const D: usize, const EUCLID: bool>(
+        &mut self,
+        src: FusedSrc<'_, D>,
+        len: u32,
+        pred: FusedPred,
+        dist_cost: u64,
+        eval: impl Fn(&[f32; D], &[f32; D]) -> f32,
+        own: &[F32x32; D],
+        consumer: FusedConsumer<'_>,
+        valid: Mask,
+    ) -> bool {
+        if self.scalar_ref()
+            || !self.blk.cfg.fused_tile
+            || self.blk.dead()
+            || len == 0
+            || !valid.any()
+            || !valid.is_prefix()
+        {
+            return false;
+        }
+        // Pre-flight every fault/abandon the pass could hit, so the body
+        // below can batch its charges without a mid-pass unwind.
+        match &src {
+            FusedSrc::SharedBroadcast(tile) => {
+                if tile.iter().any(|h| {
+                    self.blk
+                        .shared
+                        .check_bounds(h.0, len - 1, "shared f32 load")
+                        .is_err()
+                }) {
+                    return false;
+                }
+            }
+            FusedSrc::RocBroadcast { bufs, start } => {
+                let Some(last) = start.checked_add(len - 1) else {
+                    return false;
+                };
+                if bufs.iter().any(|b| {
+                    self.blk
+                        .check_global_bounds(b.0, last, "roc f32 load")
+                        .is_err()
+                        || self.blk.read_would_abandon(b.0)
+                }) {
+                    return false;
+                }
+            }
+            FusedSrc::LaneBroadcast(_) => {
+                if !self.blk.cfg.has_shuffle {
+                    return false;
+                }
+            }
+        }
+        if let FusedConsumer::Histogram { hmax, shm, .. } = &consumer {
+            if self
+                .blk
+                .shared
+                .check_bounds(shm.0, *hmax, "shared u32 atomicAdd")
+                .is_err()
+            {
+                return false;
+            }
+        }
+
+        let a = valid.count() as u64;
+        let steps = len as u64;
+        let dims = D as u64;
+
+        // ---- operand charges, batched in closed form ----
+        // Every step's broadcast is a prefix-mask single-element access,
+        // so each per-op charge is a constant; only the ROC sector stream
+        // is stateful and is driven element by element in op-by-op order.
+        match &src {
+            FusedSrc::SharedBroadcast(_) => {
+                let t = &mut self.blk.tally;
+                charge_lanes(t, steps * dims, a);
+                t.shared_load_instructions += steps * dims;
+                // A one-element f32 broadcast is always a single
+                // conflict-free transaction (`SharedSpace::transactions_for`).
+                t.shared_transactions += steps * dims;
+                t.shared_bytes += 4 * a * steps * dims;
+            }
+            FusedSrc::RocBroadcast { bufs, start } => {
+                {
+                    let t = &mut self.blk.tally;
+                    charge_lanes(t, steps * dims, a);
+                    t.roc_load_instructions += steps * dims;
+                    t.roc_bytes += 4 * a * steps * dims;
+                }
+                let sb = self.blk.cfg.sector_bytes as u64;
+                let bases: [u64; D] = std::array::from_fn(|d| self.blk.global_base_addr(bufs[d].0));
+                for j in 0..steps {
+                    for &base in &bases {
+                        self.roc_one_sector((base + (*start as u64 + j) * 4) / sb);
+                    }
+                }
+                for b in bufs.iter() {
+                    // Read-set bookkeeping; cannot abandon (pre-checked).
+                    let _ = self.blk.global_read_f32s(*b);
+                }
+            }
+            FusedSrc::LaneBroadcast(_) => {
+                let t = &mut self.blk.tally;
+                charge_lanes(t, steps * dims, a);
+                t.shuffle_instructions += steps * dims;
+            }
+        }
+        // Predicate evaluation: one ALU op per step under `valid`, just
+        // as the op-by-op loops charge before their `pm.any()` guard.
+        let pred_alu = !matches!(pred, FusedPred::All) as u64;
+        if pred_alu != 0 {
+            let t = &mut self.blk.tally;
+            charge_lanes(t, steps, a);
+            t.alu_instructions += steps;
+        }
+
+        // ---- the fused compute loop ----
+        let consumer_alu: u64 = match &consumer {
+            FusedConsumer::CountLt { .. } | FusedConsumer::Histogram { .. } => 2,
+            FusedConsumer::Sum { .. } => 1,
+        };
+        let mut npm = 0u64; // steps whose predicate mask is non-empty
+        let mut sum_apm = 0u64; // Σ active lanes over those steps
+        match consumer {
+            FusedConsumer::CountLt { radius, acc } => {
+                let vals = TileVals::resolve(self.blk, &src);
+                for j in 0..len {
+                    let pm = Self::fused_pred_mask(pred, j, valid);
+                    if !pm.any() {
+                        continue;
+                    }
+                    npm += 1;
+                    sum_apm += pm.count() as u64;
+                    let p = vals.point(j as usize);
+                    if EUCLID {
+                        let dv = euclid_dists(own, &p);
+                        if pm.0 == u32::MAX {
+                            // Hit counters are integer adds, so the
+                            // branch-free full-warp form is identical.
+                            for l in 0..WARP_SIZE {
+                                acc[l] += (dv[l] < radius) as u64;
+                            }
+                        } else {
+                            for l in pm.lanes() {
+                                acc[l] += (dv[l] < radius) as u64;
+                            }
+                        }
+                    } else {
+                        for l in pm.lanes() {
+                            let own_p: [f32; D] = std::array::from_fn(|d| own[d][l]);
+                            if eval(&own_p, &p) < radius {
+                                acc[l] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            FusedConsumer::Sum { acc } => {
+                let vals = TileVals::resolve(self.blk, &src);
+                for j in 0..len {
+                    let pm = Self::fused_pred_mask(pred, j, valid);
+                    if !pm.any() {
+                        continue;
+                    }
+                    npm += 1;
+                    sum_apm += pm.count() as u64;
+                    let p = vals.point(j as usize);
+                    if EUCLID {
+                        // Per lane the adds stay in ascending-`j` order,
+                        // so the f32 accumulation is unchanged.
+                        let dv = euclid_dists(own, &p);
+                        for l in pm.lanes() {
+                            acc[l] += dv[l];
+                        }
+                    } else {
+                        for l in pm.lanes() {
+                            let own_p: [f32; D] = std::array::from_fn(|d| own[d][l]);
+                            acc[l] += eval(&own_p, &p);
+                        }
+                    }
+                }
+            }
+            FusedConsumer::Histogram {
+                inv_width,
+                hmax,
+                shm,
+            } => {
+                for j in 0..len {
+                    let pm = Self::fused_pred_mask(pred, j, valid);
+                    if !pm.any() {
+                        continue;
+                    }
+                    npm += 1;
+                    sum_apm += pm.count() as u64;
+                    let p: [f32; D] = match &src {
+                        FusedSrc::SharedBroadcast(tile) => {
+                            let shared = &self.blk.shared;
+                            std::array::from_fn(|d| shared.f32s(tile[d])[j as usize])
+                        }
+                        FusedSrc::RocBroadcast { bufs, start } => {
+                            let gmem = self.blk.gmem();
+                            std::array::from_fn(|d| gmem.f32_slice(bufs[d])[(*start + j) as usize])
+                        }
+                        FusedSrc::LaneBroadcast(regs) => {
+                            std::array::from_fn(|d| regs[d][j as usize % WARP_SIZE])
+                        }
+                    };
+                    // Bucketing mirrors `HistogramSpec::bucket_lanes`
+                    // (FMUL + F2I-with-clamp; inactive lanes read 0); the
+                    // atomic's serialization is data-dependent, so it
+                    // stays a genuine per-step shared-memory operation.
+                    let mut bucket = [0u32; WARP_SIZE];
+                    if EUCLID {
+                        let dv = euclid_dists(own, &p);
+                        for l in pm.lanes() {
+                            bucket[l] = ((dv[l] * inv_width) as u32).min(hmax);
+                        }
+                    } else {
+                        for l in pm.lanes() {
+                            let own_p: [f32; D] = std::array::from_fn(|d| own[d][l]);
+                            let v = eval(&own_p, &p);
+                            bucket[l] = ((v * inv_width) as u32).min(hmax);
+                        }
+                    }
+                    self.shared_atomic_add_u32(shm, &bucket, &[1; 32], pm);
+                }
+            }
+        }
+
+        // ---- distance + consumer charges, batched in closed form ----
+        // Tally counters commute, so summing per-executed-step charges at
+        // the end is bit-identical to charging them step by step.
+        let per = dist_cost + consumer_alu;
+        {
+            let t = &mut self.blk.tally;
+            t.warp_instructions += npm * per;
+            t.useful_lane_ops += per * sum_apm;
+            t.predicated_lane_slots += per * (npm * WARP_SIZE as u64 - sum_apm);
+            t.alu_instructions += npm * per;
+        }
+        let interp = &mut self.blk.interp;
+        interp.dispatches += 1;
+        interp.fused_ops += 1;
+        interp.fused_lane_ops += a * steps * (dims + pred_alu) + per * sum_apm;
+        true
+    }
+
+    /// [`Self::fused_tile_pass`] specialized to the paper's hot chain:
+    /// Euclidean distance (per-dimension `sub` + `fma`, then `sqrt`;
+    /// cost `2·D + 1`, bit-identical to `Euclidean::eval_host`).
+    ///
+    /// The specialization evaluates all 32 lanes of a step with one
+    /// lane-outer pass over the register columns ([`euclid_dists`])
+    /// instead of per-lane closure calls, which the compiler turns into
+    /// packed FMA/sqrt — the bulk of the fused route's speedup on the
+    /// 2-PCF/SDH workloads.
+    pub fn fused_euclidean_tile<const D: usize>(
+        &mut self,
+        src: FusedSrc<'_, D>,
+        len: u32,
+        pred: FusedPred,
+        own: &[F32x32; D],
+        consumer: FusedConsumer<'_>,
+        valid: Mask,
+    ) -> bool {
+        self.fused_tile_impl::<D, true>(
+            src,
+            len,
+            pred,
+            2 * D as u64 + 1,
+            // Fallback form of the same chain; the `EUCLID` branches
+            // never call it, but keeping it here documents the exact
+            // scalar sequence `euclid_dists` must reproduce per lane.
+            |a, b| {
+                let mut s = 0.0f32;
+                for d in 0..D {
+                    let diff = a[d] - b[d];
+                    s = diff.mul_add(diff, s);
+                }
+                s.sqrt()
+            },
+            own,
+            consumer,
+            valid,
+        )
+    }
+
+    /// [`Self::fused_tile_pass`] with the privatized shared-histogram
+    /// consumer (the paper's Algorithm 3 SDH update).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fused_hist_tile<const D: usize>(
+        &mut self,
+        src: FusedSrc<'_, D>,
+        len: u32,
+        pred: FusedPred,
+        dist_cost: u64,
+        eval: impl Fn(&[f32; D], &[f32; D]) -> f32,
+        own: &[F32x32; D],
+        inv_width: f32,
+        hmax: u32,
+        shm: ShmU32,
+        valid: Mask,
+    ) -> bool {
+        self.fused_tile_pass(
+            src,
+            len,
+            pred,
+            dist_cost,
+            eval,
+            own,
+            FusedConsumer::Histogram {
+                inv_width,
+                hmax,
+                shm,
+            },
+            valid,
+        )
+    }
+}
+
+/// All 32 lanes' Euclidean distances against one broadcast point, as a
+/// dimension-outer pass over the flat register columns. Per lane the
+/// operation sequence — `sub`, `mul_add` per dimension in ascending
+/// order, then `sqrt` — is exactly `Euclidean::eval_host`, so every
+/// lane's result is bit-identical to the scalar closure; the lane-outer
+/// layout only exists so the compiler can vectorize across lanes.
+/// Inactive lanes compute garbage that callers discard under the mask.
+#[inline]
+fn euclid_dists<const D: usize>(own: &[F32x32; D], p: &[f32; D]) -> F32x32 {
+    let mut s = [0.0f32; WARP_SIZE];
+    for d in 0..D {
+        let col = &own[d];
+        let pd = p[d];
+        for (sl, &ol) in s.iter_mut().zip(col.iter()) {
+            let diff = ol - pd;
+            *sl = diff.mul_add(diff, *sl);
+        }
+    }
+    for v in &mut s {
+        *v = v.sqrt();
+    }
+    s
+}
+
+/// Resolved view of a [`FusedSrc`] for the accumulator consumers: borrows
+/// the backing storage once so the per-step loop is a flat slice index.
+enum TileVals<'s, const D: usize> {
+    /// Column slices; step `j` reads element `start + j` of each.
+    Elems { cols: [&'s [f32]; D], start: usize },
+    /// Register fragment; step `j` reads lane `j % 32` of each.
+    Lanes(&'s [F32x32; D]),
+}
+
+impl<'s, const D: usize> TileVals<'s, D> {
+    fn resolve(blk: &'s BlockCtx<'_>, src: &FusedSrc<'s, D>) -> Self {
+        match src {
+            FusedSrc::SharedBroadcast(tile) => TileVals::Elems {
+                cols: std::array::from_fn(|d| blk.shared.f32s(tile[d])),
+                start: 0,
+            },
+            FusedSrc::RocBroadcast { bufs, start } => TileVals::Elems {
+                cols: std::array::from_fn(|d| blk.gmem().f32_slice(bufs[d])),
+                start: *start as usize,
+            },
+            FusedSrc::LaneBroadcast(regs) => TileVals::Lanes(regs),
+        }
+    }
+
+    #[inline]
+    fn point(&self, j: usize) -> [f32; D] {
+        match self {
+            TileVals::Elems { cols, start } => std::array::from_fn(|d| cols[d][start + j]),
+            TileVals::Lanes(regs) => std::array::from_fn(|d| regs[d][j % WARP_SIZE]),
         }
     }
 }

@@ -102,11 +102,14 @@ pub type U64x32 = [u64; WARP_SIZE];
 pub use config::{DeviceConfig, ExecMode, Latencies, Throughputs};
 pub use device::Device;
 pub use error::SimError;
-pub use exec::{BlockCtx, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx};
+pub use exec::{
+    BlockCtx, FusedConsumer, FusedPred, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig,
+    Mask, WarpCtx,
+};
 pub use mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use profile::KernelProfile;
-pub use tally::AccessTally;
+pub use tally::{AccessTally, InterpStats};
 pub use timing::{Resource, TimingBreakdown, TimingModel};
 
 /// One-stop imports for writing and launching kernels.
@@ -114,12 +117,13 @@ pub mod prelude {
     pub use crate::config::{DeviceConfig, ExecMode};
     pub use crate::device::Device;
     pub use crate::exec::{
-        BlockCtx, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
+        BlockCtx, FusedConsumer, FusedPred, FusedSrc, Kernel, KernelResources, KernelRun,
+        LaunchConfig, Mask, WarpCtx,
     };
     pub use crate::mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
     pub use crate::occupancy::Occupancy;
     pub use crate::profile::KernelProfile;
-    pub use crate::tally::AccessTally;
+    pub use crate::tally::{AccessTally, InterpStats};
     pub use crate::timing::{Resource, TimingBreakdown};
     pub use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
 }

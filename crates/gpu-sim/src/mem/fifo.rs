@@ -33,6 +33,12 @@ pub struct FifoSet {
     head: usize,
     /// Number of resident keys.
     len: usize,
+    /// Eviction generation: bumped every time a key leaves the set.
+    /// Residency is monotone within one generation (inserts only add
+    /// keys), which is the invariant the sector-run memoization in
+    /// `L2Cache`/`RocCache` relies on: a key observed resident at
+    /// generation `g` is still resident while `generation() == g`.
+    generation: u64,
 }
 
 impl FifoSet {
@@ -46,7 +52,15 @@ impl FifoSet {
             ring: vec![0; capacity],
             head: 0,
             len: 0,
+            generation: 0,
         }
+    }
+
+    /// Current eviction generation. Advances exactly when a key is
+    /// evicted ([`FifoSet::pop_oldest`]), never on hits or inserts.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     #[inline]
@@ -116,6 +130,7 @@ impl FifoSet {
         let key = self.ring[self.head];
         self.head = (self.head + 1) % self.ring.len();
         self.len -= 1;
+        self.generation += 1;
         self.remove_from_table(key);
         Some(key)
     }
@@ -211,6 +226,23 @@ mod tests {
             assert_eq!(fast_hit, naive_hit, "key {key}");
             assert_eq!(fast.len(), fifo.len());
         }
+    }
+
+    #[test]
+    fn generation_advances_only_on_eviction() {
+        let mut s = FifoSet::new(2);
+        assert_eq!(s.generation(), 0);
+        s.insert_new(1);
+        s.insert_new(2);
+        assert!(s.contains(1));
+        assert_eq!(s.generation(), 0, "hits and inserts must not bump");
+        s.pop_oldest();
+        assert_eq!(s.generation(), 1);
+        s.insert_new(3);
+        assert_eq!(s.generation(), 1);
+        s.pop_oldest();
+        s.pop_oldest();
+        assert_eq!(s.generation(), 3);
     }
 
     #[test]

@@ -29,12 +29,36 @@ enum Body {
     },
 }
 
+/// One generation-stamped memo slot: a contiguous sector run observed
+/// fully resident at `generation`.
+#[derive(Debug, Clone, Copy)]
+struct RunMemo {
+    base: u64,
+    count: u32,
+    generation: u64,
+}
+
+/// Direct-mapped memo table size (power of two). Tile loops touch a
+/// handful of distinct runs per steady state, so a small table suffices.
+const MEMO_SLOTS: usize = 16;
+
 /// FIFO sector cache keyed by flat device byte address / sector size.
 #[derive(Debug)]
 pub struct L2Cache {
     body: Body,
     hits: u64,
     misses: u64,
+    /// Generation-stamped run memoization (None = disabled). A slot
+    /// records a `(base, count)` sector run whose every sector was
+    /// resident when the access completed at the stamped eviction
+    /// generation; while `FifoSet::generation()` still equals the stamp,
+    /// residency is monotone (inserts never remove keys), so the run can
+    /// be replayed as pure hits without re-probing.
+    memo: Option<Box<[Option<RunMemo>; MEMO_SLOTS]>>,
+    /// Sectors replayed from the memo (hits credited without probing).
+    memo_replayed: u64,
+    /// Sectors that went through a real table probe on the run path.
+    memo_probed: u64,
 }
 
 impl L2Cache {
@@ -44,7 +68,20 @@ impl L2Cache {
             body: Body::Fast(FifoSet::new(capacity_sectors)),
             hits: 0,
             misses: 0,
+            memo: None,
+            memo_replayed: 0,
+            memo_probed: 0,
         }
+    }
+
+    /// Like [`L2Cache::new`], with generation-stamped run memoization
+    /// enabled. Hit/miss decisions and counters are identical; only the
+    /// host cost of steady-state re-reads changes (O(1) per run instead
+    /// of O(sectors)).
+    pub fn new_memoized(capacity_sectors: usize) -> Self {
+        let mut c = Self::new(capacity_sectors);
+        c.memo = Some(Box::new([None; MEMO_SLOTS]));
+        c
     }
 
     /// Create the cache with the legacy map+deque body. Hit/miss
@@ -60,6 +97,9 @@ impl L2Cache {
             },
             hits: 0,
             misses: 0,
+            memo: None,
+            memo_replayed: 0,
+            memo_probed: 0,
         }
     }
 
@@ -106,12 +146,89 @@ impl L2Cache {
         }
     }
 
+    /// Access the contiguous ascending sector run `[base, base+count)`;
+    /// returns the number of hits. Equivalent to `count` calls to
+    /// [`L2Cache::access`] — same hit/miss decisions, same final cache
+    /// state, same counters — but when run memoization is enabled
+    /// ([`L2Cache::new_memoized`]) a run that completed with the
+    /// eviction generation unchanged is recorded, and an identical run
+    /// replays as pure hits while the generation still matches:
+    ///
+    /// * no evictions during the recorded run ⇒ every touched sector was
+    ///   resident when it finished (hits were already resident, misses
+    ///   were inserted);
+    /// * residency is monotone within a generation ⇒ they all still are;
+    /// * a FIFO hit mutates nothing but the hit counter ⇒ replaying as
+    ///   `count` hits is bit-exact for state and statistics.
+    pub fn access_run(&mut self, base: u64, count: u32) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        if self.memo.is_none() || !matches!(self.body, Body::Fast(_)) {
+            let mut hits = 0u64;
+            for s in base..base + count as u64 {
+                if self.access(s) {
+                    hits += 1;
+                }
+            }
+            return hits;
+        }
+        let memo = self.memo.as_deref_mut().expect("checked above");
+        let Body::Fast(set) = &mut self.body else {
+            unreachable!("checked above")
+        };
+        let slot = (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % MEMO_SLOTS;
+        if let Some(m) = memo[slot] {
+            if m.base == base && m.count == count && m.generation == set.generation() {
+                self.hits += count as u64;
+                self.memo_replayed += count as u64;
+                return count as u64;
+            }
+        }
+        let gen_before = set.generation();
+        let mut hits = 0u64;
+        for sector in base..base + count as u64 {
+            if set.contains(sector) {
+                hits += 1;
+            } else {
+                self.misses += 1;
+                if set.is_full() {
+                    set.pop_oldest();
+                }
+                set.insert_new(sector);
+            }
+        }
+        self.hits += hits;
+        self.memo_probed += count as u64;
+        if set.generation() == gen_before {
+            memo[slot] = Some(RunMemo {
+                base,
+                count,
+                generation: gen_before,
+            });
+        } else {
+            // The run itself evicted; anything recorded is suspect.
+            memo[slot] = None;
+        }
+        hits
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Sectors whose hit was replayed from the run memo (no probe).
+    pub fn memo_replayed(&self) -> u64 {
+        self.memo_replayed
+    }
+
+    /// Sectors that took a real probe on the [`L2Cache::access_run`] path.
+    pub fn memo_probed(&self) -> u64 {
+        self.memo_probed
     }
 
     /// Fraction of accesses that hit, or 0 when never accessed.
@@ -168,6 +285,56 @@ mod tests {
         }
         for s in 0..32u64 {
             assert!(l2.access(s));
+        }
+    }
+
+    #[test]
+    fn memoized_run_replays_as_hits_and_invalidates_on_eviction() {
+        let mut memo = L2Cache::new_memoized(64);
+        let mut plain = L2Cache::new(64);
+        // Warm-up run: all misses, generation unchanged (no evictions),
+        // so the run is recorded.
+        assert_eq!(memo.access_run(10, 32), plain.access_run(10, 32));
+        assert_eq!(memo.memo_replayed(), 0);
+        // Steady-state re-read: replayed without probing.
+        assert_eq!(memo.access_run(10, 32), plain.access_run(10, 32));
+        assert_eq!(memo.memo_replayed(), 32);
+        assert_eq!(memo.hits(), plain.hits());
+        assert_eq!(memo.misses(), plain.misses());
+        // Force evictions: the generation advances and the memo must
+        // fall back to real probes with identical decisions.
+        for s in 100..200u64 {
+            memo.access(s);
+            plain.access(s);
+        }
+        assert_eq!(memo.access_run(10, 32), plain.access_run(10, 32));
+        assert_eq!(memo.access_run(10, 32), plain.access_run(10, 32));
+        assert_eq!(memo.hits(), plain.hits());
+        assert_eq!(memo.misses(), plain.misses());
+    }
+
+    #[test]
+    fn memoized_and_plain_runs_agree_under_thrash() {
+        // Capacity smaller than the runs: every run evicts, the memo
+        // never validates, and decisions must still match exactly.
+        for cap in [1usize, 8, 48, 512] {
+            let mut memo = L2Cache::new_memoized(cap);
+            let mut plain = L2Cache::new(cap);
+            let mut x = 0x51u64;
+            for _ in 0..400 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let base = x % 96;
+                let count = (x >> 8) as u32 % 40;
+                assert_eq!(
+                    memo.access_run(base, count),
+                    plain.access_run(base, count),
+                    "cap {cap} base {base} count {count}"
+                );
+            }
+            assert_eq!(memo.hits(), plain.hits());
+            assert_eq!(memo.misses(), plain.misses());
         }
     }
 

@@ -83,13 +83,23 @@ impl SectorTrace {
 
     /// Replay the trace through the device-wide L2, crediting hit/miss
     /// sectors to `tally` exactly as the sequential engine would.
+    /// Unit-stride runs go through [`L2Cache::access_run`] so replay
+    /// benefits from the same generation-stamped memoization as direct
+    /// execution (identical hit/miss decisions either way).
     pub(crate) fn replay(&self, l2: &mut L2Cache, tally: &mut AccessTally) {
         for &(base, count, step) in &self.runs {
-            for k in 0..count as u64 {
-                if l2.access(base + k * step as u64) {
-                    tally.l2_hit_sectors += 1;
-                } else {
-                    tally.dram_sectors += 1;
+            if step == 1 {
+                let hits = l2.access_run(base, count);
+                tally.l2_hit_sectors += hits;
+                tally.dram_sectors += count as u64 - hits;
+            } else {
+                // Broadcast run: `count` touches of one sector.
+                for _ in 0..count {
+                    if l2.access(base) {
+                        tally.l2_hit_sectors += 1;
+                    } else {
+                        tally.dram_sectors += 1;
+                    }
                 }
             }
         }

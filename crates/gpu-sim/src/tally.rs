@@ -175,6 +175,67 @@ impl AccessTally {
     }
 }
 
+/// Host-side interpreter statistics: dispatch counts, fused-op coverage
+/// and cache-memoization hit counts.
+///
+/// Deliberately a separate struct from [`AccessTally`]: the tally models
+/// the *simulated device* and is compared bit-for-bit by the differential
+/// tests, while these counters describe how the *interpreter* executed —
+/// the fused fast path and the unfused op-by-op route produce identical
+/// tallies but very different `InterpStats`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Interpreter op dispatches: one per warp-level charge entry
+    /// (`charge`/`charge_alu`/`charge_control`), i.e. one per
+    /// individually-interpreted warp instruction. Fused tile passes
+    /// charge whole tiles in closed form and so count as few dispatches
+    /// for many warp instructions.
+    pub dispatches: u64,
+    /// Fused tile passes executed on the fast path.
+    pub fused_ops: u64,
+    /// Useful lane ops covered by fused fast passes (compare against
+    /// `AccessTally::useful_lane_ops` for coverage).
+    pub fused_lane_ops: u64,
+    /// L2 + ROC sectors whose hit was replayed from a generation-stamped
+    /// memo without probing the FIFO table.
+    pub memo_replayed_sectors: u64,
+    /// L2 + ROC sectors that took a real table probe while memoization
+    /// was enabled.
+    pub memo_probed_sectors: u64,
+}
+
+impl InterpStats {
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, o: &InterpStats) {
+        self.dispatches += o.dispatches;
+        self.fused_ops += o.fused_ops;
+        self.fused_lane_ops += o.fused_lane_ops;
+        self.memo_replayed_sectors += o.memo_replayed_sectors;
+        self.memo_probed_sectors += o.memo_probed_sectors;
+    }
+
+    /// Fraction of useful lane ops executed by fused passes, given the
+    /// run's tally. 0.0 when nothing ran.
+    pub fn fused_coverage(&self, tally: &AccessTally) -> f64 {
+        if tally.useful_lane_ops == 0 {
+            0.0
+        } else {
+            self.fused_lane_ops as f64 / tally.useful_lane_ops as f64
+        }
+    }
+
+    /// Fraction of memo-eligible sector lookups replayed without a
+    /// probe. 0.0 when memoization never engaged.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_replayed_sectors + self.memo_probed_sectors;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_replayed_sectors as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -515,3 +515,344 @@ fn zero_thread_launch_is_identical_noop() {
     assert_eq!(f.tally, r.tally);
     assert_eq!(f.tally, AccessTally::new());
 }
+
+// ---------------------------------------------------------------------------
+// Fused tile passes: the batched executor vs its op-by-op mirror
+// ---------------------------------------------------------------------------
+
+/// Which operand source the probe drives through the fused executor.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ProbeSrc {
+    Shared,
+    Roc,
+    Lane,
+}
+
+/// Which closed-form predicate the probe hands to the fused pass.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ProbePred {
+    All,
+    NotEqual,
+    LessThan,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ProbeSpec {
+    /// Live threads (gid < n) — also an upper bound on point indices.
+    n: u32,
+    /// Points in the coordinate buffers.
+    n_pts: u32,
+    /// Tile length handed to the fused pass.
+    len: u32,
+    /// Shared-tile allocation length (< `len` forces the fallback to
+    /// fault on an OOB shared read the fused pre-check must also see).
+    tile_len: u32,
+    /// Tile base element.
+    start: u32,
+    radius: f32,
+    src: ProbeSrc,
+    pred: ProbePred,
+    /// ANDed into each warp's valid mask — forces empty / non-prefix
+    /// masks onto the fused entry point.
+    squeeze: Option<u32>,
+}
+
+/// A miniature Register-SHM-style inner loop with D = 2: one fused
+/// Euclidean `CountLt` tile pass per warp, with the exact op-by-op
+/// sequence the tiling kernels interpret as the fallback. A run where
+/// fusion is declined (mask shape, OOB source, `fused_tile` off, scalar
+/// reference) must stay bit-identical to a run where it engages.
+struct FusedProbeKernel {
+    spec: ProbeSpec,
+    coords: [BufF32; 2],
+    out: BufU64,
+}
+
+fn euclid2(a: &[f32; 2], b: &[f32; 2]) -> f32 {
+    // Must match `fused_euclidean_tile`'s eval (sub + fma, then sqrt).
+    let mut s = 0.0f32;
+    for d in 0..2 {
+        let diff = a[d] - b[d];
+        s = diff.mul_add(diff, s);
+    }
+    s.sqrt()
+}
+
+impl Kernel for FusedProbeKernel {
+    fn name(&self) -> &'static str {
+        "fused_probe"
+    }
+
+    fn resources(&self) -> KernelResources {
+        KernelResources::new(32, 2 * self.spec.tile_len * 4)
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx<'_>) {
+        let p = self.spec;
+        let mut acc = vec![[0u64; WARP_SIZE]; blk.num_warps() as usize];
+
+        // Stage the tile in shared memory (both routes, op by op). The
+        // allocation happens for every source kind (it is part of the
+        // declared resources); only the Shared probe fills and reads it.
+        let tile: [ShmF32; 2] = [
+            blk.shared_alloc_f32(p.tile_len as usize),
+            blk.shared_alloc_f32(p.tile_len as usize),
+        ];
+        if p.src == ProbeSrc::Shared {
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids();
+                let m = w
+                    .mask_lt(&tid, p.tile_len.min(p.len))
+                    .and(w.active_threads());
+                for (t, c) in tile.iter().zip(self.coords.iter()) {
+                    let src: U32x32 = std::array::from_fn(|i| p.start + tid[i]);
+                    let v = w.global_load_f32(*c, &src, m);
+                    w.shared_store_f32(*t, &tid, &v, m);
+                }
+            });
+            blk.syncthreads();
+        }
+
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let mut valid = w.mask_lt(&gid, p.n).and(w.active_threads());
+            if let Some(s) = p.squeeze {
+                valid = valid.and(Mask(s));
+            }
+
+            // Own point, derived host-side — identical on every route.
+            let own: [F32x32; 2] = std::array::from_fn(|d| {
+                std::array::from_fn(|i| (gid[i] % 97) as f32 * 0.37 + d as f32)
+            });
+
+            // Lane source: one coalesced load per lane, like the shuffle
+            // kernel's fragment prologue (outside the fused region).
+            let lane = w.lane_ids();
+            let reg1: [F32x32; 2] = if p.src == ProbeSrc::Lane {
+                let idx: U32x32 = std::array::from_fn(|i| p.start + lane[i]);
+                let lm = w.mask_lt(&lane, p.len).and(w.active_threads());
+                std::array::from_fn(|d| w.global_load_f32(self.coords[d], &idx, lm))
+            } else {
+                [[0.0; WARP_SIZE]; 2]
+            };
+
+            let pred = match p.pred {
+                ProbePred::All => FusedPred::All,
+                ProbePred::NotEqual => FusedPred::NotEqual {
+                    gid0: gid[0],
+                    base: p.start,
+                },
+                ProbePred::LessThan => FusedPred::LessThan {
+                    gid0: gid[0],
+                    base: p.start,
+                },
+            };
+            let src = match p.src {
+                ProbeSrc::Shared => FusedSrc::SharedBroadcast(&tile),
+                ProbeSrc::Roc => FusedSrc::RocBroadcast {
+                    bufs: &self.coords,
+                    start: p.start,
+                },
+                ProbeSrc::Lane => FusedSrc::LaneBroadcast(&reg1),
+            };
+
+            w.charge_control(p.len as u64 + 1, valid);
+            let a = &mut acc[w.warp_id as usize];
+            if w.fused_euclidean_tile(
+                src,
+                p.len,
+                pred,
+                &own,
+                FusedConsumer::CountLt {
+                    radius: p.radius,
+                    acc: a,
+                },
+                valid,
+            ) {
+                return;
+            }
+
+            // The op-by-op mirror — the exact sequence the tiling
+            // kernels interpret when fusion is unavailable.
+            for j in 0..p.len {
+                let rj: [F32x32; 2] = match p.src {
+                    ProbeSrc::Shared => {
+                        std::array::from_fn(|d| w.shared_load_f32(tile[d], &[j; WARP_SIZE], valid))
+                    }
+                    ProbeSrc::Roc => std::array::from_fn(|d| {
+                        w.roc_load_f32(self.coords[d], &[p.start + j; WARP_SIZE], valid)
+                    }),
+                    ProbeSrc::Lane => std::array::from_fn(|d| w.shfl_bcast_f32(&reg1[d], j, valid)),
+                };
+                let pm = match p.pred {
+                    ProbePred::All => valid,
+                    ProbePred::NotEqual => {
+                        Mask::from_fn(|i| valid.lane(i) && gid[i] != p.start + j)
+                    }
+                    ProbePred::LessThan => Mask::from_fn(|i| valid.lane(i) && gid[i] < p.start + j),
+                };
+                if p.pred != ProbePred::All {
+                    w.charge_alu(1, valid);
+                }
+                if !pm.any() {
+                    continue;
+                }
+                // Euclidean::eval ≡ cost ALU charge + per-lane host math.
+                w.charge_alu(2 * 2 + 1, pm);
+                let dval: F32x32 = std::array::from_fn(|i| {
+                    if pm.lane(i) {
+                        euclid2(&[own[0][i], own[1][i]], &[rj[0][i], rj[1][i]])
+                    } else {
+                        0.0
+                    }
+                });
+                // CountWithinRadius::process — compare + predicated add.
+                let hits = w.lt_f32(&dval, p.radius, pm);
+                w.charge_alu(1, pm);
+                for l in hits.lanes() {
+                    a[l] += 1;
+                }
+            }
+        });
+
+        let out = self.out;
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let m = w.active_threads();
+            w.global_store_u64(out, &gid, &acc[w.warp_id as usize], m);
+        });
+    }
+}
+
+fn probe_coords(n_pts: u32) -> Vec<f32> {
+    (0..n_pts)
+        .map(|i| ((i * 37 + 11) % 113) as f32 * 0.29 - 12.0)
+        .collect()
+}
+
+fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun), SimError> {
+    let mut dev = Device::new(cfg);
+    let coords = [
+        dev.alloc_f32(probe_coords(spec.n_pts)),
+        dev.alloc_f32(
+            probe_coords(spec.n_pts)
+                .iter()
+                .map(|x| x * 1.7 + 3.0)
+                .collect(),
+        ),
+    ];
+    let lc = LaunchConfig::for_n_threads(spec.n.max(1), 64);
+    let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+    let kernel = FusedProbeKernel { spec, coords, out };
+    let run = dev.try_launch(&kernel, lc)?;
+    Ok((dev.u64_slice(out).to_vec(), run))
+}
+
+/// Run a probe on the fused, op-by-op and scalar routes; demand
+/// bit-identical outputs, tallies and timing; return the fused run.
+fn probe_identical(spec: ProbeSpec) -> KernelRun {
+    let (of, rf) = run_probe(DeviceConfig::titan_x(), spec).unwrap();
+    let (ov, rv) = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).unwrap();
+    let (os, rs) = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).unwrap();
+    assert_eq!(of, ov, "fused vs op-by-op outputs ({spec:?})");
+    assert_eq!(of, os, "fused vs scalar outputs ({spec:?})");
+    assert_eq!(rf.tally, rv.tally, "fused vs op-by-op tally ({spec:?})");
+    assert_eq!(rf.tally, rs.tally, "fused vs scalar tally ({spec:?})");
+    assert_eq!(rf.timing.seconds.to_bits(), rv.timing.seconds.to_bits());
+    assert_eq!(rf.timing.seconds.to_bits(), rs.timing.seconds.to_bits());
+    assert_eq!(rv.interp.fused_ops, 0);
+    assert_eq!(rs.interp.fused_ops, 0);
+    rf
+}
+
+fn base_spec() -> ProbeSpec {
+    ProbeSpec {
+        n: 128,
+        n_pts: 128,
+        len: 48,
+        tile_len: 48,
+        start: 40,
+        radius: 9.0,
+        src: ProbeSrc::Shared,
+        pred: ProbePred::All,
+        squeeze: None,
+    }
+}
+
+#[test]
+fn fused_probe_engages_for_every_source_and_predicate() {
+    for src in [ProbeSrc::Shared, ProbeSrc::Roc, ProbeSrc::Lane] {
+        for pred in [ProbePred::All, ProbePred::NotEqual, ProbePred::LessThan] {
+            let mut spec = base_spec();
+            spec.src = src;
+            spec.pred = pred;
+            if src == ProbeSrc::Lane {
+                spec.len = 24; // lane tiles are at most one warp wide
+            }
+            let rf = probe_identical(spec);
+            assert!(
+                rf.interp.fused_ops > 0,
+                "{src:?}/{pred:?} must take the fused path"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_declines_ragged_and_sub_warp_masks_identically() {
+    // Live-thread raggedness keeps valid a prefix: still fused.
+    let mut spec = base_spec();
+    spec.n = 100; // last warp holds 4 live lanes
+    let rf = probe_identical(spec);
+    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+
+    // A non-prefix valid mask must decline — bit-identically. (Full
+    // warps only: a ragged last warp squeezed above its live-lane count
+    // would still see a prefix and rightly fuse.)
+    spec.n = 128;
+    spec.squeeze = Some(0xFFFF_FFF7); // hole at lane 3
+    let rf = probe_identical(spec);
+    assert_eq!(rf.interp.fused_ops, 0, "non-prefix masks must not fuse");
+}
+
+#[test]
+fn fused_is_a_noop_on_empty_masks_and_empty_tiles() {
+    // Empty valid mask: the fused entry must return false with no side
+    // effects; both routes then run the (empty-mask) op-by-op loop.
+    let mut spec = base_spec();
+    spec.squeeze = Some(0);
+    let rf = probe_identical(spec);
+    assert_eq!(rf.interp.fused_ops, 0);
+
+    // Zero-length tile: nothing to do on either route.
+    let mut spec = base_spec();
+    spec.len = 0;
+    spec.tile_len = 1; // keep a non-empty shared allocation
+    let rf = probe_identical(spec);
+    assert_eq!(rf.interp.fused_ops, 0);
+}
+
+#[test]
+fn fused_oob_blame_matches_op_by_op_exactly() {
+    // Shared source: tile shorter than the pass — the fused pre-check
+    // must decline so the fallback faults at the exact op-by-op step.
+    let mut spec = base_spec();
+    spec.tile_len = 20; // reads j = 20.. fault
+    let fe = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
+    let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
+    assert!(fe.is_some(), "short shared tile must fault");
+    assert_eq!(fe, ve, "fused-route blame differs from op-by-op");
+    assert_eq!(fe, se, "fused-route blame differs from scalar");
+
+    // ROC source: tile range runs past the coordinate buffers.
+    let mut spec = base_spec();
+    spec.src = ProbeSrc::Roc;
+    spec.start = 100; // 100 + 48 > 128 points
+    let fe = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
+    let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
+    assert!(fe.is_some(), "OOB ROC tile must fault");
+    assert_eq!(fe, ve);
+    assert_eq!(fe, se);
+}
