@@ -8,7 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::config::ExecMode;
 use gpu_sim::{Device, DeviceConfig};
-use tbs_apps::{pcf_gpu, PairwisePlan};
+use tbs_apps::{pcf_gpu, sdh_gpu, PairwisePlan, SdhOutputMode};
+use tbs_core::histogram::HistogramSpec;
 use tbs_datagen::uniform_points;
 
 #[derive(Clone, Copy)]
@@ -18,17 +19,36 @@ enum Route {
     Scalar,
 }
 
-fn run(pts: &tbs_core::SoaPoints<3>, route: Route) -> u64 {
-    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
-    cfg = match route {
+fn route_config(route: Route) -> DeviceConfig {
+    let cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
+    match route {
         Route::Fused => cfg,
         Route::Vectorized => cfg.with_fused_tile(false),
         Route::Scalar => cfg.with_scalar_reference(true),
-    };
-    let mut dev = Device::new(cfg);
+    }
+}
+
+fn run(pts: &tbs_core::SoaPoints<3>, route: Route) -> u64 {
+    let mut dev = Device::new(route_config(route));
     pcf_gpu(&mut dev, pts, 25.0, PairwisePlan::register_shm(1024))
         .expect("launch")
         .count
+}
+
+/// The Type-II workload: privatized SDH, histogram scatters in the
+/// inner loop plus the Figure-3 cross-copy reduction.
+fn run_sdh(pts: &tbs_core::SoaPoints<3>, route: Route) -> u64 {
+    let mut dev = Device::new(route_config(route));
+    sdh_gpu(
+        &mut dev,
+        pts,
+        HistogramSpec::new(256, tbs_datagen::box_diagonal(100.0, 3)),
+        PairwisePlan::register_shm(1024),
+        SdhOutputMode::Privatized,
+    )
+    .expect("launch")
+    .histogram
+    .total()
 }
 
 fn bench_hotpath(c: &mut Criterion) {
@@ -50,10 +70,16 @@ fn bench_hotpath(c: &mut Criterion) {
 
     // The shipping route, in its own group so A/B tooling can compare
     // `sim_fused/default` against `sim_hotpath/vectorized` directly.
+    // `sdh` is the Type-II output stage (fused histogram scatters +
+    // packed reduction); `sdh_vectorized` its op-by-op counterpart.
     let mut g = c.benchmark_group("sim_fused");
     g.throughput(Throughput::Elements(pairs));
     g.sample_size(10);
     g.bench_function("default", |b| b.iter(|| run(&pts, Route::Fused)));
+    g.bench_function("sdh", |b| b.iter(|| run_sdh(&pts, Route::Fused)));
+    g.bench_function("sdh_vectorized", |b| {
+        b.iter(|| run_sdh(&pts, Route::Vectorized))
+    });
     g.finish();
 }
 

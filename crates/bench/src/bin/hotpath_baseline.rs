@@ -3,18 +3,22 @@
 //! Measures the three interpreter routes — scalar reference, vectorized
 //! op-by-op, and fused tile passes — via `experiments::hotpath` (which
 //! asserts all routes are bit-identical), prints the structured report,
-//! and records `BENCH_sim_hotpath.json` at the repository root.
+//! and records `BENCH_sim_hotpath.json` at the repository root. Two
+//! workloads run: the fig2 2-PCF (Type-I output) and a privatized SDH
+//! on the Register-SHM plan (Type-II output: fused histogram scatters
+//! plus the packed Figure-3 cross-copy reduction).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p tbs-bench --bin hotpath_baseline            # N = 16384, 65536
-//! cargo run --release -p tbs-bench --bin hotpath_baseline -- --full  # adds N = 131072, 262144
+//! cargo run --release -p tbs-bench --bin hotpath_baseline            # 2-PCF N = 16384, 65536; SDH N = 16384
+//! cargo run --release -p tbs-bench --bin hotpath_baseline -- --full  # adds 2-PCF N = 131072, 262144; SDH N = 65536
 //! ```
 //!
-//! Acceptance gates, both at N = 65536 in `Sequential` mode: the
-//! vectorized route must be ≥2× the scalar reference, and the fused
-//! route must be ≥2× the vectorized route. Pass `--json DIR` (or set
+//! Acceptance gates in `Sequential` mode: at N = 65536 the vectorized
+//! 2-PCF route must be ≥2× the scalar reference and the fused route ≥2×
+//! the vectorized route; at N = 16384 the fused Type-II (SDH) route
+//! must be ≥2× the vectorized route. Pass `--json DIR` (or set
 //! `TBS_REPORT_DIR`) to also mirror the schema-versioned
 //! `sim_hotpath.json` report.
 
@@ -25,51 +29,53 @@ use tbs_json::Json;
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let mut sizes = vec![16_384usize, 65_536];
+    let mut sdh_sizes = vec![16_384usize];
     if full {
         // 262144 exceeds SCALAR_CEILING: vectorized + fused only.
         sizes.extend([131_072, 262_144]);
+        sdh_sizes.push(65_536);
     }
 
     let samples: Vec<Sample> = sizes.iter().map(|&n| hotpath::measure(n)).collect();
-    report::emit_result(hotpath::build_report_from(&samples));
+    let sdh: Vec<Sample> = sdh_sizes.iter().map(|&n| hotpath::measure_sdh(n)).collect();
+    report::emit_result(hotpath::build_report_from(&samples, &sdh));
 
     // The legacy flat benchmark record at the repository root, now
     // emitted through tbs-json (same fields as before, plus the fused
-    // route and its interpreter statistics).
-    let entries: Vec<Json> = samples
-        .iter()
-        .map(|s| {
-            let mut e = Json::obj().with("n", s.n).with("pair_count", s.pair_count);
-            if let Some(v) = s.scalar_s {
-                e = e.with("scalar_reference_s", v);
-            }
-            e = e.with("vectorized_s", s.fast_s).with("fused_s", s.fused_s);
-            if let Some(v) = s.speedup() {
-                e = e.with("speedup", v);
-            }
-            if let Some(v) = s.fused_speedup() {
-                e = e.with("fused_speedup", v);
-            }
-            e.with("fused_vs_vectorized", s.fused_vs_vectorized())
-                .with("dispatches", s.dispatches)
-                .with("fused_ops", s.fused_ops)
-                .with("fused_coverage", s.fused_coverage)
-                .with("memo_hit_rate", s.memo_hit_rate)
-                .with("lane_ops", s.lane_ops)
-                .with("lane_ops_per_s", s.lane_ops_per_s())
-                .with("sim_cycles", s.sim_cycles)
-                .with("sim_cycles_per_s", s.sim_cycles_per_s())
-        })
-        .collect();
+    // route, its interpreter statistics, and the Type-II SDH workload).
+    let entry = |s: &Sample| {
+        let mut e = Json::obj().with("n", s.n).with("pair_count", s.pair_count);
+        if let Some(v) = s.scalar_s {
+            e = e.with("scalar_reference_s", v);
+        }
+        e = e.with("vectorized_s", s.fast_s).with("fused_s", s.fused_s);
+        if let Some(v) = s.speedup() {
+            e = e.with("speedup", v);
+        }
+        if let Some(v) = s.fused_speedup() {
+            e = e.with("fused_speedup", v);
+        }
+        e.with("fused_vs_vectorized", s.fused_vs_vectorized())
+            .with("dispatches", s.dispatches)
+            .with("fused_ops", s.fused_ops)
+            .with("fused_coverage", s.fused_coverage)
+            .with("memo_hit_rate", s.memo_hit_rate)
+            .with("lane_ops", s.lane_ops)
+            .with("lane_ops_per_s", s.lane_ops_per_s())
+            .with("sim_cycles", s.sim_cycles)
+            .with("sim_cycles_per_s", s.sim_cycles_per_s())
+    };
     let doc = Json::obj()
         .with("benchmark", "sim_hotpath")
         .with(
             "workload",
-            "fig2 2-PCF, register_shm plan, block=1024, r=25, 100^3 box",
+            "fig2 2-PCF + privatized SDH (256 buckets), register_shm plan, \
+             block=1024, r=25, 100^3 box",
         )
         .with("exec_mode", "sequential")
         .with("bit_identical", true)
-        .with("sizes", Json::Arr(entries));
+        .with("sizes", Json::Arr(samples.iter().map(entry).collect()))
+        .with("sdh_sizes", Json::Arr(sdh.iter().map(entry).collect()));
 
     // crates/bench/ -> repository root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_hotpath.json");
@@ -88,8 +94,15 @@ fn main() {
         fusion >= 2.0,
         "acceptance gate failed: fused {fusion:.2}x < 2x over vectorized at N=65536"
     );
+    let sdh_gate = sdh.iter().find(|s| s.n == 16_384).expect("SDH N=16384 run");
+    let sdh_fusion = sdh_gate.fused_vs_vectorized();
+    assert!(
+        sdh_fusion >= 2.0,
+        "acceptance gate failed: fused SDH {sdh_fusion:.2}x < 2x over vectorized at N=16384"
+    );
     eprintln!(
-        "acceptance gates passed at N=65536: vectorized {speedup:.2}x >= 2x over scalar, \
-         fused {fusion:.2}x >= 2x over vectorized"
+        "acceptance gates passed: vectorized {speedup:.2}x >= 2x over scalar and \
+         fused {fusion:.2}x >= 2x over vectorized at N=65536 (2-PCF); \
+         fused SDH {sdh_fusion:.2}x >= 2x over vectorized at N=16384"
     );
 }

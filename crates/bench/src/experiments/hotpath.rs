@@ -4,11 +4,14 @@
 //! shipping default with fused tile passes.
 //!
 //! Unlike every other experiment, this one measures *this machine*, not
-//! the modeled GPU: it runs the fig2-style 2-PCF workload through the
-//! functional simulator once per route, asserts all routes are
-//! bit-identical (pair count, full `AccessTally`, simulated timing), and
-//! reports wall-clock times plus the fused run's interpreter statistics
-//! (dispatch count, fused-op lane coverage, cache-memo hit rate).
+//! the modeled GPU: it runs two workloads through the functional
+//! simulator once per route — the fig2-style 2-PCF (Type-I output) and
+//! a privatized SDH on the Register-SHM plan (Type-II output: histogram
+//! scatters in the inner loop plus the Figure-3 cross-copy reduction) —
+//! asserts all routes are bit-identical (pair count / histogram, full
+//! `AccessTally`, simulated timing), and reports wall-clock times plus
+//! the fused run's interpreter statistics (dispatch count, fused-op lane
+//! coverage, cache-memo hit rate).
 //!
 //! The scalar reference is quadratic in wall-clock pain; above
 //! [`SCALAR_CEILING`] only the vectorized and fused routes run (identity
@@ -23,7 +26,8 @@ use std::time::Instant;
 use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::config::ExecMode;
 use gpu_sim::{Device, DeviceConfig};
-use tbs_apps::{pcf_gpu, PairwisePlan, PcfResult};
+use tbs_apps::{pcf_gpu, sdh_gpu, PairwisePlan, PcfResult, SdhOutputMode, SdhResult};
+use tbs_core::histogram::HistogramSpec;
 use tbs_datagen::uniform_points;
 
 /// Workload constants, fixed so every measurement is comparable.
@@ -35,6 +39,16 @@ pub const BLOCK: u32 = 1024;
 /// Largest N the scalar-reference route is run at (it is ~10× slower
 /// than the fused route and exists only as the correctness anchor).
 pub const SCALAR_CEILING: usize = 131_072;
+
+/// Histogram size for the Type-II (SDH) workload: one private `u32`
+/// copy is 1 KiB of shared memory, small next to the 12 KiB point tile.
+pub const SDH_BUCKETS: u32 = 256;
+
+/// The Type-II histogram spec: `SDH_BUCKETS` buckets over the box
+/// diagonal, so every pair distance bins without clamping.
+pub fn sdh_spec() -> HistogramSpec {
+    HistogramSpec::new(SDH_BUCKETS, tbs_datagen::box_diagonal(BOX, 3))
+}
 
 #[derive(Clone, Copy, PartialEq)]
 enum Route {
@@ -169,8 +183,130 @@ pub fn measure(n: usize) -> Sample {
     }
 }
 
-/// Build the host-throughput report over the given sizes. Wall-clock
-/// numbers are machine-dependent; the gate only pins floors on them.
+fn run_sdh_once(n: usize, route: Route) -> (f64, SdhResult) {
+    let pts = uniform_points::<3>(n, BOX, SEED);
+    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
+    cfg = match route {
+        Route::Scalar => cfg.with_scalar_reference(true),
+        Route::Vectorized => cfg.with_fused_tile(false),
+        Route::Fused => cfg,
+    };
+    let mut dev = Device::new(cfg);
+    let t = Instant::now();
+    let r = sdh_gpu(
+        &mut dev,
+        &pts,
+        sdh_spec(),
+        PairwisePlan::register_shm(BLOCK),
+        SdhOutputMode::Privatized,
+    )
+    .expect("launch");
+    (t.elapsed().as_secs_f64(), r)
+}
+
+fn assert_sdh_identical(n: usize, a: &SdhResult, b: &SdhResult, what: &str) {
+    assert_eq!(
+        a.histogram, b.histogram,
+        "histogram diverged ({what}) at N={n}"
+    );
+    assert_eq!(
+        a.pair_run.tally, b.pair_run.tally,
+        "pair tally diverged ({what}) at N={n}"
+    );
+    assert_eq!(
+        a.pair_run.timing.seconds.to_bits(),
+        b.pair_run.timing.seconds.to_bits(),
+        "pair simulated time diverged ({what}) at N={n}"
+    );
+    let ra = a.reduce_run.as_ref().expect("privatized SDH reduces");
+    let rb = b.reduce_run.as_ref().expect("privatized SDH reduces");
+    assert_eq!(
+        ra.tally, rb.tally,
+        "reduce tally diverged ({what}) at N={n}"
+    );
+    assert_eq!(
+        ra.timing.seconds.to_bits(),
+        rb.timing.seconds.to_bits(),
+        "reduce simulated time diverged ({what}) at N={n}"
+    );
+}
+
+/// Measure the Type-II (SDH, Register-SHM-Out, privatized) workload at
+/// one size, asserting every interpreter route produces bit-identical
+/// histograms, tallies and simulated timing for *both* kernels (the
+/// pairwise scatter stage and the Figure-3 reduction).
+pub fn measure_sdh(n: usize) -> Sample {
+    eprintln!("SDH N={n}: fused pass...");
+    let (fused_s, fused) = run_sdh_once(n, Route::Fused);
+    eprintln!("SDH N={n}: fused {fused_s:.3}s; vectorized (unfused) pass...");
+    let (fast_s, fast) = run_sdh_once(n, Route::Vectorized);
+    eprintln!(
+        "SDH N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
+        fast_s / fused_s
+    );
+    assert_sdh_identical(n, &fused, &fast, "fused vs vectorized");
+    assert!(
+        fused.pair_run.interp.fused_ops > 0,
+        "fused route took no fused histogram tile passes at N={n}"
+    );
+    assert!(
+        fused
+            .reduce_run
+            .as_ref()
+            .expect("privatized SDH reduces")
+            .interp
+            .fused_ops
+            > 0,
+        "fused route took no packed cross-copy reductions at N={n}"
+    );
+    assert_eq!(
+        fast.pair_run.interp.fused_ops + fast.reduce_run.as_ref().map_or(0, |r| r.interp.fused_ops),
+        0,
+        "with_fused_tile(false) still fused the SDH at N={n}"
+    );
+
+    let scalar_s = if n <= SCALAR_CEILING {
+        eprintln!("SDH N={n}: scalar-reference pass...");
+        let (scalar_s, scalar) = run_sdh_once(n, Route::Scalar);
+        eprintln!(
+            "SDH N={n}: scalar {scalar_s:.3}s ({:.2}x)",
+            scalar_s / fused_s
+        );
+        assert_sdh_identical(n, &fused, &scalar, "fused vs scalar");
+        Some(scalar_s)
+    } else {
+        eprintln!("SDH N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
+        None
+    };
+
+    // Fold both kernels into one sample: the Type-II claim is about the
+    // whole output stage (inner-loop scatters + cross-copy reduction).
+    let mut tally = fused.pair_run.tally.clone();
+    let mut interp = fused.pair_run.interp.clone();
+    let mut sim_cycles = fused.pair_run.timing.cycles;
+    if let Some(r) = &fused.reduce_run {
+        tally.merge(&r.tally);
+        interp.merge(&r.interp);
+        sim_cycles += r.timing.cycles;
+    }
+    Sample {
+        n,
+        pair_count: fused.histogram.total(),
+        scalar_s,
+        fast_s,
+        fused_s,
+        lane_ops: tally.useful_lane_ops + tally.predicated_lane_slots,
+        sim_cycles,
+        dispatches: interp.dispatches,
+        fused_ops: interp.fused_ops,
+        fused_coverage: interp.fused_coverage(&tally),
+        memo_hit_rate: interp.memo_hit_rate(),
+    }
+}
+
+/// Build the host-throughput report over the given sizes — both
+/// workloads (2-PCF and SDH) at every size. Wall-clock numbers are
+/// machine-dependent; the gate only pins floors on them.
 pub fn build_report(sizes: &[usize]) -> Result<Report, ReportError> {
     if sizes.is_empty() {
         return Err(ReportError::EmptySeries {
@@ -178,84 +314,99 @@ pub fn build_report(sizes: &[usize]) -> Result<Report, ReportError> {
         });
     }
     let samples: Vec<Sample> = sizes.iter().map(|&n| measure(n)).collect();
-    build_report_from(&samples)
+    let sdh: Vec<Sample> = sizes.iter().map(|&n| measure_sdh(n)).collect();
+    build_report_from(&samples, &sdh)
 }
 
 /// Assemble the report from already-taken measurements (split out so the
-/// bin can measure once and both print and serialize).
-pub fn build_report_from(samples: &[Sample]) -> Result<Report, ReportError> {
+/// bin can measure once and both print and serialize). `samples` is the
+/// 2-PCF (Type-I) workload, `sdh` the privatized SDH (Type-II) workload;
+/// the SDH metrics carry an `_sdh` suffix.
+pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, ReportError> {
     let mut rep = Report::new("sim_hotpath", "Host throughput — interpreter fast paths")
         .with_context(&format!(
-            "fig2 2-PCF, register_shm plan, block={BLOCK}, r={RADIUS}, {BOX}^3 box, \
+            "fig2 2-PCF (Type-I) + privatized SDH (Type-II, {SDH_BUCKETS} buckets), \
+             register_shm plan, block={BLOCK}, r={RADIUS}, {BOX}^3 box, \
              sequential exec; scalar / vectorized / fused routes bit-identical"
         ));
-    let mut t = SeriesTable::new(
-        "sizes",
-        &[
-            "N",
-            "count",
-            "scalar_s",
-            "vec_s",
-            "fused_s",
-            "fused/vec",
-            "coverage",
-            "memo",
-            "Mlane-ops/s",
-        ],
-    );
-    for s in samples {
-        t.row(vec![
-            Cell::int(s.n as u64),
-            Cell::int(s.pair_count),
-            match s.scalar_s {
-                Some(v) => Cell::num(v, format!("{v:.3}")),
-                None => Cell::text("-"),
-            },
-            Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
-            Cell::num(s.fused_s, format!("{:.3}", s.fused_s)),
-            Cell::num(
+    for (table, suffix, set) in [("sizes", "", samples), ("sdh_sizes", "_sdh", sdh)] {
+        if set.is_empty() {
+            continue;
+        }
+        let mut t = SeriesTable::new(
+            table,
+            &[
+                "N",
+                "count",
+                "scalar_s",
+                "vec_s",
+                "fused_s",
+                "fused/vec",
+                "coverage",
+                "memo",
+                "Mlane-ops/s",
+            ],
+        );
+        for s in set {
+            t.row(vec![
+                Cell::int(s.n as u64),
+                Cell::int(s.pair_count),
+                match s.scalar_s {
+                    Some(v) => Cell::num(v, format!("{v:.3}")),
+                    None => Cell::text("-"),
+                },
+                Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
+                Cell::num(s.fused_s, format!("{:.3}", s.fused_s)),
+                Cell::num(
+                    s.fused_vs_vectorized(),
+                    format!("{:.2}x", s.fused_vs_vectorized()),
+                ),
+                Cell::num(
+                    s.fused_coverage,
+                    format!("{:.1}%", s.fused_coverage * 100.0),
+                ),
+                Cell::num(s.memo_hit_rate, format!("{:.1}%", s.memo_hit_rate * 100.0)),
+                Cell::num(
+                    s.lane_ops_per_s(),
+                    format!("{:.1}", s.lane_ops_per_s() / 1e6),
+                ),
+            ]);
+            if let Some(sp) = s.speedup() {
+                rep.metric(&format!("speedup{suffix}.n{}", s.n), sp, "x")?;
+            }
+            if let Some(sp) = s.fused_speedup() {
+                rep.metric(&format!("fused_speedup{suffix}.n{}", s.n), sp, "x")?;
+            }
+            rep.metric(
+                &format!("fused_vs_vectorized{suffix}.n{}", s.n),
                 s.fused_vs_vectorized(),
-                format!("{:.2}x", s.fused_vs_vectorized()),
-            ),
-            Cell::num(
+                "x",
+            )?;
+            rep.metric(
+                &format!("fused_coverage{suffix}.n{}", s.n),
                 s.fused_coverage,
-                format!("{:.1}%", s.fused_coverage * 100.0),
-            ),
-            Cell::num(s.memo_hit_rate, format!("{:.1}%", s.memo_hit_rate * 100.0)),
-            Cell::num(
+                "frac",
+            )?;
+            rep.metric(
+                &format!("memo_hit_rate{suffix}.n{}", s.n),
+                s.memo_hit_rate,
+                "frac",
+            )?;
+            rep.metric(
+                &format!("lane_ops_per_s{suffix}.n{}", s.n),
                 s.lane_ops_per_s(),
-                format!("{:.1}", s.lane_ops_per_s() / 1e6),
-            ),
-        ]);
-        if let Some(sp) = s.speedup() {
-            rep.metric(&format!("speedup.n{}", s.n), sp, "x")?;
+                "ops/s",
+            )?;
         }
-        if let Some(sp) = s.fused_speedup() {
-            rep.metric(&format!("fused_speedup.n{}", s.n), sp, "x")?;
-        }
-        rep.metric(
-            &format!("fused_vs_vectorized.n{}", s.n),
-            s.fused_vs_vectorized(),
-            "x",
-        )?;
-        rep.metric(
-            &format!("fused_coverage.n{}", s.n),
-            s.fused_coverage,
-            "frac",
-        )?;
-        rep.metric(&format!("memo_hit_rate.n{}", s.n), s.memo_hit_rate, "frac")?;
-        rep.metric(
-            &format!("lane_ops_per_s.n{}", s.n),
-            s.lane_ops_per_s(),
-            "ops/s",
-        )?;
+        rep.push_table(t);
     }
-    rep.push_table(t);
     rep.push_note(
         "host wall-clock throughput of the simulator interpreter; the vectorized\n\
          and fused routes must be bit-identical to the scalar reference. The\n\
          fused route batches whole inner tile passes into one dispatch;\n\
-         coverage is the fraction of useful lane work it absorbed.",
+         coverage is the fraction of useful lane work it absorbed. The sdh\n\
+         rows exercise the Type-II output stage: fused histogram scatters\n\
+         plus the packed Figure-3 cross-copy reduction.",
     );
     Ok(rep)
 }

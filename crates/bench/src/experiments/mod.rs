@@ -4,6 +4,7 @@
 
 pub mod ext_arch;
 pub mod ext_blocksize;
+pub mod ext_fusedout;
 pub mod ext_multicopy;
 pub mod ext_multigpu;
 pub mod ext_skew;

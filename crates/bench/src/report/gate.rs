@@ -236,6 +236,17 @@ pub fn gate_groups() -> &'static [GateGroup] {
         ),
         spec("ext_multigpu.speedup.2dev", Band::min(1.4)),
         spec("ext_multigpu.speedup.4dev_over_2dev", Band::min(1.0)),
+        // Fused Type-II output stage — shape invariants (deterministic):
+        // every half-pair bins exactly once, the closed-form scatter
+        // accounting reproduces the op-by-op atomic serialization, and
+        // the packed Figure-3 reduction engages.
+        spec("ext_fusedout.hist_total_over_pairs", Band::range(1.0, 1.0)),
+        spec(
+            "ext_fusedout.scatter_contention_parity",
+            Band::range(1.0, 1.0),
+        ),
+        spec("ext_fusedout.fused_coverage", Band::min(0.5)),
+        spec("ext_fusedout.reduce_fused_ops", Band::min(1.0)),
     ];
     const HOST: &[GateSpec] = &[
         // Wall-clock floors — deliberately ~2× under the slowest
@@ -247,6 +258,11 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // op-by-op vectorized route (the PR's ≥2× claim, floored well
         // below the ~3–4× observed so only a real regression trips it).
         spec("sim_hotpath.fused_vs_vectorized.n16384", Band::min(2.0)),
+        // The Type-II (SDH) counterpart: the fused output stage —
+        // vectorized bucketing, closed-form scatter accounting, batched
+        // ROC probes and the packed reduction — must also stay a ≥2×
+        // multiplier over the op-by-op vectorized route.
+        spec("sim_hotpath.fused_vs_vectorized_sdh.n16384", Band::min(2.0)),
         // Deterministic interpreter statistics (not wall-clock): most
         // useful lane work must flow through fused passes on the fig2
         // workload, and the ROC/L2 memo must actually replay.
@@ -311,6 +327,7 @@ pub fn functional_reports() -> Result<Vec<Report>, ReportError> {
         ext_type3::build_report(768, 64)?,
         ext_multicopy::build_report(1024, 128)?,
         ext_multigpu::build_report(2048, 64)?,
+        ext_fusedout::build_report(1024, 128, 64)?,
     ])
 }
 

@@ -66,15 +66,24 @@ impl HistogramSpec {
     /// saturation behavior.
     pub fn bucket_lanes(&self, w: &mut WarpCtx<'_, '_>, d: &F32x32, mask: Mask) -> U32x32 {
         w.charge_alu(2, mask);
+        let out = self.bucket_lanes_all(d);
+        std::array::from_fn(|i| if mask.lane(i) { out[i] } else { 0 })
+    }
+
+    /// All 32 lanes' bucket indices in one flat vectorizable pass — no
+    /// mask, no warp context, no charge. Per lane the result is exactly
+    /// [`bucket_lanes`](HistogramSpec::bucket_lanes)'s active-lane value
+    /// (`FMUL` then saturating truncation, then clamp); callers apply
+    /// their own predicate. This is the bucketing the fused tile pass
+    /// mirrors.
+    pub fn bucket_lanes_all(&self, d: &F32x32) -> U32x32 {
         let inv = self.inv_width();
         let hmax = self.buckets - 1;
-        std::array::from_fn(|i| {
-            if mask.lane(i) {
-                ((d[i] * inv) as u32).min(hmax)
-            } else {
-                0
-            }
-        })
+        let mut out = [0u32; 32];
+        for (o, &v) in out.iter_mut().zip(d.iter()) {
+            *o = ((v * inv) as u32).min(hmax);
+        }
+        out
     }
 
     /// Bytes one private `u32` copy of this histogram occupies in shared

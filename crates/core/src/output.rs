@@ -529,14 +529,19 @@ impl PairAction for MultiCopyHistogramAction {
                 let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
                 let m = w.mask_lt(&idx, h).and(w.active_threads());
                 if m.any() {
-                    // Sum the copies for these buckets.
+                    // Sum the copies for these buckets — packed route
+                    // first (one fused call for the whole copy loop,
+                    // bit-identical charges), op-by-op fallback when it
+                    // declines.
                     let mut acc = [0u32; WARP_SIZE];
-                    for c in 0..copies {
-                        let src: U32x32 = std::array::from_fn(|i| c * h + idx[i]);
-                        let vals = w.shared_load_u32(st, &src, m);
-                        w.charge_alu(1, m);
-                        for lane in m.lanes() {
-                            acc[lane] = acc[lane].wrapping_add(vals[lane]);
+                    if !w.fused_shared_copy_reduce_u32(st, &idx, h, copies, &mut acc, m) {
+                        for c in 0..copies {
+                            let src: U32x32 = std::array::from_fn(|i| c * h + idx[i]);
+                            let vals = w.shared_load_u32(st, &src, m);
+                            w.charge_alu(1, m);
+                            for lane in m.lanes() {
+                                acc[lane] = acc[lane].wrapping_add(vals[lane]);
+                            }
                         }
                     }
                     let slot: U32x32 = std::array::from_fn(|i| base + idx[i]);

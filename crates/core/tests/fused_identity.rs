@@ -12,10 +12,12 @@ use gpu_sim::{Device, DeviceConfig, KernelRun};
 use tbs_core::distance::{Euclidean, GaussianRbf};
 use tbs_core::histogram::HistogramSpec;
 use tbs_core::kernels::{
-    pair_launch, CrossShmKernel, IntraMode, PairScope, RegisterRocKernel, RegisterShmKernel,
-    ShmShmKernel, ShuffleKernel,
+    pair_launch, CrossShmKernel, HistogramReduceKernel, IntraMode, PairScope, RegisterRocKernel,
+    RegisterShmKernel, ShmShmKernel, ShuffleKernel,
 };
-use tbs_core::output::{CountWithinRadius, KdeAction, SharedHistogramAction};
+use tbs_core::output::{
+    CountWithinRadius, KdeAction, MultiCopyHistogramAction, SharedHistogramAction,
+};
 use tbs_core::point::SoaPoints;
 
 const B: u32 = 64;
@@ -293,6 +295,163 @@ fn register_roc_histogram_is_route_identical() {
             SharedHistogramAction { spec, private },
             B,
             PairScope::AllPairs,
+            IntraMode::Regular,
+        );
+        let run = dev.launch(&k, lc);
+        let bits = dev.u32_slice(private).iter().map(|&x| x as u64).collect();
+        (bits, run)
+    });
+}
+
+#[test]
+fn histogram_nan_inputs_follow_device_convention_on_all_routes() {
+    // NaN coordinates make NaN distances; the device convention
+    // (CUDA `__float2uint_rz`) saturates those lanes to bucket 0. The
+    // vectorized fused bucketing must reproduce that bit-for-bit on
+    // every route — and every pair must still bin exactly once.
+    let n = 150usize;
+    let mut raw: Vec<[f32; 3]> = (0..n)
+        .map(|i| {
+            [
+                (i as f32 * 1.37) % 100.0,
+                (i as f32 * 2.11) % 100.0,
+                (i as f32 * 0.59) % 100.0,
+            ]
+        })
+        .collect();
+    raw[7] = [f32::NAN, 0.0, 0.0];
+    raw[100][1] = f32::NAN;
+    let pts = SoaPoints::from_points(&raw);
+    let spec = HistogramSpec::new(32, 180.0);
+    assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        let run = dev.launch(&k, lc);
+        let vals = dev.u32_slice(private);
+        let total: u64 = vals.iter().map(|&v| v as u64).sum();
+        let bucket0: u64 = vals
+            .iter()
+            .step_by(spec.buckets as usize)
+            .map(|&v| v as u64)
+            .sum();
+        assert_eq!(
+            total,
+            (n * (n - 1) / 2) as u64,
+            "every half-pair must bin exactly once, NaN or not"
+        );
+        // Pairs touching the two NaN points: (n-1) + (n-1) - 1.
+        assert!(
+            bucket0 >= (2 * (n - 1) - 1) as u64,
+            "NaN distances must land in bucket 0"
+        );
+        (vals.iter().map(|&x| x as u64).collect(), run)
+    });
+}
+
+#[test]
+fn histogram_bucket_boundary_distances_are_route_identical() {
+    // Points on an exact lattice along x with spacing == bucket width:
+    // every distance is a whole number of bucket widths, so every
+    // `d * inv_width` lands exactly on a bucket edge — the worst case
+    // for any float reassociation in the vectorized bucketing. Also
+    // exercises the clamp edge: |i-j| >= buckets clamps into the last
+    // bucket.
+    let n = 120usize;
+    let spec = HistogramSpec::new(32, 160.0); // width = 5.0
+    let raw: Vec<[f32; 3]> = (0..n).map(|i| [i as f32 * 5.0, 0.0, 0.0]).collect();
+    let pts = SoaPoints::from_points(&raw);
+    assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        let run = dev.launch(&k, lc);
+        let vals = dev.u32_slice(private);
+        // Host truth: pairs at lattice distance k bin into bucket k
+        // (clamped); there are n-k such pairs.
+        let mut expect = vec![0u64; spec.buckets as usize];
+        for k in 1..n {
+            expect[k.min(spec.buckets as usize - 1)] += (n - k) as u64;
+        }
+        let mut merged = vec![0u64; spec.buckets as usize];
+        for (i, &v) in vals.iter().enumerate() {
+            merged[i % spec.buckets as usize] += v as u64;
+        }
+        assert_eq!(merged, expect, "boundary distances binned wrong");
+        (vals.iter().map(|&x| x as u64).collect(), run)
+    });
+}
+
+#[test]
+fn privatized_reduce_is_route_identical() {
+    // The Figure-3 cross-copy reduction behind the *-Out family: the
+    // packed fused route (one `fused_copy_reduce_u32` per warp) must
+    // match the op-by-op copy loop and the scalar reference
+    // bit-for-bit, tally included.
+    let pts = cloud(300);
+    let spec = HistogramSpec::new(48, 180.0);
+    assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        dev.launch(&k, lc);
+        let out = dev.alloc_u64_zeroed(spec.buckets as usize);
+        let r = HistogramReduceKernel {
+            private,
+            out,
+            buckets: spec.buckets,
+            copies: lc.grid_dim,
+        };
+        let run = dev.launch(&r, r.launch_config(64));
+        (dev.u64_slice(out).to_vec(), run)
+    });
+}
+
+#[test]
+fn multicopy_end_block_reduce_is_route_identical() {
+    // MultiCopyHistogramAction's end-of-block merge: the packed
+    // shared-memory reduction (`fused_shared_copy_reduce_u32`) against
+    // its per-copy op-by-op fallback and the scalar reference.
+    let pts = cloud(200);
+    let spec = HistogramSpec::new(32, 180.0);
+    assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            MultiCopyHistogramAction {
+                spec,
+                private,
+                copies: 2,
+            },
+            B,
+            PairScope::HalfPairs,
             IntraMode::Regular,
         );
         let run = dev.launch(&k, lc);

@@ -31,8 +31,11 @@ pub enum FusedSrc<'t, const D: usize> {
     SharedBroadcast(&'t [ShmF32; D]),
     /// Element `start + j` of each of `D` global coordinate buffers read
     /// through the read-only data cache (`roc_broadcast` per step). The
-    /// per-sector hit/miss stream is still driven element by element, so
-    /// ROC/L2 state and counters match the unfused route exactly.
+    /// per-sector hit/miss stream is driven in batched sector runs: the
+    /// first touch of each sector probes for real, and while the FIFO's
+    /// eviction generation is unchanged the remaining touches of the run
+    /// replay as bulk hits — ROC/L2 state and counters match the unfused
+    /// route exactly.
     RocBroadcast {
         /// One coordinate buffer per dimension.
         bufs: &'t [BufF32; D],
@@ -95,10 +98,14 @@ pub enum FusedConsumer<'c> {
         /// Per-lane partial sums for this warp.
         acc: &'c mut F32x32,
     },
-    /// `SharedHistogramAction`: bucket the value and do a real
-    /// `shared_atomic_add_u32` per step (bucketing is two ALU ops; the
-    /// atomic's serialization is data-dependent, so it stays a genuine
-    /// per-step shared-memory operation inside the fused pass).
+    /// `SharedHistogramAction`: bucket the value (two ALU ops, all 32
+    /// lanes in one vectorized pass) and scatter into the privatized
+    /// histogram. The atomic's data-dependent serialization is accounted
+    /// in closed form from the vectorized bucket indices
+    /// (`SharedSpace::atomic_scatter_accounting`) instead of dispatching
+    /// a simulated 32-lane atomic per step; a fault pre-flight declines
+    /// the whole pass to the op-by-op route if any scatter could go out
+    /// of bounds.
     Histogram {
         /// `buckets / max_distance` (see `HistogramSpec::inv_width`).
         inv_width: f32,

@@ -1276,10 +1276,46 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 }
                 let sb = self.blk.cfg.sector_bytes as u64;
                 let bases: [u64; D] = std::array::from_fn(|d| self.blk.global_base_addr(bufs[d].0));
-                for j in 0..steps {
-                    for &base in &bases {
-                        self.roc_one_sector((base + (*start as u64 + j) * 4) / sb);
+                // Batched sector-run probes: consecutive elements share a
+                // sector (8 f32s per 32-byte sector), so the op-by-op
+                // stream touches each dimension's current sector `run`
+                // times in a row. Probe the first round for real; if the
+                // FIFO's eviction generation is unchanged afterwards,
+                // every probed sector is provably still resident
+                // (residency is monotone within a generation and hits
+                // mutate nothing), so the remaining `run - 1` rounds
+                // replay as hits in bulk. An eviction mid-round falls
+                // back to per-element probes for the rest of the run.
+                let mut j = 0u64;
+                while j < steps {
+                    let e0 = *start as u64 + j;
+                    let mut run = steps - j;
+                    let mut sectors = [0u64; D];
+                    for (s, &base) in sectors.iter_mut().zip(bases.iter()) {
+                        let addr = base + e0 * 4;
+                        *s = addr / sb;
+                        // Elements until this dimension crosses into the
+                        // next sector.
+                        run = run.min(((*s + 1) * sb - addr).div_ceil(4));
                     }
+                    let gen0 = self.blk.roc.generation();
+                    for &s in sectors.iter() {
+                        self.roc_one_sector(s);
+                    }
+                    if run > 1 {
+                        if self.blk.roc.generation() == gen0 {
+                            let n = (run - 1) * dims;
+                            self.blk.tally.roc_hit_sectors += n;
+                            self.blk.roc.credit_replayed_hits(n);
+                        } else {
+                            for jj in 1..run {
+                                for &base in &bases {
+                                    self.roc_one_sector((base + (e0 + jj) * 4) / sb);
+                                }
+                            }
+                        }
+                    }
+                    j += run;
                 }
                 for b in bufs.iter() {
                     // Read-set bookkeeping; cannot abandon (pre-checked).
@@ -1306,8 +1342,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             FusedConsumer::CountLt { .. } | FusedConsumer::Histogram { .. } => 2,
             FusedConsumer::Sum { .. } => 1,
         };
+        let is_hist = matches!(consumer, FusedConsumer::Histogram { .. });
         let mut npm = 0u64; // steps whose predicate mask is non-empty
         let mut sum_apm = 0u64; // Σ active lanes over those steps
+                                // Histogram scatter accounting, accumulated per step in closed
+                                // form (Σ multiplicity, Σ bank+contention replays).
+        let mut atom_serial = 0u64;
+        let mut atom_txns = 0u64;
+        let mut atom_replays = 0u64;
         match consumer {
             FusedConsumer::CountLt { radius, acc } => {
                 let vals = TileVals::resolve(self.blk, &src);
@@ -1372,6 +1414,14 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 hmax,
                 shm,
             } => {
+                // Materialize the broadcast points up front: the scatter
+                // below needs `self.blk.shared` mutably, so the resolved
+                // tile borrow can't be held across the loop the way the
+                // register-accumulator consumers hold it.
+                let pts: Vec<[f32; D]> = {
+                    let vals = TileVals::resolve(self.blk, &src);
+                    (0..len as usize).map(|j| vals.point(j)).collect()
+                };
                 for j in 0..len {
                     let pm = Self::fused_pred_mask(pred, j, valid);
                     if !pm.any() {
@@ -1379,28 +1429,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                     }
                     npm += 1;
                     sum_apm += pm.count() as u64;
-                    let p: [f32; D] = match &src {
-                        FusedSrc::SharedBroadcast(tile) => {
-                            let shared = &self.blk.shared;
-                            std::array::from_fn(|d| shared.f32s(tile[d])[j as usize])
-                        }
-                        FusedSrc::RocBroadcast { bufs, start } => {
-                            let gmem = self.blk.gmem();
-                            std::array::from_fn(|d| gmem.f32_slice(bufs[d])[(*start + j) as usize])
-                        }
-                        FusedSrc::LaneBroadcast(regs) => {
-                            std::array::from_fn(|d| regs[d][j as usize % WARP_SIZE])
-                        }
-                    };
-                    // Bucketing mirrors `HistogramSpec::bucket_lanes`
-                    // (FMUL + F2I-with-clamp; inactive lanes read 0); the
-                    // atomic's serialization is data-dependent, so it
-                    // stays a genuine per-step shared-memory operation.
+                    let p = pts[j as usize];
+                    // Lane-vectorized bucketing mirroring
+                    // `HistogramSpec::bucket_lanes`: FMUL + F2I-with-clamp
+                    // per lane, where Rust's saturating `as u32` is CUDA's
+                    // `__float2uint_rz` (NaN and negatives go to bucket 0).
+                    // The Euclidean form computes all 32 indices in one
+                    // flat pass — inactive lanes produce garbage that only
+                    // the masked loops below can observe.
                     let mut bucket = [0u32; WARP_SIZE];
                     if EUCLID {
                         let dv = euclid_dists(own, &p);
-                        for l in pm.lanes() {
-                            bucket[l] = ((dv[l] * inv_width) as u32).min(hmax);
+                        for (b, &d) in bucket.iter_mut().zip(dv.iter()) {
+                            *b = ((d * inv_width) as u32).min(hmax);
                         }
                     } else {
                         for l in pm.lanes() {
@@ -1409,26 +1450,63 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                             bucket[l] = ((v * inv_width) as u32).min(hmax);
                         }
                     }
-                    self.shared_atomic_add_u32(shm, &bucket, &[1; 32], pm);
+                    // Closed-form scatter: the atomic's serialization is
+                    // a pure function of the active-lane bucket multiset,
+                    // so compact it and account contention + bank
+                    // conflicts in one pass instead of dispatching a
+                    // simulated 32-lane atomic (`shared_atomic_add_u32`
+                    // charges exactly these quantities; the pre-flight
+                    // bounds check above rules out its fault path).
+                    let mut act = [0u32; WARP_SIZE];
+                    let na = if pm.0 == u32::MAX {
+                        act = bucket;
+                        WARP_SIZE
+                    } else {
+                        let mut na = 0usize;
+                        for l in pm.lanes() {
+                            act[na] = bucket[l];
+                            na += 1;
+                        }
+                        na
+                    };
+                    let (mult, txns) = self.blk.shared.atomic_scatter_accounting(shm.0, &act[..na]);
+                    atom_serial += mult;
+                    atom_txns += txns + mult - 1;
+                    atom_replays += txns.saturating_sub(1);
+                    let data = self.blk.shared.u32s_mut(shm);
+                    for l in pm.lanes() {
+                        data[bucket[l] as usize] = data[bucket[l] as usize].wrapping_add(1);
+                    }
                 }
             }
         }
 
         // ---- distance + consumer charges, batched in closed form ----
         // Tally counters commute, so summing per-executed-step charges at
-        // the end is bit-identical to charging them step by step.
+        // the end is bit-identical to charging them step by step. The
+        // histogram consumer's shared atomic is one further warp
+        // instruction per executed step (a memory op, not ALU); its
+        // data-dependent serialization was accumulated above.
         let per = dist_cost + consumer_alu;
+        let wi = per + is_hist as u64;
         {
             let t = &mut self.blk.tally;
-            t.warp_instructions += npm * per;
-            t.useful_lane_ops += per * sum_apm;
-            t.predicated_lane_slots += per * (npm * WARP_SIZE as u64 - sum_apm);
+            t.warp_instructions += npm * wi;
+            t.useful_lane_ops += wi * sum_apm;
+            t.predicated_lane_slots += wi * (npm * WARP_SIZE as u64 - sum_apm);
             t.alu_instructions += npm * per;
+            if is_hist {
+                t.shared_atomics += npm;
+                t.shared_atomic_serial += atom_serial;
+                t.shared_transactions += atom_txns;
+                t.shared_bank_replays += atom_replays;
+                t.shared_bytes += 4 * sum_apm;
+            }
         }
         let interp = &mut self.blk.interp;
         interp.dispatches += 1;
         interp.fused_ops += 1;
-        interp.fused_lane_ops += a * steps * (dims + pred_alu) + per * sum_apm;
+        interp.fused_lane_ops += a * steps * (dims + pred_alu) + wi * sum_apm;
         true
     }
 
@@ -1437,7 +1515,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// cost `2·D + 1`, bit-identical to `Euclidean::eval_host`).
     ///
     /// The specialization evaluates all 32 lanes of a step with one
-    /// lane-outer pass over the register columns ([`euclid_dists`])
+    /// lane-outer pass over the register columns (`euclid_dists`)
     /// instead of per-lane closure calls, which the compiler turns into
     /// packed FMA/sqrt — the bulk of the fused route's speedup on the
     /// 2-PCF/SDH workloads.
@@ -1502,6 +1580,187 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             },
             valid,
         )
+    }
+
+    /// Execute the `*-Out` family's cross-copy reduction — `copies`
+    /// iterations of *unit-stride load `buf[c·stride + gid]`, address +
+    /// accumulate ALU, widen into `acc`* — as one fused call.
+    ///
+    /// Bit-identical to the op-by-op loop
+    /// (`global_load_u32` + `charge_alu(2)` + per-lane accumulate per
+    /// copy): every copy still charges 3 warp instructions (2 of them
+    /// ALU), one coalesced load, `4·lanes` bytes, and one ascending
+    /// unit-stride L2 sector run, in copy order. Only the interpreter
+    /// dispatch per operation disappears.
+    ///
+    /// Returns `false` — with no side effects — when a precondition
+    /// fails and the caller must run the op-by-op loop: scalar-reference
+    /// mode, `fused_tile` off, a dead block, fewer than two active lanes
+    /// or a non-prefix mask (the op path's broadcast shape), non-
+    /// contiguous `gid`s, an access that could fault, or a read that
+    /// would abandon speculation.
+    pub fn fused_copy_reduce_u32(
+        &mut self,
+        buf: BufU32,
+        gid: &U32x32,
+        stride: u32,
+        copies: u32,
+        acc: &mut U64x32,
+        mask: Mask,
+    ) -> bool {
+        if self.scalar_ref()
+            || !self.blk.cfg.fused_tile
+            || self.blk.dead()
+            || copies == 0
+            || !mask.is_prefix()
+            || mask.count() < 2
+        {
+            return false;
+        }
+        let n = mask.count() as usize;
+        let first = gid[0] as u64;
+        if !gid[..n]
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first + k as u64)
+        {
+            return false;
+        }
+        let last = (copies as u64 - 1) * stride as u64 + first + n as u64 - 1;
+        if u32::try_from(last).is_err()
+            || self
+                .blk
+                .check_global_bounds(buf.0, last as u32, "global u32 load")
+                .is_err()
+            || self.blk.read_would_abandon(buf.0)
+        {
+            return false;
+        }
+
+        let a = n as u64;
+        let m = copies as u64;
+        {
+            let t = &mut self.blk.tally;
+            charge_lanes(t, 3 * m, a);
+            t.alu_instructions += 2 * m;
+            t.global_load_instructions += m;
+            t.global_load_bytes += m * 4 * a;
+        }
+        // The stateful L2 stream keeps its op-by-op granularity and
+        // order: one ascending unit-stride sector run per copy.
+        let base = self.blk.global_base_addr(buf.0);
+        let sb = self.blk.cfg.sector_bytes as u64;
+        for c in 0..m {
+            let e0 = c * stride as u64 + first;
+            let s0 = (base + e0 * 4) / sb;
+            let s1 = (base + (e0 + a - 1) * 4) / sb;
+            self.blk.l2_access_run(s0, (s1 - s0 + 1) as u32);
+        }
+        {
+            // Read-set bookkeeping; cannot abandon (pre-checked). The
+            // accumulation runs flat over each copy's contiguous row.
+            let data = self.blk.global_read_u32s(buf);
+            for c in 0..copies {
+                let off = c as usize * stride as usize + first as usize;
+                for (al, &v) in acc[..n].iter_mut().zip(data[off..off + n].iter()) {
+                    *al += v as u64;
+                }
+            }
+        }
+        let interp = &mut self.blk.interp;
+        interp.dispatches += 1;
+        interp.fused_ops += 1;
+        interp.fused_lane_ops += 3 * m * a;
+        true
+    }
+
+    /// Shared-memory sibling of [`Self::fused_copy_reduce_u32`]: the
+    /// multi-copy privatized histogram's end-of-block reduction —
+    /// `copies` iterations of *unit-stride shared load
+    /// `arr[c·stride + idx]`, one accumulate ALU op, wrapping add into
+    /// `acc`* — as one fused call.
+    ///
+    /// Bit-identical to the op-by-op loop (`shared_load_u32` +
+    /// `charge_alu(1)` per copy): each copy charges 2 warp instructions
+    /// (1 ALU), one shared load with its bank-rule transactions, and
+    /// `4·lanes` bytes. Returns `false` with no side effects when the
+    /// fast paths are off, the mask is empty or non-prefix, the `idx`
+    /// lanes are not contiguous, or any copy's row could fault.
+    pub fn fused_shared_copy_reduce_u32(
+        &mut self,
+        arr: ShmU32,
+        idx: &U32x32,
+        stride: u32,
+        copies: u32,
+        acc: &mut U32x32,
+        mask: Mask,
+    ) -> bool {
+        if self.scalar_ref()
+            || !self.blk.cfg.fused_tile
+            || self.blk.dead()
+            || copies == 0
+            || !mask.any()
+            || !mask.is_prefix()
+        {
+            return false;
+        }
+        let n = mask.count() as usize;
+        let first = idx[0] as u64;
+        if !idx[..n]
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first + k as u64)
+        {
+            return false;
+        }
+        let last = (copies as u64 - 1) * stride as u64 + first + n as u64 - 1;
+        if u32::try_from(last).is_err()
+            || self
+                .blk
+                .shared
+                .check_bounds(arr.0, last as u32, "shared u32 load")
+                .is_err()
+        {
+            return false;
+        }
+
+        let a = n as u64;
+        let m = copies as u64;
+        // Bank transactions per copy: the rows are unit-stride but each
+        // copy's base offset shifts the banks, so ask the counter per
+        // copy (cheap shape fast path) rather than assume.
+        let mut txns_total = 0u64;
+        let mut src = [0u32; WARP_SIZE];
+        for c in 0..copies {
+            let e0 = (c as u64 * stride as u64 + first) as u32;
+            for (k, s) in src[..n].iter_mut().enumerate() {
+                *s = e0 + k as u32;
+            }
+            txns_total += self.blk.shared.transactions_for(arr.0, &src[..n]);
+        }
+        {
+            let t = &mut self.blk.tally;
+            charge_lanes(t, 2 * m, a);
+            t.alu_instructions += m;
+            t.shared_load_instructions += m;
+            t.shared_transactions += txns_total;
+            t.shared_bank_replays += txns_total - m;
+            t.shared_bytes += m * 4 * a;
+        }
+        {
+            let data = self.blk.shared.u32s(arr);
+            for c in 0..copies {
+                let off = c as usize * stride as usize + first as usize;
+                for (al, &v) in acc[..n].iter_mut().zip(data[off..off + n].iter()) {
+                    *al = al.wrapping_add(v);
+                }
+            }
+        }
+        let interp = &mut self.blk.interp;
+        interp.dispatches += 1;
+        interp.fused_ops += 1;
+        interp.fused_lane_ops += 2 * m * a;
+        true
     }
 }
 

@@ -166,6 +166,28 @@ impl RocCache {
         }
     }
 
+    /// The eviction generation of the fast body (see
+    /// [`FifoSet::generation`]): `None` for the reference body. While the
+    /// generation is unchanged, residency is monotone — a sector observed
+    /// resident stays resident — which is what lets the fused tile pass
+    /// replay whole arithmetic sector runs as hits.
+    pub fn generation(&self) -> Option<u64> {
+        match &self.body {
+            Body::Fast(set) => Some(set.generation()),
+            Body::Reference { .. } => None,
+        }
+    }
+
+    /// Credit `n` further touches of sectors proven resident at the
+    /// current eviction generation — the bulk form of
+    /// [`RocCache::try_replay_hit`] for an arithmetic sector run. A FIFO
+    /// hit mutates nothing but the hit counter, so crediting the hits
+    /// without per-sector probes is bit-exact for every future decision.
+    pub fn credit_replayed_hits(&mut self, n: u64) {
+        self.hits += n;
+        self.memo_replayed += n;
+    }
+
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -266,6 +288,40 @@ mod tests {
         }
         assert_eq!(memo.hits(), plain.hits());
         assert_eq!(memo.misses(), plain.misses());
+    }
+
+    #[test]
+    fn bulk_credit_matches_per_sector_replay() {
+        // The fused tile pass probes a sector run's first round for real,
+        // then — if the eviction generation is unchanged — credits the
+        // remaining rounds in bulk. Drive both protocols over the same
+        // element stream and require identical hit/miss totals.
+        let mut bulk = RocCache::new_memoized(768);
+        let mut per = RocCache::new_memoized(768);
+        for _round in 0..4 {
+            let mut e = 0u64;
+            while e < 1024 {
+                let s = e / 8;
+                let run = (8 - e % 8).min(1024 - e);
+                // Per-sector protocol: every element touch probes.
+                for _ in 0..run {
+                    if !per.try_replay_hit(s) {
+                        per.access(s);
+                    }
+                }
+                // Bulk protocol: one real probe, then a generation check.
+                let gen0 = bulk.generation();
+                if !bulk.try_replay_hit(s) {
+                    bulk.access(s);
+                }
+                assert_eq!(bulk.generation(), gen0, "no eviction at this size");
+                bulk.credit_replayed_hits(run - 1);
+                e += run;
+            }
+        }
+        assert_eq!(bulk.hits(), per.hits());
+        assert_eq!(bulk.misses(), per.misses());
+        assert!(bulk.memo_replayed() > 0);
     }
 
     #[test]

@@ -268,6 +268,110 @@ impl SharedSpace {
         }
         max_count.max(1)
     }
+
+    /// Closed-form accounting for a warp-wide atomic scatter: the maximum
+    /// same-element multiplicity and the serialized bank transactions of
+    /// the active-lane element indices `vals`, computed in one pass.
+    ///
+    /// Bit-identical to running the two halves separately — the quadratic
+    /// same-address scan the op-by-op atomic uses, then
+    /// [`SharedSpace::transactions_for`] on the same slice. The bank rule
+    /// depends only on the *distinct*-element set, so the deduplicating
+    /// multiplicity scan can feed the conflict counter its survivors
+    /// directly (`transactions_for` would re-deduplicate the full slice
+    /// to the same words; its broadcast/unit-stride shortcuts agree with
+    /// the general count by construction). `vals` must hold at most one
+    /// entry per warp lane. Returns `(0, 0)` for an empty slice.
+    pub fn atomic_scatter_accounting(&self, array: usize, vals: &[u32]) -> (u64, u64) {
+        debug_assert!(vals.len() <= WARP_SIZE);
+        if vals.is_empty() {
+            return (0, 0);
+        }
+        // The same shape shortcuts the op-by-op atomic takes: a broadcast
+        // fully serializes on one element, a unit-stride scatter has no
+        // same-address contention at all.
+        let first = vals[0];
+        if vals.iter().all(|&v| v == first) {
+            return (vals.len() as u64, self.transactions_for(array, &vals[..1]));
+        }
+        if vals
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+        {
+            return (1, self.transactions_for(array, vals));
+        }
+        if !self.scalar_reference && self.arrays[array].words_per_elem() == 1 {
+            return self.scatter_accounting_w1(array, vals);
+        }
+        let mut uniq = [0u32; WARP_SIZE];
+        let mut count = [0u64; WARP_SIZE];
+        let mut n = 0usize;
+        let mut mult = 0u64;
+        'outer: for &v in vals {
+            for e in 0..n {
+                if uniq[e] == v {
+                    count[e] += 1;
+                    mult = mult.max(count[e]);
+                    continue 'outer;
+                }
+            }
+            uniq[n] = v;
+            count[n] = 1;
+            mult = mult.max(1);
+            n += 1;
+        }
+        (mult, self.transactions_for(array, &uniq[..n]))
+    }
+
+    /// [`Self::atomic_scatter_accounting`] for one-word elements, the
+    /// histogram hot path: with `wpe == 1` an element *is* its word, so
+    /// one pass over per-bank entry chains yields both the same-address
+    /// multiplicity (occurrence count per distinct word) and the bank
+    /// serialization (distinct words in the fullest bank — exactly what
+    /// [`Self::transactions_for`]'s general path computes) without the
+    /// quadratic dedup scan or a second pass.
+    fn scatter_accounting_w1(&self, array: usize, vals: &[u32]) -> (u64, u64) {
+        let base = self.base_words[array];
+        let banks = self.banks as u64;
+        // Entry `e` is a distinct word: `addrs[e]` its address, `cnt[e]`
+        // its occurrence count, `next[e]` the previous entry in the same
+        // bank's chain (`u8::MAX` terminates).
+        let mut addrs = [0u64; WARP_SIZE];
+        let mut cnt = [0u8; WARP_SIZE];
+        let mut next = [u8::MAX; WARP_SIZE];
+        let mut head = [u8::MAX; WARP_SIZE];
+        let mut bank_words = [0u8; WARP_SIZE];
+        let mut n = 0u8;
+        let (mut mult, mut txns) = (0u64, 1u64);
+        for &v in vals {
+            let word = base + v as u64;
+            let bank = if banks == 32 {
+                (word & 31) as usize
+            } else {
+                (word % banks) as usize % WARP_SIZE
+            };
+            let mut e = head[bank];
+            while e != u8::MAX && addrs[e as usize] != word {
+                e = next[e as usize];
+            }
+            if e != u8::MAX {
+                let c = &mut cnt[e as usize];
+                *c += 1;
+                mult = mult.max(*c as u64);
+            } else {
+                addrs[n as usize] = word;
+                cnt[n as usize] = 1;
+                next[n as usize] = head[bank];
+                head[bank] = n;
+                bank_words[bank] += 1;
+                txns = txns.max(bank_words[bank] as u64);
+                mult = mult.max(1);
+                n += 1;
+            }
+        }
+        (mult, txns)
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +472,50 @@ mod tests {
                         s.transactions_for(arr, &idxs),
                         s.transactions_for_reference(arr, &idxs),
                         "banks {banks} trial {trial} arr {arr} idxs {idxs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_accounting_matches_split_computation() {
+        // The fused histogram consumer relies on this equivalence: one
+        // combined pass == (reference multiplicity scan, transactions_for).
+        let max_multiplicity = |vals: &[u32]| -> u64 {
+            vals.iter()
+                .map(|v| vals.iter().filter(|&w| w == v).count() as u64)
+                .max()
+                .unwrap_or(0)
+        };
+        for banks in [1u32, 2, 16, 32, 48] {
+            let mut s = SharedSpace::new(banks);
+            let _pad = s.alloc_f32(5);
+            let f = s.alloc_f32(256);
+            let u = s.alloc_u64(256);
+            let mut x = 0xbeefu64;
+            for trial in 0..400 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let len = (x % 33) as usize;
+                let mut vals = Vec::with_capacity(len);
+                for k in 0..len {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    vals.push(match trial % 4 {
+                        0 => (x % 256) as u32,             // random scatter
+                        1 => ((x % 32) + k as u64) as u32, // unit stride
+                        2 => (x % 17) as u32,              // heavy contention
+                        _ => 9,                            // broadcast
+                    });
+                }
+                for arr in [f.0, u.0] {
+                    assert_eq!(
+                        s.atomic_scatter_accounting(arr, &vals),
+                        (max_multiplicity(&vals), s.transactions_for(arr, &vals)),
+                        "banks {banks} trial {trial} arr {arr} vals {vals:?}"
                     );
                 }
             }

@@ -14,6 +14,21 @@ use gpu_sim::prelude::*;
 use gpu_sim::SimError;
 use proptest::prelude::*;
 
+/// CI exec-engine override: `TBS_DIFF_EXEC=sequential|parallel` pins
+/// every device this suite builds to one execution engine, so the whole
+/// differential contract is exercised under both the sequential and the
+/// speculative parallel block executor (`threads: 2` forces the real
+/// speculate/commit path even on a single-core host). Unset, devices
+/// keep [`DeviceConfig`]'s own default. The torture proptest keeps its
+/// explicit per-case mode axis regardless.
+fn exec_override(cfg: DeviceConfig) -> DeviceConfig {
+    match std::env::var("TBS_DIFF_EXEC").as_deref() {
+        Ok("sequential") => cfg.with_exec_mode(ExecMode::Sequential),
+        Ok("parallel") => cfg.with_exec_mode(ExecMode::Parallel { threads: 2 }),
+        _ => cfg,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Unit-level differentials: cache bodies and bank-conflict counting
 // ---------------------------------------------------------------------------
@@ -208,8 +223,10 @@ proptest! {
             _ => mask_raw,
         };
         let params = (mask_bits, scale, thresh, addend, modulus);
-        let mut fast = Device::new(DeviceConfig::titan_x());
-        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let mut fast = Device::new(exec_override(DeviceConfig::titan_x()));
+        let mut refd = Device::new(exec_override(
+            DeviceConfig::titan_x().with_scalar_reference(true),
+        ));
         let (fo, fr) = run_alu(&mut fast, (&a, &b, &c), params);
         let (ro, rr) = run_alu(&mut refd, (&a, &b, &c), params);
         prop_assert_eq!(fo, ro);
@@ -444,8 +461,10 @@ proptest! {
         );
         let pos = (oob_pos_seed as usize) % setup.gidx.len();
         setup.gidx[pos] = setup.input.len() as u32 + oob_excess;
-        let mut fast = Device::new(DeviceConfig::titan_x());
-        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let mut fast = Device::new(exec_override(DeviceConfig::titan_x()));
+        let mut refd = Device::new(exec_override(
+            DeviceConfig::titan_x().with_scalar_reference(true),
+        ));
         let fe = run_torture(&mut fast, &setup).err();
         let re = run_torture(&mut refd, &setup).err();
         prop_assert_eq!(&fe, &re);
@@ -480,8 +499,10 @@ fn ragged_last_warp_and_empty_pad_warps_match() {
     // of entirely-empty masks past n.
     for (n, pad, bd) in [(33, 0, 64), (33, 128, 64), (1, 31, 32), (95, 65, 96)] {
         let setup = fixed_setup(n, pad, bd);
-        let mut fast = Device::new(DeviceConfig::titan_x());
-        let mut refd = Device::new(DeviceConfig::titan_x().with_scalar_reference(true));
+        let mut fast = Device::new(exec_override(DeviceConfig::titan_x()));
+        let mut refd = Device::new(exec_override(
+            DeviceConfig::titan_x().with_scalar_reference(true),
+        ));
         let (fo, fr) = run_torture(&mut fast, &setup).unwrap();
         let (ro, rr) = run_torture(&mut refd, &setup).unwrap();
         assert_eq!(fo, ro, "outputs diverge at n={n} pad={pad} bd={bd}");
@@ -496,7 +517,9 @@ fn ragged_last_warp_and_empty_pad_warps_match() {
 fn zero_thread_launch_is_identical_noop() {
     let setup = fixed_setup(1, 0, 32);
     let run = |scalar: bool| {
-        let mut dev = Device::new(DeviceConfig::titan_x().with_scalar_reference(scalar));
+        let mut dev = Device::new(exec_override(
+            DeviceConfig::titan_x().with_scalar_reference(scalar),
+        ));
         let kernel = TortureKernel {
             input: dev.alloc_f32(setup.input.clone()),
             gidx: dev.alloc_u32(setup.gidx.clone()),
@@ -536,6 +559,25 @@ enum ProbePred {
     LessThan,
 }
 
+/// Which output consumer the probe drives: per-lane register tallies
+/// (`CountLt`) or a privatized shared histogram with the given bucket
+/// count (`Hist`), whose fused route replaces the simulated per-step
+/// shared atomic with closed-form scatter accounting.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ProbeOut {
+    CountLt,
+    Hist(u32),
+}
+
+impl ProbeOut {
+    fn buckets(self) -> u32 {
+        match self {
+            ProbeOut::CountLt => 0,
+            ProbeOut::Hist(b) => b,
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct ProbeSpec {
     /// Live threads (gid < n) — also an upper bound on point indices.
@@ -555,6 +597,8 @@ struct ProbeSpec {
     /// ANDed into each warp's valid mask — forces empty / non-prefix
     /// masks onto the fused entry point.
     squeeze: Option<u32>,
+    /// Output stage: register tallies or a privatized histogram.
+    out: ProbeOut,
 }
 
 /// A miniature Register-SHM-style inner loop with D = 2: one fused
@@ -566,6 +610,8 @@ struct FusedProbeKernel {
     spec: ProbeSpec,
     coords: [BufF32; 2],
     out: BufU64,
+    /// Per-block flush of the privatized histogram (`grid × buckets`).
+    hist_out: BufU32,
 }
 
 fn euclid2(a: &[f32; 2], b: &[f32; 2]) -> f32 {
@@ -584,7 +630,7 @@ impl Kernel for FusedProbeKernel {
     }
 
     fn resources(&self) -> KernelResources {
-        KernelResources::new(32, 2 * self.spec.tile_len * 4)
+        KernelResources::new(32, (2 * self.spec.tile_len + self.spec.out.buckets()) * 4)
     }
 
     fn run_block(&self, blk: &mut BlockCtx<'_>) {
@@ -612,6 +658,32 @@ impl Kernel for FusedProbeKernel {
             });
             blk.syncthreads();
         }
+
+        // Privatized histogram staging for the `Hist` consumer:
+        // allocate and cooperatively zero it, exactly like
+        // `SharedHistogramAction::begin_block`.
+        let hb = p.out.buckets();
+        let shist = (hb > 0).then(|| blk.shared_alloc_u32(hb as usize));
+        if let Some(h) = shist {
+            let bd = blk.block_dim;
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids();
+                let mut off = 0u32;
+                while off < hb {
+                    let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
+                    let m = w.mask_lt(&idx, hb).and(w.active_threads());
+                    if m.any() {
+                        w.shared_store_u32(h, &idx, &[0; WARP_SIZE], m);
+                    }
+                    off += bd;
+                }
+            });
+            blk.syncthreads();
+        }
+        // Histogram geometry: the probe's distances overflow the top
+        // bucket on purpose, so the clamp produces scatter pileups.
+        let inv_width = hb as f32 / (4.0 * p.radius);
+        let hmax = hb.saturating_sub(1);
 
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
@@ -658,17 +730,18 @@ impl Kernel for FusedProbeKernel {
 
             w.charge_control(p.len as u64 + 1, valid);
             let a = &mut acc[w.warp_id as usize];
-            if w.fused_euclidean_tile(
-                src,
-                p.len,
-                pred,
-                &own,
-                FusedConsumer::CountLt {
+            let consumer = match p.out {
+                ProbeOut::CountLt => FusedConsumer::CountLt {
                     radius: p.radius,
-                    acc: a,
+                    acc: &mut *a,
                 },
-                valid,
-            ) {
+                ProbeOut::Hist(_) => FusedConsumer::Histogram {
+                    inv_width,
+                    hmax,
+                    shm: shist.expect("Hist probe allocates its histogram"),
+                },
+            };
+            if w.fused_euclidean_tile(src, p.len, pred, &own, consumer, valid) {
                 return;
             }
 
@@ -706,11 +779,33 @@ impl Kernel for FusedProbeKernel {
                         0.0
                     }
                 });
-                // CountWithinRadius::process — compare + predicated add.
-                let hits = w.lt_f32(&dval, p.radius, pm);
-                w.charge_alu(1, pm);
-                for l in hits.lanes() {
-                    a[l] += 1;
+                match p.out {
+                    ProbeOut::CountLt => {
+                        // CountWithinRadius::process — compare +
+                        // predicated add.
+                        let hits = w.lt_f32(&dval, p.radius, pm);
+                        w.charge_alu(1, pm);
+                        for l in hits.lanes() {
+                            a[l] += 1;
+                        }
+                    }
+                    ProbeOut::Hist(_) => {
+                        // SharedHistogramAction::process —
+                        // `bucket_lanes` (2 ALU, CUDA saturate-to-zero
+                        // cast + clamp) and one simulated shared atomic
+                        // whose data-dependent serialization the fused
+                        // route must reproduce in closed form.
+                        w.charge_alu(2, pm);
+                        let bucket: U32x32 = std::array::from_fn(|i| {
+                            if pm.lane(i) {
+                                ((dval[i] * inv_width) as u32).min(hmax)
+                            } else {
+                                0
+                            }
+                        });
+                        let h = shist.expect("Hist probe allocates its histogram");
+                        w.shared_atomic_add_u32(h, &bucket, &[1; WARP_SIZE], pm);
+                    }
                 }
             }
         });
@@ -721,6 +816,30 @@ impl Kernel for FusedProbeKernel {
             let m = w.active_threads();
             w.global_store_u64(out, &gid, &acc[w.warp_id as usize], m);
         });
+
+        // Flush the private histogram to its per-block region so the
+        // host can compare route outputs (cf.
+        // `SharedHistogramAction::end_block`).
+        if let Some(h) = shist {
+            blk.syncthreads();
+            let base = blk.block_id * hb;
+            let bd = blk.block_dim;
+            let hist_out = self.hist_out;
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids();
+                let mut off = 0u32;
+                while off < hb {
+                    let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
+                    let m = w.mask_lt(&idx, hb).and(w.active_threads());
+                    if m.any() {
+                        let vals = w.shared_load_u32(h, &idx, m);
+                        let slot: U32x32 = std::array::from_fn(|i| base + idx[i]);
+                        w.global_store_u32(hist_out, &slot, &vals, m);
+                    }
+                    off += bd;
+                }
+            });
+        }
     }
 }
 
@@ -731,7 +850,7 @@ fn probe_coords(n_pts: u32) -> Vec<f32> {
 }
 
 fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun), SimError> {
-    let mut dev = Device::new(cfg);
+    let mut dev = Device::new(exec_override(cfg));
     let coords = [
         dev.alloc_f32(probe_coords(spec.n_pts)),
         dev.alloc_f32(
@@ -743,9 +862,17 @@ fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun)
     ];
     let lc = LaunchConfig::for_n_threads(spec.n.max(1), 64);
     let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
-    let kernel = FusedProbeKernel { spec, coords, out };
+    let hist_out = dev.alloc_u32_zeroed((lc.grid_dim * spec.out.buckets()).max(1) as usize);
+    let kernel = FusedProbeKernel {
+        spec,
+        coords,
+        out,
+        hist_out,
+    };
     let run = dev.try_launch(&kernel, lc)?;
-    Ok((dev.u64_slice(out).to_vec(), run))
+    let mut o: Vec<u64> = dev.u64_slice(out).to_vec();
+    o.extend(dev.u32_slice(hist_out).iter().map(|&v| v as u64));
+    Ok((o, run))
 }
 
 /// Run a probe on the fused, op-by-op and scalar routes; demand
@@ -776,6 +903,7 @@ fn base_spec() -> ProbeSpec {
         src: ProbeSrc::Shared,
         pred: ProbePred::All,
         squeeze: None,
+        out: ProbeOut::CountLt,
     }
 }
 
@@ -855,4 +983,62 @@ fn fused_oob_blame_matches_op_by_op_exactly() {
     assert!(fe.is_some(), "OOB ROC tile must fault");
     assert_eq!(fe, ve);
     assert_eq!(fe, se);
+}
+
+// ---------------------------------------------------------------------------
+// Fused scatter accounting vs the op-by-op simulated shared atomic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_scatter_conflict_accounting_matches_op_by_op() {
+    // The fused Histogram consumer replaces the simulated per-step
+    // shared atomic with `SharedSpace::atomic_scatter_accounting`; the
+    // serialization, transaction and bank-replay counters (and the
+    // histogram contents) must agree bit-for-bit with the op-by-op and
+    // scalar routes on every conflict shape — from a single-bucket
+    // pileup (full warp-wide serialization) through spread scatters
+    // with same-bank word conflicts.
+    for buckets in [1u32, 4, 48, 64] {
+        for pred in [ProbePred::All, ProbePred::NotEqual, ProbePred::LessThan] {
+            let mut spec = base_spec();
+            spec.out = ProbeOut::Hist(buckets);
+            spec.pred = pred;
+            let rf = probe_identical(spec);
+            assert!(
+                rf.interp.fused_ops > 0,
+                "hist({buckets})/{pred:?} must take the fused path"
+            );
+            assert!(rf.tally.shared_atomics > 0, "hist({buckets}) must scatter");
+            if buckets == 1 {
+                // Pileup sanity: every active lane lands on the same
+                // word, so serialization must exceed the atomic count.
+                assert!(rf.tally.shared_atomic_serial > rf.tally.shared_atomics);
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_scatter_declines_to_op_by_op_atomics_identically() {
+    // A ragged prefix mask still fuses — closed-form accounting covers
+    // the partial warp.
+    let mut spec = base_spec();
+    spec.out = ProbeOut::Hist(32);
+    spec.n = 100; // last warp holds 4 live lanes
+    let rf = probe_identical(spec);
+    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+    assert!(rf.tally.shared_atomics > 0);
+
+    // A non-prefix squeeze declines the whole pass, so the op-by-op
+    // simulated atomics must reproduce exactly what the closed form
+    // would have charged (the tally comparison inside
+    // `probe_identical` enforces this against the other routes).
+    spec.n = 128;
+    spec.squeeze = Some(0x0F0F_0F0F);
+    let rf = probe_identical(spec);
+    assert_eq!(
+        rf.interp.fused_ops, 0,
+        "non-prefix masks must scatter op-by-op"
+    );
+    assert!(rf.tally.shared_atomics > 0);
 }
