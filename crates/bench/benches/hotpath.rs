@@ -1,7 +1,10 @@
-//! Interpreter hot-path throughput: the three interpreter routes —
-//! fused tile passes (default), vectorized op-by-op
+//! Interpreter hot-path throughput: the four interpreter routes —
+//! fused tile passes (default), the plan-compiled route
+//! (`with_compiled(true)`), vectorized op-by-op
 //! (`with_fused_tile(false)`), and the retained `scalar_reference`
-//! implementation — on a small fig2-style 2-PCF workload. Guards the
+//! implementation — on a small fig2-style 2-PCF workload, under the
+//! config-default parallel block executor (`sequential` benches the
+//! fused route's sequential engine for comparison). Guards the
 //! speedups measured by the `hotpath_baseline` bin against bitrot; run
 //! it with `cargo bench -p tbs-bench --bench hotpath`.
 
@@ -15,14 +18,20 @@ use tbs_datagen::uniform_points;
 #[derive(Clone, Copy)]
 enum Route {
     Fused,
+    FusedSequential,
+    Compiled,
     Vectorized,
     Scalar,
 }
 
 fn route_config(route: Route) -> DeviceConfig {
-    let cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
+    // The config default is the parallel block executor; only the
+    // explicit sequential cross-check route overrides it.
+    let cfg = DeviceConfig::titan_x();
     match route {
         Route::Fused => cfg,
+        Route::FusedSequential => cfg.with_exec_mode(ExecMode::Sequential),
+        Route::Compiled => cfg.with_compiled(true),
         Route::Vectorized => cfg.with_fused_tile(false),
         Route::Scalar => cfg.with_scalar_reference(true),
     }
@@ -70,16 +79,30 @@ fn bench_hotpath(c: &mut Criterion) {
 
     // The shipping route, in its own group so A/B tooling can compare
     // `sim_fused/default` against `sim_hotpath/vectorized` directly.
-    // `sdh` is the Type-II output stage (fused histogram scatters +
-    // packed reduction); `sdh_vectorized` its op-by-op counterpart.
+    // `sequential` is the same route under the sequential block
+    // executor; `sdh` is the Type-II output stage (fused histogram
+    // scatters + packed reduction); `sdh_vectorized` its op-by-op
+    // counterpart.
     let mut g = c.benchmark_group("sim_fused");
     g.throughput(Throughput::Elements(pairs));
     g.sample_size(10);
     g.bench_function("default", |b| b.iter(|| run(&pts, Route::Fused)));
+    g.bench_function("sequential", |b| {
+        b.iter(|| run(&pts, Route::FusedSequential))
+    });
     g.bench_function("sdh", |b| b.iter(|| run_sdh(&pts, Route::Fused)));
     g.bench_function("sdh_vectorized", |b| {
         b.iter(|| run_sdh(&pts, Route::Vectorized))
     });
+    g.finish();
+
+    // The plan-compiled route: whole kernel plans lowered to
+    // closed-form straight-line host passes (see `gpu_sim::exec`).
+    let mut g = c.benchmark_group("sim_compiled");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    g.bench_function("default", |b| b.iter(|| run(&pts, Route::Compiled)));
+    g.bench_function("sdh", |b| b.iter(|| run_sdh(&pts, Route::Compiled)));
     g.finish();
 }
 

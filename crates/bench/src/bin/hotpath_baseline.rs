@@ -1,12 +1,14 @@
 //! Host-throughput baseline for the interpreter fast paths.
 //!
-//! Measures the three interpreter routes — scalar reference, vectorized
-//! op-by-op, and fused tile passes — via `experiments::hotpath` (which
-//! asserts all routes are bit-identical), prints the structured report,
-//! and records `BENCH_sim_hotpath.json` at the repository root. Two
-//! workloads run: the fig2 2-PCF (Type-I output) and a privatized SDH
-//! on the Register-SHM plan (Type-II output: fused histogram scatters
-//! plus the packed Figure-3 cross-copy reduction).
+//! Measures the four interpreter routes — scalar reference, vectorized
+//! op-by-op, fused tile passes, and the plan-compiled route — via
+//! `experiments::hotpath` (which asserts all routes are bit-identical
+//! and cross-checks the parallel block executor against a sequential
+//! run), prints the structured report, and records
+//! `BENCH_sim_hotpath.json` at the repository root. Two workloads run:
+//! the fig2 2-PCF (Type-I output) and a privatized SDH on the
+//! Register-SHM plan (Type-II output: fused histogram scatters plus the
+//! packed Figure-3 cross-copy reduction).
 //!
 //! Usage:
 //!
@@ -15,10 +17,12 @@
 //! cargo run --release -p tbs-bench --bin hotpath_baseline -- --full  # adds 2-PCF N = 131072, 262144; SDH N = 65536
 //! ```
 //!
-//! Acceptance gates in `Sequential` mode: at N = 65536 the vectorized
-//! 2-PCF route must be ≥2× the scalar reference and the fused route ≥2×
-//! the vectorized route; at N = 16384 the fused Type-II (SDH) route
-//! must be ≥2× the vectorized route. Pass `--json DIR` (or set
+//! Acceptance gates: at N = 65536 the vectorized 2-PCF route must be
+//! ≥2× the scalar reference, the fused route ≥2× the vectorized route,
+//! the compiled route ≥3× the fused route, and the cache memo must
+//! replay at least half of its probes; at N = 16384 the fused Type-II
+//! (SDH) route must be ≥2× the vectorized route and the compiled 2-PCF
+//! route ≥3× the fused route. Pass `--json DIR` (or set
 //! `TBS_REPORT_DIR`) to also mirror the schema-versioned
 //! `sim_hotpath.json` report.
 
@@ -48,7 +52,11 @@ fn main() {
         if let Some(v) = s.scalar_s {
             e = e.with("scalar_reference_s", v);
         }
-        e = e.with("vectorized_s", s.fast_s).with("fused_s", s.fused_s);
+        e = e
+            .with("vectorized_s", s.fast_s)
+            .with("fused_s", s.fused_s)
+            .with("fused_sequential_s", s.fused_seq_s)
+            .with("compiled_s", s.compiled_s);
         if let Some(v) = s.speedup() {
             e = e.with("speedup", v);
         }
@@ -56,9 +64,13 @@ fn main() {
             e = e.with("fused_speedup", v);
         }
         e.with("fused_vs_vectorized", s.fused_vs_vectorized())
+            .with("compiled_vs_fused", s.compiled_vs_fused())
+            .with("parallel_vs_sequential", s.parallel_vs_sequential())
             .with("dispatches", s.dispatches)
             .with("fused_ops", s.fused_ops)
             .with("fused_coverage", s.fused_coverage)
+            .with("compiled_ops", s.compiled_ops)
+            .with("compiled_coverage", s.compiled_coverage)
             .with("memo_hit_rate", s.memo_hit_rate)
             .with("lane_ops", s.lane_ops)
             .with("lane_ops_per_s", s.lane_ops_per_s())
@@ -72,7 +84,10 @@ fn main() {
             "fig2 2-PCF + privatized SDH (256 buckets), register_shm plan, \
              block=1024, r=25, 100^3 box",
         )
-        .with("exec_mode", "sequential")
+        .with(
+            "exec_mode",
+            "parallel (sequential cross-checked on the fused route)",
+        )
         .with("bit_identical", true)
         .with("sizes", Json::Arr(samples.iter().map(entry).collect()))
         .with("sdh_sizes", Json::Arr(sdh.iter().map(entry).collect()));
@@ -94,6 +109,24 @@ fn main() {
         fusion >= 2.0,
         "acceptance gate failed: fused {fusion:.2}x < 2x over vectorized at N=65536"
     );
+    let compiled = gate.compiled_vs_fused();
+    assert!(
+        compiled >= 3.0,
+        "acceptance gate failed: compiled {compiled:.2}x < 3x over fused at N=65536"
+    );
+    // The L2 cache memo must keep paying off at large N — its hit rate
+    // collapsing was exactly the regression this gate exists to catch.
+    let memo = gate.memo_hit_rate;
+    assert!(
+        memo >= 0.5,
+        "acceptance gate failed: memo hit rate {memo:.2} < 0.5 at N=65536"
+    );
+    let small = samples.iter().find(|s| s.n == 16_384).expect("N=16384 run");
+    let compiled_small = small.compiled_vs_fused();
+    assert!(
+        compiled_small >= 3.0,
+        "acceptance gate failed: compiled {compiled_small:.2}x < 3x over fused at N=16384"
+    );
     let sdh_gate = sdh.iter().find(|s| s.n == 16_384).expect("SDH N=16384 run");
     let sdh_fusion = sdh_gate.fused_vs_vectorized();
     assert!(
@@ -101,8 +134,10 @@ fn main() {
         "acceptance gate failed: fused SDH {sdh_fusion:.2}x < 2x over vectorized at N=16384"
     );
     eprintln!(
-        "acceptance gates passed: vectorized {speedup:.2}x >= 2x over scalar and \
-         fused {fusion:.2}x >= 2x over vectorized at N=65536 (2-PCF); \
+        "acceptance gates passed: vectorized {speedup:.2}x >= 2x over scalar, \
+         fused {fusion:.2}x >= 2x over vectorized, compiled {compiled:.2}x >= 3x \
+         over fused and memo {memo:.2} >= 0.5 at N=65536 (2-PCF); \
+         compiled {compiled_small:.2}x >= 3x over fused at N=16384; \
          fused SDH {sdh_fusion:.2}x >= 2x over vectorized at N=16384"
     );
 }

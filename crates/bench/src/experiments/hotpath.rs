@@ -1,7 +1,9 @@
 //! **Host throughput** — wall-clock cost of the simulator interpreter
-//! itself, across its three routes: the retained scalar reference, the
-//! vectorized op-by-op fast paths (`with_fused_tile(false)`), and the
-//! shipping default with fused tile passes.
+//! itself, across its four routes: the retained scalar reference, the
+//! vectorized op-by-op fast paths (`with_fused_tile(false)`), the
+//! shipping default with fused tile passes, and the plan-compiled route
+//! (`with_compiled(true)`) that lowers whole kernel plans to closed-form
+//! host passes.
 //!
 //! Unlike every other experiment, this one measures *this machine*, not
 //! the modeled GPU: it runs two workloads through the functional
@@ -10,12 +12,19 @@
 //! scatters in the inner loop plus the Figure-3 cross-copy reduction) —
 //! asserts all routes are bit-identical (pair count / histogram, full
 //! `AccessTally`, simulated timing), and reports wall-clock times plus
-//! the fused run's interpreter statistics (dispatch count, fused-op lane
-//! coverage, cache-memo hit rate).
+//! the per-route interpreter statistics (dispatch count, fused/compiled
+//! lane coverage, cache-memo hit rate).
+//!
+//! Every route runs under the config-default block executor
+//! (`ExecMode::Parallel { threads: 0 }`); one extra sequential run of
+//! the fused route cross-checks that the speculative parallel engine is
+//! bit-identical to the reference block order, and both wall-clock
+//! times land in the JSON record.
 //!
 //! The scalar reference is quadratic in wall-clock pain; above
-//! [`SCALAR_CEILING`] only the vectorized and fused routes run (identity
-//! against the scalar route is established at the sizes below it).
+//! [`SCALAR_CEILING`] only the vectorized, fused and compiled routes run
+//! (identity against the scalar route is established at the sizes below
+//! it).
 //!
 //! The `hotpath_baseline` bin prints it and records
 //! `BENCH_sim_hotpath.json`; the perf gate pins generous floors on a
@@ -50,11 +59,19 @@ pub fn sdh_spec() -> HistogramSpec {
     HistogramSpec::new(SDH_BUCKETS, tbs_datagen::box_diagonal(BOX, 3))
 }
 
+/// The block executor every measured pass runs under: the config
+/// default (parallel, one worker per host core). The fused route gets
+/// one extra [`ExecMode::Sequential`] pass as the engine cross-check.
+pub fn bench_exec() -> ExecMode {
+    ExecMode::Parallel { threads: 0 }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Route {
     Scalar,
     Vectorized,
     Fused,
+    Compiled,
 }
 
 /// One problem size's per-route measurement.
@@ -69,6 +86,13 @@ pub struct Sample {
     pub fast_s: f64,
     /// Wall-clock seconds with fused tile passes (the default route).
     pub fused_s: f64,
+    /// Wall-clock seconds of the fused route under the sequential block
+    /// executor — the engine cross-check (everything else runs under
+    /// [`bench_exec`]).
+    pub fused_seq_s: f64,
+    /// Wall-clock seconds with the plan-compiled route
+    /// (`with_compiled(true)`).
+    pub compiled_s: f64,
     /// Executed lane slots (useful + predicated) — the work measure
     /// behind the throughput numbers.
     pub lane_ops: u64,
@@ -80,6 +104,11 @@ pub struct Sample {
     pub fused_ops: u64,
     /// Fraction of useful lane work executed inside fused passes.
     pub fused_coverage: f64,
+    /// Compiled straight-line passes taken (compiled route).
+    pub compiled_ops: u64,
+    /// Fraction of useful lane work absorbed by compiled passes
+    /// (compiled route).
+    pub compiled_coverage: f64,
     /// Generation-stamped cache-memo hit rate (replayed / probed runs).
     pub memo_hit_rate: f64,
 }
@@ -100,6 +129,20 @@ impl Sample {
         self.fast_s / self.fused_s
     }
 
+    /// Fused over compiled — what plan compilation buys on top of the
+    /// shipping fused route.
+    pub fn compiled_vs_fused(&self) -> f64 {
+        self.fused_s / self.compiled_s
+    }
+
+    /// Sequential over parallel wall-clock on the fused route: > 1 when
+    /// the parallel engine wins, and pinned by a generous no-regression
+    /// floor in the gate (single-core hosts pay speculation overhead but
+    /// must stay close to sequential).
+    pub fn parallel_vs_sequential(&self) -> f64 {
+        self.fused_seq_s / self.fused_s
+    }
+
     /// Lane throughput of the shipping (fused) route.
     pub fn lane_ops_per_s(&self) -> f64 {
         self.lane_ops as f64 / self.fused_s
@@ -110,15 +153,34 @@ impl Sample {
     }
 }
 
-fn run_once(n: usize, route: Route) -> (f64, PcfResult) {
-    let pts = uniform_points::<3>(n, BOX, SEED);
-    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
-    cfg = match route {
+fn route_config(route: Route, exec: ExecMode) -> DeviceConfig {
+    let cfg = DeviceConfig::titan_x().with_exec_mode(exec);
+    match route {
         Route::Scalar => cfg.with_scalar_reference(true),
         Route::Vectorized => cfg.with_fused_tile(false),
         Route::Fused => cfg,
-    };
-    let mut dev = Device::new(cfg);
+        Route::Compiled => cfg.with_compiled(true),
+    }
+}
+
+/// One small untimed launch per engine before any timed pass: the very
+/// first launch in a process pays one-off costs (thread spin-up, heap
+/// growth, cold i-cache) that would otherwise be billed to whichever
+/// route happens to run first and skew its ratios.
+fn warm_up() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let pts = uniform_points::<3>(4096, BOX, SEED);
+        for exec in [bench_exec(), ExecMode::Sequential] {
+            let mut dev = Device::new(route_config(Route::Fused, exec));
+            pcf_gpu(&mut dev, &pts, RADIUS, PairwisePlan::register_shm(BLOCK)).expect("warm-up");
+        }
+    });
+}
+
+fn run_once(n: usize, route: Route, exec: ExecMode) -> (f64, PcfResult) {
+    let pts = uniform_points::<3>(n, BOX, SEED);
+    let mut dev = Device::new(route_config(route, exec));
     let t = Instant::now();
     let r = pcf_gpu(&mut dev, &pts, RADIUS, PairwisePlan::register_shm(BLOCK)).expect("launch");
     (t.elapsed().as_secs_f64(), r)
@@ -135,12 +197,26 @@ fn assert_routes_identical(n: usize, a: &PcfResult, b: &PcfResult, what: &str) {
 }
 
 /// Measure one size, asserting every interpreter route is bit-identical
-/// (same pair count, tally and simulated timing).
+/// (same pair count, tally and simulated timing), and that the parallel
+/// block executor matches a sequential run of the same route.
 pub fn measure(n: usize) -> Sample {
+    warm_up();
     eprintln!("N={n}: fused pass...");
-    let (fused_s, fused) = run_once(n, Route::Fused);
-    eprintln!("N={n}: fused {fused_s:.3}s; vectorized (unfused) pass...");
-    let (fast_s, fast) = run_once(n, Route::Vectorized);
+    let (fused_s, fused) = run_once(n, Route::Fused, bench_exec());
+    eprintln!("N={n}: fused {fused_s:.3}s; sequential cross-check...");
+    let (fused_seq_s, fused_seq) = run_once(n, Route::Fused, ExecMode::Sequential);
+    eprintln!(
+        "N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel); compiled pass...",
+        fused_seq_s / fused_s
+    );
+    assert_routes_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+    let (compiled_s, compiled) = run_once(n, Route::Compiled, bench_exec());
+    eprintln!(
+        "N={n}: compiled {compiled_s:.3}s ({:.2}x over fused); vectorized (unfused) pass...",
+        fused_s / compiled_s
+    );
+    assert_routes_identical(n, &fused, &compiled, "fused vs compiled");
+    let (fast_s, fast) = run_once(n, Route::Vectorized, bench_exec());
     eprintln!(
         "N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
         fast_s / fused_s
@@ -150,6 +226,14 @@ pub fn measure(n: usize) -> Sample {
         fused.run.interp.fused_ops > 0,
         "default route took no fused tile passes at N={n}"
     );
+    assert!(
+        compiled.run.interp.compiled_ops > 0,
+        "compiled route took no compiled passes at N={n}"
+    );
+    assert_eq!(
+        fused.run.interp.compiled_ops, 0,
+        "default route compiled without with_compiled(true) at N={n}"
+    );
     assert_eq!(
         fast.run.interp.fused_ops, 0,
         "with_fused_tile(false) still fused at N={n}"
@@ -157,7 +241,7 @@ pub fn measure(n: usize) -> Sample {
 
     let scalar_s = if n <= SCALAR_CEILING {
         eprintln!("N={n}: scalar-reference pass...");
-        let (scalar_s, scalar) = run_once(n, Route::Scalar);
+        let (scalar_s, scalar) = run_once(n, Route::Scalar, bench_exec());
         eprintln!("N={n}: scalar {scalar_s:.3}s ({:.2}x)", scalar_s / fused_s);
         assert_routes_identical(n, &fused, &scalar, "fused vs scalar");
         Some(scalar_s)
@@ -168,30 +252,29 @@ pub fn measure(n: usize) -> Sample {
 
     let t = &fused.run.tally;
     let interp = &fused.run.interp;
+    let cinterp = &compiled.run.interp;
     Sample {
         n,
         pair_count: fused.count,
         scalar_s,
         fast_s,
         fused_s,
+        fused_seq_s,
+        compiled_s,
         lane_ops: t.useful_lane_ops + t.predicated_lane_slots,
         sim_cycles: fused.run.timing.cycles,
         dispatches: interp.dispatches,
         fused_ops: interp.fused_ops,
         fused_coverage: interp.fused_coverage(t),
+        compiled_ops: cinterp.compiled_ops,
+        compiled_coverage: cinterp.compiled_coverage(&compiled.run.tally),
         memo_hit_rate: interp.memo_hit_rate(),
     }
 }
 
-fn run_sdh_once(n: usize, route: Route) -> (f64, SdhResult) {
+fn run_sdh_once(n: usize, route: Route, exec: ExecMode) -> (f64, SdhResult) {
     let pts = uniform_points::<3>(n, BOX, SEED);
-    let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
-    cfg = match route {
-        Route::Scalar => cfg.with_scalar_reference(true),
-        Route::Vectorized => cfg.with_fused_tile(false),
-        Route::Fused => cfg,
-    };
-    let mut dev = Device::new(cfg);
+    let mut dev = Device::new(route_config(route, exec));
     let t = Instant::now();
     let r = sdh_gpu(
         &mut dev,
@@ -236,10 +319,23 @@ fn assert_sdh_identical(n: usize, a: &SdhResult, b: &SdhResult, what: &str) {
 /// histograms, tallies and simulated timing for *both* kernels (the
 /// pairwise scatter stage and the Figure-3 reduction).
 pub fn measure_sdh(n: usize) -> Sample {
+    warm_up();
     eprintln!("SDH N={n}: fused pass...");
-    let (fused_s, fused) = run_sdh_once(n, Route::Fused);
-    eprintln!("SDH N={n}: fused {fused_s:.3}s; vectorized (unfused) pass...");
-    let (fast_s, fast) = run_sdh_once(n, Route::Vectorized);
+    let (fused_s, fused) = run_sdh_once(n, Route::Fused, bench_exec());
+    eprintln!("SDH N={n}: fused {fused_s:.3}s; sequential cross-check...");
+    let (fused_seq_s, fused_seq) = run_sdh_once(n, Route::Fused, ExecMode::Sequential);
+    eprintln!(
+        "SDH N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel); compiled pass...",
+        fused_seq_s / fused_s
+    );
+    assert_sdh_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+    let (compiled_s, compiled) = run_sdh_once(n, Route::Compiled, bench_exec());
+    eprintln!(
+        "SDH N={n}: compiled {compiled_s:.3}s ({:.2}x over fused); vectorized (unfused) pass...",
+        fused_s / compiled_s
+    );
+    assert_sdh_identical(n, &fused, &compiled, "fused vs compiled");
+    let (fast_s, fast) = run_sdh_once(n, Route::Vectorized, bench_exec());
     eprintln!(
         "SDH N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
         fast_s / fused_s
@@ -248,6 +344,16 @@ pub fn measure_sdh(n: usize) -> Sample {
     assert!(
         fused.pair_run.interp.fused_ops > 0,
         "fused route took no fused histogram tile passes at N={n}"
+    );
+    // The histogram sink always declines the compiled inner pass (its
+    // scatters are stateful), but the outer tile fetches still compile.
+    assert!(
+        compiled.pair_run.interp.compiled_ops > 0,
+        "compiled route took no compiled tile fetches on the SDH at N={n}"
+    );
+    assert_eq!(
+        fused.pair_run.interp.compiled_ops, 0,
+        "default SDH route compiled without with_compiled(true) at N={n}"
     );
     assert!(
         fused
@@ -267,7 +373,7 @@ pub fn measure_sdh(n: usize) -> Sample {
 
     let scalar_s = if n <= SCALAR_CEILING {
         eprintln!("SDH N={n}: scalar-reference pass...");
-        let (scalar_s, scalar) = run_sdh_once(n, Route::Scalar);
+        let (scalar_s, scalar) = run_sdh_once(n, Route::Scalar, bench_exec());
         eprintln!(
             "SDH N={n}: scalar {scalar_s:.3}s ({:.2}x)",
             scalar_s / fused_s
@@ -289,17 +395,27 @@ pub fn measure_sdh(n: usize) -> Sample {
         interp.merge(&r.interp);
         sim_cycles += r.timing.cycles;
     }
+    let mut ctally = compiled.pair_run.tally.clone();
+    let mut cinterp = compiled.pair_run.interp.clone();
+    if let Some(r) = &compiled.reduce_run {
+        ctally.merge(&r.tally);
+        cinterp.merge(&r.interp);
+    }
     Sample {
         n,
         pair_count: fused.histogram.total(),
         scalar_s,
         fast_s,
         fused_s,
+        fused_seq_s,
+        compiled_s,
         lane_ops: tally.useful_lane_ops + tally.predicated_lane_slots,
         sim_cycles,
         dispatches: interp.dispatches,
         fused_ops: interp.fused_ops,
         fused_coverage: interp.fused_coverage(&tally),
+        compiled_ops: cinterp.compiled_ops,
+        compiled_coverage: cinterp.compiled_coverage(&ctally),
         memo_hit_rate: interp.memo_hit_rate(),
     }
 }
@@ -327,7 +443,8 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
         .with_context(&format!(
             "fig2 2-PCF (Type-I) + privatized SDH (Type-II, {SDH_BUCKETS} buckets), \
              register_shm plan, block={BLOCK}, r={RADIUS}, {BOX}^3 box, \
-             sequential exec; scalar / vectorized / fused routes bit-identical"
+             parallel exec (sequential cross-checked on the fused route); \
+             scalar / vectorized / fused / compiled routes bit-identical"
         ));
     for (table, suffix, set) in [("sizes", "", samples), ("sdh_sizes", "_sdh", sdh)] {
         if set.is_empty() {
@@ -341,8 +458,12 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
                 "scalar_s",
                 "vec_s",
                 "fused_s",
+                "seq_s",
+                "comp_s",
                 "fused/vec",
+                "comp/fused",
                 "coverage",
+                "ccov",
                 "memo",
                 "Mlane-ops/s",
             ],
@@ -357,13 +478,23 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
                 },
                 Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
                 Cell::num(s.fused_s, format!("{:.3}", s.fused_s)),
+                Cell::num(s.fused_seq_s, format!("{:.3}", s.fused_seq_s)),
+                Cell::num(s.compiled_s, format!("{:.3}", s.compiled_s)),
                 Cell::num(
                     s.fused_vs_vectorized(),
                     format!("{:.2}x", s.fused_vs_vectorized()),
                 ),
                 Cell::num(
+                    s.compiled_vs_fused(),
+                    format!("{:.2}x", s.compiled_vs_fused()),
+                ),
+                Cell::num(
                     s.fused_coverage,
                     format!("{:.1}%", s.fused_coverage * 100.0),
+                ),
+                Cell::num(
+                    s.compiled_coverage,
+                    format!("{:.1}%", s.compiled_coverage * 100.0),
                 ),
                 Cell::num(s.memo_hit_rate, format!("{:.1}%", s.memo_hit_rate * 100.0)),
                 Cell::num(
@@ -383,8 +514,23 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
                 "x",
             )?;
             rep.metric(
+                &format!("compiled_vs_fused{suffix}.n{}", s.n),
+                s.compiled_vs_fused(),
+                "x",
+            )?;
+            rep.metric(
+                &format!("parallel_vs_sequential{suffix}.n{}", s.n),
+                s.parallel_vs_sequential(),
+                "x",
+            )?;
+            rep.metric(
                 &format!("fused_coverage{suffix}.n{}", s.n),
                 s.fused_coverage,
+                "frac",
+            )?;
+            rep.metric(
+                &format!("compiled_coverage{suffix}.n{}", s.n),
+                s.compiled_coverage,
                 "frac",
             )?;
             rep.metric(
@@ -401,11 +547,15 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
         rep.push_table(t);
     }
     rep.push_note(
-        "host wall-clock throughput of the simulator interpreter; the vectorized\n\
-         and fused routes must be bit-identical to the scalar reference. The\n\
-         fused route batches whole inner tile passes into one dispatch;\n\
-         coverage is the fraction of useful lane work it absorbed. The sdh\n\
-         rows exercise the Type-II output stage: fused histogram scatters\n\
+        "host wall-clock throughput of the simulator interpreter; the vectorized,\n\
+         fused and compiled routes must be bit-identical to the scalar reference,\n\
+         and the parallel block executor to a sequential run. The fused route\n\
+         batches whole inner tile passes into one dispatch; the compiled route\n\
+         lowers the kernel plan to closed-form straight-line passes (comp/fused\n\
+         is what that lowering buys). coverage/ccov are the fractions of useful\n\
+         lane work absorbed by fused/compiled passes. The sdh rows exercise the\n\
+         Type-II output stage: fused histogram scatters (the compiled route\n\
+         declines the stateful scatter inner pass but compiles the tile fetches)\n\
          plus the packed Figure-3 cross-copy reduction.",
     );
     Ok(rep)

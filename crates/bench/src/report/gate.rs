@@ -267,6 +267,21 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // useful lane work must flow through fused passes on the fig2
         // workload, and the ROC/L2 memo must actually replay.
         spec("sim_hotpath.fused_coverage.n16384", Band::min(0.5)),
+        // The plan-compiled route must stay a genuine multiplier over
+        // the fused route on the Type-I hot path (the PR's ≥3× claim).
+        spec("sim_hotpath.compiled_vs_fused.n16384", Band::min(3.0)),
+        // On the Type-II (SDH) workload only the tile fetches compile
+        // (the histogram sink declines the stateful scatter pass), so
+        // the honest floor is "no slower than fused" with headroom for
+        // scheduler noise, not a multiplier.
+        spec("sim_hotpath.compiled_vs_fused_sdh.n16384", Band::min(0.8)),
+        // The parallel block executor is the benched default; on
+        // single-core hosts it degenerates to the sequential path, so
+        // this is a no-regression floor, not a scaling claim.
+        spec("sim_hotpath.parallel_vs_sequential.n16384", Band::min(0.8)),
+        // Most useful lane work must flow through compiled passes on
+        // the fig2 workload (deterministic, not wall-clock).
+        spec("sim_hotpath.compiled_coverage.n16384", Band::min(0.5)),
     ];
     const GROUPS: &[GateGroup] = &[
         GateGroup {

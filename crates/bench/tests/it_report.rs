@@ -228,6 +228,33 @@ fn perf_gate_fails_on_synthetically_degraded_baseline() {
 }
 
 #[test]
+fn bless_refuses_a_sweep_missing_a_gated_metric() {
+    // `perf_gate --bless` must never write a baseline that silently
+    // drops a hard-banded metric: a partial sweep (here: one gated
+    // metric deleted, as if its experiment stopped emitting it) has to
+    // be a refusal, not a narrower baseline.
+    let reports = gate::model_reports().expect("model sweep");
+    let mut metrics: BTreeMap<String, Metric> = metric_map(&reports);
+    let group = gate::gate_groups()
+        .iter()
+        .find(|g| g.name == "model")
+        .expect("model gate group");
+
+    // The complete sweep blesses cleanly (the refusal below is about
+    // the missing metric, not some unrelated band violation).
+    Baseline::bless(group, &metrics).expect("full sweep blesses");
+
+    let victim = group.specs[0].metric;
+    metrics.remove(victim).expect("victim metric exists");
+    let err = Baseline::bless(group, &metrics).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("cannot bless") && msg.contains(victim),
+        "refusal names the missing metric: {msg}"
+    );
+}
+
+#[test]
 fn perf_gate_treats_deleted_metric_as_violation() {
     let reports = gate::model_reports().expect("model sweep");
     let mut metrics: BTreeMap<String, Metric> = metric_map(&reports);

@@ -83,6 +83,7 @@ where
         let tiles = super::num_blocks(n_right, b);
 
         let mut st = self.action.begin_block(blk);
+        let ck = super::lower_block_plan::<D, _, _>(blk, &self.dist, &self.action, b);
         // Own A datum in registers.
         let own = super::load_own_registers(blk, &self.left);
         let tile = super::alloc_tile::<D>(blk, b);
@@ -103,8 +104,9 @@ where
                 }
                 let reg = &own[w.warp_id as usize];
                 w.charge_control(len as u64 + 1, valid);
-                if !super::try_fused_pass(
+                if !super::try_tile_pass(
                     w,
+                    ck.as_ref(),
                     &self.dist,
                     &self.action,
                     &mut st,

@@ -33,7 +33,8 @@ use crate::distance::DistanceKernel;
 use crate::output::PairAction;
 use crate::point::DeviceSoa;
 use gpu_sim::{
-    BlockCtx, F32x32, FusedPred, FusedSrc, LaunchConfig, Mask, ShmF32, U32x32, WarpCtx, WARP_SIZE,
+    BlockCtx, CompiledKernel, CompiledTile, F32x32, FusedPred, FusedSrc, LaunchConfig, Mask,
+    ShmF32, U32x32, WarpCtx, WARP_SIZE,
 };
 
 /// Which pairs a kernel evaluates.
@@ -110,6 +111,12 @@ pub(crate) fn load_tile_to_shared<const D: usize>(
     start: u32,
     count: u32,
 ) {
+    // Compiled route: the whole cooperative fetch in one closed-form
+    // pass. Declines (fault pre-flight, route off) fall through to the
+    // op-by-op sweep below, which reproduces the exact fault point.
+    if blk.compiled_tile_load(tile, &input.coords, start, count) {
+        return;
+    }
     let coords = input.coords;
     blk.for_each_warp(|w| {
         let tid = w.thread_ids();
@@ -169,6 +176,49 @@ pub(crate) fn try_fused_pass<const D: usize, F: DistanceKernel<D>, A: PairAction
     }
 }
 
+/// Lower this kernel's plan for the compiled route: `Some` only when the
+/// distance is the fusible Euclidean chain, the action declares a
+/// compiled sink, and the device config enables the route. Kernels call
+/// this once per block and thread the result through every tile pass.
+pub(crate) fn lower_block_plan<const D: usize, F: DistanceKernel<D>, A: PairAction>(
+    blk: &BlockCtx<'_>,
+    dist: &F,
+    action: &A,
+    tile_len: u32,
+) -> Option<CompiledKernel> {
+    crate::plan::lower_pair_plan::<D, F, A>(blk.config(), dist, action, tile_len)
+}
+
+/// Run one inner tile pass through the fastest applicable route:
+/// compiled (plan-lowered, closed-form charges) when `ck` is lowered and
+/// the shape is supported, else the fused fast path, else `false` — the
+/// caller interprets op by op. All three routes are bit-identical in
+/// outputs, tally and cache state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_tile_pass<const D: usize, F: DistanceKernel<D>, A: PairAction>(
+    w: &mut WarpCtx<'_, '_>,
+    ck: Option<&CompiledKernel>,
+    dist: &F,
+    action: &A,
+    st: &mut A::Block,
+    src: FusedSrc<'_, D>,
+    len: u32,
+    pred: FusedPred,
+    own: &[F32x32; D],
+    valid: Mask,
+) -> bool {
+    if let Some(ck) = ck {
+        // `lower_block_plan` already verified the distance shape; the
+        // consumer view re-borrows per warp.
+        if let Some(c) = action.fused_consumer(st, w.warp_id) {
+            if w.compiled_euclidean_tile(ck, src, len, pred, own, c, valid) {
+                return true;
+            }
+        }
+    }
+    try_fused_pass(w, dist, action, st, src, len, pred, own, valid)
+}
+
 /// Read tile element `j` as a warp broadcast from shared memory (one
 /// transaction per dimension).
 pub(crate) fn broadcast_from_shared<const D: usize>(
@@ -200,6 +250,7 @@ pub(crate) fn gather_from_shared<const D: usize>(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn intra_block_shared<const D: usize, F: DistanceKernel<D>, A: PairAction>(
     blk: &mut BlockCtx<'_>,
+    ck: Option<&CompiledKernel>,
     tile: &[ShmF32; D],
     own: &[[F32x32; D]],
     dist: &F,
@@ -217,6 +268,24 @@ pub(crate) fn intra_block_shared<const D: usize, F: DistanceKernel<D>, A: PairAc
         let reg = &own[w.warp_id as usize];
         match mode {
             IntraMode::Regular => {
+                // Compiled route: the whole divergent triangle in one
+                // closed-form pass. Declines fall through to the
+                // op-by-op loop below (identical bits either way).
+                if let Some(ckk) = ck {
+                    if let Some(c) = action.fused_consumer(st, w.warp_id) {
+                        if w.compiled_intra_regular(
+                            ckk,
+                            CompiledTile::Shared(tile),
+                            block_start,
+                            block_n,
+                            reg,
+                            c,
+                            valid,
+                        ) {
+                            return;
+                        }
+                    }
+                }
                 // Thread t pairs with t+1 .. block_n-1: divergent trips.
                 let trips: U32x32 = std::array::from_fn(|i| {
                     if valid.lane(i) {

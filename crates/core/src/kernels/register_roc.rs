@@ -94,6 +94,7 @@ where
         let block_n = b.min(n.saturating_sub(block_start));
 
         let mut st = self.action.begin_block(blk);
+        let ck = super::lower_block_plan::<D, _, _>(blk, &self.dist, &self.action, b);
         let own = super::load_own_registers(blk, &self.input);
 
         let first_tile = match self.scope {
@@ -116,8 +117,9 @@ where
                 }
                 let reg = &own[w.warp_id as usize];
                 w.charge_control(len as u64 + 1, valid);
-                if !super::try_fused_pass(
+                if !super::try_tile_pass(
                     w,
+                    ck.as_ref(),
                     &self.dist,
                     &self.action,
                     &mut st,
@@ -152,6 +154,24 @@ where
                     let reg = &own[w.warp_id as usize];
                     match mode {
                         IntraMode::Regular => {
+                            // Compiled route: the whole ROC-sourced
+                            // triangle in one pass, sector stream
+                            // replayed in op-by-op order.
+                            if let Some(ckk) = ck.as_ref() {
+                                if let Some(c) = self.action.fused_consumer(&mut st, w.warp_id) {
+                                    if w.compiled_intra_regular(
+                                        ckk,
+                                        gpu_sim::CompiledTile::Roc(&self.input.coords),
+                                        block_start,
+                                        block_n,
+                                        reg,
+                                        c,
+                                        valid,
+                                    ) {
+                                        return;
+                                    }
+                                }
+                            }
                             let trips: U32x32 = std::array::from_fn(|i| {
                                 if valid.lane(i) {
                                     block_n.saturating_sub(1).saturating_sub(tid[i])
@@ -209,8 +229,9 @@ where
                     }
                     let reg = &own[w.warp_id as usize];
                     w.charge_control(block_n as u64 + 1, valid);
-                    if !super::try_fused_pass(
+                    if !super::try_tile_pass(
                         w,
+                        ck.as_ref(),
                         &self.dist,
                         &self.action,
                         &mut st,

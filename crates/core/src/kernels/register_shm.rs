@@ -78,6 +78,7 @@ where
         let my_block = blk.block_id;
 
         let mut st = self.action.begin_block(blk);
+        let ck = super::lower_block_plan::<D, _, _>(blk, &self.dist, &self.action, b);
 
         // Line 2: reg <- the t-th datum of the b-th input data block.
         let own = super::load_own_registers(blk, &self.input);
@@ -108,8 +109,9 @@ where
                 // Line 5: for j = 0 to B — a uniform loop, fused into one
                 // interpreter call when the distance/action pair allows.
                 w.charge_control(len as u64 + 1, valid);
-                if !super::try_fused_pass(
+                if !super::try_tile_pass(
                     w,
+                    ck.as_ref(),
                     &self.dist,
                     &self.action,
                     &mut st,
@@ -139,6 +141,7 @@ where
             PairScope::HalfPairs => {
                 super::intra_block_shared(
                     blk,
+                    ck.as_ref(),
                     &tile,
                     &own,
                     &self.dist,
@@ -160,8 +163,9 @@ where
                     }
                     let reg = &own[w.warp_id as usize];
                     w.charge_control(block_n as u64 + 1, valid);
-                    if !super::try_fused_pass(
+                    if !super::try_tile_pass(
                         w,
+                        ck.as_ref(),
                         &self.dist,
                         &self.action,
                         &mut st,

@@ -81,6 +81,7 @@ where
         let block_n = b.min(n.saturating_sub(block_start));
 
         let mut st = self.action.begin_block(blk);
+        let ck = super::lower_block_plan::<D, _, _>(blk, &self.dist, &self.action, b);
 
         // Line 1: L <- the b-th input data block loaded to cache.
         let l_tile = super::alloc_tile::<D>(blk, b);
@@ -117,8 +118,9 @@ where
                 // counts 2× the shared reads of equation (5).
                 let lt = super::gather_from_shared(w, &l_tile, &tid, valid);
                 w.charge_control(len as u64 + 1, valid);
-                if !super::try_fused_pass(
+                if !super::try_tile_pass(
                     w,
+                    ck.as_ref(),
                     &self.dist,
                     &self.action,
                     &mut st,
@@ -142,7 +144,7 @@ where
         // Lines 9–12: intra-block phase, both operands from L.
         match self.scope {
             PairScope::HalfPairs => {
-                self.intra_shared_shared(blk, &l_tile, &mut st, block_start, block_n)
+                self.intra_shared_shared(blk, ck.as_ref(), &l_tile, &mut st, block_start, block_n)
             }
             PairScope::AllPairs => {
                 blk.for_each_warp(|w| {
@@ -154,8 +156,9 @@ where
                     }
                     let lt = super::gather_from_shared(w, &l_tile, &tid, valid);
                     w.charge_control(block_n as u64 + 1, valid);
-                    if !super::try_fused_pass(
+                    if !super::try_tile_pass(
                         w,
+                        ck.as_ref(),
                         &self.dist,
                         &self.action,
                         &mut st,
@@ -195,6 +198,7 @@ where
     fn intra_shared_shared(
         &self,
         blk: &mut BlockCtx<'_>,
+        ck: Option<&gpu_sim::CompiledKernel>,
         l_tile: &[gpu_sim::ShmF32; D],
         st: &mut A::Block,
         block_start: u32,
@@ -210,6 +214,23 @@ where
             let lt = super::gather_from_shared(w, l_tile, &tid, valid);
             match mode {
                 IntraMode::Regular => {
+                    // Compiled route for the whole triangle; declines
+                    // fall through to the divergent loop below.
+                    if let Some(ckk) = ck {
+                        if let Some(c) = self.action.fused_consumer(st, w.warp_id) {
+                            if w.compiled_intra_regular(
+                                ckk,
+                                gpu_sim::CompiledTile::Shared(l_tile),
+                                block_start,
+                                block_n,
+                                &lt,
+                                c,
+                                valid,
+                            ) {
+                                return;
+                            }
+                        }
+                    }
                     let trips: U32x32 = std::array::from_fn(|i| {
                         if valid.lane(i) {
                             block_n.saturating_sub(1).saturating_sub(tid[i])

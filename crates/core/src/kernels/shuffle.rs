@@ -59,6 +59,7 @@ where
     fn fragment(
         &self,
         w: &mut WarpCtx<'_, '_>,
+        ck: Option<&gpu_sim::CompiledKernel>,
         st: &mut A::Block,
         gid: &U32x32,
         valid: Mask,
@@ -78,8 +79,9 @@ where
 
         // Lines 5–9: walk the 32 lanes by shuffle broadcast.
         w.charge_control(frag_len as u64 + 1, valid);
-        if super::try_fused_pass(
+        if super::try_tile_pass(
             w,
+            ck,
             &self.dist,
             &self.action,
             st,
@@ -135,6 +137,7 @@ where
         let block_n = b.min(n.saturating_sub(block_start));
 
         let mut st = self.action.begin_block(blk);
+        let ck = super::lower_block_plan::<D, _, _>(blk, &self.dist, &self.action, b);
         // Line 1: reg0 <- own datum.
         let own = super::load_own_registers(blk, &self.input);
 
@@ -167,6 +170,7 @@ where
                     };
                     self.fragment(
                         w,
+                        ck.as_ref(),
                         &mut st,
                         &gid,
                         valid,
@@ -207,6 +211,7 @@ where
                 };
                 self.fragment(
                     w,
+                    ck.as_ref(),
                     &mut st,
                     &gid,
                     valid,

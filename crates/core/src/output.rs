@@ -21,8 +21,8 @@
 
 use crate::histogram::HistogramSpec;
 use gpu_sim::{
-    BlockCtx, BufF32, BufU32, BufU64, F32x32, FusedConsumer, Mask, ShmU32, U32x32, U64x32, WarpCtx,
-    WARP_SIZE,
+    BlockCtx, BufF32, BufU32, BufU64, CompiledSinkSpec, F32x32, FusedConsumer, Mask, ShmU32,
+    U32x32, U64x32, WarpCtx, WARP_SIZE,
 };
 
 /// The paper's output classification (§III-B).
@@ -93,6 +93,16 @@ pub trait PairAction: Sync {
         _st: &'s mut Self::Block,
         _warp_id: u32,
     ) -> Option<FusedConsumer<'s>> {
+        None
+    }
+
+    /// The action's output-sink shape for plan lowering
+    /// (`gpu_sim::CompiledKernel::lower`). Unlike
+    /// [`PairAction::fused_consumer`] this borrows no per-block state —
+    /// lowering happens once, before any block runs. `None` — the
+    /// default — keeps the plan off the compiled route (fused/op-by-op
+    /// still apply).
+    fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
         None
     }
 }
@@ -167,6 +177,12 @@ impl PairAction for CountWithinRadius {
         Some(FusedConsumer::CountLt {
             radius: self.radius,
             acc: &mut st[warp_id as usize],
+        })
+    }
+
+    fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
+        Some(CompiledSinkSpec::CountLt {
+            radius: self.radius,
         })
     }
 }
@@ -334,6 +350,10 @@ impl PairAction for KdeAction {
             acc: &mut st[warp_id as usize],
         })
     }
+
+    fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
+        Some(CompiledSinkSpec::Sum)
+    }
 }
 
 // ====================================================================
@@ -444,6 +464,10 @@ impl PairAction for SharedHistogramAction {
             hmax: self.spec.buckets.saturating_sub(1),
             shm: *st,
         })
+    }
+
+    fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
+        Some(CompiledSinkSpec::Histogram)
     }
 }
 

@@ -32,9 +32,10 @@
 //! ```
 
 use crate::analytic::profiles::{predicted_run, InputPath, KernelSpec, OutputPath, Workload};
+use crate::distance::DistanceKernel;
 use crate::kernels::IntraMode;
-use crate::output::OutputClass;
-use gpu_sim::DeviceConfig;
+use crate::output::{OutputClass, PairAction};
+use gpu_sim::{CompiledKernel, DeviceConfig};
 
 /// A 2-BS problem, described abstractly.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +140,33 @@ pub fn feasible_specs(p: &ProblemSpec, cfg: &DeviceConfig, b: u32) -> Vec<Kernel
         }
     }
     specs
+}
+
+/// Lower a whole kernel plan — distance function × output action × tile
+/// shape — to a [`CompiledKernel`] of closed-form host passes, computed
+/// once before launch instead of re-derived on every warp dispatch.
+///
+/// Lowering succeeds only when every stage of the plan is expressible in
+/// straight-line form: the distance must be the fusible Euclidean chain
+/// (`DistanceKernel::fusible` + `euclidean_form`) and the action must
+/// declare a [`gpu_sim::CompiledSinkSpec`] via
+/// [`PairAction::compiled_sink`]. Anything else returns `None` and the
+/// kernel runs its fused/op-by-op routes unchanged — as it also does,
+/// tile by tile, whenever a *lowered* plan meets a shape the compiled
+/// passes decline (non-prefix masks, would-fault accesses, load-balanced
+/// intra phases). The declining routes double as the differential oracle
+/// for the compiled one.
+pub fn lower_pair_plan<const D: usize, F: DistanceKernel<D>, A: PairAction>(
+    cfg: &DeviceConfig,
+    dist: &F,
+    action: &A,
+    tile_len: u32,
+) -> Option<CompiledKernel> {
+    if !dist.fusible() || !dist.euclidean_form() {
+        return None;
+    }
+    let sink = action.compiled_sink()?;
+    CompiledKernel::lower(cfg, D as u32, tile_len, sink)
 }
 
 /// Choose the fastest feasible plan for a problem by analytical

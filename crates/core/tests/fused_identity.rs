@@ -1,12 +1,15 @@
-//! Fused-vs-unfused differential tests across the tiling kernels.
+//! Route-matrix differential tests across the tiling kernels.
 //!
-//! Every kernel × action pair that routes through `try_fused_pass` is run
-//! on three interpreter routes — fused tile passes (the default),
-//! op-by-op vectorized (`with_fused_tile(false)`), and the scalar
-//! reference — and must produce bit-identical output buffers,
-//! `AccessTally` counters and simulated timing. Host-side `InterpStats`
-//! are the only permitted difference: the fused route must report
-//! `fused_ops > 0`, the other two exactly zero.
+//! Every kernel × action pair that routes through `try_tile_pass` is run
+//! on four interpreter routes — the plan compiler
+//! (`with_compiled(true)`), fused tile passes (the default), op-by-op
+//! vectorized (`with_fused_tile(false)`), and the scalar reference — and
+//! must produce bit-identical output buffers, `AccessTally` counters and
+//! simulated timing. Host-side `InterpStats` are the only permitted
+//! difference: the fused route must report `fused_ops > 0` and the
+//! compiled route `compiled_ops > 0` wherever its plan lowers (or
+//! exactly zero where it must decline); the op-by-op and scalar routes
+//! report zero for both.
 
 use gpu_sim::{Device, DeviceConfig, KernelRun};
 use tbs_core::distance::{Euclidean, GaussianRbf};
@@ -41,8 +44,9 @@ fn cloud(n: usize) -> SoaPoints<3> {
 /// Device output read back as raw bit words.
 type Bits = Vec<u64>;
 
-fn routes() -> [DeviceConfig; 3] {
+fn routes() -> [DeviceConfig; 4] {
     [
+        DeviceConfig::titan_x().with_compiled(true),
         DeviceConfig::titan_x(),
         DeviceConfig::titan_x().with_fused_tile(false),
         DeviceConfig::titan_x().with_scalar_reference(true),
@@ -50,8 +54,15 @@ fn routes() -> [DeviceConfig; 3] {
 }
 
 /// Run `go` once per interpreter route and demand bit-identical device
-/// state; returns `[fused, op-by-op, scalar]` runs for extra asserts.
-fn assert_identical(go: impl Fn(&mut Device) -> (Bits, KernelRun)) -> [KernelRun; 3] {
+/// state; returns `[compiled, fused, op-by-op, scalar]` runs for extra
+/// asserts. `expect_compiled` states whether any stage of the plan must
+/// lower (`compiled_ops > 0`) or the compiler must decline the whole
+/// kernel (`compiled_ops == 0`) — either way the outputs stay
+/// bit-identical.
+fn assert_routes(
+    go: impl Fn(&mut Device) -> (Bits, KernelRun),
+    expect_compiled: bool,
+) -> [KernelRun; 4] {
     let mut results: Vec<(Bits, KernelRun)> = routes()
         .into_iter()
         .map(|cfg| go(&mut Device::new(cfg)))
@@ -59,10 +70,18 @@ fn assert_identical(go: impl Fn(&mut Device) -> (Bits, KernelRun)) -> [KernelRun
     let (bits_s, run_s) = results.pop().unwrap();
     let (bits_v, run_v) = results.pop().unwrap();
     let (bits_f, run_f) = results.pop().unwrap();
+    let (bits_c, run_c) = results.pop().unwrap();
+    assert_eq!(bits_f, bits_c, "fused vs compiled output bits");
     assert_eq!(bits_f, bits_v, "fused vs op-by-op output bits");
     assert_eq!(bits_f, bits_s, "fused vs scalar output bits");
+    assert_eq!(run_f.tally, run_c.tally, "fused vs compiled tally");
     assert_eq!(run_f.tally, run_v.tally, "fused vs op-by-op tally");
     assert_eq!(run_f.tally, run_s.tally, "fused vs scalar tally");
+    assert_eq!(
+        run_f.timing.seconds.to_bits(),
+        run_c.timing.seconds.to_bits(),
+        "fused vs compiled timing"
+    );
     assert_eq!(
         run_f.timing.seconds.to_bits(),
         run_v.timing.seconds.to_bits(),
@@ -77,9 +96,35 @@ fn assert_identical(go: impl Fn(&mut Device) -> (Bits, KernelRun)) -> [KernelRun
         run_f.interp.fused_ops > 0,
         "default route must take fused tile passes"
     );
+    if expect_compiled {
+        assert!(
+            run_c.interp.compiled_ops > 0,
+            "compiled route must lower at least one pass"
+        );
+    } else {
+        assert_eq!(
+            run_c.interp.compiled_ops, 0,
+            "this plan must decline compilation entirely"
+        );
+    }
+    for (run, name) in [(&run_f, "fused"), (&run_v, "op-by-op"), (&run_s, "scalar")] {
+        assert_eq!(run.interp.compiled_ops, 0, "{name} route must not compile");
+    }
     assert_eq!(run_v.interp.fused_ops, 0, "op-by-op route must not fuse");
     assert_eq!(run_s.interp.fused_ops, 0, "scalar route must not fuse");
-    [run_f, run_v, run_s]
+    [run_c, run_f, run_v, run_s]
+}
+
+/// The common case: the plan lowers, `compiled_ops > 0` on route 0.
+fn assert_identical(go: impl Fn(&mut Device) -> (Bits, KernelRun)) -> [KernelRun; 4] {
+    assert_routes(go, true)
+}
+
+/// For plans the compiler must decline whole (non-Euclidean distances
+/// with no tile fetch, unsupported sinks, reduction kernels): the
+/// compiled route still runs bit-identically with `compiled_ops == 0`.
+fn assert_identical_uncompiled(go: impl Fn(&mut Device) -> (Bits, KernelRun)) -> [KernelRun; 4] {
+    assert_routes(go, false)
 }
 
 fn count_run(
@@ -117,7 +162,7 @@ fn register_shm_count_half_pairs_is_route_identical() {
 fn register_shm_count_all_pairs_is_route_identical() {
     // AllPairs exercises the NotEqual predicate in the intra phase.
     let pts = cloud(200);
-    let [fused, _, _] = assert_identical(|dev| {
+    let [compiled, fused, _, _] = assert_identical(|dev| {
         count_run(dev, &pts, |input, act| {
             Box::new(RegisterShmKernel::new(
                 input,
@@ -134,6 +179,13 @@ fn register_shm_count_all_pairs_is_route_identical() {
         fused.interp.fused_coverage(&fused.tally) > 0.5,
         "coverage {}",
         fused.interp.fused_coverage(&fused.tally)
+    );
+    // And the compiled route must lower essentially all of it: tile
+    // fetches, inter passes and the NotEqual intra passes.
+    assert!(
+        compiled.interp.compiled_coverage(&compiled.tally) > 0.5,
+        "compiled coverage {}",
+        compiled.interp.compiled_coverage(&compiled.tally)
     );
 }
 
@@ -174,7 +226,7 @@ fn shm_shm_count_half_pairs_is_route_identical() {
 #[test]
 fn register_roc_count_all_pairs_is_route_identical() {
     let pts = cloud(200);
-    let [fused, _, _] = assert_identical(|dev| {
+    let [_, fused, _, _] = assert_identical(|dev| {
         count_run(dev, &pts, |input, act| {
             Box::new(RegisterRocKernel::new(
                 input,
@@ -283,8 +335,11 @@ fn register_shm_histogram_is_route_identical() {
 #[test]
 fn register_roc_histogram_is_route_identical() {
     // The paper's winning SDH configuration: ROC input, SHM output.
+    // Nothing here lowers: no shared tile fetch, and the histogram sink
+    // declines both the broadcast tile pass and the AllPairs intra —
+    // the compiled route must fall back whole, bit-identically.
     let pts = cloud(200);
-    assert_identical(|dev| {
+    assert_identical_uncompiled(|dev| {
         let input = pts.upload(dev);
         let lc = pair_launch(input.n, B);
         let spec = HistogramSpec::new(32, 180.0);
@@ -403,10 +458,11 @@ fn privatized_reduce_is_route_identical() {
     // The Figure-3 cross-copy reduction behind the *-Out family: the
     // packed fused route (one `fused_copy_reduce_u32` per warp) must
     // match the op-by-op copy loop and the scalar reference
-    // bit-for-bit, tally included.
+    // bit-for-bit, tally included. The measured launch is the reduce
+    // kernel, which has no compiled plan — the compiled route declines.
     let pts = cloud(300);
     let spec = HistogramSpec::new(48, 180.0);
-    assert_identical(|dev| {
+    assert_identical_uncompiled(|dev| {
         let input = pts.upload(dev);
         let lc = pair_launch(input.n, B);
         let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
@@ -462,7 +518,9 @@ fn multicopy_end_block_reduce_is_route_identical() {
 
 #[test]
 fn register_shm_kde_gaussian_is_route_identical() {
-    // Sum consumer + a transcendental distance (exp in eval_host).
+    // Sum consumer + a transcendental distance (exp in eval_host). The
+    // non-Euclidean plan declines every tile pass, but the cooperative
+    // tile fetch still compiles — `compiled_ops > 0` from that alone.
     let pts = cloud(200);
     assert_identical(|dev| {
         let input = pts.upload(dev);
@@ -489,8 +547,10 @@ fn register_shm_kde_gaussian_is_route_identical() {
 
 #[test]
 fn shuffle_kde_gaussian_is_route_identical() {
+    // A non-Euclidean distance on a kernel with no shared tile fetch:
+    // the plan never lowers, so `compiled_ops` must stay zero.
     let pts = cloud(150);
-    assert_identical(|dev| {
+    assert_identical_uncompiled(|dev| {
         let input = pts.upload(dev);
         let n = input.n;
         let lc = pair_launch(n, B);

@@ -188,6 +188,18 @@ pub struct DeviceConfig {
     /// on or off. `false` reproduces the PR-2 vectorized op-by-op route.
     /// Ignored (treated as off) when `scalar_reference` is set.
     pub fused_tile: bool,
+    /// Execute whole kernel plans through the compiled route
+    /// (`exec::compiled`): tile fetches, inner tile passes and
+    /// intra-block loops run as straight-line host code with their
+    /// instruction/byte/sector accounting charged from precomputed
+    /// closed-form tally deltas instead of per-dispatch interpretation.
+    /// Any shape the compiler does not support — and any pass whose
+    /// fault pre-flight fails — falls back to the fused/op-by-op routes,
+    /// which stay bit-identical and serve as the differential oracle.
+    /// Like the other route knobs this is purely a host-speed choice:
+    /// outputs, tallies, timing and fault blame never change. Ignored
+    /// (treated as off) when `scalar_reference` is set.
+    pub compiled: bool,
 }
 
 impl DeviceConfig {
@@ -238,6 +250,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
+            compiled: false,
         }
     }
 
@@ -288,6 +301,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
+            compiled: false,
         }
     }
 
@@ -338,6 +352,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
+            compiled: false,
         }
     }
 
@@ -361,6 +376,16 @@ impl DeviceConfig {
     /// vectorized op-by-op route.
     pub fn with_fused_tile(mut self, on: bool) -> Self {
         self.fused_tile = on;
+        self
+    }
+
+    /// Builder-style toggle of the compiled plan-execution layer (see
+    /// the [`DeviceConfig::compiled`] field). Host-speed knob only;
+    /// simulation results never change. Unsupported shapes fall back to
+    /// the fused route when [`DeviceConfig::fused_tile`] is on, or the
+    /// vectorized op-by-op route otherwise.
+    pub fn with_compiled(mut self, on: bool) -> Self {
+        self.compiled = on;
         self
     }
 

@@ -81,7 +81,7 @@ impl<'a> BlockCtx<'a> {
     ) -> Self {
         let roc = if cfg.scalar_reference {
             RocCache::new_reference(cfg.roc_sectors())
-        } else if cfg.fused_tile {
+        } else if cfg.fused_tile || cfg.compiled {
             RocCache::new_memoized(cfg.roc_sectors())
         } else {
             RocCache::new(cfg.roc_sectors())

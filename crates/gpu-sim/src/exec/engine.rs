@@ -72,7 +72,7 @@ struct BlockOutcome {
 fn new_l2(cfg: &DeviceConfig) -> L2Cache {
     if cfg.scalar_reference {
         L2Cache::new_reference(cfg.l2_sectors())
-    } else if cfg.fused_tile {
+    } else if cfg.fused_tile || cfg.compiled {
         L2Cache::new_memoized(cfg.l2_sectors())
     } else {
         L2Cache::new(cfg.l2_sectors())

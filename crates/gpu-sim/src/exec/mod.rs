@@ -11,6 +11,7 @@
 //! paper's Algorithm 2/3 tiling kernels rely on.
 
 mod block;
+mod compiled;
 pub(crate) mod engine;
 mod fused;
 mod launch;
@@ -18,6 +19,7 @@ mod mask;
 mod warp;
 
 pub use block::BlockCtx;
+pub use compiled::{sqrt_lt_threshold, CompiledKernel, CompiledSinkSpec, CompiledTile};
 pub use fused::{FusedConsumer, FusedPred, FusedSrc};
 pub use launch::LaunchConfig;
 pub use mask::Mask;

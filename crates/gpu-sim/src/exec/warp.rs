@@ -35,7 +35,7 @@ use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
 /// All three per-instruction counters update in a single pass so every
 /// `charge*` entry point shares one code path and counts lanes once.
 #[inline]
-fn charge_lanes(t: &mut AccessTally, n: u64, active: u64) {
+pub(crate) fn charge_lanes(t: &mut AccessTally, n: u64, active: u64) {
     t.warp_instructions += n;
     t.useful_lane_ops += n * active;
     t.predicated_lane_slots += n * (WARP_SIZE as u64 - active);
@@ -167,7 +167,7 @@ fn shm_gather_values<T: Copy + Default>(
 
 /// Execution context of one warp within a block phase.
 pub struct WarpCtx<'b, 'a> {
-    blk: &'b mut BlockCtx<'a>,
+    pub(crate) blk: &'b mut BlockCtx<'a>,
     /// Warp index within the block.
     pub warp_id: u32,
 }
@@ -499,7 +499,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     }
 
     #[inline]
-    fn roc_one_sector(&mut self, s: u64) {
+    pub(crate) fn roc_one_sector(&mut self, s: u64) {
         if self.blk.roc.try_replay_hit(s) {
             self.blk.tally.roc_hit_sectors += 1;
             return;
@@ -1129,7 +1129,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     /// over `gid[i] != partner` / `gid[i] < partner`, relying on the
     /// lane→element contiguity documented on [`FusedPred`].
     #[inline]
-    fn fused_pred_mask(pred: FusedPred, j: u32, valid: Mask) -> Mask {
+    pub(crate) fn fused_pred_mask(pred: FusedPred, j: u32, valid: Mask) -> Mask {
         match pred {
             FusedPred::All => valid,
             FusedPred::NotEqual { gid0, base } => {

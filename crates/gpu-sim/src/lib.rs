@@ -103,8 +103,8 @@ pub use config::{DeviceConfig, ExecMode, Latencies, Throughputs};
 pub use device::Device;
 pub use error::SimError;
 pub use exec::{
-    BlockCtx, FusedConsumer, FusedPred, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig,
-    Mask, WarpCtx,
+    sqrt_lt_threshold, BlockCtx, CompiledKernel, CompiledSinkSpec, CompiledTile, FusedConsumer,
+    FusedPred, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
 };
 pub use mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
 pub use occupancy::{Occupancy, OccupancyLimiter};
@@ -117,8 +117,8 @@ pub mod prelude {
     pub use crate::config::{DeviceConfig, ExecMode};
     pub use crate::device::Device;
     pub use crate::exec::{
-        BlockCtx, FusedConsumer, FusedPred, FusedSrc, Kernel, KernelResources, KernelRun,
-        LaunchConfig, Mask, WarpCtx,
+        BlockCtx, CompiledKernel, CompiledSinkSpec, CompiledTile, FusedConsumer, FusedPred,
+        FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
     };
     pub use crate::mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
     pub use crate::occupancy::Occupancy;

@@ -38,16 +38,32 @@ struct RunMemo {
     generation: u64,
 }
 
-/// Direct-mapped memo table size (power of two).
+/// Bounds for the direct-mapped memo table (both powers of two).
 ///
-/// Sized for the tiling kernels' steady state: every block re-requests
-/// the *other* blocks' tile runs, so between two requests of the same
-/// run the launch touches `grid_dim × dims` distinct runs (48 at
-/// n = 16 K with 1024-thread blocks, 192 at 64 K). A table smaller than
-/// that working set is overwritten before any run repeats and replays
-/// nothing — the original 16-slot table measured a 0% memo hit rate on
-/// the fig2 workload for exactly this reason.
-const MEMO_SLOTS: usize = 256;
+/// The table must cover the tiling kernels' steady-state run working
+/// set or it replays nothing: between two requests of the same run the
+/// launch touches every other distinct run once. Tile *fetches*
+/// dominate that set — each warp's unit-stride load is its own
+/// `(base, count)` run, so a launch cycles through
+/// `grid_dim × warps_per_block × dims` distinct bases (1 536 at
+/// n = 16 K with 1024-thread blocks and D = 3, 6 144 at 64 K, 24 576 at
+/// 256 K). A fixed 256-slot table therefore collapsed from a 4.3 % memo
+/// hit rate at 16 K to 0.26 % at 64 K: every slot was overwritten
+/// before its run repeated. Sizing the table from the cache capacity
+/// restores the hit rate at every N that fits — a replayable run must
+/// have been fully resident, so the number of *useful* entries can
+/// never exceed `capacity_sectors` — while `MEMO_MAX_SLOTS` caps the
+/// host memory spent on very large configured caches.
+const MEMO_MIN_SLOTS: usize = 256;
+const MEMO_MAX_SLOTS: usize = 1 << 17;
+
+/// Memo table size for a cache of `capacity_sectors`: the next power of
+/// two at or above the capacity, clamped to the bounds above.
+fn memo_slots(capacity_sectors: usize) -> usize {
+    capacity_sectors
+        .next_power_of_two()
+        .clamp(MEMO_MIN_SLOTS, MEMO_MAX_SLOTS)
+}
 
 /// FIFO sector cache keyed by flat device byte address / sector size.
 #[derive(Debug)]
@@ -60,8 +76,9 @@ pub struct L2Cache {
     /// resident when the access completed at the stamped eviction
     /// generation; while `FifoSet::generation()` still equals the stamp,
     /// residency is monotone (inserts never remove keys), so the run can
-    /// be replayed as pure hits without re-probing.
-    memo: Option<Box<[Option<RunMemo>; MEMO_SLOTS]>>,
+    /// be replayed as pure hits without re-probing. The table length is
+    /// a power of two chosen by [`memo_slots`] from the cache capacity.
+    memo: Option<Box<[Option<RunMemo>]>>,
     /// Sectors replayed from the memo (hits credited without probing).
     memo_replayed: u64,
     /// Sectors that went through a real table probe on the run path.
@@ -87,7 +104,7 @@ impl L2Cache {
     /// of O(sectors)).
     pub fn new_memoized(capacity_sectors: usize) -> Self {
         let mut c = Self::new(capacity_sectors);
-        c.memo = Some(Box::new([None; MEMO_SLOTS]));
+        c.memo = Some(vec![None; memo_slots(capacity_sectors)].into_boxed_slice());
         c
     }
 
@@ -184,7 +201,7 @@ impl L2Cache {
         let Body::Fast(set) = &mut self.body else {
             unreachable!("checked above")
         };
-        let slot = (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % MEMO_SLOTS;
+        let slot = (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (memo.len() - 1);
         if let Some(m) = memo[slot] {
             if m.base == base && m.count == count && m.generation == set.generation() {
                 self.hits += count as u64;
@@ -318,6 +335,43 @@ mod tests {
         assert_eq!(memo.access_run(10, 32), plain.access_run(10, 32));
         assert_eq!(memo.hits(), plain.hits());
         assert_eq!(memo.misses(), plain.misses());
+    }
+
+    #[test]
+    fn memo_table_scales_with_capacity() {
+        // A steady-state working set far larger than the old fixed
+        // 256-slot table: 2048 distinct 4-sector runs, all resident
+        // (capacity 8192 sectors). After the warm-up pass every
+        // subsequent pass must replay every run — collisions between
+        // distinct live runs would overwrite slots and drop the rate.
+        let mut l2 = L2Cache::new_memoized(8192);
+        let runs: Vec<u64> = (0..2048u64).map(|i| i * 4).collect();
+        for &b in &runs {
+            l2.access_run(b, 4);
+        }
+        let probed_after_warmup = l2.memo_probed();
+        for _ in 0..3 {
+            for &b in &runs {
+                l2.access_run(b, 4);
+            }
+        }
+        assert_eq!(
+            l2.memo_probed(),
+            probed_after_warmup,
+            "steady-state re-reads must replay from the memo, not probe"
+        );
+        assert_eq!(l2.memo_replayed(), 3 * 2048 * 4);
+    }
+
+    #[test]
+    fn memo_slots_bounds() {
+        assert_eq!(super::memo_slots(0), super::MEMO_MIN_SLOTS);
+        assert_eq!(super::memo_slots(100), 256);
+        assert_eq!(super::memo_slots(98_304), 131_072);
+        assert_eq!(super::memo_slots(1 << 24), super::MEMO_MAX_SLOTS);
+        for cap in [0usize, 1, 100, 4096, 98_304, 1 << 24] {
+            assert!(super::memo_slots(cap).is_power_of_two());
+        }
     }
 
     #[test]

@@ -196,6 +196,12 @@ pub struct InterpStats {
     /// Useful lane ops covered by fused fast passes (compare against
     /// `AccessTally::useful_lane_ops` for coverage).
     pub fused_lane_ops: u64,
+    /// Compiled (plan-lowered) passes executed: whole tile loads, inner
+    /// tile passes and intra-block triangles run as straight-line host
+    /// code with closed-form charges.
+    pub compiled_ops: u64,
+    /// Useful lane ops covered by compiled passes.
+    pub compiled_lane_ops: u64,
     /// L2 + ROC sectors whose hit was replayed from a generation-stamped
     /// memo without probing the FIFO table.
     pub memo_replayed_sectors: u64,
@@ -210,6 +216,8 @@ impl InterpStats {
         self.dispatches += o.dispatches;
         self.fused_ops += o.fused_ops;
         self.fused_lane_ops += o.fused_lane_ops;
+        self.compiled_ops += o.compiled_ops;
+        self.compiled_lane_ops += o.compiled_lane_ops;
         self.memo_replayed_sectors += o.memo_replayed_sectors;
         self.memo_probed_sectors += o.memo_probed_sectors;
     }
@@ -221,6 +229,16 @@ impl InterpStats {
             0.0
         } else {
             self.fused_lane_ops as f64 / tally.useful_lane_ops as f64
+        }
+    }
+
+    /// Fraction of useful lane ops executed by compiled (plan-lowered)
+    /// passes, given the run's tally. 0.0 when nothing ran.
+    pub fn compiled_coverage(&self, tally: &AccessTally) -> f64 {
+        if tally.useful_lane_ops == 0 {
+            0.0
+        } else {
+            self.compiled_lane_ops as f64 / tally.useful_lane_ops as f64
         }
     }
 

@@ -21,12 +21,39 @@ use proptest::prelude::*;
 /// speculate/commit path even on a single-core host). Unset, devices
 /// keep [`DeviceConfig`]'s own default. The torture proptest keeps its
 /// explicit per-case mode axis regardless.
+///
+/// `TBS_DIFF_ROUTE=op|fused|compiled` is the interpreter-route axis of
+/// the same matrix: it re-points every *default-route* device (fused
+/// tiles on, compiled off, not the scalar reference) at the named
+/// route, so CI can sweep {op-by-op, fused, compiled} × {sequential,
+/// parallel}. Devices that explicitly picked a route — the op-by-op,
+/// compiled and scalar legs of each differential — are never touched,
+/// which keeps every bit-identity comparison meaningful under any pin.
+/// Route-*engagement* asserts (`fused_ops > 0` on the default device)
+/// only hold on the default route, so they are guarded by
+/// [`route_pinned`].
 fn exec_override(cfg: DeviceConfig) -> DeviceConfig {
-    match std::env::var("TBS_DIFF_EXEC").as_deref() {
+    let cfg = match std::env::var("TBS_DIFF_EXEC").as_deref() {
         Ok("sequential") => cfg.with_exec_mode(ExecMode::Sequential),
         Ok("parallel") => cfg.with_exec_mode(ExecMode::Parallel { threads: 2 }),
         _ => cfg,
+    };
+    if cfg.scalar_reference || !cfg.fused_tile || cfg.compiled {
+        return cfg; // an explicitly chosen route: leave it alone
     }
+    match std::env::var("TBS_DIFF_ROUTE").as_deref() {
+        Ok("op") => cfg.with_fused_tile(false),
+        Ok("compiled") => cfg.with_compiled(true),
+        _ => cfg,
+    }
+}
+
+/// True when `TBS_DIFF_ROUTE` re-points the default-route devices, in
+/// which case which executor engages is pinned by the environment and
+/// the per-test engagement asserts must stand down (identity asserts
+/// all still apply).
+fn route_pinned() -> bool {
+    std::env::var("TBS_DIFF_ROUTE").is_ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -685,6 +712,14 @@ impl Kernel for FusedProbeKernel {
         let inv_width = hb as f32 / (4.0 * p.radius);
         let hmax = hb.saturating_sub(1);
 
+        // Lower the plan once per block, like the tiling kernels do
+        // (`None` unless the device enables the compiled route).
+        let sink = match p.out {
+            ProbeOut::CountLt => CompiledSinkSpec::CountLt { radius: p.radius },
+            ProbeOut::Hist(_) => CompiledSinkSpec::Histogram,
+        };
+        let ck = CompiledKernel::lower(blk.config(), 2, p.len, sink);
+
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
             let mut valid = w.mask_lt(&gid, p.n).and(w.active_threads());
@@ -730,6 +765,24 @@ impl Kernel for FusedProbeKernel {
 
             w.charge_control(p.len as u64 + 1, valid);
             let a = &mut acc[w.warp_id as usize];
+            // Route order exactly as the tiling kernels: compiled,
+            // then fused, then the op-by-op mirror below.
+            if let Some(ckk) = ck.as_ref() {
+                let consumer = match p.out {
+                    ProbeOut::CountLt => FusedConsumer::CountLt {
+                        radius: p.radius,
+                        acc: &mut *a,
+                    },
+                    ProbeOut::Hist(_) => FusedConsumer::Histogram {
+                        inv_width,
+                        hmax,
+                        shm: shist.expect("Hist probe allocates its histogram"),
+                    },
+                };
+                if w.compiled_euclidean_tile(ckk, src, p.len, pred, &own, consumer, valid) {
+                    return;
+                }
+            }
             let consumer = match p.out {
                 ProbeOut::CountLt => FusedConsumer::CountLt {
                     radius: p.radius,
@@ -875,21 +928,28 @@ fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun)
     Ok((o, run))
 }
 
-/// Run a probe on the fused, op-by-op and scalar routes; demand
-/// bit-identical outputs, tallies and timing; return the fused run.
-fn probe_identical(spec: ProbeSpec) -> KernelRun {
+/// Run a probe on the compiled, fused, op-by-op and scalar routes;
+/// demand bit-identical outputs, tallies and timing; return the
+/// `[fused, compiled]` runs for engagement asserts.
+fn probe_identical(spec: ProbeSpec) -> [KernelRun; 2] {
     let (of, rf) = run_probe(DeviceConfig::titan_x(), spec).unwrap();
+    let (oc, rc) = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).unwrap();
     let (ov, rv) = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).unwrap();
     let (os, rs) = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).unwrap();
+    assert_eq!(of, oc, "fused vs compiled outputs ({spec:?})");
     assert_eq!(of, ov, "fused vs op-by-op outputs ({spec:?})");
     assert_eq!(of, os, "fused vs scalar outputs ({spec:?})");
+    assert_eq!(rf.tally, rc.tally, "fused vs compiled tally ({spec:?})");
     assert_eq!(rf.tally, rv.tally, "fused vs op-by-op tally ({spec:?})");
     assert_eq!(rf.tally, rs.tally, "fused vs scalar tally ({spec:?})");
+    assert_eq!(rf.timing.seconds.to_bits(), rc.timing.seconds.to_bits());
     assert_eq!(rf.timing.seconds.to_bits(), rv.timing.seconds.to_bits());
     assert_eq!(rf.timing.seconds.to_bits(), rs.timing.seconds.to_bits());
     assert_eq!(rv.interp.fused_ops, 0);
     assert_eq!(rs.interp.fused_ops, 0);
-    rf
+    assert_eq!(rv.interp.compiled_ops, 0);
+    assert_eq!(rs.interp.compiled_ops, 0);
+    [rf, rc]
 }
 
 fn base_spec() -> ProbeSpec {
@@ -917,10 +977,20 @@ fn fused_probe_engages_for_every_source_and_predicate() {
             if src == ProbeSrc::Lane {
                 spec.len = 24; // lane tiles are at most one warp wide
             }
-            let rf = probe_identical(spec);
+            let [rf, rc] = probe_identical(spec);
+            if !route_pinned() {
+                assert!(
+                    rf.interp.fused_ops > 0,
+                    "{src:?}/{pred:?} must take the fused path"
+                );
+            }
             assert!(
-                rf.interp.fused_ops > 0,
-                "{src:?}/{pred:?} must take the fused path"
+                rc.interp.compiled_ops > 0,
+                "{src:?}/{pred:?} must lower on the compiled route"
+            );
+            assert_eq!(
+                rc.interp.fused_ops, 0,
+                "{src:?}/{pred:?} compiled route must not fall back"
             );
         }
     }
@@ -928,19 +998,23 @@ fn fused_probe_engages_for_every_source_and_predicate() {
 
 #[test]
 fn fused_declines_ragged_and_sub_warp_masks_identically() {
-    // Live-thread raggedness keeps valid a prefix: still fused.
+    // Live-thread raggedness keeps valid a prefix: still fused (and
+    // still compiled).
     let mut spec = base_spec();
     spec.n = 100; // last warp holds 4 live lanes
-    let rf = probe_identical(spec);
-    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+    let [rf, rc] = probe_identical(spec);
+    if !route_pinned() {
+        assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+    }
+    assert!(rc.interp.compiled_ops > 0, "prefix ragged warps must lower");
 
-    // A non-prefix valid mask must decline — bit-identically. (Full
-    // warps only: a ragged last warp squeezed above its live-lane count
-    // would still see a prefix and rightly fuse.)
+    // A non-prefix valid mask must decline — bit-identically, on the
+    // compiled route too.
     spec.n = 128;
     spec.squeeze = Some(0xFFFF_FFF7); // hole at lane 3
-    let rf = probe_identical(spec);
+    let [rf, rc] = probe_identical(spec);
     assert_eq!(rf.interp.fused_ops, 0, "non-prefix masks must not fuse");
+    assert_eq!(rc.interp.compiled_ops, 0, "non-prefix masks must not lower");
 }
 
 #[test]
@@ -949,27 +1023,32 @@ fn fused_is_a_noop_on_empty_masks_and_empty_tiles() {
     // effects; both routes then run the (empty-mask) op-by-op loop.
     let mut spec = base_spec();
     spec.squeeze = Some(0);
-    let rf = probe_identical(spec);
+    let [rf, rc] = probe_identical(spec);
     assert_eq!(rf.interp.fused_ops, 0);
+    assert_eq!(rc.interp.compiled_ops, 0);
 
-    // Zero-length tile: nothing to do on either route.
+    // Zero-length tile: nothing to do on any route.
     let mut spec = base_spec();
     spec.len = 0;
     spec.tile_len = 1; // keep a non-empty shared allocation
-    let rf = probe_identical(spec);
+    let [rf, rc] = probe_identical(spec);
     assert_eq!(rf.interp.fused_ops, 0);
+    assert_eq!(rc.interp.compiled_ops, 0);
 }
 
 #[test]
 fn fused_oob_blame_matches_op_by_op_exactly() {
-    // Shared source: tile shorter than the pass — the fused pre-check
-    // must decline so the fallback faults at the exact op-by-op step.
+    // Shared source: tile shorter than the pass — the fused *and*
+    // compiled pre-checks must decline so the fallback faults at the
+    // exact op-by-op step, with identical blame.
     let mut spec = base_spec();
     spec.tile_len = 20; // reads j = 20.. fault
     let fe = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ce = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).err();
     let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
     let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
     assert!(fe.is_some(), "short shared tile must fault");
+    assert_eq!(fe, ce, "compiled-route blame differs from fused");
     assert_eq!(fe, ve, "fused-route blame differs from op-by-op");
     assert_eq!(fe, se, "fused-route blame differs from scalar");
 
@@ -978,9 +1057,11 @@ fn fused_oob_blame_matches_op_by_op_exactly() {
     spec.src = ProbeSrc::Roc;
     spec.start = 100; // 100 + 48 > 128 points
     let fe = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ce = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).err();
     let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
     let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
     assert!(fe.is_some(), "OOB ROC tile must fault");
+    assert_eq!(fe, ce, "compiled-route blame differs from fused");
     assert_eq!(fe, ve);
     assert_eq!(fe, se);
 }
@@ -1003,11 +1084,17 @@ fn fused_scatter_conflict_accounting_matches_op_by_op() {
             let mut spec = base_spec();
             spec.out = ProbeOut::Hist(buckets);
             spec.pred = pred;
-            let rf = probe_identical(spec);
-            assert!(
-                rf.interp.fused_ops > 0,
-                "hist({buckets})/{pred:?} must take the fused path"
-            );
+            let [rf, rc] = probe_identical(spec);
+            if !route_pinned() {
+                assert!(
+                    rf.interp.fused_ops > 0,
+                    "hist({buckets})/{pred:?} must take the fused path"
+                );
+            }
+            // The histogram sink declines compilation (stateful
+            // scatter) and must land on the fused pass instead.
+            assert_eq!(rc.interp.compiled_ops, 0);
+            assert!(rc.interp.fused_ops > 0);
             assert!(rf.tally.shared_atomics > 0, "hist({buckets}) must scatter");
             if buckets == 1 {
                 // Pileup sanity: every active lane lands on the same
@@ -1025,8 +1112,11 @@ fn fused_scatter_declines_to_op_by_op_atomics_identically() {
     let mut spec = base_spec();
     spec.out = ProbeOut::Hist(32);
     spec.n = 100; // last warp holds 4 live lanes
-    let rf = probe_identical(spec);
-    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+    let [rf, rc] = probe_identical(spec);
+    if !route_pinned() {
+        assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+    }
+    assert_eq!(rc.interp.compiled_ops, 0, "histogram sinks must not lower");
     assert!(rf.tally.shared_atomics > 0);
 
     // A non-prefix squeeze declines the whole pass, so the op-by-op
@@ -1035,10 +1125,11 @@ fn fused_scatter_declines_to_op_by_op_atomics_identically() {
     // `probe_identical` enforces this against the other routes).
     spec.n = 128;
     spec.squeeze = Some(0x0F0F_0F0F);
-    let rf = probe_identical(spec);
+    let [rf, rc] = probe_identical(spec);
     assert_eq!(
         rf.interp.fused_ops, 0,
         "non-prefix masks must scatter op-by-op"
     );
+    assert_eq!(rc.interp.compiled_ops, 0);
     assert!(rf.tally.shared_atomics > 0);
 }
