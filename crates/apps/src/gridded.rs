@@ -1,0 +1,409 @@
+//! The grid-pruned executor: lowers the surviving cell pairs of a
+//! [`tbs_core::grid::UniformGrid`] onto the existing tiled kernels.
+//!
+//! Each intra-cell pair runs the triangular
+//! [`tbs_core::kernels::PairScope::HalfPairs`] path of the plan's input
+//! variant (exactly the launch the monolithic route would make, just on
+//! one cell's points); each inter-cell pair runs the bipartite
+//! [`CrossShmKernel`] rectangle. Both reuse one device output buffer
+//! across every launch — the Type-I count action and the Type-II
+//! privatized histogram action *store* (not accumulate) their per-block
+//! regions in `end_block`, so a single buffer sized for the largest
+//! launch serves them all, with the host merging after each launch.
+//!
+//! The bit-identity contract (grid-pruned output == all-pairs output,
+//! exactly) is argued in [`tbs_core::grid`] and enforced by
+//! `core/tests/grid_identity.rs`.
+
+use crate::driver::{launch_pairwise, PairwisePlan};
+use gpu_sim::{Device, SimError};
+use tbs_core::distance::Euclidean;
+use tbs_core::grid::{
+    candidate_cross_pairs, candidate_pairs, cross_prune_stats, prune_stats, GridGeometry,
+    GridOptions, PruneStats, RadialBins, UniformGrid,
+};
+use tbs_core::histogram::Histogram;
+use tbs_core::kernels::{pair_launch, CrossShmKernel, PairScope};
+use tbs_core::output::{CountWithinRadius, SharedHistogramAction};
+use tbs_core::point::{DeviceSoa, SoaPoints};
+
+/// A point catalog binned into a grid and uploaded cell-by-cell: each
+/// non-empty cell owns its own device-resident SoA slice, uploaded once
+/// and reused by every launch that touches the cell.
+#[derive(Debug)]
+pub struct GriddedCatalog<const D: usize> {
+    /// The host-side grid (geometry + CSR binning).
+    pub grid: UniformGrid<D>,
+    /// Per-cell device slices (`None` for empty cells).
+    cells: Vec<Option<DeviceSoa<D>>>,
+}
+
+impl<const D: usize> GriddedCatalog<D> {
+    /// Bin `pts` into an existing geometry and upload each cell. Use
+    /// one [`GridGeometry::fit`] over all catalogs that will be
+    /// cross-correlated (DD/DR/RR need a shared geometry).
+    pub fn build(dev: &mut Device, geom: GridGeometry<D>, pts: &SoaPoints<D>) -> Self {
+        let grid = UniformGrid::bin(geom, pts);
+        let cells = (0..grid.geom.num_cells())
+            .map(|c| {
+                let range = grid.cell_range(c);
+                if range.is_empty() {
+                    None
+                } else {
+                    Some(grid.points.slice(range).upload(dev))
+                }
+            })
+            .collect();
+        GriddedCatalog { grid, cells }
+    }
+
+    /// Fit a geometry for a self-join over `pts` alone and build.
+    pub fn build_self(
+        dev: &mut Device,
+        pts: &SoaPoints<D>,
+        r_max: f32,
+        opts: &GridOptions,
+    ) -> Self {
+        Self::build(dev, GridGeometry::fit(&[pts], r_max, opts), pts)
+    }
+
+    /// Number of points in the catalog.
+    pub fn len(&self) -> usize {
+        self.grid.points.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.grid.points.is_empty()
+    }
+
+    fn cell(&self, c: u32) -> DeviceSoa<D> {
+        self.cells[c as usize].expect("candidate pairs only name non-empty cells")
+    }
+
+    /// The largest per-launch thread count any cell of this catalog can
+    /// produce under block size `b` (sizes the shared output buffers).
+    fn max_launch_threads(&self, b: u32) -> u64 {
+        (0..self.grid.geom.num_cells())
+            .map(|c| pair_launch(self.grid.cell_len(c), b).total_threads())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregate profile of a grid-pruned execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GriddedRun {
+    /// Intra-cell (triangular) launches.
+    pub intra_launches: u32,
+    /// Inter-cell (bipartite rectangle) launches.
+    pub cross_launches: u32,
+    /// Total simulated kernel seconds across all launches.
+    pub seconds: f64,
+    /// Pruning accounting of the candidate-pair enumeration.
+    pub stats: PruneStats,
+}
+
+impl GriddedRun {
+    /// Total launches.
+    pub fn launches(&self) -> u32 {
+        self.intra_launches + self.cross_launches
+    }
+}
+
+/// Result of a grid-pruned within-radius pair count.
+#[derive(Debug, Clone)]
+pub struct GriddedCountResult {
+    /// Number of pairs with distance strictly below the radius —
+    /// bit-identical to [`crate::pcf_gpu`] on the same points.
+    pub count: u64,
+    /// Aggregate launch profile.
+    pub run: GriddedRun,
+}
+
+/// Result of a grid-pruned bounded radial histogram.
+#[derive(Debug, Clone)]
+pub struct GriddedHistogramResult {
+    /// The finalized histogram: `bins.bins` buckets over `[0, r_max)`,
+    /// overflow discarded.
+    pub histogram: Histogram,
+    /// Aggregate launch profile.
+    pub run: GriddedRun,
+}
+
+/// Count pairs of `cat` with distance `< radius`, visiting only the
+/// surviving cell pairs. `radius` must not exceed the grid's `r_max`
+/// (the geometry was sized to guarantee no in-range pair is culled only
+/// up to that radius).
+pub fn gridded_count_within<const D: usize>(
+    dev: &mut Device,
+    cat: &GriddedCatalog<D>,
+    radius: f32,
+    plan: PairwisePlan,
+) -> Result<GriddedCountResult, SimError> {
+    assert!(
+        radius <= cat.grid.geom.r_max,
+        "count radius {radius} exceeds the grid's r_max {}",
+        cat.grid.geom.r_max
+    );
+    let pairs = candidate_pairs(&cat.grid);
+    let stats = prune_stats(&cat.grid, &pairs);
+    let out = dev.alloc_u64_zeroed(cat.max_launch_threads(plan.block_size) as usize);
+    let mut count = 0u64;
+    let mut run = GriddedRun {
+        intra_launches: 0,
+        cross_launches: 0,
+        seconds: 0.0,
+        stats,
+    };
+    let action = |out| CountWithinRadius { radius, out };
+    for p in &pairs {
+        if p.is_intra() {
+            if cat.grid.cell_len(p.a as usize) < 2 {
+                continue;
+            }
+            let input = cat.cell(p.a);
+            let lc = pair_launch(input.n, plan.block_size);
+            let kr = launch_pairwise(
+                dev,
+                input,
+                Euclidean,
+                action(out),
+                plan,
+                PairScope::HalfPairs,
+            )?;
+            count += dev.u64_slice(out)[..lc.total_threads() as usize]
+                .iter()
+                .sum::<u64>();
+            run.intra_launches += 1;
+            run.seconds += kr.timing.seconds;
+        } else {
+            let (left, right) = (cat.cell(p.a), cat.cell(p.b));
+            let k = CrossShmKernel::new(left, right, Euclidean, action(out), plan.block_size);
+            let lc = k.launch_config();
+            let kr = dev.try_launch(&k, lc)?;
+            count += dev.u64_slice(out)[..lc.total_threads() as usize]
+                .iter()
+                .sum::<u64>();
+            run.cross_launches += 1;
+            run.seconds += kr.timing.seconds;
+        }
+    }
+    Ok(GriddedCountResult { count, run })
+}
+
+/// Shared launch loop for self- and cross-pair radial histograms.
+#[allow(clippy::too_many_arguments)]
+fn histogram_over_pairs<const D: usize>(
+    dev: &mut Device,
+    left: &GriddedCatalog<D>,
+    right: &GriddedCatalog<D>,
+    pairs: &[tbs_core::grid::CellPair],
+    stats: PruneStats,
+    bins: RadialBins,
+    plan: PairwisePlan,
+    self_join: bool,
+) -> Result<GriddedHistogramResult, SimError> {
+    let spec = bins.device_spec();
+    let b = plan.block_size;
+    // One thread per left point in both launch shapes, so the private
+    // grid is sized by the largest left cell alone.
+    let max_grid = left.max_launch_threads(b) / b.max(1) as u64;
+    let private = dev.alloc_u32_zeroed((max_grid.max(1) * spec.buckets as u64) as usize);
+    let mut host = vec![0u64; spec.buckets as usize];
+    let mut run = GriddedRun {
+        intra_launches: 0,
+        cross_launches: 0,
+        seconds: 0.0,
+        stats,
+    };
+    for p in pairs {
+        let kr = if self_join && p.is_intra() {
+            if left.grid.cell_len(p.a as usize) < 2 {
+                continue;
+            }
+            let input = left.cell(p.a);
+            run.intra_launches += 1;
+            launch_pairwise(
+                dev,
+                input,
+                Euclidean,
+                SharedHistogramAction { spec, private },
+                plan,
+                PairScope::HalfPairs,
+            )?
+        } else {
+            let k = CrossShmKernel::new(
+                left.cell(p.a),
+                right.cell(p.b),
+                Euclidean,
+                SharedHistogramAction { spec, private },
+                b,
+            );
+            run.cross_launches += 1;
+            dev.try_launch(&k, k.launch_config())?
+        };
+        run.seconds += kr.timing.seconds;
+        // Host-side reduction over the block-private copies (the
+        // privatized grid is small per launch — one block per ~cell).
+        let grid_dim = pair_launch(left.cell(p.a).n, b).grid_dim;
+        let copies = &dev.u32_slice(private)[..(grid_dim * spec.buckets) as usize];
+        for (i, &c) in copies.iter().enumerate() {
+            host[i % spec.buckets as usize] += c as u64;
+        }
+    }
+    Ok(GriddedHistogramResult {
+        histogram: bins.finalize(&Histogram::from_counts(host)),
+        run,
+    })
+}
+
+/// Bounded radial histogram (DD- or RR-style self pair counts) of `cat`
+/// over `bins`, visiting only surviving cell pairs. The retained bins
+/// are bit-identical to the all-pairs route run with
+/// [`RadialBins::device_spec`] and finalized the same way.
+pub fn gridded_radial_histogram<const D: usize>(
+    dev: &mut Device,
+    cat: &GriddedCatalog<D>,
+    bins: RadialBins,
+    plan: PairwisePlan,
+) -> Result<GriddedHistogramResult, SimError> {
+    assert!(
+        bins.r_max <= cat.grid.geom.r_max,
+        "histogram r_max {} exceeds the grid's r_max {}",
+        bins.r_max,
+        cat.grid.geom.r_max
+    );
+    let pairs = candidate_pairs(&cat.grid);
+    let stats = prune_stats(&cat.grid, &pairs);
+    histogram_over_pairs(dev, cat, cat, &pairs, stats, bins, plan, true)
+}
+
+/// Bounded radial histogram of *cross* pairs (DR-style: every ordered
+/// `left × right` pair counted once). Both catalogs must share a
+/// geometry (bin them with one [`GridGeometry::fit`] over both sets).
+pub fn gridded_cross_radial_histogram<const D: usize>(
+    dev: &mut Device,
+    left: &GriddedCatalog<D>,
+    right: &GriddedCatalog<D>,
+    bins: RadialBins,
+    plan: PairwisePlan,
+) -> Result<GriddedHistogramResult, SimError> {
+    assert!(
+        bins.r_max <= left.grid.geom.r_max,
+        "histogram r_max {} exceeds the grid's r_max {}",
+        bins.r_max,
+        left.grid.geom.r_max
+    );
+    let pairs = candidate_cross_pairs(&left.grid, &right.grid);
+    let stats = cross_prune_stats(&left.grid, &right.grid, &pairs);
+    histogram_over_pairs(dev, left, right, &pairs, stats, bins, plan, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcf_gpu;
+    use crate::sdh::{sdh_gpu, SdhOutputMode};
+    use gpu_sim::DeviceConfig;
+
+    const BOX: f32 = 100.0;
+
+    #[test]
+    fn gridded_count_matches_all_pairs_and_cpu() {
+        let pts = tbs_datagen::uniform_points::<3>(2048, BOX, 5);
+        let plan = PairwisePlan::register_shm(128);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(
+            &mut dev,
+            &pts,
+            10.0,
+            &GridOptions {
+                target_points_per_cell: 16,
+                max_cells: 1 << 20,
+            },
+        );
+        let got = gridded_count_within(&mut dev, &cat, 10.0, plan).expect("launch");
+        let mut dev2 = Device::new(DeviceConfig::titan_x());
+        let all = pcf_gpu(&mut dev2, &pts, 10.0, plan).expect("launch");
+        assert_eq!(got.count, all.count);
+        assert_eq!(got.count, tbs_cpu::pcf_reference(&pts, 10.0));
+        assert!(got.run.launches() > 1, "{:?}", got.run);
+        assert!(got.run.stats.pruned_fraction() > 0.6, "{:?}", got.run.stats);
+    }
+
+    #[test]
+    fn gridded_histogram_matches_all_pairs_route() {
+        let pts = tbs_datagen::clustered_points::<3>(1536, BOX, 6, 4.0, 9);
+        let bins = RadialBins::new(16, 12.0);
+        let plan = PairwisePlan::register_shm(128);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(
+            &mut dev,
+            &pts,
+            12.0,
+            &GridOptions {
+                target_points_per_cell: 128,
+                max_cells: 1 << 20,
+            },
+        );
+        let got = gridded_radial_histogram(&mut dev, &cat, bins, plan).expect("launch");
+        let mut dev2 = Device::new(DeviceConfig::titan_x());
+        let all = sdh_gpu(
+            &mut dev2,
+            &pts,
+            bins.device_spec(),
+            plan,
+            SdhOutputMode::Privatized,
+        )
+        .expect("launch");
+        assert_eq!(got.histogram, bins.finalize(&all.histogram));
+        assert!(got.run.seconds > 0.0);
+    }
+
+    #[test]
+    fn gridded_cross_histogram_counts_every_ordered_pair_once() {
+        let a = tbs_datagen::uniform_points::<3>(700, BOX, 13);
+        let b = tbs_datagen::uniform_points::<3>(900, BOX, 14);
+        // r_max ≥ box diagonal: nothing can be pruned, so the histogram
+        // total must be exactly |A|·|B|.
+        let r = tbs_datagen::box_diagonal(BOX, 3) * 1.01;
+        let bins = RadialBins::new(8, r);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let geom = GridGeometry::fit(&[&a, &b], r, &GridOptions::default());
+        let ca = GriddedCatalog::build(&mut dev, geom.clone(), &a);
+        let cb = GriddedCatalog::build(&mut dev, geom, &b);
+        let got = gridded_cross_radial_histogram(
+            &mut dev,
+            &ca,
+            &cb,
+            bins,
+            PairwisePlan::register_shm(64),
+        )
+        .expect("launch");
+        assert_eq!(got.histogram.total(), 700 * 900);
+    }
+
+    #[test]
+    fn single_cell_grid_degrades_to_one_launch() {
+        let pts = tbs_datagen::uniform_points::<2>(256, BOX, 21);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(&mut dev, &pts, BOX * 2.0, &GridOptions::default());
+        assert_eq!(cat.grid.geom.num_cells(), 1);
+        let got = gridded_count_within(&mut dev, &cat, 30.0, PairwisePlan::register_shm(64))
+            .expect("launch");
+        assert_eq!(got.run.launches(), 1);
+        assert_eq!(got.count, tbs_cpu::pcf_reference(&pts, 30.0));
+    }
+
+    #[test]
+    fn empty_catalog_is_a_noop() {
+        let pts = SoaPoints::<3>::new();
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(&mut dev, &pts, 1.0, &GridOptions::default());
+        let got = gridded_count_within(&mut dev, &cat, 1.0, PairwisePlan::register_shm(64))
+            .expect("launch");
+        assert_eq!(got.count, 0);
+        assert_eq!(got.run.launches(), 0);
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod driver;
 pub mod gram;
+pub mod gridded;
 pub mod join;
 pub mod kde;
 pub mod knn;
@@ -45,6 +46,10 @@ pub mod sdh;
 
 pub use driver::{launch_pairwise, PairwisePlan};
 pub use gram::{gram_gpu, GramResult};
+pub use gridded::{
+    gridded_count_within, gridded_cross_radial_histogram, gridded_radial_histogram, GriddedCatalog,
+    GriddedCountResult, GriddedHistogramResult, GriddedRun,
+};
 pub use join::{
     distance_join_gpu, distance_join_reference, distance_join_two_gpu, distance_join_two_reference,
     JoinResult,
@@ -52,6 +57,6 @@ pub use join::{
 pub use kde::{kde_gpu, kde_reference, KdeResult};
 pub use knn::{knn_gpu, knn_reference, KnnResult};
 pub use multi_gpu::{sdh_multi_gpu, MultiGpuSdh, SdhTask};
-pub use pcf::{pcf_gpu, PcfResult};
+pub use pcf::{landy_szalay, ls_pair_counts, pcf_gpu, LsPairCounts, PcfResult};
 pub use rdf::{normalize_sdh, rdf_gpu, rdf_gpu_periodic, Rdf};
 pub use sdh::{sdh_gpu, sdh_gpu_with, SdhOutputMode, SdhResult};

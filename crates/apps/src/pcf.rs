@@ -1,10 +1,19 @@
 //! The 2-point correlation function (2-PCF) — the paper's Type-I example
 //! application (§IV-B): "the output is of very small size: one scalar
-//! describing the number of points within a radius".
+//! describing the number of points within a radius" — plus the
+//! cosmology-grade estimator built on it: binned DD/DR/RR pair counts
+//! over a random catalog and the Landy–Szalay ξ(r), running through the
+//! grid-pruned executor ([`crate::gridded`]) so N = 10⁶–10⁷ catalogs
+//! are tractable.
 
 use crate::driver::{launch_pairwise, PairwisePlan};
+use crate::gridded::{
+    gridded_cross_radial_histogram, gridded_radial_histogram, GriddedCatalog, GriddedRun,
+};
 use gpu_sim::{Device, KernelRun, SimError};
 use tbs_core::distance::Euclidean;
+use tbs_core::grid::{GridGeometry, GridOptions, RadialBins};
+use tbs_core::histogram::Histogram;
 use tbs_core::kernels::{pair_launch, PairScope};
 use tbs_core::output::CountWithinRadius;
 use tbs_core::point::SoaPoints;
@@ -41,6 +50,93 @@ pub fn pcf_gpu<const D: usize>(
     // kernel exits").
     let count = dev.u64_slice(out).iter().sum();
     Ok(PcfResult { count, run })
+}
+
+/// Binned DD/DR/RR pair counts of a data catalog against a random
+/// catalog, all three computed through the grid-pruned executor over
+/// one shared grid geometry.
+#[derive(Debug, Clone)]
+pub struct LsPairCounts {
+    /// Data–data pair counts per radial bin (unordered pairs).
+    pub dd: Histogram,
+    /// Data–random pair counts per radial bin (ordered pairs).
+    pub dr: Histogram,
+    /// Random–random pair counts per radial bin (unordered pairs).
+    pub rr: Histogram,
+    /// Catalog sizes (data, random).
+    pub nd: u64,
+    pub nr: u64,
+    /// The binning the counts were taken over.
+    pub bins: RadialBins,
+    /// Launch profiles of the three passes.
+    pub dd_run: GriddedRun,
+    pub dr_run: GriddedRun,
+    pub rr_run: GriddedRun,
+}
+
+impl LsPairCounts {
+    /// Total simulated kernel seconds across DD + DR + RR.
+    pub fn total_seconds(&self) -> f64 {
+        self.dd_run.seconds + self.dr_run.seconds + self.rr_run.seconds
+    }
+}
+
+/// Compute DD, DR and RR radial pair counts for `data` against `rand`
+/// with one shared grid geometry fit over both catalogs (required for
+/// the bipartite DR pass and convenient for the other two).
+pub fn ls_pair_counts<const D: usize>(
+    dev: &mut Device,
+    data: &SoaPoints<D>,
+    rand: &SoaPoints<D>,
+    bins: RadialBins,
+    plan: PairwisePlan,
+    opts: &GridOptions,
+) -> Result<LsPairCounts, SimError> {
+    let geom = GridGeometry::fit(&[data, rand], bins.r_max, opts);
+    let dcat = GriddedCatalog::build(dev, geom.clone(), data);
+    let rcat = GriddedCatalog::build(dev, geom, rand);
+    let dd = gridded_radial_histogram(dev, &dcat, bins, plan)?;
+    let dr = gridded_cross_radial_histogram(dev, &dcat, &rcat, bins, plan)?;
+    let rr = gridded_radial_histogram(dev, &rcat, bins, plan)?;
+    Ok(LsPairCounts {
+        dd: dd.histogram,
+        dr: dr.histogram,
+        rr: rr.histogram,
+        nd: data.len() as u64,
+        nr: rand.len() as u64,
+        bins,
+        dd_run: dd.run,
+        dr_run: dr.run,
+        rr_run: rr.run,
+    })
+}
+
+/// The Landy–Szalay estimator ξ(r) = (DD̂ − 2·DR̂ + RR̂) / RR̂ per
+/// radial bin, with each count normalized by its number of possible
+/// pairs (DD: N_d(N_d−1)/2, DR: N_d·N_r, RR: N_r(N_r−1)/2). Bins whose
+/// RR count is zero (no pairs to calibrate against) yield `NaN`.
+pub fn landy_szalay(counts: &LsPairCounts) -> Vec<f64> {
+    let (nd, nr) = (counts.nd as f64, counts.nr as f64);
+    let dd_pairs = nd * (nd - 1.0) / 2.0;
+    let dr_pairs = nd * nr;
+    let rr_pairs = nr * (nr - 1.0) / 2.0;
+    counts
+        .dd
+        .counts()
+        .iter()
+        .zip(counts.dr.counts())
+        .zip(counts.rr.counts())
+        .map(|((&dd, &dr), &rr)| {
+            if rr == 0 {
+                f64::NAN
+            } else {
+                let dd_hat = dd as f64 / dd_pairs;
+                let dr_hat = dr as f64 / dr_pairs;
+                let rr_hat = rr as f64 / rr_pairs;
+                (dd_hat - 2.0 * dr_hat + rr_hat) / rr_hat
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,5 +176,56 @@ mod tests {
             let got = pcf_gpu(&mut dev, &pts, 40.0, plan).expect("launch");
             assert_eq!(got.count, expect, "{input:?}");
         }
+    }
+
+    #[test]
+    fn ls_estimator_is_near_zero_for_unclustered_data() {
+        // Uniform "data" vs a uniform random catalog: no excess
+        // clustering, so ξ(r) ≈ 0 in well-populated bins.
+        let data = tbs_datagen::uniform_points::<3>(3000, 100.0, 51);
+        let rand = tbs_datagen::uniform_points::<3>(3000, 100.0, 52);
+        let bins = RadialBins::new(8, 20.0);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let counts = ls_pair_counts(
+            &mut dev,
+            &data,
+            &rand,
+            bins,
+            PairwisePlan::register_shm(128),
+            &GridOptions::default(),
+        )
+        .expect("launch");
+        assert_eq!(counts.nd, 3000);
+        let xi = landy_szalay(&counts);
+        assert_eq!(xi.len(), 8);
+        // Outer bins have tens of thousands of pairs; Poisson noise is
+        // at the percent level.
+        for (i, &x) in xi.iter().enumerate().skip(3) {
+            assert!(x.abs() < 0.2, "bin {i}: xi = {x}");
+        }
+    }
+
+    #[test]
+    fn ls_estimator_detects_clustering() {
+        // Strongly clustered data vs a uniform random catalog: ξ must
+        // be clearly positive at small separations.
+        let data = tbs_datagen::clustered_points::<3>(2000, 100.0, 8, 2.0, 53);
+        let rand = tbs_datagen::uniform_points::<3>(4000, 100.0, 54);
+        let bins = RadialBins::new(8, 16.0);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let counts = ls_pair_counts(
+            &mut dev,
+            &data,
+            &rand,
+            bins,
+            PairwisePlan::register_shm(128),
+            &GridOptions::default(),
+        )
+        .expect("launch");
+        let xi = landy_szalay(&counts);
+        assert!(xi[0] > 1.0, "xi(0) = {}", xi[0]);
+        // DD/DR/RR totals are consistent with the pair universes.
+        assert!(counts.dd.total() <= counts.nd * (counts.nd - 1) / 2);
+        assert!(counts.dr.total() <= counts.nd * counts.nr);
     }
 }

@@ -1,0 +1,141 @@
+//! Landy–Szalay 2-point correlation function over the grid-pruned
+//! DD/DR/RR pipeline — the large-N cosmology scenario the spatial
+//! front end exists for.
+//!
+//! Generates a clustered data catalog (Gaussian blobs) and a uniform
+//! random catalog in a periodic box, runs the three grid-pruned pair
+//! counts (DD, DR, RR) through the simulated device, and prints the
+//! normalized Landy–Szalay estimator
+//! ξ(r) = (DD̂ − 2·DR̂ + RR̂) / RR̂ per radial bin.
+//!
+//! Usage (all flags optional):
+//!
+//! ```text
+//! cargo run --release -p tbs-bench --bin ls_estimator -- \
+//!     --n 1048576 --nr 1048576 --rmax 5 --bins 10 --blobs 64 --sigma 4 --seed 7
+//! ```
+//!
+//! `--n 10000000` (with `--nr 10000000`) is the N = 10⁷ end-to-end run
+//! recorded in EXPERIMENTS.md; it completes in minutes because the grid
+//! visits only the candidate cell pairs, where all-pairs would need
+//! ~5×10¹³ distance evaluations.
+
+use std::time::Instant;
+
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{landy_szalay, ls_pair_counts, PairwisePlan};
+use tbs_core::grid::{GridOptions, RadialBins};
+use tbs_datagen::{gaussian_blobs, periodic_uniform_points};
+use tbs_json::Json;
+
+const BOX: f32 = 100.0;
+const BLOCK: u32 = 1024;
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} takes a number, got `{v}`"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg(&args, "--n", 1 << 20);
+    let nr: usize = arg(&args, "--nr", n);
+    let r_max: f32 = arg(&args, "--rmax", 5.0);
+    let bins: u32 = arg(&args, "--bins", 10);
+    let n_blobs: usize = arg(&args, "--blobs", 64);
+    let sigma: f32 = arg(&args, "--sigma", 4.0);
+    let seed: u64 = arg(&args, "--seed", 7);
+
+    eprintln!("ls_estimator: generating catalogs (nd={n}, nr={nr}, {n_blobs} blobs σ={sigma})...");
+    let t0 = Instant::now();
+    // Blob centers themselves are drawn from a uniform catalog so the
+    // layout is seeded-deterministic at any blob count.
+    let centers_pts = periodic_uniform_points::<3>(n_blobs.max(1), BOX, seed ^ 0xb10b);
+    let centers: Vec<[f32; 3]> = (0..centers_pts.len())
+        .map(|i| centers_pts.point(i))
+        .collect();
+    let data = gaussian_blobs::<3>(n, BOX, &centers, &vec![sigma; centers.len()], seed);
+    let rand = periodic_uniform_points::<3>(nr, BOX, seed ^ 0xfeed);
+    eprintln!(
+        "ls_estimator: catalogs ready in {:.2}s; running DD/DR/RR (r_max={r_max}, {bins} bins)...",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let rb = RadialBins::new(bins, r_max);
+    let mut dev = Device::new(DeviceConfig::titan_x().with_compiled(true));
+    let t = Instant::now();
+    let counts = ls_pair_counts(
+        &mut dev,
+        &data,
+        &rand,
+        rb,
+        PairwisePlan::register_shm(BLOCK),
+        &GridOptions::default(),
+    )
+    .expect("LS pipeline");
+    let wall_s = t.elapsed().as_secs_f64();
+    let xi = landy_szalay(&counts);
+
+    eprintln!(
+        "ls_estimator: DD {} launches, DR {}, RR {} — wall {wall_s:.2}s \
+         (DD pruned {:.2}% of pair mass)",
+        counts.dd_run.launches(),
+        counts.dr_run.launches(),
+        counts.rr_run.launches(),
+        counts.dd_run.stats.pruned_fraction() * 100.0
+    );
+    println!("# r_lo r_hi DD DR RR xi");
+    let w = rb.bin_width();
+    for (i, x) in xi.iter().enumerate().take(bins as usize) {
+        println!(
+            "{:.3} {:.3} {} {} {} {x:+.6}",
+            i as f32 * w,
+            (i + 1) as f32 * w,
+            counts.dd.counts()[i],
+            counts.dr.counts()[i],
+            counts.rr.counts()[i],
+        );
+    }
+
+    // Machine-readable record (stdout table is the human view).
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let doc = Json::obj()
+            .with("benchmark", "ls_estimator")
+            .with("nd", n)
+            .with("nr", nr)
+            .with("r_max", r_max as f64)
+            .with("bins", bins)
+            .with("wall_s", wall_s)
+            .with(
+                "launches",
+                counts.dd_run.launches() + counts.dr_run.launches() + counts.rr_run.launches(),
+            )
+            .with(
+                "dd",
+                Json::Arr(counts.dd.counts().iter().map(|&c| Json::from(c)).collect()),
+            )
+            .with(
+                "dr",
+                Json::Arr(counts.dr.counts().iter().map(|&c| Json::from(c)).collect()),
+            )
+            .with(
+                "rr",
+                Json::Arr(counts.rr.counts().iter().map(|&c| Json::from(c)).collect()),
+            )
+            .with("xi", Json::Arr(xi.iter().map(|&x| Json::from(x)).collect()));
+        let path = std::path::Path::new(dir).join("ls_estimator.json");
+        std::fs::create_dir_all(dir).expect("create --json dir");
+        std::fs::write(&path, doc.render().expect("render LS JSON")).expect("write LS JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}

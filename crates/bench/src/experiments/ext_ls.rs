@@ -1,0 +1,150 @@
+//! **Extension — Landy–Szalay estimator** (functional): the
+//! cosmology-grade DD/DR/RR + ξ(r) pipeline the spatial front end
+//! exists for, at CI size, with deterministic seeded catalogs.
+//!
+//! Three checks:
+//!
+//! * **mass conservation** — with r_max stretched past the box diagonal
+//!   every pair lands in a finite bin, so the finalized DD/DR/RR
+//!   histograms must carry *exactly* nd(nd−1)/2, nd·nr and nr(nr−1)/2
+//!   pairs. These are `range(1,1)` gate bands: any lost or doubled pair
+//!   anywhere in the gridded executor shifts them.
+//! * **clustered data clusters** — ξ(r) in the first bin of a
+//!   Gaussian-blob catalog against a uniform random catalog must be
+//!   strongly positive.
+//! * **uniform data doesn't** — ξ(r) of a uniform catalog stays near
+//!   zero in the shot-noise-safe outer bins.
+//!
+//! The control and random catalogs are *Poisson* uniform
+//! ([`tbs_datagen::uniform_points`]), not the jittered-lattice
+//! [`periodic_uniform_points`]: at this CI size the lattice's
+//! stratification cell (`BOX/⌊nd^⅓⌋ ≈ 11`) exceeds `R_MAX`, so a
+//! stratified catalog is genuinely anti-correlated across *every*
+//! bin (ξ down to −6.5 measured) and "near zero" would be the wrong
+//! expectation. `ls_estimator` keeps the stratified randoms at
+//! N ≥ 10⁶ where the cell shrinks far below the correlation scales.
+
+use crate::report::{Cell, Report, ReportError, SeriesTable};
+use gpu_sim::{Device, DeviceConfig};
+use tbs_apps::{landy_szalay, ls_pair_counts, PairwisePlan};
+use tbs_core::grid::{GridOptions, RadialBins};
+use tbs_datagen::{box_diagonal, gaussian_blobs, uniform_points};
+
+pub const BOX: f32 = 100.0;
+pub const BLOCK: u32 = 256;
+pub const R_MAX: f32 = 10.0;
+
+/// Blob layout for the clustered catalog: four well-separated centers,
+/// σ = 3 — tight against the 10-unit correlation scale.
+pub const CENTERS: [[f32; 3]; 4] = [
+    [20.0, 20.0, 20.0],
+    [70.0, 30.0, 60.0],
+    [40.0, 80.0, 30.0],
+    [80.0, 70.0, 80.0],
+];
+pub const SIGMA: f32 = 3.0;
+
+fn device() -> Device {
+    Device::new(DeviceConfig::titan_x().with_compiled(true))
+}
+
+fn xi_of(
+    data: &tbs_core::point::SoaPoints<3>,
+    rand: &tbs_core::point::SoaPoints<3>,
+    bins: RadialBins,
+) -> (tbs_apps::LsPairCounts, Vec<f64>) {
+    let mut dev = device();
+    let counts = ls_pair_counts(
+        &mut dev,
+        data,
+        rand,
+        bins,
+        PairwisePlan::register_shm(BLOCK),
+        &GridOptions::default(),
+    )
+    .expect("LS pipeline");
+    let xi = landy_szalay(&counts);
+    (counts, xi)
+}
+
+/// Build the LS functional report: `nd` data points (blobs + a uniform
+/// control), `nr` randoms, `bins` radial bins to `R_MAX`.
+pub fn build_report(nd: usize, nr: usize, bins: u32) -> Result<Report, ReportError> {
+    let blobs = gaussian_blobs::<3>(nd, BOX, &CENTERS, &[SIGMA; 4], 101);
+    let uniform = uniform_points::<3>(nd, BOX, 202);
+    let rand = uniform_points::<3>(nr, BOX, 303);
+
+    // Mass conservation: stretch r_max past the diagonal so no pair can
+    // reach the overflow bucket, then demand exact pair-mass identities.
+    let wide = RadialBins::new(bins, box_diagonal(BOX, 3) * 1.001);
+    let (mass, _) = xi_of(&blobs, &rand, wide);
+    let nd_u = nd as u64;
+    let nr_u = nr as u64;
+    let dd_expected = nd_u * (nd_u - 1) / 2;
+    let dr_expected = nd_u * nr_u;
+    let rr_expected = nr_u * (nr_u - 1) / 2;
+
+    // Clustering shape: blobs must correlate at short range, the
+    // uniform control must not (outside the shot-noise-dominated inner
+    // bins).
+    let rb = RadialBins::new(bins, R_MAX);
+    let (counts, xi_blobs) = xi_of(&blobs, &rand, rb);
+    let (_, xi_uniform) = xi_of(&uniform, &rand, rb);
+    let tail_absmax = xi_uniform
+        .iter()
+        .skip(3)
+        .filter(|x| x.is_finite())
+        .fold(0.0f64, |m, x| m.max(x.abs()));
+
+    let mut rep =
+        Report::new("ext_ls", "Extension — Landy–Szalay 2-PCF estimator").with_context(&format!(
+            "DD/DR/RR via the gridded executor, nd={nd} (4 Gaussian blobs σ={SIGMA} + uniform \
+             control), nr={nr} randoms, {bins} bins to r={R_MAX}, {BOX}^3 box, register_shm \
+             plan, block={BLOCK}, compiled route"
+        ));
+    let mut t = SeriesTable::new(
+        "bins",
+        &["r_hi", "DD", "DR", "RR", "xi_blobs", "xi_uniform"],
+    );
+    let width = rb.bin_width();
+    for i in 0..bins as usize {
+        t.row(vec![
+            Cell::num(
+                (i as f64 + 1.0) * width as f64,
+                format!("{:.2}", (i + 1) as f32 * width),
+            ),
+            Cell::int(counts.dd.counts()[i]),
+            Cell::int(counts.dr.counts()[i]),
+            Cell::int(counts.rr.counts()[i]),
+            Cell::num(xi_blobs[i], format!("{:+.3}", xi_blobs[i])),
+            Cell::num(xi_uniform[i], format!("{:+.3}", xi_uniform[i])),
+        ]);
+    }
+    rep.push_table(t);
+    rep.metric(
+        "dd_mass_over_expected",
+        mass.dd.total() as f64 / dd_expected as f64,
+        "frac",
+    )?;
+    rep.metric(
+        "dr_mass_over_expected",
+        mass.dr.total() as f64 / dr_expected as f64,
+        "frac",
+    )?;
+    rep.metric(
+        "rr_mass_over_expected",
+        mass.rr.total() as f64 / rr_expected as f64,
+        "frac",
+    )?;
+    rep.metric("xi_clustered_peak", xi_blobs[0], "xi")?;
+    rep.metric("xi_uniform_tail_absmax", tail_absmax, "xi")?;
+    rep.push_note(
+        "mass metrics use r_max > box diagonal, where the finalized DD/DR/RR\n\
+         histograms must hold exactly nd(nd-1)/2, nd*nr and nr(nr-1)/2 pairs —\n\
+         a lost or doubled pair anywhere in the gridded executor breaks the\n\
+         range(1,1) band. xi_clustered_peak is the first-bin Landy-Szalay\n\
+         amplitude of the blob catalog (strongly positive); the uniform\n\
+         control's outer-bin |xi| must stay near zero.",
+    );
+    Ok(rep)
+}

@@ -80,16 +80,18 @@ pub struct Sample {
     pub n: usize,
     pub pair_count: u64,
     /// Wall-clock seconds with the scalar-reference interpreter
-    /// (`None` above [`SCALAR_CEILING`]).
+    /// (`None` above [`SCALAR_CEILING`] or when a budget projection
+    /// skipped it).
     pub scalar_s: Option<f64>,
-    /// Wall-clock seconds with the vectorized fast paths, fusion off.
-    pub fast_s: f64,
+    /// Wall-clock seconds with the vectorized fast paths, fusion off
+    /// (`None` when a budget projection skipped the route).
+    pub fast_s: Option<f64>,
     /// Wall-clock seconds with fused tile passes (the default route).
     pub fused_s: f64,
     /// Wall-clock seconds of the fused route under the sequential block
     /// executor — the engine cross-check (everything else runs under
-    /// [`bench_exec`]).
-    pub fused_seq_s: f64,
+    /// [`bench_exec`]; `None` when a budget projection skipped it).
+    pub fused_seq_s: Option<f64>,
     /// Wall-clock seconds with the plan-compiled route
     /// (`with_compiled(true)`).
     pub compiled_s: f64,
@@ -116,7 +118,7 @@ pub struct Sample {
 impl Sample {
     /// Scalar-reference over vectorized — PR 2's original claim.
     pub fn speedup(&self) -> Option<f64> {
-        self.scalar_s.map(|s| s / self.fast_s)
+        Some(self.scalar_s? / self.fast_s?)
     }
 
     /// Scalar-reference over fused — the full interpreter stack.
@@ -125,8 +127,8 @@ impl Sample {
     }
 
     /// Vectorized over fused — what fusion alone buys.
-    pub fn fused_vs_vectorized(&self) -> f64 {
-        self.fast_s / self.fused_s
+    pub fn fused_vs_vectorized(&self) -> Option<f64> {
+        self.fast_s.map(|f| f / self.fused_s)
     }
 
     /// Fused over compiled — what plan compilation buys on top of the
@@ -139,8 +141,8 @@ impl Sample {
     /// the parallel engine wins, and pinned by a generous no-regression
     /// floor in the gate (single-core hosts pay speculation overhead but
     /// must stay close to sequential).
-    pub fn parallel_vs_sequential(&self) -> f64 {
-        self.fused_seq_s / self.fused_s
+    pub fn parallel_vs_sequential(&self) -> Option<f64> {
+        self.fused_seq_s.map(|q| q / self.fused_s)
     }
 
     /// Lane throughput of the shipping (fused) route.
@@ -151,6 +153,73 @@ impl Sample {
     pub fn sim_cycles_per_s(&self) -> f64 {
         self.sim_cycles / self.fused_s
     }
+}
+
+/// Per-route projected wall-clock at a new size `n`, extrapolated from
+/// a previously measured (smaller) [`Sample`]. Every route walks the
+/// full O(N²) pair grid, so a route's wall-clock scales quadratically:
+/// `prev_s · (n / prev_n)²`. A `None` per route means the prior sample
+/// skipped it, leaving nothing to extrapolate from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Projection {
+    pub fused: Option<f64>,
+    pub fused_seq: Option<f64>,
+    pub compiled: Option<f64>,
+    pub vectorized: Option<f64>,
+    pub scalar: Option<f64>,
+}
+
+impl Projection {
+    pub fn from_sample(prev: &Sample, n: usize) -> Self {
+        let s = n as f64 / prev.n.max(1) as f64;
+        let scale = s * s;
+        Projection {
+            fused: Some(prev.fused_s * scale),
+            fused_seq: prev.fused_seq_s.map(|v| v * scale),
+            compiled: Some(prev.compiled_s * scale),
+            vectorized: prev.fast_s.map(|v| v * scale),
+            scalar: prev.scalar_s.map(|v| v * scale),
+        }
+    }
+
+    fn fmt(v: Option<f64>) -> String {
+        v.map_or_else(|| "?".to_string(), |p| format!("~{p:.1}s"))
+    }
+
+    /// Print the estimates before any route launches — the whole point
+    /// is that a doomed sweep announces itself instead of hanging.
+    fn announce(&self, what: &str, n: usize, prev_n: usize) {
+        eprintln!(
+            "{what}N={n}: projected from N={prev_n} (quadratic): fused {}, sequential {}, \
+             compiled {}, vectorized {}, scalar {}",
+            Self::fmt(self.fused),
+            Self::fmt(self.fused_seq),
+            Self::fmt(self.compiled),
+            Self::fmt(self.vectorized),
+            Self::fmt(self.scalar),
+        );
+    }
+}
+
+/// True — with a loud note — when a route's projection exceeds the
+/// budget and it must be skipped rather than allowed to hang the sweep.
+fn budget_skips(
+    what: &str,
+    n: usize,
+    route: &str,
+    projected: Option<f64>,
+    budget_secs: Option<f64>,
+) -> bool {
+    let (Some(p), Some(b)) = (projected, budget_secs) else {
+        return false;
+    };
+    if p <= b {
+        return false;
+    }
+    eprintln!(
+        "{what}N={n}: SKIPPING {route} route — projected {p:.1}s exceeds --budget-secs {b:.1}"
+    );
+    true
 }
 
 fn route_config(route: Route, exec: ExecMode) -> DeviceConfig {
@@ -200,28 +269,62 @@ fn assert_routes_identical(n: usize, a: &PcfResult, b: &PcfResult, what: &str) {
 /// (same pair count, tally and simulated timing), and that the parallel
 /// block executor matches a sequential run of the same route.
 pub fn measure(n: usize) -> Sample {
+    measure_budgeted(n, None, None)
+}
+
+/// [`measure`] with the O(N²) footgun defused: when `prev` (a measured
+/// smaller size) is available, per-route quadratic wall-clock
+/// projections are printed *before* anything launches, and when
+/// `budget_secs` is set, any comparison route (scalar reference,
+/// vectorized, sequential cross-check) projected over the budget is
+/// skipped with a loud note instead of silently hanging the sweep. The
+/// fused and compiled routes are the subject of the benchmark and
+/// always run.
+pub fn measure_budgeted(n: usize, budget_secs: Option<f64>, prev: Option<&Sample>) -> Sample {
     warm_up();
+    let proj = prev.map_or_else(Projection::default, |p| Projection::from_sample(p, n));
+    if let Some(p) = prev {
+        proj.announce("", n, p.n);
+    }
     eprintln!("N={n}: fused pass...");
     let (fused_s, fused) = run_once(n, Route::Fused, bench_exec());
-    eprintln!("N={n}: fused {fused_s:.3}s; sequential cross-check...");
-    let (fused_seq_s, fused_seq) = run_once(n, Route::Fused, ExecMode::Sequential);
-    eprintln!(
-        "N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel); compiled pass...",
-        fused_seq_s / fused_s
-    );
-    assert_routes_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+    eprintln!("N={n}: fused {fused_s:.3}s");
+    let fused_seq_s = if budget_skips("", n, "sequential cross-check", proj.fused_seq, budget_secs)
+    {
+        None
+    } else {
+        eprintln!("N={n}: sequential cross-check...");
+        let (fused_seq_s, fused_seq) = run_once(n, Route::Fused, ExecMode::Sequential);
+        eprintln!(
+            "N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel)",
+            fused_seq_s / fused_s
+        );
+        assert_routes_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+        Some(fused_seq_s)
+    };
+    eprintln!("N={n}: compiled pass...");
     let (compiled_s, compiled) = run_once(n, Route::Compiled, bench_exec());
     eprintln!(
-        "N={n}: compiled {compiled_s:.3}s ({:.2}x over fused); vectorized (unfused) pass...",
+        "N={n}: compiled {compiled_s:.3}s ({:.2}x over fused)",
         fused_s / compiled_s
     );
     assert_routes_identical(n, &fused, &compiled, "fused vs compiled");
-    let (fast_s, fast) = run_once(n, Route::Vectorized, bench_exec());
-    eprintln!(
-        "N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
-        fast_s / fused_s
-    );
-    assert_routes_identical(n, &fused, &fast, "fused vs vectorized");
+    let fast_s = if budget_skips("", n, "vectorized", proj.vectorized, budget_secs) {
+        None
+    } else {
+        eprintln!("N={n}: vectorized (unfused) pass...");
+        let (fast_s, fast) = run_once(n, Route::Vectorized, bench_exec());
+        eprintln!(
+            "N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
+            fast_s / fused_s
+        );
+        assert_routes_identical(n, &fused, &fast, "fused vs vectorized");
+        assert_eq!(
+            fast.run.interp.fused_ops, 0,
+            "with_fused_tile(false) still fused at N={n}"
+        );
+        Some(fast_s)
+    };
     assert!(
         fused.run.interp.fused_ops > 0,
         "default route took no fused tile passes at N={n}"
@@ -234,20 +337,18 @@ pub fn measure(n: usize) -> Sample {
         fused.run.interp.compiled_ops, 0,
         "default route compiled without with_compiled(true) at N={n}"
     );
-    assert_eq!(
-        fast.run.interp.fused_ops, 0,
-        "with_fused_tile(false) still fused at N={n}"
-    );
 
-    let scalar_s = if n <= SCALAR_CEILING {
+    let scalar_s = if n > SCALAR_CEILING {
+        eprintln!("N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
+        None
+    } else if budget_skips("", n, "scalar-reference", proj.scalar, budget_secs) {
+        None
+    } else {
         eprintln!("N={n}: scalar-reference pass...");
         let (scalar_s, scalar) = run_once(n, Route::Scalar, bench_exec());
         eprintln!("N={n}: scalar {scalar_s:.3}s ({:.2}x)", scalar_s / fused_s);
         assert_routes_identical(n, &fused, &scalar, "fused vs scalar");
         Some(scalar_s)
-    } else {
-        eprintln!("N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
-        None
     };
 
     let t = &fused.run.tally;
@@ -319,28 +420,64 @@ fn assert_sdh_identical(n: usize, a: &SdhResult, b: &SdhResult, what: &str) {
 /// histograms, tallies and simulated timing for *both* kernels (the
 /// pairwise scatter stage and the Figure-3 reduction).
 pub fn measure_sdh(n: usize) -> Sample {
+    measure_sdh_budgeted(n, None, None)
+}
+
+/// [`measure_sdh`] with the same budget guard as [`measure_budgeted`]:
+/// projections announced up front, over-budget comparison routes
+/// skipped loudly, the fused and compiled routes always measured.
+pub fn measure_sdh_budgeted(n: usize, budget_secs: Option<f64>, prev: Option<&Sample>) -> Sample {
     warm_up();
+    let proj = prev.map_or_else(Projection::default, |p| Projection::from_sample(p, n));
+    if let Some(p) = prev {
+        proj.announce("SDH ", n, p.n);
+    }
     eprintln!("SDH N={n}: fused pass...");
     let (fused_s, fused) = run_sdh_once(n, Route::Fused, bench_exec());
-    eprintln!("SDH N={n}: fused {fused_s:.3}s; sequential cross-check...");
-    let (fused_seq_s, fused_seq) = run_sdh_once(n, Route::Fused, ExecMode::Sequential);
-    eprintln!(
-        "SDH N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel); compiled pass...",
-        fused_seq_s / fused_s
-    );
-    assert_sdh_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+    eprintln!("SDH N={n}: fused {fused_s:.3}s");
+    let fused_seq_s = if budget_skips(
+        "SDH ",
+        n,
+        "sequential cross-check",
+        proj.fused_seq,
+        budget_secs,
+    ) {
+        None
+    } else {
+        eprintln!("SDH N={n}: sequential cross-check...");
+        let (fused_seq_s, fused_seq) = run_sdh_once(n, Route::Fused, ExecMode::Sequential);
+        eprintln!(
+            "SDH N={n}: sequential {fused_seq_s:.3}s ({:.2}x from parallel)",
+            fused_seq_s / fused_s
+        );
+        assert_sdh_identical(n, &fused, &fused_seq, "parallel vs sequential engine");
+        Some(fused_seq_s)
+    };
+    eprintln!("SDH N={n}: compiled pass...");
     let (compiled_s, compiled) = run_sdh_once(n, Route::Compiled, bench_exec());
     eprintln!(
-        "SDH N={n}: compiled {compiled_s:.3}s ({:.2}x over fused); vectorized (unfused) pass...",
+        "SDH N={n}: compiled {compiled_s:.3}s ({:.2}x over fused)",
         fused_s / compiled_s
     );
     assert_sdh_identical(n, &fused, &compiled, "fused vs compiled");
-    let (fast_s, fast) = run_sdh_once(n, Route::Vectorized, bench_exec());
-    eprintln!(
-        "SDH N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
-        fast_s / fused_s
-    );
-    assert_sdh_identical(n, &fused, &fast, "fused vs vectorized");
+    let fast_s = if budget_skips("SDH ", n, "vectorized", proj.vectorized, budget_secs) {
+        None
+    } else {
+        eprintln!("SDH N={n}: vectorized (unfused) pass...");
+        let (fast_s, fast) = run_sdh_once(n, Route::Vectorized, bench_exec());
+        eprintln!(
+            "SDH N={n}: vectorized {fast_s:.3}s ({:.2}x from fusion)",
+            fast_s / fused_s
+        );
+        assert_sdh_identical(n, &fused, &fast, "fused vs vectorized");
+        assert_eq!(
+            fast.pair_run.interp.fused_ops
+                + fast.reduce_run.as_ref().map_or(0, |r| r.interp.fused_ops),
+            0,
+            "with_fused_tile(false) still fused the SDH at N={n}"
+        );
+        Some(fast_s)
+    };
     assert!(
         fused.pair_run.interp.fused_ops > 0,
         "fused route took no fused histogram tile passes at N={n}"
@@ -365,13 +502,13 @@ pub fn measure_sdh(n: usize) -> Sample {
             > 0,
         "fused route took no packed cross-copy reductions at N={n}"
     );
-    assert_eq!(
-        fast.pair_run.interp.fused_ops + fast.reduce_run.as_ref().map_or(0, |r| r.interp.fused_ops),
-        0,
-        "with_fused_tile(false) still fused the SDH at N={n}"
-    );
 
-    let scalar_s = if n <= SCALAR_CEILING {
+    let scalar_s = if n > SCALAR_CEILING {
+        eprintln!("SDH N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
+        None
+    } else if budget_skips("SDH ", n, "scalar-reference", proj.scalar, budget_secs) {
+        None
+    } else {
         eprintln!("SDH N={n}: scalar-reference pass...");
         let (scalar_s, scalar) = run_sdh_once(n, Route::Scalar, bench_exec());
         eprintln!(
@@ -380,9 +517,6 @@ pub fn measure_sdh(n: usize) -> Sample {
         );
         assert_sdh_identical(n, &fused, &scalar, "fused vs scalar");
         Some(scalar_s)
-    } else {
-        eprintln!("SDH N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
-        None
     };
 
     // Fold both kernels into one sample: the Type-II claim is about the
@@ -468,22 +602,24 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
                 "Mlane-ops/s",
             ],
         );
+        let opt_secs = |v: Option<f64>| match v {
+            Some(v) => Cell::num(v, format!("{v:.3}")),
+            None => Cell::text("-"),
+        };
+        let opt_ratio = |v: Option<f64>| match v {
+            Some(v) => Cell::num(v, format!("{v:.2}x")),
+            None => Cell::text("-"),
+        };
         for s in set {
             t.row(vec![
                 Cell::int(s.n as u64),
                 Cell::int(s.pair_count),
-                match s.scalar_s {
-                    Some(v) => Cell::num(v, format!("{v:.3}")),
-                    None => Cell::text("-"),
-                },
-                Cell::num(s.fast_s, format!("{:.3}", s.fast_s)),
+                opt_secs(s.scalar_s),
+                opt_secs(s.fast_s),
                 Cell::num(s.fused_s, format!("{:.3}", s.fused_s)),
-                Cell::num(s.fused_seq_s, format!("{:.3}", s.fused_seq_s)),
+                opt_secs(s.fused_seq_s),
                 Cell::num(s.compiled_s, format!("{:.3}", s.compiled_s)),
-                Cell::num(
-                    s.fused_vs_vectorized(),
-                    format!("{:.2}x", s.fused_vs_vectorized()),
-                ),
+                opt_ratio(s.fused_vs_vectorized()),
                 Cell::num(
                     s.compiled_vs_fused(),
                     format!("{:.2}x", s.compiled_vs_fused()),
@@ -508,21 +644,17 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
             if let Some(sp) = s.fused_speedup() {
                 rep.metric(&format!("fused_speedup{suffix}.n{}", s.n), sp, "x")?;
             }
-            rep.metric(
-                &format!("fused_vs_vectorized{suffix}.n{}", s.n),
-                s.fused_vs_vectorized(),
-                "x",
-            )?;
+            if let Some(v) = s.fused_vs_vectorized() {
+                rep.metric(&format!("fused_vs_vectorized{suffix}.n{}", s.n), v, "x")?;
+            }
             rep.metric(
                 &format!("compiled_vs_fused{suffix}.n{}", s.n),
                 s.compiled_vs_fused(),
                 "x",
             )?;
-            rep.metric(
-                &format!("parallel_vs_sequential{suffix}.n{}", s.n),
-                s.parallel_vs_sequential(),
-                "x",
-            )?;
+            if let Some(v) = s.parallel_vs_sequential() {
+                rep.metric(&format!("parallel_vs_sequential{suffix}.n{}", s.n), v, "x")?;
+            }
             rep.metric(
                 &format!("fused_coverage{suffix}.n{}", s.n),
                 s.fused_coverage,

@@ -5,6 +5,7 @@
 pub mod ext_arch;
 pub mod ext_blocksize;
 pub mod ext_fusedout;
+pub mod ext_ls;
 pub mod ext_multicopy;
 pub mod ext_multigpu;
 pub mod ext_skew;
@@ -14,5 +15,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig9;
+pub mod gridpath;
 pub mod hotpath;
 pub mod tables;

@@ -247,6 +247,16 @@ pub fn gate_groups() -> &'static [GateGroup] {
         ),
         spec("ext_fusedout.fused_coverage", Band::min(0.5)),
         spec("ext_fusedout.reduce_fused_ops", Band::min(1.0)),
+        // Landy–Szalay pipeline over the gridded executor — exact
+        // pair-mass conservation (a lost or doubled pair anywhere in
+        // the spatial front end shifts these off 1.0), plus the
+        // estimator's shape: the blob catalog must correlate strongly
+        // at short range and the uniform control must not.
+        spec("ext_ls.dd_mass_over_expected", Band::range(1.0, 1.0)),
+        spec("ext_ls.dr_mass_over_expected", Band::range(1.0, 1.0)),
+        spec("ext_ls.rr_mass_over_expected", Band::range(1.0, 1.0)),
+        spec("ext_ls.xi_clustered_peak", Band::rel_min(0.5, 5.0)),
+        spec("ext_ls.xi_uniform_tail_absmax", Band::max(0.5)),
     ];
     const HOST: &[GateSpec] = &[
         // Wall-clock floors — deliberately ~2× under the slowest
@@ -282,6 +292,15 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // Most useful lane work must flow through compiled passes on
         // the fig2 workload (deterministic, not wall-clock).
         spec("sim_hotpath.compiled_coverage.n16384", Band::min(0.5)),
+        // Spatial front end — the headline sub-quadratic claim: the
+        // grid route must beat the (anchor-projected) all-pairs route
+        // ≥10× at N = 1048576. Machine-dependent, hence a generous
+        // floor well under the ~16× observed.
+        spec("sim_gridpath.grid_vs_allpairs.n1048576", Band::min(10.0)),
+        // Deterministic cull geometry (not wall-clock): the
+        // min-distance cull must discard ≥90 % of the pair mass at
+        // N = 262144 with the reference r_max.
+        spec("sim_gridpath.pruned_pair_fraction.n262144", Band::min(0.9)),
     ];
     const GROUPS: &[GateGroup] = &[
         GateGroup {
@@ -343,12 +362,18 @@ pub fn functional_reports() -> Result<Vec<Report>, ReportError> {
         ext_multicopy::build_report(1024, 128)?,
         ext_multigpu::build_report(2048, 64)?,
         ext_fusedout::build_report(1024, 128, 64)?,
+        ext_ls::build_report(768, 2048, 8)?,
     ])
 }
 
-/// Build the host-throughput report at the gate's reduced size.
+/// Build the host-throughput reports at the gate's reduced sizes: the
+/// interpreter hot path, plus the grid-vs-all-pairs sweep (small
+/// anchor, no CPU oracle — the differential suite owns exactness).
 pub fn host_reports() -> Result<Vec<Report>, ReportError> {
-    Ok(vec![hotpath::build_report(&[16_384])?])
+    Ok(vec![
+        hotpath::build_report(&[16_384])?,
+        gridpath::build_report(&[262_144, 1_048_576], &gridpath::GridpathConfig::gate())?,
+    ])
 }
 
 /// Flatten reports into `"<report>.<metric>" → Metric`.

@@ -59,11 +59,17 @@
 
 pub mod analytic;
 pub mod distance;
+pub mod grid;
 pub mod histogram;
 pub mod kernels;
 pub mod output;
 pub mod plan;
 pub mod point;
+
+pub use grid::{
+    candidate_cross_pairs, candidate_pairs, cross_prune_stats, prune_stats, CellPair, GridGeometry,
+    GridOptions, PruneStats, RadialBins, UniformGrid,
+};
 
 pub use distance::{
     CosineDissimilarity, DistanceKernel, DotProduct, Euclidean, GaussianRbf, Manhattan,

@@ -169,6 +169,89 @@ pub fn lower_pair_plan<const D: usize, F: DistanceKernel<D>, A: PairAction>(
     CompiledKernel::lower(cfg, D as u32, tile_len, sink)
 }
 
+/// Which front end a [`SpatialPlan`] selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialRoute {
+    /// One monolithic all-pairs launch (the pre-grid behavior).
+    AllPairs,
+    /// Uniform-grid pruning: one tiled launch per surviving cell pair.
+    Grid,
+}
+
+/// The spatial layer above [`ExecutionPlan`]: given the pruning
+/// accounting of a built grid ([`crate::grid::PruneStats`]), decide
+/// whether the grid front end or the monolithic all-pairs launch is
+/// predicted faster.
+///
+/// The model extends the analytic kernel profiles one level up: the
+/// tiled kernels' cost is dominated by pair evaluations, so the grid
+/// route costs the all-pairs prediction scaled by the surviving-pair
+/// fraction, plus a per-launch floor (one minimal-`n` predicted run)
+/// for each surviving cell pair. When pruning is weak — `r_max`
+/// comparable to the box, so the fraction approaches 1 — the launch
+/// overhead makes the grid strictly worse and the plan falls back to
+/// [`SpatialRoute::AllPairs`]; exactly the graceful degradation the
+/// grid's single-cell geometry also provides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialPlan {
+    /// The per-launch kernel plan (shared by both routes: the grid
+    /// route launches it once per surviving cell pair).
+    pub inner: ExecutionPlan,
+    /// The selected front end.
+    pub route: SpatialRoute,
+    /// Predicted seconds for the monolithic all-pairs launch.
+    pub all_pairs_seconds: f64,
+    /// Predicted seconds for the grid route (scaled work + launch
+    /// floors).
+    pub grid_seconds: f64,
+}
+
+impl SpatialPlan {
+    /// Predicted speedup of the grid route over all-pairs (>1 means
+    /// the grid wins).
+    pub fn predicted_speedup(&self) -> f64 {
+        self.all_pairs_seconds / self.grid_seconds
+    }
+}
+
+/// Choose between the grid front end and a monolithic all-pairs launch
+/// for a problem whose grid produced `stats`.
+pub fn choose_spatial_plan(
+    p: &ProblemSpec,
+    stats: &crate::grid::PruneStats,
+    cfg: &DeviceConfig,
+) -> SpatialPlan {
+    let inner = choose_plan(p, cfg);
+    let frac = if stats.total_point_pairs == 0 {
+        1.0
+    } else {
+        stats.candidate_point_pairs as f64 / stats.total_point_pairs as f64
+    };
+    // Launch floor: the predicted cost of the chosen spec at the
+    // smallest launchable size — pure per-launch overhead, paid once
+    // per surviving cell pair.
+    let floor_wl = Workload {
+        n: inner.block_size.min(p.n.max(1)),
+        b: inner.block_size,
+        dims: p.dims,
+        dist_cost: p.dist_cost,
+    };
+    let per_launch = predicted_run(&floor_wl, &inner.spec, cfg).timing.seconds;
+    let all_pairs_seconds = inner.predicted_seconds;
+    let grid_seconds = all_pairs_seconds * frac + stats.cell_pairs as f64 * per_launch;
+    let route = if grid_seconds < all_pairs_seconds {
+        SpatialRoute::Grid
+    } else {
+        SpatialRoute::AllPairs
+    };
+    SpatialPlan {
+        inner,
+        route,
+        all_pairs_seconds,
+        grid_seconds,
+    }
+}
+
 /// Choose the fastest feasible plan for a problem by analytical
 /// prediction.
 pub fn choose_plan(p: &ProblemSpec, cfg: &DeviceConfig) -> ExecutionPlan {
@@ -290,6 +373,52 @@ mod tests {
             .candidates
             .iter()
             .all(|(s, _, _)| s.input != InputPath::Shuffle));
+    }
+
+    #[test]
+    fn spatial_plan_picks_grid_when_pruning_is_strong() {
+        let p = ProblemSpec {
+            n: 1 << 20,
+            dims: 3,
+            dist_cost: 7,
+            output: ProblemOutput::Scalar,
+        };
+        // Small r_max in a big box: ~99% of pairs pruned over ~2k
+        // surviving cell pairs.
+        let stats = crate::grid::PruneStats {
+            n: 1 << 20,
+            cells: 4096,
+            occupied_cells: 4096,
+            cell_pairs: 2_048,
+            candidate_point_pairs: (1u64 << 39) / 100,
+            total_point_pairs: 1u64 << 39,
+        };
+        let plan = choose_spatial_plan(&p, &stats, &titan());
+        assert_eq!(plan.route, SpatialRoute::Grid);
+        assert!(plan.predicted_speedup() > 10.0, "{plan:?}");
+    }
+
+    #[test]
+    fn spatial_plan_falls_back_when_pruning_is_nil() {
+        let p = ProblemSpec {
+            n: 4096,
+            dims: 3,
+            dist_cost: 7,
+            output: ProblemOutput::Scalar,
+        };
+        // r_max ≥ box: single cell, nothing pruned — the launch floor
+        // makes the grid route strictly worse.
+        let stats = crate::grid::PruneStats {
+            n: 4096,
+            cells: 1,
+            occupied_cells: 1,
+            cell_pairs: 1,
+            candidate_point_pairs: 4096 * 4095 / 2,
+            total_point_pairs: 4096 * 4095 / 2,
+        };
+        let plan = choose_spatial_plan(&p, &stats, &titan());
+        assert_eq!(plan.route, SpatialRoute::AllPairs);
+        assert!(plan.grid_seconds > plan.all_pairs_seconds);
     }
 
     #[test]

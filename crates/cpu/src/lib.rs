@@ -32,12 +32,14 @@
 //! ```
 
 pub mod blocked;
+pub mod grid;
 pub mod model;
 pub mod pcf;
 pub mod schedule;
 pub mod sdh;
 
 pub use blocked::{sdh_blocked, BlockedSdhConfig};
+pub use grid::{grid_pcf_device_reference, grid_pcf_reference, grid_radial_reference};
 pub use model::CpuModel;
 pub use pcf::{pcf_parallel, pcf_reference};
 pub use schedule::Schedule;

@@ -64,6 +64,87 @@ pub fn clustered_points<const D: usize>(
     pts
 }
 
+/// Points drawn from Gaussian blobs at *explicit* centers with a
+/// per-blob standard deviation — the controllable-skew catalog for the
+/// spatial-pruning study (grid speedups and occupancy skew are
+/// meaningless on uniform-only data). Points are assigned to blobs
+/// round-robin and coordinates wrap periodically into `[0, edge)`
+/// (`rem_euclid`), so a blob centered at the box edge spills to the
+/// opposite face instead of piling up against a clamp.
+///
+/// `sigmas` must be the same length as `centers`; fully deterministic
+/// under `seed`.
+pub fn gaussian_blobs<const D: usize>(
+    n: usize,
+    edge: f32,
+    centers: &[[f32; D]],
+    sigmas: &[f32],
+    seed: u64,
+) -> SoaPoints<D> {
+    assert!(edge > 0.0, "box edge must be positive");
+    assert!(!centers.is_empty(), "need at least one blob center");
+    assert_eq!(
+        centers.len(),
+        sigmas.len(),
+        "one sigma per blob center required"
+    );
+    assert!(sigmas.iter().all(|&s| s >= 0.0), "sigmas must be >= 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = SoaPoints::with_capacity(n);
+    for i in 0..n {
+        let blob = i % centers.len();
+        let (c, s) = (centers[blob], sigmas[blob]);
+        pts.push(std::array::from_fn(|d| {
+            let x = (c[d] + gaussian(&mut rng) * s).rem_euclid(edge);
+            // rem_euclid can return `edge` itself when the remainder
+            // rounds up; fold that single boundary value back inside.
+            if x >= edge {
+                0.0
+            } else {
+                x
+            }
+        }));
+    }
+    pts
+}
+
+/// A periodic-box uniform random catalog: a jittered (stratified)
+/// lattice with one point per stratum and the remainder filled
+/// uniformly. Statistically uniform in `[0, edge)^D` like
+/// [`uniform_points`], but with sub-Poisson large-scale fluctuations —
+/// the standard construction for the RR normalization catalog of
+/// correlation-function estimators, where uniform-catalog shot noise
+/// would otherwise dominate the error budget.
+pub fn periodic_uniform_points<const D: usize>(n: usize, edge: f32, seed: u64) -> SoaPoints<D> {
+    assert!(edge > 0.0, "box edge must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = SoaPoints::with_capacity(n);
+    // Largest lattice with at most n sites.
+    let m = (n as f64).powf(1.0 / D as f64).floor() as usize;
+    if m >= 1 {
+        let cell = edge / m as f32;
+        let mut idx = [0usize; D];
+        'lattice: loop {
+            pts.push(std::array::from_fn(|d| {
+                let x = (idx[d] as f32 + rng.random_range(0.0..1.0)) * cell;
+                x.min(edge * (1.0 - 1e-6))
+            }));
+            for d in (0..D).rev() {
+                idx[d] += 1;
+                if idx[d] < m {
+                    continue 'lattice;
+                }
+                idx[d] = 0;
+            }
+            break;
+        }
+    }
+    while pts.len() < n {
+        pts.push(std::array::from_fn(|_| rng.random_range(0.0..edge)));
+    }
+    pts
+}
+
 /// A standard normal sample via Box–Muller (the offline crate set has no
 /// `rand_distr`).
 fn gaussian(rng: &mut StdRng) -> f32 {
@@ -146,6 +227,85 @@ mod tests {
         for p in pts.iter() {
             assert!((0.0..50.0).contains(&p[0]) && (0.0..50.0).contains(&p[1]));
         }
+    }
+
+    #[test]
+    fn gaussian_blobs_are_deterministic_and_in_bounds() {
+        let centers = [[20.0, 20.0, 20.0], [80.0, 80.0, 80.0]];
+        let sigmas = [2.0, 5.0];
+        let a = gaussian_blobs::<3>(2000, 100.0, &centers, &sigmas, 5);
+        let b = gaussian_blobs::<3>(2000, 100.0, &centers, &sigmas, 5);
+        let c = gaussian_blobs::<3>(2000, 100.0, &centers, &sigmas, 6);
+        assert_eq!(a, b, "same seed, same catalog");
+        assert_ne!(a, c, "different seed, different catalog");
+        for p in a.iter() {
+            for &x in &p {
+                assert!((0.0..100.0).contains(&x), "coordinate {x} out of box");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_blobs_concentrate_at_their_centers() {
+        let centers = [[25.0, 25.0], [75.0, 75.0]];
+        let pts = gaussian_blobs::<2>(1000, 100.0, &centers, &[1.5, 1.5], 7);
+        let near = pts
+            .iter()
+            .filter(|p| {
+                centers
+                    .iter()
+                    .any(|c| ((p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2)).sqrt() < 6.0)
+            })
+            .count();
+        // ~4σ capture: essentially everything.
+        assert!(near > 990, "only {near}/1000 points near a center");
+    }
+
+    #[test]
+    fn gaussian_blobs_wrap_periodically() {
+        // A blob centered on the box corner spills to both faces, not
+        // into a clamp spike at 0.
+        let pts = gaussian_blobs::<1>(4000, 100.0, &[[0.0]], &[3.0], 8);
+        let low = pts.iter().filter(|p| p[0] < 10.0).count();
+        let high = pts.iter().filter(|p| p[0] > 90.0).count();
+        assert!(low > 1000 && high > 1000, "low {low} high {high}");
+        let exactly_zero = pts.iter().filter(|p| p[0] == 0.0).count();
+        assert!(exactly_zero < 10, "clamp spike at 0: {exactly_zero}");
+    }
+
+    #[test]
+    fn periodic_uniform_is_deterministic_in_bounds_and_stratified() {
+        let a = periodic_uniform_points::<3>(5000, 100.0, 3);
+        let b = periodic_uniform_points::<3>(5000, 100.0, 3);
+        assert_eq!(a, b, "same seed, same catalog");
+        assert_eq!(a.len(), 5000);
+        for p in a.iter() {
+            for &x in &p {
+                assert!((0.0..100.0).contains(&x));
+            }
+        }
+        // Stratification: every lattice stratum (17³ = 4913 ≤ 5000)
+        // holds exactly one of the first 4913 points, so per-octant
+        // counts are much tighter than Poisson.
+        let mut octants = [0u32; 8];
+        for p in a.iter() {
+            let o = (p[0] >= 50.0) as usize
+                | ((p[1] >= 50.0) as usize) << 1
+                | ((p[2] >= 50.0) as usize) << 2;
+            octants[o] += 1;
+        }
+        let (lo, hi) = (
+            *octants.iter().min().unwrap(),
+            *octants.iter().max().unwrap(),
+        );
+        assert!(hi - lo < 80, "octant spread {lo}..{hi} too wide");
+    }
+
+    #[test]
+    fn periodic_uniform_handles_tiny_n() {
+        assert_eq!(periodic_uniform_points::<3>(0, 10.0, 1).len(), 0);
+        assert_eq!(periodic_uniform_points::<3>(1, 10.0, 1).len(), 1);
+        assert_eq!(periodic_uniform_points::<3>(7, 10.0, 1).len(), 7);
     }
 
     #[test]
