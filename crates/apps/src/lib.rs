@@ -13,6 +13,7 @@
 //! | [`join`] — spatial distance join | III | pair list in global memory |
 //! | [`gram`] — kernel (Gram) matrix | III | dense N×N matrix |
 //! | [`multi_gpu`] — multi-device SDH decomposition | II | chunked self/cross tasks |
+//! | [`serve`] — batched, sharded, concurrent query service | I+II | coalesced multi-query sinks |
 //!
 //! Every app takes a [`driver::PairwisePlan`] selecting the input-staging
 //! variant (Naive / SHM-SHM / Register-SHM / Register-ROC / Shuffle),
@@ -43,6 +44,7 @@ pub mod multi_gpu;
 pub mod pcf;
 pub mod rdf;
 pub mod sdh;
+pub mod serve;
 
 pub use driver::{launch_pairwise, PairwisePlan};
 pub use gram::{gram_gpu, GramResult};
@@ -56,7 +58,8 @@ pub use join::{
 };
 pub use kde::{kde_gpu, kde_reference, KdeResult};
 pub use knn::{knn_gpu, knn_reference, KnnResult};
-pub use multi_gpu::{sdh_multi_gpu, MultiGpuSdh, SdhTask};
+pub use multi_gpu::{build_tasks, chunk_ranges, lpt_schedule, sdh_multi_gpu, MultiGpuSdh, SdhTask};
 pub use pcf::{landy_szalay, ls_pair_counts, pcf_gpu, LsPairCounts, PcfResult};
 pub use rdf::{normalize_sdh, rdf_gpu, rdf_gpu_periodic, Rdf};
 pub use sdh::{sdh_gpu, sdh_gpu_with, SdhOutputMode, SdhResult};
+pub use serve::{Query, QueryResult, ServeConfig, ServeError, Server, ServerHandle, ServerStats};

@@ -37,7 +37,9 @@ impl SdhTask {
         match *self {
             SdhTask::SelfJoin { chunk } => {
                 let c = sizes[chunk] as u64;
-                c * (c - 1) / 2
+                // `saturating_sub`: an empty chunk has zero pairs, not a
+                // debug-build underflow panic.
+                c * c.saturating_sub(1) / 2
             }
             SdhTask::CrossJoin { left, right } => sizes[left] as u64 * sizes[right] as u64,
         }
@@ -84,6 +86,25 @@ pub fn chunk_ranges(n: usize, g: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Build the task list for chunk sizes `sizes`: one self-join per chunk
+/// with ≥ 2 points, one cross-join per non-empty chunk pair — `G`
+/// self-joins + `G(G−1)/2` cross-joins when nothing is empty.
+pub fn build_tasks(sizes: &[usize]) -> Vec<SdhTask> {
+    let g = sizes.len();
+    let mut tasks = Vec::new();
+    for i in 0..g {
+        if sizes[i] >= 2 {
+            tasks.push(SdhTask::SelfJoin { chunk: i });
+        }
+        for j in (i + 1)..g {
+            if sizes[i] > 0 && sizes[j] > 0 {
+                tasks.push(SdhTask::CrossJoin { left: i, right: j });
+            }
+        }
+    }
+    tasks
+}
+
 /// LPT-schedule tasks over `devices` by pair count; returns per-device
 /// task lists.
 pub fn lpt_schedule(tasks: &[SdhTask], sizes: &[usize], devices: usize) -> Vec<Vec<SdhTask>> {
@@ -118,18 +139,7 @@ pub fn sdh_multi_gpu<const D: usize>(
     let chunks: Vec<SoaPoints<D>> = ranges.iter().map(|r| pts.slice(r.clone())).collect();
     let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
 
-    // Build the task list: G self-joins + G(G−1)/2 cross-joins.
-    let mut tasks = Vec::new();
-    for i in 0..g {
-        if sizes[i] >= 2 {
-            tasks.push(SdhTask::SelfJoin { chunk: i });
-        }
-        for j in (i + 1)..g {
-            if sizes[i] > 0 && sizes[j] > 0 {
-                tasks.push(SdhTask::CrossJoin { left: i, right: j });
-            }
-        }
-    }
+    let tasks = build_tasks(&sizes);
     let assignment = lpt_schedule(&tasks, &sizes, g);
 
     let mut histogram = Histogram::zeroed(spec.buckets);
@@ -294,6 +304,49 @@ mod tests {
             four.makespan(),
             one.makespan()
         );
+    }
+
+    #[test]
+    fn empty_chunk_pair_counts_do_not_underflow() {
+        // Regression: `SelfJoin.pairs` on an empty (or singleton) chunk
+        // used `c * (c - 1) / 2`, which underflows in debug builds when
+        // c = 0. A shard plan over more workers than points produces
+        // exactly such empty chunks.
+        let sizes = vec![0usize, 1, 5];
+        assert_eq!(SdhTask::SelfJoin { chunk: 0 }.pairs(&sizes), 0);
+        assert_eq!(SdhTask::SelfJoin { chunk: 1 }.pairs(&sizes), 0);
+        assert_eq!(SdhTask::SelfJoin { chunk: 2 }.pairs(&sizes), 10);
+        // And the task builder + scheduler stay consistent around them:
+        // empty shards spawn no tasks, and scheduling what remains works.
+        let tasks = build_tasks(&sizes);
+        assert_eq!(
+            tasks,
+            vec![
+                SdhTask::CrossJoin { left: 1, right: 2 },
+                SdhTask::SelfJoin { chunk: 2 },
+            ]
+        );
+        let assign = lpt_schedule(&tasks, &sizes, 4);
+        let assigned: usize = assign.iter().map(Vec::len).sum();
+        assert_eq!(assigned, tasks.len());
+    }
+
+    #[test]
+    fn multi_gpu_with_more_devices_than_points_is_fine() {
+        // End-to-end shape of the same regression: 3 points over 8
+        // devices yields empty chunks; the run must still merge to the
+        // single-device truth.
+        let pts = uniform_points::<3>(3, DEFAULT_BOX, 71);
+        let got = sdh_multi_gpu(
+            &pts,
+            spec(),
+            PairwisePlan::register_shm(64),
+            8,
+            &DeviceConfig::titan_x(),
+        )
+        .expect("launch");
+        assert_eq!(got.histogram, tbs_cpu::sdh_reference(&pts, spec()));
+        assert_eq!(got.histogram.total(), 3);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The query batcher: coalesce admitted queries that share a dataset
+//! into one multi-sink pairwise sweep.
+//!
+//! A [`SinkPlan`] flattens a group of batchable queries into the sink
+//! lists a [`tbs_core::output::MultiQueryAction`] consumes — count sinks
+//! first, histogram sinks after, exactly the order the fused
+//! `FusedConsumer::Multi` pass feeds them — plus per-query routes to
+//! demultiplex the merged sink outputs back into [`QueryResult`]s.
+//! Coalescing is *output-level only*: every sink sees the identical
+//! distance stream the standalone query would see, which is why a
+//! batched answer is bit-identical to a sequential one (enforced by
+//! `apps/tests/it_serve.rs` and the route matrix in
+//! `core/tests/fused_identity.rs`).
+
+use super::query::{Query, QueryResult};
+use tbs_core::histogram::{Histogram, HistogramSpec};
+
+/// Where one query's results live inside a [`SinkPlan`]'s merged sink
+/// outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryRoute {
+    /// Count sinks `[start, start + len)`.
+    Counts {
+        /// First count-sink index.
+        start: usize,
+        /// Number of consecutive count sinks.
+        len: usize,
+    },
+    /// Histogram sink `idx`.
+    Hist {
+        /// Histogram-sink index.
+        idx: usize,
+    },
+}
+
+/// The flattened sink layout of one coalesced batch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SinkPlan {
+    /// Radii of the count sinks, in sink order.
+    pub counts: Vec<f32>,
+    /// Geometries of the histogram sinks, in sink order.
+    pub hists: Vec<HistogramSpec>,
+    /// One route per query, in admission order.
+    pub routes: Vec<QueryRoute>,
+}
+
+impl SinkPlan {
+    /// Flatten `queries` (all batchable, already validated) into sink
+    /// lists + routes.
+    pub fn plan(queries: &[Query]) -> SinkPlan {
+        let mut plan = SinkPlan::default();
+        for q in queries {
+            match q {
+                Query::PairCounts { radii } => {
+                    plan.routes.push(QueryRoute::Counts {
+                        start: plan.counts.len(),
+                        len: radii.len(),
+                    });
+                    plan.counts.extend_from_slice(radii);
+                }
+                Query::CountWithin { radius, .. } => {
+                    plan.routes.push(QueryRoute::Counts {
+                        start: plan.counts.len(),
+                        len: 1,
+                    });
+                    plan.counts.push(*radius);
+                }
+                Query::Sdh { buckets, width } => {
+                    plan.routes.push(QueryRoute::Hist {
+                        idx: plan.hists.len(),
+                    });
+                    plan.hists.push(Query::sdh_spec(*buckets, *width));
+                }
+                Query::Knn { .. } => unreachable!("kNN is never batched"),
+            }
+        }
+        plan
+    }
+
+    /// Total sinks of the coalesced sweep.
+    pub fn sinks(&self) -> usize {
+        self.counts.len() + self.hists.len()
+    }
+
+    /// Demultiplex merged sink outputs into per-query results (same
+    /// order as the `queries` passed to [`SinkPlan::plan`]).
+    pub fn demux(&self, counts: &[u64], hists: Vec<Histogram>) -> Vec<QueryResult> {
+        let mut hists: Vec<Option<Histogram>> = hists.into_iter().map(Some).collect();
+        self.routes
+            .iter()
+            .map(|route| match *route {
+                QueryRoute::Counts { start, len } => {
+                    QueryResult::Counts(counts[start..start + len].to_vec())
+                }
+                QueryRoute::Hist { idx } => QueryResult::Histogram(
+                    hists[idx]
+                        .take()
+                        .expect("each hist sink routes to one query"),
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_flattens_in_admission_order_counts_before_hists() {
+        let queries = vec![
+            Query::Sdh {
+                buckets: 16,
+                width: 2.0,
+            },
+            Query::PairCounts {
+                radii: vec![1.0, 2.0],
+            },
+            Query::CountWithin {
+                radius: 5.0,
+                gridded: false,
+            },
+            Query::Sdh {
+                buckets: 8,
+                width: 1.0,
+            },
+        ];
+        let plan = SinkPlan::plan(&queries);
+        assert_eq!(plan.counts, vec![1.0, 2.0, 5.0]);
+        assert_eq!(plan.hists.len(), 2);
+        assert_eq!(plan.sinks(), 5);
+        assert_eq!(
+            plan.routes,
+            vec![
+                QueryRoute::Hist { idx: 0 },
+                QueryRoute::Counts { start: 0, len: 2 },
+                QueryRoute::Counts { start: 2, len: 1 },
+                QueryRoute::Hist { idx: 1 },
+            ]
+        );
+        let results = plan.demux(
+            &[10, 20, 30],
+            vec![
+                Histogram::from_counts(vec![1; 16]),
+                Histogram::from_counts(vec![2; 8]),
+            ],
+        );
+        assert_eq!(results[1], QueryResult::Counts(vec![10, 20]));
+        assert_eq!(results[2], QueryResult::Counts(vec![30]));
+        match (&results[0], &results[3]) {
+            (QueryResult::Histogram(a), QueryResult::Histogram(b)) => {
+                assert_eq!(a.counts().len(), 16);
+                assert_eq!(b.counts().len(), 8);
+            }
+            other => panic!("wrong demux: {other:?}"),
+        }
+    }
+}

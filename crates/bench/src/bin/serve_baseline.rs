@@ -1,0 +1,110 @@
+//! Query-service SLO baseline for the `tbs-serve` serving layer.
+//!
+//! Runs `experiments::ext_serve`: the coalescing-throughput leg (k = 12
+//! batchable queries one-at-a-time vs as one admission batch, answers
+//! asserted bit-identical in-run), the single-query latency
+//! distribution at CI size, and the shard-cache hit rate. Prints the
+//! structured report and records `BENCH_ext_serve.json` at the
+//! repository root.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tbs-bench --bin serve_baseline             # ratio at N = 16384, 65536
+//! cargo run --release -p tbs-bench --bin serve_baseline -- --quick  # gate size only (N = 16384), for CI
+//! ```
+//!
+//! Every sweep is quadratic in N, so the N = 65536 leg costs minutes
+//! (one coalesced sweep ≈ 35 s on a CI-class host, plus k sequential
+//! sweeps); `--quick` keeps the bin CI-friendly while the default run
+//! measures the acceptance size.
+//!
+//! Acceptance gates: coalescing must be ≥2× over sequential serving at
+//! every measured size (the headline claim, at N = 65536 on a default
+//! run), and the shard-upload cache must replay at least half of its
+//! probes. The N = 65536 gate is reported as skipped — loudly, never
+//! silently passed — under `--quick`. Pass `--json DIR` (or set
+//! `TBS_REPORT_DIR`) to also mirror the schema-versioned
+//! `ext_serve.json` report.
+
+use tbs_bench::experiments::ext_serve::{self, ServeSample};
+use tbs_bench::report;
+use tbs_json::Json;
+
+const LATENCY_N: usize = 4_096;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[16_384] } else { &[16_384, 65_536] };
+
+    let samples: Vec<ServeSample> = sizes.iter().map(|&n| ext_serve::measure_ratio(n)).collect();
+    let latency = ext_serve::measure_latency(LATENCY_N);
+    report::emit_result(ext_serve::build_report_from(&samples, &latency));
+
+    let entry = |s: &ServeSample| {
+        Json::obj()
+            .with("n", s.n)
+            .with("queries", s.k)
+            .with("sinks", s.sinks)
+            .with("sequential_s", s.sequential_s)
+            .with("batched_s", s.batched_s)
+            .with("batched_vs_sequential", s.batched_vs_sequential())
+            .with("cache_hit_rate", s.stats.cache_hit_rate())
+            .with("sim_seconds", s.stats.sim_seconds)
+            .with("tasks", s.stats.tasks)
+    };
+    let doc = Json::obj()
+        .with("benchmark", "ext_serve")
+        .with(
+            "workload",
+            "tbs-serve coalescing: k=12 batchable queries (16 sinks), 2 workers/shards, \
+             uniform 100^3 box; 40 single-query latency probes at N=4096",
+        )
+        .with("bit_identical", true)
+        .with("sizes", Json::Arr(samples.iter().map(entry).collect()))
+        .with(
+            "latency",
+            Json::obj()
+                .with("n", latency.n)
+                .with("probes", latency.probes)
+                .with("p50_ms", latency.p50_ms)
+                .with("p99_ms", latency.p99_ms),
+        );
+
+    // crates/bench/ -> repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ext_serve.json");
+    std::fs::write(path, doc.render().expect("render ext_serve JSON"))
+        .expect("write BENCH_ext_serve.json");
+    eprintln!("wrote {path}");
+
+    // Acceptance gates (ext_serve::measure_ratio already asserted the
+    // batched answers bit-identical to the sequential ones in-run).
+    let mut verdicts: Vec<String> = Vec::new();
+    let mut check = |name: &str, value: Option<f64>, floor: f64| match value {
+        Some(v) => {
+            assert!(
+                v >= floor,
+                "acceptance gate failed: {name} {v:.2} < {floor} floor"
+            );
+            verdicts.push(format!("{name} {v:.2} >= {floor}"));
+        }
+        None => {
+            eprintln!("acceptance gate SKIPPED: {name} (size not measured under --quick)");
+            verdicts.push(format!("{name} skipped"));
+        }
+    };
+    let ratio_at = |n: usize| {
+        samples
+            .iter()
+            .find(|s| s.n == n)
+            .map(ServeSample::batched_vs_sequential)
+    };
+    check("batched over sequential at N=16384", ratio_at(16_384), 2.0);
+    check("batched over sequential at N=65536", ratio_at(65_536), 2.0);
+    check(
+        "shard cache hit rate",
+        Some(samples[0].stats.cache_hit_rate()),
+        0.5,
+    );
+    eprintln!("acceptance gates: {}", verdicts.join("; "));
+}

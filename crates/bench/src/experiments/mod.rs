@@ -8,6 +8,7 @@ pub mod ext_fusedout;
 pub mod ext_ls;
 pub mod ext_multicopy;
 pub mod ext_multigpu;
+pub mod ext_serve;
 pub mod ext_skew;
 pub mod ext_type3;
 pub mod fig2;

@@ -301,6 +301,21 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // min-distance cull must discard ≥90 % of the pair mass at
         // N = 262144 with the reference r_max.
         spec("sim_gridpath.pruned_pair_fraction.n262144", Band::min(0.9)),
+        // Query-service SLO bands (extension). Coalescing k = 6
+        // same-dataset queries into one multi-consumer sweep must stay
+        // a genuine multiplier over one-at-a-time serving (the PR's
+        // ≥2× claim at the acceptance size, asserted bit-identical
+        // in-run; gated at the reduced size like the hotpath bands).
+        spec("ext_serve.batched_vs_sequential.n16384", Band::min(2.0)),
+        // Single-query round-trip ceiling at CI size (p99 over 40
+        // probes, cold shard upload included). Wall-clock, so the
+        // ceiling sits ~5× over the slowest observed CI-class run —
+        // it trips on a dispatcher/cache regression, not on noise.
+        spec("ext_serve.p99_latency_ms.n4096", Band::max(2_000.0)),
+        // The shard-upload cache must replay most probes across the
+        // throughput leg (deterministic: 12 hits / 14 probes with the
+        // 2-worker layout); repeat queries must never re-upload.
+        spec("ext_serve.cache_hit_rate", Band::min(0.5)),
     ];
     const GROUPS: &[GateGroup] = &[
         GateGroup {
@@ -373,6 +388,7 @@ pub fn host_reports() -> Result<Vec<Report>, ReportError> {
     Ok(vec![
         hotpath::build_report(&[16_384])?,
         gridpath::build_report(&[262_144, 1_048_576], &gridpath::GridpathConfig::gate())?,
+        ext_serve::build_report(&[16_384], 4_096)?,
     ])
 }
 

@@ -82,6 +82,7 @@ pub use kernels::{
 };
 pub use output::{
     CountWithinRadius, GlobalHistogramAction, KdeAction, KnnAction, MatrixWriteAction,
-    MultiCopyHistogramAction, OutputClass, PairAction, PairListAction, SharedHistogramAction,
+    MultiCopyHistogramAction, MultiCountSink, MultiHistSink, MultiQueryAction, MultiQueryBlock,
+    OutputClass, PairAction, PairListAction, SharedHistogramAction,
 };
 pub use point::{DeviceSoa, SoaPoints};

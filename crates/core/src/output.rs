@@ -21,8 +21,8 @@
 
 use crate::histogram::HistogramSpec;
 use gpu_sim::{
-    BlockCtx, BufF32, BufU32, BufU64, CompiledSinkSpec, F32x32, FusedConsumer, Mask, ShmU32,
-    U32x32, U64x32, WarpCtx, WARP_SIZE,
+    BlockCtx, BufF32, BufU32, BufU64, CompiledSinkSpec, F32x32, FusedConsumer, FusedSink, Mask,
+    ShmU32, U32x32, U64x32, WarpCtx, WARP_SIZE,
 };
 
 /// The paper's output classification (§III-B).
@@ -799,5 +799,211 @@ impl PairAction for MatrixWriteAction {
         } else {
             1
         }
+    }
+}
+
+// ====================================================================
+// Batched multi-query (the serve layer's coalesced sweep)
+// ====================================================================
+
+/// One count-within-radius consumer of a [`MultiQueryAction`] batch —
+/// the [`CountWithinRadius`] shape with its own radius and output.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCountSink {
+    /// Count pairs with distance strictly below this radius.
+    pub radius: f32,
+    /// Per-thread output counts, length ≥ total threads of the launch.
+    pub out: BufU64,
+}
+
+/// One privatized-histogram consumer of a [`MultiQueryAction`] batch —
+/// the [`SharedHistogramAction`] shape with its own geometry and
+/// private-copy output.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiHistSink {
+    /// Histogram geometry.
+    pub spec: HistogramSpec,
+    /// Private copies: `grid_dim × buckets` u32 values, block `b`'s copy
+    /// at `[b * buckets .. (b+1) * buckets]`.
+    pub private: BufU32,
+}
+
+/// Many queries, one pairwise sweep: each computed distance feeds every
+/// count sink and every histogram sink in order, so `k` queries that
+/// share a dataset + distance kernel cost one O(N²) stage instead of
+/// `k`. This is the engine half of the `tbs-serve` query batcher
+/// (CADISHI's producer/consumer pipeline shape: one distance evaluation,
+/// many histogram consumers).
+///
+/// Per-sink behaviour — outputs *and* charges — replicates the
+/// standalone actions exactly ([`CountWithinRadius`],
+/// [`SharedHistogramAction`]), and the fused route drives all sinks from
+/// one `FusedConsumer::Multi` pass, so a batched run stays bit-identical
+/// to issuing each query alone (the differential suites enforce this).
+/// The compiled route is declined (`compiled_sink` stays `None`): a
+/// batch falls back to fused, exactly as the single-sink histogram does.
+#[derive(Debug, Clone, Default)]
+pub struct MultiQueryAction {
+    /// Count consumers, fed first (in order).
+    pub counts: Vec<MultiCountSink>,
+    /// Histogram consumers, fed after the counts (in order).
+    pub hists: Vec<MultiHistSink>,
+}
+
+/// Per-block state of a [`MultiQueryAction`]: one register accumulator
+/// per warp per count sink, one privatized shared histogram per
+/// histogram sink.
+pub struct MultiQueryBlock {
+    counts: Vec<Vec<U64x32>>,
+    hists: Vec<ShmU32>,
+}
+
+impl PairAction for MultiQueryAction {
+    type Block = MultiQueryBlock;
+
+    fn name(&self) -> &'static str {
+        "multi-query"
+    }
+
+    fn class(&self) -> OutputClass {
+        if self.hists.is_empty() {
+            OutputClass::TypeI
+        } else {
+            OutputClass::TypeII
+        }
+    }
+
+    fn begin_block(&self, blk: &mut BlockCtx<'_>) -> Self::Block {
+        let counts = self
+            .counts
+            .iter()
+            .map(|_| vec![[0u64; WARP_SIZE]; blk.num_warps() as usize])
+            .collect();
+        // Zero every sink's private histogram cooperatively, then one
+        // barrier covers them all (Algorithm 3, line 1, per sink).
+        let bd = blk.block_dim;
+        let hists: Vec<ShmU32> = self
+            .hists
+            .iter()
+            .map(|hs| {
+                let h = hs.spec.buckets;
+                let shm = blk.shared_alloc_u32(h as usize);
+                blk.for_each_warp(|w| {
+                    let tid = w.thread_ids();
+                    let mut off = 0u32;
+                    while off < h {
+                        let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
+                        let m = w.mask_lt(&idx, h).and(w.active_threads());
+                        if m.any() {
+                            w.shared_store_u32(shm, &idx, &[0; WARP_SIZE], m);
+                        }
+                        off += bd;
+                    }
+                });
+                shm
+            })
+            .collect();
+        if !hists.is_empty() {
+            blk.syncthreads();
+        }
+        MultiQueryBlock { counts, hists }
+    }
+
+    fn process(
+        &self,
+        w: &mut WarpCtx<'_, '_>,
+        st: &mut Self::Block,
+        _left: &U32x32,
+        _right: &U32x32,
+        value: &F32x32,
+        mask: Mask,
+    ) {
+        // Sink order here must match `fused_consumer` below: counts
+        // first, then histograms — each body identical to its standalone
+        // action's `process`.
+        for (cs, acc) in self.counts.iter().zip(st.counts.iter_mut()) {
+            let hits = w.lt_f32(value, cs.radius, mask);
+            w.charge_alu(1, mask);
+            let acc = &mut acc[w.warp_id as usize];
+            for lane in hits.lanes() {
+                acc[lane] += 1;
+            }
+        }
+        for (hs, shm) in self.hists.iter().zip(st.hists.iter()) {
+            let bucket = hs.spec.bucket_lanes(w, value, mask);
+            w.shared_atomic_add_u32(*shm, &bucket, &[1; WARP_SIZE], mask);
+        }
+    }
+
+    fn end_block(&self, blk: &mut BlockCtx<'_>, st: Self::Block) {
+        if !st.hists.is_empty() {
+            blk.syncthreads();
+        }
+        let bd = blk.block_dim;
+        for (hs, shm) in self.hists.iter().zip(st.hists.iter()) {
+            let h = hs.spec.buckets;
+            let base = blk.block_id * h;
+            let private = hs.private;
+            let shm = *shm;
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids();
+                let mut off = 0u32;
+                while off < h {
+                    let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
+                    let m = w.mask_lt(&idx, h).and(w.active_threads());
+                    if m.any() {
+                        let vals = w.shared_load_u32(shm, &idx, m);
+                        let slot: U32x32 = std::array::from_fn(|i| base + idx[i]);
+                        w.charge_alu(1, m);
+                        w.global_store_u32(private, &slot, &vals, m);
+                    }
+                    off += bd;
+                }
+            });
+        }
+        for (cs, acc) in self.counts.iter().zip(st.counts.iter()) {
+            let out = cs.out;
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let m = w.active_threads();
+                w.global_store_u64(out, &gid, &acc[w.warp_id as usize], m);
+            });
+        }
+    }
+
+    fn shared_bytes(&self, _block_dim: u32) -> u32 {
+        self.hists.iter().map(|hs| hs.spec.shared_bytes()).sum()
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        (2 * self.counts.len() as u32).max(2)
+    }
+
+    fn alu_per_pair(&self) -> u64 {
+        // Two per sink: compare+add for counts, bucket+clamp for
+        // histograms (each atomic itself is a memory op).
+        2 * (self.counts.len() + self.hists.len()) as u64
+    }
+
+    fn fused_consumer<'s>(
+        &self,
+        st: &'s mut Self::Block,
+        warp_id: u32,
+    ) -> Option<FusedConsumer<'s>> {
+        let mut sinks = Vec::with_capacity(self.counts.len() + self.hists.len());
+        for (cs, acc) in self.counts.iter().zip(st.counts.iter_mut()) {
+            sinks.push(FusedSink::CountLt {
+                radius: cs.radius,
+                acc: &mut acc[warp_id as usize],
+            });
+        }
+        for (hs, shm) in self.hists.iter().zip(st.hists.iter()) {
+            sinks.push(FusedSink::Histogram {
+                inv_width: hs.spec.inv_width(),
+                hmax: hs.spec.buckets.saturating_sub(1),
+                shm: *shm,
+            });
+        }
+        Some(FusedConsumer::Multi(sinks))
     }
 }

@@ -19,7 +19,8 @@ use tbs_core::kernels::{
     RegisterShmKernel, ShmShmKernel, ShuffleKernel,
 };
 use tbs_core::output::{
-    CountWithinRadius, KdeAction, MultiCopyHistogramAction, SharedHistogramAction,
+    CountWithinRadius, KdeAction, MultiCopyHistogramAction, MultiCountSink, MultiHistSink,
+    MultiQueryAction, SharedHistogramAction,
 };
 use tbs_core::point::SoaPoints;
 
@@ -570,6 +571,182 @@ fn shuffle_kde_gaussian_is_route_identical() {
             .collect();
         (bits, run)
     });
+}
+
+#[test]
+fn multi_query_mixed_batch_is_route_identical() {
+    // The serve layer's coalesced sweep: two count sinks + two histogram
+    // sinks fed by one pairwise stage. `MultiQueryAction` keeps
+    // `compiled_sink()` at `None`, so every compiled tile *pass*
+    // declines to the fused route bit-identically (the cooperative tile
+    // fetch still lowers — `compiled_ops > 0` comes from that alone);
+    // the default route must drive all four sinks through one
+    // `FusedConsumer::Multi` pass per tile.
+    let pts = cloud(200);
+    let spec_a = HistogramSpec::new(32, 180.0);
+    let spec_b = HistogramSpec::new(48, 90.0);
+    let [_, fused, _, _] = assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let c0 = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+        let c1 = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+        let h0 = dev.alloc_u32_zeroed((lc.grid_dim * spec_a.buckets) as usize);
+        let h1 = dev.alloc_u32_zeroed((lc.grid_dim * spec_b.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            MultiQueryAction {
+                counts: vec![
+                    MultiCountSink {
+                        radius: 9.0,
+                        out: c0,
+                    },
+                    MultiCountSink {
+                        radius: 25.0,
+                        out: c1,
+                    },
+                ],
+                hists: vec![
+                    MultiHistSink {
+                        spec: spec_a,
+                        private: h0,
+                    },
+                    MultiHistSink {
+                        spec: spec_b,
+                        private: h1,
+                    },
+                ],
+            },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        let run = dev.launch(&k, lc);
+        let mut bits: Bits = dev.u64_slice(c0).to_vec();
+        bits.extend(dev.u64_slice(c1));
+        bits.extend(dev.u32_slice(h0).iter().map(|&x| x as u64));
+        bits.extend(dev.u32_slice(h1).iter().map(|&x| x as u64));
+        (bits, run)
+    });
+    assert!(
+        fused.interp.fused_coverage(&fused.tally) > 0.5,
+        "multi-sink batches must still flow the fused path (coverage {})",
+        fused.interp.fused_coverage(&fused.tally)
+    );
+}
+
+#[test]
+fn multi_query_counts_only_is_route_identical() {
+    // A pure 2-PCF batch (many radii, no histograms): Type-I shape, no
+    // shared output allocations, still one sweep feeding every radius.
+    // As above, only the tile fetch lowers on the compiled route.
+    let pts = cloud(150);
+    assert_identical(|dev| {
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let outs: Vec<_> = (0..3)
+            .map(|_| dev.alloc_u64_zeroed(lc.total_threads() as usize))
+            .collect();
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            MultiQueryAction {
+                counts: outs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &out)| MultiCountSink {
+                        radius: 5.0 + 10.0 * i as f32,
+                        out,
+                    })
+                    .collect(),
+                hists: vec![],
+            },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        let run = dev.launch(&k, lc);
+        let mut bits: Bits = Vec::new();
+        for &out in &outs {
+            bits.extend(dev.u64_slice(out));
+        }
+        (bits, run)
+    });
+}
+
+#[test]
+fn multi_query_batch_matches_single_query_oracles() {
+    // Batching must be invisible: every sink of a coalesced sweep must
+    // produce the exact bits the standalone single-query action
+    // produces. (The route matrix above proves route identity; this
+    // proves batched-vs-sequential identity.)
+    let pts = cloud(200);
+    let spec = HistogramSpec::new(32, 180.0);
+    let radii = [4.0f32, 9.0, 30.0];
+    for cfg in routes() {
+        let dev = &mut Device::new(cfg);
+        let input = pts.upload(dev);
+        let lc = pair_launch(input.n, B);
+        let couts: Vec<_> = radii
+            .iter()
+            .map(|_| dev.alloc_u64_zeroed(lc.total_threads() as usize))
+            .collect();
+        let hpriv = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            MultiQueryAction {
+                counts: radii
+                    .iter()
+                    .zip(&couts)
+                    .map(|(&radius, &out)| MultiCountSink { radius, out })
+                    .collect(),
+                hists: vec![MultiHistSink {
+                    spec,
+                    private: hpriv,
+                }],
+            },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        dev.launch(&k, lc);
+        for (&radius, &out) in radii.iter().zip(&couts) {
+            let solo = dev.alloc_u64_zeroed(lc.total_threads() as usize);
+            let k = RegisterShmKernel::new(
+                input,
+                Euclidean,
+                CountWithinRadius { radius, out: solo },
+                B,
+                PairScope::HalfPairs,
+                IntraMode::Regular,
+            );
+            dev.launch(&k, lc);
+            assert_eq!(
+                dev.u64_slice(out),
+                dev.u64_slice(solo),
+                "batched count at radius {radius} must bit-match the standalone query"
+            );
+        }
+        let solo = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
+        let k = RegisterShmKernel::new(
+            input,
+            Euclidean,
+            SharedHistogramAction {
+                spec,
+                private: solo,
+            },
+            B,
+            PairScope::HalfPairs,
+            IntraMode::Regular,
+        );
+        dev.launch(&k, lc);
+        assert_eq!(
+            dev.u32_slice(hpriv),
+            dev.u32_slice(solo),
+            "batched histogram must bit-match the standalone query"
+        );
+    }
 }
 
 #[test]

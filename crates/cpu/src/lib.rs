@@ -41,6 +41,6 @@ pub mod sdh;
 pub use blocked::{sdh_blocked, BlockedSdhConfig};
 pub use grid::{grid_pcf_device_reference, grid_pcf_reference, grid_radial_reference};
 pub use model::CpuModel;
-pub use pcf::{pcf_parallel, pcf_reference};
+pub use pcf::{count_within_reference, pcf_parallel, pcf_reference};
 pub use schedule::Schedule;
 pub use sdh::{sdh_parallel, sdh_reference, CpuSdhConfig};

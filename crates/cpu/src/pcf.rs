@@ -74,9 +74,40 @@ pub fn pcf_reference<const D: usize>(pts: &SoaPoints<D>, radius: f32) -> u64 {
     count
 }
 
+/// Single-threaded count with the **device** comparison semantics:
+/// `sqrt(s) < radius`, exactly as the GPU kernels' distance chain
+/// (per-dimension `sub` + `mul_add`, then `sqrt`) evaluates it.
+///
+/// [`pcf_reference`] compares the squared distance (`s < radius²`),
+/// which is faster but can disagree with the device by one pair when a
+/// squared distance rounds across the boundary: `s < r²` while
+/// `sqrt(s)` rounds up to ≥ `r` (or the reverse). At a few hundred
+/// points no seed in the test suite straddles the boundary; at millions
+/// of pairs such collisions are routine. Use this function as the
+/// oracle for anything that must be *bit-identical* to a GPU count
+/// (the query service's differential suite does).
+pub fn count_within_reference<const D: usize>(pts: &SoaPoints<D>, radius: f32) -> u64 {
+    let n = pts.len();
+    let mut count = 0u64;
+    for i in 0..n {
+        let a = pts.point(i);
+        for j in (i + 1)..n {
+            let b = pts.point(j);
+            let mut s = 0.0f32;
+            for d in 0..D {
+                let diff = a[d] - b[d];
+                s = diff.mul_add(diff, s);
+            }
+            count += u64::from(s.sqrt() < radius);
+        }
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tbs_core::distance::{DistanceKernel, Euclidean};
     use tbs_datagen::uniform_points;
 
     #[test]
@@ -92,6 +123,51 @@ mod tests {
                 pcf_parallel(&pts, 20.0, 4, schedule),
                 expect,
                 "{schedule:?}"
+            );
+        }
+    }
+
+    /// The device-semantics count is pinned to the distance kernel's
+    /// own host evaluation — the contract the GPU routes are built on.
+    #[test]
+    fn device_semantics_count_matches_eval_host() {
+        let pts = uniform_points::<3>(400, 100.0, 99);
+        let n = pts.len();
+        let mut want = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = Euclidean.eval_host(&pts.point(i), &pts.point(j));
+                want += u64::from(d < 20.0);
+            }
+        }
+        assert_eq!(count_within_reference(&pts, 20.0), want);
+    }
+
+    /// A pair whose squared distance rounds across the boundary: the
+    /// squared-compare reference and the device-semantics count must
+    /// (by construction) disagree by exactly one pair, documenting why
+    /// bit-identity oracles use the latter.
+    #[test]
+    fn squared_compare_can_disagree_at_the_boundary() {
+        // Search a dense band of separations just under r for one where
+        // `s < r²` and `sqrt(s) < r` differ; f32 rounding guarantees
+        // several exist in any fine enough sweep.
+        let r = 20.0f32;
+        let found = (0..20_000).find_map(|k| {
+            let d = r - (k as f32) * 1e-6;
+            let s = d.mul_add(d, 0.0);
+            if (s < r * r) != (s.sqrt() < r) {
+                Some(d)
+            } else {
+                None
+            }
+        });
+        if let Some(d) = found {
+            let pts = SoaPoints::<3>::from_points(&[[0.0, 0.0, 0.0], [d, 0.0, 0.0]]);
+            assert_ne!(
+                pcf_reference(&pts, r),
+                count_within_reference(&pts, r),
+                "boundary pair at separation {d} must split the references"
             );
         }
     }

@@ -642,7 +642,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                     }
                 }
             }
-            FusedConsumer::Histogram { .. } => unreachable!("histogram declines above"),
+            FusedConsumer::Histogram { .. } | FusedConsumer::Multi(_) => {
+                unreachable!("histogram/multi decline above")
+            }
         }
 
         let interp = &mut self.blk.interp;
@@ -930,6 +932,10 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 t.shared_bank_replays += atom_replays;
                 t.shared_bytes += 4 * s_total;
             }
+            // Multi-sink batches never lower (`MultiQueryAction` keeps
+            // `compiled_sink()` at `None`), so the sink-agreement check
+            // above already declined them.
+            FusedConsumer::Multi(_) => unreachable!("multi declines above"),
         }
 
         let interp = &mut self.blk.interp;

@@ -114,4 +114,41 @@ pub enum FusedConsumer<'c> {
         /// The privatized per-block histogram.
         shm: ShmU32,
     },
+    /// `MultiQueryAction` (the serve layer's coalesced batch): one
+    /// distance evaluation per step feeds every sink in order, so k
+    /// queries over the same dataset share a single pairwise sweep.
+    /// ALU, warp-instruction, and scatter charges are the sums of the
+    /// per-sink charges — the pass stays bit-identical (outputs *and*
+    /// tallies) to driving the same sinks through the op-by-op route.
+    Multi(Vec<FusedSink<'c>>),
+}
+
+/// One consumer of a [`FusedConsumer::Multi`] batched pass.
+///
+/// Each sink mirrors the corresponding single-consumer variant's
+/// per-step behaviour and ALU charge (two ops: compare+add /
+/// bucket+clamp), but shares the one distance evaluation with every
+/// other sink in the batch.
+#[derive(Debug)]
+pub enum FusedSink<'c> {
+    /// `CountWithinRadius`-shaped: `acc[l] += 1` where the value is
+    /// strictly below `radius`.
+    CountLt {
+        /// Exclusive distance threshold.
+        radius: f32,
+        /// Per-lane hit counters for this warp.
+        acc: &'c mut U64x32,
+    },
+    /// `SharedHistogramAction`-shaped: vectorized bucketing plus one
+    /// privatized shared atomic per step, with the scatter's
+    /// data-dependent serialization accounted in closed form exactly as
+    /// [`FusedConsumer::Histogram`] does.
+    Histogram {
+        /// `buckets / max_distance` (see `HistogramSpec::inv_width`).
+        inv_width: f32,
+        /// Highest valid bucket index (`buckets - 1`).
+        hmax: u32,
+        /// The privatized per-block histogram for this sink.
+        shm: ShmU32,
+    },
 }

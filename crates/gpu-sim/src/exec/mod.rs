@@ -20,7 +20,7 @@ mod warp;
 
 pub use block::BlockCtx;
 pub use compiled::{sqrt_lt_threshold, CompiledKernel, CompiledSinkSpec, CompiledTile};
-pub use fused::{FusedConsumer, FusedPred, FusedSrc};
+pub use fused::{FusedConsumer, FusedPred, FusedSink, FusedSrc};
 pub use launch::LaunchConfig;
 pub use mask::Mask;
 pub use warp::WarpCtx;

@@ -25,9 +25,9 @@
 
 use crate::error::SimError;
 use crate::exec::block::BlockCtx;
-use crate::exec::fused::{FusedConsumer, FusedPred, FusedSrc};
+use crate::exec::fused::{FusedConsumer, FusedPred, FusedSink, FusedSrc};
 use crate::exec::mask::Mask;
-use crate::mem::{self, BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
+use crate::mem::{self, BufF32, BufU32, BufU64, ScatterScratch, ShmF32, ShmU32, ShmU64};
 use crate::tally::AccessTally;
 use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
 
@@ -1248,6 +1248,20 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 return false;
             }
         }
+        if let FusedConsumer::Multi(sinks) = &consumer {
+            for sink in sinks.iter() {
+                if let FusedSink::Histogram { hmax, shm, .. } = sink {
+                    if self
+                        .blk
+                        .shared
+                        .check_bounds(shm.0, *hmax, "shared u32 atomicAdd")
+                        .is_err()
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
 
         let a = valid.count() as u64;
         let steps = len as u64;
@@ -1341,8 +1355,17 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         let consumer_alu: u64 = match &consumer {
             FusedConsumer::CountLt { .. } | FusedConsumer::Histogram { .. } => 2,
             FusedConsumer::Sum { .. } => 1,
+            // Every sink costs what its single-consumer form costs.
+            FusedConsumer::Multi(sinks) => 2 * sinks.len() as u64,
         };
-        let is_hist = matches!(consumer, FusedConsumer::Histogram { .. });
+        let n_hist: u64 = match &consumer {
+            FusedConsumer::Histogram { .. } => 1,
+            FusedConsumer::Multi(sinks) => sinks
+                .iter()
+                .filter(|s| matches!(s, FusedSink::Histogram { .. }))
+                .count() as u64,
+            _ => 0,
+        };
         let mut npm = 0u64; // steps whose predicate mask is non-empty
         let mut sum_apm = 0u64; // Σ active lanes over those steps
                                 // Histogram scatter accounting, accumulated per step in closed
@@ -1422,6 +1445,7 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                     let vals = TileVals::resolve(self.blk, &src);
                     (0..len as usize).map(|j| vals.point(j)).collect()
                 };
+                let mut scratch = ScatterScratch::default();
                 for j in 0..len {
                     let pm = Self::fused_pred_mask(pred, j, valid);
                     if !pm.any() {
@@ -1469,7 +1493,10 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                         }
                         na
                     };
-                    let (mult, txns) = self.blk.shared.atomic_scatter_accounting(shm.0, &act[..na]);
+                    let (mult, txns) =
+                        self.blk
+                            .shared
+                            .scatter_account(shm.0, &act[..na], &mut scratch);
                     atom_serial += mult;
                     atom_txns += txns + mult - 1;
                     atom_replays += txns.saturating_sub(1);
@@ -1479,28 +1506,154 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                     }
                 }
             }
+            FusedConsumer::Multi(mut sinks) => {
+                // One distance evaluation per step feeds every sink in
+                // order — exactly what `MultiQueryAction::process` does op
+                // by op. Points are materialized up front for the same
+                // borrow reason as the Histogram consumer above (the
+                // histogram sinks need `self.blk.shared` mutably).
+                let pts: Vec<[f32; D]> = {
+                    let vals = TileVals::resolve(self.blk, &src);
+                    (0..len as usize).map(|j| vals.point(j)).collect()
+                };
+                // Shared across sinks: the counters are zero between
+                // calls, so per-array state never leaks.
+                let mut scratch = ScatterScratch::default();
+                // Partition the sinks once per tile pass: the per-step
+                // loop then walks two homogeneous lists instead of
+                // re-dispatching an enum match per sink per step. Sink
+                // order inside a step is counts-then-hists — exactly how
+                // `MultiQueryAction` lays its sinks out — and every
+                // accumulation is an integer add, so the partition is
+                // bit-identical to walking the mixed list.
+                let mut count_sinks: Vec<(f32, &mut U64x32)> = Vec::new();
+                let mut hist_sinks: Vec<(f32, u32, ShmU32)> = Vec::new();
+                for sink in sinks.iter_mut() {
+                    match sink {
+                        FusedSink::CountLt { radius, acc } => {
+                            count_sinks.push((*radius, acc));
+                        }
+                        FusedSink::Histogram {
+                            inv_width,
+                            hmax,
+                            shm,
+                        } => hist_sinks.push((*inv_width, *hmax, *shm)),
+                    }
+                }
+                // Per-pass u32 hit counters, widened into the u64
+                // accumulators once at the end: a lane gains at most one
+                // hit per step and a tile pass is far shorter than 2^32
+                // steps, so the u32 sums are exact and the final u64
+                // values are bit-identical — while the hot loop runs at
+                // twice the vector width with no widening conversions.
+                let mut cnts: Vec<U32x32> = vec![[0u32; WARP_SIZE]; count_sinks.len()];
+                for j in 0..len {
+                    let pm = Self::fused_pred_mask(pred, j, valid);
+                    if !pm.any() {
+                        continue;
+                    }
+                    npm += 1;
+                    sum_apm += pm.count() as u64;
+                    let p = pts[j as usize];
+                    let mut dv = [0.0f32; WARP_SIZE];
+                    if EUCLID {
+                        dv = euclid_dists(own, &p);
+                    } else {
+                        for l in pm.lanes() {
+                            let own_p: [f32; D] = std::array::from_fn(|d| own[d][l]);
+                            dv[l] = eval(&own_p, &p);
+                        }
+                    }
+                    // Full-warp steps (the bulk: every inter-block tile
+                    // step) take branch-free flat loops per sink, exactly
+                    // like the single-consumer fast paths above — without
+                    // this the per-sink cost dwarfs the shared distance
+                    // evaluation and coalescing k queries saves nothing
+                    // on the host.
+                    if pm.0 == u32::MAX {
+                        for ((r, _), cnt) in count_sinks.iter().zip(cnts.iter_mut()) {
+                            let r = *r;
+                            for l in 0..WARP_SIZE {
+                                cnt[l] += (dv[l] < r) as u32;
+                            }
+                        }
+                    } else {
+                        for ((r, _), cnt) in count_sinks.iter().zip(cnts.iter_mut()) {
+                            for l in pm.lanes() {
+                                cnt[l] += (dv[l] < *r) as u32;
+                            }
+                        }
+                    }
+                    for &(iw, h, shm) in hist_sinks.iter() {
+                        // Same bucket formula and closed-form scatter
+                        // accounting as the single-sink Histogram
+                        // consumer above.
+                        let mut bucket = [0u32; WARP_SIZE];
+                        let mut act = [0u32; WARP_SIZE];
+                        let na;
+                        if pm.0 == u32::MAX {
+                            for (b, &d) in bucket.iter_mut().zip(dv.iter()) {
+                                *b = ((d * iw) as u32).min(h);
+                            }
+                            act = bucket;
+                            na = WARP_SIZE;
+                        } else {
+                            let mut k = 0usize;
+                            for l in pm.lanes() {
+                                let b = ((dv[l] * iw) as u32).min(h);
+                                bucket[l] = b;
+                                act[k] = b;
+                                k += 1;
+                            }
+                            na = k;
+                        }
+                        let (mult, txns) =
+                            self.blk
+                                .shared
+                                .scatter_account(shm.0, &act[..na], &mut scratch);
+                        atom_serial += mult;
+                        atom_txns += txns + mult - 1;
+                        atom_replays += txns.saturating_sub(1);
+                        let data = self.blk.shared.u32s_mut(shm);
+                        if pm.0 == u32::MAX {
+                            for &b in bucket.iter() {
+                                data[b as usize] = data[b as usize].wrapping_add(1);
+                            }
+                        } else {
+                            for l in pm.lanes() {
+                                data[bucket[l] as usize] = data[bucket[l] as usize].wrapping_add(1);
+                            }
+                        }
+                    }
+                }
+                for ((_, acc), cnt) in count_sinks.iter_mut().zip(cnts.iter()) {
+                    for l in 0..WARP_SIZE {
+                        acc[l] += cnt[l] as u64;
+                    }
+                }
+            }
         }
 
         // ---- distance + consumer charges, batched in closed form ----
         // Tally counters commute, so summing per-executed-step charges at
-        // the end is bit-identical to charging them step by step. The
-        // histogram consumer's shared atomic is one further warp
-        // instruction per executed step (a memory op, not ALU); its
-        // data-dependent serialization was accumulated above.
+        // the end is bit-identical to charging them step by step. Each
+        // histogram sink's shared atomic is one further warp instruction
+        // per executed step (a memory op, not ALU); the data-dependent
+        // serialization was accumulated above, summed across sinks.
         let per = dist_cost + consumer_alu;
-        let wi = per + is_hist as u64;
+        let wi = per + n_hist;
         {
             let t = &mut self.blk.tally;
             t.warp_instructions += npm * wi;
             t.useful_lane_ops += wi * sum_apm;
             t.predicated_lane_slots += wi * (npm * WARP_SIZE as u64 - sum_apm);
             t.alu_instructions += npm * per;
-            if is_hist {
-                t.shared_atomics += npm;
+            if n_hist != 0 {
+                t.shared_atomics += npm * n_hist;
                 t.shared_atomic_serial += atom_serial;
                 t.shared_transactions += atom_txns;
                 t.shared_bank_replays += atom_replays;
-                t.shared_bytes += 4 * sum_apm;
+                t.shared_bytes += 4 * sum_apm * n_hist;
             }
         }
         let interp = &mut self.blk.interp;

@@ -104,7 +104,8 @@ pub use device::Device;
 pub use error::SimError;
 pub use exec::{
     sqrt_lt_threshold, BlockCtx, CompiledKernel, CompiledSinkSpec, CompiledTile, FusedConsumer,
-    FusedPred, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
+    FusedPred, FusedSink, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask,
+    WarpCtx,
 };
 pub use mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
 pub use occupancy::{Occupancy, OccupancyLimiter};
@@ -118,7 +119,7 @@ pub mod prelude {
     pub use crate::device::Device;
     pub use crate::exec::{
         BlockCtx, CompiledKernel, CompiledSinkSpec, CompiledTile, FusedConsumer, FusedPred,
-        FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
+        FusedSink, FusedSrc, Kernel, KernelResources, KernelRun, LaunchConfig, Mask, WarpCtx,
     };
     pub use crate::mem::{BufF32, BufU32, BufU64, ShmF32, ShmU32, ShmU64};
     pub use crate::occupancy::Occupancy;

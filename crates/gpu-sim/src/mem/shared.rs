@@ -45,6 +45,19 @@ impl ShmStorage {
     }
 }
 
+/// Reusable occupancy counters for [`SharedSpace::scatter_account`].
+/// All counters are zero between calls (reset via the touched list).
+#[derive(Debug, Default)]
+pub struct ScatterScratch {
+    /// Occurrence count per word offset, grown lazily to the largest
+    /// offset seen.
+    cnt: Vec<u8>,
+    /// Distinct-word count per bank.
+    bank_distinct: [u8; WARP_SIZE],
+    /// `(word offset, bank)` of each distinct word of the current call.
+    touched: Vec<(u32, u8)>,
+}
+
 /// One block's shared-memory allocations.
 #[derive(Debug, Default)]
 pub struct SharedSpace {
@@ -322,6 +335,97 @@ impl SharedSpace {
             n += 1;
         }
         (mult, self.transactions_for(array, &uniq[..n]))
+    }
+
+    /// [`Self::atomic_scatter_accounting`] with caller-owned scratch —
+    /// the fused histogram consumers call this once per tile step, and
+    /// the per-call array zeroing plus chain walks of the stateless path
+    /// dominate a fused SDH sweep's host time. Reusing occupancy
+    /// counters across steps (reset via the touched list, never a full
+    /// clear) makes the accounting a flat pass over the active lanes.
+    /// The result is identical to [`Self::atomic_scatter_accounting`];
+    /// non-histogram shapes (multi-word elements, the scalar-reference
+    /// route) fall back to it.
+    pub fn scatter_account(
+        &self,
+        array: usize,
+        vals: &[u32],
+        scratch: &mut ScatterScratch,
+    ) -> (u64, u64) {
+        debug_assert!(vals.len() <= WARP_SIZE);
+        if vals.is_empty() || self.scalar_reference || self.arrays[array].words_per_elem() != 1 {
+            return self.atomic_scatter_accounting(array, vals);
+        }
+        let base = self.base_words[array];
+        let banks = self.banks as u64;
+        if let Ok(v32) = <&[u32; WARP_SIZE]>::try_from(vals) {
+            // Full-warp steps (the bulk of every tile pass): build each
+            // lane's equality bitmask against the whole warp in one
+            // branch-free column sweep — the compiler packs the inner
+            // compare into SIMD lanes, so this is flat work with no
+            // dependent loads, unlike the occupancy-counter walk below.
+            let mut eq = [0u32; WARP_SIZE];
+            for (k, &vk) in v32.iter().enumerate() {
+                let bit = 1u32 << k;
+                for (e, &vl) in eq.iter_mut().zip(v32.iter()) {
+                    *e |= ((vl == vk) as u32) * bit;
+                }
+            }
+            // mult = the fullest same-word group; a lane is the first
+            // occurrence of its word iff no earlier lane equals it.
+            let mut mult = 0u32;
+            let mut first = 0u32;
+            for (l, &m) in eq.iter().enumerate() {
+                mult = mult.max(m.count_ones());
+                first |= (((m & ((1u32 << l) - 1)) == 0) as u32) << l;
+            }
+            // Distinct words per bank, over first-occurrence lanes only.
+            let mut bank_distinct = [0u8; WARP_SIZE];
+            let mut txns = 1u64;
+            let mut f = first;
+            while f != 0 {
+                let l = f.trailing_zeros() as usize;
+                f &= f - 1;
+                let word = base + v32[l] as u64;
+                let bank = if banks == 32 {
+                    (word & 31) as usize
+                } else {
+                    (word % banks) as usize % WARP_SIZE
+                };
+                let bd = bank_distinct[bank] + 1;
+                bank_distinct[bank] = bd;
+                txns = txns.max(bd as u64);
+            }
+            return (mult as u64, txns);
+        }
+        let (mut mult, mut txns) = (0u64, 1u64);
+        for &v in vals {
+            let vi = v as usize;
+            if vi >= scratch.cnt.len() {
+                scratch.cnt.resize(vi + 1, 0);
+            }
+            let c = scratch.cnt[vi] + 1;
+            scratch.cnt[vi] = c;
+            if c == 1 {
+                let word = base + v as u64;
+                let bank = if banks == 32 {
+                    (word & 31) as usize
+                } else {
+                    (word % banks) as usize % WARP_SIZE
+                };
+                let bd = scratch.bank_distinct[bank] + 1;
+                scratch.bank_distinct[bank] = bd;
+                txns = txns.max(bd as u64);
+                scratch.touched.push((v, bank as u8));
+            }
+            mult = mult.max(c as u64);
+        }
+        for &(v, bank) in &scratch.touched {
+            scratch.cnt[v as usize] = 0;
+            scratch.bank_distinct[bank as usize] = 0;
+        }
+        scratch.touched.clear();
+        (mult, txns)
     }
 
     /// [`Self::atomic_scatter_accounting`] for one-word elements, the

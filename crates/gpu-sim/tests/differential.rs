@@ -44,16 +44,22 @@ fn exec_override(cfg: DeviceConfig) -> DeviceConfig {
     match std::env::var("TBS_DIFF_ROUTE").as_deref() {
         Ok("op") => cfg.with_fused_tile(false),
         Ok("compiled") => cfg.with_compiled(true),
-        _ => cfg,
+        _ => cfg, // "fused" (and unset) keep the default route
     }
 }
 
-/// True when `TBS_DIFF_ROUTE` re-points the default-route devices, in
-/// which case which executor engages is pinned by the environment and
-/// the per-test engagement asserts must stand down (identity asserts
-/// all still apply).
+/// True when `TBS_DIFF_ROUTE` re-points the default-route devices away
+/// from their default, in which case which executor engages is pinned
+/// by the environment and the per-test engagement asserts must stand
+/// down (identity asserts all still apply). `TBS_DIFF_ROUTE=fused`
+/// names the default route, so it keeps the engagement asserts armed —
+/// the CI matrix's fused leg proves fusion actually engaged rather
+/// than silently falling back.
 fn route_pinned() -> bool {
-    std::env::var("TBS_DIFF_ROUTE").is_ok()
+    matches!(
+        std::env::var("TBS_DIFF_ROUTE").as_deref(),
+        Ok(v) if v != "fused"
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -206,6 +206,53 @@ impl Json {
         Ok(out)
     }
 
+    /// Render on a single line with no insignificant whitespace and no
+    /// trailing newline — for line-oriented protocols where one value
+    /// must occupy one line. Same non-finite-number rule as
+    /// [`Json::render`].
+    pub fn render_compact(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.render_compact_into(&mut out, "$")?;
+        Ok(out)
+    }
+
+    fn render_compact_into(&self, out: &mut String, path: &str) -> Result<(), JsonError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    return err(format!("non-finite number {v} at {path}"), 0);
+                }
+                out.push_str(&format!("{v}"));
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out, &format!("{path}[{i}]"))?;
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_compact_into(out, &format!("{path}.{k}"))?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
     fn render_into(&self, out: &mut String, indent: usize, path: &str) -> Result<(), JsonError> {
         match self {
             Json::Null => out.push_str("null"),
@@ -570,6 +617,27 @@ mod tests {
         let a = text.find("\"a\"").unwrap();
         assert!(b < a, "insertion order must be preserved:\n{text}");
         assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let j = Json::obj().with("a", 1u32).with("s", "x\ny").with(
+            "arr",
+            vec![Json::Num(1.5), Json::Null, Json::Arr(vec![]), Json::obj()],
+        );
+        let text = j.render_compact().unwrap();
+        assert!(!text.contains('\n'), "compact must be one line: {text:?}");
+        assert!(
+            !text.contains(": "),
+            "no insignificant whitespace: {text:?}"
+        );
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        assert_eq!(text, r#"{"a":1,"s":"x\ny","arr":[1.5,null,[],{}]}"#);
+        let e = Json::obj()
+            .with("x", f64::NAN)
+            .render_compact()
+            .unwrap_err();
+        assert!(e.msg.contains("$.x"), "{e}");
     }
 
     #[test]
