@@ -11,6 +11,18 @@
 //! batched answer is bit-identical to a sequential one (enforced by
 //! `apps/tests/it_serve.rs` and the route matrix in
 //! `core/tests/fused_identity.rs`).
+//!
+//! Histogram sinks additionally *dedup*: SDH queries with an identical
+//! [`HistogramSpec`] share one sink, and every duplicate's route points
+//! at it. A count sink costs one compare per pair, so stacking more of
+//! them onto a shared sweep is nearly free; a histogram sink replays the
+//! whole bucket-scatter (and its bank accounting) per pair, so k
+//! distinct-spec SDH sinks cost ~k scatters no matter how they are
+//! batched. The fan-in the service actually sees — many clients asking
+//! the *same* popular geometry (the paper's millions-of-users scenario)
+//! — collapses to one scatter, answered once and replied k times;
+//! bit-identity is untouched because the shared sink computes exactly
+//! the histogram each duplicate would have computed alone.
 
 use super::query::{Query, QueryResult};
 use tbs_core::histogram::{Histogram, HistogramSpec};
@@ -66,10 +78,20 @@ impl SinkPlan {
                     plan.counts.push(*radius);
                 }
                 Query::Sdh { buckets, width } => {
-                    plan.routes.push(QueryRoute::Hist {
-                        idx: plan.hists.len(),
-                    });
-                    plan.hists.push(Query::sdh_spec(*buckets, *width));
+                    // Dedup identical geometries (see the module doc):
+                    // duplicates route to the first spec's sink. The
+                    // linear scan is over admitted-batch hist specs —
+                    // a handful at most.
+                    let spec = Query::sdh_spec(*buckets, *width);
+                    let idx = plan
+                        .hists
+                        .iter()
+                        .position(|h| *h == spec)
+                        .unwrap_or_else(|| {
+                            plan.hists.push(spec);
+                            plan.hists.len() - 1
+                        });
+                    plan.routes.push(QueryRoute::Hist { idx });
                 }
                 Query::Knn { .. } => unreachable!("kNN is never batched"),
             }
@@ -83,20 +105,16 @@ impl SinkPlan {
     }
 
     /// Demultiplex merged sink outputs into per-query results (same
-    /// order as the `queries` passed to [`SinkPlan::plan`]).
+    /// order as the `queries` passed to [`SinkPlan::plan`]). A deduped
+    /// hist sink answers every query routed to it, so replies clone.
     pub fn demux(&self, counts: &[u64], hists: Vec<Histogram>) -> Vec<QueryResult> {
-        let mut hists: Vec<Option<Histogram>> = hists.into_iter().map(Some).collect();
         self.routes
             .iter()
             .map(|route| match *route {
                 QueryRoute::Counts { start, len } => {
                     QueryResult::Counts(counts[start..start + len].to_vec())
                 }
-                QueryRoute::Hist { idx } => QueryResult::Histogram(
-                    hists[idx]
-                        .take()
-                        .expect("each hist sink routes to one query"),
-                ),
+                QueryRoute::Hist { idx } => QueryResult::Histogram(hists[idx].clone()),
             })
             .collect()
     }
@@ -154,5 +172,53 @@ mod tests {
             }
             other => panic!("wrong demux: {other:?}"),
         }
+    }
+
+    #[test]
+    fn identical_sdh_specs_share_one_sink() {
+        let popular = Query::Sdh {
+            buckets: 64,
+            width: 2.5,
+        };
+        let queries = vec![
+            popular.clone(),
+            Query::Sdh {
+                buckets: 64,
+                width: 1.25, // same bucket count, different geometry
+            },
+            popular.clone(),
+            Query::CountWithin {
+                radius: 5.0,
+                gridded: false,
+            },
+            popular.clone(),
+        ];
+        let plan = SinkPlan::plan(&queries);
+        // Three duplicates collapse onto sink 0; the distinct-width
+        // query keeps its own sink.
+        assert_eq!(plan.hists.len(), 2);
+        assert_eq!(plan.sinks(), 3);
+        assert_eq!(
+            plan.routes,
+            vec![
+                QueryRoute::Hist { idx: 0 },
+                QueryRoute::Hist { idx: 1 },
+                QueryRoute::Hist { idx: 0 },
+                QueryRoute::Counts { start: 0, len: 1 },
+                QueryRoute::Hist { idx: 0 },
+            ]
+        );
+        let results = plan.demux(
+            &[7],
+            vec![
+                Histogram::from_counts(vec![3; 64]),
+                Histogram::from_counts(vec![4; 64]),
+            ],
+        );
+        // Every duplicate gets the shared sink's histogram.
+        assert_eq!(results[0], results[2]);
+        assert_eq!(results[2], results[4]);
+        assert_ne!(results[0], results[1]);
+        assert_eq!(results[3], QueryResult::Counts(vec![7]));
     }
 }

@@ -15,7 +15,7 @@
 //!   `mpsc`; each request carries its own reply channel. The dispatcher
 //!   drains bursts opportunistically, so concurrent clients' queries
 //!   coalesce even when they never heard of each other.
-//! * **Batcher** ([`batch::SinkPlan`]): queries that share a dataset and
+//! * **Batcher** (`batch::SinkPlan`): queries that share a dataset and
 //!   the Euclidean distance kernel flatten into the sink lists of one
 //!   [`tbs_core::output::MultiQueryAction`] — one pairwise sweep feeds
 //!   every consumer, and answers stay bit-identical to sequential runs.
@@ -24,7 +24,7 @@
 //!   self/cross tasks, LPT onto the worker pool — and the host merges
 //!   per-task integer outputs (sums/histogram merges commute, so the
 //!   decomposition is invisible in the results).
-//! * **Caches** ([`cache::WorkerCache`]): per-worker shard uploads and
+//! * **Caches** (`cache::WorkerCache`): per-worker shard uploads and
 //!   gridded catalogs keyed by dataset generation; re-registering a
 //!   dataset bumps the generation and evicts stale entries.
 //!
@@ -37,6 +37,14 @@ mod cache;
 mod query;
 
 pub use query::{Query, QueryResult, ServeError};
+
+/// Sinks the batcher's coalesced sweep would feed for `queries` (all
+/// of which must be [`Query::batchable`]) — after histogram-sink dedup,
+/// so benchmarks and capacity planning see the sweep the service
+/// actually runs rather than the naive one-sink-per-query count.
+pub fn planned_sinks(queries: &[Query]) -> usize {
+    SinkPlan::plan(queries).sinks()
+}
 
 use crate::driver::PairwisePlan;
 use crate::knn::knn_gpu;

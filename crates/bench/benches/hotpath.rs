@@ -1,12 +1,13 @@
-//! Interpreter hot-path throughput: the four interpreter routes —
-//! fused tile passes (default), the plan-compiled route
-//! (`with_compiled(true)`), vectorized op-by-op
-//! (`with_fused_tile(false)`), and the retained `scalar_reference`
-//! implementation — on a small fig2-style 2-PCF workload, under the
-//! config-default parallel block executor (`sequential` benches the
-//! fused route's sequential engine for comparison). Guards the
-//! speedups measured by the `hotpath_baseline` bin against bitrot; run
-//! it with `cargo bench -p tbs-bench --bench hotpath`.
+//! Interpreter hot-path throughput: the four interpreter routes — the
+//! plan-compiled route (default), fused tile passes
+//! (`with_compiled(false)`), vectorized op-by-op
+//! (`with_compiled(false).with_fused_tile(false)`), and the retained
+//! `scalar_reference` implementation — on a small fig2-style 2-PCF
+//! workload, under the config-default parallel block executor
+//! (`sequential` benches the fused route's sequential engine for
+//! comparison). Guards the speedups measured by the `hotpath_baseline`
+//! bin against bitrot; run it with
+//! `cargo bench -p tbs-bench --bench hotpath`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::config::ExecMode;
@@ -25,14 +26,18 @@ enum Route {
 }
 
 fn route_config(route: Route) -> DeviceConfig {
-    // The config default is the parallel block executor; only the
-    // explicit sequential cross-check route overrides it.
+    // The config default is the parallel block executor and the
+    // compiled route; the oracle routes switch the compiler off
+    // explicitly, and only the sequential cross-check overrides the
+    // engine.
     let cfg = DeviceConfig::titan_x();
     match route {
-        Route::Fused => cfg,
-        Route::FusedSequential => cfg.with_exec_mode(ExecMode::Sequential),
-        Route::Compiled => cfg.with_compiled(true),
-        Route::Vectorized => cfg.with_fused_tile(false),
+        Route::Fused => cfg.with_compiled(false),
+        Route::FusedSequential => cfg
+            .with_compiled(false)
+            .with_exec_mode(ExecMode::Sequential),
+        Route::Compiled => cfg,
+        Route::Vectorized => cfg.with_compiled(false).with_fused_tile(false),
         Route::Scalar => cfg.with_scalar_reference(true),
     }
 }
@@ -102,7 +107,17 @@ fn bench_hotpath(c: &mut Criterion) {
     g.throughput(Throughput::Elements(pairs));
     g.sample_size(10);
     g.bench_function("default", |b| b.iter(|| run(&pts, Route::Compiled)));
-    g.bench_function("sdh", |b| b.iter(|| run_sdh(&pts, Route::Compiled)));
+    g.finish();
+
+    // The compiled Type-II output stage on its own: the histogram sink
+    // (sqrt-free bucketing + closed-form scatter accounting) and the
+    // compiled Figure-3 reduction, with the fused route as the in-group
+    // comparison leg for A/B tooling.
+    let mut g = c.benchmark_group("sim_compiled_sdh");
+    g.throughput(Throughput::Elements(pairs));
+    g.sample_size(10);
+    g.bench_function("default", |b| b.iter(|| run_sdh(&pts, Route::Compiled)));
+    g.bench_function("fused", |b| b.iter(|| run_sdh(&pts, Route::Fused)));
     g.finish();
 }
 

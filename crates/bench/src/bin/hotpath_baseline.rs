@@ -32,10 +32,11 @@
 //! ≥2× the scalar reference, the fused route ≥2× the vectorized route,
 //! the compiled route ≥3× the fused route, and the cache memo must
 //! replay at least half of its probes; at N = 16384 the fused Type-II
-//! (SDH) route must be ≥2× the vectorized route and the compiled 2-PCF
-//! route ≥3× the fused route. Pass `--json DIR` (or set
-//! `TBS_REPORT_DIR`) to also mirror the schema-versioned
-//! `sim_hotpath.json` report.
+//! (SDH) route must be ≥2× the vectorized route, the compiled SDH route
+//! ≥2× the fused route (compiled output stage end-to-end; also gated at
+//! N = 65536 under `--full`), and the compiled 2-PCF route ≥3× the
+//! fused route. Pass `--json DIR` (or set `TBS_REPORT_DIR`) to also
+//! mirror the schema-versioned `sim_hotpath.json` report.
 
 use tbs_bench::experiments::hotpath::{self, Sample};
 use tbs_bench::report;
@@ -181,5 +182,17 @@ fn main() {
         sdh_gate.fused_vs_vectorized(),
         2.0,
     );
+    check(
+        "compiled SDH over fused at N=16384",
+        Some(sdh_gate.compiled_vs_fused()),
+        2.0,
+    );
+    if let Some(s) = sdh.iter().find(|s| s.n == 65_536) {
+        check(
+            "compiled SDH over fused at N=65536",
+            Some(s.compiled_vs_fused()),
+            2.0,
+        );
+    }
     eprintln!("acceptance gates: {}", verdicts.join("; "));
 }

@@ -2,7 +2,9 @@
 //!
 //! Runs `experiments::ext_serve`: the coalescing-throughput leg (k = 12
 //! batchable queries one-at-a-time vs as one admission batch, answers
-//! asserted bit-identical in-run), the single-query latency
+//! asserted bit-identical in-run), the SDH-heavy coalescing leg (a
+//! histogram-dominated mix exercising identical-spec sink dedup and the
+//! compiled multi-consumer sweep), the single-query latency
 //! distribution at CI size, and the shard-cache hit rate. Prints the
 //! structured report and records `BENCH_ext_serve.json` at the
 //! repository root.
@@ -17,11 +19,14 @@
 //! Every sweep is quadratic in N, so the N = 65536 leg costs minutes
 //! (one coalesced sweep ≈ 35 s on a CI-class host, plus k sequential
 //! sweeps); `--quick` keeps the bin CI-friendly while the default run
-//! measures the acceptance size.
+//! measures the acceptance size. The SDH-heavy leg runs at the gate
+//! size on both (its sequential side is ten full histogram sweeps —
+//! already the expensive shape the dedup exists to avoid).
 //!
 //! Acceptance gates: coalescing must be ≥2× over sequential serving at
 //! every measured size (the headline claim, at N = 65536 on a default
-//! run), and the shard-upload cache must replay at least half of its
+//! run), the SDH-heavy mix must also coalesce ≥2× at the gate size,
+//! and the shard-upload cache must replay at least half of its
 //! probes. The N = 65536 gate is reported as skipped — loudly, never
 //! silently passed — under `--quick`. Pass `--json DIR` (or set
 //! `TBS_REPORT_DIR`) to also mirror the schema-versioned
@@ -38,8 +43,9 @@ fn main() {
     let sizes: &[usize] = if quick { &[16_384] } else { &[16_384, 65_536] };
 
     let samples: Vec<ServeSample> = sizes.iter().map(|&n| ext_serve::measure_ratio(n)).collect();
+    let sdh = [ext_serve::measure_ratio_sdh(16_384)];
     let latency = ext_serve::measure_latency(LATENCY_N);
-    report::emit_result(ext_serve::build_report_from(&samples, &latency));
+    report::emit_result(ext_serve::build_report_from(&samples, &sdh, &latency));
 
     let entry = |s: &ServeSample| {
         Json::obj()
@@ -57,11 +63,13 @@ fn main() {
         .with("benchmark", "ext_serve")
         .with(
             "workload",
-            "tbs-serve coalescing: k=12 batchable queries (16 sinks), 2 workers/shards, \
+            "tbs-serve coalescing: k=12 batchable queries (16 sinks) plus the k=12 \
+             SDH-heavy mix (5 deduped sinks), 2 workers/shards, \
              uniform 100^3 box; 40 single-query latency probes at N=4096",
         )
         .with("bit_identical", true)
         .with("sizes", Json::Arr(samples.iter().map(entry).collect()))
+        .with("sdh_sizes", Json::Arr(sdh.iter().map(entry).collect()))
         .with(
             "latency",
             Json::obj()
@@ -101,6 +109,11 @@ fn main() {
     };
     check("batched over sequential at N=16384", ratio_at(16_384), 2.0);
     check("batched over sequential at N=65536", ratio_at(65_536), 2.0);
+    check(
+        "SDH-heavy batched over sequential at N=16384",
+        Some(sdh[0].batched_vs_sequential()),
+        2.0,
+    );
     check(
         "shard cache hit rate",
         Some(samples[0].stats.cache_hit_rate()),

@@ -1,17 +1,18 @@
 //! **Extension: fused Type-II output stage — shape invariants.**
 //!
-//! A deterministic, CI-sized privatized SDH run through the fused and
-//! vectorized interpreter routes, checking the *shape* facts the fused
-//! output stage must preserve regardless of machine: every pair bins
-//! exactly once, the data-dependent shared-atomic serialization is
-//! identical whether histogram scatters are simulated op-by-op or
-//! accounted in closed form from the vectorized bucket indices, most
-//! useful lane work flows through fused passes, and the packed Figure-3
-//! cross-copy reduction actually engages.
+//! A deterministic, CI-sized privatized SDH run through the compiled,
+//! fused, and vectorized interpreter routes, checking the *shape* facts
+//! the lowered output stage must preserve regardless of machine: every
+//! pair bins exactly once, the data-dependent shared-atomic
+//! serialization is identical whether histogram scatters are simulated
+//! op-by-op or accounted in closed form from the vectorized bucket
+//! indices, most useful lane work flows through the lowered passes on
+//! each fast route, and the packed Figure-3 cross-copy reduction
+//! actually engages.
 //!
 //! These are the functional counterparts of the wall-clock
-//! `sim_hotpath` floors: they pin *what the fused histogram route
-//! computes*, not how fast the host runs it.
+//! `sim_hotpath` floors: they pin *what the lowered histogram routes
+//! compute*, not how fast the host runs them.
 
 use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::config::ExecMode;
@@ -19,17 +20,30 @@ use gpu_sim::{Device, DeviceConfig};
 use tbs_apps::{sdh_gpu, PairwisePlan, SdhOutputMode, SdhResult};
 use tbs_core::histogram::HistogramSpec;
 
+/// The interpreter routes the shape invariants compare.
+#[derive(Clone, Copy)]
+enum Route {
+    /// Default route: whole-plan compiled host passes.
+    Compiled,
+    /// Fused tile passes, compiler off.
+    Fused,
+    /// Op-by-op vectorized interpreter.
+    Vectorized,
+}
+
 /// Run the privatized SDH once on the given route.
-fn run(n: usize, block: u32, buckets: u32, fused: bool) -> SdhResult {
+fn run(n: usize, block: u32, buckets: u32, route: Route) -> SdhResult {
     let pts = tbs_datagen::uniform_points::<3>(n, tbs_datagen::DEFAULT_BOX, 7);
     let spec = HistogramSpec::new(
         buckets,
         tbs_datagen::box_diagonal(tbs_datagen::DEFAULT_BOX, 3),
     );
     let mut cfg = DeviceConfig::titan_x().with_exec_mode(ExecMode::Sequential);
-    if !fused {
-        cfg = cfg.with_fused_tile(false);
-    }
+    cfg = match route {
+        Route::Compiled => cfg,
+        Route::Fused => cfg.with_compiled(false),
+        Route::Vectorized => cfg.with_compiled(false).with_fused_tile(false),
+    };
     let mut dev = Device::new(cfg);
     sdh_gpu(
         &mut dev,
@@ -43,8 +57,9 @@ fn run(n: usize, block: u32, buckets: u32, fused: bool) -> SdhResult {
 
 /// Build the fused-output shape-invariant report.
 pub fn build_report(n: usize, block: u32, buckets: u32) -> Result<Report, ReportError> {
-    let fused = run(n, block, buckets, true);
-    let vec = run(n, block, buckets, false);
+    let compiled = run(n, block, buckets, Route::Compiled);
+    let fused = run(n, block, buckets, Route::Fused);
+    let vec = run(n, block, buckets, Route::Vectorized);
 
     // Bit-identity is the contract; everything below reports *shape*
     // facts on top of it, so first make divergence loud.
@@ -53,8 +68,16 @@ pub fn build_report(n: usize, block: u32, buckets: u32) -> Result<Report, Report
         "fused and vectorized SDH histograms diverged"
     );
     assert_eq!(
+        compiled.histogram, vec.histogram,
+        "compiled and vectorized SDH histograms diverged"
+    );
+    assert_eq!(
         fused.pair_run.tally, vec.pair_run.tally,
         "fused and vectorized SDH pair tallies diverged"
+    );
+    assert_eq!(
+        compiled.pair_run.tally, vec.pair_run.tally,
+        "compiled and vectorized SDH pair tallies diverged"
     );
 
     let mut rep = Report::new(
@@ -71,24 +94,28 @@ pub fn build_report(n: usize, block: u32, buckets: u32) -> Result<Report, Report
         &[
             "route",
             "dispatches",
-            "fused_ops",
+            "lowered_ops",
             "atomic serial",
             "coverage",
             "memo",
         ],
     );
-    for (label, r) in [("fused", &fused), ("vectorized", &vec)] {
+    for (label, r) in [
+        ("compiled", &compiled),
+        ("fused", &fused),
+        ("vectorized", &vec),
+    ] {
         let interp = &r.pair_run.interp;
         let tally = &r.pair_run.tally;
+        // Each fast route's own lowering; the vectorized row pins zero.
+        let lowered_ops = interp.fused_ops + interp.compiled_ops;
+        let coverage = interp.fused_coverage(tally) + interp.compiled_coverage(tally);
         t.row(vec![
             Cell::text(label),
             Cell::int(interp.dispatches),
-            Cell::int(interp.fused_ops),
+            Cell::int(lowered_ops),
             Cell::int(tally.shared_atomic_serial),
-            Cell::num(
-                interp.fused_coverage(tally),
-                format!("{:.1}%", interp.fused_coverage(tally) * 100.0),
-            ),
+            Cell::num(coverage, format!("{:.1}%", coverage * 100.0)),
             Cell::num(
                 interp.memo_hit_rate(),
                 format!("{:.1}%", interp.memo_hit_rate() * 100.0),
@@ -115,15 +142,32 @@ pub fn build_report(n: usize, block: u32, buckets: u32) -> Result<Report, Report
         "frac",
     )?;
     rep.metric(
+        "compiled_coverage",
+        compiled
+            .pair_run
+            .interp
+            .compiled_coverage(&compiled.pair_run.tally),
+        "frac",
+    )?;
+    rep.metric(
         "reduce_fused_ops",
         fused.reduce_run.as_ref().map_or(0, |r| r.interp.fused_ops) as f64,
         "count",
     )?;
+    rep.metric(
+        "reduce_compiled_ops",
+        compiled
+            .reduce_run
+            .as_ref()
+            .map_or(0, |r| r.interp.compiled_ops) as f64,
+        "count",
+    )?;
     rep.push_note(
-        "the fused histogram consumer must bin every half-pair exactly once and\n\
+        "the lowered histogram sinks must bin every half-pair exactly once and\n\
          reproduce the op-by-op route's data-dependent atomic serialization from\n\
-         its closed-form scatter accounting; the packed cross-copy reduction must\n\
-         engage on the Figure-3 kernel. All checks are deterministic by seed.",
+         their closed-form scatter accounting; the packed cross-copy reduction\n\
+         must engage on the Figure-3 kernel on both fast routes. All checks are\n\
+         deterministic by seed.",
     );
     Ok(rep)
 }
@@ -153,6 +197,8 @@ mod tests {
         assert_eq!(get("hist_total_over_pairs"), 1.0);
         assert_eq!(get("scatter_contention_parity"), 1.0);
         assert!(get("fused_coverage") > 0.5);
+        assert!(get("compiled_coverage") > 0.5);
         assert!(get("reduce_fused_ops") >= 1.0);
+        assert!(get("reduce_compiled_ops") >= 1.0);
     }
 }

@@ -17,7 +17,7 @@
 //!
 //! The control and random catalogs are *Poisson* uniform
 //! ([`tbs_datagen::uniform_points`]), not the jittered-lattice
-//! [`periodic_uniform_points`]: at this CI size the lattice's
+//! [`tbs_datagen::periodic_uniform_points`]: at this CI size the lattice's
 //! stratification cell (`BOX/⌊nd^⅓⌋ ≈ 11`) exceeds `R_MAX`, so a
 //! stratified catalog is genuinely anti-correlated across *every*
 //! bin (ξ down to −6.5 measured) and "near zero" would be the wrong

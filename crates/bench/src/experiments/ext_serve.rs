@@ -4,7 +4,7 @@
 //! exactly this serving scenario).
 //!
 //! Like `hotpath`, this measures *this machine*, not the modeled GPU.
-//! Three SLO legs:
+//! Four SLO legs:
 //!
 //! * **Coalescing throughput**: k batchable queries (a 2-PCF radius
 //!   ladder plus dense count-within probes) against one
@@ -13,6 +13,14 @@
 //!   batched answers are asserted bit-identical to the sequential ones,
 //!   then `batched_vs_sequential.nN = T_seq / T_batch` — the service's
 //!   headline multiplier (k sweeps of work collapse into ~1).
+//! * **SDH-heavy coalescing**: the same leg on a histogram-dominated
+//!   mix ([`sdh_queries`]) — mostly clients asking the *popular* SDH
+//!   geometry, plus a custom-geometry client and count probes. A
+//!   histogram sink replays the whole bucket-scatter per pair, so
+//!   distinct-spec SDH sinks cannot amortize the way count sinks do;
+//!   the multiplier here certifies the batcher's identical-spec sink
+//!   dedup plus the compiled multi-consumer sweep
+//!   (`batched_vs_sequential_sdh.nN`).
 //! * **Latency distribution**: m single queries at a CI-sized dataset;
 //!   p50/p99 wall-clock per round-trip (admission → merged reply).
 //! * **Cache effectiveness**: the shard-upload cache hit rate across
@@ -20,7 +28,7 @@
 //!
 //! The `serve_baseline` bin prints it (default N = 16384, `--full` adds
 //! the N = 65536 acceptance leg); the perf gate pins the N = 16384
-//! multiplier, a p99 ceiling, and a hit-rate floor (group `host`).
+//! multipliers, a p99 ceiling, and a hit-rate floor (group `host`).
 
 use std::time::Instant;
 
@@ -74,6 +82,42 @@ pub fn ratio_queries() -> Vec<Query> {
     ]
 }
 
+/// The k = 12 queries of the SDH-heavy throughput leg: eight clients
+/// asking the popular 256-bucket full-diagonal histogram (the paper's
+/// fan-in shape — many users, one canonical geometry), two asking a
+/// custom half-resolution variant, and two count probes riding along.
+/// The batcher dedups the popular spec onto one histogram sink, so the
+/// coalesced sweep feeds 2 histogram + 2 count sinks instead of
+/// replaying ten sweep-sized bucket scatters.
+pub fn sdh_queries() -> Vec<Query> {
+    let popular_width = tbs_datagen::box_diagonal(BOX, 3) / 256.0;
+    let mut queries = vec![
+        Query::Sdh {
+            buckets: 256,
+            width: popular_width,
+        };
+        8
+    ];
+    queries.extend([
+        Query::Sdh {
+            buckets: 128,
+            width: popular_width * 2.0,
+        },
+        Query::Sdh {
+            buckets: 128,
+            width: popular_width * 2.0,
+        },
+        Query::PairCounts {
+            radii: vec![12.0, 30.0],
+        },
+        Query::CountWithin {
+            radius: 50.0,
+            gridded: false,
+        },
+    ]);
+    queries
+}
+
 /// One dataset size's coalescing measurement.
 #[derive(Debug, Clone)]
 pub struct ServeSample {
@@ -97,19 +141,24 @@ impl ServeSample {
     }
 }
 
-/// Run the throughput leg at dataset size `n`: sequential first (its
-/// opening query pays the one shard upload), then the coalesced batch,
-/// asserting the answers are bit-identical.
+/// Run the throughput leg at dataset size `n` on the count-shaped
+/// [`ratio_queries`] mix: sequential first (its opening query pays the
+/// one shard upload), then the coalesced batch, asserting the answers
+/// are bit-identical.
 pub fn measure_ratio(n: usize) -> ServeSample {
+    measure_ratio_queries(n, ratio_queries())
+}
+
+/// The same throughput leg on the SDH-heavy [`sdh_queries`] mix.
+pub fn measure_ratio_sdh(n: usize) -> ServeSample {
+    measure_ratio_queries(n, sdh_queries())
+}
+
+fn measure_ratio_queries(n: usize, queries: Vec<Query>) -> ServeSample {
     let pts = uniform_points::<3>(n, BOX, SEED);
-    let queries = ratio_queries();
-    let sinks = queries
-        .iter()
-        .map(|q| match q {
-            Query::PairCounts { radii } => radii.len(),
-            _ => 1,
-        })
-        .sum();
+    // Sinks of the coalesced sweep as the batcher actually plans it
+    // (histogram-sink dedup included).
+    let sinks = tbs_apps::serve::planned_sinks(&queries);
     let cfg = ServeConfig::default().with_workers(WORKERS);
     Server::run(cfg, |h| {
         h.register_dataset("d", pts.clone()).expect("register");
@@ -178,18 +227,25 @@ pub fn measure_latency(n: usize) -> LatencySample {
     })
 }
 
-/// Build the `ext_serve` report: one throughput row per entry of
-/// `ratio_sizes`, one latency summary at `latency_n`.
-pub fn build_report(ratio_sizes: &[usize], latency_n: usize) -> Result<Report, ReportError> {
+/// Build the `ext_serve` report: one count-mix throughput row per entry
+/// of `ratio_sizes`, one SDH-heavy row per entry of `sdh_sizes`, one
+/// latency summary at `latency_n`.
+pub fn build_report(
+    ratio_sizes: &[usize],
+    sdh_sizes: &[usize],
+    latency_n: usize,
+) -> Result<Report, ReportError> {
     let samples: Vec<ServeSample> = ratio_sizes.iter().map(|&n| measure_ratio(n)).collect();
+    let sdh: Vec<ServeSample> = sdh_sizes.iter().map(|&n| measure_ratio_sdh(n)).collect();
     let latency = measure_latency(latency_n);
-    build_report_from(&samples, &latency)
+    build_report_from(&samples, &sdh, &latency)
 }
 
 /// Assemble the report from already-measured legs (the `serve_baseline`
 /// bin measures once and reuses the samples for its own gates).
 pub fn build_report_from(
     samples: &[ServeSample],
+    sdh: &[ServeSample],
     latency: &LatencySample,
 ) -> Result<Report, ReportError> {
     let latency_n = latency.n;
@@ -198,24 +254,22 @@ pub fn build_report_from(
         "Query service: coalescing, latency, cache SLOs",
     )
     .with_context(&format!(
-        "tbs-serve, {WORKERS} workers/shards, k = 12 batchable queries (16 sinks), \
+        "tbs-serve, {WORKERS} workers/shards, k = 12 batchable queries (16 sinks) \
+             plus the k = 12 SDH-heavy mix (5 deduped sinks), \
              {LATENCY_PROBES} latency probes at N = {latency_n}, uniform 100^3 box"
     ));
 
-    let mut t = SeriesTable::new(
-        "coalescing",
-        &[
-            "N",
-            "k",
-            "sinks",
-            "sequential",
-            "batched",
-            "batched vs sequential",
-            "cache hit rate",
-        ],
-    );
-    for s in samples {
-        t.row(vec![
+    let columns = [
+        "N",
+        "k",
+        "sinks",
+        "sequential",
+        "batched",
+        "batched vs sequential",
+        "cache hit rate",
+    ];
+    let coalescing_row = |s: &ServeSample| {
+        vec![
             Cell::int(s.n as u64),
             Cell::int(s.k as u64),
             Cell::int(s.sinks as u64),
@@ -223,9 +277,19 @@ pub fn build_report_from(
             Cell::secs(s.batched_s),
             Cell::x(s.batched_vs_sequential()),
             Cell::pct(s.stats.cache_hit_rate()),
-        ]);
+        ]
+    };
+    let mut t = SeriesTable::new("coalescing", &columns);
+    for s in samples {
+        t.row(coalescing_row(s));
     }
     rep.push_table(t);
+
+    let mut st = SeriesTable::new("coalescing (SDH-heavy)", &columns);
+    for s in sdh {
+        st.row(coalescing_row(s));
+    }
+    rep.push_table(st);
 
     let mut lt = SeriesTable::new("latency", &["N", "probes", "p50", "p99"]);
     lt.row(vec![
@@ -239,6 +303,13 @@ pub fn build_report_from(
     for s in samples {
         rep.metric(
             &format!("batched_vs_sequential.n{}", s.n),
+            s.batched_vs_sequential(),
+            "x",
+        )?;
+    }
+    for s in sdh {
+        rep.metric(
+            &format!("batched_vs_sequential_sdh.n{}", s.n),
             s.batched_vs_sequential(),
             "x",
         )?;
@@ -262,9 +333,12 @@ pub fn build_report_from(
     rep.push_note(
         "Coalescing folds k same-dataset sweeps into one multi-consumer sweep \
          (bit-identical answers asserted in-run); the multiplier approaches k as \
-         sink cost amortizes against the shared distance evaluation. The hit-rate \
-         SLO certifies repeat queries never re-upload shards; p99 includes the \
-         cold first probe by design.",
+         sink cost amortizes against the shared distance evaluation. Histogram \
+         sinks replay their bucket scatter per pair, so the SDH-heavy leg's \
+         multiplier comes from identical-spec sink dedup (the popular geometry \
+         collapses onto one sink) on top of the shared sweep. The hit-rate SLO \
+         certifies repeat queries never re-upload shards; p99 includes the cold \
+         first probe by design.",
     );
     Ok(rep)
 }

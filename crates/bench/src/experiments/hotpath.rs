@@ -1,9 +1,10 @@
 //! **Host throughput** — wall-clock cost of the simulator interpreter
 //! itself, across its four routes: the retained scalar reference, the
-//! vectorized op-by-op fast paths (`with_fused_tile(false)`), the
-//! shipping default with fused tile passes, and the plan-compiled route
-//! (`with_compiled(true)`) that lowers whole kernel plans to closed-form
-//! host passes.
+//! vectorized op-by-op fast paths
+//! (`with_compiled(false).with_fused_tile(false)`), fused tile passes
+//! (`with_compiled(false)`), and the shipping default — the
+//! plan-compiled route that lowers whole kernel plans, Type-II output
+//! stage included, to closed-form host passes.
 //!
 //! Unlike every other experiment, this one measures *this machine*, not
 //! the modeled GPU: it runs two workloads through the functional
@@ -86,14 +87,14 @@ pub struct Sample {
     /// Wall-clock seconds with the vectorized fast paths, fusion off
     /// (`None` when a budget projection skipped the route).
     pub fast_s: Option<f64>,
-    /// Wall-clock seconds with fused tile passes (the default route).
+    /// Wall-clock seconds with fused tile passes (`with_compiled(false)`).
     pub fused_s: f64,
     /// Wall-clock seconds of the fused route under the sequential block
     /// executor — the engine cross-check (everything else runs under
     /// [`bench_exec`]; `None` when a budget projection skipped it).
     pub fused_seq_s: Option<f64>,
-    /// Wall-clock seconds with the plan-compiled route
-    /// (`with_compiled(true)`).
+    /// Wall-clock seconds with the plan-compiled route (the shipping
+    /// default).
     pub compiled_s: f64,
     /// Executed lane slots (useful + predicated) — the work measure
     /// behind the throughput numbers.
@@ -145,7 +146,7 @@ impl Sample {
         self.fused_seq_s.map(|q| q / self.fused_s)
     }
 
-    /// Lane throughput of the shipping (fused) route.
+    /// Lane throughput of the fused route.
     pub fn lane_ops_per_s(&self) -> f64 {
         self.lane_ops as f64 / self.fused_s
     }
@@ -226,9 +227,9 @@ fn route_config(route: Route, exec: ExecMode) -> DeviceConfig {
     let cfg = DeviceConfig::titan_x().with_exec_mode(exec);
     match route {
         Route::Scalar => cfg.with_scalar_reference(true),
-        Route::Vectorized => cfg.with_fused_tile(false),
-        Route::Fused => cfg,
-        Route::Compiled => cfg.with_compiled(true),
+        Route::Vectorized => cfg.with_compiled(false).with_fused_tile(false),
+        Route::Fused => cfg.with_compiled(false),
+        Route::Compiled => cfg, // compiled is the preset default
     }
 }
 
@@ -320,22 +321,30 @@ pub fn measure_budgeted(n: usize, budget_secs: Option<f64>, prev: Option<&Sample
         );
         assert_routes_identical(n, &fused, &fast, "fused vs vectorized");
         assert_eq!(
-            fast.run.interp.fused_ops, 0,
-            "with_fused_tile(false) still fused at N={n}"
+            fast.run.interp.fused_ops + fast.run.interp.compiled_ops,
+            0,
+            "op-by-op leg took a fast path at N={n}"
         );
         Some(fast_s)
     };
     assert!(
         fused.run.interp.fused_ops > 0,
-        "default route took no fused tile passes at N={n}"
+        "fused leg took no fused tile passes at N={n}"
     );
     assert!(
         compiled.run.interp.compiled_ops > 0,
-        "compiled route took no compiled passes at N={n}"
+        "compiled (default) route took no compiled passes at N={n}"
     );
     assert_eq!(
         fused.run.interp.compiled_ops, 0,
-        "default route compiled without with_compiled(true) at N={n}"
+        "fused leg compiled despite with_compiled(false) at N={n}"
+    );
+    // The no-regression floor the issue pins: plan compilation must
+    // never cost the 2-PCF workload more than measurement noise.
+    assert!(
+        fused_s / compiled_s >= 0.95,
+        "compiled 2-PCF regressed below the 0.95x floor at N={n}: \
+         fused {fused_s:.3}s vs compiled {compiled_s:.3}s"
     );
 
     let scalar_s = if n > SCALAR_CEILING {
@@ -472,25 +481,27 @@ pub fn measure_sdh_budgeted(n: usize, budget_secs: Option<f64>, prev: Option<&Sa
         assert_sdh_identical(n, &fused, &fast, "fused vs vectorized");
         assert_eq!(
             fast.pair_run.interp.fused_ops
+                + fast.pair_run.interp.compiled_ops
                 + fast.reduce_run.as_ref().map_or(0, |r| r.interp.fused_ops),
             0,
-            "with_fused_tile(false) still fused the SDH at N={n}"
+            "op-by-op leg took a fast path on the SDH at N={n}"
         );
         Some(fast_s)
     };
     assert!(
         fused.pair_run.interp.fused_ops > 0,
-        "fused route took no fused histogram tile passes at N={n}"
+        "fused leg took no fused histogram tile passes at N={n}"
     );
-    // The histogram sink always declines the compiled inner pass (its
-    // scatters are stateful), but the outer tile fetches still compile.
+    // The compiled histogram sink lowers the whole inter-tile pass —
+    // sqrt-free bucketing plus closed-form scatter accounting — so the
+    // SDH must run compiled end-to-end, not just its tile fetches.
     assert!(
         compiled.pair_run.interp.compiled_ops > 0,
-        "compiled route took no compiled tile fetches on the SDH at N={n}"
+        "compiled (default) route took no compiled passes on the SDH at N={n}"
     );
     assert_eq!(
         fused.pair_run.interp.compiled_ops, 0,
-        "default SDH route compiled without with_compiled(true) at N={n}"
+        "fused SDH leg compiled despite with_compiled(false) at N={n}"
     );
     assert!(
         fused
@@ -500,8 +511,28 @@ pub fn measure_sdh_budgeted(n: usize, budget_secs: Option<f64>, prev: Option<&Sa
             .interp
             .fused_ops
             > 0,
-        "fused route took no packed cross-copy reductions at N={n}"
+        "fused leg took no packed cross-copy reductions at N={n}"
     );
+    assert!(
+        compiled
+            .reduce_run
+            .as_ref()
+            .expect("privatized SDH reduces")
+            .interp
+            .compiled_ops
+            > 0,
+        "compiled route took no compiled cross-copy reductions at N={n}"
+    );
+    // The issue's headline floor: with the output stage compiled
+    // end-to-end, the SDH must clear 2x over the fused route at the
+    // benchmark's headline sizes.
+    if n == 16_384 || n == 65_536 {
+        assert!(
+            fused_s / compiled_s >= 2.0,
+            "compiled SDH below the 2x floor at N={n}: \
+             fused {fused_s:.3}s vs compiled {compiled_s:.3}s"
+        );
+    }
 
     let scalar_s = if n > SCALAR_CEILING {
         eprintln!("SDH N={n}: scalar-reference pass skipped (> SCALAR_CEILING)");
@@ -686,9 +717,9 @@ pub fn build_report_from(samples: &[Sample], sdh: &[Sample]) -> Result<Report, R
          lowers the kernel plan to closed-form straight-line passes (comp/fused\n\
          is what that lowering buys). coverage/ccov are the fractions of useful\n\
          lane work absorbed by fused/compiled passes. The sdh rows exercise the\n\
-         Type-II output stage: fused histogram scatters (the compiled route\n\
-         declines the stateful scatter inner pass but compiles the tile fetches)\n\
-         plus the packed Figure-3 cross-copy reduction.",
+         Type-II output stage end-to-end: the compiled route lowers the\n\
+         histogram sink itself (sqrt-free squared-edge bucketing + closed-form\n\
+         scatter accounting) and the packed Figure-3 cross-copy reduction.",
     );
     Ok(rep)
 }

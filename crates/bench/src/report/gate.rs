@@ -280,18 +280,22 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // The plan-compiled route must stay a genuine multiplier over
         // the fused route on the Type-I hot path (the PR's ≥3× claim).
         spec("sim_hotpath.compiled_vs_fused.n16384", Band::min(3.0)),
-        // On the Type-II (SDH) workload only the tile fetches compile
-        // (the histogram sink declines the stateful scatter pass), so
-        // the honest floor is "no slower than fused" with headroom for
-        // scheduler noise, not a multiplier.
-        spec("sim_hotpath.compiled_vs_fused_sdh.n16384", Band::min(0.8)),
+        // On the Type-II (SDH) workload the compiled route lowers the
+        // histogram sink itself — fused distance+bucket rows (the
+        // vectorized magic-number floor) feeding the closed-form
+        // windowed scatter accounting — plus the packed Figure-3
+        // reduction, so it must stay a genuine multiplier over the
+        // fused route (~2.7× observed; floored at the PR's ≥2× claim).
+        spec("sim_hotpath.compiled_vs_fused_sdh.n16384", Band::min(2.0)),
         // The parallel block executor is the benched default; on
         // single-core hosts it degenerates to the sequential path, so
         // this is a no-regression floor, not a scaling claim.
         spec("sim_hotpath.parallel_vs_sequential.n16384", Band::min(0.8)),
         // Most useful lane work must flow through compiled passes on
-        // the fig2 workload (deterministic, not wall-clock).
-        spec("sim_hotpath.compiled_coverage.n16384", Band::min(0.5)),
+        // the fig2 workload (deterministic, not wall-clock, so the
+        // floor can sit just under the 0.93 measured: with the output
+        // stage lowered, any pass falling back to fused shows up here).
+        spec("sim_hotpath.compiled_coverage.n16384", Band::min(0.9)),
         // Spatial front end — the headline sub-quadratic claim: the
         // grid route must beat the (anchor-projected) all-pairs route
         // ≥10× at N = 1048576. Machine-dependent, hence a generous
@@ -301,12 +305,16 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // min-distance cull must discard ≥90 % of the pair mass at
         // N = 262144 with the reference r_max.
         spec("sim_gridpath.pruned_pair_fraction.n262144", Band::min(0.9)),
-        // Query-service SLO bands (extension). Coalescing k = 6
+        // Query-service SLO bands (extension). Coalescing k = 12
         // same-dataset queries into one multi-consumer sweep must stay
         // a genuine multiplier over one-at-a-time serving (the PR's
         // ≥2× claim at the acceptance size, asserted bit-identical
         // in-run; gated at the reduced size like the hotpath bands).
         spec("ext_serve.batched_vs_sequential.n16384", Band::min(2.0)),
+        // The SDH-heavy mix must coalesce too: identical-spec histogram
+        // sinks dedup at admission and the compiled multi-consumer
+        // sweep serves what remains (~4–5× observed; floored at ≥2×).
+        spec("ext_serve.batched_vs_sequential_sdh.n16384", Band::min(2.0)),
         // Single-query round-trip ceiling at CI size (p99 over 40
         // probes, cold shard upload included). Wall-clock, so the
         // ceiling sits ~5× over the slowest observed CI-class run —
@@ -388,7 +396,7 @@ pub fn host_reports() -> Result<Vec<Report>, ReportError> {
     Ok(vec![
         hotpath::build_report(&[16_384])?,
         gridpath::build_report(&[262_144, 1_048_576], &gridpath::GridpathConfig::gate())?,
-        ext_serve::build_report(&[16_384], 4_096)?,
+        ext_serve::build_report(&[16_384], &[16_384], 4_096)?,
     ])
 }
 

@@ -467,7 +467,10 @@ impl PairAction for SharedHistogramAction {
     }
 
     fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
-        Some(CompiledSinkSpec::Histogram)
+        Some(CompiledSinkSpec::Histogram {
+            inv_width: self.spec.inv_width(),
+            hmax: self.spec.buckets.saturating_sub(1),
+        })
     }
 }
 
@@ -840,8 +843,10 @@ pub struct MultiHistSink {
 /// [`SharedHistogramAction`]), and the fused route drives all sinks from
 /// one `FusedConsumer::Multi` pass, so a batched run stays bit-identical
 /// to issuing each query alone (the differential suites enforce this).
-/// The compiled route is declined (`compiled_sink` stays `None`): a
-/// batch falls back to fused, exactly as the single-sink histogram does.
+/// The compiled route lowers the same sink list
+/// (`CompiledSinkSpec::Multi`, counts then histograms), so coalesced
+/// SDH batches ride the compiled inter-tile pass; the intra triangle
+/// stays on the fused route.
 #[derive(Debug, Clone, Default)]
 pub struct MultiQueryAction {
     /// Count consumers, fed first (in order).
@@ -1005,5 +1010,16 @@ impl PairAction for MultiQueryAction {
             });
         }
         Some(FusedConsumer::Multi(sinks))
+    }
+
+    fn compiled_sink(&self) -> Option<CompiledSinkSpec> {
+        Some(CompiledSinkSpec::Multi {
+            counts: self.counts.iter().map(|cs| cs.radius).collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|hs| (hs.spec.inv_width(), hs.spec.buckets.saturating_sub(1)))
+                .collect(),
+        })
     }
 }

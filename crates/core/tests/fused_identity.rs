@@ -1,15 +1,17 @@
 //! Route-matrix differential tests across the tiling kernels.
 //!
 //! Every kernel × action pair that routes through `try_tile_pass` is run
-//! on four interpreter routes — the plan compiler
-//! (`with_compiled(true)`), fused tile passes (the default), op-by-op
-//! vectorized (`with_fused_tile(false)`), and the scalar reference — and
-//! must produce bit-identical output buffers, `AccessTally` counters and
-//! simulated timing. Host-side `InterpStats` are the only permitted
-//! difference: the fused route must report `fused_ops > 0` and the
-//! compiled route `compiled_ops > 0` wherever its plan lowers (or
-//! exactly zero where it must decline); the op-by-op and scalar routes
-//! report zero for both.
+//! on four interpreter routes — the plan compiler (the default), fused
+//! tile passes (`with_compiled(false)`), op-by-op vectorized
+//! (`with_compiled(false).with_fused_tile(false)`), and the scalar
+//! reference — and must produce bit-identical output buffers,
+//! `AccessTally` counters and simulated timing. Host-side `InterpStats`
+//! are the only permitted difference: the fused route must report
+//! `fused_ops > 0` and the compiled route `compiled_ops > 0` wherever
+//! its plan lowers (or exactly zero where it must decline); the
+//! op-by-op and scalar routes report zero for both. The fused and
+//! op-by-op legs pin their route explicitly so these asserts stay armed
+//! now that the compiled route is the preset default.
 
 use gpu_sim::{Device, DeviceConfig, KernelRun};
 use tbs_core::distance::{Euclidean, GaussianRbf};
@@ -47,9 +49,11 @@ type Bits = Vec<u64>;
 
 fn routes() -> [DeviceConfig; 4] {
     [
-        DeviceConfig::titan_x().with_compiled(true),
-        DeviceConfig::titan_x(),
-        DeviceConfig::titan_x().with_fused_tile(false),
+        DeviceConfig::titan_x(), // compiled is the preset default
+        DeviceConfig::titan_x().with_compiled(false),
+        DeviceConfig::titan_x()
+            .with_compiled(false)
+            .with_fused_tile(false),
         DeviceConfig::titan_x().with_scalar_reference(true),
     ]
 }
@@ -336,11 +340,11 @@ fn register_shm_histogram_is_route_identical() {
 #[test]
 fn register_roc_histogram_is_route_identical() {
     // The paper's winning SDH configuration: ROC input, SHM output.
-    // Nothing here lowers: no shared tile fetch, and the histogram sink
-    // declines both the broadcast tile pass and the AllPairs intra —
-    // the compiled route must fall back whole, bit-identically.
+    // The compiled histogram sink lowers the ROC inter-tile passes
+    // (sqrt-free bucketing + closed-form scatter accounting); only the
+    // AllPairs intra triangle stays on the fused/op route.
     let pts = cloud(200);
-    assert_identical_uncompiled(|dev| {
+    assert_identical(|dev| {
         let input = pts.upload(dev);
         let lc = pair_launch(input.n, B);
         let spec = HistogramSpec::new(32, 180.0);
@@ -457,13 +461,14 @@ fn histogram_bucket_boundary_distances_are_route_identical() {
 #[test]
 fn privatized_reduce_is_route_identical() {
     // The Figure-3 cross-copy reduction behind the *-Out family: the
-    // packed fused route (one `fused_copy_reduce_u32` per warp) must
-    // match the op-by-op copy loop and the scalar reference
-    // bit-for-bit, tally included. The measured launch is the reduce
-    // kernel, which has no compiled plan — the compiled route declines.
+    // compiled route (one `compiled_copy_reduce_u32` per warp, control
+    // charge folded in) and the packed fused route
+    // (`fused_copy_reduce_u32`) must match the op-by-op copy loop and
+    // the scalar reference bit-for-bit, tally included. The measured
+    // launch is the reduce kernel.
     let pts = cloud(300);
     let spec = HistogramSpec::new(48, 180.0);
-    assert_identical_uncompiled(|dev| {
+    assert_identical(|dev| {
         let input = pts.upload(dev);
         let lc = pair_launch(input.n, B);
         let private = dev.alloc_u32_zeroed((lc.grid_dim * spec.buckets) as usize);
@@ -576,16 +581,15 @@ fn shuffle_kde_gaussian_is_route_identical() {
 #[test]
 fn multi_query_mixed_batch_is_route_identical() {
     // The serve layer's coalesced sweep: two count sinks + two histogram
-    // sinks fed by one pairwise stage. `MultiQueryAction` keeps
-    // `compiled_sink()` at `None`, so every compiled tile *pass*
-    // declines to the fused route bit-identically (the cooperative tile
-    // fetch still lowers — `compiled_ops > 0` comes from that alone);
-    // the default route must drive all four sinks through one
-    // `FusedConsumer::Multi` pass per tile.
+    // sinks fed by one pairwise stage. `MultiQueryAction` lowers the
+    // whole sink list (`CompiledSinkSpec::Multi`), so the compiled
+    // inter-tile pass drives all four sinks in one straight-line walk;
+    // the fused route must drive them through one `FusedConsumer::Multi`
+    // pass per tile.
     let pts = cloud(200);
     let spec_a = HistogramSpec::new(32, 180.0);
     let spec_b = HistogramSpec::new(48, 90.0);
-    let [_, fused, _, _] = assert_identical(|dev| {
+    let [compiled, fused, _, _] = assert_identical(|dev| {
         let input = pts.upload(dev);
         let lc = pair_launch(input.n, B);
         let c0 = dev.alloc_u64_zeroed(lc.total_threads() as usize);
@@ -633,13 +637,18 @@ fn multi_query_mixed_batch_is_route_identical() {
         "multi-sink batches must still flow the fused path (coverage {})",
         fused.interp.fused_coverage(&fused.tally)
     );
+    assert!(
+        compiled.interp.compiled_coverage(&compiled.tally) > 0.5,
+        "multi-sink batches must flow the compiled path (coverage {})",
+        compiled.interp.compiled_coverage(&compiled.tally)
+    );
 }
 
 #[test]
 fn multi_query_counts_only_is_route_identical() {
     // A pure 2-PCF batch (many radii, no histograms): Type-I shape, no
-    // shared output allocations, still one sweep feeding every radius.
-    // As above, only the tile fetch lowers on the compiled route.
+    // shared output allocations, still one sweep feeding every radius
+    // on both fast routes.
     let pts = cloud(150);
     assert_identical(|dev| {
         let input = pts.upload(dev);

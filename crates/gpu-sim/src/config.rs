@@ -198,7 +198,10 @@ pub struct DeviceConfig {
     /// which stay bit-identical and serve as the differential oracle.
     /// Like the other route knobs this is purely a host-speed choice:
     /// outputs, tallies, timing and fault blame never change. Ignored
-    /// (treated as off) when `scalar_reference` is set.
+    /// (treated as off) when `scalar_reference` is set. On by default in
+    /// every preset; the differential suites select the op
+    /// (`with_compiled(false).with_fused_tile(false)`) and fused
+    /// (`with_compiled(false)`) oracle routes explicitly.
     pub compiled: bool,
 }
 
@@ -250,7 +253,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
-            compiled: false,
+            compiled: true,
         }
     }
 
@@ -301,7 +304,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
-            compiled: false,
+            compiled: true,
         }
     }
 
@@ -352,7 +355,7 @@ impl DeviceConfig {
             exec_mode: ExecMode::Parallel { threads: 0 },
             scalar_reference: false,
             fused_tile: true,
-            compiled: false,
+            compiled: true,
         }
     }
 

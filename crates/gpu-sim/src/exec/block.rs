@@ -2,6 +2,7 @@
 
 use crate::config::DeviceConfig;
 use crate::error::SimError;
+use crate::exec::compiled::CompiledScratch;
 use crate::exec::mask::Mask;
 use crate::exec::warp::WarpCtx;
 use crate::mem::replay::{BufSet, SectorTrace, WriteOp};
@@ -69,6 +70,10 @@ pub struct BlockCtx<'a> {
     pub grid_dim: u32,
     /// Threads per block (`blockDim.x`).
     pub block_dim: u32,
+    /// Reusable buffers for the compiled output-stage passes (squared
+    /// distance rows, scatter walk state); host-side only, never part
+    /// of the simulated device state.
+    pub(crate) compiled_scratch: CompiledScratch,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -102,6 +107,7 @@ impl<'a> BlockCtx<'a> {
             block_id,
             grid_dim,
             block_dim,
+            compiled_scratch: CompiledScratch::default(),
         }
     }
 

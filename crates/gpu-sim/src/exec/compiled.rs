@@ -53,17 +53,17 @@
 
 use crate::config::DeviceConfig;
 use crate::exec::block::BlockCtx;
-use crate::exec::fused::{FusedConsumer, FusedPred, FusedSrc};
+use crate::exec::fused::{FusedConsumer, FusedPred, FusedSink, FusedSrc};
 use crate::exec::mask::Mask;
 use crate::exec::warp::{charge_lanes, WarpCtx};
-use crate::mem::{BufF32, ShmF32};
-use crate::{F32x32, WARP_SIZE};
+use crate::mem::{BufF32, ScatterScratch, ShmF32, ShmU32};
+use crate::{F32x32, U32x32, U64x32, WARP_SIZE};
 
 /// The output-sink shape of a lowered plan, declared by the action
 /// (`PairAction::compiled_sink` in `tbs-core`). Mirrors
 /// [`FusedConsumer`] minus the borrowed accumulator state: lowering
 /// happens once per block, before any per-warp state exists.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompiledSinkSpec {
     /// Count pairs with `distance < radius` (2-PCF).
     CountLt {
@@ -73,7 +73,97 @@ pub enum CompiledSinkSpec {
     /// Sum the distance values (KDE).
     Sum,
     /// Privatized shared-memory histogram (SDH).
-    Histogram,
+    Histogram {
+        /// Reciprocal bucket width (`HistogramSpec::inv_width`).
+        inv_width: f32,
+        /// Highest bucket index (`buckets − 1`).
+        hmax: u32,
+    },
+    /// Coalesced multi-query batch: every distance feeds each count
+    /// sink and each histogram sink (`MultiQueryAction`). Sinks are
+    /// declared in the action's partition order — counts first, then
+    /// histograms — which is also the order every route feeds them.
+    Multi {
+        /// Count-sink radii, in sink order.
+        counts: Vec<f32>,
+        /// Histogram-sink `(inv_width, hmax)` geometry, in sink order.
+        hists: Vec<(f32, u32)>,
+    },
+}
+
+/// Edge-table cap: a histogram with more buckets than this keeps the
+/// per-lane sqrt chain (the table would cost more to build and to hold
+/// in cache than the sqrts it can skip).
+const EDGE_TABLE_MAX_BUCKETS: u32 = 1 << 16;
+
+/// A lowered histogram sink: the bucket geometry plus precomputed
+/// squared-distance bin edges (see [`squared_bin_edges`]).
+#[derive(Debug, Clone, PartialEq)]
+struct LoweredHist {
+    inv_width: f32,
+    hmax: u32,
+    /// `edges[b] ≤ s < edges[b+1] ⟺ bucket(sqrt(s)) = b` for every
+    /// `b ≤ hmax` and every non-NaN squared distance `s` (with
+    /// `edges[hmax+1] = +inf`). Empty when the geometry is degenerate
+    /// (non-finite or non-positive `inv_width`, oversized table) — the
+    /// sink then classifies through the sqrt chain only.
+    edges: Vec<f32>,
+}
+
+impl LoweredHist {
+    fn lower(inv_width: f32, hmax: u32) -> Self {
+        LoweredHist {
+            inv_width,
+            hmax,
+            edges: squared_bin_edges(inv_width, hmax),
+        }
+    }
+}
+
+/// Squared-distance bin edges for the bucket map
+/// `bucket(d) = min((d · inv_width) as u32, hmax)` applied to
+/// `d = s.sqrt()`: `edges[b]` is the smallest `f32` `s ≥ 0` whose raw
+/// (pre-clamp) bucket reaches `b`, `edges[0] = 0` and
+/// `edges[hmax+1] = +inf`, so for non-NaN `s`
+///
+/// ```text
+/// edges[b] ≤ s < edges[b+1]  ⟺  bucket(s.sqrt()) = b      (b ≤ hmax)
+/// ```
+///
+/// This is exact at the ulp like [`sqrt_lt_threshold`]: the composite
+/// `s → (s.sqrt() · inv_width) as u32` is monotone in `s` (`sqrt` and
+/// multiplication by a positive finite constant are monotone under
+/// round-to-nearest; the saturating truncating cast — CUDA's
+/// `__float2uint_rz` — is monotone too), and non-negative `f32` order
+/// equals bit order, so each boundary is found by bit-space binary
+/// search rather than arithmetic that could be off by an ulp.
+fn squared_bin_edges(inv_width: f32, hmax: u32) -> Vec<f32> {
+    if !(inv_width.is_finite() && inv_width > 0.0) || hmax >= EDGE_TABLE_MAX_BUCKETS {
+        return Vec::new();
+    }
+    let raw = |s: f32| (s.sqrt() * inv_width) as u32;
+    let mut edges = Vec::with_capacity(hmax as usize + 2);
+    edges.push(0.0f32);
+    for b in 1..=hmax {
+        // Invariant: raw(lo) < b ≤ raw(hi); raw(+inf) saturates to
+        // u32::MAX so the upper end always qualifies.
+        let mut lo = 0u32;
+        let mut hi = f32::INFINITY.to_bits();
+        if raw(0.0) >= b {
+            hi = 0;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if raw(f32::from_bits(mid)) >= b {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        edges.push(f32::from_bits(hi));
+    }
+    edges.push(f32::INFINITY);
+    edges
 }
 
 /// Which partner-tile storage an intra-block compiled pass reads.
@@ -88,7 +178,7 @@ pub enum CompiledTile<'t, const D: usize> {
 /// comparison threshold, the per-step instruction widths, and the
 /// hot tile shape's predicate-overlap counts, all computed once at
 /// `lower` time instead of on every dispatch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledKernel {
     /// `s < threshold ⟺ s.sqrt() < radius` for all non-negative `s`.
     threshold: f32,
@@ -105,10 +195,18 @@ pub struct CompiledKernel {
     full_npm: u64,
     full_sum_apm: u64,
     /// Warp instructions per executed inner step (distance + consumer
-    /// + the histogram atomic when applicable).
+    /// + one shared atomic per histogram sink when applicable).
     wi: u64,
     /// ALU instructions per executed inner step.
     per: u64,
+    /// Histogram sinks per pair (0 for CountLt/Sum, 1 for Histogram,
+    /// the hist-partition length for Multi).
+    n_hist: u64,
+    /// Lowered histogram geometry, in sink order.
+    hists: Vec<LoweredHist>,
+    /// Per count sink: `(radius, sqrt_lt_threshold(radius))`, in sink
+    /// order (Multi only; the single CountLt sink uses `threshold`).
+    count_thresholds: Vec<(f32, f32)>,
 }
 
 /// Smallest `T` such that `s < T ⟺ s.sqrt() < radius` for every
@@ -169,11 +267,31 @@ impl CompiledKernel {
             _ => 0.0,
         };
         let dist_cost = 2 * dims as u64 + 1; // Euclidean: sub+fma per dim, sqrt
-        let consumer_alu = match sink {
-            CompiledSinkSpec::CountLt { .. } | CompiledSinkSpec::Histogram => 2,
-            CompiledSinkSpec::Sum => 1,
+        let (consumer_alu, n_hist) = match &sink {
+            CompiledSinkSpec::CountLt { .. } => (2, 0),
+            CompiledSinkSpec::Sum => (1, 0),
+            CompiledSinkSpec::Histogram { .. } => (2, 1),
+            CompiledSinkSpec::Multi { counts, hists } => (
+                2 * (counts.len() as u64 + hists.len() as u64),
+                hists.len() as u64,
+            ),
         };
-        let is_hist = matches!(sink, CompiledSinkSpec::Histogram) as u64;
+        let hists = match &sink {
+            CompiledSinkSpec::Histogram { inv_width, hmax } => {
+                vec![LoweredHist::lower(*inv_width, *hmax)]
+            }
+            CompiledSinkSpec::Multi { hists, .. } => hists
+                .iter()
+                .map(|&(inv_width, hmax)| LoweredHist::lower(inv_width, hmax))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let count_thresholds = match &sink {
+            CompiledSinkSpec::Multi { counts, .. } => {
+                counts.iter().map(|&r| (r, sqrt_lt_threshold(r))).collect()
+            }
+            _ => Vec::new(),
+        };
         let per = dist_cost + consumer_alu;
         Some(CompiledKernel {
             threshold: sqrt_lt_threshold(radius),
@@ -183,8 +301,11 @@ impl CompiledKernel {
             full_steps,
             full_npm: full_steps as u64,
             full_sum_apm: full_steps as u64 * WARP_SIZE as u64,
-            wi: per + is_hist,
+            wi: per + n_hist,
             per,
+            n_hist,
+            hists,
+            count_thresholds,
         })
     }
 
@@ -257,6 +378,81 @@ fn euclid_sumsq<const D: usize>(own: &[f32; D], p: &[f32; D]) -> f32 {
     s
 }
 
+/// Per-block reusable buffers for the compiled output-stage passes,
+/// owned by [`BlockCtx`] so the hot tile loop never reallocates: the
+/// deferred bucket batches and the scatter walk's per-bank counters.
+/// Contents are dead between passes (the bucket batches are cleared,
+/// the scatter counters are reset via its touched list), so reuse
+/// cannot leak state across passes — only the capacity persists.
+#[derive(Debug, Default)]
+pub struct CompiledScratch {
+    /// Bucket indices of the pass's full-warp histogram steps,
+    /// step-major, batched for one
+    /// [`crate::mem::SharedSpace::scatter_account_update_rows`] walk.
+    b: Vec<u32>,
+    /// Per-sink bucket batches for the Multi consumer (same layout as
+    /// `b`, indexed in histogram-sink declaration order).
+    bs: Vec<Vec<u32>>,
+    /// Per-sink partial-warp batches for the Multi consumer (same
+    /// layout as `p`/`pn`: active-lane buckets concatenated, with the
+    /// parallel vector holding each deferred step's lane count).
+    pbs: Vec<Vec<u32>>,
+    /// Per-sink per-step lane counts (indexes `pbs`).
+    pbn: Vec<Vec<u32>>,
+    /// Active-lane buckets of the pass's partial-warp (or
+    /// degenerate-geometry) histogram steps, concatenated; `pn` holds
+    /// each deferred step's lane count.
+    p: Vec<u32>,
+    /// Per partial step, its active-lane count (indexes `p`).
+    pn: Vec<u32>,
+    /// Persistent per-bank chain state for the merged scatter walk.
+    scatter: ScatterScratch,
+}
+
+/// One lane's exact bucket index from an already-sqrt'd distance,
+/// branch-free and vectorizable: bit-identical to the op-by-op chain
+/// `((d * inv_width) as u32).min(hmax)` under the callers' gate (a
+/// non-empty lowered edge table, which requires a finite positive
+/// `inv_width` and `hmax` < 2¹⁶), with `hmax_f == hmax as f32`
+/// (exact, since `hmax` < 2²⁴) and `d ≥ 0` or NaN.
+///
+/// Rust's saturating float→int cast (`fptosi.sat`) scalarizes on
+/// AVX2, so the cast is replaced by a clamp plus the 2²³
+/// magic-number floor — every step lowers to plain vector ops
+/// (`vmaxps`/`vminps`/`vaddps`/`vpand`/`vcmpps`):
+///
+/// - `t = (d * inv_width).max(0.0).min(hmax_f)` ∈ [0, hmax]: NaN
+///   becomes 0 (`max` returns the non-NaN operand), matching the
+///   saturating cast's NaN → 0; products above `hmax` clamp to
+///   `hmax_f`, matching cast-then-`min`; in-range products are
+///   untouched, and `⌊t⌋` then equals the cast's truncation.
+/// - `r = t + 2²³` rounds to `2²³ + rne(t)` (the sum sits in
+///   [2²³, 2²⁴) where the ulp is 1), so `r`'s low 23 mantissa bits
+///   are `rne(t)`, round-half-even's integer; `f = r − 2²³` recovers
+///   it exactly (the difference is a representable integer ≤ 2¹⁶).
+/// - `rne(t)` is either `⌊t⌋` or `⌊t⌋ + 1`, and overshoots exactly
+///   when `f > t` — subtracting that flag yields `⌊t⌋`.
+#[inline(always)]
+fn floor_bucket_exact(d: f32, inv_width: f32, hmax_f: f32) -> u32 {
+    const MAGIC: f32 = 8_388_608.0; // 2^23
+    let t = (d * inv_width).max(0.0).min(hmax_f);
+    let r = t + MAGIC;
+    let f = r - MAGIC;
+    (r.to_bits() & 0x007F_FFFF) - ((f > t) as u32)
+}
+
+/// Vectorized exact bucketing of one full-warp row of squared
+/// distances: lane `l` gets `((s[l].sqrt() * inv_width) as
+/// u32).min(hmax)`, via [`floor_bucket_exact`] (same bits, vector
+/// codegen).
+#[inline]
+fn bucket_row_exact(row: &[f32], inv_width: f32, hmax: u32, out: &mut [u32; WARP_SIZE]) {
+    let hf = hmax as f32;
+    for (b, &s) in out.iter_mut().zip(row.iter()) {
+        *b = floor_bucket_exact(s.sqrt(), inv_width, hf);
+    }
+}
+
 /// One lane's sqrt-free count over the column range `[j0, j1)`: how many
 /// tile elements sit strictly inside the lowered squared threshold.
 ///
@@ -303,9 +499,12 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
     ///
     /// Returns `false` with no side effects whenever a precondition
     /// fails, exactly like the fused pass; additionally declines when
-    /// the consumer does not match the lowered sink (wrong plan) and
-    /// for the histogram sink (whose per-step scatter accounting the
-    /// fused pass already batches as tightly as the state allows).
+    /// the consumer does not match the lowered sink (wrong plan). The
+    /// histogram and multi sinks run here too: bucketing goes sqrt-free
+    /// through the lowered squared bin edges where they are exact, and
+    /// the scatter's accounting and data update share one walk
+    /// ([`crate::mem::SharedSpace::scatter_account_update`]) over the
+    /// block's persistent scratch.
     #[allow(clippy::too_many_arguments)]
     pub fn compiled_euclidean_tile<const D: usize>(
         &mut self,
@@ -327,14 +526,43 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         {
             return false;
         }
-        // Consumer ↔ lowered-sink agreement. The histogram consumer
-        // stays on the fused route: its per-step shared-memory scatter
-        // is stateful, so the compiled pass would replicate the fused
-        // loop verbatim with no wins to add.
-        match (&consumer, ck.sink) {
+        // Consumer ↔ lowered-sink agreement: every parameter the
+        // lowered plan baked in (radii, bucket geometry, sink order)
+        // must match the consumer bit for bit, else this is the wrong
+        // plan and the pass declines.
+        match (&consumer, &ck.sink) {
             (FusedConsumer::CountLt { radius, .. }, CompiledSinkSpec::CountLt { radius: r })
                 if radius.to_bits() == r.to_bits() => {}
             (FusedConsumer::Sum { .. }, CompiledSinkSpec::Sum) => {}
+            (
+                FusedConsumer::Histogram {
+                    inv_width, hmax, ..
+                },
+                CompiledSinkSpec::Histogram {
+                    inv_width: iw,
+                    hmax: h,
+                },
+            ) if inv_width.to_bits() == iw.to_bits() && hmax == h => {}
+            (FusedConsumer::Multi(sinks), CompiledSinkSpec::Multi { counts, hists }) => {
+                // The consumer arrives in partition order (counts then
+                // hists, each in declaration order) — the same order
+                // `MultiQueryAction::compiled_sink` lowered.
+                let mut cs = counts.iter();
+                let mut hs = hists.iter();
+                let agree = sinks.iter().all(|s| match s {
+                    FusedSink::CountLt { radius, .. } => {
+                        cs.next().is_some_and(|r| r.to_bits() == radius.to_bits())
+                    }
+                    FusedSink::Histogram {
+                        inv_width, hmax, ..
+                    } => hs
+                        .next()
+                        .is_some_and(|&(iw, h)| iw.to_bits() == inv_width.to_bits() && h == *hmax),
+                });
+                if !agree || cs.next().is_some() || hs.next().is_some() {
+                    return false;
+                }
+            }
             _ => return false,
         }
         // Pre-flight every fault/abandon the pass could hit (same
@@ -366,6 +594,33 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
             FusedSrc::LaneBroadcast(_) => {
                 if !self.blk.cfg.has_shuffle {
                     return false;
+                }
+            }
+        }
+        // Histogram bucket memory pre-flights (same checks, same order
+        // as the fused pass): a short array would fault mid-scatter, so
+        // decline side-effect-free and let op-by-op assign exact blame.
+        if let FusedConsumer::Histogram { hmax, shm, .. } = &consumer {
+            if self
+                .blk
+                .shared
+                .check_bounds(shm.0, *hmax, "shared u32 atomicAdd")
+                .is_err()
+            {
+                return false;
+            }
+        }
+        if let FusedConsumer::Multi(sinks) = &consumer {
+            for sink in sinks.iter() {
+                if let FusedSink::Histogram { hmax, shm, .. } = sink {
+                    if self
+                        .blk
+                        .shared
+                        .check_bounds(shm.0, *hmax, "shared u32 atomicAdd")
+                        .is_err()
+                    {
+                        return false;
+                    }
                 }
             }
         }
@@ -454,6 +709,16 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         }
 
         // ---- the compiled compute loop (lane-major) ----
+        // The block's persistent scratch is taken out of `self.blk`
+        // before the view borrows it (the view holds the whole block
+        // immutably); restored after the compute match.
+        let mut scr = std::mem::take(&mut self.blk.compiled_scratch);
+        // Histogram scatter accounting, accumulated per step in closed
+        // form (Σ multiplicity, Σ bank+contention replays) exactly as
+        // the fused pass accumulates it.
+        let mut atom_serial = 0u64;
+        let mut atom_txns = 0u64;
+        let mut atom_replays = 0u64;
         let view = match &src {
             FusedSrc::SharedBroadcast(tile) => SrcView::Cols {
                 cols: std::array::from_fn(|d| self.blk.shared.f32s(tile[d])),
@@ -642,9 +907,270 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                     }
                 }
             }
-            FusedConsumer::Histogram { .. } | FusedConsumer::Multi(_) => {
-                unreachable!("histogram/multi decline above")
+            FusedConsumer::Histogram { shm, .. } => {
+                // Phase A: bucket every step's distance row straight off
+                // the tile view — stack row, no squared-distance spill —
+                // splitting full-warp steps (deferred to one batched
+                // walk, whose broadcast shortcut covers clustered steps
+                // closed-form) from partial-warp ones (deferred to the
+                // per-step masked walk). Deferral is sound: the sink
+                // pre-flights above ruled out faults, and the accounting
+                // sums and wrapping data adds commute across steps. Per
+                // pair the operation sequence is exactly the op-by-op
+                // chain: `euclid_sumsq` in ascending dimensions, sqrt,
+                // FMUL, saturating cast (exact-geometry rows through the
+                // vectorized cast of `bucket_row_exact` — identical
+                // bits).
+                let lh = &ck.hists[0];
+                let (inv_width, hmax) = (lh.inv_width, lh.hmax);
+                let exact = !lh.edges.is_empty();
+                scr.b.clear();
+                scr.p.clear();
+                scr.pn.clear();
+                if matches!(pred, FusedPred::All) && valid.0 == u32::MAX && exact {
+                    // Unpredicated full-valid pass — the hot shape:
+                    // every step is a full-warp row, so one fused
+                    // distance+bucket loop writes the batch buffer in
+                    // place (no distance spill, no per-row copy).
+                    scr.b.resize(len as usize * WARP_SIZE, 0);
+                    let hf = hmax as f32;
+                    for (j, out) in scr.b.chunks_exact_mut(WARP_SIZE).enumerate() {
+                        let p = view.point(j);
+                        for (l, o) in out.iter_mut().enumerate() {
+                            let mut s = 0.0f32;
+                            for d in 0..D {
+                                let diff = own[d][l] - p[d];
+                                s = diff.mul_add(diff, s);
+                            }
+                            *o = floor_bucket_exact(s.sqrt(), inv_width, hf);
+                        }
+                    }
+                } else {
+                    for j in 0..len {
+                        let pm = Self::fused_pred_mask(pred, j, valid);
+                        if !pm.any() {
+                            continue;
+                        }
+                        let p = view.point(j as usize);
+                        let mut srow = [0.0f32; WARP_SIZE];
+                        for d in 0..D {
+                            let pd = p[d];
+                            for (sl, &ol) in srow.iter_mut().zip(own[d].iter()) {
+                                let diff = ol - pd;
+                                *sl = diff.mul_add(diff, *sl);
+                            }
+                        }
+                        if pm.0 == u32::MAX && exact {
+                            let mut tmp = [0u32; WARP_SIZE];
+                            bucket_row_exact(&srow, inv_width, hmax, &mut tmp);
+                            scr.b.extend_from_slice(&tmp);
+                            continue;
+                        }
+                        // Partial-warp (or degenerate-geometry) step:
+                        // the scalar cast chain over the active lanes.
+                        let n0 = scr.p.len();
+                        if pm.0 == u32::MAX {
+                            scr.p.extend(
+                                srow.iter()
+                                    .map(|&s| ((s.sqrt() * inv_width) as u32).min(hmax)),
+                            );
+                        } else {
+                            scr.p.extend(
+                                pm.lanes()
+                                    .map(|l| ((srow[l].sqrt() * inv_width) as u32).min(hmax)),
+                            );
+                        }
+                        scr.pn.push((scr.p.len() - n0) as u32);
+                    }
+                }
+                // Phase B: the batched walk over the full-warp rows,
+                // then the ragged/masked steps one at a time.
+                let (s_b, t_b, r_b) =
+                    self.blk
+                        .shared
+                        .scatter_account_update_rows(shm, &scr.b, &mut scr.scatter);
+                atom_serial += s_b;
+                atom_txns += t_b;
+                atom_replays += r_b;
+                let mut off = 0usize;
+                for &na in &scr.pn {
+                    let na = na as usize;
+                    let (mult, txns) = self.blk.shared.scatter_account_update(
+                        shm,
+                        &scr.p[off..off + na],
+                        &mut scr.scatter,
+                    );
+                    off += na;
+                    atom_serial += mult;
+                    atom_txns += txns + mult - 1;
+                    atom_replays += txns.saturating_sub(1);
+                }
             }
+            FusedConsumer::Multi(mut sinks) => {
+                // One distance evaluation per step feeds every sink in
+                // order, exactly like the fused Multi consumer — but the
+                // squared distances stay in a stack row (no spill; the
+                // per-sink compare loops then run over fixed-size
+                // arrays, the shape LLVM vectorizes), count sinks
+                // compare sqrt-free against the lowered thresholds, and
+                // each histogram sink's scatter shares the merged
+                // accounting+update walk.
+                let mut count_sinks: Vec<(f32, &mut U64x32)> = Vec::new();
+                let mut hist_sinks: Vec<(usize, ShmU32)> = Vec::new();
+                let mut hk = 0usize;
+                for sink in sinks.iter_mut() {
+                    match sink {
+                        FusedSink::CountLt { radius, acc } => count_sinks.push((*radius, acc)),
+                        FusedSink::Histogram { shm, .. } => {
+                            hist_sinks.push((hk, *shm));
+                            hk += 1;
+                        }
+                    }
+                }
+                // Lowered parameters ride in sink order (checked against
+                // the consumer in the agreement above). A +inf radius
+                // keeps the sqrt form (see the CountLt arm); finite
+                // radii compare squared.
+                let cthr: Vec<(f32, f32, bool)> = ck
+                    .count_thresholds
+                    .iter()
+                    .map(|&(r, t)| (r, t, r == f32::INFINITY))
+                    .collect();
+                let need_drow =
+                    !hist_sinks.is_empty() || cthr.iter().any(|&(_, _, use_sqrt)| use_sqrt);
+                let mut cnts: Vec<U32x32> = vec![[0u32; WARP_SIZE]; count_sinks.len()];
+                if scr.bs.len() < hist_sinks.len() {
+                    scr.bs.resize_with(hist_sinks.len(), Vec::new);
+                    scr.pbs.resize_with(hist_sinks.len(), Vec::new);
+                    scr.pbn.resize_with(hist_sinks.len(), Vec::new);
+                }
+                for k in 0..hist_sinks.len() {
+                    scr.bs[k].clear();
+                    scr.pbs[k].clear();
+                    scr.pbn[k].clear();
+                }
+                for j in 0..len {
+                    let pm = Self::fused_pred_mask(pred, j, valid);
+                    if !pm.any() {
+                        continue;
+                    }
+                    let p = view.point(j as usize);
+                    let mut row = [0.0f32; WARP_SIZE];
+                    for d in 0..D {
+                        let pd = p[d];
+                        for (sl, &ol) in row.iter_mut().zip(own[d].iter()) {
+                            let diff = ol - pd;
+                            *sl = diff.mul_add(diff, *sl);
+                        }
+                    }
+                    let mut drow = [0.0f32; WARP_SIZE];
+                    if need_drow {
+                        for (d, &s) in drow.iter_mut().zip(row.iter()) {
+                            *d = s.sqrt();
+                        }
+                    }
+                    if pm.0 == u32::MAX {
+                        for (&(r, thr, use_sqrt), cnt) in cthr.iter().zip(cnts.iter_mut()) {
+                            if use_sqrt {
+                                for l in 0..WARP_SIZE {
+                                    cnt[l] += (drow[l] < r) as u32;
+                                }
+                            } else {
+                                for l in 0..WARP_SIZE {
+                                    cnt[l] += (row[l] < thr) as u32;
+                                }
+                            }
+                        }
+                    } else {
+                        for (&(r, thr, use_sqrt), cnt) in cthr.iter().zip(cnts.iter_mut()) {
+                            for l in pm.lanes() {
+                                cnt[l] += if use_sqrt {
+                                    (drow[l] < r) as u32
+                                } else {
+                                    (row[l] < thr) as u32
+                                };
+                            }
+                        }
+                    }
+                    for (k, _) in hist_sinks.iter().enumerate() {
+                        let lh = &ck.hists[k];
+                        let (iw, h) = (lh.inv_width, lh.hmax);
+                        if pm.0 == u32::MAX && !lh.edges.is_empty() {
+                            // Full-warp step with exact geometry: the
+                            // vectorized magic-number floor (identical
+                            // bits — see `floor_bucket_exact`, here
+                            // applied to the already-sqrt'd row),
+                            // deferred to the sink's batched scatter
+                            // walk below.
+                            let hf = h as f32;
+                            let mut tmp = [0u32; WARP_SIZE];
+                            for (b, &d) in tmp.iter_mut().zip(drow.iter()) {
+                                *b = floor_bucket_exact(d, iw, hf);
+                            }
+                            scr.bs[k].extend_from_slice(&tmp);
+                            continue;
+                        }
+                        // Partial or inexact step: deferred like the
+                        // batched rows (the view still borrows the
+                        // block's memory here, and the walks commute —
+                        // pre-flights already ruled out faults).
+                        if pm.0 == u32::MAX {
+                            for &d in drow.iter() {
+                                scr.pbs[k].push(((d * iw) as u32).min(h));
+                            }
+                            scr.pbn[k].push(WARP_SIZE as u32);
+                        } else {
+                            let mut na = 0u32;
+                            for l in pm.lanes() {
+                                scr.pbs[k].push(((drow[l] * iw) as u32).min(h));
+                                na += 1;
+                            }
+                            scr.pbn[k].push(na);
+                        }
+                    }
+                }
+                for (k, &(_, shm)) in hist_sinks.iter().enumerate() {
+                    let (s_b, t_b, r_b) = self.blk.shared.scatter_account_update_rows(
+                        shm,
+                        &scr.bs[k],
+                        &mut scr.scatter,
+                    );
+                    atom_serial += s_b;
+                    atom_txns += t_b;
+                    atom_replays += r_b;
+                    let mut off = 0usize;
+                    for &na in scr.pbn[k].iter() {
+                        let na = na as usize;
+                        let (mult, txns) = self.blk.shared.scatter_account_update(
+                            shm,
+                            &scr.pbs[k][off..off + na],
+                            &mut scr.scatter,
+                        );
+                        atom_serial += mult;
+                        atom_txns += txns + mult - 1;
+                        atom_replays += txns.saturating_sub(1);
+                        off += na;
+                    }
+                }
+                for ((_, acc), cnt) in count_sinks.iter_mut().zip(cnts.iter()) {
+                    for l in 0..WARP_SIZE {
+                        acc[l] += cnt[l] as u64;
+                    }
+                }
+            }
+        }
+        self.blk.compiled_scratch = scr;
+
+        // Histogram sink charges: one shared atomic per executed step
+        // per sink, with the data-dependent serialization accumulated
+        // above — summed after the loop because tally adds commute.
+        if ck.n_hist != 0 {
+            let t = &mut self.blk.tally;
+            t.shared_atomics += npm * ck.n_hist;
+            t.shared_atomic_serial += atom_serial;
+            t.shared_transactions += atom_txns;
+            t.shared_bank_replays += atom_replays;
+            t.shared_bytes += 4 * sum_apm * ck.n_hist;
         }
 
         let interp = &mut self.blk.interp;
@@ -686,11 +1212,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         {
             return false;
         }
-        match (&consumer, ck.sink) {
+        match (&consumer, &ck.sink) {
             (FusedConsumer::CountLt { radius, .. }, CompiledSinkSpec::CountLt { radius: r })
                 if radius.to_bits() == r.to_bits() => {}
             (FusedConsumer::Sum { .. }, CompiledSinkSpec::Sum) => {}
-            (FusedConsumer::Histogram { .. }, CompiledSinkSpec::Histogram) => {}
+            (
+                FusedConsumer::Histogram {
+                    inv_width, hmax, ..
+                },
+                CompiledSinkSpec::Histogram {
+                    inv_width: iw,
+                    hmax: h,
+                },
+            ) if inv_width.to_bits() == iw.to_bits() && hmax == h => {}
             _ => return false,
         }
         let v = valid.count() as u64;
@@ -880,10 +1414,19 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 hmax,
                 shm,
             } => {
-                // Materialize the partner range once (the scatter below
-                // needs `shared` mutably). Iteration order — step-major,
-                // lanes ascending — matches the op-by-op atomics.
-                let pts: Vec<[f32; D]> = {
+                let mut scr = std::mem::take(&mut self.blk.compiled_scratch);
+                // Phase A: the whole triangle's bucket indices into the
+                // scratch, step-major and compacted (iteration j
+                // contributes a_j = min(v, t_max−j) lanes) — this ends
+                // the tile columns' borrow so phase B can scatter into
+                // `self.blk.shared` mutably. Per pair the operation
+                // sequence is exactly the op-by-op chain: `euclid_sumsq`
+                // in ascending dimensions, sqrt, FMUL, saturating cast
+                // (the exact-geometry rows go through the vectorized
+                // cast of `bucket_row_exact` — identical bits).
+                let exact = !ck.hists[0].edges.is_empty();
+                scr.b.clear();
+                {
                     let cols: [&[f32]; D] = match &tile {
                         CompiledTile::Shared(tile) => {
                             std::array::from_fn(|d| self.blk.shared.f32s(tile[d]))
@@ -892,39 +1435,71 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                             std::array::from_fn(|d| self.blk.gmem().f32_slice(bufs[d]))
                         }
                     };
-                    let hi = match &tile {
-                        CompiledTile::Shared(_) => block_n as usize,
-                        CompiledTile::Roc(_) => (block_start + block_n) as usize,
-                    };
-                    (elem0..hi)
-                        .map(|e| std::array::from_fn(|d| cols[d][e]))
-                        .collect()
-                };
+                    for j in 0..t_max as usize {
+                        let a_j = (v as usize).min((t_max as usize) - j);
+                        // Lane l's partner at iteration j is element
+                        // elem0 + l + 1 + j (in bounds: the deepest
+                        // reach is elem0 + t_max, the tile's last
+                        // element, pre-flighted above).
+                        let e0 = elem0 + 1 + j;
+                        let mut srow = [0.0f32; WARP_SIZE];
+                        for d in 0..D {
+                            let col = &cols[d][e0..e0 + a_j];
+                            for ((sl, &ol), &pd) in
+                                srow[..a_j].iter_mut().zip(own[d].iter()).zip(col.iter())
+                            {
+                                let diff = ol - pd;
+                                *sl = diff.mul_add(diff, *sl);
+                            }
+                        }
+                        if exact {
+                            let mut tmp = [0u32; WARP_SIZE];
+                            bucket_row_exact(&srow, inv_width, hmax, &mut tmp);
+                            scr.b.extend_from_slice(&tmp[..a_j]);
+                        } else {
+                            scr.b.extend(
+                                srow[..a_j]
+                                    .iter()
+                                    .map(|&s| ((s.sqrt() * inv_width) as u32).min(hmax)),
+                            );
+                        }
+                    }
+                }
+                // Phase B: the full-warp iteration prefix (a_j = 32 ⟺
+                // v = 32 ∧ j ≤ t_max − 32) takes the batched scatter
+                // walk; the ragged tail goes per step. Accounting sums
+                // and wrapping data adds commute across steps.
                 let mut atom_serial = 0u64;
                 let mut atom_txns = 0u64;
                 let mut atom_replays = 0u64;
-                let mut act = [0u32; WARP_SIZE];
-                for j in 0..t_max {
-                    let a_j = v.min(t_max - j) as usize;
-                    for (l, b) in act.iter_mut().enumerate().take(a_j) {
-                        let o: [f32; D] = std::array::from_fn(|d| own[d][l]);
-                        // pts[0] is element elem0; lane l's partner at
-                        // iteration j is element elem0 + l + 1 + j.
-                        let dval = euclid_sumsq(&o, &pts[l + 1 + j as usize]).sqrt();
-                        *b = ((dval * inv_width) as u32).min(hmax);
-                    }
-                    let (mult, txns) = self
-                        .blk
-                        .shared
-                        .atomic_scatter_accounting(shm.0, &act[..a_j]);
+                let full_steps = if v == WARP_SIZE as u64 {
+                    t_max.saturating_sub(WARP_SIZE as u64 - 1) as usize
+                } else {
+                    0
+                };
+                let split = full_steps * WARP_SIZE;
+                let (s_b, t_b, r_b) = self.blk.shared.scatter_account_update_rows(
+                    shm,
+                    &scr.b[..split],
+                    &mut scr.scatter,
+                );
+                atom_serial += s_b;
+                atom_txns += t_b;
+                atom_replays += r_b;
+                let mut off = split;
+                for j in full_steps..t_max as usize {
+                    let a_j = (v as usize).min(t_max as usize - j);
+                    let (mult, txns) = self.blk.shared.scatter_account_update(
+                        shm,
+                        &scr.b[off..off + a_j],
+                        &mut scr.scatter,
+                    );
+                    off += a_j;
                     atom_serial += mult;
                     atom_txns += txns + mult - 1;
                     atom_replays += txns.saturating_sub(1);
-                    let data = self.blk.shared.u32s_mut(shm);
-                    for &b in &act[..a_j] {
-                        data[b as usize] = data[b as usize].wrapping_add(1);
-                    }
                 }
+                self.blk.compiled_scratch = scr;
                 let t = &mut self.blk.tally;
                 t.shared_atomics += t_max;
                 t.shared_atomic_serial += atom_serial;
@@ -932,9 +1507,9 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
                 t.shared_bank_replays += atom_replays;
                 t.shared_bytes += 4 * s_total;
             }
-            // Multi-sink batches never lower (`MultiQueryAction` keeps
-            // `compiled_sink()` at `None`), so the sink-agreement check
-            // above already declined them.
+            // Multi-sink batches lower for the inter-tile pass only; the
+            // intra triangle keeps them on the fused/op route, so the
+            // sink-agreement check above already declined them.
             FusedConsumer::Multi(_) => unreachable!("multi declines above"),
         }
 
@@ -1140,6 +1715,109 @@ mod tests {
         assert_eq!(ck.wi, 9);
         assert_eq!(ck.per, 9);
         assert!(ck.threshold() > 0.0);
+    }
+
+    /// The device's bucket index for a squared distance `s`: one sqrt,
+    /// scale, truncate, clamp — the chain the edge table must replace
+    /// exactly.
+    fn sqrt_bucket(s: f32, inv_width: f32, hmax: u32) -> u32 {
+        ((s.sqrt() * inv_width) as u32).min(hmax)
+    }
+
+    #[test]
+    fn squared_bin_edges_are_exact_at_every_boundary() {
+        // For every bucket b, the table must satisfy
+        //   edges[b] <= s < edges[b+1]  <=>  sqrt_bucket(s) == b
+        // including at the edges themselves and one ulp either side.
+        for (inv_width, hmax) in [
+            (0.2f32, 31u32),
+            (1.0, 63),
+            (3.7, 7),
+            (0.177, 255),
+            (1e-3, 1023),
+            (12.5, 0),
+        ] {
+            let edges = squared_bin_edges(inv_width, hmax);
+            assert_eq!(edges.len(), hmax as usize + 2, "inv_width={inv_width}");
+            assert_eq!(edges[0], 0.0);
+            assert_eq!(edges[hmax as usize + 1], f32::INFINITY);
+            for b in 0..=hmax {
+                let (lo, hi) = (edges[b as usize], edges[b as usize + 1]);
+                assert!(lo <= hi, "edge order b={b}");
+                // Probe the boundary neighborhood from both sides.
+                for s in [
+                    lo,
+                    f32::from_bits(lo.to_bits() + 1),
+                    if hi.is_finite() {
+                        f32::from_bits(hi.to_bits().saturating_sub(1))
+                    } else {
+                        f32::MAX
+                    },
+                ] {
+                    if s < hi && lo <= s {
+                        assert_eq!(
+                            sqrt_bucket(s, inv_width, hmax),
+                            b,
+                            "inside bucket b={b} s={s} inv_width={inv_width}"
+                        );
+                    }
+                }
+                if b > 0 {
+                    // Just below the lower edge must fall in an earlier bucket.
+                    let below = f32::from_bits(lo.to_bits().wrapping_sub(1));
+                    if below.is_finite() && below >= 0.0 {
+                        assert!(
+                            sqrt_bucket(below, inv_width, hmax) < b,
+                            "below edge b={b} inv_width={inv_width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn squared_bin_edges_cover_random_samples() {
+        // Dense pseudo-random sweep: table lookup == sqrt chain for
+        // every sample, degenerate values included.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for &(inv_width, hmax) in &[(0.35f32, 47u32), (2.2, 15), (0.05, 511)] {
+            let edges = squared_bin_edges(inv_width, hmax);
+            assert!(!edges.is_empty());
+            let lookup = |s: f32| {
+                debug_assert!(!s.is_nan());
+                // Binary-search the table exactly as a device lane would
+                // walk it: greatest b with edges[b] <= s.
+                edges.partition_point(|&e| e <= s).saturating_sub(1) as u32
+            };
+            for _ in 0..4000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let s = ((x >> 32) as f32 / u32::MAX as f32) * 2.0 / (inv_width * inv_width);
+                assert_eq!(
+                    lookup(s),
+                    sqrt_bucket(s, inv_width, hmax),
+                    "s={s} inv_width={inv_width} hmax={hmax}"
+                );
+            }
+            assert_eq!(lookup(0.0), 0);
+            assert_eq!(lookup(f32::MAX), hmax);
+        }
+    }
+
+    #[test]
+    fn squared_bin_edges_decline_degenerate_geometry() {
+        // Non-finite / non-positive scales and oversized tables must
+        // return the empty sentinel: the sink keeps the sqrt chain.
+        assert!(squared_bin_edges(f32::INFINITY, 31).is_empty());
+        assert!(squared_bin_edges(f32::NAN, 31).is_empty());
+        assert!(squared_bin_edges(0.0, 31).is_empty());
+        assert!(squared_bin_edges(-1.0, 31).is_empty());
+        assert!(squared_bin_edges(0.5, EDGE_TABLE_MAX_BUCKETS).is_empty());
+        // Largest admissible table still builds.
+        let edges = squared_bin_edges(0.5, EDGE_TABLE_MAX_BUCKETS - 1);
+        assert_eq!(edges.len(), EDGE_TABLE_MAX_BUCKETS as usize + 1);
     }
 
     #[test]

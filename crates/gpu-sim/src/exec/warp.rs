@@ -1827,6 +1827,98 @@ impl<'b, 'a> WarpCtx<'b, 'a> {
         true
     }
 
+    /// Compiled form of the whole reduction copy loop: the scope of
+    /// [`Self::fused_copy_reduce_u32`] *plus* the loop-control charge
+    /// the caller otherwise issues separately (`charge_control(m+1)`),
+    /// lowered to one call when the compiled route is on. Gates on
+    /// `cfg.compiled` instead of `cfg.fused_tile`, so the reduction
+    /// stays compiled when the fused oracle route is selected off.
+    ///
+    /// Tally effects are bit-identical to
+    /// `charge_control(m+1) + fused_copy_reduce_u32` (which is
+    /// bit-identical to the op-by-op loop); only the host-side
+    /// interpreter stats differ (one compiled dispatch instead of two).
+    /// Returns `false` with no side effects — including the control
+    /// charge — on any declined shape, and the caller runs the
+    /// charge_control + fused/op-by-op path.
+    pub fn compiled_copy_reduce_u32(
+        &mut self,
+        buf: BufU32,
+        gid: &U32x32,
+        stride: u32,
+        copies: u32,
+        acc: &mut U64x32,
+        mask: Mask,
+    ) -> bool {
+        if self.scalar_ref()
+            || !self.blk.cfg.compiled
+            || self.blk.dead()
+            || copies == 0
+            || !mask.is_prefix()
+            || mask.count() < 2
+        {
+            return false;
+        }
+        let n = mask.count() as usize;
+        let first = gid[0] as u64;
+        if !gid[..n]
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first + k as u64)
+        {
+            return false;
+        }
+        let last = (copies as u64 - 1) * stride as u64 + first + n as u64 - 1;
+        if u32::try_from(last).is_err()
+            || self
+                .blk
+                .check_global_bounds(buf.0, last as u32, "global u32 load")
+                .is_err()
+            || self.blk.read_would_abandon(buf.0)
+        {
+            return false;
+        }
+
+        let a = n as u64;
+        let m = copies as u64;
+        {
+            let t = &mut self.blk.tally;
+            // The copy loop's control charge (m tests + 1 failing test)
+            // plus the per-copy load/address/accumulate instructions.
+            charge_lanes(t, (m + 1) + 3 * m, a);
+            t.control_instructions += m + 1;
+            t.alu_instructions += 2 * m;
+            t.global_load_instructions += m;
+            t.global_load_bytes += m * 4 * a;
+        }
+        // The stateful L2 stream keeps its op-by-op granularity and
+        // order: one ascending unit-stride sector run per copy.
+        let base = self.blk.global_base_addr(buf.0);
+        let sb = self.blk.cfg.sector_bytes as u64;
+        for c in 0..m {
+            let e0 = c * stride as u64 + first;
+            let s0 = (base + e0 * 4) / sb;
+            let s1 = (base + (e0 + a - 1) * 4) / sb;
+            self.blk.l2_access_run(s0, (s1 - s0 + 1) as u32);
+        }
+        {
+            // Read-set bookkeeping; cannot abandon (pre-checked). The
+            // accumulation runs flat over each copy's contiguous row.
+            let data = self.blk.global_read_u32s(buf);
+            for c in 0..copies {
+                let off = c as usize * stride as usize + first as usize;
+                for (al, &v) in acc[..n].iter_mut().zip(data[off..off + n].iter()) {
+                    *al += v as u64;
+                }
+            }
+        }
+        let interp = &mut self.blk.interp;
+        interp.dispatches += 1;
+        interp.compiled_ops += 1;
+        interp.compiled_lane_ops += (4 * m + 1) * a;
+        true
+    }
+
     /// Shared-memory sibling of [`Self::fused_copy_reduce_u32`]: the
     /// multi-copy privatized histogram's end-of-block reduction —
     /// `copies` iterations of *unit-stride shared load

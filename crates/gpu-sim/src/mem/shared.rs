@@ -358,46 +358,29 @@ impl SharedSpace {
         }
         let base = self.base_words[array];
         let banks = self.banks as u64;
-        if let Ok(v32) = <&[u32; WARP_SIZE]>::try_from(vals) {
-            // Full-warp steps (the bulk of every tile pass): build each
-            // lane's equality bitmask against the whole warp in one
-            // branch-free column sweep — the compiler packs the inner
-            // compare into SIMD lanes, so this is flat work with no
-            // dependent loads, unlike the occupancy-counter walk below.
-            let mut eq = [0u32; WARP_SIZE];
-            for (k, &vk) in v32.iter().enumerate() {
-                let bit = 1u32 << k;
-                for (e, &vl) in eq.iter_mut().zip(v32.iter()) {
-                    *e |= ((vl == vk) as u32) * bit;
-                }
-            }
-            // mult = the fullest same-word group; a lane is the first
-            // occurrence of its word iff no earlier lane equals it.
-            let mut mult = 0u32;
-            let mut first = 0u32;
-            for (l, &m) in eq.iter().enumerate() {
-                mult = mult.max(m.count_ones());
-                first |= (((m & ((1u32 << l) - 1)) == 0) as u32) << l;
-            }
-            // Distinct words per bank, over first-occurrence lanes only.
-            let mut bank_distinct = [0u8; WARP_SIZE];
-            let mut txns = 1u64;
-            let mut f = first;
-            while f != 0 {
-                let l = f.trailing_zeros() as usize;
-                f &= f - 1;
-                let word = base + v32[l] as u64;
-                let bank = if banks == 32 {
-                    (word & 31) as usize
-                } else {
-                    (word % banks) as usize % WARP_SIZE
-                };
-                let bd = bank_distinct[bank] + 1;
-                bank_distinct[bank] = bd;
-                txns = txns.max(bd as u64);
-            }
-            return (mult as u64, txns);
+        // Shape shortcuts first — the two scatter shapes pileup-heavy and
+        // perfectly-spread histograms produce constantly. Both are flat
+        // vectorizable compares over the lanes and skip the counter walk
+        // entirely. They agree with the general path by construction:
+        // a one-word broadcast is 1 transaction with full serialization,
+        // a unit-stride scatter has no same-address contention and its
+        // transactions follow from `transactions_for`'s stride shortcut.
+        let first = vals[0];
+        if vals.iter().all(|&v| v == first) {
+            return (vals.len() as u64, 1);
         }
+        if vals
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+        {
+            return (1, self.transactions_for(array, vals));
+        }
+        // General scatters: one flat pass over the active lanes against
+        // the persistent occupancy counters. The counters live across
+        // tile steps (reset via the touched list, never a full clear), so
+        // each lane costs one counter bump and first occurrences one bank
+        // bump — no quadratic dedup scan, no per-step allocation.
         let (mut mult, mut txns) = (0u64, 1u64);
         for &v in vals {
             let vi = v as usize;
@@ -426,6 +409,235 @@ impl SharedSpace {
         }
         scratch.touched.clear();
         (mult, txns)
+    }
+
+    /// [`Self::scatter_account`] fused with the histogram data update:
+    /// one walk over the active-lane bucket indices yields the
+    /// accounting pair *and* applies `data[v] += 1` per lane (batched as
+    /// `data[v] += count(v)` per distinct value — wrapping u32 adds
+    /// commute, so the result is bit-identical to the per-lane
+    /// increments the op-by-op atomic performs). The compiled histogram
+    /// sinks use this for partial-warp steps — full-warp steps batch
+    /// through [`Self::scatter_account_update_rows`] — and either way
+    /// each distinct bucket is touched once instead of once for
+    /// accounting and once for the update.
+    pub fn scatter_account_update(
+        &mut self,
+        h: ShmU32,
+        vals: &[u32],
+        scratch: &mut ScatterScratch,
+    ) -> (u64, u64) {
+        debug_assert!(vals.len() <= WARP_SIZE);
+        if vals.is_empty() {
+            return (0, 0);
+        }
+        if self.scalar_reference || self.arrays[h.0].words_per_elem() != 1 {
+            // Same fallback split as `scatter_account`; the update is
+            // the plain per-lane form.
+            let acct = self.atomic_scatter_accounting(h.0, vals);
+            let data = self.u32s_mut(h);
+            for &v in vals {
+                data[v as usize] = data[v as usize].wrapping_add(1);
+            }
+            return acct;
+        }
+        let base = self.base_words[h.0];
+        let banks = self.banks as u64;
+        // The same shape shortcuts as `scatter_account`, with the update
+        // folded in.
+        let first = vals[0];
+        if vals.iter().all(|&v| v == first) {
+            let data = self.u32s_mut(h);
+            data[first as usize] = data[first as usize].wrapping_add(vals.len() as u32);
+            return (vals.len() as u64, 1);
+        }
+        if vals
+            .iter()
+            .enumerate()
+            .all(|(k, &v)| v as u64 == first as u64 + k as u64)
+        {
+            let txns = self.transactions_for(h.0, vals);
+            let data = self.u32s_mut(h);
+            for &v in vals {
+                data[v as usize] = data[v as usize].wrapping_add(1);
+            }
+            return (1, txns);
+        }
+        let (mut mult, mut txns) = (0u64, 1u64);
+        for &v in vals {
+            let vi = v as usize;
+            if vi >= scratch.cnt.len() {
+                scratch.cnt.resize(vi + 1, 0);
+            }
+            let c = scratch.cnt[vi] + 1;
+            scratch.cnt[vi] = c;
+            if c == 1 {
+                let word = base + v as u64;
+                let bank = if banks == 32 {
+                    (word & 31) as usize
+                } else {
+                    (word % banks) as usize % WARP_SIZE
+                };
+                let bd = scratch.bank_distinct[bank] + 1;
+                scratch.bank_distinct[bank] = bd;
+                txns = txns.max(bd as u64);
+                scratch.touched.push((v, bank as u8));
+            }
+            mult = mult.max(c as u64);
+        }
+        let data = match &mut self.arrays[h.0] {
+            ShmStorage::U32(v) => v,
+            _ => unreachable!("handle type guarantees u32 storage"),
+        };
+        for &(v, bank) in &scratch.touched {
+            data[v as usize] = data[v as usize].wrapping_add(scratch.cnt[v as usize] as u32);
+            scratch.cnt[v as usize] = 0;
+            scratch.bank_distinct[bank as usize] = 0;
+        }
+        scratch.touched.clear();
+        (mult, txns)
+    }
+
+    /// [`Self::scatter_account_update`] batched over whole full-warp
+    /// tile steps: `rows` holds `rows.len() / 32` steps' bucket
+    /// indices, 32 lanes each. One call hoists the array binding, the
+    /// bank mapping and the counter sizing out of the per-step loop and
+    /// returns the accumulated charge sums
+    /// `(Σ mult, Σ (txns + mult − 1), Σ (txns − 1))` — exactly what the
+    /// compiled histogram sinks add to `shared_atomic_serial`,
+    /// `shared_transactions` and `shared_bank_replays`. Per step the
+    /// accounting pair and the data update are bit-identical to
+    /// [`Self::scatter_account_update`] on that step's lanes: the
+    /// broadcast shortcut, the windowed row counter (see below) and the
+    /// general counter walk each agree with the op-by-op oracle shape
+    /// by shape (the unit-stride shortcut is omitted here — the general
+    /// walk reproduces its result, and 32 monotonically increasing
+    /// buckets essentially never occur in a histogram step), and the
+    /// wrapping data adds commute across steps, so batching changes no
+    /// observable state.
+    ///
+    /// Most rows take the windowed counting path: when the row's values
+    /// span less than 256 (every warp step of a privatized histogram
+    /// scatters into one copy, so any spec with `hmax < 255` qualifies)
+    /// `v & 255` is injective over the row and a 256-entry stack
+    /// counter replaces the persistent occupancy scratch — no drain
+    /// pass, no counter resets, no data-sized mirror traffic. With 32
+    /// banks, `bank(v) = (base + v) & 31` is a fixed permutation of
+    /// `v & 31`, so counting the distinct values per `v & 31` class
+    /// yields the same maximum bank occupancy; the per-lane update is
+    /// branch-free and both maxima reduce vectorized.
+    ///
+    /// Every index must be in bounds for `h` (the compiled pre-flights
+    /// guarantee `hmax < len`, and buckets clamp to `hmax`);
+    /// multi-word storage and the scalar-reference route fall back to
+    /// the per-step path.
+    pub fn scatter_account_update_rows(
+        &mut self,
+        h: ShmU32,
+        rows: &[u32],
+        scratch: &mut ScatterScratch,
+    ) -> (u64, u64, u64) {
+        debug_assert_eq!(rows.len() % WARP_SIZE, 0);
+        let (mut serial, mut txns_sum, mut replays) = (0u64, 0u64, 0u64);
+        if rows.is_empty() {
+            return (serial, txns_sum, replays);
+        }
+        if self.scalar_reference || self.arrays[h.0].words_per_elem() != 1 {
+            for row in rows.chunks_exact(WARP_SIZE) {
+                let (mult, txns) = self.scatter_account_update(h, row, scratch);
+                serial += mult;
+                txns_sum += txns + mult - 1;
+                replays += txns.saturating_sub(1);
+            }
+            return (serial, txns_sum, replays);
+        }
+        let base = self.base_words[h.0];
+        let banks = self.banks as u64;
+        let data = match &mut self.arrays[h.0] {
+            ShmStorage::U32(v) => v,
+            _ => unreachable!("handle type guarantees u32 storage"),
+        };
+        if scratch.cnt.len() < data.len() {
+            scratch.cnt.resize(data.len(), 0);
+        }
+        let bank_of = |word: u64| {
+            if banks == 32 {
+                (word & 31) as usize
+            } else {
+                (word % banks) as usize % WARP_SIZE
+            }
+        };
+        let banks32 = banks == 32;
+        for row in rows.chunks_exact(WARP_SIZE) {
+            let first = row[0];
+            if row.iter().all(|&v| v == first) {
+                data[first as usize] = data[first as usize].wrapping_add(WARP_SIZE as u32);
+                serial += WARP_SIZE as u64;
+                txns_sum += WARP_SIZE as u64; // txns(1) + mult(32) − 1
+                continue;
+            }
+            let (mut minv, mut maxv) = (first, first);
+            for &v in row {
+                minv = minv.min(v);
+                maxv = maxv.max(v);
+            }
+            if banks32 && maxv - minv < 256 {
+                // Windowed counting (see the method doc): values within
+                // one 256-wide window keep `v & 255` injective, so the
+                // stack counter is exact, and the `v & 31` classes are a
+                // bank relabeling, so `max(bank8)` is the real maximum
+                // bank occupancy of the distinct values.
+                let mut cnt8 = [0u8; 256];
+                let mut bank8 = [0u8; WARP_SIZE];
+                // Running maxima equal the final-array maxima (counts
+                // only grow), so no post-loop scan is needed.
+                let (mut mult8, mut txns8) = (0u8, 0u8);
+                for &v in row {
+                    let c = cnt8[(v & 255) as usize] + 1;
+                    cnt8[(v & 255) as usize] = c;
+                    let bd = bank8[(v & 31) as usize] + (c == 1) as u8;
+                    bank8[(v & 31) as usize] = bd;
+                    mult8 = mult8.max(c);
+                    txns8 = txns8.max(bd);
+                    let vi = v as usize;
+                    data[vi] = data[vi].wrapping_add(1);
+                }
+                let (mult, txns) = (mult8 as u64, txns8 as u64);
+                serial += mult;
+                txns_sum += txns + mult - 1;
+                replays += txns - 1;
+                continue;
+            }
+            let (mut mult, mut txns) = (0u64, 1u64);
+            // Distinct values of this step fit a warp-sized stack array
+            // (≤ 32 lanes), so the drain needs no heap bookkeeping.
+            let mut touched = [0u32; WARP_SIZE];
+            let mut nt = 0usize;
+            for &v in row {
+                let vi = v as usize;
+                let c = scratch.cnt[vi] + 1;
+                scratch.cnt[vi] = c;
+                if c == 1 {
+                    let bank = bank_of(base + v as u64);
+                    let bd = scratch.bank_distinct[bank] + 1;
+                    scratch.bank_distinct[bank] = bd;
+                    txns = txns.max(bd as u64);
+                    touched[nt] = v;
+                    nt += 1;
+                }
+                mult = mult.max(c as u64);
+            }
+            for &v in &touched[..nt] {
+                let vi = v as usize;
+                data[vi] = data[vi].wrapping_add(scratch.cnt[vi] as u32);
+                scratch.cnt[vi] = 0;
+                scratch.bank_distinct[bank_of(base + v as u64)] = 0;
+            }
+            serial += mult;
+            txns_sum += txns + mult - 1;
+            replays += txns - 1;
+        }
+        (serial, txns_sum, replays)
     }
 
     /// [`Self::atomic_scatter_accounting`] for one-word elements, the
@@ -623,6 +835,159 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_scatter_accounting_matches_stateless_oracle() {
+        // The compiled/fused histogram sinks reuse one `ScatterScratch`
+        // across every tile step of a pass; the counters must come back
+        // clean between calls (reset via the touched list) and every
+        // shape — broadcast, unit stride, pileup, random — must agree
+        // with the stateless combined pass.
+        let mut s = SharedSpace::new(32);
+        let _pad = s.alloc_f32(5);
+        let f = s.alloc_f32(256);
+        let mut scratch = ScatterScratch::default();
+        let mut x = 0xfeedu64;
+        for trial in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = if trial % 3 == 0 {
+                32
+            } else {
+                (x % 33) as usize
+            };
+            let mut vals = Vec::with_capacity(len);
+            for k in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                vals.push(match trial % 5 {
+                    0 => (x % 256) as u32,             // random scatter
+                    1 => ((x % 32) + k as u64) as u32, // unit stride
+                    2 => (x % 17) as u32,              // heavy contention
+                    3 => (x % 2) as u32 * 32,          // same-bank pair
+                    _ => 9,                            // broadcast
+                });
+            }
+            assert_eq!(
+                s.scatter_account(f.0, &vals, &mut scratch),
+                s.atomic_scatter_accounting(f.0, &vals),
+                "trial {trial} vals {vals:?}"
+            );
+            assert!(scratch.touched.is_empty(), "scratch not reset");
+        }
+    }
+
+    #[test]
+    fn scatter_account_update_matches_split_halves() {
+        // The merged accounting+update walk must equal running
+        // `scatter_account` and then incrementing per lane, for every
+        // scatter shape, with the scratch coming back clean.
+        let mut s = SharedSpace::new(32);
+        let _pad = s.alloc_f32(3);
+        // `b` sits 256 words (≡ 0 mod 32 banks) past `a`, so both map
+        // every element to the same bank and the accounting agrees.
+        let a = s.alloc_u32(256);
+        let b = s.alloc_u32(256);
+        let mut scratch = ScatterScratch::default();
+        let mut x = 0xabc1u64;
+        let mut expect = vec![0u32; 256];
+        for trial in 0..600 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = if trial % 3 == 0 {
+                32
+            } else {
+                (x % 33) as usize
+            };
+            let mut vals = Vec::with_capacity(len);
+            for k in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                vals.push(match trial % 5 {
+                    0 => (x % 256) as u32,
+                    1 => ((x % 32) + k as u64) as u32,
+                    2 => (x % 17) as u32,
+                    3 => (x % 2) as u32 * 32,
+                    _ => 9,
+                });
+            }
+            let oracle = s.scatter_account(b.0, &vals, &mut scratch);
+            assert_eq!(
+                s.scatter_account_update(a, &vals, &mut scratch),
+                oracle,
+                "trial {trial} vals {vals:?}"
+            );
+            for &v in &vals {
+                expect[v as usize] = expect[v as usize].wrapping_add(1);
+            }
+            assert!(scratch.touched.is_empty(), "scratch not reset");
+        }
+        assert_eq!(s.u32s(a), &expect[..], "merged updates diverge");
+    }
+
+    #[test]
+    fn scatter_account_update_rows_matches_per_step() {
+        // The batched full-warp walk must equal per-step
+        // `scatter_account_update` calls — same charge sums, same final
+        // histogram — across banked layouts and every step shape, with
+        // the scratch coming back clean between batches.
+        for banks in [32u32, 16] {
+            let mut s = SharedSpace::new(banks);
+            let _pad = s.alloc_f32(7);
+            let a = s.alloc_u32(1024);
+            let b = s.alloc_u32(1024);
+            let mut scratch = ScatterScratch::default();
+            let mut x = 0x5eed5u64;
+            for trial in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let steps = (x % 9) as usize;
+                let mut rows = Vec::with_capacity(steps * WARP_SIZE);
+                for j in 0..steps {
+                    for k in 0..WARP_SIZE {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        rows.push(match (trial + j) % 6 {
+                            0 => (x % 256) as u32,
+                            1 => ((x % 32) + k as u64) as u32,
+                            2 => (x % 17) as u32,
+                            3 => (x % 2) as u32 * 32,
+                            // Spread wider than one 256 window, so the
+                            // batched walk's windowed fast path declines
+                            // and its general fallback gets exercised
+                            // under both bank layouts.
+                            4 => (x % 1024) as u32,
+                            _ => 9,
+                        });
+                    }
+                }
+                let mut expect = (0u64, 0u64, 0u64);
+                for row in rows.chunks_exact(WARP_SIZE) {
+                    let (mult, txns) = s.scatter_account_update(a, row, &mut scratch);
+                    expect.0 += mult;
+                    expect.1 += txns + mult - 1;
+                    expect.2 += txns.saturating_sub(1);
+                }
+                assert_eq!(
+                    s.scatter_account_update_rows(b, &rows, &mut scratch),
+                    expect,
+                    "banks {banks} trial {trial}"
+                );
+                assert!(scratch.touched.is_empty(), "scratch not reset");
+            }
+            // `b` sits 1024 words past `a` (≡ 0 mod either bank count),
+            // so both map every element to the same bank and the
+            // accounting comparison above is apples to apples; the
+            // data must also agree since both saw the same rows.
+            assert_eq!(s.u32s(a), s.u32s(b), "batched updates diverge");
         }
     }
 

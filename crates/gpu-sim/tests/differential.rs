@@ -23,42 +23,46 @@ use proptest::prelude::*;
 /// explicit per-case mode axis regardless.
 ///
 /// `TBS_DIFF_ROUTE=op|fused|compiled` is the interpreter-route axis of
-/// the same matrix: it re-points every *default-route* device (fused
-/// tiles on, compiled off, not the scalar reference) at the named
-/// route, so CI can sweep {op-by-op, fused, compiled} × {sequential,
-/// parallel}. Devices that explicitly picked a route — the op-by-op,
-/// compiled and scalar legs of each differential — are never touched,
-/// which keeps every bit-identity comparison meaningful under any pin.
-/// Route-*engagement* asserts (`fused_ops > 0` on the default device)
-/// only hold on the default route, so they are guarded by
-/// [`route_pinned`].
+/// the same matrix: it re-points every *default-route* device (compiled
+/// on, fused tiles on, not the scalar reference) at the named route, so
+/// CI can sweep {op-by-op, fused, compiled} × {sequential, parallel}.
+/// Devices that explicitly selected a non-default route — the op-by-op
+/// (`with_compiled(false).with_fused_tile(false)`), fused
+/// (`with_compiled(false)`) and scalar legs of each differential — are
+/// never touched, which keeps every bit-identity comparison meaningful
+/// under any pin. Those explicit legs keep their route-*engagement*
+/// asserts armed under every pin; only the default device's asserts
+/// (compiled engagement) stand down when the environment re-points it,
+/// guarded by [`route_pinned`].
 fn exec_override(cfg: DeviceConfig) -> DeviceConfig {
     let cfg = match std::env::var("TBS_DIFF_EXEC").as_deref() {
         Ok("sequential") => cfg.with_exec_mode(ExecMode::Sequential),
         Ok("parallel") => cfg.with_exec_mode(ExecMode::Parallel { threads: 2 }),
         _ => cfg,
     };
-    if cfg.scalar_reference || !cfg.fused_tile || cfg.compiled {
+    if cfg.scalar_reference || !cfg.fused_tile || !cfg.compiled {
         return cfg; // an explicitly chosen route: leave it alone
     }
     match std::env::var("TBS_DIFF_ROUTE").as_deref() {
-        Ok("op") => cfg.with_fused_tile(false),
-        Ok("compiled") => cfg.with_compiled(true),
-        _ => cfg, // "fused" (and unset) keep the default route
+        Ok("op") => cfg.with_compiled(false).with_fused_tile(false),
+        Ok("fused") => cfg.with_compiled(false),
+        _ => cfg, // "compiled" (and unset) keep the default route
     }
 }
 
 /// True when `TBS_DIFF_ROUTE` re-points the default-route devices away
-/// from their default, in which case which executor engages is pinned
-/// by the environment and the per-test engagement asserts must stand
-/// down (identity asserts all still apply). `TBS_DIFF_ROUTE=fused`
-/// names the default route, so it keeps the engagement asserts armed —
-/// the CI matrix's fused leg proves fusion actually engaged rather
-/// than silently falling back.
+/// from their default, in which case which executor engages on *those*
+/// devices is pinned by the environment and the default-device
+/// engagement asserts must stand down (identity asserts all still
+/// apply). `TBS_DIFF_ROUTE=compiled` names the default route, so it
+/// keeps them armed — the CI matrix's compiled leg proves compilation
+/// actually engaged rather than silently falling back. The explicit op
+/// and fused legs of each differential never read the environment, so
+/// their engagement asserts stay armed regardless.
 fn route_pinned() -> bool {
     matches!(
         std::env::var("TBS_DIFF_ROUTE").as_deref(),
-        Ok(v) if v != "fused"
+        Ok(v) if v != "compiled"
     )
 }
 
@@ -632,6 +636,14 @@ struct ProbeSpec {
     squeeze: Option<u32>,
     /// Output stage: register tallies or a privatized histogram.
     out: ProbeOut,
+    /// Shared-histogram allocation override (< `buckets` forces the
+    /// compiled and fused sink pre-flights to decline so the op-by-op
+    /// scatter faults at the exact offending bucket).
+    hist_alloc: Option<u32>,
+    /// Poison this coordinate index with NaN in both dimensions:
+    /// NaN distances must ride the sinks bit-identically (saturating
+    /// to bucket 0, failing every radius compare).
+    poison: Option<u32>,
 }
 
 /// A miniature Register-SHM-style inner loop with D = 2: one fused
@@ -694,17 +706,20 @@ impl Kernel for FusedProbeKernel {
 
         // Privatized histogram staging for the `Hist` consumer:
         // allocate and cooperatively zero it, exactly like
-        // `SharedHistogramAction::begin_block`.
+        // `SharedHistogramAction::begin_block`. A `hist_alloc` override
+        // under-sizes the allocation (the zero/flush loops stay in
+        // bounds; only the scatter faults).
         let hb = p.out.buckets();
-        let shist = (hb > 0).then(|| blk.shared_alloc_u32(hb as usize));
+        let hb_alloc = p.hist_alloc.unwrap_or(hb).min(hb.max(1));
+        let shist = (hb > 0).then(|| blk.shared_alloc_u32(hb_alloc as usize));
         if let Some(h) = shist {
             let bd = blk.block_dim;
             blk.for_each_warp(|w| {
                 let tid = w.thread_ids();
                 let mut off = 0u32;
-                while off < hb {
+                while off < hb_alloc {
                     let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
-                    let m = w.mask_lt(&idx, hb).and(w.active_threads());
+                    let m = w.mask_lt(&idx, hb_alloc).and(w.active_threads());
                     if m.any() {
                         w.shared_store_u32(h, &idx, &[0; WARP_SIZE], m);
                     }
@@ -722,7 +737,7 @@ impl Kernel for FusedProbeKernel {
         // (`None` unless the device enables the compiled route).
         let sink = match p.out {
             ProbeOut::CountLt => CompiledSinkSpec::CountLt { radius: p.radius },
-            ProbeOut::Hist(_) => CompiledSinkSpec::Histogram,
+            ProbeOut::Hist(_) => CompiledSinkSpec::Histogram { inv_width, hmax },
         };
         let ck = CompiledKernel::lower(blk.config(), 2, p.len, sink);
 
@@ -887,9 +902,9 @@ impl Kernel for FusedProbeKernel {
             blk.for_each_warp(|w| {
                 let tid = w.thread_ids();
                 let mut off = 0u32;
-                while off < hb {
+                while off < hb_alloc {
                     let idx: U32x32 = std::array::from_fn(|i| off + tid[i]);
-                    let m = w.mask_lt(&idx, hb).and(w.active_threads());
+                    let m = w.mask_lt(&idx, hb_alloc).and(w.active_threads());
                     if m.any() {
                         let vals = w.shared_load_u32(h, &idx, m);
                         let slot: U32x32 = std::array::from_fn(|i| base + idx[i]);
@@ -910,15 +925,13 @@ fn probe_coords(n_pts: u32) -> Vec<f32> {
 
 fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun), SimError> {
     let mut dev = Device::new(exec_override(cfg));
-    let coords = [
-        dev.alloc_f32(probe_coords(spec.n_pts)),
-        dev.alloc_f32(
-            probe_coords(spec.n_pts)
-                .iter()
-                .map(|x| x * 1.7 + 3.0)
-                .collect(),
-        ),
-    ];
+    let mut c0 = probe_coords(spec.n_pts);
+    let mut c1: Vec<f32> = c0.iter().map(|x| x * 1.7 + 3.0).collect();
+    if let Some(i) = spec.poison {
+        c0[i as usize] = f32::NAN;
+        c1[i as usize] = f32::NAN;
+    }
+    let coords = [dev.alloc_f32(c0), dev.alloc_f32(c1)];
     let lc = LaunchConfig::for_n_threads(spec.n.max(1), 64);
     let out = dev.alloc_u64_zeroed(lc.total_threads() as usize);
     let hist_out = dev.alloc_u32_zeroed((lc.grid_dim * spec.out.buckets()).max(1) as usize);
@@ -934,13 +947,22 @@ fn run_probe(cfg: DeviceConfig, spec: ProbeSpec) -> Result<(Vec<u64>, KernelRun)
     Ok((o, run))
 }
 
-/// Run a probe on the compiled, fused, op-by-op and scalar routes;
-/// demand bit-identical outputs, tallies and timing; return the
-/// `[fused, compiled]` runs for engagement asserts.
+/// Run a probe on the fused, default (compiled), op-by-op and scalar
+/// routes; demand bit-identical outputs, tallies and timing; return the
+/// `[fused, default]` runs for engagement asserts. The fused and
+/// op-by-op legs are *explicit* (`with_compiled(false)`), so their
+/// route asserts hold under every `TBS_DIFF_ROUTE` pin; only the
+/// default leg is environment-overridable.
 fn probe_identical(spec: ProbeSpec) -> [KernelRun; 2] {
-    let (of, rf) = run_probe(DeviceConfig::titan_x(), spec).unwrap();
-    let (oc, rc) = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).unwrap();
-    let (ov, rv) = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).unwrap();
+    let (of, rf) = run_probe(DeviceConfig::titan_x().with_compiled(false), spec).unwrap();
+    let (oc, rc) = run_probe(DeviceConfig::titan_x(), spec).unwrap();
+    let (ov, rv) = run_probe(
+        DeviceConfig::titan_x()
+            .with_compiled(false)
+            .with_fused_tile(false),
+        spec,
+    )
+    .unwrap();
     let (os, rs) = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).unwrap();
     assert_eq!(of, oc, "fused vs compiled outputs ({spec:?})");
     assert_eq!(of, ov, "fused vs op-by-op outputs ({spec:?})");
@@ -951,6 +973,7 @@ fn probe_identical(spec: ProbeSpec) -> [KernelRun; 2] {
     assert_eq!(rf.timing.seconds.to_bits(), rc.timing.seconds.to_bits());
     assert_eq!(rf.timing.seconds.to_bits(), rv.timing.seconds.to_bits());
     assert_eq!(rf.timing.seconds.to_bits(), rs.timing.seconds.to_bits());
+    assert_eq!(rf.interp.compiled_ops, 0, "fused leg must not compile");
     assert_eq!(rv.interp.fused_ops, 0);
     assert_eq!(rs.interp.fused_ops, 0);
     assert_eq!(rv.interp.compiled_ops, 0);
@@ -970,6 +993,8 @@ fn base_spec() -> ProbeSpec {
         pred: ProbePred::All,
         squeeze: None,
         out: ProbeOut::CountLt,
+        hist_alloc: None,
+        poison: None,
     }
 }
 
@@ -984,20 +1009,20 @@ fn fused_probe_engages_for_every_source_and_predicate() {
                 spec.len = 24; // lane tiles are at most one warp wide
             }
             let [rf, rc] = probe_identical(spec);
+            assert!(
+                rf.interp.fused_ops > 0,
+                "{src:?}/{pred:?} must take the fused path"
+            );
             if !route_pinned() {
                 assert!(
-                    rf.interp.fused_ops > 0,
-                    "{src:?}/{pred:?} must take the fused path"
+                    rc.interp.compiled_ops > 0,
+                    "{src:?}/{pred:?} must lower on the compiled route"
+                );
+                assert_eq!(
+                    rc.interp.fused_ops, 0,
+                    "{src:?}/{pred:?} compiled route must not fall back"
                 );
             }
-            assert!(
-                rc.interp.compiled_ops > 0,
-                "{src:?}/{pred:?} must lower on the compiled route"
-            );
-            assert_eq!(
-                rc.interp.fused_ops, 0,
-                "{src:?}/{pred:?} compiled route must not fall back"
-            );
         }
     }
 }
@@ -1009,10 +1034,10 @@ fn fused_declines_ragged_and_sub_warp_masks_identically() {
     let mut spec = base_spec();
     spec.n = 100; // last warp holds 4 live lanes
     let [rf, rc] = probe_identical(spec);
+    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
     if !route_pinned() {
-        assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+        assert!(rc.interp.compiled_ops > 0, "prefix ragged warps must lower");
     }
-    assert!(rc.interp.compiled_ops > 0, "prefix ragged warps must lower");
 
     // A non-prefix valid mask must decline — bit-identically, on the
     // compiled route too.
@@ -1049,9 +1074,15 @@ fn fused_oob_blame_matches_op_by_op_exactly() {
     // exact op-by-op step, with identical blame.
     let mut spec = base_spec();
     spec.tile_len = 20; // reads j = 20.. fault
-    let fe = run_probe(DeviceConfig::titan_x(), spec).err();
-    let ce = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).err();
-    let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
+    let fe = run_probe(DeviceConfig::titan_x().with_compiled(false), spec).err();
+    let ce = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ve = run_probe(
+        DeviceConfig::titan_x()
+            .with_compiled(false)
+            .with_fused_tile(false),
+        spec,
+    )
+    .err();
     let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
     assert!(fe.is_some(), "short shared tile must fault");
     assert_eq!(fe, ce, "compiled-route blame differs from fused");
@@ -1062,9 +1093,15 @@ fn fused_oob_blame_matches_op_by_op_exactly() {
     let mut spec = base_spec();
     spec.src = ProbeSrc::Roc;
     spec.start = 100; // 100 + 48 > 128 points
-    let fe = run_probe(DeviceConfig::titan_x(), spec).err();
-    let ce = run_probe(DeviceConfig::titan_x().with_compiled(true), spec).err();
-    let ve = run_probe(DeviceConfig::titan_x().with_fused_tile(false), spec).err();
+    let fe = run_probe(DeviceConfig::titan_x().with_compiled(false), spec).err();
+    let ce = run_probe(DeviceConfig::titan_x(), spec).err();
+    let ve = run_probe(
+        DeviceConfig::titan_x()
+            .with_compiled(false)
+            .with_fused_tile(false),
+        spec,
+    )
+    .err();
     let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
     assert!(fe.is_some(), "OOB ROC tile must fault");
     assert_eq!(fe, ce, "compiled-route blame differs from fused");
@@ -1091,16 +1128,19 @@ fn fused_scatter_conflict_accounting_matches_op_by_op() {
             spec.out = ProbeOut::Hist(buckets);
             spec.pred = pred;
             let [rf, rc] = probe_identical(spec);
+            assert!(
+                rf.interp.fused_ops > 0,
+                "hist({buckets})/{pred:?} must take the fused path"
+            );
             if !route_pinned() {
+                // The compiled histogram sink covers every bucket count
+                // and predicate here — no fused fallback.
                 assert!(
-                    rf.interp.fused_ops > 0,
-                    "hist({buckets})/{pred:?} must take the fused path"
+                    rc.interp.compiled_ops > 0,
+                    "hist({buckets})/{pred:?} must lower on the compiled route"
                 );
+                assert_eq!(rc.interp.fused_ops, 0);
             }
-            // The histogram sink declines compilation (stateful
-            // scatter) and must land on the fused pass instead.
-            assert_eq!(rc.interp.compiled_ops, 0);
-            assert!(rc.interp.fused_ops > 0);
             assert!(rf.tally.shared_atomics > 0, "hist({buckets}) must scatter");
             if buckets == 1 {
                 // Pileup sanity: every active lane lands on the same
@@ -1119,10 +1159,13 @@ fn fused_scatter_declines_to_op_by_op_atomics_identically() {
     spec.out = ProbeOut::Hist(32);
     spec.n = 100; // last warp holds 4 live lanes
     let [rf, rc] = probe_identical(spec);
+    assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
     if !route_pinned() {
-        assert!(rf.interp.fused_ops > 0, "prefix ragged warps must fuse");
+        assert!(
+            rc.interp.compiled_ops > 0,
+            "ragged-prefix histogram sinks must lower"
+        );
     }
-    assert_eq!(rc.interp.compiled_ops, 0, "histogram sinks must not lower");
     assert!(rf.tally.shared_atomics > 0);
 
     // A non-prefix squeeze declines the whole pass, so the op-by-op
@@ -1138,4 +1181,60 @@ fn fused_scatter_declines_to_op_by_op_atomics_identically() {
     );
     assert_eq!(rc.interp.compiled_ops, 0);
     assert!(rf.tally.shared_atomics > 0);
+}
+
+#[test]
+fn compiled_sink_oob_bucket_blame_matches_op_by_op() {
+    // The shared histogram is allocated smaller than the bucket range,
+    // so scatters past the allocation fault. The compiled and fused
+    // sink pre-flights (`check_bounds(shm, hmax)`) must decline
+    // side-effect-free and hand the pass to the op-by-op loop, whose
+    // simulated shared atomic faults at the exact offending bucket —
+    // identical op-by-op blame on all four routes.
+    for alloc in [1u32, 8, 31] {
+        let mut spec = base_spec();
+        spec.out = ProbeOut::Hist(32);
+        spec.hist_alloc = Some(alloc);
+        let fe = run_probe(DeviceConfig::titan_x().with_compiled(false), spec).err();
+        let ce = run_probe(DeviceConfig::titan_x(), spec).err();
+        let ve = run_probe(
+            DeviceConfig::titan_x()
+                .with_compiled(false)
+                .with_fused_tile(false),
+            spec,
+        )
+        .err();
+        let se = run_probe(DeviceConfig::titan_x().with_scalar_reference(true), spec).err();
+        assert!(fe.is_some(), "alloc={alloc}: short histogram must fault");
+        assert_eq!(fe, ce, "alloc={alloc}: compiled blame differs from fused");
+        assert_eq!(fe, ve, "alloc={alloc}: fused blame differs from op-by-op");
+        assert_eq!(fe, se, "alloc={alloc}: fused blame differs from scalar");
+    }
+}
+
+#[test]
+fn compiled_sink_nan_distances_are_route_identical() {
+    // A NaN coordinate inside the tile makes NaN distances for every
+    // lane at that step. The compiled sink's sqrt-free compares and
+    // edge-table bucketing must reproduce the device convention
+    // bit-for-bit: NaN fails every radius compare (CountLt adds
+    // nothing) and saturates to bucket 0 (`__float2uint_rz`), while the
+    // broadcast detector's compare chain must fail closed onto the
+    // general path.
+    for out in [ProbeOut::CountLt, ProbeOut::Hist(32)] {
+        let mut spec = base_spec();
+        spec.out = out;
+        spec.poison = Some(45); // inside the tile range [40, 88)
+        let [rf, rc] = probe_identical(spec);
+        assert!(rf.interp.fused_ops > 0, "{out:?}: NaN tile must still fuse");
+        if !route_pinned() {
+            assert!(
+                rc.interp.compiled_ops > 0,
+                "{out:?}: NaN tile must still lower"
+            );
+        }
+        if let ProbeOut::Hist(_) = out {
+            assert!(rf.tally.shared_atomics > 0);
+        }
+    }
 }
