@@ -1,60 +1,88 @@
 //! The grid-pruned executor: lowers the surviving cell pairs of a
-//! [`tbs_core::grid::UniformGrid`] onto the existing tiled kernels.
+//! [`tbs_core::grid::UniformGrid`] onto the paper's tiled kernels.
 //!
-//! Each intra-cell pair runs the triangular
-//! [`tbs_core::kernels::PairScope::HalfPairs`] path of the plan's input
-//! variant (exactly the launch the monolithic route would make, just on
-//! one cell's points); each inter-cell pair runs the bipartite
-//! [`CrossShmKernel`] rectangle. Both reuse one device output buffer
-//! across every launch — the Type-I count action and the Type-II
-//! privatized histogram action *store* (not accumulate) their per-block
-//! regions in `end_block`, so a single buffer sized for the largest
-//! launch serves them all, with the host merging after each launch.
+//! Two execution routes share one catalog and one exactness contract:
 //!
-//! The bit-identity contract (grid-pruned output == all-pairs output,
-//! exactly) is argued in [`tbs_core::grid`] and enforced by
+//! * **Packed** (default) — the surviving cell pairs become
+//!   [`PackedSegment`] descriptors, grouped into *population classes*
+//!   (power-of-two buckets of the left-slice length), with one
+//!   [`tbs_core::plan::choose_plan`] call per class picking the class's
+//!   block size. Each class runs as a handful of
+//!   [`PackedPairKernel`] launches (capped at
+//!   [`MAX_PACKED_BLOCKS_PER_LAUNCH`] blocks each), so a gridded sweep
+//!   costs O(population classes) launches instead of O(cell pairs).
+//! * **PerCellPair** — the pre-packing behavior: one launch per
+//!   surviving cell pair (a single-segment packed launch, which is
+//!   block-for-block the Algorithm-3 / Cross-SHM launch it replaces).
+//!   Kept as the packed route's differential oracle and for
+//!   launch-granularity experiments.
+//!
+//! The catalog itself is uploaded **once** as a single device SoA in
+//! CSR cell order; every cell is a `(start, len)` view into it, so
+//! building a catalog costs `D` uploads total instead of `D` per
+//! non-empty cell.
+//!
+//! Both routes reuse one device output buffer across every launch — the
+//! Type-I count action and the Type-II privatized histogram action
+//! *store* (not accumulate) their per-block regions in `end_block`, so
+//! a single buffer sized for the largest launch serves them all, with
+//! the host merging after each launch.
+//!
+//! The bit-identity contract (packed == per-cell-pair == all-pairs,
+//! exactly) is argued in [`tbs_core::grid`] and
+//! [`tbs_core::kernels::packed`] and enforced by
 //! `core/tests/grid_identity.rs`.
 
-use crate::driver::{launch_pairwise, PairwisePlan};
+use crate::driver::PairwisePlan;
 use gpu_sim::{Device, SimError};
-use tbs_core::distance::Euclidean;
+use std::collections::BTreeMap;
+use tbs_core::distance::{DistanceKernel, Euclidean};
 use tbs_core::grid::{
-    candidate_cross_pairs, candidate_pairs, cross_prune_stats, prune_stats, GridGeometry,
+    candidate_cross_pairs, candidate_pairs, cross_prune_stats, prune_stats, CellPair, GridGeometry,
     GridOptions, PruneStats, RadialBins, UniformGrid,
 };
 use tbs_core::histogram::Histogram;
-use tbs_core::kernels::{pair_launch, CrossShmKernel, PairScope};
-use tbs_core::output::{CountWithinRadius, SharedHistogramAction};
+use tbs_core::kernels::{num_blocks, PackedLayout, PackedPairKernel, PackedSegment};
+use tbs_core::output::{
+    CountWithinRadius, MultiCountSink, MultiQueryAction, SharedHistogramAction,
+};
+use tbs_core::plan::{choose_plan, ProblemOutput, ProblemSpec};
 use tbs_core::point::{DeviceSoa, SoaPoints};
 
-/// A point catalog binned into a grid and uploaded cell-by-cell: each
-/// non-empty cell owns its own device-resident SoA slice, uploaded once
-/// and reused by every launch that touches the cell.
+pub use tbs_core::plan::{
+    estimate_packed_launches, MAX_PACKED_BLOCKS_PER_LAUNCH, PACKED_CLASS_ESTIMATE,
+};
+
+/// How the gridded executor maps cell pairs onto launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GriddedRoute {
+    /// Segmented multi-cell-pair launches, one per population-class
+    /// chunk (the default).
+    #[default]
+    Packed,
+    /// One launch per surviving cell pair (the packed route's oracle).
+    PerCellPair,
+}
+
+/// A point catalog binned into a grid and uploaded **once**: the whole
+/// CSR-ordered point set is one device SoA and each cell is a
+/// `(start, len)` view into it.
 #[derive(Debug)]
 pub struct GriddedCatalog<const D: usize> {
     /// The host-side grid (geometry + CSR binning).
     pub grid: UniformGrid<D>,
-    /// Per-cell device slices (`None` for empty cells).
-    cells: Vec<Option<DeviceSoa<D>>>,
+    /// The CSR-ordered catalog on the device (one buffer per axis).
+    device: DeviceSoa<D>,
 }
 
 impl<const D: usize> GriddedCatalog<D> {
-    /// Bin `pts` into an existing geometry and upload each cell. Use
-    /// one [`GridGeometry::fit`] over all catalogs that will be
-    /// cross-correlated (DD/DR/RR need a shared geometry).
+    /// Bin `pts` into an existing geometry and upload the reordered
+    /// catalog once. Use one [`GridGeometry::fit`] over all catalogs
+    /// that will be cross-correlated (DD/DR/RR need a shared geometry).
     pub fn build(dev: &mut Device, geom: GridGeometry<D>, pts: &SoaPoints<D>) -> Self {
         let grid = UniformGrid::bin(geom, pts);
-        let cells = (0..grid.geom.num_cells())
-            .map(|c| {
-                let range = grid.cell_range(c);
-                if range.is_empty() {
-                    None
-                } else {
-                    Some(grid.points.slice(range).upload(dev))
-                }
-            })
-            .collect();
-        GriddedCatalog { grid, cells }
+        let device = grid.points.upload(dev);
+        GriddedCatalog { grid, device }
     }
 
     /// Fit a geometry for a self-join over `pts` alone and build.
@@ -77,27 +105,32 @@ impl<const D: usize> GriddedCatalog<D> {
         self.grid.points.is_empty()
     }
 
-    fn cell(&self, c: u32) -> DeviceSoa<D> {
-        self.cells[c as usize].expect("candidate pairs only name non-empty cells")
+    /// The whole catalog as one device SoA (CSR cell order).
+    pub fn device(&self) -> DeviceSoa<D> {
+        self.device
     }
 
-    /// The largest per-launch thread count any cell of this catalog can
-    /// produce under block size `b` (sizes the shared output buffers).
-    fn max_launch_threads(&self, b: u32) -> u64 {
-        (0..self.grid.geom.num_cells())
-            .map(|c| pair_launch(self.grid.cell_len(c), b).total_threads())
-            .max()
-            .unwrap_or(0)
+    /// Cell `c` as a `(start, len)` view into [`Self::device`].
+    fn cell_view(&self, c: u32) -> (u32, u32) {
+        (
+            self.grid.cell_start[c as usize],
+            self.grid.cell_len(c as usize),
+        )
     }
 }
 
 /// Aggregate profile of a grid-pruned execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GriddedRun {
-    /// Intra-cell (triangular) launches.
+    /// Intra-cell launches of the per-cell-pair route.
     pub intra_launches: u32,
-    /// Inter-cell (bipartite rectangle) launches.
+    /// Inter-cell launches of the per-cell-pair route.
     pub cross_launches: u32,
+    /// Segmented multi-cell-pair launches of the packed route.
+    pub packed_launches: u32,
+    /// Population classes the packed route planned (0 on the
+    /// per-cell-pair route).
+    pub population_classes: u32,
     /// Total simulated kernel seconds across all launches.
     pub seconds: f64,
     /// Pruning accounting of the candidate-pair enumeration.
@@ -105,9 +138,20 @@ pub struct GriddedRun {
 }
 
 impl GriddedRun {
+    fn new(stats: PruneStats) -> Self {
+        GriddedRun {
+            intra_launches: 0,
+            cross_launches: 0,
+            packed_launches: 0,
+            population_classes: 0,
+            seconds: 0.0,
+            stats,
+        }
+    }
+
     /// Total launches.
     pub fn launches(&self) -> u32 {
-        self.intra_launches + self.cross_launches
+        self.intra_launches + self.cross_launches + self.packed_launches
     }
 }
 
@@ -131,15 +175,275 @@ pub struct GriddedHistogramResult {
     pub run: GriddedRun,
 }
 
-/// Count pairs of `cat` with distance `< radius`, visiting only the
-/// surviving cell pairs. `radius` must not exceed the grid's `r_max`
-/// (the geometry was sized to guarantee no in-range pair is culled only
-/// up to that radius).
+// ====================================================================
+// population-class packing
+// ====================================================================
+
+/// Power-of-two population class of a left-slice length (`class_of(x)`
+/// = ⌈log2 x⌉, so lengths `(2^(k-1), 2^k]` share class `k`).
+fn class_of(left_len: u32) -> u32 {
+    left_len.max(1).next_power_of_two().trailing_zeros()
+}
+
+/// Pick a block size for one population class: run the analytic planner
+/// once at the class's upper-bound population. `choose_plan` only
+/// considers block sizes ≤ n, so the class size is clamped to the
+/// smallest candidate block — tiny cells simply share minimal blocks.
+fn class_block_size(
+    dev: &Device,
+    class: u32,
+    dims: u32,
+    dist_cost: u64,
+    buckets: Option<u32>,
+) -> u32 {
+    let class_hi = 1u32 << class.min(30);
+    let n = class_hi.max(tbs_core::plan::CANDIDATE_BLOCK_SIZES[0]);
+    let output = match buckets {
+        None => ProblemOutput::Scalar,
+        Some(b) => ProblemOutput::Histogram { buckets: b },
+    };
+    let p = ProblemSpec {
+        n,
+        dims,
+        dist_cost,
+        output,
+    };
+    choose_plan(&p, dev.config()).block_size
+}
+
+/// Segments of one population class, with the class's chosen block
+/// size; `blocks` is the total block count at that block size.
+struct ClassPlan {
+    block_size: u32,
+    segments: Vec<PackedSegment>,
+    blocks: u64,
+}
+
+/// Group cell-pair segments into population classes and plan each class
+/// once. Returns classes in ascending class order (deterministic).
+fn plan_classes(
+    dev: &Device,
+    segments: Vec<PackedSegment>,
+    dims: u32,
+    dist_cost: u64,
+    buckets: Option<u32>,
+) -> Vec<ClassPlan> {
+    let mut by_class: BTreeMap<u32, Vec<PackedSegment>> = BTreeMap::new();
+    for s in segments {
+        by_class.entry(class_of(s.left_len)).or_default().push(s);
+    }
+    by_class
+        .into_iter()
+        .map(|(class, segments)| {
+            let block_size = class_block_size(dev, class, dims, dist_cost, buckets);
+            let blocks = segments
+                .iter()
+                .map(|s| num_blocks(s.left_len, block_size) as u64)
+                .sum();
+            ClassPlan {
+                block_size,
+                segments,
+                blocks,
+            }
+        })
+        .collect()
+}
+
+/// Predicted packed launch count for a class plan (chunks capped at
+/// [`MAX_PACKED_BLOCKS_PER_LAUNCH`] blocks).
+fn class_launches(plan: &ClassPlan) -> u64 {
+    plan.blocks
+        .div_ceil(MAX_PACKED_BLOCKS_PER_LAUNCH as u64)
+        .max(1)
+}
+
+/// Chunk one class's segments into launches of at most
+/// [`MAX_PACKED_BLOCKS_PER_LAUNCH`] blocks (a single oversized segment
+/// still launches alone — the cap bounds buffers, not correctness).
+fn class_chunks(plan: &ClassPlan) -> Vec<Vec<PackedSegment>> {
+    let mut chunks = Vec::new();
+    let mut cur = Vec::new();
+    let mut cur_blocks = 0u64;
+    for &s in &plan.segments {
+        let b = num_blocks(s.left_len, plan.block_size) as u64;
+        if !cur.is_empty() && cur_blocks + b > MAX_PACKED_BLOCKS_PER_LAUNCH as u64 {
+            chunks.push(std::mem::take(&mut cur));
+            cur_blocks = 0;
+        }
+        cur.push(s);
+        cur_blocks += b;
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Turn a self-join cell-pair list into packed segments (intra cells
+/// with < 2 points carry no pairs and are dropped).
+fn self_join_segments<const D: usize>(
+    cat: &GriddedCatalog<D>,
+    pairs: &[CellPair],
+) -> Vec<PackedSegment> {
+    pairs
+        .iter()
+        .filter_map(|p| {
+            if p.is_intra() {
+                let (start, len) = cat.cell_view(p.a);
+                (len >= 2).then(|| PackedSegment::intra(start, len))
+            } else {
+                let (ls, ll) = cat.cell_view(p.a);
+                let (rs, rl) = cat.cell_view(p.b);
+                Some(PackedSegment::cross(ls, ll, rs, rl))
+            }
+        })
+        .collect()
+}
+
+/// Estimate the packed launch count for a pair population — shared with
+/// [`tbs_core::plan::choose_spatial_plan`]'s pricing via
+/// [`estimate_packed_launches`].
+pub fn planned_packed_launches<const D: usize>(
+    dev: &Device,
+    cat: &GriddedCatalog<D>,
+    pairs: &[CellPair],
+    dims: u32,
+    dist_cost: u64,
+    buckets: Option<u32>,
+) -> u64 {
+    let segments = self_join_segments(cat, pairs);
+    plan_classes(dev, segments, dims, dist_cost, buckets)
+        .iter()
+        .map(class_launches)
+        .sum()
+}
+
+// ====================================================================
+// packed executors
+// ====================================================================
+
+/// Run one packed count sweep over pre-planned classes, reusing `out`
+/// (sized for the largest chunk) across launches.
+fn packed_count_sweep<const D: usize>(
+    dev: &mut Device,
+    points: DeviceSoa<D>,
+    right: DeviceSoa<D>,
+    classes: &[ClassPlan],
+    radius: f32,
+    run: &mut GriddedRun,
+) -> Result<u64, SimError> {
+    run.population_classes = classes.len() as u32;
+    // One shared buffer sized for the largest launch: the count action
+    // *stores* per-thread in `end_block`, so every slot below the
+    // launch's thread count is overwritten before the host sums it.
+    let max_threads = classes
+        .iter()
+        .flat_map(|c| {
+            class_chunks(c).into_iter().map(move |chunk| {
+                chunk
+                    .iter()
+                    .map(|s| num_blocks(s.left_len, c.block_size) as u64)
+                    .sum::<u64>()
+                    * c.block_size as u64
+            })
+        })
+        .max()
+        .unwrap_or(0);
+    let out = dev.alloc_u64_zeroed(max_threads as usize);
+    let mut count = 0u64;
+    for class in classes {
+        for chunk in class_chunks(class) {
+            let layout = PackedLayout::new(chunk, class.block_size);
+            let lc = layout.launch_config();
+            let k = PackedPairKernel::new(
+                points,
+                right,
+                Euclidean,
+                CountWithinRadius { radius, out },
+                layout,
+            );
+            let kr = dev.try_launch(&k, lc)?;
+            count += dev.u64_slice(out)[..lc.total_threads() as usize]
+                .iter()
+                .sum::<u64>();
+            run.packed_launches += 1;
+            run.seconds += kr.timing.seconds;
+        }
+    }
+    Ok(count)
+}
+
+/// Run one packed privatized-histogram sweep over pre-planned classes.
+fn packed_histogram_sweep<const D: usize>(
+    dev: &mut Device,
+    points: DeviceSoa<D>,
+    right: DeviceSoa<D>,
+    classes: &[ClassPlan],
+    bins: RadialBins,
+    run: &mut GriddedRun,
+) -> Result<Histogram, SimError> {
+    run.population_classes = classes.len() as u32;
+    let spec = bins.device_spec();
+    let max_blocks = classes
+        .iter()
+        .flat_map(|c| {
+            class_chunks(c).into_iter().map(move |chunk| {
+                chunk
+                    .iter()
+                    .map(|s| num_blocks(s.left_len, c.block_size) as u64)
+                    .sum::<u64>()
+            })
+        })
+        .max()
+        .unwrap_or(0);
+    let private = dev.alloc_u32_zeroed((max_blocks.max(1) * spec.buckets as u64) as usize);
+    let mut host = vec![0u64; spec.buckets as usize];
+    for class in classes {
+        for chunk in class_chunks(class) {
+            let layout = PackedLayout::new(chunk, class.block_size);
+            let lc = layout.launch_config();
+            let k = PackedPairKernel::new(
+                points,
+                right,
+                Euclidean,
+                SharedHistogramAction { spec, private },
+                layout,
+            );
+            let kr = dev.try_launch(&k, lc)?;
+            let copies = &dev.u32_slice(private)[..(lc.grid_dim * spec.buckets) as usize];
+            for (i, &c) in copies.iter().enumerate() {
+                host[i % spec.buckets as usize] += c as u64;
+            }
+            run.packed_launches += 1;
+            run.seconds += kr.timing.seconds;
+        }
+    }
+    Ok(bins.finalize(&Histogram::from_counts(host)))
+}
+
+// ====================================================================
+// public entry points
+// ====================================================================
+
+/// Count pairs of `cat` with distance `< radius` on the default
+/// (packed) route. `radius` must not exceed the grid's `r_max`.
 pub fn gridded_count_within<const D: usize>(
     dev: &mut Device,
     cat: &GriddedCatalog<D>,
     radius: f32,
     plan: PairwisePlan,
+) -> Result<GriddedCountResult, SimError> {
+    gridded_count_within_routed(dev, cat, radius, plan, GriddedRoute::Packed)
+}
+
+/// Count pairs of `cat` with distance `< radius`, visiting only the
+/// surviving cell pairs, on an explicit [`GriddedRoute`].
+pub fn gridded_count_within_routed<const D: usize>(
+    dev: &mut Device,
+    cat: &GriddedCatalog<D>,
+    radius: f32,
+    plan: PairwisePlan,
+    route: GriddedRoute,
 ) -> Result<GriddedCountResult, SimError> {
     assert!(
         radius <= cat.grid.geom.r_max,
@@ -148,125 +452,202 @@ pub fn gridded_count_within<const D: usize>(
     );
     let pairs = candidate_pairs(&cat.grid);
     let stats = prune_stats(&cat.grid, &pairs);
-    let out = dev.alloc_u64_zeroed(cat.max_launch_threads(plan.block_size) as usize);
-    let mut count = 0u64;
-    let mut run = GriddedRun {
-        intra_launches: 0,
-        cross_launches: 0,
-        seconds: 0.0,
-        stats,
-    };
-    let action = |out| CountWithinRadius { radius, out };
-    for p in &pairs {
-        if p.is_intra() {
-            if cat.grid.cell_len(p.a as usize) < 2 {
-                continue;
-            }
-            let input = cat.cell(p.a);
-            let lc = pair_launch(input.n, plan.block_size);
-            let kr = launch_pairwise(
+    let mut run = GriddedRun::new(stats);
+    let segments = self_join_segments(cat, &pairs);
+    let points = cat.device();
+    let count = match route {
+        GriddedRoute::Packed => {
+            let classes = plan_classes(
                 dev,
-                input,
-                Euclidean,
-                action(out),
-                plan,
-                PairScope::HalfPairs,
-            )?;
-            count += dev.u64_slice(out)[..lc.total_threads() as usize]
-                .iter()
-                .sum::<u64>();
-            run.intra_launches += 1;
-            run.seconds += kr.timing.seconds;
-        } else {
-            let (left, right) = (cat.cell(p.a), cat.cell(p.b));
-            let k = CrossShmKernel::new(left, right, Euclidean, action(out), plan.block_size);
-            let lc = k.launch_config();
-            let kr = dev.try_launch(&k, lc)?;
-            count += dev.u64_slice(out)[..lc.total_threads() as usize]
-                .iter()
-                .sum::<u64>();
-            run.cross_launches += 1;
-            run.seconds += kr.timing.seconds;
+                segments,
+                D as u32,
+                <Euclidean as DistanceKernel<D>>::cost(&Euclidean),
+                None,
+            );
+            packed_count_sweep(dev, points, points, &classes, radius, &mut run)?
         }
-    }
+        GriddedRoute::PerCellPair => {
+            // One single-segment launch per cell pair — block-for-block
+            // the Algorithm-3 / Cross-SHM launch the packed route
+            // replaces.
+            let b = plan.block_size;
+            let max_threads = segments
+                .iter()
+                .map(|s| num_blocks(s.left_len, b) as u64 * b as u64)
+                .max()
+                .unwrap_or(0);
+            let out = dev.alloc_u64_zeroed(max_threads as usize);
+            let mut count = 0u64;
+            for s in segments {
+                let layout = PackedLayout::new(vec![s], b);
+                let lc = layout.launch_config();
+                let k = PackedPairKernel::new(
+                    points,
+                    points,
+                    Euclidean,
+                    CountWithinRadius { radius, out },
+                    layout,
+                );
+                let kr = dev.try_launch(&k, lc)?;
+                count += dev.u64_slice(out)[..lc.total_threads() as usize]
+                    .iter()
+                    .sum::<u64>();
+                if s.intra {
+                    run.intra_launches += 1;
+                } else {
+                    run.cross_launches += 1;
+                }
+                run.seconds += kr.timing.seconds;
+            }
+            count
+        }
+    };
     Ok(GriddedCountResult { count, run })
 }
 
-/// Shared launch loop for self- and cross-pair radial histograms.
-#[allow(clippy::too_many_arguments)]
-fn histogram_over_pairs<const D: usize>(
+/// Count pairs of `cat` under **many radii in one packed sweep**: every
+/// distance is evaluated once and fed to one count sink per radius (the
+/// serve layer's gridded coalescing). All radii must be ≤ the grid's
+/// `r_max`; `counts[i]` is bit-identical to
+/// [`gridded_count_within`] at `radii[i]`.
+pub fn gridded_count_within_multi<const D: usize>(
     dev: &mut Device,
-    left: &GriddedCatalog<D>,
-    right: &GriddedCatalog<D>,
-    pairs: &[tbs_core::grid::CellPair],
-    stats: PruneStats,
+    cat: &GriddedCatalog<D>,
+    radii: &[f32],
+    _plan: PairwisePlan,
+) -> Result<(Vec<u64>, GriddedRun), SimError> {
+    for &r in radii {
+        assert!(
+            r <= cat.grid.geom.r_max,
+            "count radius {r} exceeds the grid's r_max {}",
+            cat.grid.geom.r_max
+        );
+    }
+    let pairs = candidate_pairs(&cat.grid);
+    let stats = prune_stats(&cat.grid, &pairs);
+    let mut run = GriddedRun::new(stats);
+    if radii.is_empty() {
+        return Ok((Vec::new(), run));
+    }
+    let segments = self_join_segments(cat, &pairs);
+    let points = cat.device();
+    let classes = plan_classes(
+        dev,
+        segments,
+        D as u32,
+        <Euclidean as DistanceKernel<D>>::cost(&Euclidean),
+        None,
+    );
+    run.population_classes = classes.len() as u32;
+    let max_threads = classes
+        .iter()
+        .flat_map(|c| {
+            class_chunks(c).into_iter().map(move |chunk| {
+                chunk
+                    .iter()
+                    .map(|s| num_blocks(s.left_len, c.block_size) as u64)
+                    .sum::<u64>()
+                    * c.block_size as u64
+            })
+        })
+        .max()
+        .unwrap_or(0);
+    let outs: Vec<_> = radii
+        .iter()
+        .map(|_| dev.alloc_u64_zeroed(max_threads as usize))
+        .collect();
+    let mut counts = vec![0u64; radii.len()];
+    for class in &classes {
+        for chunk in class_chunks(class) {
+            let layout = PackedLayout::new(chunk, class.block_size);
+            let lc = layout.launch_config();
+            let action = MultiQueryAction {
+                counts: radii
+                    .iter()
+                    .zip(&outs)
+                    .map(|(&radius, &out)| MultiCountSink { radius, out })
+                    .collect(),
+                hists: Vec::new(),
+            };
+            let k = PackedPairKernel::new(points, points, Euclidean, action, layout);
+            let kr = dev.try_launch(&k, lc)?;
+            for (c, &out) in counts.iter_mut().zip(&outs) {
+                *c += dev.u64_slice(out)[..lc.total_threads() as usize]
+                    .iter()
+                    .sum::<u64>();
+            }
+            run.packed_launches += 1;
+            run.seconds += kr.timing.seconds;
+        }
+    }
+    Ok((counts, run))
+}
+
+/// Shared per-cell-pair launch loop for self- and cross-pair radial
+/// histograms (the packed route's oracle).
+fn histogram_per_cell_pair<const D: usize>(
+    dev: &mut Device,
+    segments: &[PackedSegment],
+    left: DeviceSoa<D>,
+    right: DeviceSoa<D>,
     bins: RadialBins,
     plan: PairwisePlan,
-    self_join: bool,
-) -> Result<GriddedHistogramResult, SimError> {
+    run: &mut GriddedRun,
+) -> Result<Histogram, SimError> {
     let spec = bins.device_spec();
     let b = plan.block_size;
-    // One thread per left point in both launch shapes, so the private
-    // grid is sized by the largest left cell alone.
-    let max_grid = left.max_launch_threads(b) / b.max(1) as u64;
-    let private = dev.alloc_u32_zeroed((max_grid.max(1) * spec.buckets as u64) as usize);
+    let max_blocks = segments
+        .iter()
+        .map(|s| num_blocks(s.left_len, b) as u64)
+        .max()
+        .unwrap_or(0);
+    let private = dev.alloc_u32_zeroed((max_blocks.max(1) * spec.buckets as u64) as usize);
     let mut host = vec![0u64; spec.buckets as usize];
-    let mut run = GriddedRun {
-        intra_launches: 0,
-        cross_launches: 0,
-        seconds: 0.0,
-        stats,
-    };
-    for p in pairs {
-        let kr = if self_join && p.is_intra() {
-            if left.grid.cell_len(p.a as usize) < 2 {
-                continue;
-            }
-            let input = left.cell(p.a);
-            run.intra_launches += 1;
-            launch_pairwise(
-                dev,
-                input,
-                Euclidean,
-                SharedHistogramAction { spec, private },
-                plan,
-                PairScope::HalfPairs,
-            )?
-        } else {
-            let k = CrossShmKernel::new(
-                left.cell(p.a),
-                right.cell(p.b),
-                Euclidean,
-                SharedHistogramAction { spec, private },
-                b,
-            );
-            run.cross_launches += 1;
-            dev.try_launch(&k, k.launch_config())?
-        };
-        run.seconds += kr.timing.seconds;
-        // Host-side reduction over the block-private copies (the
-        // privatized grid is small per launch — one block per ~cell).
-        let grid_dim = pair_launch(left.cell(p.a).n, b).grid_dim;
-        let copies = &dev.u32_slice(private)[..(grid_dim * spec.buckets) as usize];
+    for &s in segments {
+        let layout = PackedLayout::new(vec![s], b);
+        let lc = layout.launch_config();
+        let k = PackedPairKernel::new(
+            left,
+            right,
+            Euclidean,
+            SharedHistogramAction { spec, private },
+            layout,
+        );
+        let kr = dev.try_launch(&k, lc)?;
+        let copies = &dev.u32_slice(private)[..(lc.grid_dim * spec.buckets) as usize];
         for (i, &c) in copies.iter().enumerate() {
             host[i % spec.buckets as usize] += c as u64;
         }
+        if s.intra {
+            run.intra_launches += 1;
+        } else {
+            run.cross_launches += 1;
+        }
+        run.seconds += kr.timing.seconds;
     }
-    Ok(GriddedHistogramResult {
-        histogram: bins.finalize(&Histogram::from_counts(host)),
-        run,
-    })
+    Ok(bins.finalize(&Histogram::from_counts(host)))
 }
 
 /// Bounded radial histogram (DD- or RR-style self pair counts) of `cat`
-/// over `bins`, visiting only surviving cell pairs. The retained bins
-/// are bit-identical to the all-pairs route run with
+/// over `bins` on the default (packed) route. The retained bins are
+/// bit-identical to the all-pairs route run with
 /// [`RadialBins::device_spec`] and finalized the same way.
 pub fn gridded_radial_histogram<const D: usize>(
     dev: &mut Device,
     cat: &GriddedCatalog<D>,
     bins: RadialBins,
     plan: PairwisePlan,
+) -> Result<GriddedHistogramResult, SimError> {
+    gridded_radial_histogram_routed(dev, cat, bins, plan, GriddedRoute::Packed)
+}
+
+/// [`gridded_radial_histogram`] on an explicit route.
+pub fn gridded_radial_histogram_routed<const D: usize>(
+    dev: &mut Device,
+    cat: &GriddedCatalog<D>,
+    bins: RadialBins,
+    plan: PairwisePlan,
+    route: GriddedRoute,
 ) -> Result<GriddedHistogramResult, SimError> {
     assert!(
         bins.r_max <= cat.grid.geom.r_max,
@@ -276,18 +657,50 @@ pub fn gridded_radial_histogram<const D: usize>(
     );
     let pairs = candidate_pairs(&cat.grid);
     let stats = prune_stats(&cat.grid, &pairs);
-    histogram_over_pairs(dev, cat, cat, &pairs, stats, bins, plan, true)
+    let mut run = GriddedRun::new(stats);
+    let segments = self_join_segments(cat, &pairs);
+    let points = cat.device();
+    let buckets = bins.device_spec().buckets;
+    let histogram = match route {
+        GriddedRoute::Packed => {
+            let classes = plan_classes(
+                dev,
+                segments,
+                D as u32,
+                <Euclidean as DistanceKernel<D>>::cost(&Euclidean),
+                Some(buckets),
+            );
+            packed_histogram_sweep(dev, points, points, &classes, bins, &mut run)?
+        }
+        GriddedRoute::PerCellPair => {
+            histogram_per_cell_pair(dev, &segments, points, points, bins, plan, &mut run)?
+        }
+    };
+    Ok(GriddedHistogramResult { histogram, run })
 }
 
 /// Bounded radial histogram of *cross* pairs (DR-style: every ordered
-/// `left × right` pair counted once). Both catalogs must share a
-/// geometry (bin them with one [`GridGeometry::fit`] over both sets).
+/// `left × right` pair counted once) on the default (packed) route.
+/// Both catalogs must share a geometry (bin them with one
+/// [`GridGeometry::fit`] over both sets).
 pub fn gridded_cross_radial_histogram<const D: usize>(
     dev: &mut Device,
     left: &GriddedCatalog<D>,
     right: &GriddedCatalog<D>,
     bins: RadialBins,
     plan: PairwisePlan,
+) -> Result<GriddedHistogramResult, SimError> {
+    gridded_cross_radial_histogram_routed(dev, left, right, bins, plan, GriddedRoute::Packed)
+}
+
+/// [`gridded_cross_radial_histogram`] on an explicit route.
+pub fn gridded_cross_radial_histogram_routed<const D: usize>(
+    dev: &mut Device,
+    left: &GriddedCatalog<D>,
+    right: &GriddedCatalog<D>,
+    bins: RadialBins,
+    plan: PairwisePlan,
+    route: GriddedRoute,
 ) -> Result<GriddedHistogramResult, SimError> {
     assert!(
         bins.r_max <= left.grid.geom.r_max,
@@ -297,7 +710,40 @@ pub fn gridded_cross_radial_histogram<const D: usize>(
     );
     let pairs = candidate_cross_pairs(&left.grid, &right.grid);
     let stats = cross_prune_stats(&left.grid, &right.grid, &pairs);
-    histogram_over_pairs(dev, left, right, &pairs, stats, bins, plan, false)
+    let mut run = GriddedRun::new(stats);
+    // Ordered rectangles between two catalogs: never intra, even for
+    // equal cell indices.
+    let segments: Vec<PackedSegment> = pairs
+        .iter()
+        .map(|p| {
+            let (ls, ll) = left.cell_view(p.a);
+            let (rs, rl) = right.cell_view(p.b);
+            PackedSegment::cross(ls, ll, rs, rl)
+        })
+        .collect();
+    let buckets = bins.device_spec().buckets;
+    let histogram = match route {
+        GriddedRoute::Packed => {
+            let classes = plan_classes(
+                dev,
+                segments,
+                D as u32,
+                <Euclidean as DistanceKernel<D>>::cost(&Euclidean),
+                Some(buckets),
+            );
+            packed_histogram_sweep(dev, left.device(), right.device(), &classes, bins, &mut run)?
+        }
+        GriddedRoute::PerCellPair => histogram_per_cell_pair(
+            dev,
+            &segments,
+            left.device(),
+            right.device(),
+            bins,
+            plan,
+            &mut run,
+        )?,
+    };
+    Ok(GriddedHistogramResult { histogram, run })
 }
 
 #[cfg(test)]
@@ -328,8 +774,78 @@ mod tests {
         let all = pcf_gpu(&mut dev2, &pts, 10.0, plan).expect("launch");
         assert_eq!(got.count, all.count);
         assert_eq!(got.count, tbs_cpu::pcf_reference(&pts, 10.0));
-        assert!(got.run.launches() > 1, "{:?}", got.run);
         assert!(got.run.stats.pruned_fraction() > 0.6, "{:?}", got.run.stats);
+        // The point of packing: launches scale with population classes,
+        // not cell pairs.
+        assert!(got.run.packed_launches > 0);
+        assert!(
+            (got.run.launches() as u64) < got.run.stats.cell_pairs,
+            "{:?}",
+            got.run
+        );
+    }
+
+    #[test]
+    fn packed_and_per_cell_pair_routes_are_identical() {
+        let pts = tbs_datagen::clustered_points::<3>(1800, BOX, 5, 4.0, 11);
+        let plan = PairwisePlan::register_shm(64);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(
+            &mut dev,
+            &pts,
+            8.0,
+            &GridOptions {
+                target_points_per_cell: 32,
+                max_cells: 1 << 20,
+            },
+        );
+        let packed = gridded_count_within_routed(&mut dev, &cat, 8.0, plan, GriddedRoute::Packed)
+            .expect("launch");
+        let unpacked =
+            gridded_count_within_routed(&mut dev, &cat, 8.0, plan, GriddedRoute::PerCellPair)
+                .expect("launch");
+        assert_eq!(packed.count, unpacked.count);
+        assert!(packed.run.packed_launches > 0);
+        assert_eq!(unpacked.run.packed_launches, 0);
+        assert!(packed.run.launches() < unpacked.run.launches());
+        // Launch budget: within ~10× the population classes.
+        assert!(
+            packed.run.launches() <= 10 * packed.run.population_classes.max(1),
+            "{:?}",
+            packed.run
+        );
+    }
+
+    #[test]
+    fn multi_radius_sweep_matches_single_radius_counts() {
+        let pts = tbs_datagen::uniform_points::<3>(1500, BOX, 7);
+        let plan = PairwisePlan::register_shm(128);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(
+            &mut dev,
+            &pts,
+            9.0,
+            &GridOptions {
+                target_points_per_cell: 64,
+                max_cells: 1 << 20,
+            },
+        );
+        let radii = [2.5, 9.0, 6.0];
+        let (counts, run) =
+            gridded_count_within_multi(&mut dev, &cat, &radii, plan).expect("launch");
+        for (i, &r) in radii.iter().enumerate() {
+            let solo = gridded_count_within(&mut dev, &cat, r, plan).expect("launch");
+            assert_eq!(counts[i], solo.count, "radius {r}");
+        }
+        // The whole multi-radius batch costs the same launches as ONE
+        // single-radius sweep.
+        assert_eq!(
+            run.launches(),
+            gridded_count_within(&mut dev, &cat, 9.0, plan)
+                .expect("launch")
+                .run
+                .launches()
+        );
     }
 
     #[test]
@@ -359,6 +875,11 @@ mod tests {
         .expect("launch");
         assert_eq!(got.histogram, bins.finalize(&all.histogram));
         assert!(got.run.seconds > 0.0);
+        // Route parity on the same catalog.
+        let per_pair =
+            gridded_radial_histogram_routed(&mut dev, &cat, bins, plan, GriddedRoute::PerCellPair)
+                .expect("launch");
+        assert_eq!(got.histogram, per_pair.histogram);
     }
 
     #[test]
@@ -382,6 +903,41 @@ mod tests {
         )
         .expect("launch");
         assert_eq!(got.histogram.total(), 700 * 900);
+        // Both routes agree on a pruned cross geometry too.
+        let a2 = tbs_datagen::uniform_points::<3>(600, BOX, 15);
+        let b2 = tbs_datagen::uniform_points::<3>(800, BOX, 16);
+        let bins2 = RadialBins::new(8, 12.0);
+        let geom2 = GridGeometry::fit(
+            &[&a2, &b2],
+            12.0,
+            &GridOptions {
+                target_points_per_cell: 64,
+                max_cells: 1 << 20,
+            },
+        );
+        let ca2 = GriddedCatalog::build(&mut dev, geom2.clone(), &a2);
+        let cb2 = GriddedCatalog::build(&mut dev, geom2, &b2);
+        let plan = PairwisePlan::register_shm(64);
+        let p = gridded_cross_radial_histogram_routed(
+            &mut dev,
+            &ca2,
+            &cb2,
+            bins2,
+            plan,
+            GriddedRoute::Packed,
+        )
+        .expect("launch");
+        let u = gridded_cross_radial_histogram_routed(
+            &mut dev,
+            &ca2,
+            &cb2,
+            bins2,
+            plan,
+            GriddedRoute::PerCellPair,
+        )
+        .expect("launch");
+        assert_eq!(p.histogram, u.histogram);
+        assert!(p.run.launches() < u.run.launches());
     }
 
     #[test]
@@ -405,5 +961,31 @@ mod tests {
             .expect("launch");
         assert_eq!(got.count, 0);
         assert_eq!(got.run.launches(), 0);
+        let (counts, _) =
+            gridded_count_within_multi(&mut dev, &cat, &[1.0], PairwisePlan::register_shm(64))
+                .expect("launch");
+        assert_eq!(counts, vec![0]);
+    }
+
+    #[test]
+    fn catalog_uploads_once_not_per_cell() {
+        // Single-SoA upload: exactly one contiguous buffer per axis
+        // (3 × n × 4 bytes for 3-D data), regardless of cell count.
+        let pts = tbs_datagen::uniform_points::<3>(4096, BOX, 3);
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let before = dev.allocated_bytes();
+        let cat = GriddedCatalog::build_self(
+            &mut dev,
+            &pts,
+            5.0,
+            &GridOptions {
+                target_points_per_cell: 16,
+                max_cells: 1 << 20,
+            },
+        );
+        let after = dev.allocated_bytes();
+        assert!(cat.grid.occupied_cells().count() > 10);
+        assert_eq!(after - before, 3 * 4096 * 4, "one upload per axis");
+        assert_eq!(cat.device().n, 4096);
     }
 }

@@ -85,6 +85,40 @@ impl WorkerCache {
         &self.grids[&full]
     }
 
+    /// A gridded catalog of `key` whose `r_max` covers `radius`: an
+    /// exact-radius entry if cached, else the *tightest* cached grid
+    /// with `r_max ≥ radius` (any covering grid yields bit-identical
+    /// counts — pruning is invisible in the outputs), else a fresh
+    /// build at `radius`. This is what lets a whole burst of gridded
+    /// queries with different radii share one catalog.
+    pub fn grid_covering(
+        &mut self,
+        dev: &mut Device,
+        key: &DatasetKey,
+        pts: &SoaPoints<3>,
+        radius: f32,
+    ) -> &GriddedCatalog<3> {
+        self.evict_stale(key);
+        let exact = (key.0.clone(), key.1, radius.to_bits());
+        if self.grids.contains_key(&exact) {
+            self.hits += 1;
+            return &self.grids[&exact];
+        }
+        let covering = self
+            .grids
+            .iter()
+            .filter(|((name, gen, _), cat)| {
+                name == &key.0 && *gen == key.1 && cat.grid.geom.r_max >= radius
+            })
+            .min_by(|(_, a), (_, b)| a.grid.geom.r_max.total_cmp(&b.grid.geom.r_max))
+            .map(|(k, _)| k.clone());
+        if let Some(k) = covering {
+            self.hits += 1;
+            return &self.grids[&k];
+        }
+        self.grid(dev, key, pts, radius)
+    }
+
     /// Drop every entry of `key.0` whose generation differs from
     /// `key.1` (the re-registration invalidation rule).
     fn evict_stale(&mut self, key: &DatasetKey) {
@@ -121,6 +155,27 @@ mod tests {
         // The old generation is gone: re-requesting it rebuilds.
         cache.shard_uploads(&mut dev, &key, &pts, 2);
         assert_eq!((cache.hits, cache.misses), (1, 4));
+    }
+
+    #[test]
+    fn covering_grid_is_shared_across_smaller_radii() {
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let mut cache = WorkerCache::default();
+        let pts = tbs_datagen::uniform_points::<3>(128, 100.0, 5);
+        let key = ("d".to_string(), 0);
+        cache.grid(&mut dev, &key, &pts, 20.0);
+        // A smaller radius rides the cached 20.0 grid instead of
+        // rebuilding.
+        let cat = cache.grid_covering(&mut dev, &key, &pts, 7.0);
+        assert_eq!(cat.grid.geom.r_max, 20.0);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // A larger radius cannot be covered: fresh build.
+        cache.grid_covering(&mut dev, &key, &pts, 30.0);
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+        // The tightest covering grid wins (20.0, not 30.0).
+        let cat = cache.grid_covering(&mut dev, &key, &pts, 15.0);
+        assert_eq!(cat.grid.geom.r_max, 20.0);
+        assert_eq!((cache.hits, cache.misses), (2, 2));
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //!   dataset bumps the generation and evicts stale entries.
 //!
 //! kNN runs monolithic on one worker (its f32 insertion order is not
-//! re-shardable), and gridded count-within routes through the cached
-//! [`crate::GriddedCatalog`]. Everything else batches.
+//! re-shardable). Gridded count-withins coalesce per dataset group into
+//! one packed multi-radius sweep over a shared covering
+//! [`crate::GriddedCatalog`] from the worker cache. Everything else
+//! batches dense.
 
 mod batch;
 mod cache;
@@ -254,6 +256,15 @@ struct SoloOut {
     cache_misses: u64,
 }
 
+/// Result of one worker's coalesced gridded sweep.
+struct GriddedOut {
+    /// One count per requested radius, in request order.
+    counts: Vec<u64>,
+    sim_seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
 enum WorkOrder {
     /// Run `tasks` of the sharded sweep feeding `counts`/`hists` sinks.
     Tasks {
@@ -265,6 +276,16 @@ enum WorkOrder {
         hists: Vec<HistogramSpec>,
         plan: PairwisePlan,
         reply: Sender<Result<TasksOut, String>>,
+    },
+    /// Every gridded count-within of one dataset group, coalesced into
+    /// a single packed sweep over the cached catalog (one count sink
+    /// per radius).
+    Gridded {
+        key: DatasetKey,
+        pts: Arc<SoaPoints<3>>,
+        radii: Vec<f32>,
+        plan: PairwisePlan,
+        reply: Sender<Result<GriddedOut, String>>,
     },
     /// A non-batchable query, run monolithic on this worker.
     Solo {
@@ -527,8 +548,11 @@ impl Dispatcher {
         let n = pts.len();
         self.stats.queries += group.len() as u64;
 
-        let (batchable, solo): (Vec<Admitted>, Vec<Admitted>) =
+        let (batchable, rest): (Vec<Admitted>, Vec<Admitted>) =
             group.into_iter().partition(|a| a.query.batchable());
+        let (gridded, solo): (Vec<Admitted>, Vec<Admitted>) = rest
+            .into_iter()
+            .partition(|a| matches!(a.query, Query::CountWithin { gridded: true, .. }));
 
         // Launch the solo orders first so they overlap the sweep.
         let mut solo_waits = Vec::new();
@@ -548,6 +572,48 @@ impl Dispatcher {
                 continue;
             }
             solo_waits.push((a.slot, rx));
+        }
+
+        // Gridded count-withins coalesce into ONE packed sweep over the
+        // shared cached catalog: one count sink per radius, launches
+        // paid once for the whole group instead of once per query.
+        let mut gridded_wait = None;
+        if !gridded.is_empty() {
+            let radii: Vec<f32> = gridded
+                .iter()
+                .map(|a| match a.query {
+                    Query::CountWithin { radius, .. } => radius,
+                    _ => unreachable!("partitioned above"),
+                })
+                .collect();
+            self.stats.batches += 1;
+            if gridded.len() > 1 {
+                self.stats.coalesced_queries += gridded.len() as u64;
+            }
+            let (reply, rx) = channel();
+            // Dataset affinity, not round-robin: the covering catalog
+            // lives in one worker's cache, so every gridded order for a
+            // dataset goes to the same worker and repeat radii hit it.
+            let wid = {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                name.hash(&mut h);
+                (h.finish() as usize) % self.worker_txs.len()
+            };
+            let order = WorkOrder::Gridded {
+                key: key.clone(),
+                pts: pts.clone(),
+                radii,
+                plan: self.cfg.plan,
+                reply,
+            };
+            if self.worker_txs[wid].send(order).is_ok() {
+                gridded_wait = Some((gridded, rx));
+            } else {
+                for a in gridded {
+                    a.slot.fill(Err(ServeError::Closed));
+                }
+            }
         }
 
         // The coalesced sweep: flatten sinks, shard, LPT, merge.
@@ -627,6 +693,30 @@ impl Dispatcher {
             }
         }
 
+        if let Some((gridded, rx)) = gridded_wait {
+            match rx.recv() {
+                Ok(Ok(out)) => {
+                    self.stats.cache_hits += out.cache_hits;
+                    self.stats.cache_misses += out.cache_misses;
+                    self.stats.sim_seconds += out.sim_seconds;
+                    for (a, c) in gridded.into_iter().zip(out.counts) {
+                        a.slot.fill(Ok(QueryResult::Counts(vec![c])));
+                    }
+                }
+                Ok(Err(e)) => {
+                    let e = ServeError::Sim(e);
+                    for a in gridded {
+                        a.slot.fill(Err(e.clone()));
+                    }
+                }
+                Err(_) => {
+                    for a in gridded {
+                        a.slot.fill(Err(ServeError::Closed));
+                    }
+                }
+            }
+        }
+
         for (slot, rx) in solo_waits {
             match rx.recv() {
                 Ok(Ok(out)) => {
@@ -670,6 +760,22 @@ fn worker_loop(device: DeviceConfig, rx: Receiver<WorkOrder>) {
                     out.cache_misses = cache.misses - m0;
                     out
                 });
+                let _ = reply.send(out);
+            }
+            WorkOrder::Gridded {
+                key,
+                pts,
+                radii,
+                plan,
+                reply,
+            } => {
+                let (h0, m0) = (cache.hits, cache.misses);
+                let out =
+                    run_gridded(&mut dev, &mut cache, &key, &pts, &radii, plan).map(|mut out| {
+                        out.cache_hits = cache.hits - h0;
+                        out.cache_misses = cache.misses - m0;
+                        out
+                    });
                 let _ = reply.send(out);
             }
             WorkOrder::Solo {
@@ -782,6 +888,31 @@ fn run_tasks(
     Ok(out)
 }
 
+/// A dataset group's gridded count-withins, coalesced: ONE covering
+/// catalog (cached; built at the group's largest radius on a miss) and
+/// ONE packed multi-radius sweep feeding every query its count. Each
+/// count is bit-identical to a solo [`crate::gridded_count_within`] at
+/// its radius — integer sinks make the sharing invisible.
+fn run_gridded(
+    dev: &mut Device,
+    cache: &mut WorkerCache,
+    key: &DatasetKey,
+    pts: &SoaPoints<3>,
+    radii: &[f32],
+    plan: PairwisePlan,
+) -> Result<GriddedOut, String> {
+    let r_max = radii.iter().copied().fold(0.0f32, f32::max);
+    let cat = cache.grid_covering(dev, key, pts, r_max);
+    let (counts, run) = crate::gridded::gridded_count_within_multi(dev, cat, radii, plan)
+        .map_err(|e| e.to_string())?;
+    Ok(GriddedOut {
+        counts,
+        sim_seconds: run.seconds,
+        cache_hits: 0,
+        cache_misses: 0,
+    })
+}
+
 /// A non-batchable query, monolithic on this worker's device.
 fn run_solo(
     dev: &mut Device,
@@ -794,12 +925,10 @@ fn run_solo(
     match *query {
         Query::CountWithin { radius, gridded } => {
             debug_assert!(gridded, "dense count-within is batchable");
-            let cat = cache.grid(dev, key, pts, radius);
-            let got = crate::gridded::gridded_count_within(dev, cat, radius, plan)
-                .map_err(|e| e.to_string())?;
+            let out = run_gridded(dev, cache, key, pts, &[radius], plan)?;
             Ok(SoloOut {
-                result: QueryResult::Counts(vec![got.count]),
-                sim_seconds: got.run.seconds,
+                result: QueryResult::Counts(out.counts),
+                sim_seconds: out.sim_seconds,
                 cache_hits: 0,
                 cache_misses: 0,
             })

@@ -29,9 +29,10 @@ pub enum Query {
         width: f32,
     },
     /// Count of pairs with distance strictly below `radius`. Batchable
-    /// on the dense route; with `gridded = true` it runs alone against
-    /// the per-dataset cached [`crate::GriddedCatalog`] (sub-quadratic,
-    /// identical count).
+    /// on the dense route; with `gridded = true` it coalesces with the
+    /// other gridded count-withins of its burst into one packed sweep
+    /// over the per-dataset cached [`crate::GriddedCatalog`]
+    /// (sub-quadratic, identical count).
     CountWithin {
         /// Strict upper distance bound.
         radius: f32,

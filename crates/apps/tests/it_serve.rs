@@ -174,6 +174,45 @@ fn exec_modes_serve_identically() {
     assert_eq!(seq_results[2], seq_results[3]);
 }
 
+/// A burst of gridded count-withins coalesces into one packed sweep
+/// over a shared covering catalog — and every count still equals its
+/// solo run and the CPU oracle, bit for bit.
+#[test]
+fn gridded_queries_coalesce_and_stay_exact() {
+    let pts = tbs_datagen::uniform_points::<3>(384, BOX, 23);
+    let radii = [4.0f32, 11.0, 7.0, 11.0, 2.5];
+    Server::run(ServeConfig::default().with_workers(2), |h| {
+        h.register_dataset("d", pts.clone()).expect("register");
+        let queries: Vec<Query> = radii
+            .iter()
+            .map(|&radius| Query::CountWithin {
+                radius,
+                gridded: true,
+            })
+            .collect();
+        let before = h.stats().expect("stats");
+        let batched = h.submit_batch("d", queries.clone()).expect("batch");
+        let after = h.stats().expect("stats");
+        assert_eq!(
+            after.batches - before.batches,
+            1,
+            "the whole gridded burst must share one sweep"
+        );
+        assert_eq!(after.coalesced_queries - before.coalesced_queries, 5);
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &oracle(&pts, q), "oracle mismatch for {q:?}");
+            let solo = h.submit("d", q.clone()).expect("solo");
+            assert_eq!(got, &solo, "batched vs solo mismatch for {q:?}");
+        }
+        // Solo repeats ride the covering catalog built for the burst.
+        let final_stats = h.stats().expect("stats");
+        assert!(
+            final_stats.cache_hits >= 5,
+            "repeat gridded queries must reuse the covering grid: {final_stats:?}"
+        );
+    });
+}
+
 /// Concurrent clients hammering one server stay exact: every reply
 /// equals the oracle no matter how the dispatcher interleaves or
 /// coalesces the stream.

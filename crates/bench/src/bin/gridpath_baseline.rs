@@ -19,9 +19,16 @@
 //! quadratically above that — the default run stays in CI-smoke
 //! territory while `--full` pays for the direct measurement.
 //!
+//! Every size also reruns the same catalog on the per-cell-pair oracle
+//! route so the packed-launch win is measured, not assumed (counts
+//! asserted bit-identical packed vs unpacked vs all-pairs in-run).
+//!
 //! Acceptance gates: the grid route must beat all-pairs by ≥10× at
-//! N = 1048576, and the cull must prune ≥90 % of the pair mass at
-//! N = 262144 — the same floors the perf gate pins. Pass `--json DIR`
+//! N = 1048576, the cull must prune ≥90 % of the pair mass at
+//! N = 262144, the packed route must beat per-cell-pair by ≥2× at
+//! N = 262144 with ≤10× population-classes launches, and the
+//! SpatialPlan model's pick must match the measured winner at every
+//! size — the same floors the perf gate pins. Pass `--json DIR`
 //! (or set `TBS_REPORT_DIR`) to also mirror the schema-versioned
 //! `sim_gridpath.json` report.
 
@@ -57,9 +64,13 @@ fn main() {
             .with("cells", s.cells)
             .with("occupied_cells", s.occupied_cells)
             .with("launches", s.launches)
+            .with("packed_launches", s.packed_launches)
+            .with("population_classes", s.population_classes)
             .with("pruned_pair_fraction", s.pruned_fraction)
             .with("build_s", s.build_s)
-            .with("grid_s", s.grid_s);
+            .with("grid_s", s.grid_s)
+            .with("unpacked_s", s.unpacked_s)
+            .with("packed_vs_unpacked", s.packed_vs_unpacked());
         if let Some(v) = s.all_pairs_s {
             e = e.with("all_pairs_s", v).with("all_pairs_measured", true);
         } else {
@@ -70,6 +81,7 @@ fn main() {
         e.with("grid_vs_allpairs", s.speedup())
             .with("model_speedup", s.model_speedup)
             .with("model_picks_grid", s.model_picks_grid)
+            .with("model_agrees", s.model_agrees())
     };
     let doc = Json::obj()
         .with("benchmark", "sim_gridpath")
@@ -113,9 +125,38 @@ fn main() {
         "acceptance gate failed: pruned fraction {:.3} < 0.9 at N=262144",
         mid.pruned_fraction
     );
+    let packed_win = mid.packed_vs_unpacked();
+    assert!(
+        packed_win >= 2.0,
+        "acceptance gate failed: packed route only {packed_win:.2}x over per-cell-pair \
+         at N=262144"
+    );
+    assert!(
+        mid.launches <= 10 * mid.population_classes.max(1),
+        "acceptance gate failed: {} packed launches for {} population classes at N=262144 \
+         (must stay within 10x; above that the 4096-block chunk cap adds launches)",
+        mid.launches,
+        mid.population_classes
+    );
+    for s in &samples {
+        assert!(
+            s.model_agrees(),
+            "acceptance gate failed: SpatialPlan model pick ({}) disagrees with the measured \
+             winner ({:.1}x grid-over-all-pairs) at N={}",
+            if s.model_picks_grid {
+                "grid"
+            } else {
+                "all-pairs"
+            },
+            s.speedup(),
+            s.n
+        );
+    }
     eprintln!(
         "acceptance gates passed: grid {speedup:.1}x >= 10x over all-pairs at N=1048576 \
-         ({}); pruned fraction {:.3} >= 0.9 at N=262144",
+         ({}); pruned fraction {:.3} >= 0.9 and packed {packed_win:.1}x >= 2x over \
+         per-cell-pair at N=262144; launches within 10x of population classes and the \
+         model pick matches the measured winner at every size",
         if big.all_pairs_s.is_some() {
             "all-pairs measured directly"
         } else {

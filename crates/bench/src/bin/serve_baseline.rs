@@ -4,7 +4,9 @@
 //! batchable queries one-at-a-time vs as one admission batch, answers
 //! asserted bit-identical in-run), the SDH-heavy coalescing leg (a
 //! histogram-dominated mix exercising identical-spec sink dedup and the
-//! compiled multi-consumer sweep), the single-query latency
+//! compiled multi-consumer sweep), the gridded coalescing leg (a burst
+//! of gridded count-withins vs one packed multi-radius sweep over a
+//! shared covering catalog), the single-query latency
 //! distribution at CI size, and the shard-cache hit rate. Prints the
 //! structured report and records `BENCH_ext_serve.json` at the
 //! repository root.
@@ -25,8 +27,8 @@
 //!
 //! Acceptance gates: coalescing must be ≥2× over sequential serving at
 //! every measured size (the headline claim, at N = 65536 on a default
-//! run), the SDH-heavy mix must also coalesce ≥2× at the gate size,
-//! and the shard-upload cache must replay at least half of its
+//! run), the SDH-heavy and gridded mixes must also coalesce ≥2× at the
+//! gate size, and the shard-upload cache must replay at least half of its
 //! probes. The N = 65536 gate is reported as skipped — loudly, never
 //! silently passed — under `--quick`. Pass `--json DIR` (or set
 //! `TBS_REPORT_DIR`) to also mirror the schema-versioned
@@ -44,8 +46,11 @@ fn main() {
 
     let samples: Vec<ServeSample> = sizes.iter().map(|&n| ext_serve::measure_ratio(n)).collect();
     let sdh = [ext_serve::measure_ratio_sdh(16_384)];
+    let gridded = [ext_serve::measure_ratio_gridded(16_384)];
     let latency = ext_serve::measure_latency(LATENCY_N);
-    report::emit_result(ext_serve::build_report_from(&samples, &sdh, &latency));
+    report::emit_result(ext_serve::build_report_from(
+        &samples, &sdh, &gridded, &latency,
+    ));
 
     let entry = |s: &ServeSample| {
         Json::obj()
@@ -70,6 +75,10 @@ fn main() {
         .with("bit_identical", true)
         .with("sizes", Json::Arr(samples.iter().map(entry).collect()))
         .with("sdh_sizes", Json::Arr(sdh.iter().map(entry).collect()))
+        .with(
+            "gridded_sizes",
+            Json::Arr(gridded.iter().map(entry).collect()),
+        )
         .with(
             "latency",
             Json::obj()
@@ -112,6 +121,11 @@ fn main() {
     check(
         "SDH-heavy batched over sequential at N=16384",
         Some(sdh[0].batched_vs_sequential()),
+        2.0,
+    );
+    check(
+        "gridded batched over sequential at N=16384",
+        Some(gridded[0].batched_vs_sequential()),
         2.0,
     );
     check(

@@ -4,7 +4,7 @@
 //! exactly this serving scenario).
 //!
 //! Like `hotpath`, this measures *this machine*, not the modeled GPU.
-//! Four SLO legs:
+//! Five SLO legs:
 //!
 //! * **Coalescing throughput**: k batchable queries (a 2-PCF radius
 //!   ladder plus dense count-within probes) against one
@@ -21,6 +21,11 @@
 //!   the multiplier here certifies the batcher's identical-spec sink
 //!   dedup plus the compiled multi-consumer sweep
 //!   (`batched_vs_sequential_sdh.nN`).
+//! * **Gridded coalescing**: a burst of gridded count-within clients
+//!   ([`gridded_queries`]) — one at a time each pays its own packed
+//!   sweep and covering-grid build; as one batch they collapse into a
+//!   single packed multi-radius sweep over one shared covering catalog
+//!   (`batched_vs_sequential_gridded.nN`).
 //! * **Latency distribution**: m single queries at a CI-sized dataset;
 //!   p50/p99 wall-clock per round-trip (admission → merged reply).
 //! * **Cache effectiveness**: the shard-upload cache hit rate across
@@ -118,6 +123,21 @@ pub fn sdh_queries() -> Vec<Query> {
     queries
 }
 
+/// The k = 12 gridded count-within clients of the gridded coalescing
+/// leg: a radius ladder in the grid's regime (r small against the box),
+/// every query routed through the uniform grid. Submitted one at a
+/// time, each pays its own packed sweep — and each new radius its own
+/// covering-grid build; as one batch they coalesce into a single packed
+/// multi-radius sweep over one shared covering catalog.
+pub fn gridded_queries() -> Vec<Query> {
+    (0..12)
+        .map(|i| Query::CountWithin {
+            radius: 2.0 + i as f32 * 0.5,
+            gridded: true,
+        })
+        .collect()
+}
+
 /// One dataset size's coalescing measurement.
 #[derive(Debug, Clone)]
 pub struct ServeSample {
@@ -154,11 +174,26 @@ pub fn measure_ratio_sdh(n: usize) -> ServeSample {
     measure_ratio_queries(n, sdh_queries())
 }
 
+/// The same throughput leg on the gridded [`gridded_queries`] mix: one
+/// packed multi-radius sweep over a shared covering catalog vs twelve
+/// solo gridded round-trips.
+pub fn measure_ratio_gridded(n: usize) -> ServeSample {
+    let queries = gridded_queries();
+    // Gridded queries coalesce outside the dense SinkPlan: the shared
+    // sweep feeds one count sink per query radius.
+    let sinks = queries.len();
+    measure_ratio_with_sinks(n, queries, sinks)
+}
+
 fn measure_ratio_queries(n: usize, queries: Vec<Query>) -> ServeSample {
-    let pts = uniform_points::<3>(n, BOX, SEED);
     // Sinks of the coalesced sweep as the batcher actually plans it
     // (histogram-sink dedup included).
     let sinks = tbs_apps::serve::planned_sinks(&queries);
+    measure_ratio_with_sinks(n, queries, sinks)
+}
+
+fn measure_ratio_with_sinks(n: usize, queries: Vec<Query>, sinks: usize) -> ServeSample {
+    let pts = uniform_points::<3>(n, BOX, SEED);
     let cfg = ServeConfig::default().with_workers(WORKERS);
     Server::run(cfg, |h| {
         h.register_dataset("d", pts.clone()).expect("register");
@@ -229,7 +264,8 @@ pub fn measure_latency(n: usize) -> LatencySample {
 
 /// Build the `ext_serve` report: one count-mix throughput row per entry
 /// of `ratio_sizes`, one SDH-heavy row per entry of `sdh_sizes`, one
-/// latency summary at `latency_n`.
+/// gridded coalescing row at the smallest ratio size, one latency
+/// summary at `latency_n`.
 pub fn build_report(
     ratio_sizes: &[usize],
     sdh_sizes: &[usize],
@@ -237,8 +273,9 @@ pub fn build_report(
 ) -> Result<Report, ReportError> {
     let samples: Vec<ServeSample> = ratio_sizes.iter().map(|&n| measure_ratio(n)).collect();
     let sdh: Vec<ServeSample> = sdh_sizes.iter().map(|&n| measure_ratio_sdh(n)).collect();
+    let gridded = [measure_ratio_gridded(ratio_sizes[0])];
     let latency = measure_latency(latency_n);
-    build_report_from(&samples, &sdh, &latency)
+    build_report_from(&samples, &sdh, &gridded, &latency)
 }
 
 /// Assemble the report from already-measured legs (the `serve_baseline`
@@ -246,6 +283,7 @@ pub fn build_report(
 pub fn build_report_from(
     samples: &[ServeSample],
     sdh: &[ServeSample],
+    gridded: &[ServeSample],
     latency: &LatencySample,
 ) -> Result<Report, ReportError> {
     let latency_n = latency.n;
@@ -291,6 +329,12 @@ pub fn build_report_from(
     }
     rep.push_table(st);
 
+    let mut gt = SeriesTable::new("coalescing (gridded)", &columns);
+    for s in gridded {
+        gt.row(coalescing_row(s));
+    }
+    rep.push_table(gt);
+
     let mut lt = SeriesTable::new("latency", &["N", "probes", "p50", "p99"]);
     lt.row(vec![
         Cell::int(latency.n as u64),
@@ -310,6 +354,13 @@ pub fn build_report_from(
     for s in sdh {
         rep.metric(
             &format!("batched_vs_sequential_sdh.n{}", s.n),
+            s.batched_vs_sequential(),
+            "x",
+        )?;
+    }
+    for s in gridded {
+        rep.metric(
+            &format!("batched_vs_sequential_gridded.n{}", s.n),
             s.batched_vs_sequential(),
             "x",
         )?;
@@ -336,7 +387,10 @@ pub fn build_report_from(
          sink cost amortizes against the shared distance evaluation. Histogram \
          sinks replay their bucket scatter per pair, so the SDH-heavy leg's \
          multiplier comes from identical-spec sink dedup (the popular geometry \
-         collapses onto one sink) on top of the shared sweep. The hit-rate SLO \
+         collapses onto one sink) on top of the shared sweep. The gridded leg \
+         coalesces a burst of gridded count-withins into one packed multi-radius \
+         sweep over a shared covering catalog (sequential submissions each pay \
+         their own sweep and covering-grid build). The hit-rate SLO \
          certifies repeat queries never re-upload shards; p99 includes the cold \
          first probe by design.",
     );

@@ -18,15 +18,25 @@
 //! `hotpath_baseline --budget-secs`. The `gridpath_baseline` bin's
 //! `--full` flag measures N = 1048576 all-pairs directly.
 //!
-//! The perf gate pins two hard floors (group `host`):
-//! `grid_vs_allpairs.n1048576 ≥ 10` — the headline ≥10× win — and
-//! `pruned_pair_fraction.n262144 ≥ 0.9` at the reference r_max.
+//! Both gridded routes are measured on the same catalog: the default
+//! **packed** route (segmented multi-cell-pair launches, O(population
+//! classes) launches) and the **per-cell-pair** oracle route (one
+//! launch per surviving cell pair), with counts asserted bit-identical
+//! in-run. The perf gate pins four hard floors (group `host`):
+//! `grid_vs_allpairs.n1048576 ≥ 10` — the headline ≥10× win —
+//! `pruned_pair_fraction.n262144 ≥ 0.9` at the reference r_max,
+//! `packed_vs_unpacked.n262144 ≥ 2` — launch packing must beat the
+//! per-cell-pair route — and `model_agreement ≥ 1` at the gate sizes
+//! (the SpatialPlan model's pick matches the measured winner).
 
 use std::time::Instant;
 
 use crate::report::{Cell, Report, ReportError, SeriesTable};
 use gpu_sim::{Device, DeviceConfig};
-use tbs_apps::{gridded_count_within, pcf_gpu, GriddedCatalog, PairwisePlan};
+use tbs_apps::{
+    gridded_count_within, gridded_count_within_routed, pcf_gpu, GriddedCatalog, GriddedRoute,
+    PairwisePlan,
+};
 use tbs_core::grid::GridOptions;
 use tbs_core::plan::{choose_spatial_plan, ProblemOutput, ProblemSpec, SpatialRoute};
 use tbs_cpu::grid_pcf_device_reference;
@@ -108,13 +118,21 @@ pub struct GridSample {
     pub n: usize,
     /// Within-radius pair count (bit-identical across all routes).
     pub count: u64,
-    /// Wall-clock of binning + per-cell upload alone.
+    /// Wall-clock of binning + the one-shot SoA upload alone.
     pub build_s: f64,
-    /// Total grid-route wall-clock: build + every cell-pair launch.
+    /// Total grid-route wall-clock on the default packed route: build +
+    /// every packed launch.
     pub grid_s: f64,
+    /// Total grid-route wall-clock on the per-cell-pair oracle route:
+    /// the same build cost + one launch per surviving cell pair.
+    pub unpacked_s: f64,
     pub cells: u64,
     pub occupied_cells: u64,
     pub launches: u64,
+    /// Launches the packed route actually issued (≤ ~10× classes).
+    pub packed_launches: u64,
+    /// Distinct cell-population classes the packer planned for.
+    pub population_classes: u64,
     /// Fraction of the N(N−1)/2 pair mass culled before any kernel ran.
     pub pruned_fraction: f64,
     /// The [`choose_spatial_plan`] analytic model's predicted speedup.
@@ -138,6 +156,17 @@ impl GridSample {
     /// The headline ratio: all-pairs over grid wall-clock.
     pub fn speedup(&self) -> f64 {
         self.all_pairs_best() / self.grid_s
+    }
+
+    /// The launch-packing win: per-cell-pair over packed wall-clock.
+    pub fn packed_vs_unpacked(&self) -> f64 {
+        self.unpacked_s / self.grid_s
+    }
+
+    /// Whether the SpatialPlan model's pick matches the measured winner
+    /// (grid iff the measured grid route beats all-pairs wall-clock).
+    pub fn model_agrees(&self) -> bool {
+        self.model_picks_grid == (self.speedup() > 1.0)
     }
 }
 
@@ -165,12 +194,35 @@ pub fn measure(n: usize, cfg: &GridpathConfig, anchor: (usize, f64)) -> GridSamp
     let grid_s = t.elapsed().as_secs_f64();
     let stats = res.run.stats;
     eprintln!(
-        "gridpath N={n}: grid {grid_s:.3}s (build {build_s:.3}s, {} launches over {}/{} cells, \
-         {:.1}% of pairs pruned)",
+        "gridpath N={n}: packed grid {grid_s:.3}s (build {build_s:.3}s, {} launches over {} \
+         population classes, {}/{} cells, {:.1}% of pairs pruned)",
         res.run.launches(),
+        res.run.population_classes,
         stats.occupied_cells,
         stats.cells,
         stats.pruned_fraction() * 100.0
+    );
+
+    // The per-cell-pair oracle route on the *same* catalog: both routes
+    // pay the same build, so the ratio isolates the launch packing.
+    let t = Instant::now();
+    let unpacked = gridded_count_within_routed(
+        &mut dev,
+        &cat,
+        R_MAX,
+        PairwisePlan::register_shm(BLOCK),
+        GriddedRoute::PerCellPair,
+    )
+    .expect("per-cell-pair launch");
+    let unpacked_s = build_s + t.elapsed().as_secs_f64();
+    assert_eq!(
+        res.count, unpacked.count,
+        "packed count diverged from the per-cell-pair route at N={n}"
+    );
+    eprintln!(
+        "gridpath N={n}: per-cell-pair {unpacked_s:.3}s ({} launches, packed {:.1}x)",
+        unpacked.run.launches(),
+        unpacked_s / grid_s
     );
 
     if cfg.oracle {
@@ -232,9 +284,12 @@ pub fn measure(n: usize, cfg: &GridpathConfig, anchor: (usize, f64)) -> GridSamp
         count: res.count,
         build_s,
         grid_s,
+        unpacked_s,
         cells: stats.cells as u64,
         occupied_cells: stats.occupied_cells as u64,
         launches: u64::from(res.run.launches()),
+        packed_launches: u64::from(res.run.packed_launches),
+        population_classes: u64::from(res.run.population_classes),
         pruned_fraction: stats.pruned_fraction(),
         model_speedup: spatial.predicted_speedup(),
         model_picks_grid: spatial.route == SpatialRoute::Grid,
@@ -281,10 +336,13 @@ pub fn build_report_from(samples: &[GridSample]) -> Result<Report, ReportError> 
             "count",
             "cells",
             "occ",
+            "classes",
             "launches",
             "pruned",
             "build_s",
             "grid_s",
+            "unpacked_s",
+            "packed_x",
             "allpairs_s",
             "speedup",
             "model_x",
@@ -296,6 +354,7 @@ pub fn build_report_from(samples: &[GridSample]) -> Result<Report, ReportError> 
             Cell::int(s.count),
             Cell::int(s.cells),
             Cell::int(s.occupied_cells),
+            Cell::int(s.population_classes),
             Cell::int(s.launches),
             Cell::num(
                 s.pruned_fraction,
@@ -303,6 +362,11 @@ pub fn build_report_from(samples: &[GridSample]) -> Result<Report, ReportError> 
             ),
             Cell::num(s.build_s, format!("{:.3}", s.build_s)),
             Cell::num(s.grid_s, format!("{:.3}", s.grid_s)),
+            Cell::num(s.unpacked_s, format!("{:.3}", s.unpacked_s)),
+            Cell::num(
+                s.packed_vs_unpacked(),
+                format!("{:.1}x", s.packed_vs_unpacked()),
+            ),
             match s.all_pairs_s {
                 Some(v) => Cell::num(v, format!("{v:.3}")),
                 None => Cell::num(
@@ -331,14 +395,28 @@ pub fn build_report_from(samples: &[GridSample]) -> Result<Report, ReportError> 
             "frac",
         )?;
         rep.metric(&format!("grid_s.n{}", s.n), s.grid_s, "s")?;
+        rep.metric(
+            &format!("packed_vs_unpacked.n{}", s.n),
+            s.packed_vs_unpacked(),
+            "x",
+        )?;
         rep.metric(&format!("model_speedup.n{}", s.n), s.model_speedup, "x")?;
+        rep.metric(
+            &format!("model_agreement.n{}", s.n),
+            if s.model_agrees() { 1.0 } else { 0.0 },
+            "bool",
+        )?;
     }
     rep.push_table(t);
     rep.push_note(
         "wall clock of the same compiled interpreter executing only the candidate\n\
          cell pairs the min-distance cull leaves alive, vs the monolithic all-pairs\n\
-         launch. Counts are bit-identical across the grid route, the all-pairs\n\
-         route and the CPU grid oracle wherever each is measured. allpairs_s\n\
+         launch. grid_s is the default packed route (segmented multi-cell-pair\n\
+         launches, O(population classes) launches); unpacked_s reruns the same\n\
+         catalog one launch per cell pair, and packed_x is their ratio. Counts\n\
+         are bit-identical across the packed route, the per-cell-pair route,\n\
+         the all-pairs route and the CPU grid oracle wherever each is measured.\n\
+         allpairs_s\n\
          values prefixed '~' are quadratic projections from the anchor size —\n\
          measuring a ~200 s O(N^2) route on every sweep is the footgun the grid\n\
          exists to remove; `gridpath_baseline --full` measures them directly.\n\

@@ -305,6 +305,18 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // min-distance cull must discard ≥90 % of the pair mass at
         // N = 262144 with the reference r_max.
         spec("sim_gridpath.pruned_pair_fraction.n262144", Band::min(0.9)),
+        // Launch packing: mapping every candidate cell pair onto one
+        // segmented launch per (population class, 4096-block chunk)
+        // must stay a genuine multiplier over one launch per cell pair
+        // on the same catalog (~4× observed at N = 262144; floored at
+        // the PR's ≥2× claim).
+        spec("sim_gridpath.packed_vs_unpacked.n262144", Band::min(2.0)),
+        // The SpatialPlan analytic model's pick must match the measured
+        // winner at both gate sizes (1.0 = agrees; deterministic given
+        // the measured wall-clocks — a mispriced per-launch floor shows
+        // up here, the regression this band exists for).
+        spec("sim_gridpath.model_agreement.n262144", Band::min(1.0)),
+        spec("sim_gridpath.model_agreement.n1048576", Band::min(1.0)),
         // Query-service SLO bands (extension). Coalescing k = 12
         // same-dataset queries into one multi-consumer sweep must stay
         // a genuine multiplier over one-at-a-time serving (the PR's
@@ -315,6 +327,14 @@ pub fn gate_groups() -> &'static [GateGroup] {
         // sinks dedup at admission and the compiled multi-consumer
         // sweep serves what remains (~4–5× observed; floored at ≥2×).
         spec("ext_serve.batched_vs_sequential_sdh.n16384", Band::min(2.0)),
+        // A burst of gridded count-withins must coalesce into one
+        // packed multi-radius sweep over a shared covering catalog
+        // instead of paying one sweep + covering-grid build per query
+        // (floored at ≥2× like the other coalescing legs).
+        spec(
+            "ext_serve.batched_vs_sequential_gridded.n16384",
+            Band::min(2.0),
+        ),
         // Single-query round-trip ceiling at CI size (p99 over 40
         // probes, cold shard upload included). Wall-clock, so the
         // ceiling sits ~5× over the slowest observed CI-class run —

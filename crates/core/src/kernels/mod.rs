@@ -15,6 +15,7 @@
 
 pub mod cross;
 pub mod naive;
+pub mod packed;
 pub mod reduction;
 pub mod register_roc;
 pub mod register_shm;
@@ -23,6 +24,7 @@ pub mod shuffle;
 
 pub use cross::CrossShmKernel;
 pub use naive::NaiveKernel;
+pub use packed::{PackedLayout, PackedPairKernel, PackedSegment};
 pub use reduction::{HistogramReduceKernel, SumReduceKernel};
 pub use register_roc::RegisterRocKernel;
 pub use register_shm::RegisterShmKernel;
@@ -91,6 +93,30 @@ pub(crate) fn load_own_registers<const D: usize>(
         let m = w.mask_lt(&gid, n).and(w.active_threads());
         for d in 0..D {
             regs[w.warp_id as usize][d] = w.global_load_f32(coords[d], &gid, m);
+        }
+    });
+    regs
+}
+
+/// Load each thread's own datum from the catalog range
+/// `[start, start + count)` — the packed-segment analogue of
+/// [`load_own_registers`], where a block's own points live at an
+/// arbitrary catalog offset instead of `block_id * B`. Lanes at or past
+/// `count` are masked off (their addresses are never dereferenced).
+pub(crate) fn load_own_registers_at<const D: usize>(
+    blk: &mut BlockCtx<'_>,
+    input: &DeviceSoa<D>,
+    start: u32,
+    count: u32,
+) -> Vec<[F32x32; D]> {
+    let coords = input.coords;
+    let mut regs: Vec<[F32x32; D]> = vec![[[0.0; WARP_SIZE]; D]; blk.num_warps() as usize];
+    blk.for_each_warp(|w| {
+        let tid = w.thread_ids();
+        let m = w.mask_lt(&tid, count).and(w.active_threads());
+        let src: U32x32 = std::array::from_fn(|i| start + tid[i]);
+        for d in 0..D {
+            regs[w.warp_id as usize][d] = w.global_load_f32(coords[d], &src, m);
         }
     });
     regs

@@ -174,8 +174,38 @@ pub fn lower_pair_plan<const D: usize, F: DistanceKernel<D>, A: PairAction>(
 pub enum SpatialRoute {
     /// One monolithic all-pairs launch (the pre-grid behavior).
     AllPairs,
-    /// Uniform-grid pruning: one tiled launch per surviving cell pair.
+    /// Uniform-grid pruning: the surviving cell pairs run as packed
+    /// segmented sweeps (a handful of launches per population class).
     Grid,
+}
+
+/// Cap on blocks per packed launch — shared with the packed executor
+/// (`apps::gridded`) so the planner prices exactly the launch chunking
+/// the executor performs.
+pub const MAX_PACKED_BLOCKS_PER_LAUNCH: u32 = 4096;
+
+/// Typical number of population classes a fitted grid produces: the
+/// occupancy-targeted sizing rule keeps cell lengths within a few
+/// octaves of `target_points_per_cell`, so the packed route plans a
+/// handful of power-of-two classes regardless of N.
+pub const PACKED_CLASS_ESTIMATE: u64 = 4;
+
+/// Residual per-segment overhead of a packed sweep, as a fraction of
+/// the per-launch floor: ragged last tiles, the own-register reload at
+/// each segment's blocks, and last-block padding. Calibrated against
+/// the packed-vs-unpacked gridpath measurements (`BENCH_sim_gridpath`).
+pub const PACKED_SEGMENT_OVERHEAD: f64 = 1.0 / 64.0;
+
+/// Closed-form estimate of the packed route's launch count from pruning
+/// statistics alone: surviving cell pairs occupy ≈ one block each
+/// (occupancy-targeted cells span at most a few blocks), chunked at
+/// [`MAX_PACKED_BLOCKS_PER_LAUNCH`] blocks per launch, plus roughly one
+/// launch per population class.
+pub fn estimate_packed_launches(cell_pairs: u64) -> u64 {
+    cell_pairs
+        .div_ceil(MAX_PACKED_BLOCKS_PER_LAUNCH as u64)
+        .max(1)
+        + PACKED_CLASS_ESTIMATE
 }
 
 /// The spatial layer above [`ExecutionPlan`]: given the pruning
@@ -187,9 +217,12 @@ pub enum SpatialRoute {
 /// tiled kernels' cost is dominated by pair evaluations, so the grid
 /// route costs the all-pairs prediction scaled by the surviving-pair
 /// fraction, plus a per-launch floor (one minimal-`n` predicted run)
-/// for each surviving cell pair. When pruning is weak — `r_max`
-/// comparable to the box, so the fraction approaches 1 — the launch
-/// overhead makes the grid strictly worse and the plan falls back to
+/// for each *packed* launch ([`estimate_packed_launches`] of them, not
+/// one per cell pair), plus a small per-segment residual
+/// ([`PACKED_SEGMENT_OVERHEAD`]) for tile raggedness and per-segment
+/// register reloads. When pruning is weak — `r_max` comparable to the
+/// box, so the fraction approaches 1 — the overhead makes the grid
+/// strictly worse and the plan falls back to
 /// [`SpatialRoute::AllPairs`]; exactly the graceful degradation the
 /// grid's single-cell geometry also provides.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,7 +262,8 @@ pub fn choose_spatial_plan(
     };
     // Launch floor: the predicted cost of the chosen spec at the
     // smallest launchable size — pure per-launch overhead, paid once
-    // per surviving cell pair.
+    // per *packed* launch (the executor batches cell pairs into
+    // segmented sweeps, so launches scale with population classes).
     let floor_wl = Workload {
         n: inner.block_size.min(p.n.max(1)),
         b: inner.block_size,
@@ -238,7 +272,10 @@ pub fn choose_spatial_plan(
     };
     let per_launch = predicted_run(&floor_wl, &inner.spec, cfg).timing.seconds;
     let all_pairs_seconds = inner.predicted_seconds;
-    let grid_seconds = all_pairs_seconds * frac + stats.cell_pairs as f64 * per_launch;
+    let launches = estimate_packed_launches(stats.cell_pairs) as f64;
+    let per_segment = per_launch * PACKED_SEGMENT_OVERHEAD;
+    let grid_seconds =
+        all_pairs_seconds * frac + launches * per_launch + stats.cell_pairs as f64 * per_segment;
     let route = if grid_seconds < all_pairs_seconds {
         SpatialRoute::Grid
     } else {
@@ -396,6 +433,34 @@ mod tests {
         let plan = choose_spatial_plan(&p, &stats, &titan());
         assert_eq!(plan.route, SpatialRoute::Grid);
         assert!(plan.predicted_speedup() > 10.0, "{plan:?}");
+    }
+
+    #[test]
+    fn spatial_plan_crossover_sits_well_below_a_million_points() {
+        // Pruning statistics mirroring the gridpath bench at
+        // N = 65,536 and N = 262,144 (where the measured packed route
+        // wins): pricing packed launches instead of per-cell-pair
+        // launches must move the model's crossover below both.
+        for (n, cell_pairs, frac) in [(65_536u32, 1_161u64, 0.141), (262_144, 5_346, 0.041)] {
+            let p = ProblemSpec {
+                n,
+                dims: 3,
+                dist_cost: 7,
+                output: ProblemOutput::Scalar,
+            };
+            let total = n as u64 * (n as u64 - 1) / 2;
+            let stats = crate::grid::PruneStats {
+                n: n as u64,
+                cells: 4096,
+                occupied_cells: 4096,
+                cell_pairs,
+                candidate_point_pairs: (total as f64 * frac) as u64,
+                total_point_pairs: total,
+            };
+            let plan = choose_spatial_plan(&p, &stats, &titan());
+            assert_eq!(plan.route, SpatialRoute::Grid, "n={n}: {plan:?}");
+            assert!(plan.predicted_speedup() > 1.0, "n={n}: {plan:?}");
+        }
     }
 
     #[test]

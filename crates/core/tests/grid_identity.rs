@@ -13,9 +13,14 @@ use gpu_sim::{Device, DeviceConfig};
 use proptest::prelude::*;
 use tbs_apps::sdh::{sdh_gpu, SdhOutputMode};
 use tbs_apps::{
-    gridded_count_within, gridded_radial_histogram, pcf_gpu, GriddedCatalog, PairwisePlan,
+    gridded_count_within, gridded_count_within_multi, gridded_count_within_routed,
+    gridded_radial_histogram, gridded_radial_histogram_routed, pcf_gpu, GriddedCatalog,
+    GriddedRoute, PairwisePlan,
 };
+use tbs_core::distance::Euclidean;
 use tbs_core::grid::{candidate_pairs, prune_stats, GridOptions, RadialBins, UniformGrid};
+use tbs_core::kernels::{PackedLayout, PackedPairKernel, PackedSegment};
+use tbs_core::output::CountWithinRadius;
 use tbs_core::point::SoaPoints;
 use tbs_cpu::{
     grid_pcf_device_reference, grid_pcf_reference, grid_radial_reference, pcf_reference,
@@ -138,6 +143,69 @@ proptest! {
         prop_assert_eq!(grid.histogram, rb.finalize(&all.histogram));
     }
 
+    /// Three-way count identity: the packed segmented route, the
+    /// per-cell-pair route, and the monolithic all-pairs launch agree
+    /// bit for bit — across clustered/degenerate layouts, one-point
+    /// cells (`target = 1`), and cell populations sitting exactly on,
+    /// one below, and one above block-size multiples (targets 64, 127,
+    /// 128, 129 against the packed planner's 128-minimum blocks).
+    #[test]
+    fn packed_route_equals_per_cell_pair_and_all_pairs(
+        n in 0usize..1024,
+        r_max in prop::sample::select(vec![4.0f32, 12.0, 150.0]),
+        target in prop::sample::select(vec![1u32, 64, 127, 128, 129]),
+        layout in layout_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let pts = catalog(layout, n, seed);
+        let plan = PairwisePlan::register_shm(64);
+        let opts = GridOptions { target_points_per_cell: target, max_cells: 1 << 20 };
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(&mut dev, &pts, r_max, &opts);
+        let packed = gridded_count_within_routed(&mut dev, &cat, r_max, plan, GriddedRoute::Packed)
+            .expect("packed launch");
+        let unpacked =
+            gridded_count_within_routed(&mut dev, &cat, r_max, plan, GriddedRoute::PerCellPair)
+                .expect("per-cell-pair launch");
+        prop_assert_eq!(packed.count, unpacked.count);
+        let mut dev2 = Device::new(DeviceConfig::titan_x());
+        let all = pcf_gpu(&mut dev2, &pts, r_max, plan).expect("all-pairs launch");
+        prop_assert_eq!(packed.count, all.count);
+        // A multi-radius packed sweep is the same bits again.
+        let (multi, _) = gridded_count_within_multi(&mut dev, &cat, &[r_max], plan)
+            .expect("multi launch");
+        prop_assert_eq!(multi[0], packed.count);
+    }
+
+    /// Three-way histogram identity on the same layouts.
+    #[test]
+    fn packed_histogram_equals_per_cell_pair_and_all_pairs(
+        n in 2usize..640,
+        r_max in prop::sample::select(vec![5.0f32, 15.0, 180.0]),
+        bins in prop::sample::select(vec![4u32, 24]),
+        target in prop::sample::select(vec![1u32, 64, 128]),
+        layout in layout_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let pts = catalog(layout, n, seed);
+        let rb = RadialBins::new(bins, r_max);
+        let plan = PairwisePlan::register_shm(64);
+        let opts = GridOptions { target_points_per_cell: target, max_cells: 1 << 20 };
+        let mut dev = Device::new(DeviceConfig::titan_x());
+        let cat = GriddedCatalog::build_self(&mut dev, &pts, r_max, &opts);
+        let packed =
+            gridded_radial_histogram_routed(&mut dev, &cat, rb, plan, GriddedRoute::Packed)
+                .expect("packed launch");
+        let unpacked =
+            gridded_radial_histogram_routed(&mut dev, &cat, rb, plan, GriddedRoute::PerCellPair)
+                .expect("per-cell-pair launch");
+        prop_assert_eq!(&packed.histogram, &unpacked.histogram);
+        let mut dev2 = Device::new(DeviceConfig::titan_x());
+        let all = sdh_gpu(&mut dev2, &pts, rb.device_spec(), plan, SdhOutputMode::Privatized)
+            .expect("all-pairs launch");
+        prop_assert_eq!(&packed.histogram, &rb.finalize(&all.histogram));
+    }
+
     /// Candidate enumeration invariants for arbitrary layouts: no cell
     /// pair is visited twice, and the candidate pair mass never exceeds
     /// the all-pairs mass.
@@ -186,6 +254,83 @@ fn oversized_radius_degrades_to_all_pairs() {
         got.count,
         grid_pcf_device_reference(&pts, 30.0, &GridOptions::default())
     );
+}
+
+/// Fault blame parity: a segment whose tile fetch runs off the end of
+/// the catalog must raise the *same* out-of-bounds fault whether it
+/// runs packed behind healthy segments or as its own solo launch — the
+/// packer must not shift or launder the blame, and the healthy
+/// segments must not be able to mask the fault.
+#[test]
+fn fault_blame_parity_between_packed_and_solo_launches() {
+    let pts = tbs_datagen::uniform_points::<3>(256, BOX, 5);
+    let mut dev = Device::new(DeviceConfig::titan_x());
+    let soa = pts.upload(&mut dev);
+    let good = PackedSegment::intra(0, 128);
+    // Right slice [200, 320) runs 64 elements past the 256-point
+    // catalog: every access ≥ 256 faults.
+    let bad = PackedSegment::cross(128, 128, 200, 120);
+    let b = 128u32;
+
+    let solo_layout = PackedLayout::new(vec![bad], b);
+    let solo_lc = solo_layout.launch_config();
+    let solo_out = dev.alloc_u64_zeroed(solo_lc.total_threads() as usize);
+    let solo_err = dev
+        .try_launch(
+            &PackedPairKernel::self_join(
+                soa,
+                Euclidean,
+                CountWithinRadius {
+                    radius: 1.0,
+                    out: solo_out,
+                },
+                solo_layout,
+            ),
+            solo_lc,
+        )
+        .expect_err("solo launch must fault");
+
+    let packed_layout = PackedLayout::new(vec![good, bad], b);
+    let packed_lc = packed_layout.launch_config();
+    let packed_out = dev.alloc_u64_zeroed(packed_lc.total_threads() as usize);
+    let packed_err = dev
+        .try_launch(
+            &PackedPairKernel::self_join(
+                soa,
+                Euclidean,
+                CountWithinRadius {
+                    radius: 1.0,
+                    out: packed_out,
+                },
+                packed_layout,
+            ),
+            packed_lc,
+        )
+        .expect_err("packed launch must fault on the bad segment");
+
+    assert_eq!(packed_err, solo_err, "blame must not shift under packing");
+    assert!(
+        matches!(packed_err, gpu_sim::SimError::OutOfBounds { .. }),
+        "{packed_err:?}"
+    );
+
+    // And the same healthy segment alone still runs clean.
+    let ok_layout = PackedLayout::new(vec![good], b);
+    let ok_lc = ok_layout.launch_config();
+    let ok_out = dev.alloc_u64_zeroed(ok_lc.total_threads() as usize);
+    dev.try_launch(
+        &PackedPairKernel::self_join(
+            soa,
+            Euclidean,
+            CountWithinRadius {
+                radius: 1.0,
+                out: ok_out,
+            },
+            ok_layout,
+        ),
+        ok_lc,
+    )
+    .expect("healthy segment must not fault");
 }
 
 /// Mostly-empty grids (tiny N on a fine grid) enumerate only occupied
